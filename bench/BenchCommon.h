@@ -1,0 +1,51 @@
+//===- bench/BenchCommon.h - Shared benchmark context ------------*- C++ -*-===//
+//
+// Part of the VEGA reproduction project.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared state for the table/figure benches. Model Creation is the paper's
+/// 72-hour stage; here it is a one-time fine-tune cached on disk
+/// (vega_model_cache.bin), and the three generated backends are cached as
+/// rendered sources (vega_backend_<target>.txt) so every bench binary can
+/// reload them instead of regenerating.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VEGA_BENCH_BENCHCOMMON_H
+#define VEGA_BENCH_BENCHCOMMON_H
+
+#include "eval/EffortModel.h"
+#include "eval/Harness.h"
+
+namespace vega {
+namespace bench {
+
+/// Number of fine-tuning epochs used by the bench suite.
+int defaultEpochs();
+
+/// The shared corpus.
+const BackendCorpus &corpus();
+
+/// The shared trained system (loads the weight cache when present).
+VegaSystem &system();
+
+/// The generated backend for one evaluation target (disk-cached).
+const GeneratedBackend &generated(const std::string &Target);
+
+/// Harness evaluation of the generated backend for \p Target.
+const BackendEval &evaluation(const std::string &Target);
+
+/// ForkFlow (from MIPS, per §4.2) evaluation for \p Target.
+const BackendEval &forkflowEvaluation(const std::string &Target);
+
+/// Serializes / restores a generated backend (used by the disk cache).
+std::string serializeBackend(const GeneratedBackend &Backend);
+bool deserializeBackend(const std::string &Blob, GeneratedBackend &Out);
+
+} // namespace bench
+} // namespace vega
+
+#endif // VEGA_BENCH_BENCHCOMMON_H

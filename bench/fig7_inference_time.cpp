@@ -1,0 +1,52 @@
+//===- bench/fig7_inference_time.cpp - Fig. 7 --------------------------------===//
+//
+// Part of the VEGA reproduction project.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+///
+/// Fig. 7: wall-clock inference time of VEGA's Target-Specific Code
+/// Generation stage, per function module, for RISC-V, RI5CY, and xCORE.
+/// Paper shape: a few hundred seconds per module on their hardware, whole
+/// backends "under an hour"; our scaled model generates whole backends in
+/// minutes — the per-module *distribution* is the comparable shape.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "support/TextTable.h"
+
+#include <cstdio>
+
+using namespace vega;
+
+int main() {
+  TextTable Table;
+  Table.setHeader({"Module", "RISCV (s)", "RI5CY (s)", "XCORE (s)"});
+  const std::vector<std::string> Targets = {"RISCV", "RI5CY", "XCORE"};
+
+  std::map<std::string, double> Totals;
+  for (BackendModule Module : AllModules) {
+    std::vector<std::string> Row = {moduleName(Module)};
+    for (const std::string &Target : Targets) {
+      const GeneratedBackend &GB = bench::generated(Target);
+      auto It = GB.ModuleSeconds.find(Module);
+      double Seconds = It == GB.ModuleSeconds.end() ? 0.0 : It->second;
+      Totals[Target] += Seconds;
+      Row.push_back(TextTable::formatDouble(Seconds, 2));
+    }
+    Table.addRow(std::move(Row));
+  }
+  Table.addSeparator();
+  Table.addRow({"ALL", TextTable::formatDouble(Totals["RISCV"], 2),
+                TextTable::formatDouble(Totals["RI5CY"], 2),
+                TextTable::formatDouble(Totals["XCORE"], 2)});
+
+  std::printf("== Fig. 7: per-module backend generation time ==\n%s\n",
+              Table.render().c_str());
+  std::printf("paper: 1383 s (RISC-V), 1664 s (RI5CY), 424 s (xCORE) — all "
+              "under one hour; shape to match: EMI/SEL dominate, DIS absent "
+              "for xCORE, every target finishes in minutes at our scale\n");
+  return 0;
+}

@@ -1,0 +1,79 @@
+//===- bench/fig8_function_accuracy.cpp - Fig. 8 ------------------------------===//
+//
+// Part of the VEGA reproduction project.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+///
+/// Fig. 8: pass@1 function accuracy per module per target, split into
+/// confidence ≈ 1.00 vs < 1.00, plus the share of accurate functions derived
+/// from multiple existing targets (the purple bars). Includes the §4.2
+/// FORKFLOW comparison. Paper anchors: averages 72.3 / 71.5 / 67.2% per
+/// module (71.5 / 73.2 / 62.2% over all functions) vs ForkFlow < 8%.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "support/TextTable.h"
+
+#include <cstdio>
+
+using namespace vega;
+
+int main() {
+  const std::vector<std::string> Targets = {"RISCV", "RI5CY", "XCORE"};
+  for (const std::string &Target : Targets) {
+    const BackendEval &Eval = bench::evaluation(Target);
+    TextTable Table;
+    Table.setHeader({"Module", "Functions", "Accurate", "Accuracy",
+                     "CS~1.00", "CS<1.00", "MultiTarget"});
+    double ModuleAccSum = 0.0;
+    int ModuleCount = 0;
+    for (BackendModule Module : AllModules) {
+      auto It = Eval.PerModule.find(Module);
+      if (It == Eval.PerModule.end() || It->second.Functions == 0)
+        continue;
+      const auto &S = It->second;
+      double Acc = static_cast<double>(S.AccurateFunctions) /
+                   static_cast<double>(S.Functions);
+      ModuleAccSum += Acc;
+      ++ModuleCount;
+      Table.addRow({moduleName(Module), std::to_string(S.Functions),
+                    std::to_string(S.AccurateFunctions),
+                    TextTable::formatPercent(Acc),
+                    std::to_string(S.AccurateHighConfidence),
+                    std::to_string(S.AccurateFunctions -
+                                   S.AccurateHighConfidence),
+                    std::to_string(S.MultiTarget)});
+    }
+    Table.addSeparator();
+    Table.addRow({"ALL", "", "",
+                  TextTable::formatPercent(Eval.functionAccuracy()), "", "",
+                  ""});
+    std::printf("== Fig. 8: %s function accuracy (pass@1) ==\n%s",
+                Target.c_str(), Table.render().c_str());
+    std::printf("module-average accuracy: %s\n\n",
+                TextTable::formatPercent(ModuleCount
+                                             ? ModuleAccSum / ModuleCount
+                                             : 0.0)
+                    .c_str());
+  }
+
+  // ForkFlow comparison (§4.2).
+  TextTable FF;
+  FF.setHeader({"Target", "VEGA all-fn", "ForkFlow all-fn"});
+  for (const std::string &Target : Targets) {
+    FF.addRow({Target,
+               TextTable::formatPercent(
+                   bench::evaluation(Target).functionAccuracy()),
+               TextTable::formatPercent(
+                   bench::forkflowEvaluation(Target).functionAccuracy())});
+  }
+  std::printf("== VEGA vs FORKFLOW (function accuracy) ==\n%s\n",
+              FF.render().c_str());
+  std::printf("paper: VEGA 71.5 / 73.2 / 62.2%% vs ForkFlow 7.9 / 6.7 / "
+              "2.1%% — shape to match: VEGA an order of magnitude above "
+              "ForkFlow, xCORE lowest of the three\n");
+  return 0;
+}

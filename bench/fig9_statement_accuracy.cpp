@@ -1,0 +1,74 @@
+//===- bench/fig9_statement_accuracy.cpp - Fig. 9 -----------------------------===//
+//
+// Part of the VEGA reproduction project.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+///
+/// Fig. 9: statement-level accuracy ("Accurate" vs "Manual Effort") per
+/// module, VEGA against FORKFLOW. Paper anchors: VEGA statement averages
+/// 55.0 / 58.5 / 38.5% while ForkFlow needs manual work on >85% of
+/// statements.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "support/TextTable.h"
+
+#include <cstdio>
+
+using namespace vega;
+
+namespace {
+
+void printTarget(const std::string &Target) {
+  const BackendEval &Vega = bench::evaluation(Target);
+  const BackendEval &Fork = bench::forkflowEvaluation(Target);
+
+  TextTable Table;
+  Table.setHeader({"Module", "VEGA acc", "VEGA manual", "VEGA acc%",
+                   "FF acc", "FF manual", "FF acc%"});
+  for (BackendModule Module : AllModules) {
+    auto VIt = Vega.PerModule.find(Module);
+    auto FIt = Fork.PerModule.find(Module);
+    if (VIt == Vega.PerModule.end() && FIt == Fork.PerModule.end())
+      continue;
+    auto Pct = [](size_t Acc, size_t Manual) {
+      size_t Total = Acc + Manual;
+      return Total == 0 ? std::string("-")
+                        : TextTable::formatPercent(
+                              static_cast<double>(Acc) /
+                              static_cast<double>(Total));
+    };
+    size_t VA = VIt == Vega.PerModule.end() ? 0
+                                            : VIt->second.AccurateStatements;
+    size_t VM = VIt == Vega.PerModule.end() ? 0
+                                            : VIt->second.ManualStatements;
+    size_t FA = FIt == Fork.PerModule.end() ? 0
+                                            : FIt->second.AccurateStatements;
+    size_t FM = FIt == Fork.PerModule.end() ? 0
+                                            : FIt->second.ManualStatements;
+    Table.addRow({moduleName(Module), std::to_string(VA), std::to_string(VM),
+                  Pct(VA, VM), std::to_string(FA), std::to_string(FM),
+                  Pct(FA, FM)});
+  }
+  Table.addSeparator();
+  Table.addRow({"ALL", "", "",
+                TextTable::formatPercent(Vega.statementAccuracy()), "", "",
+                TextTable::formatPercent(Fork.statementAccuracy())});
+  std::printf("== Fig. 9: %s statement-level accuracy ==\n%s\n",
+              Target.c_str(), Table.render().c_str());
+}
+
+} // namespace
+
+int main() {
+  for (const char *Target : {"RISCV", "RI5CY", "XCORE"})
+    printTarget(Target);
+  std::printf("paper: VEGA statement averages 55.0 / 58.5 / 38.5%%; ForkFlow "
+              "manual effort >85%% everywhere — shape to match: VEGA well "
+              "above ForkFlow in every module, xCORE the weakest VEGA "
+              "column\n");
+  return 0;
+}

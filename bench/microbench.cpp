@@ -1,0 +1,112 @@
+//===- bench/microbench.cpp - google-benchmark microbenchmarks ------------------===//
+//
+// Part of the VEGA reproduction project.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+///
+/// Microbenchmarks for the hot kernels behind the figures: lexing, GumTree
+/// matching, templatization, Algorithm-1 harvesting, interpretation, and a
+/// CodeBE decode step. These are throughput numbers, not paper results.
+///
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+#include "eval/EvalSpecs.h"
+#include "feature/FeatureSelector.h"
+#include "gumtree/Matcher.h"
+#include "interp/Interpreter.h"
+#include "lexer/Lexer.h"
+#include "minicc/Benchmarks.h"
+#include "sim/Simulator.h"
+#include "templatize/FunctionTemplate.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace vega;
+
+namespace {
+
+const BackendCorpus &corpus() {
+  static BackendCorpus Corpus =
+      BackendCorpus::build(TargetDatabase::standard());
+  return Corpus;
+}
+
+const BackendFunction &armReloc() {
+  return *corpus().backend("ARM")->find("getRelocType");
+}
+
+void BM_LexGetRelocType(benchmark::State &State) {
+  const std::string &Src = armReloc().Source;
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Lexer::tokenize(Src));
+  State.SetBytesProcessed(static_cast<int64_t>(State.iterations()) *
+                          static_cast<int64_t>(Src.size()));
+}
+BENCHMARK(BM_LexGetRelocType);
+
+void BM_ParseGetRelocType(benchmark::State &State) {
+  const std::string &Src = armReloc().Source;
+  for (auto _ : State)
+    benchmark::DoNotOptimize(preprocessFunctionSource(Src));
+}
+BENCHMARK(BM_ParseGetRelocType);
+
+void BM_GumTreeMatch(benchmark::State &State) {
+  const FunctionAST &A = armReloc().AST;
+  const FunctionAST &B = corpus().backend("Mips")->find("getRelocType")->AST;
+  for (auto _ : State)
+    benchmark::DoNotOptimize(matchFunctions(A, B));
+}
+BENCHMARK(BM_GumTreeMatch);
+
+void BM_TemplatizeRelocGroup(benchmark::State &State) {
+  static std::vector<FunctionGroup> Groups = corpus().trainingGroups();
+  const FunctionGroup *Reloc = nullptr;
+  for (const FunctionGroup &G : Groups)
+    if (G.InterfaceName == "getRelocType")
+      Reloc = &G;
+  for (auto _ : State)
+    benchmark::DoNotOptimize(buildFunctionTemplate(*Reloc));
+}
+BENCHMARK(BM_TemplatizeRelocGroup);
+
+void BM_HarvestFixups(benchmark::State &State) {
+  static FeatureSelector Selector = [] {
+    std::vector<std::string> Names;
+    for (const TargetTraits &T : corpus().targets().targets())
+      Names.push_back(T.Name);
+    return FeatureSelector(corpus().vfs(), Names);
+  }();
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Selector.harvestValues("MCFixupKind", "RISCV"));
+}
+BENCHMARK(BM_HarvestFixups);
+
+void BM_InterpretGetRelocType(benchmark::State &State) {
+  const FunctionAST &Fn = armReloc().AST;
+  const TargetTraits *T = corpus().targets().find("ARM");
+  std::vector<Environment> Envs = buildTestEnvironments("getRelocType", *T);
+  Interpreter Interp;
+  size_t I = 0;
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(Interp.run(Fn, Envs[I % Envs.size()]));
+    ++I;
+  }
+}
+BENCHMARK(BM_InterpretGetRelocType);
+
+void BM_CompileBenchmarkO3(benchmark::State &State) {
+  const TargetTraits *T = corpus().targets().find("RISCV");
+  BackendHooks Hooks = hooksFromTraits(*T);
+  IRModule Module = buildBenchmark("502.gcc_r");
+  for (auto _ : State)
+    benchmark::DoNotOptimize(
+        compileAndRun(Module, *T, Hooks, OptLevel::O3));
+}
+BENCHMARK(BM_CompileBenchmarkO3);
+
+} // namespace
+
+BENCHMARK_MAIN();

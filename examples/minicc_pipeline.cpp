@@ -1,0 +1,83 @@
+//===- examples/minicc_pipeline.cpp - the compiler substrate --------------------===//
+//
+// Part of the VEGA reproduction project.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+///
+/// Drives the mini compiler directly — no ML. Builds a benchmark's toy IR,
+/// compiles it for a target at -O0 and -O3, prints the IR and cycle
+/// accounting, and shows how backend hooks (hardware loops, SIMD width,
+/// latencies) move the numbers. This is the substrate behind Fig. 10.
+///
+///   ./build/examples/minicc_pipeline [benchmark] [target]
+///
+//===----------------------------------------------------------------------===//
+
+#include "minicc/Benchmarks.h"
+#include "sim/Simulator.h"
+#include "support/TextTable.h"
+
+#include <cstdio>
+
+using namespace vega;
+
+int main(int argc, char **argv) {
+  std::string Name = argc > 1 ? argv[1] : "matmult-int";
+  std::string Target = argc > 2 ? argv[2] : "RI5CY";
+
+  TargetDatabase DB = TargetDatabase::standard();
+  const TargetTraits *Traits = DB.find(Target);
+  if (!Traits) {
+    std::fprintf(stderr, "error: unknown target '%s'\n", Target.c_str());
+    return 1;
+  }
+
+  IRModule Module = buildBenchmark(Name);
+  std::printf("== toy IR for %s ==\n%s\n", Name.c_str(),
+              printModule(Module).c_str());
+
+  BackendHooks Hooks = hooksFromTraits(*Traits);
+  SimResult O0 = compileAndRun(Module, *Traits, Hooks, OptLevel::O0);
+  SimResult O3 = compileAndRun(Module, *Traits, Hooks, OptLevel::O3);
+
+  TextTable Table;
+  Table.setHeader({"Metric", "-O0", "-O3"});
+  Table.addRow({"cycles", std::to_string(O0.Cycles),
+                std::to_string(O3.Cycles)});
+  Table.addRow({"instructions executed", std::to_string(O0.Instructions),
+                std::to_string(O3.Instructions)});
+  Table.addRow({"stall cycles", std::to_string(O0.Stalls),
+                std::to_string(O3.Stalls)});
+  Table.addRow({"code bytes", std::to_string(O0.CodeBytes),
+                std::to_string(O3.CodeBytes)});
+  std::printf("== %s on %s ==\n%s", Name.c_str(), Target.c_str(),
+              Table.render().c_str());
+  std::printf("speedup -O3 over -O0: %.2fx\n\n",
+              static_cast<double>(O0.Cycles) /
+                  static_cast<double>(O3.Cycles));
+
+  // Hook sensitivity: what each backend feature buys on this workload.
+  TextTable Sensitivity;
+  Sensitivity.setHeader({"Hook variation", "-O3 cycles", "vs full"});
+  auto Report = [&](const char *Label, BackendHooks Variant) {
+    SimResult R = compileAndRun(Module, *Traits, Variant, OptLevel::O3);
+    double Ratio = static_cast<double>(R.Cycles) /
+                   static_cast<double>(O3.Cycles);
+    Sensitivity.addRow({Label, std::to_string(R.Cycles),
+                        TextTable::formatDouble(Ratio, 2) + "x"});
+  };
+  BackendHooks NoHw = Hooks;
+  NoHw.HardwareLoops = false;
+  Report("no hardware loops", NoHw);
+  BackendHooks NoVec = Hooks;
+  NoVec.VectorWidth = 0;
+  Report("no SIMD", NoVec);
+  BackendHooks SlowLoads = Hooks;
+  SlowLoads.Latency = [](InstrClass C) {
+    return C == InstrClass::Load ? 6 : 1;
+  };
+  Report("6-cycle loads", SlowLoads);
+  std::printf("== hook sensitivity ==\n%s", Sensitivity.render().c_str());
+  return 0;
+}

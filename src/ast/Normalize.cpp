@@ -1,0 +1,197 @@
+//===- ast/Normalize.cpp - Statement normalization --------------------------===//
+//
+// Part of the VEGA reproduction project.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+
+#include "ast/Normalize.h"
+
+#include <cassert>
+#include <optional>
+
+using namespace vega;
+
+namespace {
+
+/// An equality test "(Scrutinee == Value)" pulled out of an if/else-if
+/// header.
+struct EqualityCondition {
+  std::vector<Token> Scrutinee;
+  std::vector<Token> Value;
+};
+
+/// Matches "if ( A == B ) {" or "else if ( A == B ) {" headers.
+std::optional<EqualityCondition>
+matchEqualityHeader(const std::vector<Token> &Tokens) {
+  size_t Open = 0;
+  while (Open < Tokens.size() && !Tokens[Open].isPunct("("))
+    ++Open;
+  if (Open == Tokens.size() || Tokens.empty() || !Tokens.back().isPunct("{"))
+    return std::nullopt;
+  // Find the matching ')'; it must be the second-to-last token.
+  size_t Close = Tokens.size() - 2;
+  if (Close <= Open || !Tokens[Close].isPunct(")"))
+    return std::nullopt;
+
+  // Exactly one top-level '==' between Open+1 and Close.
+  int Depth = 0;
+  size_t EqPos = 0;
+  unsigned EqCount = 0;
+  for (size_t I = Open + 1; I < Close; ++I) {
+    const Token &T = Tokens[I];
+    if (T.isPunct("(") || T.isPunct("["))
+      ++Depth;
+    else if (T.isPunct(")") || T.isPunct("]"))
+      --Depth;
+    else if (Depth == 0 && T.isPunct("==")) {
+      EqPos = I;
+      ++EqCount;
+    } else if (Depth == 0 && (T.isPunct("&&") || T.isPunct("||") ||
+                              T.isPunct("!") || T.isPunct("!=")))
+      return std::nullopt;
+  }
+  if (EqCount != 1)
+    return std::nullopt;
+
+  EqualityCondition Cond;
+  Cond.Scrutinee.assign(Tokens.begin() + Open + 1, Tokens.begin() + EqPos);
+  Cond.Value.assign(Tokens.begin() + EqPos + 1, Tokens.begin() + Close);
+  if (Cond.Scrutinee.empty() || Cond.Value.empty())
+    return std::nullopt;
+  return Cond;
+}
+
+bool sameTokens(const std::vector<Token> &A, const std::vector<Token> &B) {
+  if (A.size() != B.size())
+    return false;
+  for (size_t I = 0; I < A.size(); ++I)
+    if (!(A[I] == B[I]))
+      return false;
+  return true;
+}
+
+bool endsControlFlow(const std::vector<std::unique_ptr<Statement>> &Body) {
+  if (Body.empty())
+    return false;
+  StmtKind K = Body.back()->Kind;
+  return K == StmtKind::Return || K == StmtKind::Break;
+}
+
+std::unique_ptr<Statement>
+makeCase(const EqualityCondition &Cond,
+         std::vector<std::unique_ptr<Statement>> Body) {
+  std::vector<Token> Label;
+  Label.emplace_back(TokenKind::Keyword, "case");
+  for (const Token &T : Cond.Value)
+    Label.push_back(T);
+  Label.emplace_back(TokenKind::Punct, ":");
+  auto CaseStmt = std::make_unique<Statement>(StmtKind::Case, std::move(Label));
+  CaseStmt->Children = std::move(Body);
+  if (!endsControlFlow(CaseStmt->Children)) {
+    std::vector<Token> BreakToks;
+    BreakToks.emplace_back(TokenKind::Keyword, "break");
+    BreakToks.emplace_back(TokenKind::Punct, ";");
+    CaseStmt->Children.push_back(
+        std::make_unique<Statement>(StmtKind::Break, std::move(BreakToks)));
+  }
+  return CaseStmt;
+}
+
+unsigned normalizeList(std::vector<std::unique_ptr<Statement>> &Stmts);
+
+unsigned normalizeStatement(Statement &Stmt) {
+  return normalizeList(Stmt.Children);
+}
+
+/// Tries to turn the chain starting at Stmts[Index] into a switch; returns
+/// the replacement or nullptr when the shape does not match. On success
+/// \p Consumed is the number of chain statements replaced.
+std::unique_ptr<Statement>
+tryBuildSwitch(std::vector<std::unique_ptr<Statement>> &Stmts, size_t Index,
+               size_t &Consumed) {
+  auto FirstCond = matchEqualityHeader(Stmts[Index]->Tokens);
+  if (!FirstCond || Stmts[Index]->Kind != StmtKind::If)
+    return nullptr;
+
+  std::vector<EqualityCondition> Conditions{*FirstCond};
+  std::vector<std::vector<std::unique_ptr<Statement>> *> Bodies{
+      &Stmts[Index]->Children};
+  std::vector<std::unique_ptr<Statement>> *DefaultBody = nullptr;
+
+  size_t I = Index + 1;
+  for (; I < Stmts.size(); ++I) {
+    Statement &Next = *Stmts[I];
+    if (Next.Kind == StmtKind::ElseIf) {
+      auto Cond = matchEqualityHeader(Next.Tokens);
+      if (!Cond || !sameTokens(Cond->Scrutinee, FirstCond->Scrutinee))
+        return nullptr;
+      Conditions.push_back(*Cond);
+      Bodies.push_back(&Next.Children);
+      continue;
+    }
+    if (Next.Kind == StmtKind::Else) {
+      DefaultBody = &Next.Children;
+      ++I;
+    }
+    break;
+  }
+  // Require at least two arms: a lone "if (x == k)" stays an if.
+  if (Conditions.size() < 2)
+    return nullptr;
+
+  std::vector<Token> Header;
+  Header.emplace_back(TokenKind::Keyword, "switch");
+  Header.emplace_back(TokenKind::Punct, "(");
+  for (const Token &T : FirstCond->Scrutinee)
+    Header.push_back(T);
+  Header.emplace_back(TokenKind::Punct, ")");
+  Header.emplace_back(TokenKind::Punct, "{");
+  auto SwitchStmt =
+      std::make_unique<Statement>(StmtKind::Switch, std::move(Header));
+
+  for (size_t Arm = 0; Arm < Conditions.size(); ++Arm)
+    SwitchStmt->Children.push_back(
+        makeCase(Conditions[Arm], std::move(*Bodies[Arm])));
+  if (DefaultBody) {
+    std::vector<Token> Label;
+    Label.emplace_back(TokenKind::Keyword, "default");
+    Label.emplace_back(TokenKind::Punct, ":");
+    auto Default =
+        std::make_unique<Statement>(StmtKind::Default, std::move(Label));
+    Default->Children = std::move(*DefaultBody);
+    if (!endsControlFlow(Default->Children)) {
+      std::vector<Token> BreakToks;
+      BreakToks.emplace_back(TokenKind::Keyword, "break");
+      BreakToks.emplace_back(TokenKind::Punct, ";");
+      Default->Children.push_back(
+          std::make_unique<Statement>(StmtKind::Break, std::move(BreakToks)));
+    }
+    SwitchStmt->Children.push_back(std::move(Default));
+  }
+
+  Consumed = I - Index;
+  return SwitchStmt;
+}
+
+unsigned normalizeList(std::vector<std::unique_ptr<Statement>> &Stmts) {
+  unsigned Rewritten = 0;
+  for (size_t I = 0; I < Stmts.size(); ++I) {
+    size_t Consumed = 0;
+    if (auto Replacement = tryBuildSwitch(Stmts, I, Consumed)) {
+      Stmts.erase(Stmts.begin() + static_cast<long>(I),
+                  Stmts.begin() + static_cast<long>(I + Consumed));
+      Stmts.insert(Stmts.begin() + static_cast<long>(I),
+                   std::move(Replacement));
+      ++Rewritten;
+    }
+    Rewritten += normalizeStatement(*Stmts[I]);
+  }
+  return Rewritten;
+}
+
+} // namespace
+
+unsigned vega::normalizeSelectionStatements(FunctionAST &Function) {
+  return normalizeList(Function.Body);
+}

@@ -1,0 +1,28 @@
+//===- ast/Normalize.h - Statement normalization -----------------*- C++ -*-===//
+//
+// Part of the VEGA reproduction project.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Preprocessing normalizations from §3.1 of the paper: equivalent selection
+/// statements (if/else-if equality chains over one scrutinee) are rewritten
+/// into switch statements so that function-group members align structurally.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VEGA_AST_NORMALIZE_H
+#define VEGA_AST_NORMALIZE_H
+
+#include "ast/Statement.h"
+
+namespace vega {
+
+/// Rewrites if/else-if equality chains in \p Function into switch statements
+/// (in place). Returns the number of chains rewritten.
+unsigned normalizeSelectionStatements(FunctionAST &Function);
+
+} // namespace vega
+
+#endif // VEGA_AST_NORMALIZE_H

@@ -1,0 +1,189 @@
+//===- ast/Statement.cpp - Statement-level AST ----------------------------===//
+//
+// Part of the VEGA reproduction project.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+
+#include "ast/Statement.h"
+
+#include <cassert>
+
+using namespace vega;
+
+const char *vega::stmtKindName(StmtKind Kind) {
+  switch (Kind) {
+  case StmtKind::FunctionDef:
+    return "function-def";
+  case StmtKind::Decl:
+    return "decl";
+  case StmtKind::Assign:
+    return "assign";
+  case StmtKind::If:
+    return "if";
+  case StmtKind::ElseIf:
+    return "else-if";
+  case StmtKind::Else:
+    return "else";
+  case StmtKind::Switch:
+    return "switch";
+  case StmtKind::Case:
+    return "case";
+  case StmtKind::Default:
+    return "default";
+  case StmtKind::Return:
+    return "return";
+  case StmtKind::Break:
+    return "break";
+  case StmtKind::Call:
+    return "call";
+  case StmtKind::BlockEnd:
+    return "block-end";
+  case StmtKind::Other:
+    return "other";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<Statement> Statement::clone() const {
+  auto Copy = std::make_unique<Statement>(Kind, Tokens);
+  Copy->Children.reserve(Children.size());
+  for (const auto &Child : Children)
+    Copy->Children.push_back(Child->clone());
+  return Copy;
+}
+
+std::string Statement::text() const { return renderTokens(Tokens); }
+
+bool Statement::opensBlock() const {
+  if (Kind == StmtKind::Case || Kind == StmtKind::Default)
+    return true;
+  return !Tokens.empty() && Tokens.back().isPunct("{");
+}
+
+size_t Statement::treeSize() const {
+  size_t N = 1;
+  for (const auto &Child : Children)
+    N += Child->treeSize();
+  return N;
+}
+
+std::string vega::renderTokens(const std::vector<Token> &Tokens) {
+  std::string Out;
+  for (size_t I = 0, E = Tokens.size(); I != E; ++I) {
+    const Token &T = Tokens[I];
+    if (I != 0) {
+      const Token &Prev = Tokens[I - 1];
+      bool NoSpace = false;
+      // Tight binders: member access, scope, call/array parens.
+      if (T.isPunct(";") || T.isPunct(",") || T.isPunct(")") ||
+          T.isPunct("]") || T.isPunct("::") || T.isPunct(".") ||
+          T.isPunct("->") || T.isPunct("++") || T.isPunct("--") ||
+          T.isPunct(":"))
+        NoSpace = true;
+      if (Prev.isPunct("(") || Prev.isPunct("[") || Prev.isPunct("::") ||
+          Prev.isPunct(".") || Prev.isPunct("->") || Prev.isPunct("!") ||
+          Prev.isPunct("~"))
+        NoSpace = true;
+      // Call parenthesis: identifier immediately followed by '('.
+      if (T.isPunct("(") && (Prev.Kind == TokenKind::Identifier ||
+                             Prev.isPunct("::") || Prev.isPunct(")")))
+        NoSpace = true;
+      if (NoSpace) {
+        Out += T.Text;
+        continue;
+      }
+      Out += ' ';
+    }
+    Out += T.Text;
+  }
+  return Out;
+}
+
+static bool isElseLike(const Statement &Stmt) {
+  return Stmt.Kind == StmtKind::Else || Stmt.Kind == StmtKind::ElseIf;
+}
+
+void vega::renderStatementList(
+    const std::vector<std::unique_ptr<Statement>> &Stmts, int Depth,
+    std::string &Out) {
+  for (size_t I = 0, E = Stmts.size(); I != E; ++I) {
+    const Statement &Stmt = *Stmts[I];
+    bool NextIsElse = I + 1 < E && isElseLike(*Stmts[I + 1]);
+    Out.append(static_cast<size_t>(Depth) * 2, ' ');
+    if (isElseLike(Stmt))
+      Out += "} "; // joins the previous block: "} else {"
+    Out += Stmt.text();
+    Out += '\n';
+    renderStatementList(Stmt.Children, Depth + 1, Out);
+    // Close an explicit brace-opened block unless an else clause follows and
+    // will supply the '}' itself. Case/Default labels have no brace.
+    if (!Stmt.Tokens.empty() && Stmt.Tokens.back().isPunct("{") &&
+        !NextIsElse) {
+      Out.append(static_cast<size_t>(Depth) * 2, ' ');
+      Out += "}\n";
+    }
+  }
+}
+
+void vega::renderStatement(const Statement &Stmt, int Depth,
+                           std::string &Out) {
+  std::vector<std::unique_ptr<Statement>> One;
+  One.push_back(Stmt.clone());
+  renderStatementList(One, Depth, Out);
+}
+
+FunctionAST FunctionAST::clone() const {
+  FunctionAST Copy;
+  Copy.Name = Name;
+  Copy.Qualifier = Qualifier;
+  Copy.Definition = Statement(Definition.Kind, Definition.Tokens);
+  Copy.Body.reserve(Body.size());
+  for (const auto &Stmt : Body)
+    Copy.Body.push_back(Stmt->clone());
+  return Copy;
+}
+
+std::string FunctionAST::render() const {
+  std::string Out = Definition.text();
+  Out += '\n';
+  renderStatementList(Body, 1, Out);
+  Out += "}\n";
+  return Out;
+}
+
+static void flattenInto(const Statement &Stmt, int Depth,
+                        std::vector<FunctionAST::FlatStatement> &Out) {
+  Out.push_back({&Stmt, Depth});
+  for (const auto &Child : Stmt.Children)
+    flattenInto(*Child, Depth + 1, Out);
+}
+
+std::vector<FunctionAST::FlatStatement> FunctionAST::flatten() const {
+  std::vector<FlatStatement> Out;
+  Out.push_back({&Definition, 0});
+  for (const auto &Stmt : Body)
+    flattenInto(*Stmt, 1, Out);
+  return Out;
+}
+
+static void flattenMutableInto(Statement &Stmt, std::vector<Statement *> &Out) {
+  Out.push_back(&Stmt);
+  for (auto &Child : Stmt.Children)
+    flattenMutableInto(*Child, Out);
+}
+
+std::vector<Statement *> FunctionAST::flattenMutable() {
+  std::vector<Statement *> Out;
+  Out.push_back(&Definition);
+  for (auto &Stmt : Body)
+    flattenMutableInto(*Stmt, Out);
+  return Out;
+}
+
+size_t FunctionAST::size() const {
+  size_t N = 1;
+  for (const auto &Stmt : Body)
+    N += Stmt->treeSize();
+  return N;
+}

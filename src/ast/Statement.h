@@ -1,0 +1,118 @@
+//===- ast/Statement.h - Statement-level AST ---------------------*- C++ -*-===//
+//
+// Part of the VEGA reproduction project.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The statement-level program representation the whole pipeline works on.
+/// Following the paper (§3.1), a *statement* is a source line terminated by
+/// one of {';', '{', '}', ','}; block-opening statements own the statements
+/// of their block as children, so a function body forms a statement tree.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VEGA_AST_STATEMENT_H
+#define VEGA_AST_STATEMENT_H
+
+#include "lexer/Token.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace vega {
+
+/// Syntactic category of a statement, used by alignment, normalization, and
+/// the interpreter.
+enum class StmtKind : uint8_t {
+  FunctionDef, ///< "unsigned X::getRelocType(...) {"
+  Decl,        ///< "unsigned Kind = Fixup.getTargetKind();"
+  Assign,      ///< "Kind = 3;"
+  If,          ///< "if (IsPCRel) {"
+  ElseIf,      ///< "} else if (...) {" (normalized away where possible)
+  Else,        ///< "} else {"
+  Switch,      ///< "switch (Kind) {"
+  Case,        ///< "case ARM::fixup_arm_movt_hi16:"
+  Default,     ///< "default:"
+  Return,      ///< "return ELF::R_ARM_MOVT_ABS;"
+  Break,       ///< "break;"
+  Call,        ///< "report_fatal_error(...);"
+  BlockEnd,    ///< "}" closing a block (kept for faithful rendering)
+  Other,       ///< anything else
+};
+
+/// Returns a printable name for \p Kind.
+const char *stmtKindName(StmtKind Kind);
+
+/// One statement plus the statements of the block it opens (if any).
+struct Statement {
+  StmtKind Kind = StmtKind::Other;
+  /// The statement's own tokens, including any trailing '{', ';', or ':'.
+  std::vector<Token> Tokens;
+  /// Statements inside the block this statement opens; for Case/Default, the
+  /// statements until the next label or the end of the switch body.
+  std::vector<std::unique_ptr<Statement>> Children;
+
+  Statement() = default;
+  Statement(StmtKind Kind, std::vector<Token> Tokens)
+      : Kind(Kind), Tokens(std::move(Tokens)) {}
+
+  /// Deep copy.
+  std::unique_ptr<Statement> clone() const;
+
+  /// Single-line rendering of just this statement's tokens.
+  std::string text() const;
+
+  /// True when this statement opens a block ('{' at the end) or is a label.
+  bool opensBlock() const;
+
+  /// Number of statements in this subtree (including this one).
+  size_t treeSize() const;
+};
+
+/// A parsed function: the definition statement plus its body tree.
+struct FunctionAST {
+  std::string Name;        ///< e.g. "getRelocType"
+  std::string Qualifier;   ///< e.g. "ARMELFObjectWriter" (may be empty)
+  Statement Definition;    ///< the FunctionDef statement
+  std::vector<std::unique_ptr<Statement>> Body;
+
+  /// Deep copy.
+  FunctionAST clone() const;
+
+  /// Renders the function back to source text with 2-space indentation.
+  std::string render() const;
+
+  /// Pre-order list of all statements (definition first), with depths.
+  struct FlatStatement {
+    const Statement *Stmt;
+    int Depth;
+  };
+  std::vector<FlatStatement> flatten() const;
+
+  /// Pre-order list of mutable statement pointers (definition first).
+  std::vector<Statement *> flattenMutable();
+
+  /// Total number of statements (definition + body subtrees).
+  size_t size() const;
+};
+
+/// Renders a statement subtree to source lines at \p Depth, appending to
+/// \p Out. Exposed for template rendering.
+void renderStatement(const Statement &Stmt, int Depth, std::string &Out);
+
+/// Renders a statement sequence, joining else clauses onto the closing brace
+/// of the preceding block ("} else {").
+void renderStatementList(const std::vector<std::unique_ptr<Statement>> &Stmts,
+                         int Depth, std::string &Out);
+
+/// Renders a sequence of tokens with canonical single spacing (no space
+/// before ';', ',', ')', '::' joins, etc.). This is the single source of
+/// truth for statement spelling everywhere in the pipeline.
+std::string renderTokens(const std::vector<Token> &Tokens);
+
+} // namespace vega
+
+#endif // VEGA_AST_STATEMENT_H

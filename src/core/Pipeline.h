@@ -1,0 +1,179 @@
+//===- core/Pipeline.h - The VEGA system -------------------------*- C++ -*-===//
+//
+// Part of the VEGA reproduction project.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The top-level VEGA system (Fig. 5): Stage 1 Code-Feature Mapping
+/// (templates + Algorithm 1 + feature vectors), Stage 2 Model Creation
+/// (CodeBE fine-tuning with Eq. (1) confidence labels), and Stage 3
+/// Target-Specific Code Generation (backend synthesis for a new target from
+/// its description files alone, with per-statement confidence scores).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VEGA_CORE_PIPELINE_H
+#define VEGA_CORE_PIPELINE_H
+
+#include "feature/FeatureSelector.h"
+#include "model/CodeBE.h"
+
+#include <memory>
+#include <optional>
+
+namespace vega {
+
+/// One analyzed function template: the template, its features, and derived
+/// per-row metadata.
+struct TemplateInfo {
+  FunctionTemplate FT;
+  TemplateFeatures Features;
+  /// Row → parent row (nullptr for body-level rows and the definition).
+  std::map<const TemplateRow *, const TemplateRow *> Parent;
+  /// Repeatable row → index of the slot whose property drives expansion.
+  std::map<const TemplateRow *, size_t> PrimarySlot;
+};
+
+/// Configuration of a VEGA run.
+struct VegaOptions {
+  CodeBEConfig Model;
+  /// Statements below this confidence are dropped (§3.3, fixed 0.5).
+  double ConfidenceThreshold = 0.5;
+  /// Optional path for caching the fine-tuned weights across processes.
+  std::string WeightCachePath;
+  bool Verbose = false;
+  /// §4.1.2: function-group-based (default) vs backend-based split.
+  enum class SplitKind { FunctionGroup, BackendBased };
+  SplitKind Split = SplitKind::FunctionGroup;
+  double TrainFraction = 0.75;
+  uint64_t SplitSeed = 123;
+  /// Cap on candidates when expanding repeatable rows.
+  int MaxCandidatesPerRow = 40;
+  /// Feature ablations (DESIGN.md §5).
+  bool UseTargetDependentValues = true;
+  bool UseTargetIndependentBools = true;
+};
+
+/// One generated statement with its confidence score.
+struct GeneratedStatement {
+  int RowIndex = -1;
+  double Confidence = 0.0;
+  bool Emitted = false; ///< false when Confidence < threshold
+  std::vector<Token> Tokens;
+  std::string CandidateValue; ///< expansion value for repeatable rows
+};
+
+/// One generated function.
+struct GeneratedFunction {
+  std::string InterfaceName;
+  BackendModule Module = BackendModule::SEL;
+  double Confidence = 0.0; ///< the definition row's score (§3.4)
+  bool Emitted = false;    ///< definition confidence reached the threshold
+  FunctionAST AST;         ///< assembled statement tree (valid when Emitted)
+  std::vector<GeneratedStatement> Statements;
+  /// True when the emitted rows are not all supported by any single
+  /// training target (Fig. 8's "derived from multiple targets").
+  bool MultiTargetDerived = false;
+  double Seconds = 0.0;
+};
+
+/// A full generated backend (Stage 3 output).
+struct GeneratedBackend {
+  std::string TargetName;
+  std::vector<GeneratedFunction> Functions;
+  /// Wall-clock generation time per module (Fig. 7).
+  std::map<BackendModule, double> ModuleSeconds;
+
+  const GeneratedFunction *find(const std::string &InterfaceName) const;
+  double totalSeconds() const;
+};
+
+/// The end-to-end system.
+class VegaSystem {
+public:
+  VegaSystem(const BackendCorpus &Corpus, VegaOptions Options);
+  ~VegaSystem();
+
+  /// Stage 1: builds templates and runs feature selection over the training
+  /// groups. Returns elapsed seconds.
+  double buildTemplates();
+
+  /// Builds the fine-tuning dataset (train + verification split) and the
+  /// vocabulary. Requires buildTemplates().
+  void buildDataset();
+
+  /// Stage 2: fine-tunes CodeBE (or loads cached weights).
+  void trainModel();
+
+  /// Exact Match on the held-out verification pairs (§4.1.2).
+  double verificationExactMatch(size_t MaxPairs = 0);
+
+  /// Stage 3: generates a backend for \p TargetName from its description
+  /// files. The target must exist in the corpus target database.
+  GeneratedBackend generateBackend(const std::string &TargetName);
+
+  // ---- Introspection (tests, benches, examples) ----
+  const std::vector<TemplateInfo> &templates() const { return Templates; }
+  const TemplateInfo *findTemplate(const std::string &InterfaceName) const;
+  CodeBE *model() { return Model.get(); }
+  const FeatureSelector &features() const { return *Selector; }
+  size_t trainPairCount() const { return TrainTexts.size(); }
+  size_t verifyPairCount() const { return VerifyTexts.size(); }
+  size_t trainFunctionCount() const { return TrainFunctions; }
+  size_t verifyFunctionCount() const { return VerifyFunctions; }
+
+  /// Eq. (1): the analytic confidence of row \p Row for \p Target.
+  double analyticConfidence(const TemplateInfo &TI, const TemplateRow &Row,
+                            const std::string &Target, bool Has) const;
+
+  /// Builds the input feature-vector token sequence for one row (exposed
+  /// for tests).
+  std::vector<std::string>
+  buildInputTokens(const TemplateInfo &TI, const TemplateRow &Row,
+                   const std::string &Target,
+                   const std::optional<std::string> &AssignedPrimary,
+                   const std::string &CtxValue) const;
+
+  /// Candidate values for one placeholder slot on \p Target: Algorithm-1
+  /// harvests first, then prefix-renamed training fillers (the analogue of
+  /// subword-level compositionality — "ARMELFObjectWriter" becomes
+  /// "RISCVELFObjectWriter").
+  std::vector<std::string> slotCandidates(const TemplateInfo &TI,
+                                          const TemplateRow &Row,
+                                          size_t SlotIdx,
+                                          const std::string &Target) const;
+
+private:
+  struct TextPair {
+    std::vector<std::string> Src, Dst;
+    std::string Target; ///< which target produced this pair
+  };
+
+  void collectPairsForTarget(const TemplateInfo &TI, const std::string &Target,
+                             bool Implements, std::vector<TextPair> &Out);
+  void buildVocab();
+  TrainPair toIds(const TextPair &Pair) const;
+  GeneratedStatement generateRow(const TemplateInfo &TI,
+                                 const TemplateRow &Row,
+                                 const std::string &Target,
+                                 const std::optional<std::string> &Assigned,
+                                 const std::string &CtxValue);
+
+  const BackendCorpus &Corpus;
+  VegaOptions Options;
+  std::vector<TemplateInfo> Templates;
+  std::unique_ptr<FeatureSelector> Selector;
+  std::vector<TextPair> TrainTexts, VerifyTexts;
+  size_t TrainFunctions = 0, VerifyFunctions = 0;
+  Vocab Vocabulary;
+  std::unique_ptr<CodeBE> Model;
+  /// Tokens allowed unconditionally during constrained decoding (seen in
+  /// the outputs of many distinct targets → target-independent).
+  std::vector<uint8_t> StructuralTokens;
+};
+
+} // namespace vega
+
+#endif // VEGA_CORE_PIPELINE_H

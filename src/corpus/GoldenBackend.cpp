@@ -1,0 +1,974 @@
+//===- corpus/GoldenBackend.cpp - Golden backend functions ------------------===//
+//
+// Part of the VEGA reproduction project.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+///
+/// Every golden implementation below is rendered from target traits under
+/// one invariant: every target-specific token it mentions is derivable from
+/// the target's description files (fixups, relocs, instructions, ISD nodes,
+/// registers, register classes, latencies, alignments, directive strings).
+/// That invariant is what makes the paper's pipeline — generate a backend
+/// from description files alone — well-posed on this corpus.
+///
+//===----------------------------------------------------------------------===//
+
+#include "corpus/GoldenBackend.h"
+
+#include "corpus/SourceBuilder.h"
+
+#include <cassert>
+#include <cctype>
+
+using namespace vega;
+
+namespace {
+
+std::string sc(const TargetTraits &T, const std::string &Member) {
+  return T.Name + "::" + Member;
+}
+
+std::string isdNs(const TargetTraits &T) { return T.Name + "ISD"; }
+
+std::string upperName(const TargetTraits &T) {
+  std::string Out;
+  for (char C : T.Name)
+    Out += static_cast<char>(std::toupper(static_cast<unsigned char>(C)));
+  return Out;
+}
+
+std::string elf(const std::string &Reloc) { return "ELF::" + Reloc; }
+
+const FixupInfo *fixupOf(const TargetTraits &T, FixupClass Class,
+                         bool IsPCRel) {
+  for (const FixupInfo &F : T.Fixups)
+    if (F.Class == Class && F.IsPCRel == IsPCRel)
+      return &F;
+  return nullptr;
+}
+
+bool hasGot(const TargetTraits &T) {
+  return fixupOf(T, FixupClass::Got, true) != nullptr;
+}
+
+std::string instrOf(const TargetTraits &T, InstrClass Class) {
+  const InstrInfo *I = T.findInstr(Class);
+  assert(I && "target lacks an instruction of the requested class");
+  return sc(T, I->Name);
+}
+
+std::string regClass0(const TargetTraits &T) {
+  return sc(T, T.RegisterClasses.front());
+}
+
+// ---------------------------------------------------------------- SEL ----
+
+std::string renderGetTargetNodeName(const TargetTraits &T) {
+  SourceBuilder S;
+  S.open("const char *" + T.Name +
+         "TargetLowering::getTargetNodeName(unsigned Opcode) const {");
+  S.open("switch (Opcode) {");
+  for (const IsdNodeInfo &N : T.IsdNodes) {
+    S.line("case " + isdNs(T) + "::" + N.Name + ":");
+    S.line("  return \"" + isdNs(T) + "::" + N.Name + "\";");
+  }
+  S.line("default:");
+  S.line("  return nullptr;");
+  S.close("}");
+  S.close("}");
+  return S.str();
+}
+
+std::string renderLowerCall(const TargetTraits &T) {
+  SourceBuilder S;
+  S.open("int " + T.Name +
+         "TargetLowering::lowerCall(SelectionDAG &DAG, CallInfo &CI) {");
+  S.line("int Chain = DAG.getNode(ISD::CALLSEQ_START);");
+  S.line("int Callee = DAG.getTargetGlobalAddress(CI.getGlobal());");
+  if (T.HasDelaySlots)
+    S.line("DAG.scheduleDelaySlot(Callee);");
+  S.line("int Call = DAG.getNode(" + isdNs(T) + "::CALL);");
+  S.line("Chain = DAG.getNode(ISD::CALLSEQ_END);");
+  S.line("return Call;");
+  S.close("}");
+  return S.str();
+}
+
+std::string renderLowerReturn(const TargetTraits &T) {
+  SourceBuilder S;
+  S.open("int " + T.Name +
+         "TargetLowering::lowerReturn(SelectionDAG &DAG, CallInfo &CI) {");
+  S.open("if (CI.hasReturnValue()) {");
+  S.line("DAG.copyToReturnRegister(" + sc(T, T.RegisterNames.front()) + ");");
+  S.close("}");
+  S.line("return DAG.getNode(" + isdNs(T) + "::RET_FLAG);");
+  S.close("}");
+  return S.str();
+}
+
+std::string renderLowerGlobalAddress(const TargetTraits &T) {
+  SourceBuilder S;
+  S.open("int " + T.Name +
+         "TargetLowering::lowerGlobalAddress(SelectionDAG &DAG, int GV) {");
+  if (hasGot(T)) {
+    S.open("if (DAG.isPositionIndependent()) {");
+    S.line("return DAG.getNode(" + isdNs(T) + "::Wrapper);");
+    S.close("}");
+  }
+  S.line("int Hi = DAG.getNode(" + isdNs(T) + "::Hi);");
+  S.line("int Lo = DAG.getNode(" + isdNs(T) + "::Lo);");
+  S.line("return DAG.getNode(ISD::ADD);");
+  S.close("}");
+  return S.str();
+}
+
+std::string renderLowerSelectCC(const TargetTraits &T) {
+  SourceBuilder S;
+  S.open("int " + T.Name +
+         "TargetLowering::lowerSelectCC(SelectionDAG &DAG, int Op) {");
+  S.line("int Cond = DAG.getCondition(Op);");
+  S.open("if (DAG.isConstantCondition(Cond)) {");
+  S.line("return DAG.foldConstantSelect(Op);");
+  S.close("}");
+  S.line("return DAG.getNode(" + isdNs(T) + "::SELECT_CC);");
+  S.close("}");
+  return S.str();
+}
+
+std::string renderSelectAddrFI(const TargetTraits &T) {
+  SourceBuilder S;
+  S.open("bool " + T.Name +
+         "DAGToDAGISel::selectAddrFI(int Addr, int &Base) {");
+  S.open("if (DAG.isFrameIndex(Addr)) {");
+  S.line("Base = DAG.getTargetFrameIndex(Addr);");
+  S.line("return true;");
+  S.close("}");
+  if (T.HasCompressed) {
+    S.open("if (DAG.isShortOffset(Addr)) {");
+    S.line("Base = DAG.getTargetConstant(Addr);");
+    S.line("return true;");
+    S.close("}");
+  }
+  S.line("return false;");
+  S.close("}");
+  return S.str();
+}
+
+std::string renderIsLegalICmpImmediate(const TargetTraits &T) {
+  SourceBuilder S;
+  S.open("bool " + T.Name +
+         "TargetLowering::isLegalICmpImmediate(int Imm) const {");
+  S.line("return isIntN(" + std::to_string(T.ImmWidth) + ", Imm);");
+  S.close("}");
+  return S.str();
+}
+
+std::string renderGetRegisterByName(const TargetTraits &T) {
+  SourceBuilder S;
+  S.open("unsigned " + T.Name +
+         "TargetLowering::getRegisterByName(const char *RegName) {");
+  S.open("if (matchRegisterName(RegName, \"" +
+         [&] {
+           std::string L;
+           for (char C : T.StackPointer)
+             L += static_cast<char>(std::tolower(static_cast<unsigned char>(C)));
+           return L;
+         }() +
+         "\")) {");
+  S.line("return " + sc(T, T.StackPointer) + ";");
+  S.close("}");
+  S.open("if (matchRegisterName(RegName, \"" +
+         [&] {
+           std::string L;
+           for (char C : T.ReturnAddressReg)
+             L += static_cast<char>(std::tolower(static_cast<unsigned char>(C)));
+           return L;
+         }() +
+         "\")) {");
+  S.line("return " + sc(T, T.ReturnAddressReg) + ";");
+  S.close("}");
+  S.line("report_fatal_error(\"invalid register name\");");
+  S.close("}");
+  return S.str();
+}
+
+// ---------------------------------------------------------------- REG ----
+
+std::string renderGetReservedRegs(const TargetTraits &T) {
+  SourceBuilder S;
+  S.open("int " + T.Name +
+         "RegisterInfo::getReservedRegs(const MachineFunction &MF) const {");
+  S.line("int Reserved = 0;");
+  S.line("Reserved = markReserved(Reserved, " + sc(T, T.StackPointer) + ");");
+  S.line("Reserved = markReserved(Reserved, " + sc(T, T.ReturnAddressReg) +
+         ");");
+  S.open("if (getFrameLowering(MF).hasFP(MF)) {");
+  S.line("Reserved = markReserved(Reserved, " + sc(T, T.FramePointer) + ");");
+  S.close("}");
+  if (T.hasQuirk("resource_regs")) {
+    S.line("Reserved = markReserved(Reserved, " + sc(T, "CP") + ");");
+    S.line("Reserved = markReserved(Reserved, " + sc(T, "DP") + ");");
+  }
+  S.line("return Reserved;");
+  S.close("}");
+  return S.str();
+}
+
+std::string renderGetCalleeSavedRegs(const TargetTraits &T) {
+  SourceBuilder S;
+  S.open("const int *" + T.Name +
+         "RegisterInfo::getCalleeSavedRegs(const MachineFunction *MF) const "
+         "{");
+  if (T.HasSimd && T.RegisterClasses.size() > 1) {
+    S.open("if (MF->hasVectorArguments()) {");
+    S.line("return getCalleeSavedList(" + sc(T, T.RegisterClasses.back()) +
+           ");");
+    S.close("}");
+  }
+  S.line("return getCalleeSavedList(" + regClass0(T) + ");");
+  S.close("}");
+  return S.str();
+}
+
+std::string renderGetFrameRegister(const TargetTraits &T) {
+  SourceBuilder S;
+  S.open("unsigned " + T.Name +
+         "RegisterInfo::getFrameRegister(const MachineFunction &MF) const {");
+  S.open("if (getFrameLowering(MF).hasFP(MF)) {");
+  S.line("return " + sc(T, T.FramePointer) + ";");
+  S.close("}");
+  S.line("return " + sc(T, T.StackPointer) + ";");
+  S.close("}");
+  return S.str();
+}
+
+std::string renderEliminateFrameIndex(const TargetTraits &T) {
+  SourceBuilder S;
+  S.open("void " + T.Name +
+         "RegisterInfo::eliminateFrameIndex(MachineInstr &MI, int SPAdj, int "
+         "FIOperandNum) const {");
+  S.line("int FrameIndex = MI.getOperand(FIOperandNum);");
+  S.line("int Offset = getFrameIndexOffset(FrameIndex);");
+  S.line("Offset = alignTo(Offset, " + std::to_string(T.StackAlignment) +
+         ");");
+  S.open("if (!isIntN(" + std::to_string(T.ImmWidth) + ", Offset)) {");
+  if (T.HasRegisterScavenging) {
+    S.line("unsigned ScratchReg = RS.scavengeRegister(" + regClass0(T) +
+           ");");
+    S.line("Offset = materializeOffset(ScratchReg, Offset);");
+  } else {
+    S.line("report_fatal_error(\"frame offset out of range\");");
+  }
+  S.close("}");
+  S.line("MI.setOperand(FIOperandNum, Offset);");
+  S.close("}");
+  return S.str();
+}
+
+std::string renderRequiresRegisterScavenging(const TargetTraits &T) {
+  SourceBuilder S;
+  S.open("bool " + T.Name +
+         "RegisterInfo::requiresRegisterScavenging(const MachineFunction "
+         "&MF) const {");
+  S.line(T.HasRegisterScavenging ? "return true;" : "return false;");
+  S.close("}");
+  return S.str();
+}
+
+std::string renderCanRealignStack(const TargetTraits &T) {
+  SourceBuilder S;
+  S.open("bool " + T.Name +
+         "RegisterInfo::canRealignStack(const MachineFunction &MF) const {");
+  S.open("if (MF.hasVarSizedObjects()) {");
+  S.line("return false;");
+  S.close("}");
+  if (T.HasRegisterScavenging)
+    S.line("return true;");
+  else
+    S.line("return MF.getFrameSize() < 256;");
+  S.close("}");
+  return S.str();
+}
+
+std::string renderEmitPrologue(const TargetTraits &T) {
+  SourceBuilder S;
+  S.open("void " + T.Name +
+         "FrameLowering::emitPrologue(MachineFunction &MF) const {");
+  S.line("int StackSize = MF.getFrameSize();");
+  S.line("StackSize = alignTo(StackSize, " + std::to_string(T.StackAlignment) +
+         ");");
+  if (T.hasQuirk("thread_stack"))
+    S.line("StackSize = computeThreadStackSize(MF, StackSize);");
+  S.open("if (StackSize == 0) {");
+  S.line("return;");
+  S.close("}");
+  S.line("adjustStackPointer(" + sc(T, T.StackPointer) + ", -StackSize);");
+  S.open("if (hasFP(MF)) {");
+  S.line("copyRegister(" + sc(T, T.FramePointer) + ", " +
+         sc(T, T.StackPointer) + ");");
+  S.close("}");
+  S.close("}");
+  return S.str();
+}
+
+std::string renderEmitEpilogue(const TargetTraits &T) {
+  SourceBuilder S;
+  S.open("void " + T.Name +
+         "FrameLowering::emitEpilogue(MachineFunction &MF) const {");
+  S.line("int StackSize = MF.getFrameSize();");
+  S.line("StackSize = alignTo(StackSize, " + std::to_string(T.StackAlignment) +
+         ");");
+  if (T.hasQuirk("thread_stack"))
+    S.line("StackSize = computeThreadStackSize(MF, StackSize);");
+  S.open("if (StackSize == 0) {");
+  S.line("return;");
+  S.close("}");
+  S.open("if (hasFP(MF)) {");
+  S.line("copyRegister(" + sc(T, T.StackPointer) + ", " +
+         sc(T, T.FramePointer) + ");");
+  S.close("}");
+  S.line("adjustStackPointer(" + sc(T, T.StackPointer) + ", StackSize);");
+  S.close("}");
+  return S.str();
+}
+
+// ---------------------------------------------------------------- OPT ----
+
+std::string renderIsHardwareLoopProfitable(const TargetTraits &T) {
+  SourceBuilder S;
+  S.open("bool " + T.Name +
+         "TTIImpl::isHardwareLoopProfitable(Loop &L) const {");
+  S.open("if (!L.hasConstantTripCount()) {");
+  S.line("return false;");
+  S.close("}");
+  if (T.hasQuirk("hwloop_align")) {
+    S.open("if (L.getNumBlocks() > 1) {");
+    S.line("return false;");
+    S.close("}");
+  }
+  S.line("return true;");
+  S.close("}");
+  return S.str();
+}
+
+std::string renderConvertToHardwareLoop(const TargetTraits &T) {
+  SourceBuilder S;
+  S.open("bool " + T.Name + "HardwareLoops::convertToHardwareLoop(Loop &L) {");
+  S.open("if (!L.hasConstantTripCount()) {");
+  S.line("return false;");
+  S.close("}");
+  S.line("int TripCount = L.getTripCount();");
+  S.line("insertLoopSetup(" + instrOf(T, InstrClass::HwLoop) +
+         ", TripCount);");
+  S.line("insertLoopEnd(L);");
+  if (T.hasQuirk("event_unit"))
+    S.line("disableEventUnit(L);");
+  S.line("return true;");
+  S.close("}");
+  return S.str();
+}
+
+std::string renderGetVectorRegisterWidth(const TargetTraits &T) {
+  SourceBuilder S;
+  S.open("int " + T.Name + "TTIImpl::getVectorRegisterWidth() const {");
+  S.line("return " + std::to_string(T.VectorWidth) + ";");
+  S.close("}");
+  return S.str();
+}
+
+std::string renderShouldCombineMemAccess(const TargetTraits &T) {
+  SourceBuilder S;
+  S.open("bool " + T.Name +
+         "TTIImpl::shouldCombineMemAccess(int AccessSize) const {");
+  S.open("if (AccessSize > " + std::to_string(T.VectorWidth) + ") {");
+  S.line("return false;");
+  S.close("}");
+  S.line("return true;");
+  S.close("}");
+  return S.str();
+}
+
+std::string renderIsProfitableToHoist(const TargetTraits &T) {
+  SourceBuilder S;
+  S.open("bool " + T.Name +
+         "TargetLowering::isProfitableToHoist(MachineInstr &MI) const {");
+  S.open("if (MI.getOpcode() == " + instrOf(T, InstrClass::Div) + ") {");
+  S.line("return false;");
+  S.close("}");
+  S.line("return true;");
+  S.close("}");
+  return S.str();
+}
+
+std::string renderCombineRedundantMove(const TargetTraits &T) {
+  SourceBuilder S;
+  S.open("bool " + T.Name +
+         "Peephole::combineRedundantMove(MachineInstr &MI) {");
+  S.open("if (MI.getOpcode() != " + instrOf(T, InstrClass::Mov) + ") {");
+  S.line("return false;");
+  S.close("}");
+  S.open("if (MI.getOperand(0) == MI.getOperand(1)) {");
+  S.line("eraseInstruction(MI);");
+  S.line("return true;");
+  S.close("}");
+  S.line("return false;");
+  S.close("}");
+  return S.str();
+}
+
+std::string renderGetLoopAlignment(const TargetTraits &T) {
+  SourceBuilder S;
+  S.open("int " + T.Name + "TTIImpl::getLoopAlignment(Loop &L) const {");
+  if (T.hasQuirk("hwloop_align")) {
+    S.open("if (L.isHardwareLoop()) {");
+    S.line("return 8;");
+    S.close("}");
+  }
+  S.line("return 4;");
+  S.close("}");
+  return S.str();
+}
+
+// ---------------------------------------------------------------- SCH ----
+
+std::string renderGetInstrLatency(const TargetTraits &T) {
+  SourceBuilder S;
+  S.open("int " + T.Name +
+         "InstrInfo::getInstrLatency(MachineInstr &MI) const {");
+  S.open("switch (MI.getOpcode()) {");
+  auto Case = [&](InstrClass Class) {
+    const InstrInfo *I = T.findInstr(Class);
+    if (!I)
+      return;
+    S.line("case " + sc(T, I->Name) + ":");
+    S.line("  return " + std::to_string(I->Cycles) + ";");
+  };
+  Case(InstrClass::Load);
+  Case(InstrClass::Branch);
+  Case(InstrClass::Mul);
+  Case(InstrClass::Div);
+  Case(InstrClass::Simd);
+  Case(InstrClass::Thread);
+  S.line("default:");
+  S.line("  return 1;");
+  S.close("}");
+  S.close("}");
+  return S.str();
+}
+
+std::string renderEnablePostRAScheduler(const TargetTraits &T) {
+  SourceBuilder S;
+  S.open("bool " + T.Name + "Subtarget::enablePostRAScheduler() const {");
+  S.line(T.HasPostRAScheduler ? "return true;" : "return false;");
+  S.close("}");
+  return S.str();
+}
+
+std::string renderShouldScheduleLoadsNear(const TargetTraits &T) {
+  SourceBuilder S;
+  S.open("bool " + T.Name +
+         "InstrInfo::shouldScheduleLoadsNear(int Distance) const {");
+  S.line("return Distance < " + std::to_string(T.LoadLatency) + ";");
+  S.close("}");
+  return S.str();
+}
+
+std::string renderFillDelaySlots(const TargetTraits &T) {
+  SourceBuilder S;
+  S.open("bool " + T.Name +
+         "DelaySlotFiller::fillDelaySlots(MachineBasicBlock &MBB) {");
+  S.open("if (!hasUnfilledSlot(MBB)) {");
+  S.line("return false;");
+  S.close("}");
+  S.line("MachineInstr Filler = findDelayFiller(MBB);");
+  S.open("if (isSafeToMove(Filler)) {");
+  S.line("moveIntoSlot(Filler);");
+  S.line("return true;");
+  S.close("}");
+  S.line("insertNoop(MBB, " + instrOf(T, InstrClass::Mov) + ");");
+  S.line("return true;");
+  S.close("}");
+  return S.str();
+}
+
+std::string renderGetHazardType(const TargetTraits &T) {
+  SourceBuilder S;
+  S.open("int " + T.Name +
+         "HazardRecognizer::getHazardType(MachineInstr &MI, int Stalls) {");
+  S.open("if (MI.isBranch() && Stalls < " + std::to_string(T.BranchLatency) +
+         ") {");
+  S.line("return Hazard;");
+  S.close("}");
+  if (T.HasDelaySlots) {
+    S.open("if (MI.isCall()) {");
+    S.line("return NoopHazard;");
+    S.close("}");
+  }
+  S.line("return NoHazard;");
+  S.close("}");
+  return S.str();
+}
+
+std::string renderIsSchedulingBoundary(const TargetTraits &T) {
+  SourceBuilder S;
+  S.open("bool " + T.Name +
+         "InstrInfo::isSchedulingBoundary(MachineInstr &MI) const {");
+  S.open("if (MI.isCall()) {");
+  S.line("return true;");
+  S.close("}");
+  if (T.HasThreadScheduler) {
+    const InstrInfo *Sync = nullptr;
+    for (const InstrInfo &I : T.Instructions)
+      if (I.Name == "msync")
+        Sync = &I;
+    if (Sync) {
+      S.open("if (MI.getOpcode() == " + sc(T, Sync->Name) + ") {");
+      S.line("return true;");
+      S.close("}");
+    }
+  }
+  S.line("return false;");
+  S.close("}");
+  return S.str();
+}
+
+// ---------------------------------------------------------------- EMI ----
+
+std::string renderGetRelocType(const TargetTraits &T) {
+  // The paper's running example (Fig. 2). HasVariantKind targets route
+  // through an inner helper the preprocessor inlines, mirroring ARM's
+  // GetRelocTypeInner.
+  SourceBuilder S;
+  bool UseInner = T.HasVariantKind;
+  std::string Def = "unsigned " + T.Name +
+                    "ELFObjectWriter::getRelocType(const MCValue &Target, "
+                    "const MCFixup &Fixup, bool IsPCRel) const {";
+  if (UseInner) {
+    S.open(Def);
+    S.line("return GetRelocTypeInner(Target, Fixup, IsPCRel);");
+    S.close("}");
+    S.blank();
+    S.open("unsigned " + T.Name +
+           "ELFObjectWriter::GetRelocTypeInner(const MCValue &Target, const "
+           "MCFixup &Fixup, bool IsPCRel) const {");
+  } else {
+    S.open(Def);
+  }
+
+  S.line("unsigned Kind = Fixup.getTargetKind();");
+  if (T.HasVariantKind)
+    S.line("MCSymbolRefExpr::VariantKind Modifier = "
+           "Target.getAccessVariant();");
+  S.open("if (IsPCRel) {");
+  S.open("switch (Kind) {");
+  S.line("case FK_Data_4:");
+  S.line("  return " + elf("R_" + upperName(T) + "_REL32") + ";");
+  for (const FixupInfo *F : T.pcRelFixups()) {
+    S.line("case " + sc(T, F->Name) + ":");
+    S.line("  return " + elf(F->Reloc) + ";");
+  }
+  S.line("default:");
+  S.line("  report_fatal_error(\"invalid fixup kind\");");
+  S.close("}");
+  S.close("}");
+  if (T.HasVariantKind && hasGot(T)) {
+    S.open("if (Modifier == " + T.Name + "MC::VK_" + T.Name + "_GOT) {");
+    S.line("return " + elf(fixupOf(T, FixupClass::Got, true)->Reloc) + ";");
+    S.close("}");
+  }
+  S.open("switch (Kind) {");
+  S.line("case FK_Data_4:");
+  S.line("  return " + elf(fixupOf(T, FixupClass::Abs32, false)->Reloc) +
+         ";");
+  if (T.Is64Bit && fixupOf(T, FixupClass::Abs64, false)) {
+    S.line("case FK_Data_8:");
+    S.line("  return " + elf(fixupOf(T, FixupClass::Abs64, false)->Reloc) +
+           ";");
+  }
+  for (const FixupInfo *F : T.absFixups()) {
+    if (F->Class == FixupClass::Abs32 || F->Class == FixupClass::Abs64)
+      continue;
+    S.line("case " + sc(T, F->Name) + ":");
+    S.line("  return " + elf(F->Reloc) + ";");
+  }
+  S.line("default:");
+  S.line("  report_fatal_error(\"invalid fixup kind\");");
+  S.close("}");
+  S.close("}");
+  return S.str();
+}
+
+std::string renderApplyFixup(const TargetTraits &T) {
+  SourceBuilder S;
+  S.open("void " + T.Name +
+         "AsmBackend::applyFixup(MCFixup Fixup, int Value) {");
+  S.line("unsigned Kind = Fixup.getTargetKind();");
+  S.line("unsigned NumBytes = getFixupNumBytes(Kind);");
+  S.line("unsigned Offset = Fixup.getOffset();");
+  S.line("Value = adjustFixupValue(Kind, Value);");
+  S.open("if (Value == 0) {");
+  S.line("return;");
+  S.close("}");
+  if (T.IsBigEndian)
+    S.line("writeBytesBigEndian(Offset, NumBytes, Value);");
+  else
+    S.line("writeBytesLittleEndian(Offset, NumBytes, Value);");
+  S.close("}");
+  return S.str();
+}
+
+std::string renderEncodeInstruction(const TargetTraits &T) {
+  SourceBuilder S;
+  S.open("void " + T.Name + "MCCodeEmitter::encodeInstruction(MCInst &MI) {");
+  S.line("unsigned Bits = getBinaryCodeForInstr(MI);");
+  if (T.HasCompressed) {
+    S.open("if (getInstSizeInBytes(MI) == 2) {");
+    S.line("emitUInt16(Bits);");
+    S.line("return;");
+    S.close("}");
+  }
+  if (T.IsBigEndian)
+    S.line("emitBigEndian32(Bits);");
+  else
+    S.line("emitLittleEndian32(Bits);");
+  S.close("}");
+  return S.str();
+}
+
+std::string renderGetNumFixupKinds(const TargetTraits &T) {
+  SourceBuilder S;
+  S.open("unsigned " + T.Name + "AsmBackend::getNumFixupKinds() const {");
+  S.line("return " + sc(T, "NumTargetFixupKinds") + ";");
+  S.close("}");
+  return S.str();
+}
+
+std::string renderGetFixupKindInfo(const TargetTraits &T) {
+  SourceBuilder S;
+  S.open("MCFixupKindInfo " + T.Name +
+         "AsmBackend::getFixupKindInfo(MCFixupKind Kind) const {");
+  S.open("if (Kind < FirstTargetFixupKind) {");
+  S.line("return getGenericFixupKindInfo(Kind);");
+  S.close("}");
+  S.open("switch (Kind) {");
+  for (const FixupInfo &F : T.Fixups) {
+    S.line("case " + sc(T, F.Name) + ":");
+    if (F.IsPCRel)
+      S.line("  return makeFixupKindInfo(FKF_IsPCRel);");
+    else
+      S.line("  return makeFixupKindInfo(0);");
+  }
+  S.line("default:");
+  S.line("  report_fatal_error(\"unknown fixup kind\");");
+  S.close("}");
+  S.close("}");
+  return S.str();
+}
+
+std::string renderNeedsRelocateWithSymbol(const TargetTraits &T) {
+  SourceBuilder S;
+  S.open("bool " + T.Name +
+         "ELFObjectWriter::needsRelocateWithSymbol(unsigned Type) const {");
+  if (hasGot(T)) {
+    S.open("switch (Type) {");
+    S.line("case " + elf(fixupOf(T, FixupClass::Got, true)->Reloc) + ":");
+    S.line("  return true;");
+    S.line("default:");
+    S.line("  return false;");
+    S.close("}");
+  } else {
+    S.line("return false;");
+  }
+  S.close("}");
+  return S.str();
+}
+
+// ---------------------------------------------------------------- ASS ----
+
+std::string renderParseRegister(const TargetTraits &T) {
+  SourceBuilder S;
+  S.open("bool " + T.Name + "AsmParser::parseRegister(unsigned &RegNo) {");
+  S.line("int Name = getLexer().getIdentifier();");
+  S.line("RegNo = matchRegisterName(Name);");
+  if (T.hasQuirk("resource_regs")) {
+    S.open("if (RegNo == 0) {");
+    S.line("RegNo = matchResourceRegister(Name);");
+    S.close("}");
+  }
+  S.open("if (RegNo == 0) {");
+  S.line("return true;");
+  S.close("}");
+  S.line("getLexer().consume();");
+  S.line("return false;");
+  S.close("}");
+  return S.str();
+}
+
+std::string renderParseImmediate(const TargetTraits &T) {
+  SourceBuilder S;
+  S.open("bool " + T.Name + "AsmParser::parseImmediate(int &Result) {");
+  S.open("if (!getLexer().isInteger()) {");
+  S.line("return true;");
+  S.close("}");
+  S.line("Result = getLexer().getIntegerValue();");
+  S.open("if (!isIntN(" + std::to_string(T.ImmWidth) + ", Result)) {");
+  S.line("return emitError(\"immediate out of range\");");
+  S.close("}");
+  S.line("getLexer().consume();");
+  S.line("return false;");
+  S.close("}");
+  return S.str();
+}
+
+std::string renderParseOperand(const TargetTraits &T) {
+  SourceBuilder S;
+  S.open("bool " + T.Name +
+         "AsmParser::parseOperand(OperandVector &Operands) {");
+  S.open("if (!parseRegister(Operands)) {");
+  S.line("return false;");
+  S.close("}");
+  if (T.HasVariantKind) {
+    S.open("if (!parseModifier(Operands)) {");
+    S.line("return false;");
+    S.close("}");
+  }
+  S.open("if (!parseImmediate(Operands)) {");
+  S.line("return false;");
+  S.close("}");
+  S.line("return true;");
+  S.close("}");
+  return S.str();
+}
+
+std::string renderMatchAndEmitInstruction(const TargetTraits &T) {
+  SourceBuilder S;
+  S.open("bool " + T.Name +
+         "AsmParser::matchAndEmitInstruction(unsigned Opcode) {");
+  S.line("unsigned MatchResult = matchInstruction(Opcode);");
+  S.open("if (MatchResult == Match_Success) {");
+  S.line("emitInstruction(Opcode);");
+  S.line("return false;");
+  S.close("}");
+  S.open("if (MatchResult == Match_MissingFeature) {");
+  S.line("return emitError(\"instruction requires a feature\");");
+  S.close("}");
+  S.line("return emitError(\"unknown instruction\");");
+  S.close("}");
+  return S.str();
+}
+
+std::string renderParseDirective(const TargetTraits &T) {
+  std::string DataDirective =
+      T.Category == TargetCategory::IoT ? ".word" : ".long";
+  SourceBuilder S;
+  S.open("bool " + T.Name + "AsmParser::parseDirective(int IDVal) {");
+  S.open("if (isDirective(IDVal, \"" + DataDirective + "\")) {");
+  S.line("parseDataDirective(4);");
+  S.line("return false;");
+  S.close("}");
+  if (T.hasQuirk("event_enable")) {
+    S.open("if (isDirective(IDVal, \".cc_top\")) {");
+    S.line("parseSymbolAttribute();");
+    S.line("return false;");
+    S.close("}");
+  }
+  S.line("return true;");
+  S.close("}");
+  return S.str();
+}
+
+// ---------------------------------------------------------------- DIS ----
+
+std::string renderGetInstruction(const TargetTraits &T) {
+  SourceBuilder S;
+  S.open("int " + T.Name +
+         "Disassembler::getInstruction(MCInst &MI, int Bytes) {");
+  if (T.HasCompressed) {
+    S.open("if (isCompressedInstruction(Bytes)) {");
+    S.line("unsigned Insn16 = readInstruction16(Bytes);");
+    S.line("return decodeInstruction16(MI, Insn16);");
+    S.close("}");
+  }
+  S.line("unsigned Insn = readInstruction32(Bytes);");
+  S.line("int Result = decodeInstruction32(MI, Insn);");
+  S.open("if (Result == MCDisassembler::Fail) {");
+  S.line("return MCDisassembler::Fail;");
+  S.close("}");
+  S.line("return MCDisassembler::Success;");
+  S.close("}");
+  return S.str();
+}
+
+std::string renderDecodeGPRRegisterClass(const TargetTraits &T) {
+  SourceBuilder S;
+  S.open("int " + T.Name +
+         "Disassembler::decodeGPRRegisterClass(MCInst &MI, unsigned RegNo) "
+         "{");
+  S.open("if (RegNo >= " + std::to_string(T.RegisterCount) + ") {");
+  S.line("return MCDisassembler::Fail;");
+  S.close("}");
+  S.line("unsigned Reg = getRegisterFromClass(" + regClass0(T) +
+         ", RegNo);");
+  S.line("MI.addOperand(Reg);");
+  S.line("return MCDisassembler::Success;");
+  S.close("}");
+  return S.str();
+}
+
+std::string renderReadInstruction32(const TargetTraits &T) {
+  SourceBuilder S;
+  S.open("unsigned " + T.Name + "Disassembler::readInstruction32(int Bytes) "
+                               "{");
+  S.line("unsigned Insn = 0;");
+  if (T.IsBigEndian)
+    S.line("Insn = composeBigEndian32(Bytes);");
+  else
+    S.line("Insn = composeLittleEndian32(Bytes);");
+  S.line("return Insn;");
+  S.close("}");
+  return S.str();
+}
+
+std::vector<InterfaceFunctionSpec> buildRegistry() {
+  auto Always = [](const TargetTraits &) { return true; };
+  auto HasHwLoop = [](const TargetTraits &T) { return T.HasHardwareLoop; };
+  auto HasSimdFn = [](const TargetTraits &T) { return T.HasSimd; };
+  auto HasDelay = [](const TargetTraits &T) { return T.HasDelaySlots; };
+  auto HasDis = [](const TargetTraits &T) { return T.HasDisassembler; };
+
+  std::vector<InterfaceFunctionSpec> Registry;
+  auto Add = [&](const char *Name, BackendModule Module,
+                 const char *ClassSuffix,
+                 std::function<std::string(const TargetTraits &)> Render,
+                 std::function<bool(const TargetTraits &)> Applies) {
+    Registry.push_back(
+        {Name, Module, ClassSuffix, std::move(Render), std::move(Applies)});
+  };
+
+  // SEL
+  Add("getTargetNodeName", BackendModule::SEL, "TargetLowering",
+      renderGetTargetNodeName, Always);
+  Add("lowerCall", BackendModule::SEL, "TargetLowering", renderLowerCall,
+      Always);
+  Add("lowerReturn", BackendModule::SEL, "TargetLowering", renderLowerReturn,
+      Always);
+  Add("lowerGlobalAddress", BackendModule::SEL, "TargetLowering",
+      renderLowerGlobalAddress, Always);
+  Add("lowerSelectCC", BackendModule::SEL, "TargetLowering",
+      renderLowerSelectCC, Always);
+  Add("selectAddrFI", BackendModule::SEL, "DAGToDAGISel", renderSelectAddrFI,
+      Always);
+  Add("isLegalICmpImmediate", BackendModule::SEL, "TargetLowering",
+      renderIsLegalICmpImmediate, Always);
+  Add("getRegisterByName", BackendModule::SEL, "TargetLowering",
+      renderGetRegisterByName, Always);
+
+  // REG
+  Add("getReservedRegs", BackendModule::REG, "RegisterInfo",
+      renderGetReservedRegs, Always);
+  Add("getCalleeSavedRegs", BackendModule::REG, "RegisterInfo",
+      renderGetCalleeSavedRegs, Always);
+  Add("getFrameRegister", BackendModule::REG, "RegisterInfo",
+      renderGetFrameRegister, Always);
+  Add("eliminateFrameIndex", BackendModule::REG, "RegisterInfo",
+      renderEliminateFrameIndex, Always);
+  Add("requiresRegisterScavenging", BackendModule::REG, "RegisterInfo",
+      renderRequiresRegisterScavenging, Always);
+  Add("canRealignStack", BackendModule::REG, "RegisterInfo",
+      renderCanRealignStack, Always);
+  Add("emitPrologue", BackendModule::REG, "FrameLowering", renderEmitPrologue,
+      Always);
+  Add("emitEpilogue", BackendModule::REG, "FrameLowering", renderEmitEpilogue,
+      Always);
+
+  // OPT
+  Add("isHardwareLoopProfitable", BackendModule::OPT, "TTIImpl",
+      renderIsHardwareLoopProfitable, HasHwLoop);
+  Add("convertToHardwareLoop", BackendModule::OPT, "HardwareLoops",
+      renderConvertToHardwareLoop, HasHwLoop);
+  Add("getVectorRegisterWidth", BackendModule::OPT, "TTIImpl",
+      renderGetVectorRegisterWidth, HasSimdFn);
+  Add("shouldCombineMemAccess", BackendModule::OPT, "TTIImpl",
+      renderShouldCombineMemAccess, HasSimdFn);
+  Add("isProfitableToHoist", BackendModule::OPT, "TargetLowering",
+      renderIsProfitableToHoist, Always);
+  Add("combineRedundantMove", BackendModule::OPT, "Peephole",
+      renderCombineRedundantMove, Always);
+  Add("getLoopAlignment", BackendModule::OPT, "TTIImpl",
+      renderGetLoopAlignment, Always);
+
+  // SCH
+  Add("getInstrLatency", BackendModule::SCH, "InstrInfo",
+      renderGetInstrLatency, Always);
+  Add("enablePostRAScheduler", BackendModule::SCH, "Subtarget",
+      renderEnablePostRAScheduler, Always);
+  Add("shouldScheduleLoadsNear", BackendModule::SCH, "InstrInfo",
+      renderShouldScheduleLoadsNear, Always);
+  Add("fillDelaySlots", BackendModule::SCH, "DelaySlotFiller",
+      renderFillDelaySlots, HasDelay);
+  Add("getHazardType", BackendModule::SCH, "HazardRecognizer",
+      renderGetHazardType, Always);
+  Add("isSchedulingBoundary", BackendModule::SCH, "InstrInfo",
+      renderIsSchedulingBoundary, Always);
+
+  // EMI
+  Add("getRelocType", BackendModule::EMI, "ELFObjectWriter",
+      renderGetRelocType, Always);
+  Add("applyFixup", BackendModule::EMI, "AsmBackend", renderApplyFixup,
+      Always);
+  Add("encodeInstruction", BackendModule::EMI, "MCCodeEmitter",
+      renderEncodeInstruction, Always);
+  Add("getNumFixupKinds", BackendModule::EMI, "AsmBackend",
+      renderGetNumFixupKinds, Always);
+  Add("getFixupKindInfo", BackendModule::EMI, "AsmBackend",
+      renderGetFixupKindInfo, Always);
+  Add("needsRelocateWithSymbol", BackendModule::EMI, "ELFObjectWriter",
+      renderNeedsRelocateWithSymbol, Always);
+
+  // ASS
+  Add("parseRegister", BackendModule::ASS, "AsmParser", renderParseRegister,
+      Always);
+  Add("parseImmediate", BackendModule::ASS, "AsmParser", renderParseImmediate,
+      Always);
+  Add("parseOperand", BackendModule::ASS, "AsmParser", renderParseOperand,
+      Always);
+  Add("matchAndEmitInstruction", BackendModule::ASS, "AsmParser",
+      renderMatchAndEmitInstruction, Always);
+  Add("parseDirective", BackendModule::ASS, "AsmParser", renderParseDirective,
+      Always);
+
+  // DIS
+  Add("getInstruction", BackendModule::DIS, "Disassembler",
+      renderGetInstruction, HasDis);
+  Add("decodeGPRRegisterClass", BackendModule::DIS, "Disassembler",
+      renderDecodeGPRRegisterClass, HasDis);
+  Add("readInstruction32", BackendModule::DIS, "Disassembler",
+      renderReadInstruction32, HasDis);
+
+  return Registry;
+}
+
+} // namespace
+
+const std::vector<InterfaceFunctionSpec> &vega::interfaceFunctions() {
+  static const std::vector<InterfaceFunctionSpec> Registry = buildRegistry();
+  return Registry;
+}
+
+const InterfaceFunctionSpec *
+vega::findInterfaceFunction(const std::string &Name) {
+  for (const InterfaceFunctionSpec &Spec : interfaceFunctions())
+    if (Spec.Name == Name)
+      return &Spec;
+  return nullptr;
+}
+
+std::vector<const InterfaceFunctionSpec *>
+vega::interfaceFunctionsOf(BackendModule Module) {
+  std::vector<const InterfaceFunctionSpec *> Result;
+  for (const InterfaceFunctionSpec &Spec : interfaceFunctions())
+    if (Spec.Module == Module)
+      Result.push_back(&Spec);
+  return Result;
+}

@@ -1,0 +1,53 @@
+//===- corpus/GoldenBackend.h - Golden backend functions ---------*- C++ -*-===//
+//
+// Part of the VEGA reproduction project.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The registry of interface functions (the paper's "standard compiler
+/// interface functions", e.g. getRelocType) and the golden renderer that
+/// produces each target's manually-written implementation from its traits.
+/// Golden implementations are the training data for existing targets and
+/// the pass@1 ground truth for the held-out targets.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VEGA_CORPUS_GOLDENBACKEND_H
+#define VEGA_CORPUS_GOLDENBACKEND_H
+
+#include "corpus/Modules.h"
+#include "corpus/TargetTraits.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace vega {
+
+/// One standard compiler interface function every backend may implement.
+struct InterfaceFunctionSpec {
+  std::string Name;          ///< e.g. "getRelocType"
+  BackendModule Module;      ///< which of the seven modules it belongs to
+  std::string ClassSuffix;   ///< e.g. "ELFObjectWriter"
+  /// Renders the golden (manually-written) source for \p Traits.
+  std::function<std::string(const TargetTraits &)> Render;
+  /// True when \p Traits implements this interface at all (e.g. hardware
+  /// loop hooks exist only on hardware-loop targets).
+  std::function<bool(const TargetTraits &)> AppliesTo;
+};
+
+/// The full registry, in module order.
+const std::vector<InterfaceFunctionSpec> &interfaceFunctions();
+
+/// Finds a spec by name; nullptr when unknown.
+const InterfaceFunctionSpec *findInterfaceFunction(const std::string &Name);
+
+/// All interface functions of one module.
+std::vector<const InterfaceFunctionSpec *>
+interfaceFunctionsOf(BackendModule Module);
+
+} // namespace vega
+
+#endif // VEGA_CORPUS_GOLDENBACKEND_H

@@ -1,0 +1,67 @@
+//===- corpus/Modules.h - Backend function modules ---------------*- C++ -*-===//
+//
+// Part of the VEGA reproduction project.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The seven backend function modules of Fig. 1: instruction selection,
+/// register allocation, code optimization, scheduling, code emission,
+/// assembly parsing, and disassembly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VEGA_CORPUS_MODULES_H
+#define VEGA_CORPUS_MODULES_H
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace vega {
+
+/// One of the seven function modules of an LLVM-style backend (Fig. 1).
+enum class BackendModule : uint8_t {
+  SEL, ///< Instruction Selection
+  REG, ///< Register Allocation
+  OPT, ///< Code Optimization
+  SCH, ///< Instruction Scheduling
+  EMI, ///< Code Emission
+  ASS, ///< Assembly Parsing
+  DIS, ///< Disassembler
+};
+
+/// Number of modules.
+inline constexpr size_t NumBackendModules = 7;
+
+/// All modules in presentation order (matching the paper's figures).
+inline constexpr std::array<BackendModule, NumBackendModules> AllModules = {
+    BackendModule::SEL, BackendModule::REG, BackendModule::OPT,
+    BackendModule::SCH, BackendModule::EMI, BackendModule::ASS,
+    BackendModule::DIS};
+
+/// Three-letter module name as used in the paper ("SEL", "REG", ...).
+inline const char *moduleName(BackendModule Module) {
+  switch (Module) {
+  case BackendModule::SEL:
+    return "SEL";
+  case BackendModule::REG:
+    return "REG";
+  case BackendModule::OPT:
+    return "OPT";
+  case BackendModule::SCH:
+    return "SCH";
+  case BackendModule::EMI:
+    return "EMI";
+  case BackendModule::ASS:
+    return "ASS";
+  case BackendModule::DIS:
+    return "DIS";
+  }
+  return "???";
+}
+
+} // namespace vega
+
+#endif // VEGA_CORPUS_MODULES_H

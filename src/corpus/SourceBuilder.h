@@ -1,0 +1,63 @@
+//===- corpus/SourceBuilder.h - Indented source rendering --------*- C++ -*-===//
+//
+// Part of the VEGA reproduction project.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helper for rendering golden backend sources and description files with
+/// consistent indentation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VEGA_CORPUS_SOURCEBUILDER_H
+#define VEGA_CORPUS_SOURCEBUILDER_H
+
+#include <string>
+#include <string_view>
+
+namespace vega {
+
+/// Accumulates lines of source text with a running indentation level.
+class SourceBuilder {
+public:
+  /// Appends one line at the current indentation.
+  SourceBuilder &line(std::string_view Text) {
+    Out.append(static_cast<size_t>(Indent) * 2, ' ');
+    Out.append(Text);
+    Out += '\n';
+    return *this;
+  }
+
+  /// Appends a line and increases indentation (for "... {").
+  SourceBuilder &open(std::string_view Text) {
+    line(Text);
+    ++Indent;
+    return *this;
+  }
+
+  /// Decreases indentation and appends \p Text (default "}").
+  SourceBuilder &close(std::string_view Text = "}") {
+    --Indent;
+    line(Text);
+    return *this;
+  }
+
+  /// Appends a blank line.
+  SourceBuilder &blank() {
+    Out += '\n';
+    return *this;
+  }
+
+  /// The accumulated text.
+  std::string str() const { return Out; }
+
+private:
+  std::string Out;
+  int Indent = 0;
+};
+
+} // namespace vega
+
+#endif // VEGA_CORPUS_SOURCEBUILDER_H

@@ -1,0 +1,312 @@
+//===- corpus/SynthFramework.cpp - LLVMDIRs renderer ------------------------===//
+//
+// Part of the VEGA reproduction project.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/SynthFramework.h"
+
+#include "corpus/SourceBuilder.h"
+
+using namespace vega;
+
+const std::vector<std::string> &vega::llvmDirs() {
+  static const std::vector<std::string> Dirs = {
+      "llvm/CodeGen", "llvm/MC", "llvm/BinaryFormat", "llvm/Target"};
+  return Dirs;
+}
+
+std::vector<std::string> vega::targetDirs(const std::string &TargetName) {
+  return {"lib/Target/" + TargetName, "llvm/BinaryFormat/ELFRelocs"};
+}
+
+namespace {
+
+std::string renderMCExprHeader() {
+  SourceBuilder S;
+  S.open("class MCExpr {");
+  S.line("int Kind;");
+  S.close("};");
+  S.blank();
+  S.open("class MCSymbolRefExpr {");
+  S.open("enum VariantKind {");
+  S.line("VK_None,");
+  S.line("VK_GOT,");
+  S.line("VK_TPREL,");
+  S.line("VK_PLT,");
+  S.close("};");
+  S.line("VariantKind getKind();");
+  S.close("};");
+  S.blank();
+  S.open("class MCValue {");
+  S.line("MCSymbolRefExpr getAccessVariant();");
+  S.line("int getConstant();");
+  S.close("};");
+  return S.str();
+}
+
+std::string renderMCFixupHeader() {
+  SourceBuilder S;
+  S.open("enum MCFixupKind {");
+  S.line("FK_NONE,");
+  S.line("FK_Data_1,");
+  S.line("FK_Data_2,");
+  S.line("FK_Data_4,");
+  S.line("FK_Data_8,");
+  S.line("FirstTargetFixupKind = 128,");
+  S.line("MaxTargetFixupKind = 255,");
+  S.close("};");
+  S.blank();
+  S.open("class MCFixup {");
+  S.line("unsigned getTargetKind();");
+  S.line("MCFixupKind getKind();");
+  S.line("int getOffset();");
+  S.close("};");
+  S.blank();
+  S.open("struct MCFixupKindInfo {");
+  S.line("int TargetOffset;");
+  S.line("int TargetSize;");
+  S.line("unsigned Flags;");
+  S.open("enum FixupKindFlags {");
+  S.line("FKF_IsPCRel = 1,");
+  S.line("FKF_IsAlignedDownTo32Bits = 2,");
+  S.close("};");
+  S.close("};");
+  return S.str();
+}
+
+std::string renderMCCoreHeader() {
+  SourceBuilder S;
+  S.open("class MCInst {");
+  S.line("unsigned getOpcode();");
+  S.line("void setOpcode(unsigned Op);");
+  S.line("int getNumOperands();");
+  S.line("void addOperand(int Op);");
+  S.close("};");
+  S.blank();
+  S.open("class MCOperand {");
+  S.line("bool isReg();");
+  S.line("bool isImm();");
+  S.line("unsigned getReg();");
+  S.line("int getImm();");
+  S.close("};");
+  S.blank();
+  S.open("class MCAsmInfo {");
+  S.line("DataDirective = \".data\";");
+  S.line("CommentString = \";\";");
+  S.line("GlobalDirective = \".globl\";");
+  S.line("SupportsDebugInformation = 0;");
+  S.close("};");
+  S.blank();
+  S.open("class MCDisassembler {");
+  S.open("enum DecodeStatus {");
+  S.line("Fail = 0,");
+  S.line("SoftFail = 1,");
+  S.line("Success = 3,");
+  S.close("};");
+  S.close("};");
+  S.blank();
+  S.open("class MCELFObjectTargetWriter {");
+  S.line("unsigned getRelocType(MCValue Target, MCFixup Fixup, bool IsPCRel);");
+  S.close("};");
+  S.blank();
+  S.open("class MCAsmBackend {");
+  S.line("void applyFixup(MCFixup Fixup, int Value);");
+  S.line("unsigned getNumFixupKinds();");
+  S.line("MCFixupKindInfo getFixupKindInfo(MCFixupKind Kind);");
+  S.close("};");
+  S.blank();
+  S.open("class MCCodeEmitter {");
+  S.line("void encodeInstruction(MCInst Inst);");
+  S.close("};");
+  S.blank();
+  S.open("class MCTargetAsmParser {");
+  S.line("bool parseRegister(unsigned RegNo);");
+  S.line("bool parseOperand(int Op);");
+  S.line("bool parseDirective(int DirectiveID);");
+  S.line("bool matchAndEmitInstruction(unsigned Opcode);");
+  S.open("enum MatchResultTy {");
+  S.line("Match_Success,");
+  S.line("Match_MissingFeature,");
+  S.line("Match_InvalidOperand,");
+  S.line("Match_MnemonicFail,");
+  S.close("};");
+  S.close("};");
+  return S.str();
+}
+
+std::string renderCodeGenHeader() {
+  SourceBuilder S;
+  S.open("namespace ISD {");
+  S.open("enum NodeType {");
+  S.line("ADD,");
+  S.line("SUB,");
+  S.line("MUL,");
+  S.line("SDIV,");
+  S.line("LOAD,");
+  S.line("STORE,");
+  S.line("BR,");
+  S.line("BRCOND,");
+  S.line("SELECT,");
+  S.line("SETCC,");
+  S.line("GlobalAddress,");
+  S.line("FrameIndex,");
+  S.line("Constant,");
+  S.line("SHL,");
+  S.line("SRL,");
+  S.line("AND,");
+  S.line("OR,");
+  S.line("XOR,");
+  S.line("CALLSEQ_START,");
+  S.line("CALLSEQ_END,");
+  S.line("BUILTIN_OP_END = 512,");
+  S.close("};");
+  S.close("}");
+  S.blank();
+  S.open("class SelectionDAG {");
+  S.line("int getNode(unsigned Opcode);");
+  S.line("int getRegister(unsigned Reg);");
+  S.line("int getTargetGlobalAddress(int GV);");
+  S.line("int getTargetConstant(int Val);");
+  S.close("};");
+  S.blank();
+  S.open("class MachineInstr {");
+  S.line("unsigned getOpcode();");
+  S.line("int getNumOperands();");
+  S.line("bool isBranch();");
+  S.line("bool isCall();");
+  S.line("bool isLoad();");
+  S.close("};");
+  S.blank();
+  S.open("class MachineFunction {");
+  S.line("int getFrameSize();");
+  S.line("bool hasVarSizedObjects();");
+  S.line("int getNumBlocks();");
+  S.close("};");
+  S.blank();
+  S.open("class MachineBasicBlock {");
+  S.line("int size();");
+  S.line("bool isEntryBlock();");
+  S.close("};");
+  S.blank();
+  S.open("class TargetRegisterInfo {");
+  S.line("int getReservedRegs(MachineFunction MF);");
+  S.line("unsigned getFrameRegister(MachineFunction MF);");
+  S.line("bool requiresRegisterScavenging(MachineFunction MF);");
+  S.line("bool canRealignStack(MachineFunction MF);");
+  S.close("};");
+  S.blank();
+  S.open("class TargetInstrInfo {");
+  S.line("int getInstrLatency(MachineInstr MI);");
+  S.line("bool isSchedulingBoundary(MachineInstr MI);");
+  S.close("};");
+  S.blank();
+  S.open("class TargetLowering {");
+  S.line("int lowerCall(SelectionDAG DAG);");
+  S.line("int lowerReturn(SelectionDAG DAG);");
+  S.line("int lowerGlobalAddress(SelectionDAG DAG);");
+  S.line("bool isLegalICmpImmediate(int Imm);");
+  S.close("};");
+  S.blank();
+  S.open("class TargetFrameLowering {");
+  S.line("void emitPrologue(MachineFunction MF);");
+  S.line("void emitEpilogue(MachineFunction MF);");
+  S.line("bool hasFP(MachineFunction MF);");
+  S.close("};");
+  S.blank();
+  S.open("class ScheduleHazardRecognizer {");
+  S.open("enum HazardType {");
+  S.line("NoHazard,");
+  S.line("Hazard,");
+  S.line("NoopHazard,");
+  S.close("};");
+  S.close("};");
+  S.blank();
+  S.open("class RegScavenger {");
+  S.line("unsigned scavengeRegister(int RC);");
+  S.close("};");
+  return S.str();
+}
+
+std::string renderTargetTd() {
+  // The framework Target.td: TableGen classes whose fields are the
+  // target-independent/dependent property *declarations* (identified sites).
+  SourceBuilder S;
+  S.open("class Target {");
+  S.line("string Name = \"\";");
+  S.line("IsLittleEndian = 1;");
+  S.line("IsBigEndian = 0;");
+  S.line("Is64Bit = 0;");
+  S.line("HasDelaySlots = 0;");
+  S.line("HasHardwareLoop = 0;");
+  S.line("HasVectorUnit = 0;");
+  S.line("HasCompressedISA = 0;");
+  S.line("HasThreadScheduler = 0;");
+  S.line("HasPostRAScheduler = 0;");
+  S.line("UsesRegScavenger = 0;");
+  S.line("ImmWidth = 16;");
+  S.line("VectorWidth = 0;");
+  S.close("};");
+  S.blank();
+  S.open("class Instruction {");
+  S.line("string Mnemonic = \"\";");
+  S.line("OperandType = \"OPERAND_IMMEDIATE\";");
+  S.line("Cycles = 1;");
+  S.line("Size = 4;");
+  S.line("string InstrClass = \"Alu\";");
+  S.close("};");
+  S.blank();
+  S.open("class Register {");
+  S.line("string AsmName = \"\";");
+  S.line("IsReserved = 0;");
+  S.close("};");
+  S.blank();
+  S.open("class RegisterClass {");
+  S.line("RegCount = 0;");
+  S.line("Alignment = 4;");
+  S.close("};");
+  S.blank();
+  S.open("class SchedModel {");
+  S.line("LoadLatency = 1;");
+  S.line("BranchLatency = 1;");
+  S.line("IssueWidth = 1;");
+  S.close("};");
+  S.blank();
+  S.open("class FrameModel {");
+  S.line("StackAlignment = 8;");
+  S.line("NumRegs = 32;");
+  S.line("ReservedRegs = 2;");
+  S.close("};");
+  S.blank();
+  S.open("class SubtargetFeature {");
+  S.line("string FeatureName = \"\";");
+  S.close("};");
+  return S.str();
+}
+
+std::string renderElfHeader() {
+  SourceBuilder S;
+  S.open("namespace ELF {");
+  S.open("enum RelocationType {");
+  S.line("R_NONE = 0,");
+  S.close("};");
+  S.line("ELF_RELOC(R_NONE, 0);");
+  S.close("}");
+  S.blank();
+  S.open("struct ELFObjectFile {");
+  S.line("int SectionCount;");
+  S.close("};");
+  return S.str();
+}
+
+} // namespace
+
+void vega::renderFramework(VirtualFileSystem &VFS) {
+  VFS.addFile("llvm/MC/MCExpr.h", renderMCExprHeader());
+  VFS.addFile("llvm/MC/MCFixup.h", renderMCFixupHeader());
+  VFS.addFile("llvm/MC/MCCore.h", renderMCCoreHeader());
+  VFS.addFile("llvm/CodeGen/CodeGen.h", renderCodeGenHeader());
+  VFS.addFile("llvm/Target/Target.td", renderTargetTd());
+  VFS.addFile("llvm/BinaryFormat/ELF.h", renderElfHeader());
+}

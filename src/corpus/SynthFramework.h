@@ -1,0 +1,37 @@
+//===- corpus/SynthFramework.h - LLVMDIRs renderer ---------------*- C++ -*-===//
+//
+// Part of the VEGA reproduction project.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders the framework side of the synthetic corpus: the LLVM-provided
+/// code under LLVMDIRs = {llvm/CodeGen, llvm/MC, llvm/BinaryFormat,
+/// llvm/Target}. These files are the source of the *PropList* (class names,
+/// enum names, and field/global names) and the *identified sites* Algorithm 1
+/// resolves properties against.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VEGA_CORPUS_SYNTHFRAMEWORK_H
+#define VEGA_CORPUS_SYNTHFRAMEWORK_H
+
+#include "support/VirtualFileSystem.h"
+
+#include <vector>
+
+namespace vega {
+
+/// The LLVMDIRs directory prefixes (paper §2).
+const std::vector<std::string> &llvmDirs();
+
+/// The TGTDIRs directory prefixes for target \p TargetName (paper §2).
+std::vector<std::string> targetDirs(const std::string &TargetName);
+
+/// Writes every framework file into \p VFS.
+void renderFramework(VirtualFileSystem &VFS);
+
+} // namespace vega
+
+#endif // VEGA_CORPUS_SYNTHFRAMEWORK_H

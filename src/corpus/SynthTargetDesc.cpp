@@ -1,0 +1,221 @@
+//===- corpus/SynthTargetDesc.cpp - TGTDIRs renderer ------------------------===//
+//
+// Part of the VEGA reproduction project.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/SynthTargetDesc.h"
+
+#include "corpus/SourceBuilder.h"
+#include "support/StringUtils.h"
+
+using namespace vega;
+
+namespace {
+
+const char *instrClassName(InstrClass Class) {
+  switch (Class) {
+  case InstrClass::Alu:
+    return "Alu";
+  case InstrClass::Mul:
+    return "Mul";
+  case InstrClass::Div:
+    return "Div";
+  case InstrClass::Load:
+    return "Load";
+  case InstrClass::Store:
+    return "Store";
+  case InstrClass::Branch:
+    return "Branch";
+  case InstrClass::Call:
+    return "Call";
+  case InstrClass::Ret:
+    return "Ret";
+  case InstrClass::Mov:
+    return "Mov";
+  case InstrClass::Shift:
+    return "Shift";
+  case InstrClass::Cmp:
+    return "Cmp";
+  case InstrClass::HwLoop:
+    return "HwLoop";
+  case InstrClass::Simd:
+    return "Simd";
+  case InstrClass::Thread:
+    return "Thread";
+  case InstrClass::Compressed:
+    return "Compressed";
+  }
+  return "Alu";
+}
+
+std::string renderTargetTd(const TargetTraits &T) {
+  SourceBuilder S;
+  S.open("def " + T.Name + " : Target {");
+  S.line("Name = \"" + T.Name + "\";");
+  if (T.IsBigEndian)
+    S.line("IsBigEndian = 1;");
+  else
+    S.line("IsLittleEndian = 1;");
+  if (T.Is64Bit)
+    S.line("Is64Bit = 1;");
+  if (T.HasDelaySlots)
+    S.line("HasDelaySlots = 1;");
+  if (T.HasHardwareLoop)
+    S.line("HasHardwareLoop = 1;");
+  if (T.HasSimd)
+    S.line("HasVectorUnit = 1;");
+  if (T.HasCompressed)
+    S.line("HasCompressedISA = 1;");
+  if (T.HasThreadScheduler)
+    S.line("HasThreadScheduler = 1;");
+  if (T.HasPostRAScheduler)
+    S.line("HasPostRAScheduler = 1;");
+  if (T.HasRegisterScavenging)
+    S.line("UsesRegScavenger = 1;");
+  S.line("ImmWidth = " + std::to_string(T.ImmWidth) + ";");
+  if (T.VectorWidth != 0)
+    S.line("VectorWidth = " + std::to_string(T.VectorWidth) + ";");
+  S.close("};");
+  S.blank();
+  S.open("def " + T.Name + "AsmInfo : MCAsmInfo {");
+  S.line(std::string("DataDirective = \"") +
+         (T.Category == TargetCategory::IoT ? ".word" : ".long") + "\";");
+  S.line(std::string("CommentString = \"") +
+         (T.Category == TargetCategory::IoT ? "//" : "#") + "\";");
+  S.close("};");
+  return S.str();
+}
+
+std::string renderInstrInfoTd(const TargetTraits &T) {
+  SourceBuilder S;
+  for (const InstrInfo &I : T.Instructions) {
+    S.open("def " + I.Name + " : Instruction {");
+    S.line("Mnemonic = \"" + lowerString(I.Name) + "\";");
+    S.line(std::string("InstrClass = \"") + instrClassName(I.Class) + "\";");
+    S.line("Cycles = " + std::to_string(I.Cycles) + ";");
+    S.line("Size = " + std::to_string(I.Size) + ";");
+    if (I.Class == InstrClass::Branch || I.Class == InstrClass::Call)
+      S.line("OperandType = \"OPERAND_PCREL\";");
+    S.close("};");
+    S.blank();
+  }
+  return S.str();
+}
+
+std::string renderRegisterInfoTd(const TargetTraits &T) {
+  SourceBuilder S;
+  for (const std::string &RC : T.RegisterClasses) {
+    S.open("def " + RC + " : RegisterClass {");
+    S.line("RegCount = " + std::to_string(T.RegisterCount) + ";");
+    S.line("Alignment = " + std::to_string(T.StackAlignment) + ";");
+    S.close("};");
+    S.blank();
+  }
+  for (const std::string &Reg : T.RegisterNames) {
+    S.open("def " + Reg + " : Register {");
+    S.line("AsmName = \"" + lowerString(Reg) + "\";");
+    if (Reg == T.StackPointer || Reg == T.ReturnAddressReg)
+      S.line("IsReserved = 1;");
+    S.close("};");
+  }
+  S.blank();
+  S.open("def " + T.Name + "Frame : FrameModel {");
+  S.line("StackAlignment = " + std::to_string(T.StackAlignment) + ";");
+  S.line("NumRegs = " + std::to_string(T.RegisterCount) + ";");
+  S.line("ReservedRegs = " + std::to_string(T.ReservedRegCount) + ";");
+  S.close("};");
+  return S.str();
+}
+
+std::string renderScheduleTd(const TargetTraits &T) {
+  SourceBuilder S;
+  S.open("def " + T.Name + "SchedModel : SchedModel {");
+  S.line("LoadLatency = " + std::to_string(T.LoadLatency) + ";");
+  S.line("BranchLatency = " + std::to_string(T.BranchLatency) + ";");
+  S.line("IssueWidth = 1;");
+  S.close("};");
+  return S.str();
+}
+
+std::string renderFixupKindsHeader(const TargetTraits &T) {
+  SourceBuilder S;
+  S.open("namespace " + T.Name + " {");
+  S.open("enum Fixups {");
+  bool First = true;
+  for (const FixupInfo &F : T.Fixups) {
+    if (First) {
+      S.line(F.Name + " = FirstTargetFixupKind,");
+      First = false;
+    } else {
+      S.line(F.Name + ",");
+    }
+  }
+  S.line("LastTargetFixupKind,");
+  S.line("NumTargetFixupKinds = LastTargetFixupKind - FirstTargetFixupKind,");
+  S.close("};");
+  S.close("}");
+  return S.str();
+}
+
+std::string renderIsdHeader(const TargetTraits &T) {
+  SourceBuilder S;
+  S.open("namespace " + T.Name + "ISD {");
+  S.open("enum NodeType {");
+  S.line("FIRST_NUMBER = BUILTIN_OP_END,");
+  for (const IsdNodeInfo &N : T.IsdNodes)
+    S.line(N.Name + ",");
+  S.close("};");
+  S.close("}");
+  return S.str();
+}
+
+std::string renderElfRelocsDef(const TargetTraits &T) {
+  SourceBuilder S;
+  int Id = 0;
+  S.line("ELF_RELOC(R_" + [&] {
+    std::string U;
+    for (char C : T.Name)
+      U += static_cast<char>(std::toupper(static_cast<unsigned char>(C)));
+    return U;
+  }() + "_NONE, " + std::to_string(Id++) + ")");
+  std::string Upper;
+  for (char C : T.Name)
+    Upper += static_cast<char>(std::toupper(static_cast<unsigned char>(C)));
+  S.line("ELF_RELOC(R_" + Upper + "_REL32, " + std::to_string(Id++) + ")");
+  for (const FixupInfo &F : T.Fixups)
+    S.line("ELF_RELOC(" + F.Reloc + ", " + std::to_string(Id++) + ")");
+  return S.str();
+}
+
+std::string renderVariantKindHeader(const TargetTraits &T) {
+  SourceBuilder S;
+  S.open("namespace " + T.Name + "MC {");
+  S.open("enum VariantKind {");
+  S.line("VK_" + T.Name + "_None = 0,");
+  S.line("VK_" + T.Name + "_LO,");
+  S.line("VK_" + T.Name + "_HI,");
+  S.line("VK_" + T.Name + "_GOT,");
+  S.line("VK_" + T.Name + "_TPREL,");
+  S.close("};");
+  S.close("}");
+  return S.str();
+}
+
+} // namespace
+
+void vega::renderTargetDescription(VirtualFileSystem &VFS,
+                                   const TargetTraits &T) {
+  std::string Dir = "lib/Target/" + T.Name + "/";
+  VFS.addFile(Dir + T.Name + ".td", renderTargetTd(T));
+  VFS.addFile(Dir + T.Name + "InstrInfo.td", renderInstrInfoTd(T));
+  VFS.addFile(Dir + T.Name + "RegisterInfo.td", renderRegisterInfoTd(T));
+  VFS.addFile(Dir + T.Name + "Schedule.td", renderScheduleTd(T));
+  VFS.addFile(Dir + T.Name + "FixupKinds.h", renderFixupKindsHeader(T));
+  VFS.addFile(Dir + T.Name + "ISD.h", renderIsdHeader(T));
+  VFS.addFile("llvm/BinaryFormat/ELFRelocs/" + T.Name + ".def",
+              renderElfRelocsDef(T));
+  if (T.HasVariantKind)
+    VFS.addFile(Dir + T.Name + "MCExpr.h", renderVariantKindHeader(T));
+}

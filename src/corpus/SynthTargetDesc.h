@@ -1,0 +1,31 @@
+//===- corpus/SynthTargetDesc.h - TGTDIRs renderer ---------------*- C++ -*-===//
+//
+// Part of the VEGA reproduction project.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders a target's description files (TGTDIRs): the TableGen records,
+/// fixup-kind headers, target ISD node headers, and ELF relocation .def
+/// lists that Algorithm 1 mines for update sites and target-specific
+/// values. For a new target these files are the *only* input VEGA needs
+/// (paper abstract).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VEGA_CORPUS_SYNTHTARGETDESC_H
+#define VEGA_CORPUS_SYNTHTARGETDESC_H
+
+#include "corpus/TargetTraits.h"
+#include "support/VirtualFileSystem.h"
+
+namespace vega {
+
+/// Writes every description file of target \p Traits into \p VFS.
+void renderTargetDescription(VirtualFileSystem &VFS,
+                             const TargetTraits &Traits);
+
+} // namespace vega
+
+#endif // VEGA_CORPUS_SYNTHTARGETDESC_H

@@ -1,0 +1,523 @@
+//===- corpus/TargetTraits.cpp - Synthetic target descriptions -------------===//
+//
+// Part of the VEGA reproduction project.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/TargetTraits.h"
+
+#include "support/StringUtils.h"
+
+#include <cassert>
+#include <cctype>
+
+using namespace vega;
+
+std::string TargetTraits::lowerName() const { return lowerString(Name); }
+
+std::vector<const FixupInfo *> TargetTraits::pcRelFixups() const {
+  std::vector<const FixupInfo *> Result;
+  for (const FixupInfo &F : Fixups)
+    if (F.IsPCRel)
+      Result.push_back(&F);
+  return Result;
+}
+
+std::vector<const FixupInfo *> TargetTraits::absFixups() const {
+  std::vector<const FixupInfo *> Result;
+  for (const FixupInfo &F : Fixups)
+    if (!F.IsPCRel)
+      Result.push_back(&F);
+  return Result;
+}
+
+const InstrInfo *TargetTraits::findInstr(InstrClass Class) const {
+  for (const InstrInfo &I : Instructions)
+    if (I.Class == Class)
+      return &I;
+  return nullptr;
+}
+
+namespace {
+
+/// Per-target spelling convention for fixups and instructions. The spread of
+/// conventions is what gives target-dependent properties genuinely ambiguous
+/// value sets (the paper's Err-V source).
+enum class NamingStyle {
+  Halves16,   ///< hi16/lo16, classic 32-bit RISC (ARM, MIPS, ...)
+  Imm20,      ///< pcrel_hi20/lo12, RISC-V family
+  Pages21,    ///< adrp-style hi21/lo12, AArch64 family
+  Words,      ///< word-offset naming, unusual (xCORE-like)
+};
+
+std::string upperName(const std::string &Name) {
+  std::string Out;
+  for (char C : Name)
+    Out += static_cast<char>(std::toupper(static_cast<unsigned char>(C)));
+  return Out;
+}
+
+void addFixup(TargetTraits &T, FixupClass Class, bool IsPCRel,
+              const std::string &Suffix, const std::string &RelocSuffix) {
+  FixupInfo F;
+  F.Name = "fixup_" + T.lowerName() + "_" + Suffix;
+  F.Reloc = "R_" + upperName(T.Name) + "_" + RelocSuffix;
+  F.Class = Class;
+  F.IsPCRel = IsPCRel;
+  T.Fixups.push_back(std::move(F));
+}
+
+void makeFixups(TargetTraits &T, NamingStyle Style, bool WithGot,
+                bool WithTls) {
+  switch (Style) {
+  case NamingStyle::Halves16:
+    addFixup(T, FixupClass::Abs32, false, "32", "32");
+    addFixup(T, FixupClass::Hi, false, "movt_hi16", "MOVT_ABS");
+    addFixup(T, FixupClass::Lo, false, "movw_lo16", "MOVW_ABS");
+    addFixup(T, FixupClass::Branch, true, "branch24", "BRANCH24");
+    addFixup(T, FixupClass::Call, true, "call24", "CALL24");
+    addFixup(T, FixupClass::Hi, true, "movt_hi16_pcrel", "MOVT_PREL");
+    addFixup(T, FixupClass::Lo, true, "movw_lo16_pcrel", "MOVW_PREL");
+    break;
+  case NamingStyle::Imm20:
+    addFixup(T, FixupClass::Abs32, false, "32", "32");
+    addFixup(T, FixupClass::Hi, false, "hi20", "HI20");
+    addFixup(T, FixupClass::Lo, false, "lo12_i", "LO12_I");
+    addFixup(T, FixupClass::Hi, true, "pcrel_hi20", "PCREL_HI20");
+    addFixup(T, FixupClass::Lo, true, "pcrel_lo12_i", "PCREL_LO12_I");
+    addFixup(T, FixupClass::Branch, true, "branch", "BRANCH");
+    addFixup(T, FixupClass::Call, true, "call", "CALL");
+    break;
+  case NamingStyle::Pages21:
+    addFixup(T, FixupClass::Abs32, false, "abs32", "ABS32");
+    addFixup(T, FixupClass::Hi, false, "adr_hi21", "ADR_PREL_PG_HI21");
+    addFixup(T, FixupClass::Lo, false, "add_lo12", "ADD_ABS_LO12_NC");
+    addFixup(T, FixupClass::Branch, true, "branch26", "JUMP26");
+    addFixup(T, FixupClass::Call, true, "call26", "CALL26");
+    addFixup(T, FixupClass::Hi, true, "adr_prel21", "ADR_PREL_LO21");
+    break;
+  case NamingStyle::Words:
+    addFixup(T, FixupClass::Abs32, false, "word", "WORD");
+    addFixup(T, FixupClass::Hi, false, "dp_high", "DP_HIGH");
+    addFixup(T, FixupClass::Lo, false, "dp_low", "DP_LOW");
+    addFixup(T, FixupClass::Branch, true, "brel", "BREL");
+    addFixup(T, FixupClass::Call, true, "cp_call", "CP_CALL");
+    break;
+  }
+  if (T.Is64Bit)
+    addFixup(T, FixupClass::Abs64, false, "64", "64");
+  if (WithGot)
+    addFixup(T, FixupClass::Got, true, "got", "GOT");
+  if (WithTls) {
+    addFixup(T, FixupClass::TprelHi, false, "tprel_hi", "TPREL_HI");
+    addFixup(T, FixupClass::TprelLo, false, "tprel_lo", "TPREL_LO");
+  }
+}
+
+void addInstr(TargetTraits &T, const std::string &Name, InstrClass Class,
+              int Cycles, int Size = 4) {
+  InstrInfo I;
+  I.Name = Name;
+  I.Class = Class;
+  I.Cycles = Cycles;
+  I.Size = Size;
+  T.Instructions.push_back(std::move(I));
+}
+
+uint64_t nameHash(const std::string &Name) {
+  uint64_t H = 1469598103934665603ULL;
+  for (char C : Name) {
+    H ^= static_cast<unsigned char>(C);
+    H *= 1099511628211ULL;
+  }
+  return H;
+}
+
+/// \p MnemonicStyle: 0 = LLVM-ish "ADDrr", 1 = lowercase "add", 2 = unusual
+/// xCORE-like spellings.
+void makeInstructions(TargetTraits &T, int MnemonicStyle) {
+  auto N = [&](const char *A, const char *B, const char *C) {
+    return MnemonicStyle == 0 ? A : MnemonicStyle == 1 ? B : C;
+  };
+  // Per-target microarchitectural profile: real ISAs disagree on multiply
+  // and divide costs, which is exactly why fork-flow ports of scheduling
+  // hooks break (§4.2).
+  uint64_t H = nameHash(T.Name);
+  int MulCycles = 2 + static_cast<int>((H >> 16) % 4);  // 2..5
+  int DivCycles = 8 + static_cast<int>((H >> 24) % 12); // 8..19
+  addInstr(T, N("ADDrr", "add", "ladd"), InstrClass::Alu, 1);
+  addInstr(T, N("SUBrr", "sub", "lsub"), InstrClass::Alu, 1);
+  addInstr(T, N("ANDrr", "and", "and_"), InstrClass::Alu, 1);
+  addInstr(T, N("ORrr", "or", "or_"), InstrClass::Alu, 1);
+  addInstr(T, N("XORrr", "xor", "xor_"), InstrClass::Alu, 1);
+  addInstr(T, N("MUL", "mul", "lmul"), InstrClass::Mul, MulCycles);
+  addInstr(T, N("DIV", "div", "divu"), InstrClass::Div, DivCycles);
+  addInstr(T, N("LDRi", "lw", "ldw"), InstrClass::Load, T.LoadLatency);
+  addInstr(T, N("STRi", "sw", "stw"), InstrClass::Store, 1);
+  addInstr(T, N("Bcc", "beq", "bt"), InstrClass::Branch, T.BranchLatency);
+  addInstr(T, N("BL", "jal", "blrelative"), InstrClass::Call, 2);
+  addInstr(T, N("RET", "ret", "retsp"), InstrClass::Ret, 2);
+  addInstr(T, N("MOVr", "mv", "setr"), InstrClass::Mov, 1);
+  addInstr(T, N("LSLr", "sll", "shl"), InstrClass::Shift, 1);
+  addInstr(T, N("CMPrr", "slt", "lss"), InstrClass::Cmp, 1);
+  if (T.HasHardwareLoop) {
+    addInstr(T, N("LOOP0", "lp_setup", "lsetup"), InstrClass::HwLoop, 1);
+    addInstr(T, N("ENDLOOP0", "lp_end", "lend"), InstrClass::HwLoop, 0);
+  }
+  if (T.HasSimd) {
+    addInstr(T, N("VADD", "pv_add", "vadd"), InstrClass::Simd, 1);
+    addInstr(T, N("VMUL", "pv_mul", "vmul"), InstrClass::Simd, 3);
+  }
+  if (T.HasCompressed)
+    addInstr(T, N("C_ADD", "c_add", "cadd"), InstrClass::Compressed, 1, 2);
+  if (T.HasThreadScheduler) {
+    addInstr(T, "tstart", InstrClass::Thread, 4);
+    addInstr(T, "tsetr", InstrClass::Thread, 1);
+    addInstr(T, "msync", InstrClass::Thread, 6);
+  }
+}
+
+void makeIsdNodes(TargetTraits &T) {
+  auto Node = [&](const char *Name, InstrClass SelClass) {
+    const InstrInfo *I = T.findInstr(SelClass);
+    T.IsdNodes.push_back(IsdNodeInfo{Name, I ? I->Name : "ADDrr"});
+  };
+  Node("CALL", InstrClass::Call);
+  Node("RET_FLAG", InstrClass::Ret);
+  Node("BR_CC", InstrClass::Branch);
+  Node("SELECT_CC", InstrClass::Cmp);
+  Node("Hi", InstrClass::Mov);
+  Node("Lo", InstrClass::Mov);
+  Node("Wrapper", InstrClass::Mov);
+  if (T.HasHardwareLoop) {
+    Node("LOOP_BEGIN", InstrClass::HwLoop);
+    Node("LOOP_END", InstrClass::HwLoop);
+  }
+  if (T.HasSimd) {
+    Node("VSPLAT", InstrClass::Simd);
+    Node("VADD", InstrClass::Simd);
+  }
+  if (T.HasThreadScheduler) {
+    Node("TSTART", InstrClass::Thread);
+    Node("MSYNC", InstrClass::Thread);
+  }
+}
+
+void makeRegisters(TargetTraits &T, int MnemonicStyle, bool RiscvRegs) {
+  int Visible = T.RegisterCount > 16 ? 16 : T.RegisterCount;
+  // Register-file naming diverges across real targets (x0.. vs $t0.. vs
+  // r0..); homogeneous names would let fork-flow REG ports pass by luck.
+  const char *Prefix = "R";
+  if (RiscvRegs) {
+    Prefix = "X";
+  } else if (MnemonicStyle == 1) {
+    const char *Prefixes[] = {"T", "G", "W", "A", "S"};
+    Prefix = Prefixes[nameHash(T.Name) % 5];
+  }
+  for (int I = 0; I < Visible; ++I)
+    T.RegisterNames.push_back(Prefix + std::to_string(I));
+  if (RiscvRegs) {
+    T.StackPointer = "X2";
+    T.ReturnAddressReg = "X1";
+    T.FramePointer = "X8";
+  } else if (MnemonicStyle == 2) {
+    T.StackPointer = "SP";
+    T.ReturnAddressReg = "LR";
+    T.FramePointer = "R10";
+    T.RegisterNames.push_back("CP");
+    T.RegisterNames.push_back("DP");
+  } else {
+    T.StackPointer = "SP";
+    T.ReturnAddressReg = "LR";
+    T.FramePointer = "R11";
+  }
+  auto AddUnique = [&](const std::string &Name) {
+    for (const std::string &R : T.RegisterNames)
+      if (R == Name)
+        return;
+    T.RegisterNames.push_back(Name);
+  };
+  AddUnique(T.StackPointer);
+  AddUnique(T.ReturnAddressReg);
+  AddUnique(T.FramePointer);
+}
+
+void finishTarget(TargetTraits &T, NamingStyle Style, int MnemonicStyle,
+                  bool WithGot = true, bool WithTls = false,
+                  bool RiscvRegs = false) {
+  // Diversify the microarchitectural numbers per target unless the target
+  // definition pinned them. Homogeneous latencies would let a fork-flow
+  // rename-port of the SCH/REG hooks pass by accident.
+  uint64_t H = nameHash(T.Name);
+  if (T.LoadLatency == 2)
+    T.LoadLatency = 1 + static_cast<int>(H % 4); // 1..4
+  if (T.BranchLatency == 2)
+    T.BranchLatency = 1 + static_cast<int>((H >> 8) % 3); // 1..3
+  if (T.StackAlignment == 8) {
+    const int Aligns[3] = {4, 8, 16};
+    T.StackAlignment = Aligns[(H >> 32) % 3];
+  }
+  switch (Style) {
+  case NamingStyle::Halves16:
+    T.ImmWidth = 16;
+    break;
+  case NamingStyle::Imm20:
+    T.ImmWidth = 12;
+    break;
+  case NamingStyle::Pages21:
+    T.ImmWidth = 21;
+    break;
+  case NamingStyle::Words:
+    T.ImmWidth = 10;
+    break;
+  }
+  if (T.HasSimd && T.VectorWidth == 0)
+    T.VectorWidth = 128;
+  makeFixups(T, Style, WithGot, WithTls);
+  makeInstructions(T, MnemonicStyle);
+  makeIsdNodes(T);
+  makeRegisters(T, MnemonicStyle, RiscvRegs);
+  if (T.RegisterClasses.empty())
+    T.RegisterClasses = {"GPR"};
+}
+
+} // namespace
+
+const std::vector<std::string> &TargetDatabase::evaluationTargetNames() {
+  static const std::vector<std::string> Names = {"RISCV", "RI5CY", "XCORE"};
+  return Names;
+}
+
+std::vector<const TargetTraits *> TargetDatabase::trainingTargets() const {
+  std::vector<const TargetTraits *> Result;
+  for (const TargetTraits &T : Targets) {
+    bool HeldOut = false;
+    for (const std::string &Name : evaluationTargetNames())
+      if (T.Name == Name)
+        HeldOut = true;
+    if (!HeldOut)
+      Result.push_back(&T);
+  }
+  return Result;
+}
+
+const TargetTraits *TargetDatabase::find(const std::string &Name) const {
+  for (const TargetTraits &T : Targets)
+    if (T.Name == Name)
+      return &T;
+  return nullptr;
+}
+
+TargetDatabase TargetDatabase::standard() {
+  TargetDatabase DB;
+
+  auto Make = [](const char *Name, TargetCategory Cat) {
+    TargetTraits T;
+    T.Name = Name;
+    T.Category = Cat;
+    return T;
+  };
+
+  { // ARM: VariantKind, SIMD, scavenging; the paper's first exemplar.
+    TargetTraits T = Make("ARM", TargetCategory::CPU);
+    T.HasVariantKind = true;
+    T.HasSimd = true;
+    T.HasRegisterScavenging = true;
+    T.HasPostRAScheduler = true;
+    T.RegisterCount = 16;
+    T.RegisterClasses = {"GPR", "SPR", "DPR"};
+    finishTarget(T, NamingStyle::Halves16, 0, true, true);
+    DB.add(std::move(T));
+  }
+  { // Mips: big-endian, delay slots; the paper's second exemplar.
+    TargetTraits T = Make("Mips", TargetCategory::CPU);
+    T.IsBigEndian = true;
+    T.HasDelaySlots = true;
+    T.HasRegisterScavenging = true;
+    T.RegisterClasses = {"GPR32", "FGR32"};
+    finishTarget(T, NamingStyle::Halves16, 1, true, true);
+    DB.add(std::move(T));
+  }
+  { // AArch64: 64-bit pages addressing, SIMD.
+    TargetTraits T = Make("AArch64", TargetCategory::CPU);
+    T.Is64Bit = true;
+    T.HasSimd = true;
+    T.HasPostRAScheduler = true;
+    T.StackAlignment = 16;
+    T.RegisterClasses = {"GPR64", "FPR128"};
+    finishTarget(T, NamingStyle::Pages21, 0, true, true);
+    DB.add(std::move(T));
+  }
+  { // PowerPC: big-endian 64-bit, VariantKind, SIMD.
+    TargetTraits T = Make("PPC", TargetCategory::CPU);
+    T.IsBigEndian = true;
+    T.Is64Bit = true;
+    T.HasVariantKind = true;
+    T.HasSimd = true;
+    T.StackAlignment = 16;
+    T.RegisterClasses = {"GPRC", "VRRC"};
+    finishTarget(T, NamingStyle::Halves16, 0, true, true);
+    DB.add(std::move(T));
+  }
+  { // Sparc: big-endian, delay slots, VariantKind.
+    TargetTraits T = Make("Sparc", TargetCategory::CPU);
+    T.IsBigEndian = true;
+    T.HasDelaySlots = true;
+    T.HasVariantKind = true;
+    T.RegisterClasses = {"IntRegs", "FPRegs"};
+    finishTarget(T, NamingStyle::Halves16, 1);
+    DB.add(std::move(T));
+  }
+  { // Hexagon: DSP with hardware loops and SIMD — teaches RI5CY's loops.
+    TargetTraits T = Make("Hexagon", TargetCategory::DSP);
+    T.HasHardwareLoop = true;
+    T.HasSimd = true;
+    T.HasPostRAScheduler = true;
+    T.VectorWidth = 512;
+    T.RegisterClasses = {"IntRegs", "HvxVR"};
+    finishTarget(T, NamingStyle::Imm20, 0);
+    T.Quirks = {"hwloop_align"};
+    DB.add(std::move(T));
+  }
+  { // Lanai: simple 32-bit CPU.
+    TargetTraits T = Make("Lanai", TargetCategory::CPU);
+    finishTarget(T, NamingStyle::Halves16, 0, false);
+    DB.add(std::move(T));
+  }
+  { // MSP430: 16-ish MCU, few registers.
+    TargetTraits T = Make("MSP430", TargetCategory::MCU);
+    T.RegisterCount = 16;
+    T.StackAlignment = 2;
+    finishTarget(T, NamingStyle::Halves16, 1, false);
+    DB.add(std::move(T));
+  }
+  { // AVR: 8-bit MCU.
+    TargetTraits T = Make("AVR", TargetCategory::MCU);
+    T.RegisterCount = 32;
+    T.StackAlignment = 1;
+    T.BranchLatency = 1;
+    finishTarget(T, NamingStyle::Halves16, 1, false);
+    DB.add(std::move(T));
+  }
+  { // BPF: 64-bit kernel VM target.
+    TargetTraits T = Make("BPF", TargetCategory::CPU);
+    T.Is64Bit = true;
+    T.RegisterCount = 11;
+    finishTarget(T, NamingStyle::Imm20, 1, false);
+    DB.add(std::move(T));
+  }
+  { // SystemZ: big-endian 64-bit, VariantKind.
+    TargetTraits T = Make("SystemZ", TargetCategory::CPU);
+    T.IsBigEndian = true;
+    T.Is64Bit = true;
+    T.HasVariantKind = true;
+    T.HasPostRAScheduler = true;
+    finishTarget(T, NamingStyle::Pages21, 0, true, true);
+    DB.add(std::move(T));
+  }
+  { // VE: 64-bit vector engine.
+    TargetTraits T = Make("VE", TargetCategory::CPU);
+    T.Is64Bit = true;
+    T.HasSimd = true;
+    T.StackAlignment = 16;
+    finishTarget(T, NamingStyle::Imm20, 0);
+    DB.add(std::move(T));
+  }
+  { // CSKY: compressed instructions, RISC-V-ish naming.
+    TargetTraits T = Make("CSKY", TargetCategory::CPU);
+    T.HasCompressed = true;
+    T.HasRegisterScavenging = true;
+    finishTarget(T, NamingStyle::Imm20, 1);
+    DB.add(std::move(T));
+  }
+  { // LoongArch: VariantKind + imm20 naming.
+    TargetTraits T = Make("LoongArch", TargetCategory::CPU);
+    T.Is64Bit = true;
+    T.HasVariantKind = true;
+    finishTarget(T, NamingStyle::Imm20, 1, true, true);
+    DB.add(std::move(T));
+  }
+  { // M68k: big-endian CISC-ish.
+    TargetTraits T = Make("M68k", TargetCategory::CPU);
+    T.IsBigEndian = true;
+    T.RegisterCount = 16;
+    finishTarget(T, NamingStyle::Halves16, 0, false);
+    DB.add(std::move(T));
+  }
+  { // ARC: hardware loops like Hexagon.
+    TargetTraits T = Make("ARC", TargetCategory::CPU);
+    T.HasHardwareLoop = true;
+    finishTarget(T, NamingStyle::Halves16, 1);
+    DB.add(std::move(T));
+  }
+  { // Xtensa: configurable DSP.
+    TargetTraits T = Make("Xtensa", TargetCategory::DSP);
+    T.HasRegisterScavenging = true;
+    finishTarget(T, NamingStyle::Imm20, 1, false);
+    DB.add(std::move(T));
+  }
+  { // MicroBlaze: big-endian with delay slots.
+    TargetTraits T = Make("MicroBlaze", TargetCategory::CPU);
+    T.IsBigEndian = true;
+    T.HasDelaySlots = true;
+    finishTarget(T, NamingStyle::Halves16, 1, false);
+    DB.add(std::move(T));
+  }
+  { // Nios2: FPGA soft core.
+    TargetTraits T = Make("Nios2", TargetCategory::MCU);
+    finishTarget(T, NamingStyle::Halves16, 1, false);
+    DB.add(std::move(T));
+  }
+  { // TriCore: automotive MCU with post-RA scheduling.
+    TargetTraits T = Make("TriCore", TargetCategory::MCU);
+    T.HasPostRAScheduler = true;
+    finishTarget(T, NamingStyle::Halves16, 0, false);
+    DB.add(std::move(T));
+  }
+  { // AMDGPU-like GPU target: SIMD-heavy, unusual sizes.
+    TargetTraits T = Make("AMDGPU", TargetCategory::GPU);
+    T.HasSimd = true;
+    T.Is64Bit = true;
+    T.RegisterCount = 256;
+    T.RegisterClasses = {"SGPR", "VGPR"};
+    finishTarget(T, NamingStyle::Pages21, 1, false);
+    DB.add(std::move(T));
+  }
+
+  // -------------------- Evaluation targets (held out) --------------------
+  { // RISC-V: GPP with compressed instructions (Fig. 6: I,M,F,C,...).
+    TargetTraits T = Make("RISCV", TargetCategory::CPU);
+    T.HasCompressed = true;
+    T.HasRegisterScavenging = true;
+    T.RegisterClasses = {"GPR", "FPR32"};
+    finishTarget(T, NamingStyle::Imm20, 1, true, true);
+    T.Quirks = {"compressed_relax"};
+    DB.add(std::move(T));
+  }
+  { // RI5CY: ULP RISC-V with hardware loops + packed SIMD (PULP).
+    TargetTraits T = Make("RI5CY", TargetCategory::ULP);
+    T.HasCompressed = true;
+    T.HasHardwareLoop = true;
+    T.HasSimd = true;
+    T.VectorWidth = 32;
+    T.RegisterClasses = {"GPR"};
+    finishTarget(T, NamingStyle::Imm20, 1, true, false);
+    T.Quirks = {"hwloop_align", "event_unit"};
+    DB.add(std::move(T));
+  }
+  { // xCORE: IoT chip, hardware threads, unusually named instructions,
+    // no disassembler in its LLVM 3.0 port (§4.1.4).
+    TargetTraits T = Make("XCORE", TargetCategory::IoT);
+    T.HasThreadScheduler = true;
+    T.HasDisassembler = false;
+    T.RegisterCount = 12;
+    T.StackAlignment = 4;
+    T.RegisterClasses = {"GRRegs", "RRegs"};
+    finishTarget(T, NamingStyle::Words, 2, false);
+    T.Quirks = {"thread_stack", "resource_regs", "event_enable"};
+    DB.add(std::move(T));
+  }
+
+  return DB;
+}

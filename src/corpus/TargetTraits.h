@@ -1,0 +1,170 @@
+//===- corpus/TargetTraits.h - Synthetic target descriptions -----*- C++ -*-===//
+//
+// Part of the VEGA reproduction project.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Trait records describing each target processor in the synthetic corpus
+/// (SynthLLVM). A target's traits drive everything rendered for it: its
+/// TGTDIRs description files, its golden backend functions, and the cycle
+/// model of its simulator. The corpus substitutes for the 101 GitHub LLVM
+/// backends the paper trains on (see DESIGN.md §2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VEGA_CORPUS_TARGETTRAITS_H
+#define VEGA_CORPUS_TARGETTRAITS_H
+
+#include <string>
+#include <vector>
+
+namespace vega {
+
+/// Broad processor category (Fig. 6(a) of the paper).
+enum class TargetCategory { CPU, GPU, DSP, MCU, IoT, ULP };
+
+/// What a relocation fixup is for; determines which statements mention it.
+enum class FixupClass {
+  Abs32,    ///< plain 32-bit data
+  Abs64,    ///< 64-bit data (only on 64-bit targets)
+  Hi,       ///< upper-immediate half (MOVT / LUI / AUIPC class)
+  Lo,       ///< lower-immediate half
+  Branch,   ///< pc-relative branch
+  Call,     ///< call/plt
+  Got,      ///< GOT-indirect access
+  TprelHi,  ///< TLS hi
+  TprelLo,  ///< TLS lo
+};
+
+/// One target-specific relocation fixup.
+struct FixupInfo {
+  std::string Name;   ///< e.g. "fixup_riscv_pcrel_hi20"
+  std::string Reloc;  ///< e.g. "R_RISCV_PCREL_HI20"
+  FixupClass Class = FixupClass::Abs32;
+  bool IsPCRel = false;
+};
+
+/// Rough functional role of an instruction; drives selection and the cycle
+/// model.
+enum class InstrClass {
+  Alu,      ///< add/sub/logic
+  Mul,
+  Div,
+  Load,
+  Store,
+  Branch,
+  Call,
+  Ret,
+  Mov,
+  Shift,
+  Cmp,
+  HwLoop,   ///< hardware-loop setup (RI5CY-class)
+  Simd,     ///< packed ALU op
+  Thread,   ///< thread scheduler op (xCORE-class)
+  Compressed,
+};
+
+/// One machine instruction of a synthetic target.
+struct InstrInfo {
+  std::string Name;  ///< e.g. "ADDrr", "lp_setup"
+  InstrClass Class = InstrClass::Alu;
+  int Cycles = 1;    ///< simulator cost
+  int Size = 4;      ///< encoding size in bytes
+};
+
+/// A target-specific SelectionDAG-style node name (getTargetNodeName).
+struct IsdNodeInfo {
+  std::string Name;   ///< e.g. "CALL", "HWLOOP"
+  std::string Lowered; ///< instruction it selects to
+};
+
+/// Everything the corpus knows about one target processor.
+struct TargetTraits {
+  std::string Name;          ///< e.g. "RISCV" (used in file names and code)
+  TargetCategory Category = TargetCategory::CPU;
+
+  // Architectural flags: each one gates statements in golden functions, so
+  // they are the honest source of cross-target variation.
+  bool IsBigEndian = false;
+  bool Is64Bit = false;
+  bool HasVariantKind = false;   ///< models ARM's VariantKind statement
+  bool HasDelaySlots = false;    ///< MIPS/Sparc-style branch delay slots
+  bool HasHardwareLoop = false;  ///< Hexagon / RI5CY hardware loops
+  bool HasSimd = false;          ///< packed-SIMD extension
+  bool HasCompressed = false;    ///< 16-bit compressed instructions
+  bool HasThreadScheduler = false; ///< xCORE-style hardware threads
+  bool HasDisassembler = true;   ///< xCORE's LLVM 3.0 port lacks DIS
+  bool HasRegisterScavenging = false;
+  bool HasPostRAScheduler = false;
+
+  int RegisterCount = 32;
+  int ReservedRegCount = 3;      ///< sp, ra/lr, zero-like
+  int StackAlignment = 8;
+  int BranchLatency = 2;
+  int LoadLatency = 2;
+  int ImmWidth = 16;             ///< signed immediate width in bits
+  int VectorWidth = 0;           ///< SIMD register width in bits (0 = none)
+
+  std::vector<FixupInfo> Fixups;
+  std::vector<InstrInfo> Instructions;
+  std::vector<IsdNodeInfo> IsdNodes;
+  std::vector<std::string> RegisterClasses; ///< e.g. {"GPR", "FPR"}
+  std::vector<std::string> RegisterNames;   ///< "X0", "X1", ...
+  std::string StackPointer = "SP";
+  std::string ReturnAddressReg = "LR";
+  std::string FramePointer = "FP";
+
+  /// Free-form quirk tags. A quirk injects statements into specific golden
+  /// functions that few (or no) training targets share; quirks are the
+  /// honest source of the paper's Err-Def failures.
+  std::vector<std::string> Quirks;
+
+  /// True when this target has the given quirk tag.
+  bool hasQuirk(const std::string &Tag) const {
+    for (const std::string &Q : Quirks)
+      if (Q == Tag)
+        return true;
+    return false;
+  }
+
+  /// Lowercase form of Name, used inside fixup identifiers.
+  std::string lowerName() const;
+
+  /// Fixups filtered by PC-relativity.
+  std::vector<const FixupInfo *> pcRelFixups() const;
+  std::vector<const FixupInfo *> absFixups() const;
+
+  /// First instruction of a class, or nullptr.
+  const InstrInfo *findInstr(InstrClass Class) const;
+};
+
+/// The target database: 21 training targets plus the three evaluation
+/// targets of the paper (RISCV, RI5CY, XCORE).
+class TargetDatabase {
+public:
+  /// Builds the standard database used throughout the reproduction.
+  static TargetDatabase standard();
+
+  /// All targets, training first, evaluation targets last.
+  const std::vector<TargetTraits> &targets() const { return Targets; }
+
+  /// Names of the targets held out for evaluation.
+  static const std::vector<std::string> &evaluationTargetNames();
+
+  /// The targets used for training (everything except the held-out three).
+  std::vector<const TargetTraits *> trainingTargets() const;
+
+  /// Lookup by name; nullptr when unknown.
+  const TargetTraits *find(const std::string &Name) const;
+
+  void add(TargetTraits Traits) { Targets.push_back(std::move(Traits)); }
+
+private:
+  std::vector<TargetTraits> Targets;
+};
+
+} // namespace vega
+
+#endif // VEGA_CORPUS_TARGETTRAITS_H

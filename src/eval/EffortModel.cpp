@@ -1,0 +1,66 @@
+//===- eval/EffortModel.cpp - Manual-effort model ----------------------------===//
+//
+// Part of the VEGA reproduction project.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+
+#include "eval/EffortModel.h"
+
+using namespace vega;
+
+// Rates are paper Table 4 hours divided by paper Table 3 manual-statement
+// counts for RISC-V (hours per statement).
+DeveloperProfile vega::developerA() {
+  DeveloperProfile P;
+  P.Name = "Developer A";
+  P.HoursPerStatement = {
+      {BackendModule::SEL, 21.83 / 3747.0},
+      {BackendModule::REG, 0.41 / 35.0},
+      {BackendModule::OPT, 7.23 / 1204.0},
+      {BackendModule::SCH, 3.17 / 281.0},
+      {BackendModule::EMI, 4.15 / 589.0},
+      {BackendModule::ASS, 5.17 / 1310.0},
+      {BackendModule::DIS, 0.58 / 57.0},
+  };
+  return P;
+}
+
+DeveloperProfile vega::developerB() {
+  DeveloperProfile P;
+  P.Name = "Developer B";
+  P.HoursPerStatement = {
+      {BackendModule::SEL, 17.47 / 3747.0},
+      {BackendModule::REG, 0.39 / 35.0},
+      {BackendModule::OPT, 10.87 / 1204.0},
+      {BackendModule::SCH, 3.04 / 281.0},
+      {BackendModule::EMI, 7.47 / 589.0},
+      {BackendModule::ASS, 7.90 / 1310.0},
+      {BackendModule::DIS, 0.98 / 57.0},
+  };
+  return P;
+}
+
+std::map<BackendModule, double>
+vega::estimateRepairHours(const BackendEval &Eval,
+                          const DeveloperProfile &Profile) {
+  std::map<BackendModule, double> Hours;
+  for (BackendModule Module : AllModules) {
+    auto It = Eval.PerModule.find(Module);
+    if (It == Eval.PerModule.end())
+      continue;
+    auto RIt = Profile.HoursPerStatement.find(Module);
+    double Rate = RIt == Profile.HoursPerStatement.end() ? 0.005
+                                                         : RIt->second;
+    Hours[Module] = static_cast<double>(It->second.ManualStatements) * Rate;
+  }
+  return Hours;
+}
+
+double vega::totalRepairHours(const BackendEval &Eval,
+                              const DeveloperProfile &Profile) {
+  double Total = 0.0;
+  for (const auto &[Module, Hours] : estimateRepairHours(Eval, Profile))
+    Total += Hours;
+  return Total;
+}

@@ -1,0 +1,46 @@
+//===- eval/EffortModel.h - Manual-effort model ------------------*- C++ -*-===//
+//
+// Part of the VEGA reproduction project.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The developer-effort model behind Table 4. The paper measured two real
+/// developers repairing the VEGA-generated RISC-V backend; we model hours
+/// as manual-statements × a per-module correction rate calibrated from the
+/// paper's Table 3 (manual statement counts) and Table 4 (hours). The
+/// substitution is documented in DESIGN.md §2.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VEGA_EVAL_EFFORTMODEL_H
+#define VEGA_EVAL_EFFORTMODEL_H
+
+#include "eval/Harness.h"
+
+namespace vega {
+
+/// A developer's per-module repair rate (hours per manual statement).
+struct DeveloperProfile {
+  std::string Name;
+  std::map<BackendModule, double> HoursPerStatement;
+};
+
+/// Developer A: third-year PhD candidate, compiler mid-ends (Table 4).
+DeveloperProfile developerA();
+
+/// Developer B: compiler engineer, RISC-V performance work (Table 4).
+DeveloperProfile developerB();
+
+/// Estimated repair hours per module for \p Eval under \p Profile.
+std::map<BackendModule, double> estimateRepairHours(
+    const BackendEval &Eval, const DeveloperProfile &Profile);
+
+/// Total hours across modules.
+double totalRepairHours(const BackendEval &Eval,
+                        const DeveloperProfile &Profile);
+
+} // namespace vega
+
+#endif // VEGA_EVAL_EFFORTMODEL_H

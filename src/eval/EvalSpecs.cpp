@@ -1,0 +1,652 @@
+//===- eval/EvalSpecs.cpp - Regression-test environments --------------------===//
+//
+// Part of the VEGA reproduction project.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+
+#include "eval/EvalSpecs.h"
+
+#include "corpus/GoldenBackend.h"
+
+using namespace vega;
+
+namespace {
+
+/// Spellings used by the golden sources; environments must bind the same
+/// spellings so symbols compare equal.
+std::string fixupSym(const TargetTraits &T, const FixupInfo &F) {
+  return T.Name + "::" + F.Name;
+}
+
+void setFixupOrdinals(Environment &Env, const TargetTraits &T) {
+  Env.setOrdinal("FK_NONE", 0);
+  Env.setOrdinal("FK_Data_1", 1);
+  Env.setOrdinal("FK_Data_2", 2);
+  Env.setOrdinal("FK_Data_4", 3);
+  Env.setOrdinal("FK_Data_8", 4);
+  Env.setOrdinal("FirstTargetFixupKind", 128);
+  int64_t Ord = 128;
+  for (const FixupInfo &F : T.Fixups)
+    Env.setOrdinal(fixupSym(T, F), Ord++);
+}
+
+/// getRelocType: every fixup kind (plus generic data kinds) × IsPCRel ×
+/// access variant.
+std::vector<Environment> specGetRelocType(const TargetTraits &T) {
+  std::vector<Environment> Envs;
+  std::vector<std::string> Kinds = {"FK_Data_4"};
+  if (T.Is64Bit)
+    Kinds.push_back("FK_Data_8");
+  for (const FixupInfo &F : T.Fixups)
+    Kinds.push_back(fixupSym(T, F));
+
+  std::vector<std::string> Variants = {T.Name + "MC::VK_" + T.Name + "_None"};
+  if (T.HasVariantKind)
+    Variants.push_back(T.Name + "MC::VK_" + T.Name + "_GOT");
+
+  for (const std::string &Kind : Kinds) {
+    for (bool IsPCRel : {false, true}) {
+      for (const std::string &Variant : Variants) {
+        Environment Env;
+        Env.bindCall("Fixup.getTargetKind", Value::symbol(Kind));
+        Env.bind("IsPCRel", Value::boolean(IsPCRel));
+        Env.bindCall("Target.getAccessVariant", Value::symbol(Variant));
+        setFixupOrdinals(Env, T);
+        Envs.push_back(std::move(Env));
+      }
+    }
+  }
+  return Envs;
+}
+
+std::vector<Environment> specApplyFixup(const TargetTraits &T) {
+  std::vector<Environment> Envs;
+  for (const FixupInfo &F : T.Fixups) {
+    for (int64_t V : {int64_t(0), int64_t(0x1234)}) {
+      Environment Env;
+      Env.bindCall("Fixup.getTargetKind", Value::symbol(fixupSym(T, F)));
+      Env.bindCall("Fixup.getOffset", Value::integer(8));
+      Env.bind("Value", Value::integer(V));
+      Env.setIntrinsic([](const std::string &Callee,
+                          const std::vector<Value> &Args)
+                           -> std::optional<Value> {
+        if (Callee == "getFixupNumBytes")
+          return Value::integer(4);
+        if (Callee == "adjustFixupValue" && Args.size() == 2)
+          return Args[1];
+        return std::nullopt;
+      });
+      setFixupOrdinals(Env, T);
+      Envs.push_back(std::move(Env));
+    }
+  }
+  return Envs;
+}
+
+std::vector<Environment> specEncodeInstruction(const TargetTraits &T) {
+  (void)T;
+  std::vector<Environment> Envs;
+  for (int64_t Size : {int64_t(2), int64_t(4)}) {
+    Environment Env;
+    Env.bindCall("getBinaryCodeForInstr", Value::integer(0xabcd));
+    Env.bindCall("getInstSizeInBytes", Value::integer(Size));
+    Envs.push_back(std::move(Env));
+  }
+  return Envs;
+}
+
+std::vector<Environment> specGetFixupKindInfo(const TargetTraits &T) {
+  std::vector<Environment> Envs;
+  std::vector<std::string> Kinds = {"FK_Data_4"};
+  for (const FixupInfo &F : T.Fixups)
+    Kinds.push_back(fixupSym(T, F));
+  for (const std::string &Kind : Kinds) {
+    Environment Env;
+    Env.bind("Kind", Value::symbol(Kind));
+    setFixupOrdinals(Env, T);
+    Env.bindCall("getGenericFixupKindInfo",
+                 Value::symbol("#generic-fixup-info"));
+    Envs.push_back(std::move(Env));
+  }
+  return Envs;
+}
+
+std::vector<Environment> specNeedsRelocate(const TargetTraits &T) {
+  std::vector<Environment> Envs;
+  std::vector<std::string> Types = {"ELF::R_" + [&] {
+    std::string U;
+    for (char C : T.Name)
+      U += static_cast<char>(std::toupper(static_cast<unsigned char>(C)));
+    return U;
+  }() + "_NONE"};
+  for (const FixupInfo &F : T.Fixups)
+    Types.push_back("ELF::" + F.Reloc);
+  for (const std::string &Type : Types) {
+    Environment Env;
+    Env.bind("Type", Value::symbol(Type));
+    Envs.push_back(std::move(Env));
+  }
+  return Envs;
+}
+
+std::vector<Environment> specGetTargetNodeName(const TargetTraits &T) {
+  std::vector<Environment> Envs;
+  for (const IsdNodeInfo &N : T.IsdNodes) {
+    Environment Env;
+    Env.bind("Opcode", Value::symbol(T.Name + "ISD::" + N.Name));
+    Envs.push_back(std::move(Env));
+  }
+  Environment Unknown;
+  Unknown.bind("Opcode", Value::symbol("ISD::ADD"));
+  Envs.push_back(std::move(Unknown));
+  return Envs;
+}
+
+std::vector<Environment> boolGrid(const std::vector<std::string> &CallKeys) {
+  // All combinations of boolean call results for the given keys.
+  std::vector<Environment> Envs;
+  size_t N = CallKeys.size();
+  for (size_t Bits = 0; Bits < (size_t(1) << N); ++Bits) {
+    Environment Env;
+    for (size_t I = 0; I < N; ++I)
+      Env.bindCall(CallKeys[I], Value::boolean((Bits >> I) & 1));
+    Envs.push_back(std::move(Env));
+  }
+  return Envs;
+}
+
+void bindEach(std::vector<Environment> &Envs, const std::string &Key,
+              Value V) {
+  for (Environment &Env : Envs)
+    Env.bindCall(Key, V);
+}
+
+std::vector<Environment> specLowerCall(const TargetTraits &T) {
+  (void)T;
+  std::vector<Environment> Envs(1);
+  bindEach(Envs, "CI.getGlobal", Value::symbol("g"));
+  return Envs;
+}
+
+std::vector<Environment> specLowerReturn(const TargetTraits &T) {
+  (void)T;
+  return boolGrid({"CI.hasReturnValue"});
+}
+
+std::vector<Environment> specLowerGlobalAddress(const TargetTraits &T) {
+  (void)T;
+  return boolGrid({"DAG.isPositionIndependent"});
+}
+
+std::vector<Environment> specLowerSelectCC(const TargetTraits &T) {
+  (void)T;
+  std::vector<Environment> Envs = boolGrid({"DAG.isConstantCondition"});
+  bindEach(Envs, "DAG.getCondition", Value::symbol("cond"));
+  return Envs;
+}
+
+std::vector<Environment> specSelectAddrFI(const TargetTraits &T) {
+  (void)T;
+  return boolGrid({"DAG.isFrameIndex", "DAG.isShortOffset"});
+}
+
+std::vector<Environment> specIsLegalICmpImmediate(const TargetTraits &T) {
+  (void)T;
+  std::vector<Environment> Envs;
+  for (int64_t Imm : {int64_t(0), int64_t(100), int64_t(511), int64_t(512),
+                      int64_t(-512), int64_t(-513), int64_t(2047),
+                      int64_t(2048), int64_t(-2048), int64_t(-2049),
+                      int64_t(32767), int64_t(32768), int64_t(-32768),
+                      int64_t(1048575), int64_t(1048576), int64_t(1 << 21)}) {
+    Environment Env;
+    Env.bind("Imm", Value::integer(Imm));
+    Envs.push_back(std::move(Env));
+  }
+  return Envs;
+}
+
+std::vector<Environment> specGetRegisterByName(const TargetTraits &T) {
+  std::vector<Environment> Envs;
+  std::vector<std::string> Names;
+  auto Lower = [](const std::string &S) {
+    std::string Out;
+    for (char C : S)
+      Out += static_cast<char>(std::tolower(static_cast<unsigned char>(C)));
+    return Out;
+  };
+  Names.push_back(Lower(T.StackPointer));
+  Names.push_back(Lower(T.ReturnAddressReg));
+  Names.push_back("nosuchreg");
+  for (const std::string &Name : Names) {
+    Environment Env;
+    Env.bind("RegName", Value::symbol(Name));
+    Envs.push_back(std::move(Env));
+  }
+  return Envs;
+}
+
+std::vector<Environment> specGetReservedRegs(const TargetTraits &T) {
+  (void)T;
+  std::vector<Environment> Envs = boolGrid({"getFrameLowering().hasFP"});
+  bindEach(Envs, "getFrameLowering", Value::symbol("FL"));
+  return Envs;
+}
+
+std::vector<Environment> specGetCalleeSavedRegs(const TargetTraits &T) {
+  (void)T;
+  return boolGrid({"MF.hasVectorArguments"});
+}
+
+std::vector<Environment> specGetFrameRegister(const TargetTraits &T) {
+  return specGetReservedRegs(T);
+}
+
+std::vector<Environment> specEliminateFrameIndex(const TargetTraits &T) {
+  (void)T;
+  std::vector<Environment> Envs;
+  for (int64_t Offset : {int64_t(0), int64_t(60), int64_t(4000),
+                         int64_t(400000), int64_t(-4)}) {
+    Environment Env;
+    Env.bind("SPAdj", Value::integer(0));
+    Env.bind("FIOperandNum", Value::integer(1));
+    Env.bindCall("MI.getOperand", Value::integer(2));
+    Env.setIntrinsic([Offset](const std::string &Callee,
+                              const std::vector<Value> &)
+                         -> std::optional<Value> {
+      if (Callee == "getFrameIndexOffset")
+        return Value::integer(Offset);
+      return std::nullopt;
+    });
+    Envs.push_back(std::move(Env));
+  }
+  return Envs;
+}
+
+std::vector<Environment> specCanRealignStack(const TargetTraits &T) {
+  (void)T;
+  std::vector<Environment> Envs;
+  for (bool VarSized : {false, true}) {
+    for (int64_t Size : {int64_t(64), int64_t(1000)}) {
+      Environment Env;
+      Env.bindCall("MF.hasVarSizedObjects", Value::boolean(VarSized));
+      Env.bindCall("MF.getFrameSize", Value::integer(Size));
+      Envs.push_back(std::move(Env));
+    }
+  }
+  return Envs;
+}
+
+std::vector<Environment> specEmitPrologueEpilogue(const TargetTraits &T) {
+  (void)T;
+  std::vector<Environment> Envs;
+  for (int64_t Size : {int64_t(0), int64_t(24), int64_t(100)}) {
+    for (bool HasFP : {false, true}) {
+      Environment Env;
+      Env.bindCall("MF.getFrameSize", Value::integer(Size));
+      Env.bindCall("hasFP", Value::boolean(HasFP));
+      Env.setIntrinsic([](const std::string &Callee,
+                          const std::vector<Value> &Args)
+                           -> std::optional<Value> {
+        if (Callee == "computeThreadStackSize" && Args.size() == 2 &&
+            Args[1].isInt())
+          return Value::integer(Args[1].IntV + 16);
+        return std::nullopt;
+      });
+      Envs.push_back(std::move(Env));
+    }
+  }
+  return Envs;
+}
+
+std::vector<Environment> specHardwareLoopProfitable(const TargetTraits &T) {
+  (void)T;
+  std::vector<Environment> Envs;
+  for (bool Const : {false, true}) {
+    for (int64_t Blocks : {int64_t(1), int64_t(3)}) {
+      Environment Env;
+      Env.bindCall("L.hasConstantTripCount", Value::boolean(Const));
+      Env.bindCall("L.getNumBlocks", Value::integer(Blocks));
+      Envs.push_back(std::move(Env));
+    }
+  }
+  return Envs;
+}
+
+std::vector<Environment> specConvertToHardwareLoop(const TargetTraits &T) {
+  std::vector<Environment> Envs = specHardwareLoopProfitable(T);
+  bindEach(Envs, "L.getTripCount", Value::integer(10));
+  return Envs;
+}
+
+std::vector<Environment> specShouldCombineMemAccess(const TargetTraits &T) {
+  (void)T;
+  std::vector<Environment> Envs;
+  for (int64_t Size : {int64_t(16), int64_t(64), int64_t(100), int64_t(200),
+                       int64_t(600), int64_t(2000)}) {
+    Environment Env;
+    Env.bind("AccessSize", Value::integer(Size));
+    Envs.push_back(std::move(Env));
+  }
+  return Envs;
+}
+
+std::vector<Environment> specIsProfitableToHoist(const TargetTraits &T) {
+  std::vector<Environment> Envs;
+  for (const InstrInfo &I : T.Instructions) {
+    if (I.Class != InstrClass::Div && I.Class != InstrClass::Alu &&
+        I.Class != InstrClass::Mul)
+      continue;
+    Environment Env;
+    Env.bindCall("MI.getOpcode", Value::symbol(T.Name + "::" + I.Name));
+    Envs.push_back(std::move(Env));
+  }
+  return Envs;
+}
+
+std::vector<Environment> specCombineRedundantMove(const TargetTraits &T) {
+  std::vector<Environment> Envs;
+  const InstrInfo *Mov = T.findInstr(InstrClass::Mov);
+  const InstrInfo *Alu = T.findInstr(InstrClass::Alu);
+  for (const InstrInfo *I : {Mov, Alu}) {
+    if (!I)
+      continue;
+    for (bool Same : {false, true}) {
+      Environment Env;
+      Env.bindCall("MI.getOpcode", Value::symbol(T.Name + "::" + I->Name));
+      Env.setIntrinsic([Same](const std::string &Callee,
+                              const std::vector<Value> &Args)
+                           -> std::optional<Value> {
+        if (Callee == "MI.getOperand" && !Args.empty() && Args[0].isInt())
+          return Value::integer(Same ? 7 : 7 + Args[0].IntV);
+        return std::nullopt;
+      });
+      Envs.push_back(std::move(Env));
+    }
+  }
+  return Envs;
+}
+
+std::vector<Environment> specGetLoopAlignment(const TargetTraits &T) {
+  (void)T;
+  return boolGrid({"L.isHardwareLoop"});
+}
+
+std::vector<Environment> specGetInstrLatency(const TargetTraits &T) {
+  std::vector<Environment> Envs;
+  for (const InstrInfo &I : T.Instructions) {
+    Environment Env;
+    Env.bindCall("MI.getOpcode", Value::symbol(T.Name + "::" + I.Name));
+    Envs.push_back(std::move(Env));
+  }
+  return Envs;
+}
+
+std::vector<Environment> specShouldScheduleLoadsNear(const TargetTraits &T) {
+  (void)T;
+  std::vector<Environment> Envs;
+  for (int64_t D : {int64_t(0), int64_t(1), int64_t(2), int64_t(3),
+                    int64_t(5)}) {
+    Environment Env;
+    Env.bind("Distance", Value::integer(D));
+    Envs.push_back(std::move(Env));
+  }
+  return Envs;
+}
+
+std::vector<Environment> specFillDelaySlots(const TargetTraits &T) {
+  (void)T;
+  std::vector<Environment> Envs =
+      boolGrid({"hasUnfilledSlot", "isSafeToMove"});
+  bindEach(Envs, "findDelayFiller", Value::symbol("filler"));
+  return Envs;
+}
+
+std::vector<Environment> specGetHazardType(const TargetTraits &T) {
+  (void)T;
+  std::vector<Environment> Envs;
+  for (bool Branch : {false, true}) {
+    for (bool Call : {false, true}) {
+      for (int64_t Stalls : {int64_t(0), int64_t(1), int64_t(2), int64_t(3)}) {
+        Environment Env;
+        Env.bindCall("MI.isBranch", Value::boolean(Branch));
+        Env.bindCall("MI.isCall", Value::boolean(Call));
+        Env.bind("Stalls", Value::integer(Stalls));
+        Envs.push_back(std::move(Env));
+      }
+    }
+  }
+  return Envs;
+}
+
+std::vector<Environment> specIsSchedulingBoundary(const TargetTraits &T) {
+  std::vector<Environment> Envs;
+  std::vector<std::string> Opcodes;
+  if (const InstrInfo *Alu = T.findInstr(InstrClass::Alu))
+    Opcodes.push_back(T.Name + "::" + Alu->Name);
+  for (const InstrInfo &I : T.Instructions)
+    if (I.Name == "msync")
+      Opcodes.push_back(T.Name + "::" + I.Name);
+  for (bool Call : {false, true}) {
+    for (const std::string &Op : Opcodes) {
+      Environment Env;
+      Env.bindCall("MI.isCall", Value::boolean(Call));
+      Env.bindCall("MI.getOpcode", Value::symbol(Op));
+      Envs.push_back(std::move(Env));
+    }
+  }
+  return Envs;
+}
+
+std::vector<Environment> specParseRegister(const TargetTraits &T) {
+  (void)T;
+  std::vector<Environment> Envs;
+  for (int64_t Reg : {int64_t(5), int64_t(0)}) {
+    for (int64_t AltReg : {int64_t(0), int64_t(7)}) {
+      Environment Env;
+      Env.bindCall("getLexer", Value::symbol("LEX"));
+      Env.bindCall("getLexer().getIdentifier", Value::symbol("r3"));
+      Env.setIntrinsic([Reg, AltReg](const std::string &Callee,
+                                     const std::vector<Value> &)
+                           -> std::optional<Value> {
+        if (Callee == "matchRegisterName")
+          return Value::integer(Reg);
+        if (Callee == "matchResourceRegister")
+          return Value::integer(AltReg);
+        return std::nullopt;
+      });
+      Envs.push_back(std::move(Env));
+    }
+  }
+  return Envs;
+}
+
+std::vector<Environment> specParseImmediate(const TargetTraits &T) {
+  (void)T;
+  std::vector<Environment> Envs;
+  for (bool IsInt : {false, true}) {
+    for (int64_t V : {int64_t(5), int64_t(70000), int64_t(-70000),
+                      int64_t(300), int64_t(-300)}) {
+      Environment Env;
+      Env.bindCall("getLexer", Value::symbol("LEX"));
+      Env.bindCall("getLexer().isInteger", Value::boolean(IsInt));
+      Env.bindCall("getLexer().getIntegerValue", Value::integer(V));
+      Envs.push_back(std::move(Env));
+    }
+  }
+  return Envs;
+}
+
+std::vector<Environment> specParseOperand(const TargetTraits &T) {
+  (void)T;
+  return boolGrid({"parseRegister", "parseModifier", "parseImmediate"});
+}
+
+std::vector<Environment> specMatchAndEmit(const TargetTraits &T) {
+  (void)T;
+  std::vector<Environment> Envs;
+  for (const char *Result : {"Match_Success", "Match_MissingFeature",
+                             "Match_InvalidOperand"}) {
+    Environment Env;
+    Env.bindCall("matchInstruction", Value::symbol(Result));
+    Envs.push_back(std::move(Env));
+  }
+  return Envs;
+}
+
+std::vector<Environment> specParseDirective(const TargetTraits &T) {
+  (void)T;
+  std::vector<Environment> Envs;
+  for (const char *Directive : {".long", ".word", ".cc_top", ".unknown"}) {
+    Environment Env;
+    Env.bind("IDVal", Value::symbol(Directive));
+    Envs.push_back(std::move(Env));
+  }
+  return Envs;
+}
+
+std::vector<Environment> specGetInstruction(const TargetTraits &T) {
+  (void)T;
+  std::vector<Environment> Envs;
+  for (bool Compressed : {false, true}) {
+    for (const char *Result : {"MCDisassembler::Success",
+                               "MCDisassembler::Fail"}) {
+      Environment Env;
+      Env.bindCall("isCompressedInstruction", Value::boolean(Compressed));
+      std::string R = Result;
+      Env.setIntrinsic([R](const std::string &Callee,
+                           const std::vector<Value> &)
+                           -> std::optional<Value> {
+        if (Callee == "decodeInstruction32" || Callee == "decodeInstruction16")
+          return Value::symbol(R);
+        return std::nullopt;
+      });
+      Envs.push_back(std::move(Env));
+    }
+  }
+  return Envs;
+}
+
+std::vector<Environment> specDecodeGPR(const TargetTraits &T) {
+  std::vector<Environment> Envs;
+  for (int64_t RegNo : {int64_t(0), int64_t(5),
+                        int64_t(T.RegisterCount - 1),
+                        int64_t(T.RegisterCount), int64_t(200)}) {
+    Environment Env;
+    Env.bind("RegNo", Value::integer(RegNo));
+    Envs.push_back(std::move(Env));
+  }
+  return Envs;
+}
+
+std::vector<Environment> specReadInstruction32(const TargetTraits &T) {
+  (void)T;
+  return {Environment()};
+}
+
+std::vector<Environment> specTrivial(const TargetTraits &T) {
+  (void)T;
+  return {Environment()};
+}
+
+} // namespace
+
+std::vector<Environment>
+vega::buildTestEnvironments(const std::string &InterfaceName,
+                            const TargetTraits &Traits) {
+  if (InterfaceName == "getRelocType")
+    return specGetRelocType(Traits);
+  if (InterfaceName == "applyFixup")
+    return specApplyFixup(Traits);
+  if (InterfaceName == "encodeInstruction")
+    return specEncodeInstruction(Traits);
+  if (InterfaceName == "getNumFixupKinds")
+    return specTrivial(Traits);
+  if (InterfaceName == "getFixupKindInfo")
+    return specGetFixupKindInfo(Traits);
+  if (InterfaceName == "needsRelocateWithSymbol")
+    return specNeedsRelocate(Traits);
+  if (InterfaceName == "getTargetNodeName")
+    return specGetTargetNodeName(Traits);
+  if (InterfaceName == "lowerCall")
+    return specLowerCall(Traits);
+  if (InterfaceName == "lowerReturn")
+    return specLowerReturn(Traits);
+  if (InterfaceName == "lowerGlobalAddress")
+    return specLowerGlobalAddress(Traits);
+  if (InterfaceName == "lowerSelectCC")
+    return specLowerSelectCC(Traits);
+  if (InterfaceName == "selectAddrFI")
+    return specSelectAddrFI(Traits);
+  if (InterfaceName == "isLegalICmpImmediate")
+    return specIsLegalICmpImmediate(Traits);
+  if (InterfaceName == "getRegisterByName")
+    return specGetRegisterByName(Traits);
+  if (InterfaceName == "getReservedRegs")
+    return specGetReservedRegs(Traits);
+  if (InterfaceName == "getCalleeSavedRegs")
+    return specGetCalleeSavedRegs(Traits);
+  if (InterfaceName == "getFrameRegister")
+    return specGetFrameRegister(Traits);
+  if (InterfaceName == "eliminateFrameIndex")
+    return specEliminateFrameIndex(Traits);
+  if (InterfaceName == "requiresRegisterScavenging")
+    return specTrivial(Traits);
+  if (InterfaceName == "canRealignStack")
+    return specCanRealignStack(Traits);
+  if (InterfaceName == "emitPrologue" || InterfaceName == "emitEpilogue")
+    return specEmitPrologueEpilogue(Traits);
+  if (InterfaceName == "isHardwareLoopProfitable")
+    return specHardwareLoopProfitable(Traits);
+  if (InterfaceName == "convertToHardwareLoop")
+    return specConvertToHardwareLoop(Traits);
+  if (InterfaceName == "getVectorRegisterWidth")
+    return specTrivial(Traits);
+  if (InterfaceName == "shouldCombineMemAccess")
+    return specShouldCombineMemAccess(Traits);
+  if (InterfaceName == "isProfitableToHoist")
+    return specIsProfitableToHoist(Traits);
+  if (InterfaceName == "combineRedundantMove")
+    return specCombineRedundantMove(Traits);
+  if (InterfaceName == "getLoopAlignment")
+    return specGetLoopAlignment(Traits);
+  if (InterfaceName == "getInstrLatency")
+    return specGetInstrLatency(Traits);
+  if (InterfaceName == "enablePostRAScheduler")
+    return specTrivial(Traits);
+  if (InterfaceName == "shouldScheduleLoadsNear")
+    return specShouldScheduleLoadsNear(Traits);
+  if (InterfaceName == "fillDelaySlots")
+    return specFillDelaySlots(Traits);
+  if (InterfaceName == "getHazardType")
+    return specGetHazardType(Traits);
+  if (InterfaceName == "isSchedulingBoundary")
+    return specIsSchedulingBoundary(Traits);
+  if (InterfaceName == "parseRegister")
+    return specParseRegister(Traits);
+  if (InterfaceName == "parseImmediate")
+    return specParseImmediate(Traits);
+  if (InterfaceName == "parseOperand")
+    return specParseOperand(Traits);
+  if (InterfaceName == "matchAndEmitInstruction")
+    return specMatchAndEmit(Traits);
+  if (InterfaceName == "parseDirective")
+    return specParseDirective(Traits);
+  if (InterfaceName == "getInstruction")
+    return specGetInstruction(Traits);
+  if (InterfaceName == "decodeGPRRegisterClass")
+    return specDecodeGPR(Traits);
+  if (InterfaceName == "readInstruction32")
+    return specReadInstruction32(Traits);
+  return specTrivial(Traits);
+}
+
+size_t vega::regressionCaseCount(const TargetTraits &Traits) {
+  size_t Count = 0;
+  for (const InterfaceFunctionSpec &Spec : interfaceFunctions()) {
+    if (!Spec.AppliesTo(Traits))
+      continue;
+    Count += buildTestEnvironments(Spec.Name, Traits).size();
+  }
+  return Count;
+}

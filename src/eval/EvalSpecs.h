@@ -1,0 +1,40 @@
+//===- eval/EvalSpecs.h - Regression-test environments -----------*- C++ -*-===//
+//
+// Part of the VEGA reproduction project.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Per-interface-function regression suites (the stand-in for the paper's
+/// LLVM regression tests, §4.1.3). Each spec derives, from a target's
+/// traits, a set of interpreter environments that exercise the function's
+/// behaviour: every fixup kind × PC-relativity for getRelocType, every
+/// opcode for getInstrLatency, offset/alignment grids for frame lowering,
+/// and so on. pass@1 runs the generated and golden implementations under
+/// identical environments and demands behavioural equivalence.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VEGA_EVAL_EVALSPECS_H
+#define VEGA_EVAL_EVALSPECS_H
+
+#include "corpus/TargetTraits.h"
+#include "interp/Interpreter.h"
+
+#include <vector>
+
+namespace vega {
+
+/// Builds the regression environments for \p InterfaceName on \p Traits.
+/// Unknown interface names get a single empty environment (the function is
+/// then judged on its unconditioned behaviour).
+std::vector<Environment> buildTestEnvironments(const std::string &InterfaceName,
+                                               const TargetTraits &Traits);
+
+/// Total number of regression cases for a whole backend of \p Traits.
+size_t regressionCaseCount(const TargetTraits &Traits);
+
+} // namespace vega
+
+#endif // VEGA_EVAL_EVALSPECS_H

@@ -1,0 +1,87 @@
+//===- eval/Harness.h - pass@1 and statement accuracy ------------*- C++ -*-===//
+//
+// Part of the VEGA reproduction project.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The evaluation harness (§4.1.4): pass@1 function accuracy (a generated
+/// function substitutes the golden one and must behave identically on the
+/// regression environments), statement-level accuracy (Fig. 9 / Table 3),
+/// the Err-V / Err-CS / Err-Def taxonomy (Table 2), and module aggregates.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VEGA_EVAL_HARNESS_H
+#define VEGA_EVAL_HARNESS_H
+
+#include "core/Pipeline.h"
+#include "corpus/Corpus.h"
+
+namespace vega {
+
+/// Evaluation of one generated function against its golden counterpart.
+struct FunctionEval {
+  std::string InterfaceName;
+  BackendModule Module = BackendModule::SEL;
+  bool GoldenExists = false;
+  bool Generated = false;   ///< VEGA emitted it
+  bool Accurate = false;    ///< pass@1 verdict
+  double Confidence = 0.0;
+  bool MultiTargetDerived = false;
+  size_t GoldenStatements = 0;
+  size_t AccurateStatements = 0; ///< generated statements matching golden
+  size_t ManualStatements = 0;   ///< statements to fix/add/delete by hand
+  bool ErrV = false;   ///< wrong target-specific value in a matched stmt
+  bool ErrCS = false;  ///< confidence contradicts correctness
+  bool ErrDef = false; ///< missing necessary statements / function
+};
+
+/// Whole-backend evaluation.
+struct BackendEval {
+  std::string TargetName;
+  std::vector<FunctionEval> Functions;
+
+  struct ModuleStats {
+    size_t Functions = 0;
+    size_t AccurateFunctions = 0;
+    size_t AccurateHighConfidence = 0; ///< accurate with CS ≈ 1.00
+    size_t MultiTarget = 0;            ///< accurate & multi-target derived
+    size_t AccurateStatements = 0;
+    size_t ManualStatements = 0;
+  };
+  std::map<BackendModule, ModuleStats> PerModule;
+
+  /// Function-level accuracy over all generated functions (paper headline).
+  double functionAccuracy() const;
+  /// Function-level accuracy within one module.
+  double functionAccuracy(BackendModule Module) const;
+  /// Statement-level accuracy over all modules.
+  double statementAccuracy() const;
+  /// Error-type rates over all generated functions (Table 2).
+  double errVRate() const;
+  double errCSRate() const;
+  double errDefRate() const;
+};
+
+/// Evaluates \p Generated against \p Golden for \p Traits.
+BackendEval evaluateBackend(const GeneratedBackend &Generated,
+                            const Backend &Golden,
+                            const TargetTraits &Traits);
+
+/// pass@1 for a single function AST (used by ForkFlow too): behavioural
+/// equivalence with the golden implementation on the regression suite.
+bool functionPassesRegression(const FunctionAST &Candidate,
+                              const FunctionAST &Golden,
+                              const std::string &InterfaceName,
+                              const TargetTraits &Traits);
+
+/// Statement-level accounting between a candidate and the golden function:
+/// (AccurateStatements, ManualStatements).
+std::pair<size_t, size_t> statementAccounting(const FunctionAST &Candidate,
+                                              const FunctionAST &Golden);
+
+} // namespace vega
+
+#endif // VEGA_EVAL_HARNESS_H

@@ -1,0 +1,367 @@
+//===- feature/FeatureSelector.cpp - Algorithm 1 -----------------------------===//
+//
+// Part of the VEGA reproduction project.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+
+#include "feature/FeatureSelector.h"
+
+#include "corpus/SynthFramework.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace vega;
+
+const BoolProperty *TemplateFeatures::findBool(const std::string &Name) const {
+  for (const BoolProperty &P : BoolProps)
+    if (P.Name == Name)
+      return &P;
+  return nullptr;
+}
+
+FeatureSelector::FeatureSelector(const VirtualFileSystem &VFS,
+                                 const std::vector<std::string> &TargetNames)
+    : Targets(TargetNames) {
+  for (const std::string &Dir : llvmDirs())
+    LLVMIndex.addDirectory(VFS, Dir);
+
+  // PropList = class names ∪ enum names ∪ field/global names in LLVMDIRs
+  // (Algorithm 1 line 5).
+  for (const std::string &C : LLVMIndex.classNames())
+    PropList.insert(C);
+  for (const DescEnum &E : LLVMIndex.enums())
+    PropList.insert(E.Name);
+  for (const DescAssignment &A : LLVMIndex.assignments())
+    PropList.insert(A.Field);
+
+  for (const std::string &Target : Targets) {
+    DescriptionIndex Index;
+    // A target's TGTDIRs include its lib/Target tree and its ELFRelocs
+    // .def file (paper §2); we restrict the ELFRelocs scan to the target's
+    // own file so one target's relocations don't leak into another's.
+    Index.addDirectory(VFS, "lib/Target/" + Target);
+    if (auto Def = VFS.getFile("llvm/BinaryFormat/ELFRelocs/" + Target +
+                               ".def"))
+      Index.addFile("llvm/BinaryFormat/ELFRelocs/" + Target + ".def", *Def);
+    TargetIndexes.emplace(Target, std::move(Index));
+  }
+}
+
+const DescriptionIndex *
+FeatureSelector::targetIndex(const std::string &Target) const {
+  auto It = TargetIndexes.find(Target);
+  return It == TargetIndexes.end() ? nullptr : &It->second;
+}
+
+namespace {
+
+/// Sentinel enum members carry no target value (LastTargetFixupKind,
+/// NumTargetFixupKinds, FIRST_NUMBER, ...).
+bool isSentinelMember(const std::string &Member) {
+  return Member.rfind("Last", 0) == 0 || Member.rfind("Num", 0) == 0 ||
+         Member.rfind("FIRST", 0) == 0 || Member.rfind("First", 0) == 0;
+}
+
+/// Local names (parameters and declared variables) are never properties
+/// (Algorithm 1 requires globals for the partial-match cases).
+std::set<std::string> collectLocalNames(const FunctionTemplate &FT) {
+  std::set<std::string> Locals;
+  std::vector<const TemplateRow *> Rows = FT.rows();
+  for (const TemplateRow *Row : Rows) {
+    if (Row->Kind == StmtKind::FunctionDef) {
+      // Parameters: identifiers immediately before ',' or ')'.
+      const auto &Toks = Row->Tokens;
+      for (size_t I = 0; I + 1 < Toks.size(); ++I)
+        if (Toks[I].Kind == TokenKind::Identifier &&
+            (Toks[I + 1].isPunct(",") || Toks[I + 1].isPunct(")")))
+          Locals.insert(Toks[I].Text);
+      continue;
+    }
+    if (Row->Kind == StmtKind::Decl) {
+      // Declared name: the identifier immediately before '='.
+      const auto &Toks = Row->Tokens;
+      for (size_t I = 0; I + 1 < Toks.size(); ++I)
+        if (Toks[I].Kind == TokenKind::Identifier && Toks[I + 1].isPunct("="))
+          Locals.insert(Toks[I].Text);
+    }
+  }
+  return Locals;
+}
+
+} // namespace
+
+std::string
+FeatureSelector::classifyFiller(const Token &Filler, const std::string &Target,
+                                const std::vector<Token> &Context) const {
+  const DescriptionIndex *Index = targetIndex(Target);
+  if (!Index)
+    return "";
+
+  auto CorrelatedEnumProp = [&](const DescEnum &E) -> std::string {
+    if (PropList.count(E.Name))
+      return E.Name;
+    for (const std::string &Ref : E.InitRefs) {
+      if (const DescEnum *Framework = LLVMIndex.enumOfMember(Ref))
+        return Framework->Name;
+      if (LLVMIndex.enumNamed(Ref))
+        return Ref;
+    }
+    return "";
+  };
+
+  // Rule 1: a member of a TGTDIRs enum that correlates with an LLVMDIRs
+  // property (Algorithm 1 line 29).
+  if (Filler.Kind == TokenKind::Identifier) {
+    if (const DescEnum *E = Index->enumOfMember(Filler.Text)) {
+      std::string Prop = CorrelatedEnumProp(*E);
+      if (!Prop.empty())
+        return Prop;
+    }
+  }
+
+  // Rule 1b: string-literal fillers may embed scoped enum members
+  // ("RISCVISD::CALL").
+  if (Filler.Kind == TokenKind::StringLiteral) {
+    std::string Inner = Filler.Text;
+    if (Inner.size() >= 2)
+      Inner = Inner.substr(1, Inner.size() - 2);
+    for (const std::string &Piece : splitString(Inner, ':', false)) {
+      if (Piece.empty())
+        continue;
+      if (const DescEnum *E = Index->enumOfMember(Piece)) {
+        std::string Prop = CorrelatedEnumProp(*E);
+        if (!Prop.empty())
+          return Prop;
+      }
+    }
+  }
+
+  // Rule 2: the exact RHS of an assignment "tok' = filler" (line 29's
+  // assignment form). Candidates are scored by context affinity.
+  std::string FillerText = Filler.Text;
+  if (Filler.Kind == TokenKind::StringLiteral && FillerText.size() >= 2)
+    FillerText = FillerText.substr(1, FillerText.size() - 2);
+  std::vector<const DescAssignment *> Candidates;
+  for (const DescAssignment &A : Index->assignments())
+    if (A.Value == FillerText && PropList.count(A.Field))
+      Candidates.push_back(&A);
+  if (!Candidates.empty()) {
+    const DescAssignment *Best = Candidates.front();
+    int BestScore = -1;
+    for (const DescAssignment *A : Candidates) {
+      int Score = 0;
+      for (const Token &C : Context)
+        if (C.Kind == TokenKind::Identifier &&
+            sharesSignificantStem(A->Field, C.Text, 4))
+          Score += 1;
+      if (Score > BestScore) {
+        Best = A;
+        BestScore = Score;
+      }
+    }
+    return Best->Field;
+  }
+
+  // Rule 3: a record name whose TableGen class is an LLVMDIRs property
+  // ("def ADDrr : Instruction" makes ADDrr a value of Instruction).
+  if (Filler.Kind == TokenKind::Identifier) {
+    for (const DescRecord &R : Index->records())
+      if (R.Name == Filler.Text && PropList.count(R.ParentClass))
+        return R.ParentClass;
+  }
+
+  // Rule 4: partial match against an assignment RHS (line 33): the filler
+  // and the value share a significant stem ("ARMELFObjectWriter" vs
+  // Name="ARM").
+  {
+    const DescAssignment *Best = nullptr;
+    int BestScore = -1;
+    for (const DescAssignment &A : Index->assignments()) {
+      if (!PropList.count(A.Field) || A.Value.empty())
+        continue;
+      if (!partiallyMatches(FillerText, A.Value) &&
+          !sharesSignificantStem(FillerText, A.Value))
+        continue;
+      int Score = 0;
+      for (const Token &C : Context)
+        if (C.Kind == TokenKind::Identifier &&
+            sharesSignificantStem(A.Field, C.Text, 4))
+          Score += 1;
+      // Prefer longer value overlap: exact prefix match beats stem share.
+      if (FillerText.rfind(A.Value, 0) == 0)
+        Score += 2;
+      if (Score > BestScore) {
+        Best = &A;
+        BestScore = Score;
+      }
+    }
+    if (Best)
+      return Best->Field;
+  }
+  return "";
+}
+
+TemplateFeatures FeatureSelector::analyze(const FunctionTemplate &FT) const {
+  TemplateFeatures Features;
+  std::set<std::string> Locals = collectLocalNames(FT);
+  std::set<std::string> SeenProps;
+
+  // ---- Target-independent properties over common code (lines 8-24) ----
+  std::vector<const TemplateRow *> Rows = FT.rows();
+  std::set<std::string> ExaminedTokens;
+  for (const TemplateRow *Row : Rows) {
+    for (const Token &Tok : Row->Tokens) {
+      if (Tok.Kind != TokenKind::Identifier)
+        continue;
+      if (ExaminedTokens.count(Tok.Text))
+        continue;
+      ExaminedTokens.insert(Tok.Text);
+      // Locals and parameters cannot be properties themselves (cases 1 and
+      // 3), but may still reveal one through partial matching (case 2 —
+      // the paper's IsPCRel → OperandType example).
+      bool IsLocal = Locals.count(Tok.Text) != 0;
+
+      // Resolve per target; classification (updatable or constant) first.
+      std::string PropName;
+      std::map<std::string, bool> Value;
+      std::map<std::string, std::string> UpdateSite;
+      bool Updatable = false;
+      for (const std::string &Target : Targets) {
+        const DescriptionIndex *Index = targetIndex(Target);
+        if (!Index)
+          continue;
+        // Case 1: token occurs in TGTDIRs and is a PropList name.
+        if (!IsLocal && PropList.count(Tok.Text) &&
+            Index->containsToken(Tok.Text)) {
+          PropName = Tok.Text;
+          Value[Target] = true;
+          UpdateSite[Target] = Index->filesContaining(Tok.Text).front();
+          Updatable = true;
+          continue;
+        }
+        // Case 2: partial match against an assignment RHS in TGTDIRs.
+        for (const DescAssignment &A : Index->assignments()) {
+          if (!PropList.count(A.Field) || A.Value.empty())
+            continue;
+          if (!sharesSignificantStem(Tok.Text, A.Value))
+            continue;
+          PropName = A.Field;
+          Value[Target] = true;
+          UpdateSite[Target] = A.Path;
+          Updatable = true;
+          break;
+        }
+      }
+      // Case 3: declared in LLVMDIRs only — a constant framework property.
+      if (PropName.empty() && !IsLocal && PropList.count(Tok.Text))
+        PropName = Tok.Text;
+      if (PropName.empty() || SeenProps.count(PropName))
+        continue;
+      SeenProps.insert(PropName);
+
+      BoolProperty Prop;
+      Prop.Name = PropName;
+      Prop.Updatable = Updatable;
+      const auto &Files = LLVMIndex.filesContaining(PropName);
+      if (!Files.empty())
+        Prop.IdentifiedSite = Files.front();
+      for (const std::string &Target : Targets) {
+        auto It = Value.find(Target);
+        bool V = It != Value.end() ? It->second : !Updatable;
+        Prop.ValuePerTarget[Target] = V;
+        auto SIt = UpdateSite.find(Target);
+        Prop.UpdateSitePerTarget[Target] =
+            SIt != UpdateSite.end() ? SIt->second : std::string();
+      }
+      Features.BoolProps.push_back(std::move(Prop));
+    }
+  }
+
+  // ---- Target-dependent properties per placeholder (lines 25-40) ----
+  for (const TemplateRow *Row : Rows) {
+    size_t SlotCount = Row->placeholderCount();
+    if (SlotCount == 0)
+      continue;
+    std::vector<SlotProperty> Slots(SlotCount);
+    // Build slot context: this row's tokens plus the definition row's.
+    std::vector<Token> Context = Row->Tokens;
+    if (FT.Definition)
+      Context.insert(Context.end(), FT.Definition->Tokens.begin(),
+                     FT.Definition->Tokens.end());
+    for (size_t SlotIdx = 0; SlotIdx < SlotCount; ++SlotIdx) {
+      // Use training instances' fillers to discover the property.
+      for (const auto &[Target, Instances] : Row->PerTarget) {
+        if (!Slots[SlotIdx].Name.empty())
+          break;
+        for (const auto &Inst : Instances) {
+          if (SlotIdx >= Inst.SlotFillers.size())
+            continue;
+          for (const Token &Filler : Inst.SlotFillers[SlotIdx]) {
+            if (Filler.Kind == TokenKind::Punct ||
+                Filler.Kind == TokenKind::Keyword)
+              continue;
+            std::string Prop = classifyFiller(Filler, Target, Context);
+            if (!Prop.empty()) {
+              Slots[SlotIdx].Name = Prop;
+              const auto &Files = LLVMIndex.filesContaining(Prop);
+              if (!Files.empty())
+                Slots[SlotIdx].IdentifiedSite = Files.front();
+              break;
+            }
+          }
+          if (!Slots[SlotIdx].Name.empty())
+            break;
+        }
+      }
+    }
+    Features.RowSlots[Row->Index] = std::move(Slots);
+  }
+  return Features;
+}
+
+std::vector<std::string>
+FeatureSelector::harvestValues(const std::string &Property,
+                               const std::string &Target) const {
+  std::vector<std::string> Values;
+  std::set<std::string> Seen;
+  auto Add = [&](const std::string &V) {
+    if (!V.empty() && Seen.insert(V).second)
+      Values.push_back(V);
+  };
+  const DescriptionIndex *Index = targetIndex(Target);
+  if (!Index || Property.empty())
+    return Values;
+
+  // Enums named after the property, in the target's TGTDIRs.
+  for (const DescEnum &E : Index->enums()) {
+    if (E.Name == Property) {
+      for (const std::string &M : E.Members)
+        if (!isSentinelMember(M))
+          Add(M);
+      continue;
+    }
+    // Enums correlated with the property through initializer references
+    // (Fixups = FirstTargetFixupKind → MCFixupKind).
+    for (const std::string &Ref : E.InitRefs) {
+      const DescEnum *Framework = LLVMIndex.enumOfMember(Ref);
+      if ((Framework && Framework->Name == Property) || Ref == Property) {
+        for (const std::string &M : E.Members)
+          if (!isSentinelMember(M))
+            Add(M);
+        break;
+      }
+    }
+  }
+  // Records of the property's TableGen class.
+  for (const DescRecord &R : Index->records())
+    if (R.ParentClass == Property)
+      Add(R.Name);
+  // Assignment values of the property's field.
+  for (const DescAssignment &A : Index->assignments())
+    if (A.Field == Property)
+      Add(A.Value);
+  return Values;
+}

@@ -1,0 +1,101 @@
+//===- feature/FeatureSelector.h - Algorithm 1 -------------------*- C++ -*-===//
+//
+// Part of the VEGA reproduction project.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Feature selection (Algorithm 1 of the paper): discovers Boolean
+/// target-independent properties for a template's common code and string
+/// target-dependent properties for its placeholders, each with an identified
+/// site (in LLVMDIRs) and per-target update sites (in TGTDIRs). Also
+/// harvests TgtValSet — a property's candidate values for one target — used
+/// both in Eq. (1) confidence scores and in target-specific generation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VEGA_FEATURE_FEATURESELECTOR_H
+#define VEGA_FEATURE_FEATURESELECTOR_H
+
+#include "tablegen/DescriptionReader.h"
+#include "templatize/FunctionTemplate.h"
+
+#include <set>
+
+namespace vega {
+
+/// A Boolean target-independent property (paper Fig. 3(b)).
+struct BoolProperty {
+  std::string Name;
+  std::string IdentifiedSite; ///< where it is declared in LLVMDIRs
+  /// True when some target updates it in TGTDIRs; constant-true framework
+  /// names (e.g. MCSymbolRefExpr) are not updatable.
+  bool Updatable = false;
+  std::map<std::string, bool> ValuePerTarget;
+  std::map<std::string, std::string> UpdateSitePerTarget; ///< "" = NULL
+};
+
+/// A string target-dependent property attached to one placeholder slot
+/// (paper Fig. 3(c)).
+struct SlotProperty {
+  std::string Name;           ///< e.g. "MCFixupKind", "Name"; "" = unresolved
+  std::string IdentifiedSite; ///< in LLVMDIRs ("" when unresolved)
+};
+
+/// Features of one function template.
+struct TemplateFeatures {
+  /// Ordered Boolean properties (the V_k prefix layout).
+  std::vector<BoolProperty> BoolProps;
+  /// Row index → per-placeholder slot property.
+  std::map<int, std::vector<SlotProperty>> RowSlots;
+
+  /// Lookup of a Boolean property by name; nullptr when absent.
+  const BoolProperty *findBool(const std::string &Name) const;
+};
+
+/// Algorithm 1 over the corpus file tree.
+class FeatureSelector {
+public:
+  /// Indexes LLVMDIRs and the TGTDIRs of every target in \p TargetNames
+  /// (training and evaluation targets alike — a new target's description
+  /// files are always available, per the paper's premise).
+  FeatureSelector(const VirtualFileSystem &VFS,
+                  const std::vector<std::string> &TargetNames);
+
+  /// Runs feature selection for one function template, resolving per-target
+  /// values for every target known to this selector.
+  TemplateFeatures analyze(const FunctionTemplate &FT) const;
+
+  /// TgtValSet: candidate values of \p Property for \p Target, harvested
+  /// from the target's description files. Sentinel enum members
+  /// (Last*/Num*/FIRST*) are filtered.
+  std::vector<std::string> harvestValues(const std::string &Property,
+                                         const std::string &Target) const;
+
+  /// The PropList (PropCandidateSet of LLVMDIRs): class names, enum names,
+  /// and field/global names.
+  const std::set<std::string> &propList() const { return PropList; }
+
+  /// The description index of one target's TGTDIRs (nullptr if unknown).
+  const DescriptionIndex *targetIndex(const std::string &Target) const;
+
+  /// The framework (LLVMDIRs) index.
+  const DescriptionIndex &frameworkIndex() const { return LLVMIndex; }
+
+  /// Resolves the target-dependent property of a placeholder filler token
+  /// \p Filler observed on \p Target, using \p Context tokens for
+  /// disambiguation. Returns the property name ("" when unresolved).
+  std::string classifyFiller(const Token &Filler, const std::string &Target,
+                             const std::vector<Token> &Context) const;
+
+private:
+  DescriptionIndex LLVMIndex;
+  std::set<std::string> PropList;
+  std::map<std::string, DescriptionIndex> TargetIndexes;
+  std::vector<std::string> Targets;
+};
+
+} // namespace vega
+
+#endif // VEGA_FEATURE_FEATURESELECTOR_H

@@ -1,0 +1,40 @@
+//===- forkflow/ForkFlow.h - The fork-flow baseline --------------*- C++ -*-===//
+//
+// Part of the VEGA reproduction project.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The traditional FORKFLOW baseline (§4.2): fork every function from the
+/// most similar existing backend and port it by renaming the source
+/// target's identifier spellings to the new target's. This is exactly how
+/// real out-of-tree backends start life, and exactly why it scores below
+/// 8% in the paper — the forked code keeps the donor's fixups, relocations,
+/// latencies, and architectural assumptions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VEGA_FORKFLOW_FORKFLOW_H
+#define VEGA_FORKFLOW_FORKFLOW_H
+
+#include "core/Pipeline.h"
+#include "corpus/Corpus.h"
+
+namespace vega {
+
+/// Picks the training target whose traits are most similar to
+/// \p NewTarget's (the paper forks from MIPS; the chooser reproduces that
+/// preference for RISC-like targets).
+std::string chooseForkSource(const BackendCorpus &Corpus,
+                             const std::string &NewTarget);
+
+/// Forks \p SourceTarget's backend and renames it for \p NewTarget.
+/// Returned as a GeneratedBackend so the same harness evaluates it.
+GeneratedBackend forkflowBackend(const BackendCorpus &Corpus,
+                                 const std::string &SourceTarget,
+                                 const std::string &NewTarget);
+
+} // namespace vega
+
+#endif // VEGA_FORKFLOW_FORKFLOW_H

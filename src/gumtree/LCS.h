@@ -1,0 +1,71 @@
+//===- gumtree/LCS.h - Longest common subsequence ----------------*- C++ -*-===//
+//
+// Part of the VEGA reproduction project.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Generic longest-common-subsequence alignment. Used twice in the paper's
+/// pipeline: to align matching statements inside a function group and to
+/// split statement templates into common code and variant placeholders
+/// (§3.2.1, "Longest Common Subsequence analysis of the ASTs").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VEGA_GUMTREE_LCS_H
+#define VEGA_GUMTREE_LCS_H
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace vega {
+
+/// Computes LCS index pairs (I, J) such that Equal(A[I], B[J]) holds and the
+/// pairs are strictly increasing in both components, maximizing pair count.
+template <typename T, typename EqualFn>
+std::vector<std::pair<size_t, size_t>>
+longestCommonSubsequence(const std::vector<T> &A, const std::vector<T> &B,
+                         EqualFn Equal) {
+  const size_t N = A.size(), M = B.size();
+  // DP table of LCS lengths for suffixes; (N+1) x (M+1).
+  std::vector<unsigned> Table((N + 1) * (M + 1), 0);
+  auto At = [&](size_t I, size_t J) -> unsigned & {
+    return Table[I * (M + 1) + J];
+  };
+  for (size_t I = N; I-- > 0;) {
+    for (size_t J = M; J-- > 0;) {
+      if (Equal(A[I], B[J]))
+        At(I, J) = At(I + 1, J + 1) + 1;
+      else
+        At(I, J) = std::max(At(I + 1, J), At(I, J + 1));
+    }
+  }
+  std::vector<std::pair<size_t, size_t>> Pairs;
+  size_t I = 0, J = 0;
+  while (I < N && J < M) {
+    if (Equal(A[I], B[J])) {
+      Pairs.emplace_back(I, J);
+      ++I;
+      ++J;
+    } else if (At(I + 1, J) >= At(I, J + 1)) {
+      ++I;
+    } else {
+      ++J;
+    }
+  }
+  return Pairs;
+}
+
+/// LCS over elements comparable with ==.
+template <typename T>
+std::vector<std::pair<size_t, size_t>>
+longestCommonSubsequence(const std::vector<T> &A, const std::vector<T> &B) {
+  return longestCommonSubsequence(
+      A, B, [](const T &X, const T &Y) { return X == Y; });
+}
+
+} // namespace vega
+
+#endif // VEGA_GUMTREE_LCS_H

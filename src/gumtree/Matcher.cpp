@@ -1,0 +1,287 @@
+//===- gumtree/Matcher.cpp - GumTree-style statement matching --------------===//
+//
+// Part of the VEGA reproduction project.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+
+#include "gumtree/Matcher.h"
+
+#include "gumtree/LCS.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <unordered_set>
+
+using namespace vega;
+
+void TreeMapping::addPair(const Statement *A, const Statement *B) {
+  assert(A && B && "null statements cannot be matched");
+  assert(!hasSrc(A) && !hasDst(B) && "statement already matched");
+  SrcToDst[A] = B;
+  DstToSrc[B] = A;
+}
+
+const Statement *TreeMapping::getDst(const Statement *A) const {
+  auto It = SrcToDst.find(A);
+  return It == SrcToDst.end() ? nullptr : It->second;
+}
+
+const Statement *TreeMapping::getSrc(const Statement *B) const {
+  auto It = DstToSrc.find(B);
+  return It == DstToSrc.end() ? nullptr : It->second;
+}
+
+static uint64_t hashCombine(uint64_t Seed, uint64_t Value) {
+  // 64-bit mix in the spirit of boost::hash_combine.
+  return Seed ^ (Value + 0x9e3779b97f4a7c15ULL + (Seed << 12) + (Seed >> 4));
+}
+
+static uint64_t hashString(std::string_view Text) {
+  uint64_t Hash = 1469598103934665603ULL; // FNV-1a
+  for (char C : Text) {
+    Hash ^= static_cast<unsigned char>(C);
+    Hash *= 1099511628211ULL;
+  }
+  return Hash;
+}
+
+uint64_t vega::statementShapeHash(const Statement &Stmt) {
+  uint64_t Hash = hashString(stmtKindName(Stmt.Kind));
+  for (const Token &T : Stmt.Tokens)
+    Hash = hashCombine(Hash, hashString(T.Text));
+  return Hash;
+}
+
+uint64_t vega::statementSubtreeHash(const Statement &Stmt) {
+  uint64_t Hash = statementShapeHash(Stmt);
+  for (const auto &Child : Stmt.Children)
+    Hash = hashCombine(Hash, statementSubtreeHash(*Child));
+  return Hash;
+}
+
+double vega::statementSimilarity(const Statement &A, const Statement &B) {
+  std::map<std::string, int> Counts;
+  for (const Token &T : A.Tokens)
+    ++Counts[T.Text];
+  int Common = 0;
+  for (const Token &T : B.Tokens) {
+    auto It = Counts.find(T.Text);
+    if (It != Counts.end() && It->second > 0) {
+      --It->second;
+      ++Common;
+    }
+  }
+  size_t Total = A.Tokens.size() + B.Tokens.size();
+  double Dice = Total == 0 ? 1.0 : 2.0 * Common / static_cast<double>(Total);
+  if (A.Kind != B.Kind)
+    Dice *= 0.5;
+  return Dice;
+}
+
+namespace {
+
+/// Flattened view of one function's statement tree with parent links and
+/// subtree metadata.
+struct TreeIndex {
+  std::vector<const Statement *> PostOrder;
+  std::unordered_map<const Statement *, const Statement *> Parent;
+  std::unordered_map<const Statement *, int> Height;
+  std::unordered_map<const Statement *, size_t> SubtreeSize;
+  std::unordered_map<const Statement *, uint64_t> SubtreeHash;
+
+  void build(const Statement *Stmt, const Statement *ParentStmt) {
+    Parent[Stmt] = ParentStmt;
+    int MaxChildHeight = -1;
+    size_t Size = 1;
+    for (const auto &Child : Stmt->Children) {
+      build(Child.get(), Stmt);
+      MaxChildHeight = std::max(MaxChildHeight, Height[Child.get()]);
+      Size += SubtreeSize[Child.get()];
+    }
+    Height[Stmt] = MaxChildHeight + 1;
+    SubtreeSize[Stmt] = Size;
+    SubtreeHash[Stmt] = statementSubtreeHash(*Stmt);
+    PostOrder.push_back(Stmt);
+  }
+};
+
+/// The matcher state for one (A, B) function pair.
+class Matcher {
+public:
+  Matcher(const FunctionAST &A, const FunctionAST &B,
+          const MatchOptions &Options)
+      : A(A), B(B), Options(Options) {
+    // A virtual pass over both bodies; definitions are roots.
+    for (const auto &Stmt : A.Body)
+      IndexA.build(Stmt.get(), &A.Definition);
+    for (const auto &Stmt : B.Body)
+      IndexB.build(Stmt.get(), &B.Definition);
+    IndexA.Parent[&A.Definition] = nullptr;
+    IndexB.Parent[&B.Definition] = nullptr;
+  }
+
+  TreeMapping run() {
+    matchTopDown();
+    Mapping.addPair(&A.Definition, &B.Definition);
+    recoverChildren(A.Body, B.Body);
+    matchBottomUp();
+    return std::move(Mapping);
+  }
+
+private:
+  void matchSubtreesRecursively(const Statement *SA, const Statement *SB) {
+    if (Mapping.hasSrc(SA) || Mapping.hasDst(SB))
+      return;
+    Mapping.addPair(SA, SB);
+    assert(SA->Children.size() == SB->Children.size() &&
+           "isomorphic subtrees must have equal arity");
+    for (size_t I = 0; I < SA->Children.size(); ++I)
+      matchSubtreesRecursively(SA->Children[I].get(), SB->Children[I].get());
+  }
+
+  /// Greedy top-down phase: equal subtree hashes of maximal height match.
+  void matchTopDown() {
+    std::unordered_map<uint64_t, std::vector<const Statement *>> ByHash;
+    for (const Statement *SA : IndexA.PostOrder)
+      ByHash[IndexA.SubtreeHash[SA]].push_back(SA);
+
+    std::vector<const Statement *> BNodes = IndexB.PostOrder;
+    std::stable_sort(BNodes.begin(), BNodes.end(),
+                     [&](const Statement *X, const Statement *Y) {
+                       return IndexB.Height[X] > IndexB.Height[Y];
+                     });
+    for (const Statement *SB : BNodes) {
+      if (Mapping.hasDst(SB))
+        continue;
+      auto It = ByHash.find(IndexB.SubtreeHash[SB]);
+      if (It == ByHash.end())
+        continue;
+      for (const Statement *SA : It->second) {
+        if (Mapping.hasSrc(SA))
+          continue;
+        matchSubtreesRecursively(SA, SB);
+        break;
+      }
+    }
+  }
+
+  /// LCS recovery over two sibling lists; recurses into new pairs.
+  void recoverChildren(const std::vector<std::unique_ptr<Statement>> &KidsA,
+                       const std::vector<std::unique_ptr<Statement>> &KidsB) {
+    std::vector<const Statement *> UA, UB;
+    for (const auto &Child : KidsA)
+      if (!Mapping.hasSrc(Child.get()))
+        UA.push_back(Child.get());
+    for (const auto &Child : KidsB)
+      if (!Mapping.hasDst(Child.get()))
+        UB.push_back(Child.get());
+    auto Pairs = longestCommonSubsequence(
+        UA, UB, [&](const Statement *X, const Statement *Y) {
+          return X->Kind == Y->Kind &&
+                 statementSimilarity(*X, *Y) >= Options.MinLabelSimilarity;
+        });
+    for (auto [I, J] : Pairs) {
+      Mapping.addPair(UA[I], UB[J]);
+      recoverChildren(UA[I]->Children, UB[J]->Children);
+    }
+    // Recurse into pairs that were already matched top-down so their
+    // children lists also get recovery (hash-equal subtrees are fully
+    // matched already; this is a no-op for them).
+    for (const auto &Child : KidsA)
+      if (const Statement *Partner = Mapping.getDst(Child.get()))
+        recoverChildren(Child->Children, Partner->Children);
+  }
+
+  /// Bottom-up container phase: an unmatched A container whose descendants
+  /// map into a common unmatched B container matches it when the dice
+  /// coefficient is high enough.
+  void matchBottomUp() {
+    for (const Statement *SA : IndexA.PostOrder) {
+      if (Mapping.hasSrc(SA) || SA->Children.empty())
+        continue;
+      const Statement *Candidate = findContainerCandidate(SA);
+      if (!Candidate)
+        continue;
+      if (diceCoefficient(SA, Candidate) < Options.MinDice)
+        continue;
+      Mapping.addPair(SA, Candidate);
+      recoverChildren(SA->Children, Candidate->Children);
+    }
+  }
+
+  const Statement *findContainerCandidate(const Statement *SA) {
+    // Walk A-descendants; vote for the B-ancestors of their partners.
+    std::map<const Statement *, unsigned> Votes;
+    collectVotes(SA, SA, Votes);
+    const Statement *Best = nullptr;
+    unsigned BestVotes = 0;
+    for (auto [SB, Count] : Votes) {
+      if (SB->Kind != SA->Kind || Mapping.hasDst(SB))
+        continue;
+      if (Count > BestVotes) {
+        Best = SB;
+        BestVotes = Count;
+      }
+    }
+    return Best;
+  }
+
+  void collectVotes(const Statement *Root, const Statement *Stmt,
+                    std::map<const Statement *, unsigned> &Votes) {
+    for (const auto &Child : Stmt->Children) {
+      if (const Statement *Partner = Mapping.getDst(Child.get())) {
+        for (const Statement *Anc = IndexB.Parent[Partner]; Anc;
+             Anc = IndexB.Parent[Anc])
+          ++Votes[Anc];
+      }
+      collectVotes(Root, Child.get(), Votes);
+    }
+  }
+
+  double diceCoefficient(const Statement *SA, const Statement *SB) {
+    unsigned MappedInto = 0;
+    std::unordered_set<const Statement *> BDesc;
+    collectDescendants(SB, BDesc);
+    countMappedInto(SA, BDesc, MappedInto);
+    size_t SizeA = IndexA.SubtreeSize[SA] - 1;
+    size_t SizeB = IndexB.SubtreeSize[SB] - 1;
+    if (SizeA + SizeB == 0)
+      return 0.0;
+    return 2.0 * MappedInto / static_cast<double>(SizeA + SizeB);
+  }
+
+  void collectDescendants(const Statement *Stmt,
+                          std::unordered_set<const Statement *> &Out) {
+    for (const auto &Child : Stmt->Children) {
+      Out.insert(Child.get());
+      collectDescendants(Child.get(), Out);
+    }
+  }
+
+  void countMappedInto(const Statement *Stmt,
+                       const std::unordered_set<const Statement *> &BDesc,
+                       unsigned &Count) {
+    for (const auto &Child : Stmt->Children) {
+      const Statement *Partner = Mapping.getDst(Child.get());
+      if (Partner && BDesc.count(Partner))
+        ++Count;
+      countMappedInto(Child.get(), BDesc, Count);
+    }
+  }
+
+  const FunctionAST &A;
+  const FunctionAST &B;
+  MatchOptions Options;
+  TreeIndex IndexA, IndexB;
+  TreeMapping Mapping;
+};
+
+} // namespace
+
+TreeMapping vega::matchFunctions(const FunctionAST &A, const FunctionAST &B,
+                                 const MatchOptions &Options) {
+  Matcher M(A, B, Options);
+  return M.run();
+}

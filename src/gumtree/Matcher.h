@@ -1,0 +1,73 @@
+//===- gumtree/Matcher.h - GumTree-style statement matching ------*- C++ -*-===//
+//
+// Part of the VEGA reproduction project.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// GumTree-style [Falleri et al., ASE'14] alignment between the statement
+/// trees of two functions from the same function group. A greedy top-down
+/// phase matches isomorphic subtrees; a bottom-up phase matches containers
+/// whose descendants largely map to each other (dice similarity); an LCS
+/// recovery pass aligns the remaining siblings by label similarity.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VEGA_GUMTREE_MATCHER_H
+#define VEGA_GUMTREE_MATCHER_H
+
+#include "ast/Statement.h"
+
+#include <unordered_map>
+
+namespace vega {
+
+/// A one-to-one mapping between statements of two functions.
+class TreeMapping {
+public:
+  /// Records the pair (A, B); both must be unmatched.
+  void addPair(const Statement *A, const Statement *B);
+
+  /// Returns B's partner of \p A, or nullptr.
+  const Statement *getDst(const Statement *A) const;
+
+  /// Returns A's partner of \p B, or nullptr.
+  const Statement *getSrc(const Statement *B) const;
+
+  bool hasSrc(const Statement *A) const { return getDst(A) != nullptr; }
+  bool hasDst(const Statement *B) const { return getSrc(B) != nullptr; }
+
+  size_t size() const { return SrcToDst.size(); }
+
+private:
+  std::unordered_map<const Statement *, const Statement *> SrcToDst;
+  std::unordered_map<const Statement *, const Statement *> DstToSrc;
+};
+
+/// Token-level dice similarity of two statements in [0, 1]; statements of
+/// different kinds are penalized.
+double statementSimilarity(const Statement &A, const Statement &B);
+
+/// Structural hash of a statement's own label (kind + tokens).
+uint64_t statementShapeHash(const Statement &Stmt);
+
+/// Structural hash of an entire statement subtree.
+uint64_t statementSubtreeHash(const Statement &Stmt);
+
+/// Options controlling the matcher.
+struct MatchOptions {
+  /// Minimum dice similarity for a bottom-up container match.
+  double MinDice = 0.3;
+  /// Minimum label similarity for an LCS recovery match.
+  double MinLabelSimilarity = 0.55;
+};
+
+/// Computes the GumTree alignment between \p A and \p B (their definition
+/// statements are always matched as roots).
+TreeMapping matchFunctions(const FunctionAST &A, const FunctionAST &B,
+                           const MatchOptions &Options = MatchOptions());
+
+} // namespace vega
+
+#endif // VEGA_GUMTREE_MATCHER_H

@@ -1,0 +1,617 @@
+//===- interp/Interpreter.cpp - Backend-function interpreter ----------------===//
+//
+// Part of the VEGA reproduction project.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Interpreter.h"
+
+#include <cassert>
+#include <cstdlib>
+
+using namespace vega;
+
+namespace {
+
+/// Evaluation/execution state for one run.
+class Executor {
+public:
+  Executor(const Environment &Env, int StepBudget)
+      : Env(Env), Budget(StepBudget) {
+    for (const auto &[Name, V] : Env.vars())
+      Vars[Name] = V;
+  }
+
+  ExecResult runBody(const std::vector<std::unique_ptr<Statement>> &Body) {
+    Flow F = execList(Body);
+    ExecResult R;
+    R.Trace = std::move(Trace);
+    if (Failed) {
+      R.St = ExecResult::Status::Error;
+      R.Message = ErrorMessage;
+      return R;
+    }
+    if (F == Flow::Trapped) {
+      R.St = ExecResult::Status::Trap;
+      R.Message = TrapMessage;
+      return R;
+    }
+    R.St = ExecResult::Status::Ok;
+    R.Return = ReturnValue;
+    return R;
+  }
+
+private:
+  enum class Flow { Normal, Broke, Returned, Trapped };
+
+  // ------------------------------------------------------------ errors --
+  Value fail(const std::string &Message) {
+    if (!Failed) {
+      Failed = true;
+      ErrorMessage = Message;
+    }
+    return Value::unit();
+  }
+
+  // -------------------------------------------------- expression eval --
+  // A small recursive-descent evaluator over a token span.
+  struct Cursor {
+    const std::vector<Token> *Toks;
+    size_t Pos, End;
+    const Token &peek(size_t Ahead = 0) const {
+      static const Token Eof(TokenKind::EndOfFile, "");
+      return Pos + Ahead < End ? (*Toks)[Pos + Ahead] : Eof;
+    }
+    bool atEnd() const { return Pos >= End; }
+    const Token &take() { return (*Toks)[Pos++]; }
+  };
+
+  Value evalSpan(const std::vector<Token> &Toks, size_t Begin, size_t End) {
+    Cursor C{&Toks, Begin, End};
+    Value V = evalOr(C);
+    return V;
+  }
+
+  Value evalOr(Cursor &C) {
+    Value L = evalAnd(C);
+    while (!Failed && C.peek().isPunct("||")) {
+      C.take();
+      Value R = evalAnd(C);
+      L = Value::boolean(truthy(L) || truthy(R));
+    }
+    return L;
+  }
+
+  Value evalAnd(Cursor &C) {
+    Value L = evalCmp(C);
+    while (!Failed && C.peek().isPunct("&&")) {
+      C.take();
+      Value R = evalCmp(C);
+      L = Value::boolean(truthy(L) && truthy(R));
+    }
+    return L;
+  }
+
+  Value evalCmp(Cursor &C) {
+    Value L = evalAdd(C);
+    const Token &Op = C.peek();
+    if (Op.isPunct("==") || Op.isPunct("!=")) {
+      C.take();
+      Value R = evalAdd(C);
+      bool Eq = L == R;
+      return Value::boolean(Op.Text == "==" ? Eq : !Eq);
+    }
+    if (Op.isPunct("<") || Op.isPunct(">") || Op.isPunct("<=") ||
+        Op.isPunct(">=")) {
+      std::string OpText = C.take().Text;
+      Value R = evalAdd(C);
+      int64_t A = 0, B = 0;
+      if (!asNumber(L, A) || !asNumber(R, B))
+        return fail("non-numeric relational comparison");
+      if (OpText == "<")
+        return Value::boolean(A < B);
+      if (OpText == ">")
+        return Value::boolean(A > B);
+      if (OpText == "<=")
+        return Value::boolean(A <= B);
+      return Value::boolean(A >= B);
+    }
+    return L;
+  }
+
+  Value evalAdd(Cursor &C) {
+    Value L = evalMul(C);
+    while (!Failed && (C.peek().isPunct("+") || C.peek().isPunct("-"))) {
+      std::string Op = C.take().Text;
+      Value R = evalMul(C);
+      int64_t A = 0, B = 0;
+      if (!asNumber(L, A) || !asNumber(R, B))
+        return fail("non-numeric arithmetic");
+      L = Value::integer(Op == "+" ? A + B : A - B);
+    }
+    return L;
+  }
+
+  Value evalMul(Cursor &C) {
+    Value L = evalUnary(C);
+    while (!Failed && (C.peek().isPunct("*") || C.peek().isPunct("/") ||
+                       C.peek().isPunct("%"))) {
+      std::string Op = C.take().Text;
+      Value R = evalUnary(C);
+      int64_t A = 0, B = 0;
+      if (!asNumber(L, A) || !asNumber(R, B))
+        return fail("non-numeric arithmetic");
+      if ((Op == "/" || Op == "%") && B == 0)
+        return fail("division by zero");
+      L = Value::integer(Op == "*" ? A * B : Op == "/" ? A / B : A % B);
+    }
+    return L;
+  }
+
+  Value evalUnary(Cursor &C) {
+    if (C.peek().isPunct("!")) {
+      C.take();
+      Value V = evalUnary(C);
+      if (Failed)
+        return V;
+      return Value::boolean(!truthy(V));
+    }
+    if (C.peek().isPunct("-")) {
+      C.take();
+      Value V = evalUnary(C);
+      int64_t A = 0;
+      if (!asNumber(V, A))
+        return fail("negation of non-number");
+      return Value::integer(-A);
+    }
+    if (C.peek().isPunct("&") || C.peek().isPunct("*")) {
+      // Address-of / dereference are semantic no-ops at this level.
+      C.take();
+      return evalUnary(C);
+    }
+    return evalPostfix(C);
+  }
+
+  Value evalPostfix(Cursor &C) {
+    Value V;
+    std::string Key;
+    bool HasValue = false;
+
+    const Token &T = C.peek();
+    if (T.is(TokenKind::IntLiteral)) {
+      C.take();
+      V = Value::integer(parseInt(T.Text));
+      HasValue = true;
+    } else if (T.is(TokenKind::StringLiteral)) {
+      C.take();
+      std::string Inner = T.Text.size() >= 2
+                              ? T.Text.substr(1, T.Text.size() - 2)
+                              : T.Text;
+      V = Value::symbol(Inner);
+      HasValue = true;
+    } else if (T.isKeyword("true")) {
+      C.take();
+      V = Value::boolean(true);
+      HasValue = true;
+    } else if (T.isKeyword("false")) {
+      C.take();
+      V = Value::boolean(false);
+      HasValue = true;
+    } else if (T.isKeyword("nullptr")) {
+      C.take();
+      V = Value::symbol("nullptr");
+      HasValue = true;
+    } else if (T.isPunct("(")) {
+      C.take();
+      V = evalOr(C);
+      if (!C.peek().isPunct(")"))
+        return fail("expected ')'");
+      C.take();
+      HasValue = true;
+    } else if (T.is(TokenKind::Identifier) || T.is(TokenKind::Keyword) ||
+               T.is(TokenKind::Placeholder)) {
+      Key = C.take().Text;
+    } else {
+      return fail("unexpected token '" + T.Text + "' in expression");
+    }
+
+    while (!Failed) {
+      const Token &Next = C.peek();
+      if (Next.isPunct("::") &&
+          (C.peek(1).is(TokenKind::Identifier) ||
+           C.peek(1).is(TokenKind::Keyword))) {
+        C.take();
+        Key += "::" + C.take().Text;
+        HasValue = false;
+        continue;
+      }
+      if ((Next.isPunct(".") || Next.isPunct("->")) &&
+          C.peek(1).is(TokenKind::Identifier)) {
+        C.take();
+        // Resolve the receiver as a plain name for the call key; the value
+        // itself is irrelevant for bound calls.
+        Key += "." + C.take().Text;
+        HasValue = false;
+        continue;
+      }
+      if (Next.isPunct("(")) {
+        C.take();
+        std::vector<Value> Args;
+        if (!C.peek().isPunct(")")) {
+          while (true) {
+            Args.push_back(evalOr(C));
+            if (Failed)
+              return Value::unit();
+            if (C.peek().isPunct(",")) {
+              C.take();
+              continue;
+            }
+            break;
+          }
+        }
+        if (!C.peek().isPunct(")"))
+          return fail("expected ')' after call arguments");
+        C.take();
+        V = callFunction(Key, Args);
+        HasValue = true;
+        Key += "()";
+        continue;
+      }
+      break;
+    }
+
+    if (HasValue)
+      return V;
+    // Bare name: local variable, environment binding, or a symbol.
+    auto It = Vars.find(Key);
+    if (It != Vars.end())
+      return It->second;
+    return Value::symbol(Key);
+  }
+
+  Value callFunction(const std::string &Key, const std::vector<Value> &Args) {
+    // 1. Environment call bindings.
+    auto It = Env.calls().find(Key);
+    if (It != Env.calls().end())
+      return It->second;
+    // 2. Environment intrinsic resolver.
+    if (Env.intrinsic()) {
+      if (auto V = Env.intrinsic()(Key, Args))
+        return *V;
+    }
+    // 3. Builtins.
+    if (Key == "report_fatal_error") {
+      Trapping = true;
+      TrapMessage = Args.empty() ? std::string() : Args.front().str();
+      return Value::unit();
+    }
+    if (Key == "alignTo" && Args.size() == 2 && Args[0].isInt() &&
+        Args[1].isInt() && Args[1].IntV > 0) {
+      int64_t A = Args[1].IntV;
+      return Value::integer((Args[0].IntV + A - 1) / A * A);
+    }
+    if (Key == "isIntN" && Args.size() == 2 && Args[0].isInt() &&
+        Args[1].isInt()) {
+      int64_t N = Args[0].IntV;
+      if (N <= 0 || N > 62)
+        return Value::boolean(true);
+      int64_t Lo = -(int64_t(1) << (N - 1)), Hi = (int64_t(1) << (N - 1));
+      return Value::boolean(Args[1].IntV >= Lo && Args[1].IntV < Hi);
+    }
+    if (Key == "markReserved" && Args.size() == 2)
+      return Value::symbol(Args[0].str() + "|" + Args[1].str());
+    if ((Key == "matchRegisterName" || Key == "isDirective") &&
+        Args.size() == 2)
+      return Value::boolean(Args[0].str() == Args[1].str());
+    if (Key == "emitError") {
+      Trace.push_back("error: " +
+                      (Args.empty() ? std::string() : Args.front().str()));
+      return Value::boolean(true);
+    }
+    // 4. Effect: record the call and synthesize a deterministic symbol.
+    std::string Effect = Key + "(";
+    for (size_t I = 0; I < Args.size(); ++I) {
+      if (I)
+        Effect += ", ";
+      Effect += Args[I].str();
+    }
+    Effect += ")";
+    Trace.push_back(Effect);
+    return Value::symbol("#" + Effect);
+  }
+
+  // ------------------------------------------------------- statements --
+  Flow execList(const std::vector<std::unique_ptr<Statement>> &Stmts) {
+    for (size_t I = 0; I < Stmts.size(); ++I) {
+      const Statement &S = *Stmts[I];
+      // else/else-if clauses are consumed by their if; standalone ones are
+      // skipped.
+      if (S.Kind == StmtKind::Else || S.Kind == StmtKind::ElseIf)
+        continue;
+      if (S.Kind == StmtKind::If) {
+        Flow F = execIfChain(Stmts, I);
+        if (F != Flow::Normal)
+          return F;
+        continue;
+      }
+      Flow F = execStatement(S);
+      if (F != Flow::Normal)
+        return F;
+    }
+    return Flow::Normal;
+  }
+
+  Flow execIfChain(const std::vector<std::unique_ptr<Statement>> &Stmts,
+                   size_t &Index) {
+    // Evaluate the chain if / else-if* / else?, executing the first branch
+    // whose condition holds; Index is left at the last chain element.
+    bool Taken = false;
+    Flow Result = Flow::Normal;
+    size_t I = Index;
+    for (; I < Stmts.size(); ++I) {
+      const Statement &S = *Stmts[I];
+      bool IsFirst = I == Index;
+      if (!IsFirst && S.Kind != StmtKind::ElseIf && S.Kind != StmtKind::Else)
+        break;
+      if (Taken)
+        continue;
+      bool CondHolds = true;
+      if (S.Kind != StmtKind::Else) {
+        Value Cond = evalCondition(S);
+        if (Failed)
+          return Flow::Trapped; // surfaced as Error by runBody
+        CondHolds = truthy(Cond);
+      }
+      if (CondHolds) {
+        Taken = true;
+        Result = withBudget([&] { return execList(S.Children); });
+        if (Failed || Result != Flow::Normal) {
+          // Still need Index to advance past the chain; but control flow
+          // ends here anyway.
+          Index = I;
+          return Result;
+        }
+      }
+      if (S.Kind == StmtKind::Else)
+        break;
+    }
+    Index = I > Index ? I - 1 : Index;
+    return Result;
+  }
+
+  Value evalCondition(const Statement &S) {
+    // Tokens between the first '(' and its matching ')'.
+    size_t Open = 0;
+    while (Open < S.Tokens.size() && !S.Tokens[Open].isPunct("("))
+      ++Open;
+    if (Open == S.Tokens.size())
+      return fail("missing condition");
+    int Depth = 0;
+    size_t Close = Open;
+    for (; Close < S.Tokens.size(); ++Close) {
+      if (S.Tokens[Close].isPunct("("))
+        ++Depth;
+      else if (S.Tokens[Close].isPunct(")") && --Depth == 0)
+        break;
+    }
+    return evalSpan(S.Tokens, Open + 1, Close);
+  }
+
+  Flow execStatement(const Statement &S) {
+    if (--Budget <= 0) {
+      fail("step budget exhausted");
+      return Flow::Trapped;
+    }
+    switch (S.Kind) {
+    case StmtKind::FunctionDef:
+    case StmtKind::BlockEnd:
+      return Flow::Normal;
+    case StmtKind::Decl:
+    case StmtKind::Assign:
+      return execAssign(S);
+    case StmtKind::Return:
+      return execReturn(S);
+    case StmtKind::Break:
+      return Flow::Broke;
+    case StmtKind::Switch:
+      return execSwitch(S);
+    case StmtKind::Call:
+    case StmtKind::Other: {
+      if (!S.Tokens.empty() && !S.opensBlock()) {
+        size_t End = S.Tokens.size();
+        if (S.Tokens.back().isPunct(";"))
+          --End;
+        evalSpan(S.Tokens, 0, End);
+        if (Trapping)
+          return Flow::Trapped;
+        if (Failed)
+          return Flow::Trapped;
+        return Flow::Normal;
+      }
+      // Unknown block statement: single pass over the body.
+      return withBudget([&] { return execList(S.Children); });
+    }
+    case StmtKind::If:
+    case StmtKind::ElseIf:
+    case StmtKind::Else:
+    case StmtKind::Case:
+    case StmtKind::Default:
+      // Handled by execList/execSwitch; reaching here means a malformed
+      // tree (e.g. generated code with a stray label).
+      fail("misplaced control statement '" + S.text() + "'");
+      return Flow::Trapped;
+    }
+    return Flow::Normal;
+  }
+
+  Flow execAssign(const Statement &S) {
+    // Find the top-level '='; LHS name is the identifier just before it.
+    int Depth = 0;
+    size_t Eq = S.Tokens.size();
+    for (size_t I = 0; I < S.Tokens.size(); ++I) {
+      const Token &T = S.Tokens[I];
+      if (T.isPunct("(") || T.isPunct("["))
+        ++Depth;
+      else if (T.isPunct(")") || T.isPunct("]"))
+        --Depth;
+      else if (Depth == 0 && T.isPunct("=")) {
+        Eq = I;
+        break;
+      }
+    }
+    if (Eq == S.Tokens.size() || Eq == 0) {
+      fail("malformed assignment '" + S.text() + "'");
+      return Flow::Trapped;
+    }
+    if (S.Tokens[Eq - 1].Kind != TokenKind::Identifier) {
+      fail("unsupported assignment target in '" + S.text() + "'");
+      return Flow::Trapped;
+    }
+    size_t End = S.Tokens.size();
+    if (S.Tokens.back().isPunct(";"))
+      --End;
+    Value V = evalSpan(S.Tokens, Eq + 1, End);
+    if (Trapping)
+      return Flow::Trapped;
+    if (Failed)
+      return Flow::Trapped;
+    Vars[S.Tokens[Eq - 1].Text] = std::move(V);
+    return Flow::Normal;
+  }
+
+  Flow execReturn(const Statement &S) {
+    size_t Begin = 1; // skip 'return'
+    size_t End = S.Tokens.size();
+    if (End > 0 && S.Tokens.back().isPunct(";"))
+      --End;
+    if (Begin < End) {
+      ReturnValue = evalSpan(S.Tokens, Begin, End);
+      if (Trapping)
+        return Flow::Trapped;
+      if (Failed)
+        return Flow::Trapped;
+    } else {
+      ReturnValue = Value::unit();
+    }
+    return Flow::Returned;
+  }
+
+  Flow execSwitch(const Statement &S) {
+    Value Scrutinee = evalCondition(S);
+    if (Failed)
+      return Flow::Trapped;
+
+    // Find the matching label; C-style fallthrough to subsequent labels.
+    size_t Match = S.Children.size();
+    size_t Default = S.Children.size();
+    for (size_t I = 0; I < S.Children.size(); ++I) {
+      const Statement &Label = *S.Children[I];
+      if (Label.Kind == StmtKind::Default) {
+        Default = I;
+        continue;
+      }
+      if (Label.Kind != StmtKind::Case)
+        continue;
+      // Label value: tokens between 'case' and ':'.
+      size_t End = Label.Tokens.size();
+      if (End > 0 && Label.Tokens.back().isPunct(":"))
+        --End;
+      Value LabelValue = evalSpan(Label.Tokens, 1, End);
+      if (Failed)
+        return Flow::Trapped;
+      if (LabelValue == Scrutinee) {
+        Match = I;
+        break;
+      }
+    }
+    if (Match == S.Children.size())
+      Match = Default;
+    if (Match == S.Children.size())
+      return Flow::Normal; // no matching case, no default
+
+    for (size_t I = Match; I < S.Children.size(); ++I) {
+      Flow F = withBudget([&] { return execList(S.Children[I]->Children); });
+      if (F == Flow::Broke)
+        return Flow::Normal;
+      if (F != Flow::Normal)
+        return F;
+      // Fallthrough to the next label's statements.
+    }
+    return Flow::Normal;
+  }
+
+  template <typename Fn> Flow withBudget(Fn &&Body) {
+    if (--Budget <= 0) {
+      fail("step budget exhausted");
+      return Flow::Trapped;
+    }
+    return Body();
+  }
+
+  static bool truthy(const Value &V) {
+    if (V.isBool())
+      return V.BoolV;
+    if (V.isInt())
+      return V.IntV != 0;
+    return false;
+  }
+
+  bool asNumber(const Value &V, int64_t &Out) {
+    if (V.isInt()) {
+      Out = V.IntV;
+      return true;
+    }
+    if (V.isBool()) {
+      Out = V.BoolV ? 1 : 0;
+      return true;
+    }
+    if (V.isSym()) {
+      auto It = Env.ordinals().find(V.SymV);
+      if (It != Env.ordinals().end()) {
+        Out = It->second;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  static int64_t parseInt(const std::string &Text) {
+    if (Text.size() > 2 && Text[0] == '0' && (Text[1] == 'x' || Text[1] == 'X'))
+      return static_cast<int64_t>(std::strtoll(Text.c_str(), nullptr, 16));
+    return static_cast<int64_t>(std::strtoll(Text.c_str(), nullptr, 10));
+  }
+
+  const Environment &Env;
+  int Budget;
+  std::map<std::string, Value> Vars;
+  std::vector<std::string> Trace;
+  Value ReturnValue;
+  bool Failed = false;
+  std::string ErrorMessage;
+  bool Trapping = false;
+  std::string TrapMessage;
+
+  friend class ::vega::Interpreter;
+
+public:
+  bool trapping() const { return Trapping; }
+  const std::string &trapMessage() const { return TrapMessage; }
+  bool failed() const { return Failed; }
+};
+
+} // namespace
+
+ExecResult Interpreter::run(const FunctionAST &Fn, const Environment &Env,
+                            int StepBudget) const {
+  Executor Exec(Env, StepBudget);
+  ExecResult R = Exec.runBody(Fn.Body);
+  if (Exec.failed()) {
+    R.St = ExecResult::Status::Error;
+  } else if (Exec.trapping()) {
+    R.St = ExecResult::Status::Trap;
+    R.Message = Exec.trapMessage();
+    R.Return = Value::unit();
+  }
+  return R;
+}

@@ -1,0 +1,101 @@
+//===- interp/Interpreter.h - Backend-function interpreter -------*- C++ -*-===//
+//
+// Part of the VEGA reproduction project.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tree-walking interpreter over the statement AST of backend functions.
+/// Test environments bind parameters and intrinsic call results; every call
+/// the environment does not resolve becomes an *effect* recorded in the
+/// trace. Two runs are behaviourally equivalent when status, return value,
+/// and effect trace all agree — that is the pass@1 oracle.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VEGA_INTERP_INTERPRETER_H
+#define VEGA_INTERP_INTERPRETER_H
+
+#include "ast/Statement.h"
+#include "interp/Value.h"
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+namespace vega {
+
+/// Bindings for one execution: variables, call results, and a fallback
+/// intrinsic resolver.
+class Environment {
+public:
+  /// Binds variable \p Name to \p V (parameters, test inputs).
+  void bind(const std::string &Name, Value V) { Vars[Name] = std::move(V); }
+
+  /// Binds the result of calling \p CalleeKey (e.g. "Fixup.getTargetKind").
+  void bindCall(const std::string &CalleeKey, Value V) {
+    Calls[CalleeKey] = std::move(V);
+  }
+
+  /// Fallback resolver consulted for unbound calls before they become
+  /// effects; return std::nullopt to decline.
+  using IntrinsicFn = std::function<std::optional<Value>(
+      const std::string &Callee, const std::vector<Value> &Args)>;
+  void setIntrinsic(IntrinsicFn Fn) { Intrinsic = std::move(Fn); }
+
+  /// Assigns a numeric ordinal to symbol \p Name so relational operators
+  /// work on enum members ("Kind < FirstTargetFixupKind").
+  void setOrdinal(const std::string &Name, int64_t Ordinal) {
+    Ordinals[Name] = Ordinal;
+  }
+
+  const std::map<std::string, Value> &vars() const { return Vars; }
+  const std::map<std::string, Value> &calls() const { return Calls; }
+  const IntrinsicFn &intrinsic() const { return Intrinsic; }
+  const std::map<std::string, int64_t> &ordinals() const { return Ordinals; }
+
+private:
+  std::map<std::string, Value> Vars;
+  std::map<std::string, Value> Calls;
+  std::map<std::string, int64_t> Ordinals;
+  IntrinsicFn Intrinsic;
+};
+
+/// Outcome of one execution.
+struct ExecResult {
+  enum class Status : uint8_t {
+    Ok,    ///< function returned normally
+    Trap,  ///< report_fatal_error was reached
+    Error, ///< the interpreter rejected the program (bad condition, budget)
+  };
+  Status St = Status::Ok;
+  Value Return;
+  std::string Message; ///< trap/error message
+  std::vector<std::string> Trace; ///< effects, in execution order
+
+  /// Behavioural equivalence (the pass@1 comparison).
+  bool equivalent(const ExecResult &O) const {
+    if (St != O.St)
+      return false;
+    if (St == Status::Error)
+      return true; // both rejected; callers usually treat Error as failure
+    if (St == Status::Trap)
+      return Message == O.Message && Trace == O.Trace;
+    return Return == O.Return && Trace == O.Trace;
+  }
+};
+
+/// The interpreter. Stateless across runs; cheap to construct.
+class Interpreter {
+public:
+  /// Executes \p Fn under \p Env. \p StepBudget bounds the number of
+  /// executed statements (guards against pathological generated code).
+  ExecResult run(const FunctionAST &Fn, const Environment &Env,
+                 int StepBudget = 4096) const;
+};
+
+} // namespace vega
+
+#endif // VEGA_INTERP_INTERPRETER_H

@@ -1,0 +1,92 @@
+//===- interp/Value.h - Runtime values ---------------------------*- C++ -*-===//
+//
+// Part of the VEGA reproduction project.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runtime values for the backend-function interpreter: integers, booleans,
+/// and symbols (enum members, registers, relocation names — compared by
+/// spelling). The interpreter gives the reproduction a semantic pass@1:
+/// a generated function is accurate when it behaves like the golden one on
+/// the regression inputs, not when it is textually identical.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VEGA_INTERP_VALUE_H
+#define VEGA_INTERP_VALUE_H
+
+#include <cstdint>
+#include <string>
+
+namespace vega {
+
+/// A runtime value.
+struct Value {
+  enum class Kind : uint8_t { Unit, Int, Bool, Sym };
+  Kind K = Kind::Unit;
+  int64_t IntV = 0;
+  bool BoolV = false;
+  std::string SymV;
+
+  static Value unit() { return Value(); }
+  static Value integer(int64_t V) {
+    Value R;
+    R.K = Kind::Int;
+    R.IntV = V;
+    return R;
+  }
+  static Value boolean(bool V) {
+    Value R;
+    R.K = Kind::Bool;
+    R.BoolV = V;
+    return R;
+  }
+  static Value symbol(std::string S) {
+    Value R;
+    R.K = Kind::Sym;
+    R.SymV = std::move(S);
+    return R;
+  }
+
+  bool isUnit() const { return K == Kind::Unit; }
+  bool isInt() const { return K == Kind::Int; }
+  bool isBool() const { return K == Kind::Bool; }
+  bool isSym() const { return K == Kind::Sym; }
+
+  bool operator==(const Value &O) const {
+    if (K != O.K)
+      return false;
+    switch (K) {
+    case Kind::Unit:
+      return true;
+    case Kind::Int:
+      return IntV == O.IntV;
+    case Kind::Bool:
+      return BoolV == O.BoolV;
+    case Kind::Sym:
+      return SymV == O.SymV;
+    }
+    return false;
+  }
+
+  /// Printable form (used in effect traces).
+  std::string str() const {
+    switch (K) {
+    case Kind::Unit:
+      return "unit";
+    case Kind::Int:
+      return std::to_string(IntV);
+    case Kind::Bool:
+      return BoolV ? "true" : "false";
+    case Kind::Sym:
+      return SymV;
+    }
+    return "?";
+  }
+};
+
+} // namespace vega
+
+#endif // VEGA_INTERP_VALUE_H

@@ -1,0 +1,200 @@
+//===- lexer/Lexer.cpp - C++-subset tokenizer -----------------------------===//
+//
+// Part of the VEGA reproduction project.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+
+#include "lexer/Lexer.h"
+
+#include <cctype>
+#include <set>
+
+using namespace vega;
+
+const char *vega::tokenKindName(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::Identifier:
+    return "identifier";
+  case TokenKind::Keyword:
+    return "keyword";
+  case TokenKind::IntLiteral:
+    return "int-literal";
+  case TokenKind::StringLiteral:
+    return "string-literal";
+  case TokenKind::CharLiteral:
+    return "char-literal";
+  case TokenKind::Punct:
+    return "punct";
+  case TokenKind::Placeholder:
+    return "placeholder";
+  case TokenKind::EndOfFile:
+    return "eof";
+  }
+  return "unknown";
+}
+
+bool Lexer::isKeyword(std::string_view Word) {
+  static const std::set<std::string, std::less<>> Keywords = {
+      "if",       "else",     "switch",  "case",    "default", "return",
+      "break",    "continue", "for",     "while",   "do",      "unsigned",
+      "signed",   "int",      "bool",    "char",    "short",   "long",
+      "float",    "double",   "void",    "auto",    "const",   "static",
+      "struct",   "class",    "enum",    "namespace", "using", "true",
+      "false",    "nullptr",  "virtual", "override", "public", "private",
+      "protected", "template", "typename", "sizeof", "new",    "delete",
+      "constexpr", "inline",  "let",     "def",     "in",      "string",
+      "bits",     "list",     "include", "field",   "defm",    "multiclass"};
+  return Keywords.count(Word) != 0;
+}
+
+Lexer::Lexer(std::string_view Buffer, bool KeepPreprocessor)
+    : Buffer(Buffer), KeepPreprocessor(KeepPreprocessor) {}
+
+char Lexer::peek(size_t Ahead) const {
+  return Pos + Ahead < Buffer.size() ? Buffer[Pos + Ahead] : '\0';
+}
+
+void Lexer::skipTrivia() {
+  while (Pos < Buffer.size()) {
+    char C = Buffer[Pos];
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      ++Pos;
+      continue;
+    }
+    if (C == '/' && peek(1) == '/') {
+      while (Pos < Buffer.size() && Buffer[Pos] != '\n')
+        ++Pos;
+      continue;
+    }
+    if (C == '/' && peek(1) == '*') {
+      Pos += 2;
+      while (Pos + 1 < Buffer.size() &&
+             !(Buffer[Pos] == '*' && Buffer[Pos + 1] == '/'))
+        ++Pos;
+      Pos = Pos + 2 <= Buffer.size() ? Pos + 2 : Buffer.size();
+      continue;
+    }
+    if (C == '#' && !KeepPreprocessor) {
+      while (Pos < Buffer.size() && Buffer[Pos] != '\n')
+        ++Pos;
+      continue;
+    }
+    break;
+  }
+}
+
+Token Lexer::lex() {
+  skipTrivia();
+  if (Pos >= Buffer.size())
+    return Token(TokenKind::EndOfFile, "", static_cast<uint32_t>(Pos));
+
+  uint32_t Start = static_cast<uint32_t>(Pos);
+  char C = Buffer[Pos];
+
+  // Template placeholders ($SV0, $SV1, ...) survive re-lexing of rendered
+  // statement templates.
+  if (C == '$' &&
+      (std::isalpha(static_cast<unsigned char>(peek(1))) || peek(1) == '_')) {
+    size_t Begin = Pos++;
+    while (Pos < Buffer.size() &&
+           (std::isalnum(static_cast<unsigned char>(Buffer[Pos])) ||
+            Buffer[Pos] == '_'))
+      ++Pos;
+    return Token(TokenKind::Placeholder,
+                 std::string(Buffer.substr(Begin, Pos - Begin)), Start);
+  }
+
+  if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+    size_t Begin = Pos;
+    while (Pos < Buffer.size() &&
+           (std::isalnum(static_cast<unsigned char>(Buffer[Pos])) ||
+            Buffer[Pos] == '_'))
+      ++Pos;
+    std::string Word(Buffer.substr(Begin, Pos - Begin));
+    TokenKind Kind =
+        isKeyword(Word) ? TokenKind::Keyword : TokenKind::Identifier;
+    return Token(Kind, std::move(Word), Start);
+  }
+
+  if (std::isdigit(static_cast<unsigned char>(C))) {
+    size_t Begin = Pos;
+    if (C == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+      Pos += 2;
+      while (Pos < Buffer.size() &&
+             std::isxdigit(static_cast<unsigned char>(Buffer[Pos])))
+        ++Pos;
+    } else {
+      while (Pos < Buffer.size() &&
+             (std::isdigit(static_cast<unsigned char>(Buffer[Pos])) ||
+              Buffer[Pos] == '.'))
+        ++Pos;
+    }
+    // Integer suffixes (u, U, l, L, ull...).
+    while (Pos < Buffer.size() &&
+           (Buffer[Pos] == 'u' || Buffer[Pos] == 'U' || Buffer[Pos] == 'l' ||
+            Buffer[Pos] == 'L'))
+      ++Pos;
+    return Token(TokenKind::IntLiteral,
+                 std::string(Buffer.substr(Begin, Pos - Begin)), Start);
+  }
+
+  if (C == '"') {
+    size_t Begin = Pos++;
+    while (Pos < Buffer.size() && Buffer[Pos] != '"') {
+      if (Buffer[Pos] == '\\')
+        ++Pos;
+      ++Pos;
+    }
+    if (Pos < Buffer.size())
+      ++Pos; // closing quote
+    return Token(TokenKind::StringLiteral,
+                 std::string(Buffer.substr(Begin, Pos - Begin)), Start);
+  }
+
+  if (C == '\'') {
+    size_t Begin = Pos++;
+    while (Pos < Buffer.size() && Buffer[Pos] != '\'') {
+      if (Buffer[Pos] == '\\')
+        ++Pos;
+      ++Pos;
+    }
+    if (Pos < Buffer.size())
+      ++Pos;
+    return Token(TokenKind::CharLiteral,
+                 std::string(Buffer.substr(Begin, Pos - Begin)), Start);
+  }
+
+  // Punctuation: longest-match over multi-character operators.
+  static const char *ThreeChar[] = {"<<=", ">>=", "...", "->*"};
+  static const char *TwoChar[] = {"::", "->", "==", "!=", "<=", ">=", "&&",
+                                  "||", "<<", ">>", "+=", "-=", "*=", "/=",
+                                  "%=", "&=", "|=", "^=", "++", "--"};
+  for (const char *Op : ThreeChar) {
+    if (Buffer.substr(Pos, 3) == Op) {
+      Pos += 3;
+      return Token(TokenKind::Punct, Op, Start);
+    }
+  }
+  for (const char *Op : TwoChar) {
+    if (Buffer.substr(Pos, 2) == Op) {
+      Pos += 2;
+      return Token(TokenKind::Punct, Op, Start);
+    }
+  }
+  ++Pos;
+  return Token(TokenKind::Punct, std::string(1, C), Start);
+}
+
+std::vector<Token> Lexer::lexAll() {
+  std::vector<Token> Tokens;
+  for (Token T = lex(); !T.is(TokenKind::EndOfFile); T = lex())
+    Tokens.push_back(std::move(T));
+  return Tokens;
+}
+
+std::vector<Token> Lexer::tokenize(std::string_view Buffer,
+                                   bool KeepPreprocessor) {
+  Lexer L(Buffer, KeepPreprocessor);
+  return L.lexAll();
+}

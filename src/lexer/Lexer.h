@@ -1,0 +1,57 @@
+//===- lexer/Lexer.h - C++-subset tokenizer ----------------------*- C++ -*-===//
+//
+// Part of the VEGA reproduction project.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Clang-Lexer-flavoured tokenizer for the C++ subset used by backend
+/// sources, TableGen files, and framework headers in the corpus. Comments
+/// and whitespace are skipped; preprocessor lines can optionally be kept as
+/// identifier streams (feature selection scans header tokens).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VEGA_LEXER_LEXER_H
+#define VEGA_LEXER_LEXER_H
+
+#include "lexer/Token.h"
+
+#include <string_view>
+#include <vector>
+
+namespace vega {
+
+/// Tokenizes a buffer of corpus source text.
+class Lexer {
+public:
+  /// \p KeepPreprocessor controls whether '#include' style lines are lexed
+  /// (true) or skipped to end of line (false).
+  explicit Lexer(std::string_view Buffer, bool KeepPreprocessor = false);
+
+  /// Lexes and returns the next token; returns EndOfFile at the end.
+  Token lex();
+
+  /// Lexes the whole buffer (without the trailing EndOfFile token).
+  std::vector<Token> lexAll();
+
+  /// Convenience: tokenize \p Buffer in one call.
+  static std::vector<Token> tokenize(std::string_view Buffer,
+                                     bool KeepPreprocessor = false);
+
+  /// True when \p Word is a C++ keyword in our subset.
+  static bool isKeyword(std::string_view Word);
+
+private:
+  char peek(size_t Ahead = 0) const;
+  void skipTrivia();
+
+  std::string_view Buffer;
+  size_t Pos = 0;
+  bool KeepPreprocessor;
+};
+
+} // namespace vega
+
+#endif // VEGA_LEXER_LEXER_H

@@ -1,0 +1,67 @@
+//===- lexer/Token.h - Token kinds and values --------------------*- C++ -*-===//
+//
+// Part of the VEGA reproduction project.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokens for the C++ subset the backend corpus is written in. The paper's
+/// feature selection (Algorithm 1) and templatization both operate on token
+/// sequences produced by this lexer (its "Tokenizer [42]").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VEGA_LEXER_TOKEN_H
+#define VEGA_LEXER_TOKEN_H
+
+#include <cstdint>
+#include <string>
+
+namespace vega {
+
+/// Lexical category of a token.
+enum class TokenKind : uint8_t {
+  Identifier,    ///< foo, MCFixupKind
+  Keyword,       ///< if, switch, return, unsigned, ...
+  IntLiteral,    ///< 42, 0x1f
+  StringLiteral, ///< "RISCV" (Text keeps the quotes)
+  CharLiteral,   ///< 'a'
+  Punct,         ///< ::, ->, ==, {, }, ;, ...
+  Placeholder,   ///< $SV0, $SV1 ... template placeholders (templatize stage)
+  EndOfFile,
+};
+
+/// A single lexed token. Text always holds the exact spelling.
+struct Token {
+  TokenKind Kind = TokenKind::EndOfFile;
+  std::string Text;
+  uint32_t Offset = 0; ///< byte offset in the lexed buffer
+
+  Token() = default;
+  Token(TokenKind Kind, std::string Text, uint32_t Offset = 0)
+      : Kind(Kind), Text(std::move(Text)), Offset(Offset) {}
+
+  bool is(TokenKind K) const { return Kind == K; }
+  bool isIdentifier(std::string_view Name) const {
+    return Kind == TokenKind::Identifier && Text == Name;
+  }
+  bool isKeyword(std::string_view Name) const {
+    return Kind == TokenKind::Keyword && Text == Name;
+  }
+  bool isPunct(std::string_view Spelling) const {
+    return Kind == TokenKind::Punct && Text == Spelling;
+  }
+  bool isPlaceholder() const { return Kind == TokenKind::Placeholder; }
+
+  bool operator==(const Token &Other) const {
+    return Kind == Other.Kind && Text == Other.Text;
+  }
+};
+
+/// Human-readable name of a token kind, for diagnostics and tests.
+const char *tokenKindName(TokenKind Kind);
+
+} // namespace vega
+
+#endif // VEGA_LEXER_TOKEN_H

@@ -1,0 +1,237 @@
+//===- minicc/Benchmarks.cpp - Workload generators ---------------------------===//
+//
+// Part of the VEGA reproduction project.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+
+#include "minicc/Benchmarks.h"
+
+#include "support/RNG.h"
+
+using namespace vega;
+
+const std::vector<std::string> &vega::specSuite() {
+  static const std::vector<std::string> Names = {
+      "500.perlbench_r", "502.gcc_r",       "505.mcf_r",
+      "508.namd_r",      "510.parest_r",    "511.povray_r",
+      "519.lbm_r",       "520.omnetpp_r",   "523.xalancbmk_r",
+      "525.x264_r",      "526.blender_r",   "531.deepsjeng_r",
+      "538.imagick_r",   "541.leela_r",     "544.nab_r",
+      "557.xz_r",        "600.perlbench_s", "602.gcc_s",
+      "605.mcf_s",       "619.lbm_s",       "620.omnetpp_s",
+      "623.xalancbmk_s", "625.x264_s",      "631.deepsjeng_s",
+      "638.imagick_s",   "641.leela_s",     "644.nab_s",
+      "657.xz_s"};
+  return Names;
+}
+
+const std::vector<std::string> &vega::pulpSuite() {
+  static std::vector<std::string> Names = [] {
+    std::vector<std::string> Out;
+    const char *Groups[] = {"ml", "dsp", "seq", "par", "bit", "mem", "ctl"};
+    for (const char *G : Groups)
+      for (int I = 0; I < 10; ++I)
+        Out.push_back(std::string("pulp_") + G + "_" + std::to_string(I));
+    Out.resize(69);
+    return Out;
+  }();
+  return Names;
+}
+
+const std::vector<std::string> &vega::embenchSuite() {
+  static const std::vector<std::string> Names = {
+      "aha-mont64",  "crc32",        "cubic",       "edn",
+      "huffbench",   "matmult-int",  "md5sum",      "minver",
+      "nbody",       "nettle-aes",   "nettle-sha256", "nsichneu",
+      "picojpeg",    "primecount",   "qrduino",     "sglib-combined",
+      "slre",        "st",           "statemate",   "tarfind",
+      "ud",          "wikisort"};
+  return Names;
+}
+
+namespace {
+
+uint64_t hashName(const std::string &Name) {
+  uint64_t H = 1469598103934665603ULL;
+  for (char C : Name) {
+    H ^= static_cast<unsigned char>(C);
+    H *= 1099511628211ULL;
+  }
+  return H;
+}
+
+/// Kernel builders append blocks to \p Fn.
+void addReductionLoop(IRFunction &Fn, RNG &Rng) {
+  IRBlock Body;
+  Body.Name = "bb" + std::to_string(Fn.Blocks.size());
+  int Acc = Fn.NumVRegs++, Ptr = Fn.NumVRegs++, Elem = Fn.NumVRegs++;
+  int Stride = Fn.NumVRegs++;
+  IRInstr StrideInit;
+  StrideInit.Op = IROp::MovImm;
+  StrideInit.Dst = Stride;
+  StrideInit.Imm = 4;
+  StrideInit.UsesImm = true;
+  StrideInit.LoopInvariant = true;
+  Body.Instrs.push_back(StrideInit);
+  Body.Instrs.push_back({IROp::Load, Elem, Ptr, -1, 0, false, -1, "", false});
+  Body.Instrs.push_back(
+      {IROp::Add, Acc, Acc, Elem, 0, false, -1, "", false});
+  Body.Instrs.push_back(
+      {IROp::Add, Ptr, Ptr, Stride, 0, false, -1, "", false});
+  int CmpReg = Fn.NumVRegs++;
+  Body.Instrs.push_back({IROp::Cmp, CmpReg, Ptr, -1, 4096, true, -1, "",
+                         false});
+  Body.Instrs.push_back({IROp::CondBr, -1, CmpReg, -1, 0, false,
+                         static_cast<int>(Fn.Blocks.size()), "", false});
+  IRLoop Loop;
+  Loop.BodyBlock = static_cast<int>(Fn.Blocks.size());
+  Loop.TripCount = 64 + static_cast<int>(Rng.nextBelow(192));
+  Loop.Vectorizable = true;
+  Fn.Loops.push_back(Loop);
+  Fn.Blocks.push_back(std::move(Body));
+}
+
+void addPointerChaseLoop(IRFunction &Fn, RNG &Rng) {
+  IRBlock Body;
+  Body.Name = "bb" + std::to_string(Fn.Blocks.size());
+  int Node = Fn.NumVRegs++, Next = Fn.NumVRegs++, Sum = Fn.NumVRegs++;
+  Body.Instrs.push_back({IROp::Load, Next, Node, -1, 0, false, -1, "", false});
+  Body.Instrs.push_back({IROp::Load, Sum, Next, -1, 8, true, -1, "", false});
+  Body.Instrs.push_back({IROp::Mov, Node, Next, -1, 0, false, -1, "", false});
+  int CmpReg = Fn.NumVRegs++;
+  Body.Instrs.push_back(
+      {IROp::Cmp, CmpReg, Node, -1, 0, true, -1, "", false});
+  Body.Instrs.push_back({IROp::CondBr, -1, CmpReg, -1, 0, false,
+                         static_cast<int>(Fn.Blocks.size()), "", false});
+  IRLoop Loop;
+  Loop.BodyBlock = static_cast<int>(Fn.Blocks.size());
+  Loop.TripCount = 128 + static_cast<int>(Rng.nextBelow(256));
+  Loop.Vectorizable = false;
+  Fn.Loops.push_back(Loop);
+  Fn.Blocks.push_back(std::move(Body));
+}
+
+void addBranchyLoop(IRFunction &Fn, RNG &Rng) {
+  IRBlock Body;
+  Body.Name = "bb" + std::to_string(Fn.Blocks.size());
+  int X = Fn.NumVRegs++, Y = Fn.NumVRegs++, M = Fn.NumVRegs++;
+  Body.Instrs.push_back({IROp::And, M, X, -1, 1, true, -1, "", false});
+  int CmpReg = Fn.NumVRegs++;
+  Body.Instrs.push_back({IROp::Cmp, CmpReg, M, -1, 0, true, -1, "", false});
+  Body.Instrs.push_back({IROp::CondBr, -1, CmpReg, -1, 0, false, 0, "",
+                         false});
+  Body.Instrs.push_back({IROp::Add, Y, Y, X, 0, false, -1, "", false});
+  Body.Instrs.push_back({IROp::Shr, X, X, -1, 1, true, -1, "", false});
+  Body.Instrs.push_back({IROp::CondBr, -1, X, -1, 0, false,
+                         static_cast<int>(Fn.Blocks.size()), "", false});
+  IRLoop Loop;
+  Loop.BodyBlock = static_cast<int>(Fn.Blocks.size());
+  Loop.TripCount = 32 + static_cast<int>(Rng.nextBelow(96));
+  Loop.Vectorizable = false;
+  Loop.NumBlocks = 2; // branchy: not a candidate for strict hw loops
+  Fn.Loops.push_back(Loop);
+  Fn.Blocks.push_back(std::move(Body));
+}
+
+void addMulDivKernel(IRFunction &Fn, RNG &Rng) {
+  IRBlock Body;
+  Body.Name = "bb" + std::to_string(Fn.Blocks.size());
+  int A = Fn.NumVRegs++, B = Fn.NumVRegs++, C = Fn.NumVRegs++;
+  Body.Instrs.push_back({IROp::Mul, C, A, -1, 8, true, -1, "", false});
+  Body.Instrs.push_back({IROp::Mul, C, C, B, 0, false, -1, "", false});
+  Body.Instrs.push_back({IROp::Div, C, C, A, 0, false, -1, "", false});
+  int CmpReg = Fn.NumVRegs++;
+  Body.Instrs.push_back({IROp::Cmp, CmpReg, C, -1, 100, true, -1, "", false});
+  Body.Instrs.push_back({IROp::CondBr, -1, CmpReg, -1, 0, false,
+                         static_cast<int>(Fn.Blocks.size()), "", false});
+  IRLoop Loop;
+  Loop.BodyBlock = static_cast<int>(Fn.Blocks.size());
+  Loop.TripCount = 16 + static_cast<int>(Rng.nextBelow(48));
+  Fn.Loops.push_back(Loop);
+  Fn.Blocks.push_back(std::move(Body));
+}
+
+void addStraightLine(IRFunction &Fn, RNG &Rng) {
+  IRBlock Body;
+  Body.Name = "bb" + std::to_string(Fn.Blocks.size());
+  int Count = 6 + static_cast<int>(Rng.nextBelow(10));
+  int Prev = Fn.NumVRegs++;
+  IRInstr Init;
+  Init.Op = IROp::MovImm;
+  Init.Dst = Prev;
+  Init.Imm = 3;
+  Init.UsesImm = true;
+  Body.Instrs.push_back(Init);
+  for (int I = 0; I < Count; ++I) {
+    int Dst = Fn.NumVRegs++;
+    IROp Op = Rng.nextBool(0.5) ? IROp::Add : IROp::Xor;
+    Body.Instrs.push_back({Op, Dst, Prev, -1,
+                           static_cast<int64_t>(Rng.nextBelow(64)), true, -1,
+                           "", false});
+    // Some results are dead on purpose (DCE fodder).
+    if (!Rng.nextBool(0.3))
+      Prev = Dst;
+  }
+  IRInstr StoreIt;
+  StoreIt.Op = IROp::Store;
+  StoreIt.A = Prev;
+  Body.Instrs.push_back(StoreIt);
+  Fn.Blocks.push_back(std::move(Body));
+}
+
+void addCallKernel(IRFunction &Fn, RNG &Rng) {
+  IRBlock Body;
+  Body.Name = "bb" + std::to_string(Fn.Blocks.size());
+  int Count = 2 + static_cast<int>(Rng.nextBelow(3));
+  for (int I = 0; I < Count; ++I) {
+    IRInstr CallIt;
+    CallIt.Op = IROp::Call;
+    CallIt.Callee = "helper" + std::to_string(I);
+    Body.Instrs.push_back(CallIt);
+  }
+  Fn.Blocks.push_back(std::move(Body));
+}
+
+} // namespace
+
+IRModule vega::buildBenchmark(const std::string &BenchmarkName) {
+  IRModule Module;
+  Module.Name = BenchmarkName;
+  RNG Rng(hashName(BenchmarkName));
+
+  int FnCount = 2 + static_cast<int>(Rng.nextBelow(3));
+  for (int F = 0; F < FnCount; ++F) {
+    IRFunction Fn;
+    Fn.Name = BenchmarkName + "_fn" + std::to_string(F);
+    addStraightLine(Fn, Rng);
+    int Kernels = 1 + static_cast<int>(Rng.nextBelow(3));
+    for (int K = 0; K < Kernels; ++K) {
+      switch (Rng.nextBelow(5)) {
+      case 0:
+        addReductionLoop(Fn, Rng);
+        break;
+      case 1:
+        addPointerChaseLoop(Fn, Rng);
+        break;
+      case 2:
+        addBranchyLoop(Fn, Rng);
+        break;
+      case 3:
+        addMulDivKernel(Fn, Rng);
+        break;
+      default:
+        addCallKernel(Fn, Rng);
+        break;
+      }
+    }
+    IRBlock Exit;
+    Exit.Name = "exit";
+    IRInstr RetIt;
+    RetIt.Op = IROp::Ret;
+    Exit.Instrs.push_back(RetIt);
+    Fn.Blocks.push_back(std::move(Exit));
+    Module.Functions.push_back(std::move(Fn));
+  }
+  return Module;
+}

@@ -1,0 +1,42 @@
+//===- minicc/Benchmarks.h - Workload generators -----------------*- C++ -*-===//
+//
+// Part of the VEGA reproduction project.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Synthetic workloads standing in for the paper's §4.1.3 suites: 28 C/C++
+/// SPEC CPU2017 benchmarks (RISC-V), 69 PULP regression tests (RI5CY), and
+/// 22 Embench programs (xCORE). Each named benchmark deterministically
+/// expands to a toy-IR module mixing the kernel shapes that exercise the
+/// optimizer: reductions (vectorizable), pointer chases (load-bound),
+/// branchy loops, call-heavy and division-heavy code, plus dead and
+/// constant-foldable instructions for -O3 to harvest.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VEGA_MINICC_BENCHMARKS_H
+#define VEGA_MINICC_BENCHMARKS_H
+
+#include "minicc/IR.h"
+
+#include <vector>
+
+namespace vega {
+
+/// The 28 C/C++ SPEC CPU2017 benchmark names (paper's RISC-V workload).
+const std::vector<std::string> &specSuite();
+
+/// 69 PULP regression test names (paper's RI5CY workload).
+const std::vector<std::string> &pulpSuite();
+
+/// 22 Embench names (paper's xCORE workload).
+const std::vector<std::string> &embenchSuite();
+
+/// Builds the deterministic toy-IR module for \p BenchmarkName.
+IRModule buildBenchmark(const std::string &BenchmarkName);
+
+} // namespace vega
+
+#endif // VEGA_MINICC_BENCHMARKS_H

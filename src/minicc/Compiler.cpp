@@ -1,0 +1,277 @@
+//===- minicc/Compiler.cpp - The mini compiler -------------------------------===//
+//
+// Part of the VEGA reproduction project.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+
+#include "minicc/Compiler.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+using namespace vega;
+
+namespace {
+
+InstrClass classOf(IROp Op) {
+  switch (Op) {
+  case IROp::Add:
+  case IROp::Sub:
+  case IROp::And:
+  case IROp::Or:
+  case IROp::Xor:
+    return InstrClass::Alu;
+  case IROp::Mul:
+    return InstrClass::Mul;
+  case IROp::Div:
+    return InstrClass::Div;
+  case IROp::Shl:
+  case IROp::Shr:
+    return InstrClass::Shift;
+  case IROp::Cmp:
+    return InstrClass::Cmp;
+  case IROp::Mov:
+  case IROp::MovImm:
+    return InstrClass::Mov;
+  case IROp::Load:
+    return InstrClass::Load;
+  case IROp::Store:
+    return InstrClass::Store;
+  case IROp::Br:
+  case IROp::CondBr:
+    return InstrClass::Branch;
+  case IROp::Call:
+    return InstrClass::Call;
+  case IROp::Ret:
+    return InstrClass::Ret;
+  }
+  return InstrClass::Alu;
+}
+
+MachineInstr makeInstr(InstrClass Class, const TargetTraits &Traits,
+                       const BackendHooks &Hooks) {
+  MachineInstr MI;
+  MI.Class = Class;
+  MI.Cycles = Hooks.Latency ? Hooks.Latency(Class) : 1;
+  if (const InstrInfo *I = Traits.findInstr(Class))
+    MI.Size = I->Size;
+  return MI;
+}
+
+/// Optimization pipeline state for one function.
+struct OptimizedIR {
+  IRFunction Fn;
+  std::set<std::pair<int, int>> Removed; ///< (block, instr) erased
+  std::set<std::pair<int, int>> Hoisted; ///< moved to the preheader
+  std::set<std::pair<int, int>> Strength; ///< mul→shift
+  std::set<int> VectorizedBlocks;
+  std::set<int> HwLoopBlocks;
+};
+
+/// Constant folding + dead-code elimination + strength reduction + LICM +
+/// vectorization + hardware-loop conversion, all as marks over the IR.
+OptimizedIR optimize(const IRFunction &Fn, const BackendHooks &Hooks) {
+  OptimizedIR Out;
+  Out.Fn = Fn;
+
+  // Liveness for DCE: a vreg is live if any instruction reads it or it
+  // feeds a store/branch/call/ret.
+  std::set<int> Read;
+  for (const IRBlock &B : Fn.Blocks)
+    for (const IRInstr &I : B.Instrs) {
+      if (I.A >= 0)
+        Read.insert(I.A);
+      if (I.B >= 0)
+        Read.insert(I.B);
+    }
+
+  // Constants for folding: vregs defined by MovImm.
+  std::set<int> ConstRegs;
+  for (const IRBlock &B : Fn.Blocks)
+    for (const IRInstr &I : B.Instrs)
+      if (I.Op == IROp::MovImm && I.Dst >= 0)
+        ConstRegs.insert(I.Dst);
+
+  for (size_t BI = 0; BI < Fn.Blocks.size(); ++BI) {
+    const IRBlock &B = Fn.Blocks[BI];
+    const IRLoop *Loop = Fn.loopOf(static_cast<int>(BI));
+    for (size_t II = 0; II < B.Instrs.size(); ++II) {
+      const IRInstr &I = B.Instrs[II];
+      auto Key = std::make_pair(static_cast<int>(BI), static_cast<int>(II));
+
+      // DCE: pure def never read.
+      bool Pure = I.Op != IROp::Store && I.Op != IROp::Call &&
+                  I.Op != IROp::Br && I.Op != IROp::CondBr &&
+                  I.Op != IROp::Ret;
+      if (Pure && I.Dst >= 0 && !Read.count(I.Dst)) {
+        Out.Removed.insert(Key);
+        continue;
+      }
+      // Constant folding: arithmetic over two constants folds to MovImm,
+      // and a fold of a fold disappears entirely; model as removal when
+      // both operands are constant.
+      bool Arith = I.Op == IROp::Add || I.Op == IROp::Sub ||
+                   I.Op == IROp::Mul || I.Op == IROp::And ||
+                   I.Op == IROp::Or || I.Op == IROp::Xor;
+      if (Arith && I.A >= 0 && ConstRegs.count(I.A) &&
+          (I.B < 0 || ConstRegs.count(I.B))) {
+        Out.Removed.insert(Key);
+        if (I.Dst >= 0)
+          ConstRegs.insert(I.Dst);
+        continue;
+      }
+      // Strength reduction: multiply by a power-of-two immediate.
+      if (I.Op == IROp::Mul && I.UsesImm && I.Imm > 0 &&
+          (I.Imm & (I.Imm - 1)) == 0) {
+        Out.Strength.insert(Key);
+        continue;
+      }
+      // LICM.
+      if (Loop && I.LoopInvariant)
+        Out.Hoisted.insert(Key);
+    }
+  }
+
+  // Loop transforms.
+  for (const IRLoop &L : Fn.Loops) {
+    if (L.Vectorizable && Hooks.VectorWidth >= 64)
+      Out.VectorizedBlocks.insert(L.BodyBlock);
+    if (Hooks.HardwareLoops && L.ConstantTrip && L.NumBlocks == 1)
+      Out.HwLoopBlocks.insert(L.BodyBlock);
+  }
+  return Out;
+}
+
+} // namespace
+
+MachineFunction vega::compileFunction(const IRFunction &Fn,
+                                      const TargetTraits &Traits,
+                                      const BackendHooks &Hooks,
+                                      OptLevel Level) {
+  MachineFunction MF;
+  MF.Name = Fn.Name;
+
+  // Prologue block.
+  MachineBlock Prologue;
+  Prologue.Instrs.push_back(makeInstr(InstrClass::Store, Traits, Hooks));
+  Prologue.Instrs.push_back(makeInstr(InstrClass::Alu, Traits, Hooks));
+  MF.Blocks.push_back(std::move(Prologue));
+
+  OptimizedIR Opt = Level == OptLevel::O3
+                        ? optimize(Fn, Hooks)
+                        : OptimizedIR{Fn, {}, {}, {}, {}, {}};
+
+  // Register pressure: at -O0 everything is spilled; at -O3 we spill only
+  // the virtual registers beyond the allocatable set.
+  int Allocatable = std::max(2, Traits.RegisterCount - Traits.ReservedRegCount);
+  bool SpillEverything = Level == OptLevel::O0;
+  int SpilledRegs =
+      SpillEverything ? Fn.NumVRegs : std::max(0, Fn.NumVRegs - Allocatable);
+  MF.SpillCount = SpilledRegs;
+  // At -O3 a spilled vreg costs one reload per use in hot blocks; model by
+  // marking a fraction of operand reads as memory ops.
+  double SpillFraction =
+      Fn.NumVRegs == 0
+          ? 0.0
+          : static_cast<double>(SpilledRegs) / static_cast<double>(Fn.NumVRegs);
+
+  for (size_t BI = 0; BI < Fn.Blocks.size(); ++BI) {
+    const IRBlock &B = Fn.Blocks[BI];
+    MachineBlock MB;
+    const IRLoop *Loop = Fn.loopOf(static_cast<int>(BI));
+    MB.ExecCount = Loop ? Loop->TripCount : 1;
+    bool Vectorized = Opt.VectorizedBlocks.count(static_cast<int>(BI)) != 0;
+    if (Vectorized)
+      MB.ExecCount = std::max<int64_t>(1, MB.ExecCount / 4);
+    MB.HardwareLoopBody = Opt.HwLoopBlocks.count(static_cast<int>(BI)) != 0;
+
+    int SpillCounter = 0;
+    bool PrevWasLoad = false;
+    for (size_t II = 0; II < B.Instrs.size(); ++II) {
+      const IRInstr &I = B.Instrs[II];
+      auto Key = std::make_pair(static_cast<int>(BI), static_cast<int>(II));
+      if (Opt.Removed.count(Key))
+        continue;
+      if (Opt.Hoisted.count(Key)) {
+        // Execute once in the entry block instead of per iteration.
+        MF.Blocks.front().Instrs.push_back(
+            makeInstr(classOf(I.Op), Traits, Hooks));
+        continue;
+      }
+      // Hardware loops drop the per-iteration compare and branch.
+      if (MB.HardwareLoopBody &&
+          (I.Op == IROp::CondBr || I.Op == IROp::Cmp))
+        continue;
+
+      InstrClass Class = classOf(I.Op);
+      if (Opt.Strength.count(Key))
+        Class = InstrClass::Shift;
+      if (Vectorized && (Class == InstrClass::Alu || Class == InstrClass::Mul))
+        Class = Traits.HasSimd ? InstrClass::Simd : Class;
+
+      // -O0 lowering reloads operands and stores results through the stack.
+      auto EmitOperandLoads = [&](int Count) {
+        for (int K = 0; K < Count; ++K) {
+          MB.Instrs.push_back(makeInstr(InstrClass::Load, Traits, Hooks));
+          PrevWasLoad = true;
+        }
+      };
+      if (SpillEverything) {
+        int Operands = (I.A >= 0) + (I.B >= 0);
+        EmitOperandLoads(Operands);
+      } else if (SpillFraction > 0.0) {
+        // Deterministic modulo pattern approximating reload frequency.
+        int Operands = (I.A >= 0) + (I.B >= 0);
+        for (int K = 0; K < Operands; ++K) {
+          if (++SpillCounter * SpillFraction >= 1.0) {
+            SpillCounter = 0;
+            EmitOperandLoads(1);
+          }
+        }
+      }
+
+      MachineInstr MI = makeInstr(Class, Traits, Hooks);
+      MI.DependsOnPrevLoad = PrevWasLoad;
+      PrevWasLoad = Class == InstrClass::Load;
+      MB.Instrs.push_back(MI);
+
+      if (SpillEverything && I.Dst >= 0 && I.Op != IROp::Load)
+        MB.Instrs.push_back(makeInstr(InstrClass::Store, Traits, Hooks));
+    }
+
+    // Hardware-loop setup lands in the preheader (entry block here).
+    if (MB.HardwareLoopBody && Traits.findInstr(InstrClass::HwLoop))
+      MF.Blocks.front().Instrs.push_back(
+          makeInstr(InstrClass::HwLoop, Traits, Hooks));
+
+    // Post-RA scheduling hides load-use latency by reordering: clear the
+    // dependency flags on alternate instructions.
+    if (Level == OptLevel::O3 && Hooks.PostRAScheduler) {
+      bool Toggle = false;
+      for (MachineInstr &MI : MB.Instrs) {
+        if (MI.DependsOnPrevLoad && (Toggle = !Toggle))
+          MI.DependsOnPrevLoad = false;
+      }
+    }
+    MF.Blocks.push_back(std::move(MB));
+  }
+
+  // Epilogue.
+  MachineBlock Epilogue;
+  Epilogue.Instrs.push_back(makeInstr(InstrClass::Load, Traits, Hooks));
+  Epilogue.Instrs.push_back(makeInstr(InstrClass::Ret, Traits, Hooks));
+  MF.Blocks.push_back(std::move(Epilogue));
+  return MF;
+}
+
+MachineProgram vega::compileModule(const IRModule &Module,
+                                   const TargetTraits &Traits,
+                                   const BackendHooks &Hooks, OptLevel Level) {
+  MachineProgram Program;
+  Program.Name = Module.Name;
+  for (const IRFunction &Fn : Module.Functions)
+    Program.Functions.push_back(compileFunction(Fn, Traits, Hooks, Level));
+  return Program;
+}

@@ -1,0 +1,76 @@
+//===- minicc/Compiler.h - The mini compiler ---------------------*- C++ -*-===//
+//
+// Part of the VEGA reproduction project.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The mini compiler: lowers the toy IR to machine code for a synthetic
+/// target through the hook table. -O0 is a classic everything-through-the-
+/// stack lowering; -O3 runs constant folding, dead-code elimination,
+/// strength reduction, loop-invariant code motion, SIMD vectorization,
+/// hardware-loop conversion, and latency-aware scheduling — each gated by
+/// the backend hooks, so backend quality shows up in the cycle counts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VEGA_MINICC_COMPILER_H
+#define VEGA_MINICC_COMPILER_H
+
+#include "minicc/Hooks.h"
+#include "minicc/IR.h"
+
+namespace vega {
+
+/// One emitted machine instruction (structural; the simulator prices it).
+struct MachineInstr {
+  InstrClass Class = InstrClass::Alu;
+  int Cycles = 1;
+  int Size = 4;
+  bool DependsOnPrevLoad = false; ///< scheduling stall candidate
+};
+
+/// A machine basic block with its execution count.
+struct MachineBlock {
+  std::vector<MachineInstr> Instrs;
+  int64_t ExecCount = 1;
+  bool HardwareLoopBody = false; ///< loop overhead removed by hw loops
+};
+
+/// A compiled function.
+struct MachineFunction {
+  std::string Name;
+  std::vector<MachineBlock> Blocks;
+  int SpillCount = 0;
+
+  size_t instrCount() const {
+    size_t N = 0;
+    for (const MachineBlock &B : Blocks)
+      N += B.Instrs.size();
+    return N;
+  }
+};
+
+/// A compiled module.
+struct MachineProgram {
+  std::string Name;
+  std::vector<MachineFunction> Functions;
+};
+
+/// Optimization level (§4.3 compares -O3 against -O0).
+enum class OptLevel { O0, O3 };
+
+/// Compiles \p Fn for the target described by \p Traits and \p Hooks.
+MachineFunction compileFunction(const IRFunction &Fn,
+                                const TargetTraits &Traits,
+                                const BackendHooks &Hooks, OptLevel Level);
+
+/// Compiles a whole module.
+MachineProgram compileModule(const IRModule &Module,
+                             const TargetTraits &Traits,
+                             const BackendHooks &Hooks, OptLevel Level);
+
+} // namespace vega
+
+#endif // VEGA_MINICC_COMPILER_H

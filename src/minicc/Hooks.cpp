@@ -1,0 +1,96 @@
+//===- minicc/Hooks.cpp - Backend hooks driving the compiler ----------------===//
+//
+// Part of the VEGA reproduction project.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+
+#include "minicc/Hooks.h"
+
+#include "interp/Interpreter.h"
+
+using namespace vega;
+
+BackendHooks vega::hooksFromTraits(const TargetTraits &Traits) {
+  BackendHooks Hooks;
+  TargetTraits Copy = Traits; // captured by value for lifetime safety
+  Hooks.Latency = [Copy](InstrClass Class) {
+    if (const InstrInfo *I = Copy.findInstr(Class))
+      return I->Cycles;
+    return 1;
+  };
+  Hooks.PostRAScheduler = Traits.HasPostRAScheduler;
+  Hooks.HardwareLoops = Traits.HasHardwareLoop;
+  Hooks.VectorWidth = Traits.HasSimd ? Traits.VectorWidth : 0;
+  Hooks.StackAlignment = Traits.StackAlignment;
+  Hooks.BranchLatency = Traits.BranchLatency;
+  return Hooks;
+}
+
+BackendHooks vega::hooksFromFunctions(
+    const TargetTraits &Traits,
+    const std::map<std::string, const FunctionAST *> &Functions) {
+  BackendHooks Hooks = hooksFromTraits(Traits);
+  Interpreter Interp;
+
+  auto Find = [&](const char *Name) -> const FunctionAST * {
+    auto It = Functions.find(Name);
+    return It == Functions.end() ? nullptr : It->second;
+  };
+
+  if (const FunctionAST *Latency = Find("getInstrLatency")) {
+    // Snapshot per-class latencies by interpreting the function once per
+    // instruction class present on the target.
+    auto Table = std::make_shared<std::map<int, int>>();
+    for (const InstrInfo &I : Traits.Instructions) {
+      Environment Env;
+      Env.bindCall("MI.getOpcode",
+                   Value::symbol(Traits.Name + "::" + I.Name));
+      ExecResult R = Interp.run(*Latency, Env);
+      int Cycles = I.Cycles;
+      if (R.St == ExecResult::Status::Ok && R.Return.isInt())
+        Cycles = static_cast<int>(R.Return.IntV);
+      auto [It, Inserted] =
+          Table->emplace(static_cast<int>(I.Class), Cycles);
+      (void)Inserted;
+      (void)It;
+    }
+    TargetTraits Copy = Traits;
+    Hooks.Latency = [Table, Copy](InstrClass Class) {
+      auto It = Table->find(static_cast<int>(Class));
+      if (It != Table->end())
+        return It->second;
+      if (const InstrInfo *I = Copy.findInstr(Class))
+        return I->Cycles;
+      return 1;
+    };
+  }
+
+  if (const FunctionAST *PostRA = Find("enablePostRAScheduler")) {
+    Environment Env;
+    ExecResult R = Interp.run(*PostRA, Env);
+    if (R.St == ExecResult::Status::Ok && R.Return.isBool())
+      Hooks.PostRAScheduler = R.Return.BoolV;
+  }
+
+  if (const FunctionAST *HwLoop = Find("isHardwareLoopProfitable")) {
+    Environment Env;
+    Env.bindCall("L.hasConstantTripCount", Value::boolean(true));
+    Env.bindCall("L.getNumBlocks", Value::integer(1));
+    ExecResult R = Interp.run(*HwLoop, Env);
+    Hooks.HardwareLoops =
+        R.St == ExecResult::Status::Ok && R.Return.isBool() && R.Return.BoolV;
+  } else {
+    Hooks.HardwareLoops = false;
+  }
+
+  if (const FunctionAST *Width = Find("getVectorRegisterWidth")) {
+    Environment Env;
+    ExecResult R = Interp.run(*Width, Env);
+    if (R.St == ExecResult::Status::Ok && R.Return.isInt())
+      Hooks.VectorWidth = static_cast<int>(R.Return.IntV);
+  } else {
+    Hooks.VectorWidth = 0;
+  }
+  return Hooks;
+}

@@ -1,0 +1,53 @@
+//===- minicc/Hooks.h - Backend hooks driving the compiler -------*- C++ -*-===//
+//
+// Part of the VEGA reproduction project.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The mini compiler's target-dependent behaviour is routed through a small
+/// hook table. Hooks can be derived directly from a target's traits (the
+/// base compiler) or by *interpreting* backend functions — golden or
+/// VEGA-generated — which is how a generated/repaired backend actually
+/// drives compilation in the §4.3 experiments.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VEGA_MINICC_HOOKS_H
+#define VEGA_MINICC_HOOKS_H
+
+#include "ast/Statement.h"
+#include "corpus/TargetTraits.h"
+
+#include <functional>
+#include <map>
+
+namespace vega {
+
+/// Target-dependent knobs the compiler consults.
+struct BackendHooks {
+  /// Latency of an instruction class in cycles.
+  std::function<int(InstrClass)> Latency;
+  bool PostRAScheduler = false;
+  bool HardwareLoops = false;
+  int VectorWidth = 0;
+  int StackAlignment = 8;
+  int BranchLatency = 2;
+};
+
+/// Hooks straight from traits (the base compiler's behaviour).
+BackendHooks hooksFromTraits(const TargetTraits &Traits);
+
+/// Hooks obtained by interpreting backend functions. \p Functions maps
+/// interface names ("getInstrLatency", "enablePostRAScheduler",
+/// "isHardwareLoopProfitable", "getVectorRegisterWidth") to ASTs; missing
+/// or misbehaving entries fall back to conservative defaults, so a broken
+/// generated function shows up as a performance (not correctness) delta.
+BackendHooks
+hooksFromFunctions(const TargetTraits &Traits,
+                   const std::map<std::string, const FunctionAST *> &Functions);
+
+} // namespace vega
+
+#endif // VEGA_MINICC_HOOKS_H

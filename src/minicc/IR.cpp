@@ -1,0 +1,89 @@
+//===- minicc/IR.cpp - Toy intermediate representation -----------------------===//
+//
+// Part of the VEGA reproduction project.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+
+#include "minicc/IR.h"
+
+using namespace vega;
+
+const char *vega::irOpName(IROp Op) {
+  switch (Op) {
+  case IROp::Add:
+    return "add";
+  case IROp::Sub:
+    return "sub";
+  case IROp::Mul:
+    return "mul";
+  case IROp::Div:
+    return "div";
+  case IROp::And:
+    return "and";
+  case IROp::Or:
+    return "or";
+  case IROp::Xor:
+    return "xor";
+  case IROp::Shl:
+    return "shl";
+  case IROp::Shr:
+    return "shr";
+  case IROp::Cmp:
+    return "cmp";
+  case IROp::Mov:
+    return "mov";
+  case IROp::MovImm:
+    return "movi";
+  case IROp::Load:
+    return "load";
+  case IROp::Store:
+    return "store";
+  case IROp::Br:
+    return "br";
+  case IROp::CondBr:
+    return "condbr";
+  case IROp::Call:
+    return "call";
+  case IROp::Ret:
+    return "ret";
+  }
+  return "?";
+}
+
+std::string vega::printModule(const IRModule &Module) {
+  std::string Out = "module " + Module.Name + "\n";
+  for (const IRFunction &Fn : Module.Functions) {
+    Out += "fn " + Fn.Name + " (vregs=" + std::to_string(Fn.NumVRegs) + ")\n";
+    for (size_t B = 0; B < Fn.Blocks.size(); ++B) {
+      const IRBlock &Block = Fn.Blocks[B];
+      Out += Block.Name + ":";
+      if (const IRLoop *L = Fn.loopOf(static_cast<int>(B))) {
+        Out += "  ; loop trip=" + std::to_string(L->TripCount);
+        if (L->Vectorizable)
+          Out += " vectorizable";
+      }
+      Out += "\n";
+      for (const IRInstr &I : Block.Instrs) {
+        Out += "  ";
+        Out += irOpName(I.Op);
+        if (I.Dst >= 0)
+          Out += " v" + std::to_string(I.Dst);
+        if (I.A >= 0)
+          Out += ", v" + std::to_string(I.A);
+        if (I.B >= 0)
+          Out += ", v" + std::to_string(I.B);
+        if (I.UsesImm)
+          Out += ", #" + std::to_string(I.Imm);
+        if (I.TargetBlock >= 0)
+          Out += " -> bb" + std::to_string(I.TargetBlock);
+        if (!I.Callee.empty())
+          Out += " @" + I.Callee;
+        if (I.LoopInvariant)
+          Out += "  ; invariant";
+        Out += "\n";
+      }
+    }
+  }
+  return Out;
+}

@@ -1,0 +1,113 @@
+//===- minicc/IR.h - Toy intermediate representation -------------*- C++ -*-===//
+//
+// Part of the VEGA reproduction project.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The toy IR consumed by the mini compiler (the substrate behind §4.3's
+/// robustness and performance experiments). A function is a list of basic
+/// blocks of three-address instructions over virtual registers, with loop
+/// metadata (trip counts, vectorizability) attached for the optimizer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VEGA_MINICC_IR_H
+#define VEGA_MINICC_IR_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vega {
+
+/// IR operations.
+enum class IROp : uint8_t {
+  Add,
+  Sub,
+  Mul,
+  Div,
+  And,
+  Or,
+  Xor,
+  Shl,
+  Shr,
+  Cmp,
+  Mov,    ///< register copy
+  MovImm, ///< load immediate
+  Load,
+  Store,
+  Br,     ///< unconditional branch
+  CondBr, ///< conditional branch
+  Call,
+  Ret,
+};
+
+/// Printable opcode name.
+const char *irOpName(IROp Op);
+
+/// One three-address instruction.
+struct IRInstr {
+  IROp Op = IROp::Add;
+  int Dst = -1; ///< destination vreg (-1 = none)
+  int A = -1;   ///< first source vreg
+  int B = -1;   ///< second source vreg
+  int64_t Imm = 0;
+  bool UsesImm = false;
+  int TargetBlock = -1; ///< branch target
+  std::string Callee;   ///< for Call
+  bool LoopInvariant = false; ///< candidate for hoisting
+};
+
+/// A basic block.
+struct IRBlock {
+  std::string Name;
+  std::vector<IRInstr> Instrs;
+};
+
+/// Loop metadata for the optimizer (single-level loops).
+struct IRLoop {
+  int BodyBlock = -1;
+  int TripCount = 1;
+  bool ConstantTrip = true;
+  bool Vectorizable = false;
+  int NumBlocks = 1;
+};
+
+/// A function.
+struct IRFunction {
+  std::string Name;
+  int NumVRegs = 0;
+  std::vector<IRBlock> Blocks;
+  std::vector<IRLoop> Loops;
+
+  /// The loop whose body is \p BlockIndex, or nullptr.
+  const IRLoop *loopOf(int BlockIndex) const {
+    for (const IRLoop &L : Loops)
+      if (L.BodyBlock == BlockIndex)
+        return &L;
+    return nullptr;
+  }
+
+  /// Total instruction count.
+  size_t size() const {
+    size_t N = 0;
+    for (const IRBlock &B : Blocks)
+      N += B.Instrs.size();
+    return N;
+  }
+};
+
+/// A translation unit.
+struct IRModule {
+  std::string Name;
+  std::vector<IRFunction> Functions;
+};
+
+/// Renders a module as text (for examples and debugging).
+std::string printModule(const IRModule &Module);
+
+} // namespace vega
+
+#endif // VEGA_MINICC_IR_H

@@ -1,0 +1,490 @@
+//===- model/Autograd.cpp - Tape-based reverse-mode autodiff ----------------===//
+//
+// Part of the VEGA reproduction project.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+
+#include "model/Autograd.h"
+
+#include "support/RNG.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace vega;
+
+TensorPtr vega::makeTensor(int Rows, int Cols, bool RequiresGrad) {
+  return std::make_shared<Tensor>(Rows, Cols, RequiresGrad);
+}
+
+TensorPtr vega::makeParam(int Rows, int Cols, float Scale, uint64_t Seed) {
+  TensorPtr T = makeTensor(Rows, Cols, /*RequiresGrad=*/true);
+  RNG Rng(Seed);
+  for (float &V : T->Data)
+    V = static_cast<float>(Rng.nextDouble(-Scale, Scale));
+  return T;
+}
+
+namespace {
+
+TensorPtr makeResult(int Rows, int Cols,
+                     std::initializer_list<TensorPtr> Parents) {
+  bool NeedsGrad = false;
+  for (const TensorPtr &P : Parents)
+    if (P->RequiresGrad || P->Backward)
+      NeedsGrad = true;
+  TensorPtr Out = makeTensor(Rows, Cols, NeedsGrad);
+  Out->ensureGrad();
+  for (const TensorPtr &P : Parents) {
+    P->ensureGrad();
+    Out->Parents.push_back(P);
+  }
+  return Out;
+}
+
+} // namespace
+
+TensorPtr vega::matmul(const TensorPtr &A, const TensorPtr &B) {
+  assert(A->Cols == B->Rows && "matmul shape mismatch");
+  TensorPtr Out = makeResult(A->Rows, B->Cols, {A, B});
+  const int M = A->Rows, K = A->Cols, N = B->Cols;
+  for (int I = 0; I < M; ++I) {
+    for (int P = 0; P < K; ++P) {
+      float AV = A->Data[static_cast<size_t>(I) * K + P];
+      if (AV == 0.0f)
+        continue;
+      const float *BRow = &B->Data[static_cast<size_t>(P) * N];
+      float *ORow = &Out->Data[static_cast<size_t>(I) * N];
+      for (int J = 0; J < N; ++J)
+        ORow[J] += AV * BRow[J];
+    }
+  }
+  Tensor *AP = A.get(), *BP = B.get(), *OP = Out.get();
+  Out->Backward = [AP, BP, OP, M, K, N] {
+    // dA = dO · Bᵀ ; dB = Aᵀ · dO
+    for (int I = 0; I < M; ++I) {
+      const float *GRow = &OP->Grad[static_cast<size_t>(I) * N];
+      for (int P = 0; P < K; ++P) {
+        const float *BRow = &BP->Data[static_cast<size_t>(P) * N];
+        float Acc = 0.0f;
+        for (int J = 0; J < N; ++J)
+          Acc += GRow[J] * BRow[J];
+        AP->Grad[static_cast<size_t>(I) * K + P] += Acc;
+      }
+      for (int P = 0; P < K; ++P) {
+        float AV = AP->Data[static_cast<size_t>(I) * K + P];
+        if (AV == 0.0f)
+          continue;
+        float *BGRow = &BP->Grad[static_cast<size_t>(P) * N];
+        for (int J = 0; J < N; ++J)
+          BGRow[J] += AV * GRow[J];
+      }
+    }
+  };
+  return Out;
+}
+
+TensorPtr vega::matmulNT(const TensorPtr &A, const TensorPtr &B) {
+  assert(A->Cols == B->Cols && "matmulNT shape mismatch");
+  TensorPtr Out = makeResult(A->Rows, B->Rows, {A, B});
+  const int M = A->Rows, K = A->Cols, N = B->Rows;
+  for (int I = 0; I < M; ++I) {
+    const float *ARow = &A->Data[static_cast<size_t>(I) * K];
+    float *ORow = &Out->Data[static_cast<size_t>(I) * N];
+    for (int J = 0; J < N; ++J) {
+      const float *BRow = &B->Data[static_cast<size_t>(J) * K];
+      float Acc = 0.0f;
+      for (int P = 0; P < K; ++P)
+        Acc += ARow[P] * BRow[P];
+      ORow[J] = Acc;
+    }
+  }
+  Tensor *AP = A.get(), *BP = B.get(), *OP = Out.get();
+  Out->Backward = [AP, BP, OP, M, K, N] {
+    // dA = dO · B ; dB = dOᵀ · A
+    for (int I = 0; I < M; ++I) {
+      const float *GRow = &OP->Grad[static_cast<size_t>(I) * N];
+      float *AGRow = &AP->Grad[static_cast<size_t>(I) * K];
+      const float *ARow = &AP->Data[static_cast<size_t>(I) * K];
+      for (int J = 0; J < N; ++J) {
+        float G = GRow[J];
+        if (G == 0.0f)
+          continue;
+        const float *BRow = &BP->Data[static_cast<size_t>(J) * K];
+        float *BGRow = &BP->Grad[static_cast<size_t>(J) * K];
+        for (int P = 0; P < K; ++P) {
+          AGRow[P] += G * BRow[P];
+          BGRow[P] += G * ARow[P];
+        }
+      }
+    }
+  };
+  return Out;
+}
+
+TensorPtr vega::add(const TensorPtr &A, const TensorPtr &B) {
+  assert(A->Rows == B->Rows && A->Cols == B->Cols && "add shape mismatch");
+  TensorPtr Out = makeResult(A->Rows, A->Cols, {A, B});
+  for (size_t I = 0; I < Out->Data.size(); ++I)
+    Out->Data[I] = A->Data[I] + B->Data[I];
+  Tensor *AP = A.get(), *BP = B.get(), *OP = Out.get();
+  Out->Backward = [AP, BP, OP] {
+    for (size_t I = 0; I < OP->Grad.size(); ++I) {
+      AP->Grad[I] += OP->Grad[I];
+      BP->Grad[I] += OP->Grad[I];
+    }
+  };
+  return Out;
+}
+
+TensorPtr vega::addRow(const TensorPtr &A, const TensorPtr &B) {
+  assert(B->Rows == 1 && B->Cols == A->Cols && "addRow shape mismatch");
+  TensorPtr Out = makeResult(A->Rows, A->Cols, {A, B});
+  for (int I = 0; I < A->Rows; ++I)
+    for (int J = 0; J < A->Cols; ++J)
+      Out->at(I, J) = A->at(I, J) + B->Data[static_cast<size_t>(J)];
+  Tensor *AP = A.get(), *BP = B.get(), *OP = Out.get();
+  Out->Backward = [AP, BP, OP] {
+    for (int I = 0; I < OP->Rows; ++I)
+      for (int J = 0; J < OP->Cols; ++J) {
+        float G = OP->gradAt(I, J);
+        AP->gradAt(I, J) += G;
+        BP->Grad[static_cast<size_t>(J)] += G;
+      }
+  };
+  return Out;
+}
+
+TensorPtr vega::scale(const TensorPtr &A, float Factor) {
+  TensorPtr Out = makeResult(A->Rows, A->Cols, {A});
+  for (size_t I = 0; I < A->Data.size(); ++I)
+    Out->Data[I] = A->Data[I] * Factor;
+  Tensor *AP = A.get(), *OP = Out.get();
+  Out->Backward = [AP, OP, Factor] {
+    for (size_t I = 0; I < OP->Grad.size(); ++I)
+      AP->Grad[I] += OP->Grad[I] * Factor;
+  };
+  return Out;
+}
+
+TensorPtr vega::scaleByScalar(const TensorPtr &A, const TensorPtr &S) {
+  assert(S->Rows == 1 && S->Cols == 1 && "scalar expected");
+  TensorPtr Out = makeResult(A->Rows, A->Cols, {A, S});
+  float Factor = S->Data[0];
+  for (size_t I = 0; I < A->Data.size(); ++I)
+    Out->Data[I] = A->Data[I] * Factor;
+  Tensor *AP = A.get(), *SP = S.get(), *OP = Out.get();
+  Out->Backward = [AP, SP, OP, Factor] {
+    float SGrad = 0.0f;
+    for (size_t I = 0; I < OP->Grad.size(); ++I) {
+      AP->Grad[I] += OP->Grad[I] * Factor;
+      SGrad += OP->Grad[I] * AP->Data[I];
+    }
+    SP->Grad[0] += SGrad;
+  };
+  return Out;
+}
+
+TensorPtr vega::relu(const TensorPtr &A) {
+  TensorPtr Out = makeResult(A->Rows, A->Cols, {A});
+  for (size_t I = 0; I < A->Data.size(); ++I)
+    Out->Data[I] = A->Data[I] > 0.0f ? A->Data[I] : 0.0f;
+  Tensor *AP = A.get(), *OP = Out.get();
+  Out->Backward = [AP, OP] {
+    for (size_t I = 0; I < OP->Grad.size(); ++I)
+      if (AP->Data[I] > 0.0f)
+        AP->Grad[I] += OP->Grad[I];
+  };
+  return Out;
+}
+
+TensorPtr vega::softmaxRows(const TensorPtr &A, const Tensor *Mask) {
+  TensorPtr Out = makeResult(A->Rows, A->Cols, {A});
+  for (int I = 0; I < A->Rows; ++I) {
+    float Max = -1e30f;
+    for (int J = 0; J < A->Cols; ++J) {
+      float V = A->at(I, J) + (Mask ? Mask->at(I, J) : 0.0f);
+      Max = std::max(Max, V);
+    }
+    float Sum = 0.0f;
+    for (int J = 0; J < A->Cols; ++J) {
+      float V = A->at(I, J) + (Mask ? Mask->at(I, J) : 0.0f);
+      float E = std::exp(V - Max);
+      Out->at(I, J) = E;
+      Sum += E;
+    }
+    for (int J = 0; J < A->Cols; ++J)
+      Out->at(I, J) /= Sum;
+  }
+  Tensor *AP = A.get(), *OP = Out.get();
+  Out->Backward = [AP, OP] {
+    for (int I = 0; I < OP->Rows; ++I) {
+      float Dot = 0.0f;
+      for (int J = 0; J < OP->Cols; ++J)
+        Dot += OP->gradAt(I, J) * OP->at(I, J);
+      for (int J = 0; J < OP->Cols; ++J)
+        AP->gradAt(I, J) += OP->at(I, J) * (OP->gradAt(I, J) - Dot);
+    }
+  };
+  return Out;
+}
+
+TensorPtr vega::layerNorm(const TensorPtr &X, const TensorPtr &Gamma,
+                          const TensorPtr &Beta) {
+  assert(Gamma->Cols == X->Cols && Beta->Cols == X->Cols &&
+         "layerNorm parameter shape mismatch");
+  TensorPtr Out = makeResult(X->Rows, X->Cols, {X, Gamma, Beta});
+  const int C = X->Cols;
+  std::vector<float> Mean(X->Rows), InvStd(X->Rows);
+  for (int I = 0; I < X->Rows; ++I) {
+    float Mu = 0.0f;
+    for (int J = 0; J < C; ++J)
+      Mu += X->at(I, J);
+    Mu /= C;
+    float Var = 0.0f;
+    for (int J = 0; J < C; ++J) {
+      float D = X->at(I, J) - Mu;
+      Var += D * D;
+    }
+    Var /= C;
+    float Inv = 1.0f / std::sqrt(Var + 1e-5f);
+    Mean[I] = Mu;
+    InvStd[I] = Inv;
+    for (int J = 0; J < C; ++J)
+      Out->at(I, J) =
+          (X->at(I, J) - Mu) * Inv * Gamma->Data[static_cast<size_t>(J)] +
+          Beta->Data[static_cast<size_t>(J)];
+  }
+  Tensor *XP = X.get(), *GP = Gamma.get(), *BP = Beta.get(), *OP = Out.get();
+  Out->Backward = [XP, GP, BP, OP, Mean, InvStd, C] {
+    for (int I = 0; I < XP->Rows; ++I) {
+      // xhat = (x - mu) * inv; dL/dxhat = dy * gamma.
+      float SumDxhat = 0.0f, SumDxhatXhat = 0.0f;
+      std::vector<float> Dxhat(static_cast<size_t>(C));
+      for (int J = 0; J < C; ++J) {
+        float Xhat = (XP->at(I, J) - Mean[I]) * InvStd[I];
+        float Dy = OP->gradAt(I, J);
+        GP->Grad[static_cast<size_t>(J)] += Dy * Xhat;
+        BP->Grad[static_cast<size_t>(J)] += Dy;
+        Dxhat[static_cast<size_t>(J)] = Dy * GP->Data[static_cast<size_t>(J)];
+        SumDxhat += Dxhat[static_cast<size_t>(J)];
+        SumDxhatXhat += Dxhat[static_cast<size_t>(J)] * Xhat;
+      }
+      for (int J = 0; J < C; ++J) {
+        float Xhat = (XP->at(I, J) - Mean[I]) * InvStd[I];
+        XP->gradAt(I, J) += InvStd[I] / C *
+                            (C * Dxhat[static_cast<size_t>(J)] - SumDxhat -
+                             Xhat * SumDxhatXhat);
+      }
+    }
+  };
+  return Out;
+}
+
+TensorPtr vega::gatherRows(const TensorPtr &E, const std::vector<int> &Ids) {
+  TensorPtr Out = makeResult(static_cast<int>(Ids.size()), E->Cols, {E});
+  for (size_t I = 0; I < Ids.size(); ++I) {
+    assert(Ids[I] >= 0 && Ids[I] < E->Rows && "gather index out of range");
+    for (int J = 0; J < E->Cols; ++J)
+      Out->at(static_cast<int>(I), J) = E->at(Ids[I], J);
+  }
+  Tensor *EP = E.get(), *OP = Out.get();
+  std::vector<int> IdsCopy = Ids;
+  Out->Backward = [EP, OP, IdsCopy] {
+    for (size_t I = 0; I < IdsCopy.size(); ++I)
+      for (int J = 0; J < OP->Cols; ++J)
+        EP->gradAt(IdsCopy[I], J) += OP->gradAt(static_cast<int>(I), J);
+  };
+  return Out;
+}
+
+TensorPtr vega::sliceCols(const TensorPtr &A, int Start, int Count) {
+  assert(Start >= 0 && Start + Count <= A->Cols && "slice out of range");
+  TensorPtr Out = makeResult(A->Rows, Count, {A});
+  for (int I = 0; I < A->Rows; ++I)
+    for (int J = 0; J < Count; ++J)
+      Out->at(I, J) = A->at(I, Start + J);
+  Tensor *AP = A.get(), *OP = Out.get();
+  Out->Backward = [AP, OP, Start, Count] {
+    for (int I = 0; I < OP->Rows; ++I)
+      for (int J = 0; J < Count; ++J)
+        AP->gradAt(I, Start + J) += OP->gradAt(I, J);
+  };
+  return Out;
+}
+
+TensorPtr vega::concatCols(const std::vector<TensorPtr> &Parts) {
+  assert(!Parts.empty() && "concat of nothing");
+  int Rows = Parts.front()->Rows, Cols = 0;
+  for (const TensorPtr &P : Parts) {
+    assert(P->Rows == Rows && "concat row mismatch");
+    Cols += P->Cols;
+  }
+  TensorPtr Out = makeTensor(Rows, Cols, true);
+  Out->ensureGrad();
+  for (const TensorPtr &P : Parts) {
+    P->ensureGrad();
+    Out->Parents.push_back(P);
+  }
+  int Offset = 0;
+  for (const TensorPtr &P : Parts) {
+    for (int I = 0; I < Rows; ++I)
+      for (int J = 0; J < P->Cols; ++J)
+        Out->at(I, Offset + J) = P->at(I, J);
+    Offset += P->Cols;
+  }
+  Tensor *OP = Out.get();
+  std::vector<Tensor *> Raw;
+  for (const TensorPtr &P : Parts)
+    Raw.push_back(P.get());
+  Out->Backward = [OP, Raw] {
+    int Offset = 0;
+    for (Tensor *P : Raw) {
+      for (int I = 0; I < OP->Rows; ++I)
+        for (int J = 0; J < P->Cols; ++J)
+          P->gradAt(I, J) += OP->gradAt(I, Offset + J);
+      Offset += P->Cols;
+    }
+  };
+  return Out;
+}
+
+TensorPtr vega::copyScatter(const TensorPtr &A, const std::vector<int> &SrcIds,
+                            int VocabSize) {
+  assert(A->Cols == static_cast<int>(SrcIds.size()) &&
+         "copyScatter width must match source length");
+  TensorPtr Out = makeResult(A->Rows, VocabSize, {A});
+  for (int T = 0; T < A->Rows; ++T)
+    for (size_t J = 0; J < SrcIds.size(); ++J)
+      Out->at(T, SrcIds[J]) += A->at(T, static_cast<int>(J));
+  Tensor *AP = A.get(), *OP = Out.get();
+  std::vector<int> Ids = SrcIds;
+  Out->Backward = [AP, OP, Ids] {
+    for (int T = 0; T < AP->Rows; ++T)
+      for (size_t J = 0; J < Ids.size(); ++J)
+        AP->gradAt(T, static_cast<int>(J)) += OP->gradAt(T, Ids[J]);
+  };
+  return Out;
+}
+
+TensorPtr vega::sparseMix(const TensorPtr &E,
+                          const std::vector<std::vector<int>> &Lists) {
+  TensorPtr Out = makeResult(static_cast<int>(Lists.size()), E->Cols, {E});
+  for (size_t I = 0; I < Lists.size(); ++I) {
+    if (Lists[I].empty())
+      continue;
+    float Inv = 1.0f / static_cast<float>(Lists[I].size());
+    for (int P : Lists[I])
+      for (int J = 0; J < E->Cols; ++J)
+        Out->at(static_cast<int>(I), J) += E->at(P, J) * Inv;
+  }
+  Tensor *EP = E.get(), *OP = Out.get();
+  const std::vector<std::vector<int>> *ListsPtr = &Lists;
+  // Lists outlive the tape in our usage (owned by the Vocab); copy anyway
+  // for safety in tests.
+  std::vector<std::vector<int>> ListsCopy = *ListsPtr;
+  Out->Backward = [EP, OP, ListsCopy] {
+    for (size_t I = 0; I < ListsCopy.size(); ++I) {
+      if (ListsCopy[I].empty())
+        continue;
+      float Inv = 1.0f / static_cast<float>(ListsCopy[I].size());
+      for (int P : ListsCopy[I])
+        for (int J = 0; J < OP->Cols; ++J)
+          EP->gradAt(P, J) += OP->gradAt(static_cast<int>(I), J) * Inv;
+    }
+  };
+  return Out;
+}
+
+TensorPtr vega::crossEntropy(const TensorPtr &Logits,
+                             const std::vector<int> &Targets) {
+  assert(Logits->Rows == static_cast<int>(Targets.size()) &&
+         "one target per logit row");
+  TensorPtr Out = makeResult(1, 1, {Logits});
+  const int V = Logits->Cols;
+  std::vector<float> Probs(Logits->Data.size());
+  float Loss = 0.0f;
+  for (int I = 0; I < Logits->Rows; ++I) {
+    float Max = -1e30f;
+    for (int J = 0; J < V; ++J)
+      Max = std::max(Max, Logits->at(I, J));
+    float Sum = 0.0f;
+    for (int J = 0; J < V; ++J) {
+      float E = std::exp(Logits->at(I, J) - Max);
+      Probs[static_cast<size_t>(I) * V + J] = E;
+      Sum += E;
+    }
+    for (int J = 0; J < V; ++J)
+      Probs[static_cast<size_t>(I) * V + J] /= Sum;
+    Loss -= std::log(Probs[static_cast<size_t>(I) * V + Targets[I]] + 1e-12f);
+  }
+  Out->Data[0] = Loss / static_cast<float>(Logits->Rows);
+  Tensor *LP = Logits.get(), *OP = Out.get();
+  std::vector<int> T = Targets;
+  Out->Backward = [LP, OP, Probs, T, V] {
+    float Scale = OP->Grad[0] / static_cast<float>(LP->Rows);
+    for (int I = 0; I < LP->Rows; ++I)
+      for (int J = 0; J < V; ++J) {
+        float P = Probs[static_cast<size_t>(I) * V + J];
+        LP->gradAt(I, J) += Scale * (P - (J == T[I] ? 1.0f : 0.0f));
+      }
+  };
+  return Out;
+}
+
+static void topoSort(Tensor *Node, std::vector<Tensor *> &Order) {
+  if (Node->Visited)
+    return;
+  Node->Visited = true;
+  for (const TensorPtr &P : Node->Parents)
+    topoSort(P.get(), Order);
+  Order.push_back(Node);
+}
+
+void vega::backward(const TensorPtr &Root) {
+  std::vector<Tensor *> Order;
+  topoSort(Root.get(), Order);
+  Root->ensureGrad();
+  std::fill(Root->Grad.begin(), Root->Grad.end(), 0.0f);
+  Root->Grad[0] = 1.0f;
+  for (auto It = Order.rbegin(); It != Order.rend(); ++It) {
+    if ((*It)->Backward)
+      (*It)->Backward();
+    (*It)->Visited = false; // reset for the next tape
+  }
+}
+
+AdamOptimizer::AdamOptimizer(std::vector<TensorPtr> Params,
+                             float LearningRate)
+    : Params(std::move(Params)), LearningRate(LearningRate) {
+  for (const TensorPtr &P : this->Params) {
+    P->ensureGrad();
+    M.emplace_back(P->Data.size(), 0.0f);
+    V.emplace_back(P->Data.size(), 0.0f);
+  }
+}
+
+void AdamOptimizer::step() {
+  ++StepCount;
+  float Bias1 = 1.0f - std::pow(Beta1, static_cast<float>(StepCount));
+  float Bias2 = 1.0f - std::pow(Beta2, static_cast<float>(StepCount));
+  for (size_t P = 0; P < Params.size(); ++P) {
+    Tensor &T = *Params[P];
+    for (size_t I = 0; I < T.Data.size(); ++I) {
+      float G = T.Grad[I];
+      M[P][I] = Beta1 * M[P][I] + (1.0f - Beta1) * G;
+      V[P][I] = Beta2 * V[P][I] + (1.0f - Beta2) * G * G;
+      float MHat = M[P][I] / Bias1;
+      float VHat = V[P][I] / Bias2;
+      T.Data[I] -= LearningRate * MHat / (std::sqrt(VHat) + Eps);
+    }
+    T.zeroGrad();
+  }
+}
+
+void AdamOptimizer::zeroGrad() {
+  for (const TensorPtr &P : Params)
+    P->zeroGrad();
+}

@@ -1,0 +1,157 @@
+//===- model/Autograd.h - Tape-based reverse-mode autodiff -------*- C++ -*-===//
+//
+// Part of the VEGA reproduction project.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small reverse-mode automatic-differentiation engine over dense float
+/// matrices — the substrate for the CodeBE transformer (the paper fine-tunes
+/// UniXcoder; we train an architecturally equivalent model at laptop scale,
+/// see DESIGN.md §2). Operations build a tape; backward() propagates
+/// gradients in reverse topological order.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VEGA_MODEL_AUTOGRAD_H
+#define VEGA_MODEL_AUTOGRAD_H
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace vega {
+
+class Tensor;
+using TensorPtr = std::shared_ptr<Tensor>;
+
+/// A dense R×C float matrix with an optional gradient and a backward hook.
+class Tensor {
+public:
+  Tensor(int Rows, int Cols, bool RequiresGrad)
+      : Rows(Rows), Cols(Cols), RequiresGrad(RequiresGrad),
+        Data(static_cast<size_t>(Rows) * Cols, 0.0f) {
+    if (RequiresGrad)
+      Grad.assign(Data.size(), 0.0f);
+  }
+
+  int rows() const { return Rows; }
+  int cols() const { return Cols; }
+  size_t size() const { return Data.size(); }
+
+  float &at(int R, int C) { return Data[static_cast<size_t>(R) * Cols + C]; }
+  float at(int R, int C) const {
+    return Data[static_cast<size_t>(R) * Cols + C];
+  }
+  float &gradAt(int R, int C) {
+    return Grad[static_cast<size_t>(R) * Cols + C];
+  }
+
+  std::vector<float> Datav() const { return Data; }
+
+  /// Ensures a gradient buffer exists (used when a no-grad tensor becomes
+  /// part of a differentiable expression).
+  void ensureGrad() {
+    if (Grad.size() != Data.size())
+      Grad.assign(Data.size(), 0.0f);
+  }
+  void zeroGrad() { std::fill(Grad.begin(), Grad.end(), 0.0f); }
+
+  int Rows, Cols;
+  bool RequiresGrad;
+  std::vector<float> Data;
+  std::vector<float> Grad;
+  std::vector<TensorPtr> Parents;
+  std::function<void()> Backward;
+  bool Visited = false; ///< scratch for the topological sort
+};
+
+/// Creates a tensor of zeros.
+TensorPtr makeTensor(int Rows, int Cols, bool RequiresGrad = false);
+
+/// Creates a parameter initialized with uniform(-Scale, Scale) noise.
+TensorPtr makeParam(int Rows, int Cols, float Scale, uint64_t Seed);
+
+// ---- Differentiable operations (each returns a new tape node) ----
+
+/// C = A · B.
+TensorPtr matmul(const TensorPtr &A, const TensorPtr &B);
+
+/// C = A · Bᵀ.
+TensorPtr matmulNT(const TensorPtr &A, const TensorPtr &B);
+
+/// Elementwise sum (same shape).
+TensorPtr add(const TensorPtr &A, const TensorPtr &B);
+
+/// Adds row vector \p B (1×C) to every row of \p A.
+TensorPtr addRow(const TensorPtr &A, const TensorPtr &B);
+
+/// Multiplies by a compile-time constant.
+TensorPtr scale(const TensorPtr &A, float Factor);
+
+/// Multiplies every element by a learned 1×1 tensor.
+TensorPtr scaleByScalar(const TensorPtr &A, const TensorPtr &S);
+
+/// Elementwise ReLU.
+TensorPtr relu(const TensorPtr &A);
+
+/// Row-wise softmax with an optional additive mask (same shape, no grad).
+TensorPtr softmaxRows(const TensorPtr &A, const Tensor *Mask = nullptr);
+
+/// Row-wise layer normalization with learned gain/bias (1×C each).
+TensorPtr layerNorm(const TensorPtr &X, const TensorPtr &Gamma,
+                    const TensorPtr &Beta);
+
+/// Gathers rows of \p E by \p Ids (result |Ids|×C); backward scatter-adds.
+TensorPtr gatherRows(const TensorPtr &E, const std::vector<int> &Ids);
+
+/// Column slice [Start, Start+Count).
+TensorPtr sliceCols(const TensorPtr &A, int Start, int Count);
+
+/// Horizontal concatenation of equal-row tensors.
+TensorPtr concatCols(const std::vector<TensorPtr> &Parts);
+
+/// Copy-attention scatter: Out[t, SrcIds[j]] += A[t, j]. Out is T×VocabSize.
+TensorPtr copyScatter(const TensorPtr &A, const std::vector<int> &SrcIds,
+                      int VocabSize);
+
+/// Sparse row mixture: Out[i] = mean over Lists[i] of E's rows (Out has
+/// |Lists| rows). Rows with empty lists are zero. Used for piece-composed
+/// token embeddings (the BPE-like compositionality of the vocabulary).
+TensorPtr sparseMix(const TensorPtr &E,
+                    const std::vector<std::vector<int>> &Lists);
+
+/// Mean cross-entropy of row-logits vs target ids; result is 1×1.
+/// Backward seeds softmax-minus-onehot into the logits.
+TensorPtr crossEntropy(const TensorPtr &Logits,
+                       const std::vector<int> &Targets);
+
+/// Runs reverse-mode accumulation from \p Root (seeds dRoot = 1).
+void backward(const TensorPtr &Root);
+
+/// Adam optimizer over a fixed parameter list.
+class AdamOptimizer {
+public:
+  AdamOptimizer(std::vector<TensorPtr> Params, float LearningRate);
+
+  /// Applies one update from accumulated gradients, then clears them.
+  void step();
+
+  /// Clears gradients without updating.
+  void zeroGrad();
+
+  void setLearningRate(float LR) { LearningRate = LR; }
+
+private:
+  std::vector<TensorPtr> Params;
+  std::vector<std::vector<float>> M, V;
+  float LearningRate;
+  float Beta1 = 0.9f, Beta2 = 0.999f, Eps = 1e-8f;
+  long StepCount = 0;
+};
+
+} // namespace vega
+
+#endif // VEGA_MODEL_AUTOGRAD_H

@@ -1,0 +1,453 @@
+//===- model/CodeBE.cpp - The CodeBE transformer ----------------------------===//
+//
+// Part of the VEGA reproduction project.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+
+#include "model/CodeBE.h"
+
+#include "support/RNG.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstring>
+
+using namespace vega;
+
+uint64_t CodeBEConfig::fingerprint() const {
+  uint64_t H = 1469598103934665603ULL;
+  auto Mix = [&H](uint64_t V) {
+    H ^= V;
+    H *= 1099511628211ULL;
+  };
+  Mix(static_cast<uint64_t>(DModel));
+  Mix(static_cast<uint64_t>(Heads));
+  Mix(static_cast<uint64_t>(EncLayers));
+  Mix(static_cast<uint64_t>(DecLayers));
+  Mix(static_cast<uint64_t>(FFDim));
+  Mix(static_cast<uint64_t>(MaxSrcLen));
+  Mix(static_cast<uint64_t>(MaxDstLen));
+  Mix(Seed);
+  return H;
+}
+
+CodeBE::CodeBE(Vocab Vocabulary, CodeBEConfig Config)
+    : Vocabulary(std::move(Vocabulary)), Config(Config) {
+  RNG Seeder(Config.Seed);
+  const int D = Config.DModel;
+  float S = 0.08f;
+  auto P = [&](int R, int C) { return makeParam(R, C, S, Seeder.next()); };
+
+  // Token embeddings start at zero: a token's embedding is its word-piece
+  // composition until fine-tuning learns a residual. Unseen-at-training
+  // tokens therefore embed purely through their pieces instead of through
+  // untrained random noise — the property that lets value selection
+  // generalize to a new target's identifiers.
+  Etok = makeTensor(static_cast<int>(this->Vocabulary.size()), D,
+                    /*RequiresGrad=*/true);
+  Epiece = P(static_cast<int>(this->Vocabulary.pieceCount()) + 64, D);
+  EposSrc = P(Config.MaxSrcLen, D);
+  EposDst = P(Config.MaxDstLen + 1, D);
+
+  auto MakeLinear = [&](int In, int Out) {
+    LinearP L;
+    L.W = P(In, Out);
+    L.B = makeTensor(1, Out, true);
+    return L;
+  };
+  auto MakeLN = [&](int Width) {
+    LNP L;
+    L.G = makeTensor(1, Width, true);
+    for (float &V : L.G->Data)
+      V = 1.0f;
+    L.B = makeTensor(1, Width, true);
+    return L;
+  };
+  auto MakeMHA = [&] {
+    MHAP M;
+    M.Q = MakeLinear(D, D);
+    M.K = MakeLinear(D, D);
+    M.V = MakeLinear(D, D);
+    M.O = MakeLinear(D, D);
+    return M;
+  };
+  for (int I = 0; I < Config.EncLayers; ++I) {
+    EncLayerP L;
+    L.Self = MakeMHA();
+    L.N1 = MakeLN(D);
+    L.F1 = MakeLinear(D, Config.FFDim);
+    L.F2 = MakeLinear(Config.FFDim, D);
+    L.N2 = MakeLN(D);
+    Enc.push_back(std::move(L));
+  }
+  for (int I = 0; I < Config.DecLayers; ++I) {
+    DecLayerP L;
+    L.Self = MakeMHA();
+    L.N1 = MakeLN(D);
+    L.Cross = MakeMHA();
+    L.N2 = MakeLN(D);
+    L.F1 = MakeLinear(D, Config.FFDim);
+    L.F2 = MakeLinear(Config.FFDim, D);
+    L.N3 = MakeLN(D);
+    Dec.push_back(std::move(L));
+  }
+  CopyProj = MakeLinear(D, D);
+  CopyGate = makeTensor(1, 1, true);
+  CopyGate->Data[0] = 3.0f;
+  SrcBias = makeTensor(1, 1, true);
+  SrcBias->Data[0] = 1.0f;
+}
+
+std::vector<TensorPtr> CodeBE::parameters() const {
+  std::vector<TensorPtr> Params = {Etok,       Epiece,     EposSrc, EposDst,
+                                   CopyProj.W, CopyProj.B, CopyGate, SrcBias};
+  auto AddMHA = [&](const MHAP &M) {
+    for (const LinearP *L : {&M.Q, &M.K, &M.V, &M.O}) {
+      Params.push_back(L->W);
+      Params.push_back(L->B);
+    }
+  };
+  for (const EncLayerP &L : Enc) {
+    AddMHA(L.Self);
+    Params.push_back(L.N1.G);
+    Params.push_back(L.N1.B);
+    Params.push_back(L.F1.W);
+    Params.push_back(L.F1.B);
+    Params.push_back(L.F2.W);
+    Params.push_back(L.F2.B);
+    Params.push_back(L.N2.G);
+    Params.push_back(L.N2.B);
+  }
+  for (const DecLayerP &L : Dec) {
+    AddMHA(L.Self);
+    Params.push_back(L.N1.G);
+    Params.push_back(L.N1.B);
+    AddMHA(L.Cross);
+    Params.push_back(L.N2.G);
+    Params.push_back(L.N2.B);
+    Params.push_back(L.F1.W);
+    Params.push_back(L.F1.B);
+    Params.push_back(L.F2.W);
+    Params.push_back(L.F2.B);
+    Params.push_back(L.N3.G);
+    Params.push_back(L.N3.B);
+  }
+  return Params;
+}
+
+TensorPtr CodeBE::linear(const TensorPtr &X, const LinearP &P) {
+  return addRow(matmul(X, P.W), P.B);
+}
+
+std::unique_ptr<Tensor> CodeBE::causalMask(int Len) const {
+  auto Mask = std::make_unique<Tensor>(Len, Len, false);
+  for (int I = 0; I < Len; ++I)
+    for (int J = I + 1; J < Len; ++J)
+      Mask->at(I, J) = -1e9f;
+  return Mask;
+}
+
+TensorPtr CodeBE::attention(const TensorPtr &XQ, const TensorPtr &XKV,
+                            const MHAP &P, const Tensor *Mask) {
+  const int D = Config.DModel;
+  const int H = Config.Heads;
+  const int Dk = D / H;
+  TensorPtr Q = linear(XQ, P.Q);
+  TensorPtr K = linear(XKV, P.K);
+  TensorPtr V = linear(XKV, P.V);
+  std::vector<TensorPtr> Heads;
+  float Scale = 1.0f / std::sqrt(static_cast<float>(Dk));
+  for (int HIdx = 0; HIdx < H; ++HIdx) {
+    TensorPtr Qh = sliceCols(Q, HIdx * Dk, Dk);
+    TensorPtr Kh = sliceCols(K, HIdx * Dk, Dk);
+    TensorPtr Vh = sliceCols(V, HIdx * Dk, Dk);
+    TensorPtr Scores = scale(matmulNT(Qh, Kh), Scale);
+    TensorPtr A = softmaxRows(Scores, Mask);
+    Heads.push_back(matmul(A, Vh));
+  }
+  return linear(concatCols(Heads), P.O);
+}
+
+TensorPtr CodeBE::encLayer(const TensorPtr &X, EncLayerP &L) {
+  TensorPtr A = attention(X, X, L.Self, nullptr);
+  TensorPtr Y = layerNorm(add(X, A), L.N1.G, L.N1.B);
+  TensorPtr F = linear(relu(linear(Y, L.F1)), L.F2);
+  return layerNorm(add(Y, F), L.N2.G, L.N2.B);
+}
+
+TensorPtr CodeBE::decLayer(const TensorPtr &X, const TensorPtr &Memory,
+                           DecLayerP &L, const Tensor *CausalMask) {
+  TensorPtr A = attention(X, X, L.Self, CausalMask);
+  TensorPtr Y = layerNorm(add(X, A), L.N1.G, L.N1.B);
+  TensorPtr C = attention(Y, Memory, L.Cross, nullptr);
+  TensorPtr Z = layerNorm(add(Y, C), L.N2.G, L.N2.B);
+  TensorPtr F = linear(relu(linear(Z, L.F1)), L.F2);
+  return layerNorm(add(Z, F), L.N3.G, L.N3.B);
+}
+
+TensorPtr CodeBE::embed(const std::vector<int> &Ids, const TensorPtr &Pos) {
+  std::vector<std::vector<int>> Lists;
+  Lists.reserve(Ids.size());
+  for (int Id : Ids)
+    Lists.push_back(Vocabulary.pieceLists()[static_cast<size_t>(Id)]);
+  TensorPtr Tok = add(gatherRows(Etok, Ids), sparseMix(Epiece, Lists));
+  std::vector<int> Positions(Ids.size());
+  for (size_t I = 0; I < Ids.size(); ++I)
+    Positions[I] = static_cast<int>(I) < Pos->Rows ? static_cast<int>(I)
+                                                   : Pos->Rows - 1;
+  return add(Tok, gatherRows(Pos, Positions));
+}
+
+TensorPtr CodeBE::runEncoder(const std::vector<int> &Src) {
+  TensorPtr X = embed(Src, EposSrc);
+  for (EncLayerP &L : Enc)
+    X = encLayer(X, L);
+  return X;
+}
+
+TensorPtr CodeBE::runDecoder(const TensorPtr &Memory,
+                             const std::vector<int> &DstIn) {
+  TensorPtr X = embed(DstIn, EposDst);
+  std::unique_ptr<Tensor> Mask = causalMask(static_cast<int>(DstIn.size()));
+  for (DecLayerP &L : Dec)
+    X = decLayer(X, Memory, L, Mask.get());
+  return X;
+}
+
+TensorPtr CodeBE::combinedEmbeddings() {
+  return add(Etok, sparseMix(Epiece, Vocabulary.pieceLists()));
+}
+
+void CodeBE::refreshCombCache() {
+  TensorPtr Comb = combinedEmbeddings();
+  CombCache = makeTensor(Comb->Rows, Comb->Cols, false);
+  CombCache->Data = Comb->Data;
+  CombDirty = false;
+}
+
+TensorPtr CodeBE::logitsFor(const TensorPtr &DecOut, const TensorPtr &Memory,
+                            const std::vector<int> &SrcIds,
+                            bool UseCombCache) {
+  TensorPtr Comb;
+  if (UseCombCache) {
+    if (CombDirty)
+      refreshCombCache();
+    Comb = CombCache;
+  } else {
+    Comb = combinedEmbeddings();
+  }
+  TensorPtr Base = matmulNT(DecOut, Comb);
+  // Pointer/copy head: attend the encoder memory and scatter the attention
+  // mass onto the source token ids.
+  float Scale = 1.0f / std::sqrt(static_cast<float>(Config.DModel));
+  TensorPtr CScores = scale(matmulNT(linear(DecOut, CopyProj), Memory), Scale);
+  TensorPtr A = softmaxRows(CScores);
+  TensorPtr Copy = copyScatter(A, SrcIds, static_cast<int>(Vocabulary.size()));
+  // Source-presence bias: a learned uniform boost for every distinct token
+  // that occurs in the input (pointer-network prior).
+  std::vector<int> UniqueSrc;
+  {
+    std::vector<uint8_t> Seen(Vocabulary.size(), 0);
+    for (int Id : SrcIds)
+      if (!Seen[static_cast<size_t>(Id)]) {
+        Seen[static_cast<size_t>(Id)] = 1;
+        UniqueSrc.push_back(Id);
+      }
+  }
+  TensorPtr Ones = makeTensor(DecOut->Rows, static_cast<int>(UniqueSrc.size()),
+                              /*RequiresGrad=*/false);
+  for (float &V : Ones->Data)
+    V = 1.0f;
+  TensorPtr Presence =
+      copyScatter(Ones, UniqueSrc, static_cast<int>(Vocabulary.size()));
+  return add(add(Base, scaleByScalar(Copy, CopyGate)),
+             scaleByScalar(Presence, SrcBias));
+}
+
+void CodeBE::train(const std::vector<TrainPair> &Data,
+                   const std::function<void(int, double)> &OnEpoch) {
+  AdamOptimizer Optimizer(parameters(), Config.LearningRate);
+  RNG Shuffler(Config.Seed ^ 0x5eedULL);
+  std::vector<size_t> Order(Data.size());
+  for (size_t I = 0; I < Order.size(); ++I)
+    Order[I] = I;
+
+  for (int Epoch = 0; Epoch < Config.Epochs; ++Epoch) {
+    Shuffler.shuffle(Order);
+    double LossSum = 0.0;
+    size_t Count = 0;
+    int InBatch = 0;
+    for (size_t Idx : Order) {
+      const TrainPair &Pair = Data[Idx];
+      std::vector<int> Src = Pair.Src;
+      if (static_cast<int>(Src.size()) > Config.MaxSrcLen)
+        Src.resize(static_cast<size_t>(Config.MaxSrcLen));
+      std::vector<int> Dst = Pair.Dst;
+      if (static_cast<int>(Dst.size()) > Config.MaxDstLen)
+        Dst.resize(static_cast<size_t>(Config.MaxDstLen));
+      if (Src.empty() || Dst.empty())
+        continue;
+
+      std::vector<int> DstIn;
+      DstIn.push_back(Vocabulary.e2dId());
+      DstIn.insert(DstIn.end(), Dst.begin(), Dst.end() - 1);
+
+      TensorPtr Memory = runEncoder(Src);
+      TensorPtr DecOut = runDecoder(Memory, DstIn);
+      TensorPtr Logits = logitsFor(DecOut, Memory, Src,
+                                   /*UseCombCache=*/false);
+      TensorPtr Loss = crossEntropy(Logits, Dst);
+      backward(Loss);
+      LossSum += Loss->Data[0];
+      ++Count;
+      if (++InBatch >= Config.BatchSize) {
+        Optimizer.step();
+        InBatch = 0;
+      }
+    }
+    if (InBatch > 0)
+      Optimizer.step();
+    CombDirty = true;
+    if (OnEpoch)
+      OnEpoch(Epoch, Count ? LossSum / static_cast<double>(Count) : 0.0);
+  }
+  CombDirty = true;
+}
+
+CodeBE::Decoded CodeBE::generate(const std::vector<int> &Src,
+                                 const std::vector<uint8_t> *Allowed,
+                                 const DecodePlan *Plan) {
+  std::vector<int> Input = Src;
+  if (static_cast<int>(Input.size()) > Config.MaxSrcLen)
+    Input.resize(static_cast<size_t>(Config.MaxSrcLen));
+  TensorPtr Memory = runEncoder(Input);
+
+  auto IsAllowed = [&](int Id) {
+    if (!Allowed)
+      return true;
+    if (Id == Vocabulary.eosId() || Vocabulary.isCsToken(Id))
+      return true;
+    return static_cast<size_t>(Id) < Allowed->size() &&
+           (*Allowed)[static_cast<size_t>(Id)] != 0;
+  };
+
+  Decoded Result;
+  std::vector<int> DstIn = {Vocabulary.e2dId()};
+  for (int Step = 0; Step < Config.MaxDstLen; ++Step) {
+    // Positions past the plan end the statement.
+    if (Plan && static_cast<size_t>(Step) >= Plan->Steps.size())
+      break;
+    const std::vector<int> *StepSet =
+        Plan && !Plan->Steps[static_cast<size_t>(Step)].empty()
+            ? &Plan->Steps[static_cast<size_t>(Step)]
+            : nullptr;
+    TensorPtr DecOut = runDecoder(Memory, DstIn);
+    TensorPtr Logits =
+        logitsFor(DecOut, Memory, Input, /*UseCombCache=*/true);
+    // Greedy choice over the last row, restricted to the admissible set.
+    int Last = Logits->Rows - 1;
+    int Best = -1;
+    float BestV = -1e30f;
+    if (StepSet) {
+      const std::map<int, float> *Bias =
+          Plan->Bias.size() > static_cast<size_t>(Step)
+              ? &Plan->Bias[static_cast<size_t>(Step)]
+              : nullptr;
+      for (int J : *StepSet) {
+        if (J < 0 || J >= Logits->Cols)
+          continue;
+        float Score = Logits->at(Last, J);
+        if (Bias) {
+          auto It = Bias->find(J);
+          if (It != Bias->end())
+            Score += It->second;
+        }
+        if (Score > BestV) {
+          BestV = Score;
+          Best = J;
+        }
+      }
+    } else {
+      for (int J = 0; J < Logits->Cols; ++J) {
+        if (!IsAllowed(J))
+          continue;
+        if (Logits->at(Last, J) > BestV) {
+          BestV = Logits->at(Last, J);
+          Best = J;
+        }
+      }
+    }
+    if (Best < 0)
+      break;
+    // Softmax probability of the chosen token (over the full vocabulary,
+    // for numerical stability anchored at the global maximum).
+    float MaxAll = BestV;
+    for (int J = 0; J < Logits->Cols; ++J)
+      MaxAll = std::max(MaxAll, Logits->at(Last, J));
+    double Sum = 0.0;
+    for (int J = 0; J < Logits->Cols; ++J)
+      Sum += std::exp(static_cast<double>(Logits->at(Last, J) - MaxAll));
+    double Prob = std::exp(static_cast<double>(BestV - MaxAll)) / Sum;
+
+    if (Best == Vocabulary.eosId())
+      break;
+    Result.Tokens.push_back(Best);
+    Result.Probs.push_back(Prob);
+    DstIn.push_back(Best);
+  }
+  return Result;
+}
+
+double CodeBE::exactMatch(const std::vector<TrainPair> &Data) {
+  if (Data.empty())
+    return 1.0;
+  size_t Matches = 0;
+  for (const TrainPair &Pair : Data) {
+    Decoded Out = generate(Pair.Src);
+    std::vector<int> Expected = Pair.Dst;
+    if (!Expected.empty() && Expected.back() == Vocabulary.eosId())
+      Expected.pop_back();
+    if (static_cast<int>(Expected.size()) > Config.MaxDstLen)
+      Expected.resize(static_cast<size_t>(Config.MaxDstLen));
+    if (Out.Tokens == Expected)
+      ++Matches;
+  }
+  return static_cast<double>(Matches) / static_cast<double>(Data.size());
+}
+
+std::string CodeBE::saveWeights() const {
+  std::string Blob;
+  uint64_t Magic = Config.fingerprint();
+  Blob.append(reinterpret_cast<const char *>(&Magic), sizeof(Magic));
+  for (const TensorPtr &P : parameters()) {
+    uint64_t N = P->Data.size();
+    Blob.append(reinterpret_cast<const char *>(&N), sizeof(N));
+    Blob.append(reinterpret_cast<const char *>(P->Data.data()),
+                N * sizeof(float));
+  }
+  return Blob;
+}
+
+bool CodeBE::loadWeights(const std::string &Blob) {
+  size_t Pos = 0;
+  auto Read = [&](void *Dst, size_t N) {
+    if (Pos + N > Blob.size())
+      return false;
+    std::memcpy(Dst, Blob.data() + Pos, N);
+    Pos += N;
+    return true;
+  };
+  uint64_t Magic = 0;
+  if (!Read(&Magic, sizeof(Magic)) || Magic != Config.fingerprint())
+    return false;
+  for (const TensorPtr &P : parameters()) {
+    uint64_t N = 0;
+    if (!Read(&N, sizeof(N)) || N != P->Data.size())
+      return false;
+    if (!Read(P->Data.data(), N * sizeof(float)))
+      return false;
+  }
+  CombDirty = true;
+  return Pos == Blob.size();
+}

@@ -1,0 +1,158 @@
+//===- model/CodeBE.h - The CodeBE transformer -------------------*- C++ -*-===//
+//
+// Part of the VEGA reproduction project.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// CodeBE (§3.3): a transformer encoder-decoder fine-tuned to map feature
+/// vectors (input sequences) to confidence-scored statements (output
+/// sequences). The paper fine-tunes UniXcoder (12 layers / 125M params on
+/// 8×V100); this is the architecturally equivalent laptop-scale model:
+/// token+position embeddings with word-piece composition (BPE stand-in),
+/// multi-head self/cross attention, and a pointer/copy head — the
+/// copy-from-input ability a large pre-trained code model brings for free.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VEGA_MODEL_CODEBE_H
+#define VEGA_MODEL_CODEBE_H
+
+#include "model/Autograd.h"
+#include "model/Vocab.h"
+
+#include <functional>
+#include <optional>
+
+namespace vega {
+
+/// Hyperparameters (paper §4.1.2 scaled down; see DESIGN.md §2).
+struct CodeBEConfig {
+  int DModel = 64;
+  int Heads = 4;
+  int EncLayers = 2;
+  int DecLayers = 2;
+  int FFDim = 192;
+  int MaxSrcLen = 128;
+  int MaxDstLen = 48;
+  float LearningRate = 1e-3f;
+  int Epochs = 2;
+  int BatchSize = 8;
+  uint64_t Seed = 42;
+
+  /// A stable fingerprint of the architecture (for cache validation).
+  uint64_t fingerprint() const;
+};
+
+/// One fine-tuning example: input sequence I_k → output sequence O_k.
+struct TrainPair {
+  std::vector<int> Src;
+  std::vector<int> Dst; ///< starts with a CS bucket token, ends with [EOS]
+};
+
+/// The sequence-to-sequence model.
+class CodeBE {
+public:
+  CodeBE(Vocab Vocabulary, CodeBEConfig Config);
+
+  /// Fine-tunes on \p Data (teacher forcing, Adam, cross-entropy — §4.1.2).
+  /// \p OnEpoch, when set, receives (epoch, meanLoss) after each epoch.
+  void train(const std::vector<TrainPair> &Data,
+             const std::function<void(int, double)> &OnEpoch = nullptr);
+
+  /// Greedy decode for \p Src. When \p Allowed is non-null (one byte per
+  /// vocab id), decoding is constrained to the allowed set — the
+  /// grammar-constrained decoding used during backend generation ([EOS] and
+  /// the CS buckets are always allowed).
+  struct Decoded {
+    std::vector<int> Tokens;   ///< without the trailing [EOS]
+    std::vector<double> Probs; ///< per-token chosen probability
+  };
+
+  /// Template-guided decoding plan: per output position, the set of
+  /// admissible token ids (empty set = fall back to \p Allowed /
+  /// unconstrained). Positions beyond the plan force [EOS]. This is how
+  /// Stage 3 "customizes function templates": the skeleton is fixed, the
+  /// model chooses confidence buckets and placeholder fillers.
+  struct DecodePlan {
+    std::vector<std::vector<int>> Steps;
+    /// Optional per-position additive logit biases (e.g. the lexical
+    /// affinity prior standing in for pre-trained subword morphology;
+    /// DESIGN.md §2). Indexed like Steps; missing entries mean no bias.
+    std::vector<std::map<int, float>> Bias;
+  };
+
+  Decoded generate(const std::vector<int> &Src,
+                   const std::vector<uint8_t> *Allowed = nullptr,
+                   const DecodePlan *Plan = nullptr);
+
+  /// Fraction of pairs whose greedy decode exactly matches Dst (the paper's
+  /// Exact Match score, §4.1.2).
+  double exactMatch(const std::vector<TrainPair> &Data);
+
+  const Vocab &vocab() const { return Vocabulary; }
+  const CodeBEConfig &config() const { return Config; }
+
+  /// Raw weight blob (for on-disk caching of the fine-tuned model).
+  std::string saveWeights() const;
+
+  /// Restores weights; false on shape mismatch.
+  bool loadWeights(const std::string &Blob);
+
+private:
+  struct LinearP {
+    TensorPtr W, B;
+  };
+  struct LNP {
+    TensorPtr G, B;
+  };
+  struct MHAP {
+    LinearP Q, K, V, O;
+  };
+  struct EncLayerP {
+    MHAP Self;
+    LNP N1;
+    LinearP F1, F2;
+    LNP N2;
+  };
+  struct DecLayerP {
+    MHAP Self;
+    LNP N1;
+    MHAP Cross;
+    LNP N2;
+    LinearP F1, F2;
+    LNP N3;
+  };
+
+  TensorPtr linear(const TensorPtr &X, const LinearP &P);
+  TensorPtr attention(const TensorPtr &XQ, const TensorPtr &XKV,
+                      const MHAP &P, const Tensor *Mask);
+  TensorPtr encLayer(const TensorPtr &X, EncLayerP &L);
+  TensorPtr decLayer(const TensorPtr &X, const TensorPtr &Memory,
+                     DecLayerP &L, const Tensor *CausalMask);
+  TensorPtr embed(const std::vector<int> &Ids, const TensorPtr &Pos);
+  TensorPtr runEncoder(const std::vector<int> &Src);
+  TensorPtr runDecoder(const TensorPtr &Memory, const std::vector<int> &DstIn);
+  TensorPtr logitsFor(const TensorPtr &DecOut, const TensorPtr &Memory,
+                      const std::vector<int> &SrcIds, bool UseCombCache);
+  TensorPtr combinedEmbeddings();
+  void refreshCombCache();
+  std::vector<TensorPtr> parameters() const;
+  std::unique_ptr<Tensor> causalMask(int Len) const;
+
+  Vocab Vocabulary;
+  CodeBEConfig Config;
+  TensorPtr Etok, Epiece, EposSrc, EposDst;
+  std::vector<EncLayerP> Enc;
+  std::vector<DecLayerP> Dec;
+  LinearP CopyProj;
+  TensorPtr CopyGate;
+  TensorPtr SrcBias; ///< learned boost for tokens present in the source
+  TensorPtr CombCache; ///< no-grad combined embeddings for inference
+  bool CombDirty = true;
+};
+
+} // namespace vega
+
+#endif // VEGA_MODEL_CODEBE_H

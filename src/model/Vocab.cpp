@@ -1,0 +1,114 @@
+//===- model/Vocab.cpp - Token vocabulary for CodeBE -------------------------===//
+//
+// Part of the VEGA reproduction project.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+
+#include "model/Vocab.h"
+
+#include "support/StringUtils.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace vega;
+
+Vocab::Vocab() {
+  PadId = addToken(Pad);
+  UnkId = addToken(Unk);
+  ClsId = addToken(Cls);
+  SepId = addToken(Sep);
+  E2dId = addToken(E2d);
+  EosId = addToken(Eos);
+  NullId = addToken(Null);
+  TrueId = addToken(True);
+  FalseId = addToken(False);
+  CsBase = static_cast<int>(Tokens.size());
+  for (int B = 0; B < NumCsBuckets; ++B)
+    addToken(csToken(B));
+}
+
+int Vocab::csBucket(double Score) {
+  if (Score < 0.0)
+    Score = 0.0;
+  if (Score > 1.0)
+    Score = 1.0;
+  return static_cast<int>(std::lround(Score * (NumCsBuckets - 1)));
+}
+
+std::string Vocab::csToken(int Bucket) {
+  return "[CS_" + std::to_string(Bucket) + "]";
+}
+
+double Vocab::csValueOf(int Id) const {
+  if (!isCsToken(Id))
+    return -1.0;
+  return static_cast<double>(Id - CsBase) / (NumCsBuckets - 1);
+}
+
+bool Vocab::isCsToken(int Id) const {
+  return Id >= CsBase && Id < CsBase + NumCsBuckets;
+}
+
+int Vocab::addToken(const std::string &Text) {
+  auto It = Index.find(Text);
+  if (It != Index.end())
+    return It->second;
+  int Id = static_cast<int>(Tokens.size());
+  Tokens.push_back(Text);
+  Index.emplace(Text, Id);
+
+  // Piece decomposition. Special tokens ([...]) and punctuation get a
+  // single dedicated piece; identifiers decompose into lowercase words.
+  std::vector<int> PieceIds;
+  auto PieceId = [&](const std::string &Piece) {
+    auto [PIt, Inserted] = PieceIndex.emplace(Piece, PieceCount);
+    if (Inserted)
+      ++PieceCount;
+    return PIt->second;
+  };
+  if (!Text.empty() && Text.front() != '[' &&
+      (std::isalpha(static_cast<unsigned char>(Text.front())) ||
+       Text.front() == '_' || Text.front() == '$' || Text.front() == '"')) {
+    for (const std::string &W : splitIdentifierWords(Text))
+      PieceIds.push_back(PieceId(W));
+  }
+  if (PieceIds.empty())
+    PieceIds.push_back(PieceId("<" + Text + ">"));
+  Pieces.push_back(std::move(PieceIds));
+  return Id;
+}
+
+int Vocab::idOf(const std::string &Text) const {
+  auto It = Index.find(Text);
+  return It == Index.end() ? UnkId : It->second;
+}
+
+bool Vocab::contains(const std::string &Text) const {
+  return Index.count(Text) != 0;
+}
+
+const std::string &Vocab::textOf(int Id) const {
+  assert(Id >= 0 && Id < static_cast<int>(Tokens.size()) &&
+         "token id out of range");
+  return Tokens[static_cast<size_t>(Id)];
+}
+
+std::string Vocab::serialize() const {
+  std::string Blob;
+  // Specials are reconstructed by the constructor; serialize the rest.
+  for (size_t I = static_cast<size_t>(CsBase) + NumCsBuckets;
+       I < Tokens.size(); ++I) {
+    Blob += Tokens[I];
+    Blob += '\n';
+  }
+  return Blob;
+}
+
+Vocab Vocab::deserialize(const std::string &Blob) {
+  Vocab V;
+  for (const std::string &Line : splitLines(Blob))
+    V.addToken(Line);
+  return V;
+}

@@ -1,0 +1,116 @@
+//===- model/Vocab.h - Token vocabulary for CodeBE ---------------*- C++ -*-===//
+//
+// Part of the VEGA reproduction project.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// CodeBE's token vocabulary. Tokens are whole corpus tokens; every token
+/// additionally carries word-piece ids ("fixup_riscv_pcrel_hi20" →
+/// {fixup, riscv, pcrel, hi20}) so embeddings compose for tokens never seen
+/// during fine-tuning — the laptop-scale stand-in for UniXcoder's BPE
+/// subwords. Includes the special tokens of §2.2 ([CLS], [SEP], [E2D], the
+/// confidence-score buckets) plus [PAD]/[EOS]/[NULL]/[T]/[F]/[UNK].
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VEGA_MODEL_VOCAB_H
+#define VEGA_MODEL_VOCAB_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace vega {
+
+/// Growable token vocabulary with piece decomposition. Freeze before
+/// training (the embedding matrices size to it).
+class Vocab {
+public:
+  Vocab();
+
+  // Special token spellings.
+  static constexpr const char *Pad = "[PAD]";
+  static constexpr const char *Unk = "[UNK]";
+  static constexpr const char *Cls = "[CLS]";
+  static constexpr const char *Sep = "[SEP]";
+  static constexpr const char *E2d = "[E2D]";
+  static constexpr const char *Eos = "[EOS]";
+  static constexpr const char *Null = "[NULL]";
+  static constexpr const char *True = "[T]";
+  static constexpr const char *False = "[F]";
+  // Segment markers of the feature-vector layout (§2.2.1).
+  static constexpr const char *Bools = "[BOOLS]";
+  static constexpr const char *Vals = "[VALS]";
+  static constexpr const char *Path = "[PATH]";
+  static constexpr const char *Ctx = "[CTX]";
+
+  /// True when \p Text is a bracketed special token.
+  static bool isSpecialSpelling(const std::string &Text) {
+    return !Text.empty() && Text.front() == '[' && Text.back() == ']';
+  }
+
+  /// Number of confidence-score buckets (0.00 … 1.00 in steps of 0.05).
+  static constexpr int NumCsBuckets = 21;
+
+  /// The bucket index for a confidence score in [0, 1].
+  static int csBucket(double Score);
+
+  /// The spelling of a CS bucket token ("[CS_17]").
+  static std::string csToken(int Bucket);
+
+  /// Bucket midpoint value of a CS token id, or -1 when \p Id is not a CS
+  /// token.
+  double csValueOf(int Id) const;
+
+  /// True when \p Id is a CS bucket token.
+  bool isCsToken(int Id) const;
+
+  /// Adds (or finds) \p Text; returns its id.
+  int addToken(const std::string &Text);
+
+  /// Id of \p Text, or the [UNK] id when unknown.
+  int idOf(const std::string &Text) const;
+
+  /// True when \p Text is known.
+  bool contains(const std::string &Text) const;
+
+  /// Spelling of token \p Id.
+  const std::string &textOf(int Id) const;
+
+  size_t size() const { return Tokens.size(); }
+  size_t pieceCount() const { return PieceCount; }
+
+  /// Per-token piece id lists (parallel to token ids).
+  const std::vector<std::vector<int>> &pieceLists() const { return Pieces; }
+
+  int padId() const { return PadId; }
+  int unkId() const { return UnkId; }
+  int clsId() const { return ClsId; }
+  int sepId() const { return SepId; }
+  int e2dId() const { return E2dId; }
+  int eosId() const { return EosId; }
+  int nullId() const { return NullId; }
+  int trueId() const { return TrueId; }
+  int falseId() const { return FalseId; }
+  int csId(int Bucket) const { return CsBase + Bucket; }
+
+  /// Serializes / restores the vocabulary (token spellings only; pieces are
+  /// recomputed).
+  std::string serialize() const;
+  static Vocab deserialize(const std::string &Blob);
+
+private:
+  std::vector<std::string> Tokens;
+  std::map<std::string, int> Index;
+  std::vector<std::vector<int>> Pieces;
+  std::map<std::string, int> PieceIndex;
+  size_t PieceCount = 0;
+  int PadId, UnkId, ClsId, SepId, E2dId, EosId, NullId, TrueId, FalseId;
+  int CsBase;
+};
+
+} // namespace vega
+
+#endif // VEGA_MODEL_VOCAB_H

@@ -1,0 +1,55 @@
+//===- sim/Simulator.cpp - Cycle-cost simulator ------------------------------===//
+//
+// Part of the VEGA reproduction project.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Simulator.h"
+
+using namespace vega;
+
+SimResult vega::simulate(const MachineProgram &Program,
+                         const TargetTraits &Traits) {
+  SimResult Result;
+  for (const MachineFunction &Fn : Program.Functions) {
+    for (const MachineBlock &Block : Fn.Blocks) {
+      int64_t BlockCycles = 0, BlockStalls = 0, BlockBytes = 0;
+      for (const MachineInstr &MI : Block.Instrs) {
+        BlockCycles += MI.Cycles;
+        BlockBytes += MI.Size;
+        // Load-use hazard: a consumer scheduled right behind its load
+        // stalls for the remaining latency.
+        if (MI.DependsOnPrevLoad)
+          BlockStalls += std::max(0, Traits.LoadLatency - 1);
+        // Taken branches pay the pipeline bubble unless the block is a
+        // hardware loop (the loop unit redirects fetch for free).
+        if (MI.Class == InstrClass::Branch && !Block.HardwareLoopBody)
+          BlockStalls += std::max(0, Traits.BranchLatency - 1);
+        if (MI.Class == InstrClass::Call)
+          BlockStalls += 2; // call/return overhead
+      }
+      Result.Cycles += (BlockCycles + BlockStalls) * Block.ExecCount;
+      Result.Stalls += BlockStalls * Block.ExecCount;
+      Result.Instructions +=
+          static_cast<int64_t>(Block.Instrs.size()) * Block.ExecCount;
+      Result.CodeBytes += BlockBytes;
+    }
+  }
+  return Result;
+}
+
+SimResult vega::compileAndRun(const IRModule &Module,
+                              const TargetTraits &Traits,
+                              const BackendHooks &Hooks, OptLevel Level) {
+  return simulate(compileModule(Module, Traits, Hooks, Level), Traits);
+}
+
+double vega::speedupO3(const IRModule &Module, const TargetTraits &Traits,
+                       const BackendHooks &Hooks) {
+  SimResult O0 = compileAndRun(Module, Traits, Hooks, OptLevel::O0);
+  SimResult O3 = compileAndRun(Module, Traits, Hooks, OptLevel::O3);
+  if (O3.Cycles <= 0)
+    return 1.0;
+  return static_cast<double>(O0.Cycles) / static_cast<double>(O3.Cycles);
+}

@@ -1,0 +1,44 @@
+//===- sim/Simulator.h - Cycle-cost simulator --------------------*- C++ -*-===//
+//
+// Part of the VEGA reproduction project.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The per-target cycle simulator (the stand-in for QEMU / PULP RTL / XSIM
+/// in §4.1.5). It prices a compiled MachineProgram: per-instruction cycles
+/// from the target's schedule, load-use and branch stalls, hardware-loop
+/// savings, and call overhead.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VEGA_SIM_SIMULATOR_H
+#define VEGA_SIM_SIMULATOR_H
+
+#include "minicc/Compiler.h"
+
+namespace vega {
+
+/// Simulation outcome for one program.
+struct SimResult {
+  int64_t Cycles = 0;
+  int64_t Instructions = 0;
+  int64_t CodeBytes = 0;
+  int64_t Stalls = 0;
+};
+
+/// Prices \p Program on the target described by \p Traits.
+SimResult simulate(const MachineProgram &Program, const TargetTraits &Traits);
+
+/// Convenience: compiles \p Module at \p Level and simulates it.
+SimResult compileAndRun(const IRModule &Module, const TargetTraits &Traits,
+                        const BackendHooks &Hooks, OptLevel Level);
+
+/// Speedup of -O3 over -O0 (the Fig. 10 metric) for one module.
+double speedupO3(const IRModule &Module, const TargetTraits &Traits,
+                 const BackendHooks &Hooks);
+
+} // namespace vega
+
+#endif // VEGA_SIM_SIMULATOR_H

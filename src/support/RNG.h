@@ -1,0 +1,88 @@
+//===- support/RNG.h - Deterministic random numbers -------------*- C++ -*-===//
+//
+// Part of the VEGA reproduction project.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small deterministic PRNG (SplitMix64). Every randomized component of
+/// the reproduction (corpus synthesis, dataset splits, model initialization)
+/// takes an explicit seed so runs are bit-reproducible.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VEGA_SUPPORT_RNG_H
+#define VEGA_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace vega {
+
+/// SplitMix64 generator; cheap, well distributed, and deterministic across
+/// platforms (unlike std::mt19937 seeded via std::seed_seq distribution
+/// choices, which we avoid on principle).
+class RNG {
+public:
+  explicit RNG(uint64_t Seed) : State(Seed) {}
+
+  /// Next raw 64-bit value.
+  uint64_t next() {
+    State += 0x9e3779b97f4a7c15ULL;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Uniform integer in [0, Bound).
+  uint64_t nextBelow(uint64_t Bound) {
+    assert(Bound > 0 && "nextBelow requires a positive bound");
+    return next() % Bound;
+  }
+
+  /// Uniform double in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Uniform double in [Lo, Hi).
+  double nextDouble(double Lo, double Hi) {
+    return Lo + (Hi - Lo) * nextDouble();
+  }
+
+  /// Gaussian via Box-Muller (mean 0, stddev 1).
+  double nextGaussian() {
+    double U1 = nextDouble(), U2 = nextDouble();
+    if (U1 < 1e-12)
+      U1 = 1e-12;
+    return __builtin_sqrt(-2.0 * __builtin_log(U1)) *
+           __builtin_cos(6.283185307179586 * U2);
+  }
+
+  /// True with probability \p P.
+  bool nextBool(double P) { return nextDouble() < P; }
+
+  /// Fisher-Yates shuffle of \p Items.
+  template <typename T> void shuffle(std::vector<T> &Items) {
+    for (size_t I = Items.size(); I > 1; --I) {
+      size_t J = static_cast<size_t>(nextBelow(I));
+      std::swap(Items[I - 1], Items[J]);
+    }
+  }
+
+  /// Picks a uniformly random element of \p Items.
+  template <typename T> const T &pick(const std::vector<T> &Items) {
+    assert(!Items.empty() && "pick from empty vector");
+    return Items[static_cast<size_t>(nextBelow(Items.size()))];
+  }
+
+private:
+  uint64_t State;
+};
+
+} // namespace vega
+
+#endif // VEGA_SUPPORT_RNG_H

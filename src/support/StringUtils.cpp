@@ -1,0 +1,181 @@
+//===- support/StringUtils.cpp - String helpers ---------------------------===//
+//
+// Part of the VEGA reproduction project.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+
+using namespace vega;
+
+std::vector<std::string> vega::splitString(std::string_view Text,
+                                           char Separator, bool KeepEmpty) {
+  std::vector<std::string> Pieces;
+  size_t Start = 0;
+  while (Start <= Text.size()) {
+    size_t End = Text.find(Separator, Start);
+    if (End == std::string_view::npos)
+      End = Text.size();
+    std::string_view Piece = Text.substr(Start, End - Start);
+    if (KeepEmpty || !Piece.empty())
+      Pieces.emplace_back(Piece);
+    if (End == Text.size())
+      break;
+    Start = End + 1;
+  }
+  return Pieces;
+}
+
+std::vector<std::string> vega::splitLines(std::string_view Text) {
+  std::vector<std::string> Lines = splitString(Text, '\n');
+  for (std::string &Line : Lines)
+    if (!Line.empty() && Line.back() == '\r')
+      Line.pop_back();
+  // splitString keeps a trailing empty piece for text ending in '\n'; drop it
+  // so that "a\nb\n" yields exactly {"a", "b"}.
+  if (!Lines.empty() && Lines.back().empty())
+    Lines.pop_back();
+  return Lines;
+}
+
+std::string vega::trimString(std::string_view Text) {
+  size_t Begin = 0, End = Text.size();
+  while (Begin < End && std::isspace(static_cast<unsigned char>(Text[Begin])))
+    ++Begin;
+  while (End > Begin &&
+         std::isspace(static_cast<unsigned char>(Text[End - 1])))
+    --End;
+  return std::string(Text.substr(Begin, End - Begin));
+}
+
+std::string vega::joinStrings(const std::vector<std::string> &Pieces,
+                              std::string_view Separator) {
+  std::string Result;
+  for (size_t I = 0, E = Pieces.size(); I != E; ++I) {
+    if (I != 0)
+      Result += Separator;
+    Result += Pieces[I];
+  }
+  return Result;
+}
+
+std::string vega::lowerString(std::string_view Text) {
+  std::string Result(Text);
+  std::transform(Result.begin(), Result.end(), Result.begin(), [](char C) {
+    return static_cast<char>(std::tolower(static_cast<unsigned char>(C)));
+  });
+  return Result;
+}
+
+bool vega::containsIgnoreCase(std::string_view Haystack,
+                              std::string_view Needle) {
+  if (Needle.empty())
+    return true;
+  if (Needle.size() > Haystack.size())
+    return false;
+  std::string H = lowerString(Haystack), N = lowerString(Needle);
+  return H.find(N) != std::string::npos;
+}
+
+bool vega::partiallyMatches(std::string_view A, std::string_view B) {
+  if (A.size() < 3 || B.size() < 3)
+    return false;
+  return containsIgnoreCase(A, B) || containsIgnoreCase(B, A);
+}
+
+std::vector<std::string>
+vega::splitIdentifierWords(std::string_view Identifier) {
+  std::vector<std::string> Words;
+  std::string Current;
+  auto Flush = [&] {
+    if (!Current.empty()) {
+      Words.push_back(lowerString(Current));
+      Current.clear();
+    }
+  };
+  for (size_t I = 0, E = Identifier.size(); I != E; ++I) {
+    char C = Identifier[I];
+    if (C == '_' || C == ':' || C == '.') {
+      Flush();
+      continue;
+    }
+    bool IsUpper = std::isupper(static_cast<unsigned char>(C));
+    bool PrevLower =
+        !Current.empty() &&
+        std::islower(static_cast<unsigned char>(Current.back()));
+    bool NextLower = I + 1 < E &&
+                     std::islower(static_cast<unsigned char>(Identifier[I + 1]));
+    // Word break on lower→Upper ("IsPCRel" → is|PCRel) and on the last upper
+    // of an acronym run ("PCRel" → PC|Rel).
+    if (IsUpper && (PrevLower || (NextLower && !Current.empty() &&
+                                  std::isupper(static_cast<unsigned char>(
+                                      Current.back())))))
+      Flush();
+    Current += C;
+  }
+  Flush();
+  return Words;
+}
+
+double vega::identifierSimilarity(std::string_view A, std::string_view B) {
+  std::vector<std::string> WA = splitIdentifierWords(A);
+  std::vector<std::string> WB = splitIdentifierWords(B);
+  if (WA.empty() || WB.empty())
+    return 0.0;
+  std::map<std::string, int> CountA;
+  for (const std::string &W : WA)
+    ++CountA[W];
+  int Common = 0;
+  for (const std::string &W : WB) {
+    auto It = CountA.find(W);
+    if (It != CountA.end() && It->second > 0) {
+      --It->second;
+      ++Common;
+    }
+  }
+  return 2.0 * Common / static_cast<double>(WA.size() + WB.size());
+}
+
+bool vega::sharesSignificantStem(std::string_view A, std::string_view B,
+                                 size_t MinStem) {
+  auto Squash = [](std::string_view Text) {
+    std::string Out;
+    for (char C : Text)
+      if (std::isalnum(static_cast<unsigned char>(C)))
+        Out += static_cast<char>(std::tolower(static_cast<unsigned char>(C)));
+    return Out;
+  };
+  std::string SA = Squash(A), SB = Squash(B);
+  if (SA.size() < MinStem || SB.size() < MinStem)
+    return SA == SB && !SA.empty();
+  // Longest common substring via simple DP over the shorter string.
+  if (SA.size() > SB.size())
+    std::swap(SA, SB);
+  std::vector<size_t> Prev(SB.size() + 1, 0), Cur(SB.size() + 1, 0);
+  for (size_t I = 1; I <= SA.size(); ++I) {
+    for (size_t J = 1; J <= SB.size(); ++J) {
+      Cur[J] = SA[I - 1] == SB[J - 1] ? Prev[J - 1] + 1 : 0;
+      if (Cur[J] >= MinStem)
+        return true;
+    }
+    std::swap(Prev, Cur);
+  }
+  return false;
+}
+
+std::string vega::replaceAll(std::string Text, std::string_view From,
+                             std::string_view To) {
+  if (From.empty())
+    return Text;
+  size_t Pos = 0;
+  while ((Pos = Text.find(From, Pos)) != std::string::npos) {
+    Text.replace(Pos, From.size(), To);
+    Pos += To.size();
+  }
+  return Text;
+}

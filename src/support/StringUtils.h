@@ -1,0 +1,72 @@
+//===- support/StringUtils.h - String helpers -------------------*- C++ -*-===//
+//
+// Part of the VEGA reproduction project.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small string helpers used across the VEGA pipeline: splitting, trimming,
+/// joining, case folding, and the partial-match predicate from Algorithm 1
+/// (a token matches an assignment RHS when either is a substring of the
+/// other, case-insensitively).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VEGA_SUPPORT_STRINGUTILS_H
+#define VEGA_SUPPORT_STRINGUTILS_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vega {
+
+/// Splits \p Text on \p Separator; empty pieces are kept unless
+/// \p KeepEmpty is false.
+std::vector<std::string> splitString(std::string_view Text, char Separator,
+                                     bool KeepEmpty = true);
+
+/// Splits \p Text into lines, accepting both "\n" and "\r\n" endings.
+std::vector<std::string> splitLines(std::string_view Text);
+
+/// Returns \p Text without leading/trailing whitespace.
+std::string trimString(std::string_view Text);
+
+/// Joins \p Pieces with \p Separator between consecutive elements.
+std::string joinStrings(const std::vector<std::string> &Pieces,
+                        std::string_view Separator);
+
+/// Returns a lowercase copy of \p Text (ASCII only).
+std::string lowerString(std::string_view Text);
+
+/// True when \p Haystack contains \p Needle ignoring ASCII case.
+bool containsIgnoreCase(std::string_view Haystack, std::string_view Needle);
+
+/// The partial-match rule from Algorithm 1 lines 14 and 33: true when either
+/// string is a case-insensitive substring of the other. Tokens shorter than
+/// 3 characters never partially match (identifiers like "i" would otherwise
+/// match everything).
+bool partiallyMatches(std::string_view A, std::string_view B);
+
+/// Splits a descriptive identifier such as "IsPCRel" or "fixup_arm_movt_hi16"
+/// into lowercase word pieces ("is", "pc", "rel" / "fixup", "arm", ...).
+std::vector<std::string> splitIdentifierWords(std::string_view Identifier);
+
+/// Dice similarity of the word multisets of two identifiers, in [0, 1].
+double identifierSimilarity(std::string_view A, std::string_view B);
+
+/// True when the squashed lowercase forms of \p A and \p B (separators
+/// removed) share a common substring of at least \p MinStem characters.
+/// This is the looser partial match Algorithm 1 needs to connect e.g.
+/// "IsPCRel" with "OPERAND_PCREL" (shared stem "pcrel").
+bool sharesSignificantStem(std::string_view A, std::string_view B,
+                           size_t MinStem = 5);
+
+/// Replaces every occurrence of \p From in \p Text with \p To.
+std::string replaceAll(std::string Text, std::string_view From,
+                       std::string_view To);
+
+} // namespace vega
+
+#endif // VEGA_SUPPORT_STRINGUTILS_H

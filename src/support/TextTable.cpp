@@ -1,0 +1,98 @@
+//===- support/TextTable.cpp - Aligned console tables ---------------------===//
+//
+// Part of the VEGA reproduction project.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/TextTable.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+
+using namespace vega;
+
+void TextTable::setHeader(std::vector<std::string> Cells) {
+  Header = std::move(Cells);
+}
+
+void TextTable::addRow(std::vector<std::string> Cells) {
+  Rows.push_back(std::move(Cells));
+}
+
+void TextTable::addSeparator() { Rows.emplace_back(); }
+
+static bool looksNumeric(const std::string &Cell) {
+  if (Cell.empty())
+    return false;
+  for (char C : Cell)
+    if (!std::isdigit(static_cast<unsigned char>(C)) && C != '.' && C != '-' &&
+        C != '+' && C != '%' && C != 'x' && C != ',')
+      return false;
+  return true;
+}
+
+std::string TextTable::render() const {
+  std::vector<size_t> Widths;
+  auto Grow = [&](const std::vector<std::string> &Cells) {
+    if (Cells.size() > Widths.size())
+      Widths.resize(Cells.size(), 0);
+    for (size_t I = 0; I < Cells.size(); ++I)
+      Widths[I] = std::max(Widths[I], Cells[I].size());
+  };
+  Grow(Header);
+  for (const auto &Row : Rows)
+    Grow(Row);
+
+  auto RenderRow = [&](const std::vector<std::string> &Cells,
+                       std::string &Out) {
+    for (size_t I = 0; I < Widths.size(); ++I) {
+      std::string Cell = I < Cells.size() ? Cells[I] : std::string();
+      size_t Pad = Widths[I] - Cell.size();
+      if (I != 0)
+        Out += "  ";
+      if (looksNumeric(Cell)) {
+        Out.append(Pad, ' ');
+        Out += Cell;
+      } else {
+        Out += Cell;
+        Out.append(Pad, ' ');
+      }
+    }
+    while (!Out.empty() && Out.back() == ' ')
+      Out.pop_back();
+    Out += '\n';
+  };
+
+  std::string Out;
+  size_t Total = 0;
+  for (size_t W : Widths)
+    Total += W + 2;
+  if (!Header.empty()) {
+    RenderRow(Header, Out);
+    Out.append(Total, '-');
+    Out += '\n';
+  }
+  for (const auto &Row : Rows) {
+    if (Row.empty()) {
+      Out.append(Total, '-');
+      Out += '\n';
+      continue;
+    }
+    RenderRow(Row, Out);
+  }
+  return Out;
+}
+
+std::string TextTable::formatDouble(double Value, int Decimals) {
+  char Buffer[64];
+  std::snprintf(Buffer, sizeof(Buffer), "%.*f", Decimals, Value);
+  return Buffer;
+}
+
+std::string TextTable::formatPercent(double Ratio) {
+  char Buffer[64];
+  std::snprintf(Buffer, sizeof(Buffer), "%.1f%%", Ratio * 100.0);
+  return Buffer;
+}

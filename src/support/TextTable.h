@@ -1,0 +1,50 @@
+//===- support/TextTable.h - Aligned console tables --------------*- C++ -*-===//
+//
+// Part of the VEGA reproduction project.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small column-aligned table printer used by the benchmark harness to
+/// render the paper's tables and figure series as text.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VEGA_SUPPORT_TEXTTABLE_H
+#define VEGA_SUPPORT_TEXTTABLE_H
+
+#include <string>
+#include <vector>
+
+namespace vega {
+
+/// Collects rows of cells and renders them with aligned columns.
+class TextTable {
+public:
+  /// Sets the header row.
+  void setHeader(std::vector<std::string> Cells);
+
+  /// Appends a data row.
+  void addRow(std::vector<std::string> Cells);
+
+  /// Appends a horizontal separator row.
+  void addSeparator();
+
+  /// Renders the table. Numeric-looking cells are right-aligned.
+  std::string render() const;
+
+  /// Formats a double with \p Decimals fraction digits.
+  static std::string formatDouble(double Value, int Decimals = 2);
+
+  /// Formats a ratio as a percentage string with one decimal ("71.5%").
+  static std::string formatPercent(double Ratio);
+
+private:
+  std::vector<std::string> Header;
+  std::vector<std::vector<std::string>> Rows; // empty row == separator
+};
+
+} // namespace vega
+
+#endif // VEGA_SUPPORT_TEXTTABLE_H

@@ -1,0 +1,43 @@
+//===- support/Timer.h - Wall-clock timing -----------------------*- C++ -*-===//
+//
+// Part of the VEGA reproduction project.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A trivial wall-clock timer for the inference-time measurements (Fig. 7).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VEGA_SUPPORT_TIMER_H
+#define VEGA_SUPPORT_TIMER_H
+
+#include <chrono>
+
+namespace vega {
+
+/// Measures elapsed wall-clock seconds from construction (or reset()).
+class Timer {
+public:
+  Timer() : Start(Clock::now()) {}
+
+  /// Restarts the measurement window.
+  void reset() { Start = Clock::now(); }
+
+  /// Elapsed seconds since construction/reset.
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  }
+
+  /// Elapsed milliseconds since construction/reset.
+  double milliseconds() const { return seconds() * 1000.0; }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+} // namespace vega
+
+#endif // VEGA_SUPPORT_TIMER_H

@@ -1,0 +1,104 @@
+//===- support/VirtualFileSystem.cpp - In-memory file tree ----------------===//
+//
+// Part of the VEGA reproduction project.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/VirtualFileSystem.h"
+
+#include <cassert>
+
+using namespace vega;
+
+std::string VirtualFileSystem::normalizePath(std::string_view Path) {
+  std::string Result;
+  Result.reserve(Path.size());
+  size_t I = 0;
+  if (Path.substr(0, 2) == "./")
+    I = 2;
+  while (I < Path.size() && Path[I] == '/')
+    ++I;
+  bool PrevSlash = false;
+  for (; I < Path.size(); ++I) {
+    char C = Path[I];
+    if (C == '/') {
+      if (PrevSlash)
+        continue;
+      PrevSlash = true;
+    } else {
+      PrevSlash = false;
+    }
+    Result += C;
+  }
+  return Result;
+}
+
+void VirtualFileSystem::addFile(std::string_view Path, std::string Content) {
+  std::string Normalized = normalizePath(Path);
+  assert(!Normalized.empty() && "cannot add a file with an empty path");
+  Files[Normalized] = VirtualFile{Normalized, std::move(Content)};
+}
+
+void VirtualFileSystem::appendToFile(std::string_view Path,
+                                     std::string_view Content) {
+  std::string Normalized = normalizePath(Path);
+  auto It = Files.find(Normalized);
+  if (It == Files.end()) {
+    addFile(Normalized, std::string(Content));
+    return;
+  }
+  It->second.Content += Content;
+}
+
+std::optional<std::string>
+VirtualFileSystem::getFile(std::string_view Path) const {
+  auto It = Files.find(normalizePath(Path));
+  if (It == Files.end())
+    return std::nullopt;
+  return It->second.Content;
+}
+
+bool VirtualFileSystem::exists(std::string_view Path) const {
+  return Files.count(normalizePath(Path)) != 0;
+}
+
+bool VirtualFileSystem::removeFile(std::string_view Path) {
+  return Files.erase(normalizePath(Path)) != 0;
+}
+
+std::vector<const VirtualFile *>
+VirtualFileSystem::filesUnder(std::string_view Dir) const {
+  std::string Prefix = normalizePath(Dir);
+  if (!Prefix.empty() && Prefix.back() != '/')
+    Prefix += '/';
+  std::vector<const VirtualFile *> Result;
+  for (auto It = Files.lower_bound(Prefix); It != Files.end(); ++It) {
+    if (It->first.compare(0, Prefix.size(), Prefix) != 0)
+      break;
+    Result.push_back(&It->second);
+  }
+  return Result;
+}
+
+std::vector<const VirtualFile *>
+VirtualFileSystem::filesUnderWithExtension(std::string_view Dir,
+                                           std::string_view Extension) const {
+  std::vector<const VirtualFile *> Result;
+  for (const VirtualFile *File : filesUnder(Dir)) {
+    const std::string &P = File->Path;
+    if (P.size() >= Extension.size() &&
+        P.compare(P.size() - Extension.size(), Extension.size(), Extension) ==
+            0)
+      Result.push_back(File);
+  }
+  return Result;
+}
+
+std::vector<const VirtualFile *> VirtualFileSystem::allFiles() const {
+  std::vector<const VirtualFile *> Result;
+  Result.reserve(Files.size());
+  for (const auto &[Path, File] : Files)
+    Result.push_back(&File);
+  return Result;
+}

@@ -1,0 +1,78 @@
+//===- support/VirtualFileSystem.h - In-memory file tree ---------*- C++ -*-===//
+//
+// Part of the VEGA reproduction project.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An in-memory file tree. The synthetic backend corpus (SynthLLVM) renders
+/// LLVMDIRs and TGTDIRs into a VirtualFileSystem, and Algorithm 1 searches
+/// it exactly the way the paper searches a checked-out LLVM tree.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VEGA_SUPPORT_VIRTUALFILESYSTEM_H
+#define VEGA_SUPPORT_VIRTUALFILESYSTEM_H
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vega {
+
+/// A single file in the virtual tree.
+struct VirtualFile {
+  std::string Path;
+  std::string Content;
+};
+
+/// Path-keyed in-memory filesystem with prefix (directory) queries.
+///
+/// Paths are '/'-separated and normalized to have no leading slash.
+/// Iteration order is deterministic (lexicographic by path).
+class VirtualFileSystem {
+public:
+  /// Adds or replaces the file at \p Path.
+  void addFile(std::string_view Path, std::string Content);
+
+  /// Appends \p Content to the file at \p Path, creating it if missing.
+  void appendToFile(std::string_view Path, std::string_view Content);
+
+  /// Returns the content at \p Path, or std::nullopt when absent.
+  std::optional<std::string> getFile(std::string_view Path) const;
+
+  /// True when a file exists at \p Path.
+  bool exists(std::string_view Path) const;
+
+  /// Removes the file at \p Path; returns true when something was removed.
+  bool removeFile(std::string_view Path);
+
+  /// All files whose path starts with directory prefix \p Dir
+  /// ("lib/Target/ARM" matches "lib/Target/ARM/ARM.td" but not
+  /// "lib/Target/ARM64/x.td").
+  std::vector<const VirtualFile *> filesUnder(std::string_view Dir) const;
+
+  /// Files under \p Dir whose name ends with \p Extension (e.g. ".td").
+  std::vector<const VirtualFile *>
+  filesUnderWithExtension(std::string_view Dir,
+                          std::string_view Extension) const;
+
+  /// All files, in path order.
+  std::vector<const VirtualFile *> allFiles() const;
+
+  /// Number of files.
+  size_t size() const { return Files.size(); }
+
+  /// Normalizes a path: strips leading "./" and "/" and collapses "//".
+  static std::string normalizePath(std::string_view Path);
+
+private:
+  std::map<std::string, VirtualFile> Files;
+};
+
+} // namespace vega
+
+#endif // VEGA_SUPPORT_VIRTUALFILESYSTEM_H

@@ -1,0 +1,292 @@
+//===- tablegen/DescriptionReader.cpp - Target description reader ----------===//
+//
+// Part of the VEGA reproduction project.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+
+#include "tablegen/DescriptionReader.h"
+
+#include "lexer/Lexer.h"
+
+#include <cctype>
+
+using namespace vega;
+
+namespace {
+
+std::string unquote(const std::string &Literal) {
+  if (Literal.size() >= 2 && Literal.front() == '"' && Literal.back() == '"')
+    return Literal.substr(1, Literal.size() - 2);
+  return Literal;
+}
+
+/// Extracts enum declarations: "enum [class] Name [: type] { A, B = 4, C };"
+void extractEnums(const std::vector<Token> &Tokens, const std::string &Path,
+                  DescriptionFile &Out) {
+  for (size_t I = 0; I < Tokens.size(); ++I) {
+    if (!Tokens[I].isKeyword("enum"))
+      continue;
+    size_t J = I + 1;
+    if (J < Tokens.size() && Tokens[J].isKeyword("class"))
+      ++J;
+    if (J >= Tokens.size() || Tokens[J].Kind != TokenKind::Identifier)
+      continue;
+    DescEnum Enum;
+    Enum.Name = Tokens[J].Text;
+    Enum.Path = Path;
+    ++J;
+    // Optional underlying type.
+    if (J < Tokens.size() && Tokens[J].isPunct(":"))
+      while (J < Tokens.size() && !Tokens[J].isPunct("{"))
+        ++J;
+    if (J >= Tokens.size() || !Tokens[J].isPunct("{"))
+      continue;
+    ++J;
+    bool ExpectMember = true;
+    bool InInitializer = false;
+    int Depth = 0;
+    for (; J < Tokens.size(); ++J) {
+      const Token &T = Tokens[J];
+      if (T.isPunct("{") || T.isPunct("(") || T.isPunct("["))
+        ++Depth;
+      else if (T.isPunct(")") || T.isPunct("]"))
+        --Depth;
+      else if (T.isPunct("}")) {
+        if (Depth == 0)
+          break;
+        --Depth;
+      } else if (Depth == 0 && T.isPunct(",")) {
+        ExpectMember = true;
+        InInitializer = false;
+      } else if (Depth == 0 && T.isPunct("=")) {
+        InInitializer = true;
+      } else if (Depth == 0 && InInitializer &&
+                 T.Kind == TokenKind::Identifier) {
+        Enum.InitRefs.push_back(T.Text);
+      } else if (Depth == 0 && ExpectMember &&
+                 T.Kind == TokenKind::Identifier) {
+        Enum.Members.push_back(T.Text);
+        ExpectMember = false;
+      }
+    }
+    if (!Enum.Members.empty())
+      Out.Enums.push_back(std::move(Enum));
+    I = J;
+  }
+}
+
+/// Extracts "Field = Value" assignments (TableGen record fields, 'let'
+/// clauses, and plain C++ initializations alike).
+void extractAssignments(const std::vector<Token> &Tokens,
+                        const std::string &Path, DescriptionFile &Out) {
+  for (size_t I = 0; I + 2 < Tokens.size(); ++I) {
+    if (!Tokens[I + 1].isPunct("="))
+      continue;
+    const Token &Lhs = Tokens[I];
+    const Token &Rhs = Tokens[I + 2];
+    if (Lhs.Kind != TokenKind::Identifier)
+      continue;
+    if (Rhs.Kind != TokenKind::StringLiteral &&
+        Rhs.Kind != TokenKind::Identifier &&
+        Rhs.Kind != TokenKind::IntLiteral)
+      continue;
+    DescAssignment Assign;
+    Assign.Field = Lhs.Text;
+    Assign.ValueIsString = Rhs.Kind == TokenKind::StringLiteral;
+    Assign.Value = Assign.ValueIsString ? unquote(Rhs.Text) : Rhs.Text;
+    Assign.Path = Path;
+    Out.Assignments.push_back(std::move(Assign));
+  }
+}
+
+/// Extracts TableGen records: "def Name : Class<...> { fields } | ;".
+void extractRecords(const std::vector<Token> &Tokens, const std::string &Path,
+                    DescriptionFile &Out) {
+  for (size_t I = 0; I + 1 < Tokens.size(); ++I) {
+    if (!Tokens[I].isKeyword("def"))
+      continue;
+    if (Tokens[I + 1].Kind != TokenKind::Identifier)
+      continue;
+    DescRecord Record;
+    Record.Name = Tokens[I + 1].Text;
+    Record.Path = Path;
+    size_t J = I + 2;
+    if (J < Tokens.size() && Tokens[J].isPunct(":")) {
+      ++J;
+      if (J < Tokens.size() && Tokens[J].Kind == TokenKind::Identifier)
+        Record.ParentClass = Tokens[J].Text;
+      // Skip template args.
+      if (J + 1 < Tokens.size() && Tokens[J + 1].isPunct("<")) {
+        int Depth = 0;
+        ++J;
+        for (; J < Tokens.size(); ++J) {
+          if (Tokens[J].isPunct("<"))
+            ++Depth;
+          else if (Tokens[J].isPunct(">") && --Depth == 0) {
+            ++J;
+            break;
+          }
+        }
+      } else {
+        ++J;
+      }
+    }
+    if (J < Tokens.size() && Tokens[J].isPunct("{")) {
+      int Depth = 1;
+      size_t BodyStart = ++J;
+      for (; J < Tokens.size() && Depth > 0; ++J) {
+        if (Tokens[J].isPunct("{"))
+          ++Depth;
+        else if (Tokens[J].isPunct("}"))
+          --Depth;
+      }
+      std::vector<Token> Body(Tokens.begin() + BodyStart,
+                              Tokens.begin() + (J > BodyStart ? J - 1 : J));
+      DescriptionFile Temp;
+      extractAssignments(Body, Path, Temp);
+      Record.Fields = std::move(Temp.Assignments);
+      // The scan loop leaves J one past the closing '}'; step back so the
+      // outer loop's increment lands exactly on the next token.
+      if (J > BodyStart)
+        --J;
+    }
+    Out.Records.push_back(std::move(Record));
+    I = J;
+  }
+}
+
+/// True for ALL_CAPS_WITH_UNDERSCORE macro spellings.
+bool looksLikeMacroName(const std::string &Name) {
+  bool HasUnderscore = false;
+  for (char C : Name) {
+    if (C == '_') {
+      HasUnderscore = true;
+      continue;
+    }
+    if (!std::isupper(static_cast<unsigned char>(C)) &&
+        !std::isdigit(static_cast<unsigned char>(C)))
+      return false;
+  }
+  return HasUnderscore;
+}
+
+/// Extracts .def macro lists: "ELF_RELOC(R_RISCV_HI20, 26)" becomes an
+/// enum-like list named after the macro. With \p MacroNamesOnly, only
+/// ALL_CAPS macro spellings are accepted (used on .h files, where ordinary
+/// function calls must not be mistaken for entries).
+void extractDefEntries(const std::vector<Token> &Tokens,
+                       const std::string &Path, DescriptionFile &Out,
+                       bool MacroNamesOnly = false) {
+  std::map<std::string, DescEnum> ByMacro;
+  for (size_t I = 0; I + 2 < Tokens.size(); ++I) {
+    if (Tokens[I].Kind != TokenKind::Identifier || !Tokens[I + 1].isPunct("("))
+      continue;
+    if (Tokens[I + 2].Kind != TokenKind::Identifier)
+      continue;
+    if (MacroNamesOnly && !looksLikeMacroName(Tokens[I].Text))
+      continue;
+    DescEnum &Enum = ByMacro[Tokens[I].Text];
+    Enum.Name = Tokens[I].Text;
+    Enum.Path = Path;
+    Enum.Members.push_back(Tokens[I + 2].Text);
+  }
+  for (auto &[Name, Enum] : ByMacro)
+    Out.Enums.push_back(std::move(Enum));
+}
+
+} // namespace
+
+DescriptionFile DescriptionFile::parse(std::string Path,
+                                       std::string_view Content) {
+  DescriptionFile File;
+  File.Path = std::move(Path);
+  std::vector<Token> Tokens = Lexer::tokenize(Content);
+  for (const Token &T : Tokens)
+    if (T.Kind == TokenKind::Identifier)
+      File.Tokens.insert(T.Text);
+
+  bool IsDef = File.Path.size() > 4 &&
+               File.Path.compare(File.Path.size() - 4, 4, ".def") == 0;
+  bool IsTd = File.Path.size() > 3 &&
+              File.Path.compare(File.Path.size() - 3, 3, ".td") == 0;
+  if (IsDef) {
+    extractDefEntries(Tokens, File.Path, File);
+  } else {
+    extractEnums(Tokens, File.Path, File);
+    extractAssignments(Tokens, File.Path, File);
+    extractDefEntries(Tokens, File.Path, File, /*MacroNamesOnly=*/true);
+    if (IsTd)
+      extractRecords(Tokens, File.Path, File);
+    // Class/struct declarations: "class Name" / "struct Name" followed by
+    // '{', ';', or ':' (TableGen classes included).
+    for (size_t I = 0; I + 1 < Tokens.size(); ++I) {
+      if (!(Tokens[I].isKeyword("class") || Tokens[I].isKeyword("struct")))
+        continue;
+      if (Tokens[I + 1].Kind != TokenKind::Identifier)
+        continue;
+      // "enum class Name" is an enum, not a class.
+      if (I > 0 && Tokens[I - 1].isKeyword("enum"))
+        continue;
+      File.Classes.push_back(Tokens[I + 1].Text);
+    }
+  }
+  return File;
+}
+
+void DescriptionIndex::addFile(std::string Path, std::string_view Content) {
+  DescriptionFile File = DescriptionFile::parse(std::move(Path), Content);
+  for (const std::string &Tok : File.Tokens)
+    TokenToFiles[Tok].push_back(File.Path);
+  for (const DescAssignment &A : File.Assignments)
+    AllAssignments.push_back(A);
+  for (const DescEnum &E : File.Enums)
+    AllEnums.push_back(E);
+  for (const DescRecord &R : File.Records)
+    AllRecords.push_back(R);
+  for (const std::string &C : File.Classes)
+    AllClasses.insert(C);
+  Files.push_back(std::move(File));
+}
+
+void DescriptionIndex::addDirectory(const VirtualFileSystem &VFS,
+                                    std::string_view Dir) {
+  for (const VirtualFile *File : VFS.filesUnder(Dir))
+    addFile(File->Path, File->Content);
+}
+
+const std::vector<std::string> &
+DescriptionIndex::filesContaining(const std::string &Token) const {
+  static const std::vector<std::string> Empty;
+  auto It = TokenToFiles.find(Token);
+  return It == TokenToFiles.end() ? Empty : It->second;
+}
+
+bool DescriptionIndex::containsToken(const std::string &Token) const {
+  return TokenToFiles.count(Token) != 0;
+}
+
+std::vector<const DescAssignment *>
+DescriptionIndex::assignmentsOf(const std::string &Field) const {
+  std::vector<const DescAssignment *> Result;
+  for (const DescAssignment &A : AllAssignments)
+    if (A.Field == Field)
+      Result.push_back(&A);
+  return Result;
+}
+
+const DescEnum *
+DescriptionIndex::enumOfMember(const std::string &Member) const {
+  for (const DescEnum &E : AllEnums)
+    for (const std::string &M : E.Members)
+      if (M == Member)
+        return &E;
+  return nullptr;
+}
+
+const DescEnum *DescriptionIndex::enumNamed(const std::string &Name) const {
+  for (const DescEnum &E : AllEnums)
+    if (E.Name == Name)
+      return &E;
+  return nullptr;
+}

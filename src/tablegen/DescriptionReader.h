@@ -1,0 +1,137 @@
+//===- tablegen/DescriptionReader.h - Target description reader --*- C++ -*-===//
+//
+// Part of the VEGA reproduction project.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Readers for the target-description surface Algorithm 1 searches: TableGen
+/// (.td) records and field assignments, C++ header (.h) enums, and .def
+/// macro entry files. The readers extract exactly the facts feature
+/// selection needs: token occurrences, "field = value" assignments, enum
+/// memberships, and record definitions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VEGA_TABLEGEN_DESCRIPTIONREADER_H
+#define VEGA_TABLEGEN_DESCRIPTIONREADER_H
+
+#include "support/VirtualFileSystem.h"
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace vega {
+
+/// "Field = Value" found in a description file. String literal values are
+/// stored without quotes.
+struct DescAssignment {
+  std::string Field;
+  std::string Value;
+  bool ValueIsString = false;
+  std::string Path; ///< file it came from
+};
+
+/// An enum (from a .h) or an enum-like macro list (from a .def).
+struct DescEnum {
+  std::string Name;
+  std::vector<std::string> Members;
+  /// Identifiers referenced by member initializers (e.g. the
+  /// "FirstTargetFixupKind" in "fixup_arm_ldst = FirstTargetFixupKind").
+  /// Algorithm 1 uses these to correlate a target enum with the framework
+  /// enum it specializes.
+  std::vector<std::string> InitRefs;
+  std::string Path;
+
+  /// True when \p Ref occurs in InitRefs.
+  bool referencesInInit(const std::string &Ref) const {
+    for (const std::string &R : InitRefs)
+      if (R == Ref)
+        return true;
+    return false;
+  }
+};
+
+/// A TableGen record: "def Name : Class { ... }".
+struct DescRecord {
+  std::string Name;
+  std::string ParentClass;
+  std::vector<DescAssignment> Fields;
+  std::string Path;
+};
+
+/// Facts extracted from one description file.
+struct DescriptionFile {
+  std::string Path;
+  std::set<std::string> Tokens; ///< identifiers occurring in the file
+  std::vector<DescAssignment> Assignments;
+  std::vector<DescEnum> Enums;
+  std::vector<DescRecord> Records;
+  std::vector<std::string> Classes; ///< class/struct names declared here
+
+  /// Parses \p Content according to the extension of \p Path.
+  static DescriptionFile parse(std::string Path, std::string_view Content);
+};
+
+/// Aggregated, queryable view over a set of description directories (the
+/// TGTDIRs of one target, or the LLVMDIRs of the framework).
+class DescriptionIndex {
+public:
+  /// Parses and indexes one file.
+  void addFile(std::string Path, std::string_view Content);
+
+  /// Indexes every file under \p Dir in \p VFS.
+  void addDirectory(const VirtualFileSystem &VFS, std::string_view Dir);
+
+  /// Files in which identifier \p Token occurs (empty when none).
+  const std::vector<std::string> &filesContaining(const std::string &Token)
+      const;
+
+  /// True when \p Token occurs anywhere in the index.
+  bool containsToken(const std::string &Token) const;
+
+  /// All assignments whose field name is \p Field.
+  std::vector<const DescAssignment *>
+  assignmentsOf(const std::string &Field) const;
+
+  /// All assignments in the index.
+  const std::vector<DescAssignment> &assignments() const {
+    return AllAssignments;
+  }
+
+  /// All enums in the index.
+  const std::vector<DescEnum> &enums() const { return AllEnums; }
+
+  /// All records in the index.
+  const std::vector<DescRecord> &records() const { return AllRecords; }
+
+  /// The enum containing member \p Member, or nullptr.
+  const DescEnum *enumOfMember(const std::string &Member) const;
+
+  /// The enum named \p Name, or nullptr.
+  const DescEnum *enumNamed(const std::string &Name) const;
+
+  /// All class/struct names declared anywhere in the index.
+  const std::set<std::string> &classNames() const { return AllClasses; }
+
+  /// Number of indexed files.
+  size_t fileCount() const { return Files.size(); }
+
+  /// The parsed files, in insertion order.
+  const std::vector<DescriptionFile> &files() const { return Files; }
+
+private:
+  std::vector<DescriptionFile> Files;
+  std::map<std::string, std::vector<std::string>> TokenToFiles;
+  std::vector<DescAssignment> AllAssignments;
+  std::vector<DescEnum> AllEnums;
+  std::vector<DescRecord> AllRecords;
+  std::set<std::string> AllClasses;
+};
+
+} // namespace vega
+
+#endif // VEGA_TABLEGEN_DESCRIPTIONREADER_H

@@ -1,0 +1,432 @@
+//===- templatize/FunctionTemplate.cpp - Function templates -----------------===//
+//
+// Part of the VEGA reproduction project.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+
+#include "templatize/FunctionTemplate.h"
+
+#include "gumtree/LCS.h"
+#include "gumtree/Matcher.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace vega;
+
+size_t TemplateRow::placeholderCount() const {
+  size_t N = 0;
+  for (const Token &T : Tokens)
+    if (T.isPlaceholder())
+      ++N;
+  return N;
+}
+
+std::vector<std::string> TemplateRow::supportTargets() const {
+  std::vector<std::string> Targets;
+  for (const auto &[Target, Instances] : PerTarget)
+    if (!Instances.empty())
+      Targets.push_back(Target);
+  return Targets;
+}
+
+void TemplateRow::preOrder(std::vector<TemplateRow *> &Out) {
+  Out.push_back(this);
+  for (auto &Child : Children)
+    Child->preOrder(Out);
+}
+
+void TemplateRow::preOrder(std::vector<const TemplateRow *> &Out) const {
+  Out.push_back(this);
+  for (const auto &Child : Children)
+    Child->preOrder(Out);
+}
+
+std::vector<TemplateRow *> FunctionTemplate::rows() {
+  std::vector<TemplateRow *> Out;
+  if (Definition)
+    Definition->preOrder(Out);
+  for (auto &Row : Body)
+    Row->preOrder(Out);
+  return Out;
+}
+
+std::vector<const TemplateRow *> FunctionTemplate::rows() const {
+  std::vector<const TemplateRow *> Out;
+  if (Definition)
+    Definition->preOrder(Out);
+  for (const auto &Row : Body)
+    Row->preOrder(Out);
+  return Out;
+}
+
+static void renderRow(const TemplateRow &Row, int Depth, std::string &Out) {
+  Out.append(static_cast<size_t>(Depth) * 2, ' ');
+  Out += Row.text();
+  if (Row.Repeatable)
+    Out += "   // repeatable";
+  Out += '\n';
+  for (const auto &Child : Row.Children)
+    renderRow(*Child, Depth + 1, Out);
+}
+
+std::string FunctionTemplate::render() const {
+  std::string Out;
+  if (Definition)
+    renderRow(*Definition, 0, Out);
+  for (const auto &Row : Body)
+    renderRow(*Row, 1, Out);
+  return Out;
+}
+
+namespace {
+
+/// Builds the union template tree over a function group.
+class TemplateBuilder {
+public:
+  explicit TemplateBuilder(const FunctionGroup &Group) : Group(Group) {}
+
+  FunctionTemplate build() {
+    assert(!Group.Members.empty() && "empty function group");
+    FT.InterfaceName = Group.InterfaceName;
+    FT.Module = Group.Module;
+    for (const BackendFunction *F : Group.Members)
+      FT.MemberTargets.push_back(F->TargetName);
+
+    const BackendFunction *Pivot = pickPivot();
+    seed(*Pivot);
+    for (const BackendFunction *Member : Group.Members)
+      if (Member != Pivot)
+        merge(*Member);
+    foldRepeatableRows();
+    computePlaceholders();
+    assignIndices();
+    return std::move(FT);
+  }
+
+private:
+  const BackendFunction *pickPivot() const {
+    const BackendFunction *Best = Group.Members.front();
+    for (const BackendFunction *F : Group.Members)
+      if (F->AST.size() > Best->AST.size())
+        Best = F;
+    return Best;
+  }
+
+  std::unique_ptr<TemplateRow> rowFromStatement(const Statement &Stmt,
+                                                const std::string &Target) {
+    auto Row = std::make_unique<TemplateRow>();
+    Row->Kind = Stmt.Kind;
+    Row->Tokens = Stmt.Tokens;
+    Row->PerTarget[Target].push_back(TemplateRow::Instance{&Stmt, {}});
+    for (const auto &Child : Stmt.Children)
+      Row->Children.push_back(rowFromStatement(*Child, Target));
+    return Row;
+  }
+
+  void seed(const BackendFunction &Pivot) {
+    auto Def = std::make_unique<TemplateRow>();
+    Def->Kind = StmtKind::FunctionDef;
+    Def->Tokens = Pivot.AST.Definition.Tokens;
+    Def->PerTarget[Pivot.TargetName].push_back(
+        TemplateRow::Instance{&Pivot.AST.Definition, {}});
+    FT.Definition = std::move(Def);
+    for (const auto &Stmt : Pivot.AST.Body)
+      FT.Body.push_back(rowFromStatement(*Stmt, Pivot.TargetName));
+  }
+
+  /// Materializes the current template as a FunctionAST so GumTree can match
+  /// members against it; fills \p StmtToRow with the correspondence.
+  FunctionAST materialize(
+      std::unordered_map<const Statement *, TemplateRow *> &StmtToRow) {
+    FunctionAST TF;
+    TF.Name = FT.InterfaceName;
+    TF.Definition = Statement(FT.Definition->Kind, FT.Definition->Tokens);
+    StmtToRow[&TF.Definition] = FT.Definition.get();
+    for (const auto &Row : FT.Body)
+      TF.Body.push_back(materializeRow(*Row, StmtToRow));
+    return TF;
+  }
+
+  std::unique_ptr<Statement> materializeRow(
+      TemplateRow &Row,
+      std::unordered_map<const Statement *, TemplateRow *> &StmtToRow) {
+    auto Stmt = std::make_unique<Statement>(Row.Kind, Row.Tokens);
+    StmtToRow[Stmt.get()] = &Row;
+    for (auto &Child : Row.Children)
+      Stmt->Children.push_back(materializeRow(*Child, StmtToRow));
+    return Stmt;
+  }
+
+  void merge(const BackendFunction &Member) {
+    std::unordered_map<const Statement *, TemplateRow *> StmtToRow;
+    FunctionAST TF = materialize(StmtToRow);
+    TreeMapping Mapping = matchFunctions(TF, Member.AST);
+
+    // Record instances for matched rows.
+    FT.Definition->PerTarget[Member.TargetName].push_back(
+        TemplateRow::Instance{&Member.AST.Definition, {}});
+    std::unordered_set<const Statement *> Absorbed;
+    recordMatches(TF, Member, Mapping, StmtToRow, Absorbed);
+
+    // Insert top-most unmatched member statements as new rows.
+    insertUnmatchedList(Member.AST.Body, FT.Body, Mapping, StmtToRow,
+                        Member.TargetName, /*ParentRow=*/nullptr);
+  }
+
+  void recordMatches(
+      const FunctionAST &TF, const BackendFunction &Member,
+      const TreeMapping &Mapping,
+      const std::unordered_map<const Statement *, TemplateRow *> &StmtToRow,
+      std::unordered_set<const Statement *> &Absorbed) {
+    std::vector<FunctionAST::FlatStatement> Flat = TF.flatten();
+    for (const auto &FS : Flat) {
+      if (FS.Stmt == &TF.Definition)
+        continue;
+      const Statement *Partner = Mapping.getDst(FS.Stmt);
+      if (!Partner)
+        continue;
+      auto It = StmtToRow.find(FS.Stmt);
+      assert(It != StmtToRow.end() && "materialized stmt without row");
+      It->second->PerTarget[Member.TargetName].push_back(
+          TemplateRow::Instance{Partner, {}});
+      Absorbed.insert(Partner);
+    }
+  }
+
+  /// Walks member sibling lists; unmatched statements become new row
+  /// subtrees inserted after the row of their nearest matched predecessor.
+  void insertUnmatchedList(
+      const std::vector<std::unique_ptr<Statement>> &Siblings,
+      std::vector<std::unique_ptr<TemplateRow>> &RowList,
+      const TreeMapping &Mapping,
+      const std::unordered_map<const Statement *, TemplateRow *> &StmtToRow,
+      const std::string &Target, TemplateRow *ParentRow) {
+    (void)ParentRow;
+    // Row position of the last matched sibling, for ordered insertion.
+    int InsertAfter = -1;
+    for (const auto &Child : Siblings) {
+      const Statement *Partner = Mapping.getDst(nullptr);
+      (void)Partner;
+      const Statement *TFMatch = Mapping.getSrc(Child.get());
+      if (TFMatch) {
+        auto It = StmtToRow.find(TFMatch);
+        if (It != StmtToRow.end()) {
+          TemplateRow *Row = It->second;
+          // Find its position in RowList (may be nested elsewhere when the
+          // matcher paired across levels; only track same-level rows).
+          for (size_t I = 0; I < RowList.size(); ++I)
+            if (RowList[I].get() == Row)
+              InsertAfter = static_cast<int>(I);
+          // Recurse into the matched pair's children.
+          insertUnmatchedList(Child->Children, Row->Children, Mapping,
+                              StmtToRow, Target, Row);
+        }
+        continue;
+      }
+      // Top-most unmatched statement: new row subtree here.
+      auto NewRow = rowFromStatement(*Child, Target);
+      size_t Pos = static_cast<size_t>(InsertAfter + 1);
+      if (Pos > RowList.size())
+        Pos = RowList.size();
+      RowList.insert(RowList.begin() + static_cast<long>(Pos),
+                     std::move(NewRow));
+      InsertAfter = static_cast<int>(Pos);
+    }
+  }
+
+  // ----------------------------------------------------------- folding --
+
+  static uint64_t hashMix(uint64_t Seed, uint64_t V) {
+    return Seed ^ (V + 0x9e3779b97f4a7c15ULL + (Seed << 12) + (Seed >> 4));
+  }
+
+  static uint64_t hashText(std::string_view Text) {
+    uint64_t H = 1469598103934665603ULL;
+    for (char C : Text) {
+      H ^= static_cast<unsigned char>(C);
+      H *= 1099511628211ULL;
+    }
+    return H;
+  }
+
+  /// Skeleton hash with value-like tokens masked: identifiers adjacent to
+  /// '::', plus int/string literals.
+  static uint64_t maskedHash(const TemplateRow &Row) {
+    uint64_t H = hashText(stmtKindName(Row.Kind));
+    const auto &Toks = Row.Tokens;
+    for (size_t I = 0; I < Toks.size(); ++I) {
+      bool Masked = false;
+      if (Toks[I].Kind == TokenKind::IntLiteral ||
+          Toks[I].Kind == TokenKind::StringLiteral)
+        Masked = true;
+      if (Toks[I].Kind == TokenKind::Identifier) {
+        if (I > 0 && Toks[I - 1].isPunct("::"))
+          Masked = true;
+        if (I + 1 < Toks.size() && Toks[I + 1].isPunct("::"))
+          Masked = true;
+      }
+      H = hashMix(H, Masked ? hashText("#") : hashText(Toks[I].Text));
+    }
+    for (const auto &Child : Row.Children)
+      H = hashMix(H, maskedHash(*Child));
+    return H;
+  }
+
+  /// Merges Src's instances into Dst recursively (same masked shape).
+  static void mergeRowInto(TemplateRow &Dst, TemplateRow &Src) {
+    for (auto &[Target, Instances] : Src.PerTarget)
+      for (auto &Inst : Instances)
+        Dst.PerTarget[Target].push_back(std::move(Inst));
+    size_t N = std::min(Dst.Children.size(), Src.Children.size());
+    for (size_t I = 0; I < N; ++I)
+      mergeRowInto(*Dst.Children[I], *Src.Children[I]);
+  }
+
+  void foldRepeatableRows() {
+    for (auto &Row : FT.Body)
+      foldUnder(*Row);
+  }
+
+  void foldUnder(TemplateRow &Row) {
+    if (Row.Kind == StmtKind::Switch) {
+      std::vector<std::unique_ptr<TemplateRow>> NewChildren;
+      std::unordered_map<uint64_t, TemplateRow *> Leader;
+      for (auto &Child : Row.Children) {
+        if (Child->Kind != StmtKind::Case) {
+          NewChildren.push_back(std::move(Child));
+          continue;
+        }
+        uint64_t H = maskedHash(*Child);
+        auto It = Leader.find(H);
+        if (It == Leader.end()) {
+          Leader[H] = Child.get();
+          NewChildren.push_back(std::move(Child));
+          continue;
+        }
+        It->second->Repeatable = true;
+        mergeRowInto(*It->second, *Child);
+      }
+      Row.Children = std::move(NewChildren);
+    }
+    for (auto &Child : Row.Children)
+      foldUnder(*Child);
+  }
+
+  // ------------------------------------------------------ placeholders --
+
+  void computePlaceholders() {
+    computeRowPlaceholders(*FT.Definition);
+    for (auto &Row : FT.Body)
+      computeRowPlaceholdersRec(*Row);
+  }
+
+  void computeRowPlaceholdersRec(TemplateRow &Row) {
+    computeRowPlaceholders(Row);
+    for (auto &Child : Row.Children)
+      computeRowPlaceholdersRec(*Child);
+  }
+
+  void computeRowPlaceholders(TemplateRow &Row) {
+    // Gather every instance's token texts.
+    std::vector<TemplateRow::Instance *> Instances;
+    for (auto &[Target, List] : Row.PerTarget)
+      for (auto &Inst : List)
+        Instances.push_back(&Inst);
+    if (Instances.empty())
+      return;
+
+    auto TextsOf = [](const TemplateRow::Instance &Inst) {
+      std::vector<std::string> Texts;
+      for (const Token &T : Inst.Stmt->Tokens)
+        Texts.push_back(T.Text);
+      return Texts;
+    };
+
+    std::vector<std::string> Common = TextsOf(*Instances.front());
+    for (size_t I = 1; I < Instances.size(); ++I) {
+      std::vector<std::string> Other = TextsOf(*Instances[I]);
+      auto Pairs = longestCommonSubsequence(Common, Other);
+      std::vector<std::string> Next;
+      for (auto [A, B] : Pairs) {
+        (void)B;
+        Next.push_back(Common[A]);
+      }
+      Common = std::move(Next);
+    }
+
+    // Per-instance gap extraction: anchors = Common; gaps are the segments
+    // between consecutive anchors (with a leading and trailing gap).
+    size_t GapCount = Common.size() + 1;
+    std::vector<bool> GapActive(GapCount, false);
+    std::vector<std::vector<std::vector<Token>>> InstGaps(Instances.size());
+    for (size_t I = 0; I < Instances.size(); ++I) {
+      const std::vector<Token> &Toks = Instances[I]->Stmt->Tokens;
+      std::vector<std::string> Texts = TextsOf(*Instances[I]);
+      auto Pairs = longestCommonSubsequence(Texts, Common);
+      assert(Pairs.size() == Common.size() &&
+             "common must be a subsequence of each instance");
+      std::vector<std::vector<Token>> Gaps(GapCount);
+      size_t Prev = 0;
+      for (size_t A = 0; A < Pairs.size(); ++A) {
+        for (size_t P = Prev; P < Pairs[A].first; ++P)
+          Gaps[A].push_back(Toks[P]);
+        Prev = Pairs[A].first + 1;
+      }
+      for (size_t P = Prev; P < Toks.size(); ++P)
+        Gaps[GapCount - 1].push_back(Toks[P]);
+      for (size_t G = 0; G < GapCount; ++G)
+        if (!Gaps[G].empty())
+          GapActive[G] = true;
+      InstGaps[I] = std::move(Gaps);
+    }
+
+    // Template tokens: anchors interleaved with placeholders at active gaps.
+    std::vector<Token> NewTokens;
+    std::vector<size_t> SlotGapIndex;
+    auto MaybePlaceholder = [&](size_t Gap) {
+      if (!GapActive[Gap])
+        return;
+      NewTokens.emplace_back(TokenKind::Placeholder,
+                             "$SV" + std::to_string(SlotGapIndex.size()));
+      SlotGapIndex.push_back(Gap);
+    };
+    // Reuse the first instance's token kinds for anchors where possible.
+    const TemplateRow::Instance &First = *Instances.front();
+    std::vector<std::string> FirstTexts = TextsOf(First);
+    auto FirstPairs = longestCommonSubsequence(FirstTexts, Common);
+    for (size_t A = 0; A < Common.size(); ++A) {
+      MaybePlaceholder(A);
+      Token Anchor = First.Stmt->Tokens[FirstPairs[A].first];
+      NewTokens.push_back(std::move(Anchor));
+    }
+    MaybePlaceholder(GapCount - 1);
+    Row.Tokens = std::move(NewTokens);
+
+    // Slot fillers per instance, aligned with the placeholder order.
+    for (size_t I = 0; I < Instances.size(); ++I) {
+      Instances[I]->SlotFillers.clear();
+      for (size_t SlotIdx = 0; SlotIdx < SlotGapIndex.size(); ++SlotIdx)
+        Instances[I]->SlotFillers.push_back(InstGaps[I][SlotGapIndex[SlotIdx]]);
+    }
+  }
+
+  void assignIndices() {
+    int Index = 0;
+    for (TemplateRow *Row : FT.rows())
+      Row->Index = Index++;
+  }
+
+  const FunctionGroup &Group;
+  FunctionTemplate FT;
+};
+
+} // namespace
+
+FunctionTemplate vega::buildFunctionTemplate(const FunctionGroup &Group) {
+  TemplateBuilder Builder(Group);
+  return Builder.build();
+}

@@ -1,0 +1,91 @@
+//===- templatize/FunctionTemplate.h - Function templates --------*- C++ -*-===//
+//
+// Part of the VEGA reproduction project.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Function templates (the paper's FT_M): the union statement tree over all
+/// target-specific implementations of one interface function, with common
+/// code kept verbatim and variant code abstracted into $SV placeholders
+/// (§3.2.1). Each template row records, per target, the concrete statements
+/// that instantiated it — the training signal for CodeBE.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VEGA_TEMPLATIZE_FUNCTIONTEMPLATE_H
+#define VEGA_TEMPLATIZE_FUNCTIONTEMPLATE_H
+
+#include "ast/Statement.h"
+#include "corpus/Corpus.h"
+
+#include <map>
+#include <memory>
+
+namespace vega {
+
+/// One statement template T_k in a function template.
+struct TemplateRow {
+  StmtKind Kind = StmtKind::Other;
+  /// Template tokens; variant positions hold Placeholder tokens ($SV0...).
+  std::vector<Token> Tokens;
+  /// True when implementations repeat this row with different values (e.g.
+  /// "case $SV0::$SV1:" — one row standing for ARM's 66 fixup cases).
+  bool Repeatable = false;
+  /// Stable pre-order index within the template (0 = definition).
+  int Index = 0;
+  std::vector<std::unique_ptr<TemplateRow>> Children;
+
+  /// One concrete instantiation of this row in one target's implementation.
+  struct Instance {
+    const Statement *Stmt = nullptr;
+    /// Per placeholder (in order): the tokens filling it.
+    std::vector<std::vector<Token>> SlotFillers;
+  };
+  /// Target name → instances (absent key = the target lacks this row).
+  std::map<std::string, std::vector<Instance>> PerTarget;
+
+  /// Number of placeholders in Tokens.
+  size_t placeholderCount() const;
+
+  /// Number of non-placeholder tokens (the paper's |T_k^com|).
+  size_t commonTokenCount() const { return Tokens.size() - placeholderCount(); }
+
+  /// Targets with at least one instance.
+  std::vector<std::string> supportTargets() const;
+
+  /// Single-line rendering of the template tokens.
+  std::string text() const { return renderTokens(Tokens); }
+
+  /// Pre-order traversal including this row.
+  void preOrder(std::vector<TemplateRow *> &Out);
+  void preOrder(std::vector<const TemplateRow *> &Out) const;
+};
+
+/// The function template FT_M for one interface function M.
+struct FunctionTemplate {
+  std::string InterfaceName;
+  BackendModule Module = BackendModule::SEL;
+  /// Row for the function-definition statement.
+  std::unique_ptr<TemplateRow> Definition;
+  /// Body rows (tree).
+  std::vector<std::unique_ptr<TemplateRow>> Body;
+  /// All member targets of the group the template was built from.
+  std::vector<std::string> MemberTargets;
+
+  /// All rows in pre-order (definition first).
+  std::vector<TemplateRow *> rows();
+  std::vector<const TemplateRow *> rows() const;
+
+  /// Renders the template as pseudo-source (placeholders as $SVn).
+  std::string render() const;
+};
+
+/// Builds the function template for \p Group (§3.2.1: GumTree alignment +
+/// LCS common/variant split + repeated-row folding).
+FunctionTemplate buildFunctionTemplate(const FunctionGroup &Group);
+
+} // namespace vega
+
+#endif // VEGA_TEMPLATIZE_FUNCTIONTEMPLATE_H

@@ -1,0 +1,105 @@
+//===- tests/EvalSpecTest.cpp - regression-spec tests ---------------------------===//
+//
+// Part of the VEGA reproduction project.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+///
+/// Property sweep: every golden implementation must run cleanly under its
+/// own regression environments (no interpreter Errors) and be behaviourally
+/// equivalent to itself — the sanity precondition for pass@1.
+///
+//===----------------------------------------------------------------------===//
+
+#include "eval/EvalSpecs.h"
+#include "eval/Harness.h"
+
+#include <gtest/gtest.h>
+
+using namespace vega;
+
+namespace {
+
+const BackendCorpus &sharedCorpus() {
+  static BackendCorpus Corpus =
+      BackendCorpus::build(TargetDatabase::standard());
+  return Corpus;
+}
+
+struct SpecCase {
+  std::string Target;
+  std::string Interface;
+};
+
+std::vector<SpecCase> allCases() {
+  std::vector<SpecCase> Cases;
+  for (const auto &B : sharedCorpus().backends())
+    for (const auto &F : B->Functions)
+      Cases.push_back({B->TargetName, F->InterfaceName});
+  return Cases;
+}
+
+} // namespace
+
+class GoldenSpecTest : public ::testing::TestWithParam<SpecCase> {};
+
+TEST_P(GoldenSpecTest, GoldenRunsCleanUnderItsSpec) {
+  const SpecCase &Case = GetParam();
+  const Backend *B = sharedCorpus().backend(Case.Target);
+  const TargetTraits *Traits = sharedCorpus().targets().find(Case.Target);
+  ASSERT_NE(B, nullptr);
+  ASSERT_NE(Traits, nullptr);
+  const BackendFunction *Fn = B->find(Case.Interface);
+  ASSERT_NE(Fn, nullptr);
+
+  Interpreter Interp;
+  std::vector<Environment> Envs =
+      buildTestEnvironments(Case.Interface, *Traits);
+  ASSERT_FALSE(Envs.empty());
+  for (size_t I = 0; I < Envs.size(); ++I) {
+    ExecResult R = Interp.run(Fn->AST, Envs[I]);
+    EXPECT_NE(R.St, ExecResult::Status::Error)
+        << Case.Target << "::" << Case.Interface << " env " << I << ": "
+        << R.Message;
+  }
+  // Reflexivity of pass@1.
+  EXPECT_TRUE(functionPassesRegression(Fn->AST, Fn->AST, Case.Interface,
+                                       *Traits));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllGoldenFunctions, GoldenSpecTest, ::testing::ValuesIn(allCases()),
+    [](const ::testing::TestParamInfo<SpecCase> &Info) {
+      return Info.param.Target + "_" + Info.param.Interface;
+    });
+
+TEST(EvalSpecs, RegressionCountsArePositive) {
+  for (const TargetTraits &T : sharedCorpus().targets().targets()) {
+    size_t Count = regressionCaseCount(T);
+    EXPECT_GT(Count, 100u) << T.Name;
+  }
+}
+
+TEST(EvalSpecs, RelocSpecCoversEveryFixup) {
+  const TargetTraits *T = sharedCorpus().targets().find("RISCV");
+  ASSERT_NE(T, nullptr);
+  auto Envs = buildTestEnvironments("getRelocType", *T);
+  // kinds (fixups + FK_Data_4) × pcrel × variants(1).
+  EXPECT_EQ(Envs.size(), (T->Fixups.size() + 1) * 2);
+}
+
+TEST(EvalSpecs, CrossTargetGoldenFunctionsDiffer) {
+  // A golden function from one target must NOT pass another target's
+  // regression when values matter (sanity for pass@1 discrimination).
+  const Backend *Arm = sharedCorpus().backend("ARM");
+  const Backend *Mips = sharedCorpus().backend("Mips");
+  const TargetTraits *MipsTraits = sharedCorpus().targets().find("Mips");
+  ASSERT_NE(Arm, nullptr);
+  ASSERT_NE(Mips, nullptr);
+  EXPECT_FALSE(functionPassesRegression(Arm->find("getRelocType")->AST,
+                                        Mips->find("getRelocType")->AST,
+                                        "getRelocType", *MipsTraits));
+  EXPECT_FALSE(functionPassesRegression(Arm->find("getInstrLatency")->AST,
+                                        Mips->find("getInstrLatency")->AST,
+                                        "getInstrLatency", *MipsTraits));
+}

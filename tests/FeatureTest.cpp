@@ -1,0 +1,184 @@
+//===- tests/FeatureTest.cpp - vega_feature unit tests --------------------------===//
+//
+// Part of the VEGA reproduction project.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+
+#include "feature/FeatureSelector.h"
+#include "lexer/Lexer.h"
+
+#include <gtest/gtest.h>
+
+using namespace vega;
+
+namespace {
+
+const BackendCorpus &sharedCorpus() {
+  static BackendCorpus Corpus =
+      BackendCorpus::build(TargetDatabase::standard());
+  return Corpus;
+}
+
+const FeatureSelector &sharedSelector() {
+  static FeatureSelector Selector = [] {
+    std::vector<std::string> Names;
+    for (const TargetTraits &T : sharedCorpus().targets().targets())
+      Names.push_back(T.Name);
+    return FeatureSelector(sharedCorpus().vfs(), Names);
+  }();
+  return Selector;
+}
+
+TemplateFeatures relocFeatures() {
+  for (const FunctionGroup &G : sharedCorpus().trainingGroups())
+    if (G.InterfaceName == "getRelocType") {
+      FunctionTemplate FT = buildFunctionTemplate(G);
+      return sharedSelector().analyze(FT);
+    }
+  return {};
+}
+
+} // namespace
+
+TEST(FeatureSelector, PropListContainsTheMotivatingProperties) {
+  const auto &Props = sharedSelector().propList();
+  // The paper's §2.1.2 example: MCSymbolRefExpr (class), VariantKind (enum),
+  // OperandType and Name (fields), MCFixupKind (enum).
+  EXPECT_TRUE(Props.count("MCSymbolRefExpr"));
+  EXPECT_TRUE(Props.count("VariantKind"));
+  EXPECT_TRUE(Props.count("OperandType"));
+  EXPECT_TRUE(Props.count("Name"));
+  EXPECT_TRUE(Props.count("MCFixupKind"));
+  EXPECT_TRUE(Props.count("ELF_RELOC"));
+}
+
+TEST(FeatureSelector, ReproducesFig3BoolProperties) {
+  TemplateFeatures F = relocFeatures();
+  const BoolProperty *Variant = F.findBool("VariantKind");
+  ASSERT_NE(Variant, nullptr);
+  EXPECT_TRUE(Variant->Updatable);
+  EXPECT_TRUE(Variant->ValuePerTarget.at("ARM"));   // Fig. 3(b): T
+  EXPECT_FALSE(Variant->ValuePerTarget.at("Mips")); // Fig. 3(b): F
+  EXPECT_FALSE(Variant->ValuePerTarget.at("RISCV")); // Fig. 4(b): F
+  EXPECT_EQ(Variant->IdentifiedSite, "llvm/MC/MCExpr.h");
+  EXPECT_EQ(Variant->UpdateSitePerTarget.at("Mips"), ""); // NULL
+
+  const BoolProperty *Operand = F.findBool("OperandType");
+  ASSERT_NE(Operand, nullptr);
+  EXPECT_TRUE(Operand->ValuePerTarget.at("ARM"));
+  EXPECT_TRUE(Operand->ValuePerTarget.at("Mips"));
+  EXPECT_TRUE(Operand->ValuePerTarget.at("RISCV"));
+
+  const BoolProperty *SymExpr = F.findBool("MCSymbolRefExpr");
+  ASSERT_NE(SymExpr, nullptr);
+  EXPECT_FALSE(SymExpr->Updatable); // framework constant
+}
+
+TEST(FeatureSelector, SlotPropertiesForCaseRows) {
+  for (const FunctionGroup &G : sharedCorpus().trainingGroups()) {
+    if (G.InterfaceName != "getRelocType")
+      continue;
+    FunctionTemplate FT = buildFunctionTemplate(G);
+    TemplateFeatures F = sharedSelector().analyze(FT);
+    bool FoundFixupSlot = false, FoundRelocSlot = false, FoundNameSlot = false;
+    for (const auto &[RowIdx, Slots] : F.RowSlots) {
+      for (const SlotProperty &S : Slots) {
+        if (S.Name == "MCFixupKind")
+          FoundFixupSlot = true;
+        if (S.Name == "ELF_RELOC")
+          FoundRelocSlot = true;
+        if (S.Name == "Name")
+          FoundNameSlot = true;
+      }
+    }
+    EXPECT_TRUE(FoundFixupSlot);
+    EXPECT_TRUE(FoundRelocSlot);
+    EXPECT_TRUE(FoundNameSlot);
+  }
+}
+
+TEST(FeatureSelector, HarvestMCFixupKind) {
+  auto Values = sharedSelector().harvestValues("MCFixupKind", "RISCV");
+  ASSERT_FALSE(Values.empty());
+  for (const std::string &V : Values) {
+    EXPECT_EQ(V.rfind("fixup_riscv_", 0), 0u) << V;
+    EXPECT_EQ(V.rfind("Last", 0), std::string::npos) << "sentinel leaked";
+  }
+  EXPECT_EQ(Values.size(), 10u);
+}
+
+TEST(FeatureSelector, HarvestRelocations) {
+  auto Values = sharedSelector().harvestValues("ELF_RELOC", "XCORE");
+  ASSERT_FALSE(Values.empty());
+  for (const std::string &V : Values)
+    EXPECT_EQ(V.rfind("R_XCORE_", 0), 0u) << V;
+}
+
+TEST(FeatureSelector, HarvestNameAndVariantKind) {
+  EXPECT_EQ(sharedSelector().harvestValues("Name", "RISCV"),
+            std::vector<std::string>{"RISCV"});
+  auto VK = sharedSelector().harvestValues("VariantKind", "ARM");
+  EXPECT_EQ(VK.size(), 5u);
+  EXPECT_TRUE(sharedSelector().harvestValues("VariantKind", "Mips").empty());
+}
+
+TEST(FeatureSelector, HarvestInstructions) {
+  auto Values = sharedSelector().harvestValues("Instruction", "RI5CY");
+  // Core ops + hwloop + simd + compressed.
+  EXPECT_GE(Values.size(), 17u);
+}
+
+TEST(FeatureSelector, HarvestUnknownPropertyIsEmpty) {
+  EXPECT_TRUE(sharedSelector().harvestValues("NoSuchProp", "ARM").empty());
+  EXPECT_TRUE(sharedSelector().harvestValues("Name", "NoSuchTarget").empty());
+}
+
+TEST(FeatureSelector, ClassifyFillerRules) {
+  const FeatureSelector &S = sharedSelector();
+  std::vector<Token> Ctx = Lexer::tokenize("case Kind getRelocType");
+  // Rule 1: enum member (fixups correlate with MCFixupKind).
+  Token Fixup(TokenKind::Identifier, "fixup_arm_movt_hi16");
+  EXPECT_EQ(S.classifyFiller(Fixup, "ARM", Ctx), "MCFixupKind");
+  // Rule 2: assignment value (Name = "ARM").
+  Token NameTok(TokenKind::Identifier, "ARM");
+  EXPECT_EQ(S.classifyFiller(NameTok, "ARM", Ctx), "Name");
+  // Rule 3: record of a framework class.
+  Token Instr(TokenKind::Identifier, "ADDrr");
+  EXPECT_EQ(S.classifyFiller(Instr, "ARM", Ctx), "Instruction");
+  // Rule 4: partial match ("ARMELFObjectWriter" vs Name="ARM").
+  Token Writer(TokenKind::Identifier, "ARMELFObjectWriter");
+  EXPECT_EQ(S.classifyFiller(Writer, "ARM", Ctx), "Name");
+  // Unresolvable.
+  Token Junk(TokenKind::Identifier, "zzz_unknown");
+  EXPECT_EQ(S.classifyFiller(Junk, "ARM", Ctx), "");
+}
+
+// Sweep: every target's MCFixupKind harvest matches its trait fixups.
+class HarvestTargetTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(HarvestTargetTest, FixupHarvestMatchesTraits) {
+  const std::string &Target = GetParam();
+  const TargetTraits *T = sharedCorpus().targets().find(Target);
+  ASSERT_NE(T, nullptr);
+  auto Values = sharedSelector().harvestValues("MCFixupKind", Target);
+  EXPECT_EQ(Values.size(), T->Fixups.size());
+  auto Relocs = sharedSelector().harvestValues("ELF_RELOC", Target);
+  // NONE + REL32 + one per fixup.
+  EXPECT_EQ(Relocs.size(), T->Fixups.size() + 2);
+  auto Name = sharedSelector().harvestValues("Name", Target);
+  ASSERT_EQ(Name.size(), 1u);
+  EXPECT_EQ(Name[0], Target);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTargets, HarvestTargetTest,
+                         ::testing::ValuesIn([] {
+                           std::vector<std::string> Names;
+                           for (const TargetTraits &T :
+                                sharedCorpus().targets().targets())
+                             Names.push_back(T.Name);
+                           return Names;
+                         }()),
+                         [](const ::testing::TestParamInfo<std::string> &I) {
+                           return I.param;
+                         });

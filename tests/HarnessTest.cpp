@@ -1,0 +1,158 @@
+//===- tests/HarnessTest.cpp - harness + effort model tests ---------------------===//
+//
+// Part of the VEGA reproduction project.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+
+#include "eval/EffortModel.h"
+#include "eval/Harness.h"
+
+#include <gtest/gtest.h>
+
+using namespace vega;
+
+namespace {
+
+const BackendCorpus &sharedCorpus() {
+  static BackendCorpus Corpus =
+      BackendCorpus::build(TargetDatabase::standard());
+  return Corpus;
+}
+
+/// A "perfect generator": wraps the golden backend as a GeneratedBackend.
+GeneratedBackend perfectBackend(const std::string &Target) {
+  GeneratedBackend GB;
+  GB.TargetName = Target;
+  const Backend *B = sharedCorpus().backend(Target);
+  for (const auto &Fn : B->Functions) {
+    GeneratedFunction GF;
+    GF.InterfaceName = Fn->InterfaceName;
+    GF.Module = Fn->Module;
+    GF.Emitted = true;
+    GF.Confidence = 1.0;
+    GF.AST = Fn->AST.clone();
+    GB.Functions.push_back(std::move(GF));
+  }
+  return GB;
+}
+
+} // namespace
+
+TEST(Harness, PerfectBackendScoresFullAccuracy) {
+  GeneratedBackend GB = perfectBackend("RISCV");
+  BackendEval Eval = evaluateBackend(GB, *sharedCorpus().backend("RISCV"),
+                                     *sharedCorpus().targets().find("RISCV"));
+  EXPECT_DOUBLE_EQ(Eval.functionAccuracy(), 1.0);
+  EXPECT_DOUBLE_EQ(Eval.statementAccuracy(), 1.0);
+  EXPECT_DOUBLE_EQ(Eval.errDefRate(), 0.0);
+  EXPECT_DOUBLE_EQ(Eval.errVRate(), 0.0);
+}
+
+TEST(Harness, MissingFunctionIsErrDef) {
+  GeneratedBackend GB = perfectBackend("RISCV");
+  // Drop one function entirely.
+  GB.Functions.erase(GB.Functions.begin());
+  BackendEval Eval = evaluateBackend(GB, *sharedCorpus().backend("RISCV"),
+                                     *sharedCorpus().targets().find("RISCV"));
+  EXPECT_LT(Eval.functionAccuracy(), 1.0);
+  EXPECT_GT(Eval.errDefRate(), 0.0);
+}
+
+TEST(Harness, WrongValueIsDetectedAndClassified) {
+  GeneratedBackend GB = perfectBackend("RISCV");
+  // Corrupt one relocation value inside getRelocType.
+  for (GeneratedFunction &GF : GB.Functions) {
+    if (GF.InterfaceName != "getRelocType")
+      continue;
+    for (Statement *S : GF.AST.flattenMutable())
+      for (Token &T : S->Tokens)
+        if (T.Text == "R_RISCV_HI20")
+          T.Text = "R_RISCV_LO12_I";
+  }
+  BackendEval Eval = evaluateBackend(GB, *sharedCorpus().backend("RISCV"),
+                                     *sharedCorpus().targets().find("RISCV"));
+  const FunctionEval *Reloc = nullptr;
+  for (const FunctionEval &F : Eval.Functions)
+    if (F.InterfaceName == "getRelocType")
+      Reloc = &F;
+  ASSERT_NE(Reloc, nullptr);
+  EXPECT_FALSE(Reloc->Accurate);
+  EXPECT_TRUE(Reloc->ErrV);
+  EXPECT_GT(Reloc->ManualStatements, 0u);
+}
+
+TEST(Harness, SuppressedCorrectStatementIsErrCS) {
+  GeneratedBackend GB = perfectBackend("RISCV");
+  for (GeneratedFunction &GF : GB.Functions) {
+    if (GF.InterfaceName != "getNumFixupKinds")
+      continue;
+    // Remove the only body statement and record it as a low-confidence
+    // suppression of the right answer.
+    GeneratedStatement GS;
+    GS.Confidence = 0.12;
+    GS.Emitted = false;
+    GS.Tokens = GF.AST.Body.front()->Tokens;
+    GF.Statements.push_back(GS);
+    GF.AST.Body.clear();
+  }
+  BackendEval Eval = evaluateBackend(GB, *sharedCorpus().backend("RISCV"),
+                                     *sharedCorpus().targets().find("RISCV"));
+  const FunctionEval *Fn = nullptr;
+  for (const FunctionEval &F : Eval.Functions)
+    if (F.InterfaceName == "getNumFixupKinds")
+      Fn = &F;
+  ASSERT_NE(Fn, nullptr);
+  EXPECT_FALSE(Fn->Accurate);
+  EXPECT_TRUE(Fn->ErrCS);
+}
+
+TEST(Harness, StatementAccountingCountsExactMatches) {
+  const Backend *B = sharedCorpus().backend("RISCV");
+  const BackendFunction *Fn = B->find("getRelocType");
+  auto [Acc, Manual] = statementAccounting(Fn->AST, Fn->AST);
+  EXPECT_EQ(Manual, 0u);
+  EXPECT_EQ(Acc, Fn->AST.size() - 1);
+
+  // Against an empty candidate everything is manual.
+  FunctionAST Empty;
+  Empty.Definition = Statement(StmtKind::FunctionDef, Fn->AST.Definition.Tokens);
+  auto [Acc2, Manual2] = statementAccounting(Empty, Fn->AST);
+  EXPECT_EQ(Acc2, 0u);
+  EXPECT_EQ(Manual2, Fn->AST.size() - 1);
+}
+
+TEST(Harness, ModuleAggregatesSumToTotals) {
+  GeneratedBackend GB = perfectBackend("RI5CY");
+  BackendEval Eval = evaluateBackend(GB, *sharedCorpus().backend("RI5CY"),
+                                     *sharedCorpus().targets().find("RI5CY"));
+  size_t Total = 0;
+  for (const auto &[Module, Stats] : Eval.PerModule)
+    Total += Stats.Functions;
+  EXPECT_EQ(Total, GB.Functions.size());
+}
+
+TEST(EffortModel, CalibrationReproducesTable4Totals) {
+  // Feeding the paper's Table 3 manual counts must reproduce Table 4 hours.
+  BackendEval Eval;
+  Eval.TargetName = "RISCV";
+  auto Set = [&](BackendModule M, size_t Manual) {
+    Eval.PerModule[M].ManualStatements = Manual;
+  };
+  Set(BackendModule::SEL, 3747);
+  Set(BackendModule::REG, 35);
+  Set(BackendModule::OPT, 1204);
+  Set(BackendModule::SCH, 281);
+  Set(BackendModule::EMI, 589);
+  Set(BackendModule::ASS, 1310);
+  Set(BackendModule::DIS, 57);
+  EXPECT_NEAR(totalRepairHours(Eval, developerA()), 42.54, 0.05);
+  EXPECT_NEAR(totalRepairHours(Eval, developerB()), 48.12, 0.05);
+}
+
+TEST(EffortModel, PerfectBackendNeedsNoHours) {
+  GeneratedBackend GB = perfectBackend("RISCV");
+  BackendEval Eval = evaluateBackend(GB, *sharedCorpus().backend("RISCV"),
+                                     *sharedCorpus().targets().find("RISCV"));
+  EXPECT_DOUBLE_EQ(totalRepairHours(Eval, developerA()), 0.0);
+}

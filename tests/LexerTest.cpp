@@ -1,0 +1,107 @@
+//===- tests/LexerTest.cpp - vega_lexer unit tests ----------------------------===//
+//
+// Part of the VEGA reproduction project.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+
+#include "lexer/Lexer.h"
+
+#include <gtest/gtest.h>
+
+using namespace vega;
+
+TEST(Lexer, IdentifiersAndKeywords) {
+  auto Toks = Lexer::tokenize("unsigned Kind = Fixup");
+  ASSERT_EQ(Toks.size(), 4u);
+  EXPECT_TRUE(Toks[0].isKeyword("unsigned"));
+  EXPECT_TRUE(Toks[1].isIdentifier("Kind"));
+  EXPECT_TRUE(Toks[2].isPunct("="));
+  EXPECT_TRUE(Toks[3].isIdentifier("Fixup"));
+}
+
+TEST(Lexer, ScopedNamesLexAsThreeTokens) {
+  auto Toks = Lexer::tokenize("ARM::fixup_arm_movt_hi16");
+  ASSERT_EQ(Toks.size(), 3u);
+  EXPECT_TRUE(Toks[0].isIdentifier("ARM"));
+  EXPECT_TRUE(Toks[1].isPunct("::"));
+  EXPECT_TRUE(Toks[2].isIdentifier("fixup_arm_movt_hi16"));
+}
+
+TEST(Lexer, MultiCharOperatorsLongestMatch) {
+  auto Toks = Lexer::tokenize("a==b!=c<=d>=e&&f||g->h");
+  std::vector<std::string> Ops;
+  for (const Token &T : Toks)
+    if (T.Kind == TokenKind::Punct)
+      Ops.push_back(T.Text);
+  std::vector<std::string> Expected = {"==", "!=", "<=", ">=",
+                                       "&&", "||", "->"};
+  EXPECT_EQ(Ops, Expected);
+}
+
+TEST(Lexer, IntLiterals) {
+  auto Toks = Lexer::tokenize("0x1f 42 7u 100L");
+  ASSERT_EQ(Toks.size(), 4u);
+  for (const Token &T : Toks)
+    EXPECT_EQ(T.Kind, TokenKind::IntLiteral);
+  EXPECT_EQ(Toks[0].Text, "0x1f");
+}
+
+TEST(Lexer, StringLiteralsKeepQuotesAndEscapes) {
+  auto Toks = Lexer::tokenize("return \"a \\\"b\\\" c\";");
+  ASSERT_EQ(Toks.size(), 3u);
+  EXPECT_EQ(Toks[1].Kind, TokenKind::StringLiteral);
+  EXPECT_EQ(Toks[1].Text, "\"a \\\"b\\\" c\"");
+}
+
+TEST(Lexer, CharLiterals) {
+  auto Toks = Lexer::tokenize("'x' '\\n'");
+  ASSERT_EQ(Toks.size(), 2u);
+  EXPECT_EQ(Toks[0].Kind, TokenKind::CharLiteral);
+}
+
+TEST(Lexer, CommentsAreSkipped) {
+  auto Toks = Lexer::tokenize("a // line comment\n/* block */ b");
+  ASSERT_EQ(Toks.size(), 2u);
+  EXPECT_TRUE(Toks[0].isIdentifier("a"));
+  EXPECT_TRUE(Toks[1].isIdentifier("b"));
+}
+
+TEST(Lexer, PreprocessorSkippedByDefault) {
+  auto Toks = Lexer::tokenize("#include \"x.h\"\nfoo");
+  ASSERT_EQ(Toks.size(), 1u);
+  EXPECT_TRUE(Toks[0].isIdentifier("foo"));
+}
+
+TEST(Lexer, PreprocessorKeptWhenRequested) {
+  auto Toks = Lexer::tokenize("#define X 1", /*KeepPreprocessor=*/true);
+  ASSERT_GE(Toks.size(), 3u);
+  EXPECT_TRUE(Toks[0].isPunct("#"));
+}
+
+TEST(Lexer, PlaceholdersLexAsSingleTokens) {
+  auto Toks = Lexer::tokenize("case $SV0::$SV1:");
+  ASSERT_EQ(Toks.size(), 5u);
+  EXPECT_TRUE(Toks[1].isPlaceholder());
+  EXPECT_EQ(Toks[1].Text, "$SV0");
+  EXPECT_TRUE(Toks[3].isPlaceholder());
+}
+
+TEST(Lexer, OffsetsPointIntoBuffer) {
+  std::string Src = "ab  cd";
+  auto Toks = Lexer::tokenize(Src);
+  ASSERT_EQ(Toks.size(), 2u);
+  EXPECT_EQ(Toks[0].Offset, 0u);
+  EXPECT_EQ(Toks[1].Offset, 4u);
+}
+
+TEST(Lexer, EmptyInputGivesNoTokens) {
+  EXPECT_TRUE(Lexer::tokenize("").empty());
+  EXPECT_TRUE(Lexer::tokenize("   \n\t  ").empty());
+}
+
+TEST(Lexer, UnterminatedStringDoesNotCrash) {
+  auto Toks = Lexer::tokenize("\"abc");
+  ASSERT_EQ(Toks.size(), 1u);
+  EXPECT_EQ(Toks[0].Kind, TokenKind::StringLiteral);
+}

@@ -1,0 +1,279 @@
+//===- tests/ModelTest.cpp - vega_model unit tests ------------------------------===//
+//
+// Part of the VEGA reproduction project.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+
+#include "model/Autograd.h"
+#include "model/CodeBE.h"
+#include "model/Vocab.h"
+#include "support/RNG.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace vega;
+
+namespace {
+
+/// Finite-difference gradient check: perturb each parameter entry and
+/// compare the numeric derivative with the autograd one.
+void checkGradient(const std::function<TensorPtr()> &Loss,
+                   const TensorPtr &Param, float Tolerance = 2e-2f) {
+  Param->ensureGrad();
+  Param->zeroGrad(); // clear accumulation from earlier checks
+  TensorPtr L = Loss();
+  backward(L);
+  std::vector<float> Analytic = Param->Grad;
+  const float Eps = 1e-3f;
+  for (size_t I = 0; I < std::min<size_t>(Param->Data.size(), 8); ++I) {
+    float Saved = Param->Data[I];
+    Param->Data[I] = Saved + Eps;
+    float Up = Loss()->Data[0];
+    Param->Data[I] = Saved - Eps;
+    float Down = Loss()->Data[0];
+    Param->Data[I] = Saved;
+    float Numeric = (Up - Down) / (2 * Eps);
+    EXPECT_NEAR(Analytic[I], Numeric,
+                Tolerance * std::max(1.0f, std::fabs(Numeric)))
+        << "entry " << I;
+    Param->zeroGrad();
+  }
+}
+
+} // namespace
+
+TEST(Autograd, MatmulForward) {
+  TensorPtr A = makeTensor(2, 3), B = makeTensor(3, 2);
+  for (int I = 0; I < 6; ++I) {
+    A->Data[static_cast<size_t>(I)] = static_cast<float>(I + 1);
+    B->Data[static_cast<size_t>(I)] = static_cast<float>(I % 3);
+  }
+  TensorPtr C = matmul(A, B);
+  // A = [1 2 3; 4 5 6], B = [0 1; 2 0; 1 2] → C = [7 7; 16 16].
+  EXPECT_FLOAT_EQ(C->at(0, 0), 7.0f);
+  EXPECT_FLOAT_EQ(C->at(0, 1), 7.0f);
+  EXPECT_FLOAT_EQ(C->at(1, 0), 16.0f);
+  EXPECT_FLOAT_EQ(C->at(1, 1), 16.0f);
+}
+
+TEST(Autograd, MatmulGradient) {
+  TensorPtr A = makeParam(3, 4, 0.5f, 1);
+  TensorPtr B = makeParam(4, 2, 0.5f, 2);
+  std::vector<int> Targets = {1, 0, 1};
+  auto Loss = [&] { return crossEntropy(matmul(A, B), Targets); };
+  checkGradient(Loss, A);
+  checkGradient(Loss, B);
+}
+
+TEST(Autograd, MatmulNTGradient) {
+  TensorPtr A = makeParam(2, 4, 0.5f, 3);
+  TensorPtr B = makeParam(5, 4, 0.5f, 4);
+  std::vector<int> Targets = {3, 0};
+  auto Loss = [&] { return crossEntropy(matmulNT(A, B), Targets); };
+  checkGradient(Loss, A);
+  checkGradient(Loss, B);
+}
+
+TEST(Autograd, LayerNormGradient) {
+  TensorPtr X = makeParam(2, 6, 1.0f, 5);
+  TensorPtr G = makeParam(1, 6, 0.5f, 6);
+  TensorPtr Bt = makeParam(1, 6, 0.5f, 7);
+  TensorPtr W = makeParam(6, 3, 0.5f, 8);
+  std::vector<int> Targets = {0, 2};
+  auto Loss = [&] {
+    return crossEntropy(matmul(layerNorm(X, G, Bt), W), Targets);
+  };
+  checkGradient(Loss, X);
+  checkGradient(Loss, G);
+  checkGradient(Loss, Bt);
+}
+
+TEST(Autograd, SoftmaxGradient) {
+  TensorPtr X = makeParam(2, 5, 1.0f, 9);
+  TensorPtr W = makeParam(5, 3, 0.5f, 10);
+  std::vector<int> Targets = {1, 2};
+  auto Loss = [&] {
+    return crossEntropy(matmul(softmaxRows(X), W), Targets);
+  };
+  checkGradient(Loss, X);
+}
+
+TEST(Autograd, GatherAndSliceGradients) {
+  TensorPtr E = makeParam(6, 4, 0.8f, 11);
+  std::vector<int> Ids = {2, 0, 2};
+  TensorPtr W = makeParam(2, 3, 0.5f, 12);
+  std::vector<int> Targets = {0, 1, 2};
+  auto Loss = [&] {
+    TensorPtr G = gatherRows(E, Ids);
+    TensorPtr S = sliceCols(G, 1, 2);
+    return crossEntropy(matmul(S, W), Targets);
+  };
+  checkGradient(Loss, E);
+}
+
+TEST(Autograd, ReluAndScaleGradients) {
+  TensorPtr X = makeParam(3, 4, 1.0f, 13);
+  TensorPtr W = makeParam(4, 2, 0.5f, 14);
+  std::vector<int> Targets = {0, 1, 0};
+  auto Loss = [&] {
+    return crossEntropy(matmul(scale(relu(X), 1.5f), W), Targets);
+  };
+  checkGradient(Loss, X);
+}
+
+TEST(Autograd, CopyScatterGradient) {
+  TensorPtr A = makeParam(2, 3, 0.7f, 15);
+  std::vector<int> SrcIds = {4, 1, 4};
+  std::vector<int> Targets = {4, 1};
+  auto Loss = [&] {
+    return crossEntropy(copyScatter(softmaxRows(A), SrcIds, 6), Targets);
+  };
+  checkGradient(Loss, A);
+}
+
+TEST(Autograd, SparseMixGradient) {
+  TensorPtr E = makeParam(5, 4, 0.6f, 16);
+  std::vector<std::vector<int>> Lists = {{0, 1}, {2}, {}};
+  TensorPtr W = makeParam(4, 2, 0.5f, 17);
+  std::vector<int> Targets = {0, 1, 0};
+  auto Loss = [&] {
+    return crossEntropy(matmul(sparseMix(E, Lists), W), Targets);
+  };
+  checkGradient(Loss, E);
+}
+
+TEST(Autograd, AdamReducesLoss) {
+  TensorPtr W = makeParam(4, 3, 0.5f, 18);
+  TensorPtr X = makeTensor(2, 4);
+  // Well-separated inputs so 50 Adam steps suffice.
+  X->at(0, 0) = 1.0f;
+  X->at(0, 1) = -0.5f;
+  X->at(1, 2) = 1.0f;
+  X->at(1, 3) = -0.5f;
+  std::vector<int> Targets = {2, 0};
+  AdamOptimizer Opt({W}, 0.05f);
+  float First = 0.0f, Last = 0.0f;
+  for (int Step = 0; Step < 50; ++Step) {
+    TensorPtr Loss = crossEntropy(matmul(X, W), Targets);
+    if (Step == 0)
+      First = Loss->Data[0];
+    Last = Loss->Data[0];
+    backward(Loss);
+    Opt.step();
+  }
+  EXPECT_LT(Last, First * 0.2f);
+}
+
+TEST(Vocab, SpecialTokensExist) {
+  Vocab V;
+  EXPECT_EQ(V.textOf(V.padId()), "[PAD]");
+  EXPECT_EQ(V.textOf(V.eosId()), "[EOS]");
+  EXPECT_TRUE(V.isCsToken(V.csId(0)));
+  EXPECT_TRUE(V.isCsToken(V.csId(Vocab::NumCsBuckets - 1)));
+  EXPECT_FALSE(V.isCsToken(V.eosId()));
+}
+
+TEST(Vocab, CsBucketsRoundTrip) {
+  Vocab V;
+  EXPECT_EQ(Vocab::csBucket(0.0), 0);
+  EXPECT_EQ(Vocab::csBucket(1.0), Vocab::NumCsBuckets - 1);
+  EXPECT_NEAR(V.csValueOf(V.csId(Vocab::csBucket(0.8))), 0.8, 0.03);
+  EXPECT_EQ(Vocab::csBucket(1.5), Vocab::NumCsBuckets - 1); // clamped
+  EXPECT_EQ(Vocab::csBucket(-0.5), 0);
+}
+
+TEST(Vocab, TokensGetPieces) {
+  Vocab V;
+  int Id = V.addToken("fixup_riscv_pcrel_hi20");
+  const auto &Pieces = V.pieceLists()[static_cast<size_t>(Id)];
+  EXPECT_EQ(Pieces.size(), 4u); // fixup, riscv, pcrel, hi20
+  // Shared pieces across tokens.
+  int Id2 = V.addToken("fixup_riscv_branch");
+  const auto &Pieces2 = V.pieceLists()[static_cast<size_t>(Id2)];
+  EXPECT_EQ(Pieces[0], Pieces2[0]); // "fixup"
+  EXPECT_EQ(Pieces[1], Pieces2[1]); // "riscv"
+}
+
+TEST(Vocab, UnknownMapsToUnk) {
+  Vocab V;
+  EXPECT_EQ(V.idOf("never_added"), V.unkId());
+  EXPECT_FALSE(V.contains("never_added"));
+}
+
+TEST(Vocab, SerializeRoundTrip) {
+  Vocab V;
+  V.addToken("alpha");
+  V.addToken("beta_gamma");
+  Vocab V2 = Vocab::deserialize(V.serialize());
+  EXPECT_EQ(V2.size(), V.size());
+  EXPECT_EQ(V2.idOf("alpha"), V.idOf("alpha"));
+  EXPECT_EQ(V2.idOf("beta_gamma"), V.idOf("beta_gamma"));
+}
+
+TEST(CodeBE, LearnsACopyTask) {
+  Vocab V;
+  std::vector<std::string> Words;
+  for (int I = 0; I < 12; ++I) {
+    Words.push_back("w" + std::to_string(I));
+    V.addToken(Words.back());
+  }
+  CodeBEConfig C;
+  C.Epochs = 25;
+  C.MaxSrcLen = 8;
+  C.MaxDstLen = 6;
+  C.LearningRate = 2e-3f;
+  std::vector<TrainPair> Data;
+  RNG Rng(11);
+  for (int I = 0; I < 150; ++I) {
+    int A = static_cast<int>(Rng.nextBelow(12));
+    int B = static_cast<int>(Rng.nextBelow(12));
+    TrainPair P;
+    P.Src = {V.clsId(), V.idOf(Words[static_cast<size_t>(A)]),
+             V.idOf(Words[static_cast<size_t>(B)])};
+    P.Dst = {V.csId(20), V.idOf(Words[static_cast<size_t>(B)]),
+             V.idOf(Words[static_cast<size_t>(A)]), V.eosId()};
+    Data.push_back(P);
+  }
+  CodeBE Model(V, C);
+  Model.train(Data);
+  double EM = Model.exactMatch({Data.begin(), Data.begin() + 40});
+  EXPECT_GT(EM, 0.9);
+}
+
+TEST(CodeBE, ConstrainedDecodingRestrictsOutput) {
+  Vocab V;
+  int A = V.addToken("aaa"), B = V.addToken("bbb");
+  CodeBEConfig C;
+  C.Epochs = 1;
+  C.MaxDstLen = 4;
+  CodeBE Model(V, C);
+  std::vector<uint8_t> Allowed(V.size(), 0);
+  Allowed[static_cast<size_t>(B)] = 1;
+  CodeBE::Decoded Out = Model.generate({V.clsId(), A}, &Allowed);
+  for (int Id : Out.Tokens)
+    EXPECT_TRUE(Id == B || V.isCsToken(Id))
+        << "disallowed token " << V.textOf(Id);
+}
+
+TEST(CodeBE, SaveLoadRoundTrip) {
+  Vocab V;
+  V.addToken("x");
+  CodeBEConfig C;
+  C.Epochs = 1;
+  CodeBE M1(V, C);
+  std::string Blob = M1.saveWeights();
+  CodeBE M2(V, C);
+  ASSERT_TRUE(M2.loadWeights(Blob));
+  CodeBE::Decoded D1 = M1.generate({V.clsId()});
+  CodeBE::Decoded D2 = M2.generate({V.clsId()});
+  EXPECT_EQ(D1.Tokens, D2.Tokens);
+
+  // Mismatched config must refuse.
+  CodeBEConfig C2 = C;
+  C2.DModel = 32;
+  CodeBE M3(V, C2);
+  EXPECT_FALSE(M3.loadWeights(Blob));
+}

@@ -1,0 +1,195 @@
+//===- tests/SupportTest.cpp - vega_support unit tests -----------------------===//
+//
+// Part of the VEGA reproduction project.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Error.h"
+#include "support/RNG.h"
+#include "support/StringUtils.h"
+#include "support/TextTable.h"
+#include "support/VirtualFileSystem.h"
+
+#include <gtest/gtest.h>
+
+using namespace vega;
+
+TEST(StringUtils, SplitKeepsEmptyPieces) {
+  auto Pieces = splitString("a,,b", ',');
+  ASSERT_EQ(Pieces.size(), 3u);
+  EXPECT_EQ(Pieces[0], "a");
+  EXPECT_EQ(Pieces[1], "");
+  EXPECT_EQ(Pieces[2], "b");
+}
+
+TEST(StringUtils, SplitDropsEmptyWhenAsked) {
+  auto Pieces = splitString("::a::b::", ':', /*KeepEmpty=*/false);
+  ASSERT_EQ(Pieces.size(), 2u);
+  EXPECT_EQ(Pieces[0], "a");
+  EXPECT_EQ(Pieces[1], "b");
+}
+
+TEST(StringUtils, SplitLinesHandlesCRLFAndTrailingNewline) {
+  auto Lines = splitLines("one\r\ntwo\nthree\n");
+  ASSERT_EQ(Lines.size(), 3u);
+  EXPECT_EQ(Lines[0], "one");
+  EXPECT_EQ(Lines[1], "two");
+  EXPECT_EQ(Lines[2], "three");
+}
+
+TEST(StringUtils, TrimRemovesSurroundingWhitespaceOnly) {
+  EXPECT_EQ(trimString("  a b \t"), "a b");
+  EXPECT_EQ(trimString(""), "");
+  EXPECT_EQ(trimString("   "), "");
+}
+
+TEST(StringUtils, JoinInterleavesSeparator) {
+  EXPECT_EQ(joinStrings({"a", "b", "c"}, "::"), "a::b::c");
+  EXPECT_EQ(joinStrings({}, ","), "");
+}
+
+TEST(StringUtils, ContainsIgnoreCase) {
+  EXPECT_TRUE(containsIgnoreCase("OPERAND_PCREL", "pcrel"));
+  EXPECT_FALSE(containsIgnoreCase("abc", "abcd"));
+  EXPECT_TRUE(containsIgnoreCase("anything", ""));
+}
+
+TEST(StringUtils, PartialMatchRequiresThreeChars) {
+  EXPECT_FALSE(partiallyMatches("ab", "abcdef"));
+  EXPECT_TRUE(partiallyMatches("ARM", "ARMELFObjectWriter"));
+  EXPECT_TRUE(partiallyMatches("ARMELFObjectWriter", "ARM"));
+  EXPECT_FALSE(partiallyMatches("RISCV", "Mips"));
+}
+
+TEST(StringUtils, IdentifierWordSplitting) {
+  auto Words = splitIdentifierWords("IsPCRel");
+  ASSERT_EQ(Words.size(), 3u);
+  EXPECT_EQ(Words[0], "is");
+  EXPECT_EQ(Words[1], "pc");
+  EXPECT_EQ(Words[2], "rel");
+
+  Words = splitIdentifierWords("fixup_riscv_pcrel_hi20");
+  ASSERT_EQ(Words.size(), 4u);
+  EXPECT_EQ(Words[1], "riscv");
+  EXPECT_EQ(Words[3], "hi20");
+}
+
+TEST(StringUtils, IdentifierSimilarityBounds) {
+  EXPECT_DOUBLE_EQ(identifierSimilarity("getRelocType", "getRelocType"), 1.0);
+  EXPECT_GT(identifierSimilarity("getRelocType", "getRelocKind"), 0.4);
+  EXPECT_DOUBLE_EQ(identifierSimilarity("abc", ""), 0.0);
+}
+
+TEST(StringUtils, SharedStemConnectsPCRelSpellings) {
+  // The paper's IsPCRel ↔ OPERAND_PCREL partial match.
+  EXPECT_TRUE(sharesSignificantStem("IsPCRel", "OPERAND_PCREL"));
+  EXPECT_FALSE(sharesSignificantStem("Kind", "OPERAND_PCREL"));
+  EXPECT_TRUE(sharesSignificantStem("ARMELFObjectWriter", "Name_ARM_x", 3));
+}
+
+TEST(StringUtils, ReplaceAllReplacesEveryOccurrence) {
+  EXPECT_EQ(replaceAll("Mips::fixup_mips", "Mips", "RISCV"),
+            "RISCV::fixup_mips");
+  EXPECT_EQ(replaceAll("aaa", "a", "bb"), "bbbbbb");
+  EXPECT_EQ(replaceAll("abc", "", "x"), "abc");
+}
+
+TEST(RNG, DeterministicAcrossInstances) {
+  RNG A(42), B(42);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(RNG, BoundedValues) {
+  RNG R(7);
+  for (int I = 0; I < 1000; ++I) {
+    EXPECT_LT(R.nextBelow(10), 10u);
+    double D = R.nextDouble();
+    EXPECT_GE(D, 0.0);
+    EXPECT_LT(D, 1.0);
+  }
+}
+
+TEST(RNG, ShuffleIsAPermutation) {
+  RNG R(3);
+  std::vector<int> V = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto Orig = V;
+  R.shuffle(V);
+  std::sort(V.begin(), V.end());
+  EXPECT_EQ(V, Orig);
+}
+
+TEST(VirtualFileSystem, AddGetRoundTrip) {
+  VirtualFileSystem VFS;
+  VFS.addFile("lib/Target/ARM/ARM.td", "def ARM");
+  ASSERT_TRUE(VFS.getFile("lib/Target/ARM/ARM.td").has_value());
+  EXPECT_EQ(*VFS.getFile("lib/Target/ARM/ARM.td"), "def ARM");
+  EXPECT_FALSE(VFS.getFile("lib/Target/ARM/Other.td").has_value());
+}
+
+TEST(VirtualFileSystem, NormalizesPaths) {
+  VirtualFileSystem VFS;
+  VFS.addFile("./a//b/c.h", "x");
+  EXPECT_TRUE(VFS.exists("a/b/c.h"));
+  EXPECT_TRUE(VFS.exists("/a/b/c.h"));
+}
+
+TEST(VirtualFileSystem, DirectoryPrefixQueriesAreExact) {
+  VirtualFileSystem VFS;
+  VFS.addFile("lib/Target/ARM/ARM.td", "1");
+  VFS.addFile("lib/Target/ARM64/ARM64.td", "2");
+  auto Files = VFS.filesUnder("lib/Target/ARM");
+  ASSERT_EQ(Files.size(), 1u);
+  EXPECT_EQ(Files[0]->Path, "lib/Target/ARM/ARM.td");
+}
+
+TEST(VirtualFileSystem, ExtensionFiltering) {
+  VirtualFileSystem VFS;
+  VFS.addFile("d/a.td", "");
+  VFS.addFile("d/b.h", "");
+  VFS.addFile("d/c.td", "");
+  EXPECT_EQ(VFS.filesUnderWithExtension("d", ".td").size(), 2u);
+  EXPECT_EQ(VFS.filesUnderWithExtension("d", ".h").size(), 1u);
+}
+
+TEST(VirtualFileSystem, AppendCreatesOrExtends) {
+  VirtualFileSystem VFS;
+  VFS.appendToFile("x.txt", "a");
+  VFS.appendToFile("x.txt", "b");
+  EXPECT_EQ(*VFS.getFile("x.txt"), "ab");
+}
+
+TEST(VirtualFileSystem, RemoveFile) {
+  VirtualFileSystem VFS;
+  VFS.addFile("x", "1");
+  EXPECT_TRUE(VFS.removeFile("x"));
+  EXPECT_FALSE(VFS.removeFile("x"));
+  EXPECT_FALSE(VFS.exists("x"));
+}
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable Table;
+  Table.setHeader({"Name", "Value"});
+  Table.addRow({"alpha", "1"});
+  Table.addRow({"b", "22"});
+  std::string Out = Table.render();
+  EXPECT_NE(Out.find("Name"), std::string::npos);
+  EXPECT_NE(Out.find("alpha"), std::string::npos);
+  // Numeric column right-aligned: "22" should line up under " 1".
+  EXPECT_NE(Out.find("22"), std::string::npos);
+}
+
+TEST(TextTable, FormatHelpers) {
+  EXPECT_EQ(TextTable::formatDouble(1.23456, 2), "1.23");
+  EXPECT_EQ(TextTable::formatPercent(0.715), "71.5%");
+}
+
+TEST(Expected, SuccessAndError) {
+  Expected<int> Ok(42);
+  ASSERT_TRUE(Ok);
+  EXPECT_EQ(*Ok, 42);
+  Expected<int> Err = makeError<int>("nope");
+  EXPECT_FALSE(Err);
+  EXPECT_EQ(Err.getError(), "nope");
+}

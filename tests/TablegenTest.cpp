@@ -1,0 +1,138 @@
+//===- tests/TablegenTest.cpp - vega_tablegen unit tests -----------------------===//
+//
+// Part of the VEGA reproduction project.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+
+#include "tablegen/DescriptionReader.h"
+
+#include <gtest/gtest.h>
+
+using namespace vega;
+
+TEST(DescriptionFile, ParsesEnums) {
+  const char *Src = R"(
+namespace RISCV {
+enum Fixups {
+  fixup_riscv_hi20 = FirstTargetFixupKind,
+  fixup_riscv_lo12_i,
+  LastTargetFixupKind,
+};
+}
+)";
+  DescriptionFile File = DescriptionFile::parse("X.h", Src);
+  ASSERT_EQ(File.Enums.size(), 1u);
+  const DescEnum &E = File.Enums[0];
+  EXPECT_EQ(E.Name, "Fixups");
+  ASSERT_EQ(E.Members.size(), 3u);
+  EXPECT_EQ(E.Members[0], "fixup_riscv_hi20");
+  // The initializer reference used to correlate with MCFixupKind.
+  EXPECT_TRUE(E.referencesInInit("FirstTargetFixupKind"));
+}
+
+TEST(DescriptionFile, ParsesEnumWithUnderlyingType) {
+  DescriptionFile File =
+      DescriptionFile::parse("Y.h", "enum class Kind : int { A, B, C };");
+  ASSERT_EQ(File.Enums.size(), 1u);
+  EXPECT_EQ(File.Enums[0].Members.size(), 3u);
+}
+
+TEST(DescriptionFile, ParsesAssignments) {
+  const char *Src = R"(
+def RISCV : Target {
+  Name = "RISCV";
+  IsLittleEndian = 1;
+}
+)";
+  DescriptionFile File = DescriptionFile::parse("RISCV.td", Src);
+  bool FoundName = false, FoundEndian = false;
+  for (const DescAssignment &A : File.Assignments) {
+    if (A.Field == "Name") {
+      FoundName = true;
+      EXPECT_EQ(A.Value, "RISCV");
+      EXPECT_TRUE(A.ValueIsString);
+    }
+    if (A.Field == "IsLittleEndian") {
+      FoundEndian = true;
+      EXPECT_EQ(A.Value, "1");
+      EXPECT_FALSE(A.ValueIsString);
+    }
+  }
+  EXPECT_TRUE(FoundName);
+  EXPECT_TRUE(FoundEndian);
+}
+
+TEST(DescriptionFile, ParsesRecordsWithParentClass) {
+  const char *Src = R"(
+def ADDrr : Instruction {
+  Mnemonic = "add";
+  Cycles = 1;
+}
+def GPR : RegisterClass;
+)";
+  DescriptionFile File = DescriptionFile::parse("I.td", Src);
+  ASSERT_EQ(File.Records.size(), 2u);
+  EXPECT_EQ(File.Records[0].Name, "ADDrr");
+  EXPECT_EQ(File.Records[0].ParentClass, "Instruction");
+  ASSERT_GE(File.Records[0].Fields.size(), 2u);
+  EXPECT_EQ(File.Records[1].ParentClass, "RegisterClass");
+}
+
+TEST(DescriptionFile, ParsesDefMacroLists) {
+  const char *Src = "ELF_RELOC(R_RISCV_NONE, 0)\nELF_RELOC(R_RISCV_32, 1)\n";
+  DescriptionFile File = DescriptionFile::parse("RISCV.def", Src);
+  ASSERT_EQ(File.Enums.size(), 1u);
+  EXPECT_EQ(File.Enums[0].Name, "ELF_RELOC");
+  ASSERT_EQ(File.Enums[0].Members.size(), 2u);
+  EXPECT_EQ(File.Enums[0].Members[1], "R_RISCV_32");
+}
+
+TEST(DescriptionFile, MacroListsInHeadersNeedMacroSpelling) {
+  const char *Src = "ELF_RELOC(R_NONE, 0);\nfoo(bar, 1);\n";
+  DescriptionFile File = DescriptionFile::parse("ELF.h", Src);
+  bool HasElfReloc = false, HasFoo = false;
+  for (const DescEnum &E : File.Enums) {
+    if (E.Name == "ELF_RELOC")
+      HasElfReloc = true;
+    if (E.Name == "foo")
+      HasFoo = true;
+  }
+  EXPECT_TRUE(HasElfReloc);
+  EXPECT_FALSE(HasFoo) << "ordinary calls must not parse as macro lists";
+}
+
+TEST(DescriptionFile, CollectsClassNames) {
+  const char *Src = "class MCExpr {\n int K;\n};\nstruct MCFixupKindInfo {};\n"
+                    "enum class NotAClass { X };";
+  DescriptionFile File = DescriptionFile::parse("C.h", Src);
+  ASSERT_EQ(File.Classes.size(), 2u);
+  EXPECT_EQ(File.Classes[0], "MCExpr");
+  EXPECT_EQ(File.Classes[1], "MCFixupKindInfo");
+}
+
+TEST(DescriptionIndex, TokenQueriesAndEnumLookup) {
+  DescriptionIndex Index;
+  Index.addFile("a/X.h", "enum Fixups { fixup_x_one = FirstTargetFixupKind };");
+  Index.addFile("a/Y.td", "def T : Target { Name = \"T\"; }");
+  EXPECT_TRUE(Index.containsToken("fixup_x_one"));
+  EXPECT_FALSE(Index.containsToken("nope"));
+  ASSERT_EQ(Index.filesContaining("Fixups").size(), 1u);
+  const DescEnum *E = Index.enumOfMember("fixup_x_one");
+  ASSERT_NE(E, nullptr);
+  EXPECT_EQ(E->Name, "Fixups");
+  EXPECT_NE(Index.enumNamed("Fixups"), nullptr);
+  EXPECT_EQ(Index.enumNamed("Missing"), nullptr);
+  EXPECT_EQ(Index.assignmentsOf("Name").size(), 1u);
+}
+
+TEST(DescriptionIndex, AddDirectoryScopesToPrefix) {
+  VirtualFileSystem VFS;
+  VFS.addFile("lib/Target/ARM/ARM.td", "def ARM : Target;");
+  VFS.addFile("lib/Target/AVR/AVR.td", "def AVR : Target;");
+  DescriptionIndex Index;
+  Index.addDirectory(VFS, "lib/Target/ARM");
+  EXPECT_TRUE(Index.containsToken("ARM"));
+  EXPECT_FALSE(Index.containsToken("AVR"));
+  EXPECT_EQ(Index.fileCount(), 1u);
+}

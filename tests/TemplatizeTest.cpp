@@ -1,0 +1,155 @@
+//===- tests/TemplatizeTest.cpp - vega_templatize unit tests -------------------===//
+//
+// Part of the VEGA reproduction project.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+
+#include "templatize/FunctionTemplate.h"
+
+#include <gtest/gtest.h>
+
+using namespace vega;
+
+namespace {
+
+const BackendCorpus &sharedCorpus() {
+  static BackendCorpus Corpus =
+      BackendCorpus::build(TargetDatabase::standard());
+  return Corpus;
+}
+
+const FunctionGroup &groupNamed(const std::string &Name) {
+  static std::vector<FunctionGroup> Groups = sharedCorpus().trainingGroups();
+  for (const FunctionGroup &G : Groups)
+    if (G.InterfaceName == Name)
+      return G;
+  ADD_FAILURE() << "no group named " << Name;
+  static FunctionGroup Empty;
+  return Empty;
+}
+
+} // namespace
+
+TEST(Templatize, RelocTemplateMatchesThePaperShape) {
+  FunctionTemplate FT = buildFunctionTemplate(groupNamed("getRelocType"));
+  // Definition has a placeholder for the writer class name.
+  ASSERT_NE(FT.Definition, nullptr);
+  EXPECT_GE(FT.Definition->placeholderCount(), 1u);
+  // The first body row is the Kind declaration — common code, no slots.
+  ASSERT_FALSE(FT.Body.empty());
+  EXPECT_EQ(FT.Body[0]->placeholderCount(), 0u);
+  EXPECT_EQ(FT.Body[0]->text(), "unsigned Kind = Fixup.getTargetKind();");
+
+  // Somewhere in the tree: a repeatable "case $SV0::$SV1:" row (paper T5).
+  bool FoundRepeatableCase = false;
+  for (const TemplateRow *Row : FT.rows()) {
+    if (Row->Kind == StmtKind::Case && Row->Repeatable &&
+        Row->placeholderCount() == 2)
+      FoundRepeatableCase = true;
+  }
+  EXPECT_TRUE(FoundRepeatableCase);
+}
+
+TEST(Templatize, VariantKindRowHasPartialSupport) {
+  FunctionTemplate FT = buildFunctionTemplate(groupNamed("getRelocType"));
+  const TemplateRow *VariantRow = nullptr;
+  for (const TemplateRow *Row : FT.rows())
+    for (const Token &T : Row->Tokens)
+      if (T.Text == "VariantKind")
+        VariantRow = Row;
+  ASSERT_NE(VariantRow, nullptr);
+  std::vector<std::string> Support = VariantRow->supportTargets();
+  // Only the HasVariantKind targets (ARM, PPC, Sparc, SystemZ, LoongArch).
+  EXPECT_GE(Support.size(), 3u);
+  EXPECT_LT(Support.size(), 21u);
+  for (const std::string &T : Support)
+    EXPECT_NE(T, "Lanai") << "Lanai has no VariantKind";
+}
+
+TEST(Templatize, InstancesCoverEveryMember) {
+  FunctionTemplate FT = buildFunctionTemplate(groupNamed("getRelocType"));
+  // Every member target instantiates the definition row exactly once.
+  EXPECT_EQ(FT.Definition->PerTarget.size(), FT.MemberTargets.size());
+  for (const auto &[Target, Instances] : FT.Definition->PerTarget)
+    EXPECT_EQ(Instances.size(), 1u) << Target;
+}
+
+TEST(Templatize, SlotFillersAlignWithPlaceholders) {
+  FunctionTemplate FT = buildFunctionTemplate(groupNamed("getRelocType"));
+  for (const TemplateRow *Row : FT.rows()) {
+    size_t Slots = Row->placeholderCount();
+    for (const auto &[Target, Instances] : Row->PerTarget)
+      for (const auto &Inst : Instances)
+        EXPECT_EQ(Inst.SlotFillers.size(), Slots)
+            << "row '" << Row->text() << "' target " << Target;
+  }
+}
+
+TEST(Templatize, RepeatableRowsFoldCaseVariants) {
+  FunctionTemplate FT = buildFunctionTemplate(groupNamed("getInstrLatency"));
+  const TemplateRow *CaseRow = nullptr;
+  for (const TemplateRow *Row : FT.rows())
+    if (Row->Kind == StmtKind::Case && Row->Repeatable)
+      CaseRow = Row;
+  ASSERT_NE(CaseRow, nullptr);
+  // Every target contributes several opcode cases to the folded row.
+  for (const auto &[Target, Instances] : CaseRow->PerTarget)
+    EXPECT_GE(Instances.size(), 3u) << Target;
+}
+
+TEST(Templatize, CommonTokenCountsAreConsistent) {
+  for (const FunctionGroup &G : sharedCorpus().trainingGroups()) {
+    FunctionTemplate FT = buildFunctionTemplate(G);
+    for (const TemplateRow *Row : FT.rows()) {
+      EXPECT_EQ(Row->commonTokenCount() + Row->placeholderCount(),
+                Row->Tokens.size())
+          << G.InterfaceName << " row " << Row->Index;
+    }
+  }
+}
+
+TEST(Templatize, RowIndicesArePreOrderAndUnique) {
+  FunctionTemplate FT = buildFunctionTemplate(groupNamed("getRelocType"));
+  std::vector<TemplateRow *> Rows = FT.rows();
+  for (size_t I = 0; I < Rows.size(); ++I)
+    EXPECT_EQ(Rows[I]->Index, static_cast<int>(I));
+}
+
+// Property sweep: templatization invariants hold for every function group.
+class TemplateGroupTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(TemplateGroupTest, TemplateInvariants) {
+  FunctionTemplate FT = buildFunctionTemplate(groupNamed(GetParam()));
+  ASSERT_NE(FT.Definition, nullptr);
+  EXPECT_EQ(FT.InterfaceName, GetParam());
+  EXPECT_FALSE(FT.MemberTargets.empty());
+
+  size_t MemberCount = FT.MemberTargets.size();
+  for (const TemplateRow *Row : FT.rows()) {
+    // No row is supported by more targets than exist in the group.
+    EXPECT_LE(Row->supportTargets().size(), MemberCount);
+    // Template tokens are never empty for a real row.
+    EXPECT_FALSE(Row->Tokens.empty());
+    // Every instance statement belongs to some member implementation.
+    for (const auto &[Target, Instances] : Row->PerTarget) {
+      EXPECT_FALSE(Instances.empty());
+      for (const auto &Inst : Instances)
+        EXPECT_NE(Inst.Stmt, nullptr);
+    }
+  }
+  // The definition row must be supported by every member.
+  EXPECT_EQ(FT.Definition->supportTargets().size(), MemberCount);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllGroups, TemplateGroupTest,
+    ::testing::ValuesIn([] {
+      std::vector<std::string> Names;
+      for (const FunctionGroup &G : sharedCorpus().trainingGroups())
+        Names.push_back(G.InterfaceName);
+      return Names;
+    }()),
+    [](const ::testing::TestParamInfo<std::string> &Info) {
+      return Info.param;
+    });

@@ -1,0 +1,260 @@
+//===- tools/vega-cli.cpp - The VEGA command-line driver ------------------------===//
+//
+// Part of the VEGA reproduction project.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+///
+/// The command-line face of the reproduction:
+///
+///   vega-cli targets                      list the corpus targets
+///   vega-cli groups                       list function groups and sizes
+///   vega-cli template <iface>             print a function template
+///   vega-cli features <iface>             print Algorithm-1 properties
+///   vega-cli golden <target> <iface>      print a golden implementation
+///   vega-cli harvest <prop> <target>      print a TgtValSet
+///   vega-cli generate <target> [epochs]   train (cached) + emit a backend
+///   vega-cli evaluate <target> [epochs]   generate + pass@1 report
+///   vega-cli forkflow <target>            evaluate the MIPS fork baseline
+///
+//===----------------------------------------------------------------------===//
+
+#include "eval/EffortModel.h"
+#include "eval/Harness.h"
+#include "forkflow/ForkFlow.h"
+#include "support/TextTable.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+using namespace vega;
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: vega-cli <command> [args]\n"
+      "  targets | groups | template <iface> | features <iface>\n"
+      "  golden <target> <iface> | harvest <prop> <target>\n"
+      "  generate <target> [epochs] | evaluate <target> [epochs]\n"
+      "  forkflow <target>\n");
+  return 2;
+}
+
+const BackendCorpus &corpus() {
+  static BackendCorpus Corpus =
+      BackendCorpus::build(TargetDatabase::standard());
+  return Corpus;
+}
+
+FeatureSelector &selector() {
+  static FeatureSelector *S = [] {
+    std::vector<std::string> Names;
+    for (const TargetTraits &T : corpus().targets().targets())
+      Names.push_back(T.Name);
+    return new FeatureSelector(corpus().vfs(), Names);
+  }();
+  return *S;
+}
+
+int cmdTargets() {
+  TextTable Table;
+  Table.setHeader({"Target", "Role", "Endian", "Bits", "Flags", "Fixups",
+                   "Instrs"});
+  for (const TargetTraits &T : corpus().targets().targets()) {
+    bool Held = false;
+    for (const std::string &E : TargetDatabase::evaluationTargetNames())
+      if (E == T.Name)
+        Held = true;
+    std::string Flags;
+    if (T.HasVariantKind)
+      Flags += "V";
+    if (T.HasDelaySlots)
+      Flags += "D";
+    if (T.HasHardwareLoop)
+      Flags += "H";
+    if (T.HasSimd)
+      Flags += "S";
+    if (T.HasCompressed)
+      Flags += "C";
+    if (T.HasThreadScheduler)
+      Flags += "T";
+    Table.addRow({T.Name, Held ? "eval" : "train",
+                  T.IsBigEndian ? "BE" : "LE", T.Is64Bit ? "64" : "32",
+                  Flags.empty() ? "-" : Flags,
+                  std::to_string(T.Fixups.size()),
+                  std::to_string(T.Instructions.size())});
+  }
+  std::printf("%s", Table.render().c_str());
+  return 0;
+}
+
+int cmdGroups() {
+  TextTable Table;
+  Table.setHeader({"Interface function", "Module", "Members", "Statements"});
+  for (const FunctionGroup &G : corpus().trainingGroups()) {
+    size_t Stmts = 0;
+    for (const BackendFunction *F : G.Members)
+      Stmts += F->AST.size();
+    Table.addRow({G.InterfaceName, moduleName(G.Module),
+                  std::to_string(G.Members.size()), std::to_string(Stmts)});
+  }
+  std::printf("%s", Table.render().c_str());
+  return 0;
+}
+
+const FunctionGroup *groupNamed(const std::string &Name) {
+  static std::vector<FunctionGroup> Groups = corpus().trainingGroups();
+  for (const FunctionGroup &G : Groups)
+    if (G.InterfaceName == Name)
+      return &G;
+  std::fprintf(stderr, "error: unknown interface function '%s'\n",
+               Name.c_str());
+  return nullptr;
+}
+
+int cmdTemplate(const std::string &Iface) {
+  const FunctionGroup *G = groupNamed(Iface);
+  if (!G)
+    return 1;
+  FunctionTemplate FT = buildFunctionTemplate(*G);
+  std::printf("%s", FT.render().c_str());
+  return 0;
+}
+
+int cmdFeatures(const std::string &Iface) {
+  const FunctionGroup *G = groupNamed(Iface);
+  if (!G)
+    return 1;
+  FunctionTemplate FT = buildFunctionTemplate(*G);
+  TemplateFeatures F = selector().analyze(FT);
+  std::printf("target-independent properties:\n");
+  for (const BoolProperty &P : F.BoolProps)
+    std::printf("  %-22s %-12s identified at %s\n", P.Name.c_str(),
+                P.Updatable ? "updatable" : "constant",
+                P.IdentifiedSite.c_str());
+  std::printf("placeholder slots:\n");
+  for (const auto &[RowIdx, Slots] : F.RowSlots) {
+    std::printf("  row %-3d:", RowIdx);
+    for (const SlotProperty &S : Slots)
+      std::printf(" [%s]", S.Name.empty() ? "?" : S.Name.c_str());
+    std::printf("\n");
+  }
+  return 0;
+}
+
+int cmdGolden(const std::string &Target, const std::string &Iface) {
+  const Backend *B = corpus().backend(Target);
+  if (!B) {
+    std::fprintf(stderr, "error: unknown target '%s'\n", Target.c_str());
+    return 1;
+  }
+  const BackendFunction *F = B->find(Iface);
+  if (!F) {
+    std::fprintf(stderr, "error: %s does not implement %s\n", Target.c_str(),
+                 Iface.c_str());
+    return 1;
+  }
+  std::printf("%s", F->AST.render().c_str());
+  return 0;
+}
+
+int cmdHarvest(const std::string &Prop, const std::string &Target) {
+  for (const std::string &V : selector().harvestValues(Prop, Target))
+    std::printf("%s\n", V.c_str());
+  return 0;
+}
+
+VegaSystem &trainedSystem(int Epochs) {
+  static VegaSystem *Sys = nullptr;
+  if (!Sys) {
+    VegaOptions Opts;
+    Opts.Model.Epochs = Epochs;
+    Opts.WeightCachePath = "vega_cli_model.bin";
+    Opts.Verbose = true;
+    Sys = new VegaSystem(corpus(), Opts);
+    Sys->buildTemplates();
+    Sys->buildDataset();
+    Sys->trainModel();
+  }
+  return *Sys;
+}
+
+int cmdGenerate(const std::string &Target, int Epochs) {
+  if (!corpus().targets().find(Target)) {
+    std::fprintf(stderr, "error: unknown target '%s'\n", Target.c_str());
+    return 1;
+  }
+  GeneratedBackend GB = trainedSystem(Epochs).generateBackend(Target);
+  for (const GeneratedFunction &F : GB.Functions) {
+    if (!F.Emitted)
+      continue;
+    std::printf("// confidence %.2f [%s]\n%s\n", F.Confidence,
+                moduleName(F.Module), F.AST.render().c_str());
+  }
+  return 0;
+}
+
+int cmdEvaluate(const std::string &Target, int Epochs) {
+  if (!corpus().targets().find(Target)) {
+    std::fprintf(stderr, "error: unknown target '%s'\n", Target.c_str());
+    return 1;
+  }
+  GeneratedBackend GB = trainedSystem(Epochs).generateBackend(Target);
+  BackendEval Eval = evaluateBackend(GB, *corpus().backend(Target),
+                                     *corpus().targets().find(Target));
+  TextTable Table;
+  Table.setHeader({"Function", "Module", "Confidence", "pass@1"});
+  for (const FunctionEval &F : Eval.Functions)
+    Table.addRow({F.InterfaceName, moduleName(F.Module),
+                  TextTable::formatDouble(F.Confidence, 2),
+                  F.Accurate ? "pass" : (F.Generated ? "FAIL" : "missing")});
+  std::printf("%s\n", Table.render().c_str());
+  std::printf("function accuracy: %s   statement accuracy: %s\n",
+              TextTable::formatPercent(Eval.functionAccuracy()).c_str(),
+              TextTable::formatPercent(Eval.statementAccuracy()).c_str());
+  std::printf("estimated repair hours (Developer A model): %.2f\n",
+              totalRepairHours(Eval, developerA()));
+  return 0;
+}
+
+int cmdForkflow(const std::string &Target) {
+  GeneratedBackend FF = forkflowBackend(corpus(), "Mips", Target);
+  BackendEval Eval = evaluateBackend(FF, *corpus().backend(Target),
+                                     *corpus().targets().find(Target));
+  std::printf("fork-flow (from Mips) accuracy for %s: functions %s, "
+              "statements %s\n",
+              Target.c_str(),
+              TextTable::formatPercent(Eval.functionAccuracy()).c_str(),
+              TextTable::formatPercent(Eval.statementAccuracy()).c_str());
+  return 0;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  if (argc < 2)
+    return usage();
+  std::string Cmd = argv[1];
+  if (Cmd == "targets")
+    return cmdTargets();
+  if (Cmd == "groups")
+    return cmdGroups();
+  if (Cmd == "template" && argc >= 3)
+    return cmdTemplate(argv[2]);
+  if (Cmd == "features" && argc >= 3)
+    return cmdFeatures(argv[2]);
+  if (Cmd == "golden" && argc >= 4)
+    return cmdGolden(argv[2], argv[3]);
+  if (Cmd == "harvest" && argc >= 4)
+    return cmdHarvest(argv[2], argv[3]);
+  if (Cmd == "generate" && argc >= 3)
+    return cmdGenerate(argv[2], argc >= 4 ? std::atoi(argv[3]) : 8);
+  if (Cmd == "evaluate" && argc >= 3)
+    return cmdEvaluate(argv[2], argc >= 4 ? std::atoi(argv[3]) : 8);
+  if (Cmd == "forkflow" && argc >= 3)
+    return cmdForkflow(argv[2]);
+  return usage();
+}
