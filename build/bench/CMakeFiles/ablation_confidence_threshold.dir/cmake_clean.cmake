@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_confidence_threshold.dir/ablation_confidence_threshold.cpp.o"
+  "CMakeFiles/ablation_confidence_threshold.dir/ablation_confidence_threshold.cpp.o.d"
+  "ablation_confidence_threshold"
+  "ablation_confidence_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_confidence_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

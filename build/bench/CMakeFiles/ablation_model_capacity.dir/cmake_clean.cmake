@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_model_capacity.dir/ablation_model_capacity.cpp.o"
+  "CMakeFiles/ablation_model_capacity.dir/ablation_model_capacity.cpp.o.d"
+  "ablation_model_capacity"
+  "ablation_model_capacity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_model_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_split_strategy.dir/ablation_split_strategy.cpp.o"
+  "CMakeFiles/ablation_split_strategy.dir/ablation_split_strategy.cpp.o.d"
+  "ablation_split_strategy"
+  "ablation_split_strategy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_split_strategy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_backend_performance.dir/fig10_backend_performance.cpp.o"
+  "CMakeFiles/fig10_backend_performance.dir/fig10_backend_performance.cpp.o.d"
+  "fig10_backend_performance"
+  "fig10_backend_performance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_backend_performance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

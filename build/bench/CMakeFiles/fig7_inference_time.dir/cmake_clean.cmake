@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_inference_time.dir/fig7_inference_time.cpp.o"
+  "CMakeFiles/fig7_inference_time.dir/fig7_inference_time.cpp.o.d"
+  "fig7_inference_time"
+  "fig7_inference_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_inference_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

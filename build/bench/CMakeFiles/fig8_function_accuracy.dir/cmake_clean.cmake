@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_function_accuracy.dir/fig8_function_accuracy.cpp.o"
+  "CMakeFiles/fig8_function_accuracy.dir/fig8_function_accuracy.cpp.o.d"
+  "fig8_function_accuracy"
+  "fig8_function_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_function_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

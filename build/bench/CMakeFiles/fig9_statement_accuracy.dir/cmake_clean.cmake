@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_statement_accuracy.dir/fig9_statement_accuracy.cpp.o"
+  "CMakeFiles/fig9_statement_accuracy.dir/fig9_statement_accuracy.cpp.o.d"
+  "fig9_statement_accuracy"
+  "fig9_statement_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_statement_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microbench.dir/microbench.cpp.o"
+  "CMakeFiles/microbench.dir/microbench.cpp.o.d"
+  "microbench"
+  "microbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robustness_regression.dir/robustness_regression.cpp.o"
+  "CMakeFiles/robustness_regression.dir/robustness_regression.cpp.o.d"
+  "robustness_regression"
+  "robustness_regression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robustness_regression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_error_types.dir/table2_error_types.cpp.o"
+  "CMakeFiles/table2_error_types.dir/table2_error_types.cpp.o.d"
+  "table2_error_types"
+  "table2_error_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_error_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_statement_effort.dir/table3_statement_effort.cpp.o"
+  "CMakeFiles/table3_statement_effort.dir/table3_statement_effort.cpp.o.d"
+  "table3_statement_effort"
+  "table3_statement_effort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_statement_effort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

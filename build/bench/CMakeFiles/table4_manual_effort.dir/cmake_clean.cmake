@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_manual_effort.dir/table4_manual_effort.cpp.o"
+  "CMakeFiles/table4_manual_effort.dir/table4_manual_effort.cpp.o.d"
+  "table4_manual_effort"
+  "table4_manual_effort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_manual_effort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

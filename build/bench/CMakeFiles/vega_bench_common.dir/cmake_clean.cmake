@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vega_bench_common.dir/BenchCommon.cpp.o"
+  "CMakeFiles/vega_bench_common.dir/BenchCommon.cpp.o.d"
+  "libvega_bench_common.a"
+  "libvega_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vega_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verification_exact_match.dir/verification_exact_match.cpp.o"
+  "CMakeFiles/verification_exact_match.dir/verification_exact_match.cpp.o.d"
+  "verification_exact_match"
+  "verification_exact_match.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verification_exact_match.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

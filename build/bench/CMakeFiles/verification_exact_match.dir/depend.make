@@ -1,0 +1,2 @@
+# Empty dependencies file for verification_exact_match.
+# This may be replaced when dependencies are built.

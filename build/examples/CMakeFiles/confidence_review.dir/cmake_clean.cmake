@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/confidence_review.dir/confidence_review.cpp.o"
+  "CMakeFiles/confidence_review.dir/confidence_review.cpp.o.d"
+  "confidence_review"
+  "confidence_review.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/confidence_review.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

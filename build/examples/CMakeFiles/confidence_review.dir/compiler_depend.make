@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for confidence_review.
+# This may be replaced when dependencies are built.

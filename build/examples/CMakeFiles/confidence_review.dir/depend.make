@@ -1,0 +1,2 @@
+# Empty dependencies file for confidence_review.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/generate_backend.dir/generate_backend.cpp.o"
+  "CMakeFiles/generate_backend.dir/generate_backend.cpp.o.d"
+  "generate_backend"
+  "generate_backend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/generate_backend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

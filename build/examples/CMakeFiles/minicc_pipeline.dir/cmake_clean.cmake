@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minicc_pipeline.dir/minicc_pipeline.cpp.o"
+  "CMakeFiles/minicc_pipeline.dir/minicc_pipeline.cpp.o.d"
+  "minicc_pipeline"
+  "minicc_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minicc_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

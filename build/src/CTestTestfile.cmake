@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("lexer")
+subdirs("ast")
+subdirs("gumtree")
+subdirs("tablegen")
+subdirs("corpus")
+subdirs("templatize")
+subdirs("feature")
+subdirs("model")
+subdirs("interp")
+subdirs("minicc")
+subdirs("sim")
+subdirs("core")
+subdirs("forkflow")
+subdirs("eval")

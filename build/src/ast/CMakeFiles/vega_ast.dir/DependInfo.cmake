@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ast/Normalize.cpp" "src/ast/CMakeFiles/vega_ast.dir/Normalize.cpp.o" "gcc" "src/ast/CMakeFiles/vega_ast.dir/Normalize.cpp.o.d"
+  "/root/repo/src/ast/Parser.cpp" "src/ast/CMakeFiles/vega_ast.dir/Parser.cpp.o" "gcc" "src/ast/CMakeFiles/vega_ast.dir/Parser.cpp.o.d"
+  "/root/repo/src/ast/Statement.cpp" "src/ast/CMakeFiles/vega_ast.dir/Statement.cpp.o" "gcc" "src/ast/CMakeFiles/vega_ast.dir/Statement.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lexer/CMakeFiles/vega_lexer.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/vega_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vega_ast.dir/Normalize.cpp.o"
+  "CMakeFiles/vega_ast.dir/Normalize.cpp.o.d"
+  "CMakeFiles/vega_ast.dir/Parser.cpp.o"
+  "CMakeFiles/vega_ast.dir/Parser.cpp.o.d"
+  "CMakeFiles/vega_ast.dir/Statement.cpp.o"
+  "CMakeFiles/vega_ast.dir/Statement.cpp.o.d"
+  "libvega_ast.a"
+  "libvega_ast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vega_ast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

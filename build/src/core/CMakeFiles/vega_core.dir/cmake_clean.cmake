@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vega_core.dir/Pipeline.cpp.o"
+  "CMakeFiles/vega_core.dir/Pipeline.cpp.o.d"
+  "libvega_core.a"
+  "libvega_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vega_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

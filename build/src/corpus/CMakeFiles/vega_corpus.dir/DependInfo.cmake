@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/corpus/Corpus.cpp" "src/corpus/CMakeFiles/vega_corpus.dir/Corpus.cpp.o" "gcc" "src/corpus/CMakeFiles/vega_corpus.dir/Corpus.cpp.o.d"
+  "/root/repo/src/corpus/GoldenBackend.cpp" "src/corpus/CMakeFiles/vega_corpus.dir/GoldenBackend.cpp.o" "gcc" "src/corpus/CMakeFiles/vega_corpus.dir/GoldenBackend.cpp.o.d"
+  "/root/repo/src/corpus/SynthFramework.cpp" "src/corpus/CMakeFiles/vega_corpus.dir/SynthFramework.cpp.o" "gcc" "src/corpus/CMakeFiles/vega_corpus.dir/SynthFramework.cpp.o.d"
+  "/root/repo/src/corpus/SynthTargetDesc.cpp" "src/corpus/CMakeFiles/vega_corpus.dir/SynthTargetDesc.cpp.o" "gcc" "src/corpus/CMakeFiles/vega_corpus.dir/SynthTargetDesc.cpp.o.d"
+  "/root/repo/src/corpus/TargetTraits.cpp" "src/corpus/CMakeFiles/vega_corpus.dir/TargetTraits.cpp.o" "gcc" "src/corpus/CMakeFiles/vega_corpus.dir/TargetTraits.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ast/CMakeFiles/vega_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/tablegen/CMakeFiles/vega_tablegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/vega_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/lexer/CMakeFiles/vega_lexer.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

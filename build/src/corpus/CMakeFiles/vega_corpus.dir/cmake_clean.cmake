@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vega_corpus.dir/Corpus.cpp.o"
+  "CMakeFiles/vega_corpus.dir/Corpus.cpp.o.d"
+  "CMakeFiles/vega_corpus.dir/GoldenBackend.cpp.o"
+  "CMakeFiles/vega_corpus.dir/GoldenBackend.cpp.o.d"
+  "CMakeFiles/vega_corpus.dir/SynthFramework.cpp.o"
+  "CMakeFiles/vega_corpus.dir/SynthFramework.cpp.o.d"
+  "CMakeFiles/vega_corpus.dir/SynthTargetDesc.cpp.o"
+  "CMakeFiles/vega_corpus.dir/SynthTargetDesc.cpp.o.d"
+  "CMakeFiles/vega_corpus.dir/TargetTraits.cpp.o"
+  "CMakeFiles/vega_corpus.dir/TargetTraits.cpp.o.d"
+  "libvega_corpus.a"
+  "libvega_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vega_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vega_eval.dir/EffortModel.cpp.o"
+  "CMakeFiles/vega_eval.dir/EffortModel.cpp.o.d"
+  "CMakeFiles/vega_eval.dir/EvalSpecs.cpp.o"
+  "CMakeFiles/vega_eval.dir/EvalSpecs.cpp.o.d"
+  "CMakeFiles/vega_eval.dir/Harness.cpp.o"
+  "CMakeFiles/vega_eval.dir/Harness.cpp.o.d"
+  "libvega_eval.a"
+  "libvega_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vega_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

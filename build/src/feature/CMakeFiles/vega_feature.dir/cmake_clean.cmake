@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vega_feature.dir/FeatureSelector.cpp.o"
+  "CMakeFiles/vega_feature.dir/FeatureSelector.cpp.o.d"
+  "libvega_feature.a"
+  "libvega_feature.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vega_feature.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

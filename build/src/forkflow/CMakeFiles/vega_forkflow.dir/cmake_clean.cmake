@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vega_forkflow.dir/ForkFlow.cpp.o"
+  "CMakeFiles/vega_forkflow.dir/ForkFlow.cpp.o.d"
+  "libvega_forkflow.a"
+  "libvega_forkflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vega_forkflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vega_gumtree.dir/Matcher.cpp.o"
+  "CMakeFiles/vega_gumtree.dir/Matcher.cpp.o.d"
+  "libvega_gumtree.a"
+  "libvega_gumtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vega_gumtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

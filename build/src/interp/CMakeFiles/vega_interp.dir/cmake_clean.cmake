@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vega_interp.dir/Interpreter.cpp.o"
+  "CMakeFiles/vega_interp.dir/Interpreter.cpp.o.d"
+  "libvega_interp.a"
+  "libvega_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vega_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for vega_interp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for vega_interp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vega_lexer.dir/Lexer.cpp.o"
+  "CMakeFiles/vega_lexer.dir/Lexer.cpp.o.d"
+  "libvega_lexer.a"
+  "libvega_lexer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vega_lexer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vega_minicc.dir/Benchmarks.cpp.o"
+  "CMakeFiles/vega_minicc.dir/Benchmarks.cpp.o.d"
+  "CMakeFiles/vega_minicc.dir/Compiler.cpp.o"
+  "CMakeFiles/vega_minicc.dir/Compiler.cpp.o.d"
+  "CMakeFiles/vega_minicc.dir/Hooks.cpp.o"
+  "CMakeFiles/vega_minicc.dir/Hooks.cpp.o.d"
+  "CMakeFiles/vega_minicc.dir/IR.cpp.o"
+  "CMakeFiles/vega_minicc.dir/IR.cpp.o.d"
+  "libvega_minicc.a"
+  "libvega_minicc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vega_minicc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvega_minicc.a"
+)

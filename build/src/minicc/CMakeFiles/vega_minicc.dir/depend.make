@@ -1,0 +1,2 @@
+# Empty dependencies file for vega_minicc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/Autograd.cpp" "src/model/CMakeFiles/vega_model.dir/Autograd.cpp.o" "gcc" "src/model/CMakeFiles/vega_model.dir/Autograd.cpp.o.d"
+  "/root/repo/src/model/CodeBE.cpp" "src/model/CMakeFiles/vega_model.dir/CodeBE.cpp.o" "gcc" "src/model/CMakeFiles/vega_model.dir/CodeBE.cpp.o.d"
+  "/root/repo/src/model/Vocab.cpp" "src/model/CMakeFiles/vega_model.dir/Vocab.cpp.o" "gcc" "src/model/CMakeFiles/vega_model.dir/Vocab.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/vega_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vega_model.dir/Autograd.cpp.o"
+  "CMakeFiles/vega_model.dir/Autograd.cpp.o.d"
+  "CMakeFiles/vega_model.dir/CodeBE.cpp.o"
+  "CMakeFiles/vega_model.dir/CodeBE.cpp.o.d"
+  "CMakeFiles/vega_model.dir/Vocab.cpp.o"
+  "CMakeFiles/vega_model.dir/Vocab.cpp.o.d"
+  "libvega_model.a"
+  "libvega_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vega_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

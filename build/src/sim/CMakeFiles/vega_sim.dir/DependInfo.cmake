@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/Simulator.cpp" "src/sim/CMakeFiles/vega_sim.dir/Simulator.cpp.o" "gcc" "src/sim/CMakeFiles/vega_sim.dir/Simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/minicc/CMakeFiles/vega_minicc.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/vega_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/tablegen/CMakeFiles/vega_tablegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/vega_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/ast/CMakeFiles/vega_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/lexer/CMakeFiles/vega_lexer.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/vega_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

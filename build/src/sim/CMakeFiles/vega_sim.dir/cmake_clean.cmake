@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vega_sim.dir/Simulator.cpp.o"
+  "CMakeFiles/vega_sim.dir/Simulator.cpp.o.d"
+  "libvega_sim.a"
+  "libvega_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vega_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vega_support.dir/StringUtils.cpp.o"
+  "CMakeFiles/vega_support.dir/StringUtils.cpp.o.d"
+  "CMakeFiles/vega_support.dir/TextTable.cpp.o"
+  "CMakeFiles/vega_support.dir/TextTable.cpp.o.d"
+  "CMakeFiles/vega_support.dir/VirtualFileSystem.cpp.o"
+  "CMakeFiles/vega_support.dir/VirtualFileSystem.cpp.o.d"
+  "libvega_support.a"
+  "libvega_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vega_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

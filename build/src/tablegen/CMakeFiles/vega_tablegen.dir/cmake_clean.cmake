@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vega_tablegen.dir/DescriptionReader.cpp.o"
+  "CMakeFiles/vega_tablegen.dir/DescriptionReader.cpp.o.d"
+  "libvega_tablegen.a"
+  "libvega_tablegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vega_tablegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vega_templatize.dir/FunctionTemplate.cpp.o"
+  "CMakeFiles/vega_templatize.dir/FunctionTemplate.cpp.o.d"
+  "libvega_templatize.a"
+  "libvega_templatize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vega_templatize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_serialization_test.dir/BenchSerializationTest.cpp.o"
+  "CMakeFiles/bench_serialization_test.dir/BenchSerializationTest.cpp.o.d"
+  "bench_serialization_test"
+  "bench_serialization_test.pdb"
+  "bench_serialization_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_serialization_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evalspec_test.dir/EvalSpecTest.cpp.o"
+  "CMakeFiles/evalspec_test.dir/EvalSpecTest.cpp.o.d"
+  "evalspec_test"
+  "evalspec_test.pdb"
+  "evalspec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evalspec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/forkflow_test.dir/ForkflowTest.cpp.o"
+  "CMakeFiles/forkflow_test.dir/ForkflowTest.cpp.o.d"
+  "forkflow_test"
+  "forkflow_test.pdb"
+  "forkflow_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forkflow_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

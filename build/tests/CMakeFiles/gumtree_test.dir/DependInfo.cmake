@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/GumtreeTest.cpp" "tests/CMakeFiles/gumtree_test.dir/GumtreeTest.cpp.o" "gcc" "tests/CMakeFiles/gumtree_test.dir/GumtreeTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/vega_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/forkflow/CMakeFiles/vega_forkflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vega_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/minicc/CMakeFiles/vega_minicc.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/vega_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/vega_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/feature/CMakeFiles/vega_feature.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/vega_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/templatize/CMakeFiles/vega_templatize.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/vega_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/gumtree/CMakeFiles/vega_gumtree.dir/DependInfo.cmake"
+  "/root/repo/build/src/tablegen/CMakeFiles/vega_tablegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/ast/CMakeFiles/vega_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/lexer/CMakeFiles/vega_lexer.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/vega_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

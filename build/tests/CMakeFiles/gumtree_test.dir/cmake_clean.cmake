@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gumtree_test.dir/GumtreeTest.cpp.o"
+  "CMakeFiles/gumtree_test.dir/GumtreeTest.cpp.o.d"
+  "gumtree_test"
+  "gumtree_test.pdb"
+  "gumtree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gumtree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lexer_test.dir/LexerTest.cpp.o"
+  "CMakeFiles/lexer_test.dir/LexerTest.cpp.o.d"
+  "lexer_test"
+  "lexer_test.pdb"
+  "lexer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lexer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

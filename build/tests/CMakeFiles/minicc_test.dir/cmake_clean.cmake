@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minicc_test.dir/MiniccTest.cpp.o"
+  "CMakeFiles/minicc_test.dir/MiniccTest.cpp.o.d"
+  "minicc_test"
+  "minicc_test.pdb"
+  "minicc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minicc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

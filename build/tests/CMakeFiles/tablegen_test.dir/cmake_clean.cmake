@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tablegen_test.dir/TablegenTest.cpp.o"
+  "CMakeFiles/tablegen_test.dir/TablegenTest.cpp.o.d"
+  "tablegen_test"
+  "tablegen_test.pdb"
+  "tablegen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tablegen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/templatize_test.dir/TemplatizeTest.cpp.o"
+  "CMakeFiles/templatize_test.dir/TemplatizeTest.cpp.o.d"
+  "templatize_test"
+  "templatize_test.pdb"
+  "templatize_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/templatize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vega-cli.dir/vega-cli.cpp.o"
+  "CMakeFiles/vega-cli.dir/vega-cli.cpp.o.d"
+  "vega-cli"
+  "vega-cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vega-cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
