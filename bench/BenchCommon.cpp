@@ -10,6 +10,8 @@
 #include "ast/Parser.h"
 #include "forkflow/ForkFlow.h"
 #include "lexer/Lexer.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "support/StringUtils.h"
 
 #include <cstdio>
@@ -26,6 +28,29 @@ int vega::bench::defaultEpochs() {
   return 18;
 }
 
+void vega::bench::initObservability() {
+  static bool Done = [] {
+    const char *TraceOut = std::getenv("VEGA_TRACE_OUT");
+    const char *MetricsOut = std::getenv("VEGA_METRICS_OUT");
+    if (TraceOut && *TraceOut)
+      obs::TraceRecorder::instance().setEnabled(true);
+    if (MetricsOut && *MetricsOut)
+      obs::MetricsRegistry::instance().setEnabled(true);
+    if ((TraceOut && *TraceOut) || (MetricsOut && *MetricsOut))
+      std::atexit([] {
+        if (const char *Path = std::getenv("VEGA_TRACE_OUT"))
+          if (*Path && !obs::TraceRecorder::instance().writeChromeTrace(Path))
+            std::fprintf(stderr, "bench: cannot write trace to '%s'\n", Path);
+        if (const char *Path = std::getenv("VEGA_METRICS_OUT"))
+          if (*Path && !obs::MetricsRegistry::instance().writeJson(Path))
+            std::fprintf(stderr, "bench: cannot write metrics to '%s'\n",
+                         Path);
+      });
+    return true;
+  }();
+  (void)Done;
+}
+
 const BackendCorpus &vega::bench::corpus() {
   static BackendCorpus Corpus =
       BackendCorpus::build(TargetDatabase::standard());
@@ -33,6 +58,7 @@ const BackendCorpus &vega::bench::corpus() {
 }
 
 VegaSystem &vega::bench::system() {
+  initObservability();
   static VegaSystem *Sys = [] {
     VegaOptions Opts;
     Opts.Model.Epochs = defaultEpochs();
@@ -155,6 +181,7 @@ bool vega::bench::deserializeBackend(const std::string &Blob,
 }
 
 const GeneratedBackend &vega::bench::generated(const std::string &Target) {
+  initObservability();
   static std::map<std::string, GeneratedBackend> Cache;
   auto It = Cache.find(Target);
   if (It != Cache.end())

@@ -26,6 +26,12 @@ namespace bench {
 /// Number of fine-tuning epochs used by the bench suite.
 int defaultEpochs();
 
+/// Observability hook for bench runs: when VEGA_TRACE_OUT and/or
+/// VEGA_METRICS_OUT name output files, enables the obs layer and registers
+/// an atexit handler that dumps the Chrome trace / metrics JSON when the
+/// bench binary finishes. Idempotent; called by system() and generated().
+void initObservability();
+
 /// The shared corpus.
 const BackendCorpus &corpus();
 

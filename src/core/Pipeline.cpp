@@ -9,9 +9,10 @@
 
 #include "ast/Parser.h"
 #include "lexer/Lexer.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "support/RNG.h"
 #include "support/StringUtils.h"
-#include "support/Timer.h"
 
 #include <algorithm>
 #include <cassert>
@@ -148,9 +149,11 @@ VegaSystem::findTemplate(const std::string &InterfaceName) const {
 }
 
 double VegaSystem::buildTemplates() {
-  Timer T;
+  obs::Span StageSpan("stage1.build_templates", "stage1");
   Templates.clear();
   for (const FunctionGroup &Group : Corpus.trainingGroups()) {
+    obs::Span GroupSpan("stage1.template", "stage1");
+    GroupSpan.arg("interface", Group.InterfaceName);
     TemplateInfo TI;
     TI.FT = buildFunctionTemplate(Group);
     TI.Features = Selector->analyze(TI.FT);
@@ -192,7 +195,9 @@ double VegaSystem::buildTemplates() {
     Templates.push_back(std::move(TI));
   }
   stateMap()[this].GlobalBools = globalBoolOrder(Templates);
-  return T.seconds();
+  obs::MetricsRegistry::instance().addCounter("stage1.templates",
+                                              Templates.size());
+  return StageSpan.close();
 }
 
 std::vector<std::string>
@@ -444,6 +449,7 @@ void VegaSystem::collectPairsForTarget(const TemplateInfo &TI,
 }
 
 void VegaSystem::buildDataset() {
+  obs::Span StageSpan("stage1.build_dataset", "stage1");
   auto &State = stateMap()[this];
   TrainTexts.clear();
   VerifyTexts.clear();
@@ -530,6 +536,11 @@ void VegaSystem::buildDataset() {
     }
   }
   buildVocab();
+  auto &Metrics = obs::MetricsRegistry::instance();
+  Metrics.addCounter("stage1.train_pairs", TrainTexts.size());
+  Metrics.addCounter("stage1.verify_pairs", VerifyTexts.size());
+  Metrics.setGauge("stage1.vocab_size",
+                   static_cast<double>(Vocabulary.size()));
 }
 
 void VegaSystem::buildVocab() {
@@ -615,6 +626,7 @@ TrainPair VegaSystem::toIds(const TextPair &Pair) const {
 }
 
 void VegaSystem::trainModel() {
+  obs::Span StageSpan("stage2.train_model", "stage2");
   Model = std::make_unique<CodeBE>(Vocabulary, Options.Model);
 
   if (!Options.WeightCachePath.empty()) {
@@ -633,6 +645,7 @@ void VegaSystem::trainModel() {
               Model->loadWeights(Blob.substr(sizeof(VLen) + VLen))) {
             if (Options.Verbose)
               std::fprintf(stderr, "vega: loaded cached CodeBE weights\n");
+            StageSpan.arg("weights", "cached");
             return;
           }
         }
@@ -674,6 +687,8 @@ double VegaSystem::verificationExactMatch(size_t MaxPairs) {
 GeneratedStatement VegaSystem::generateRow(
     const TemplateInfo &TI, const TemplateRow &Row, const std::string &Target,
     const std::optional<std::string> &Assigned, const std::string &CtxValue) {
+  obs::Span RowSpan("gen.row", "stage3");
+  RowSpan.arg("row", std::to_string(Row.Index));
   GeneratedStatement Result;
   Result.RowIndex = Row.Index;
   if (Assigned)
@@ -764,11 +779,18 @@ GeneratedStatement VegaSystem::generateRow(
   Result.Tokens = Lexer::tokenize(Text);
   Result.Emitted = Result.Confidence >= Options.ConfidenceThreshold &&
                    !Result.Tokens.empty();
+  auto &Metrics = obs::MetricsRegistry::instance();
+  Metrics.observe("gen.confidence", Result.Confidence);
+  Metrics.addCounter("gen.statements");
+  if (Result.Emitted)
+    Metrics.addCounter("gen.statements_emitted");
   return Result;
 }
 
 GeneratedBackend VegaSystem::generateBackend(const std::string &TargetName) {
   assert(Model && "trainModel() must run first");
+  obs::Span StageSpan("stage3.generate_backend", "stage3");
+  StageSpan.arg("target", TargetName);
   GeneratedBackend Backend;
   Backend.TargetName = TargetName;
 
@@ -781,7 +803,12 @@ GeneratedBackend VegaSystem::generateBackend(const std::string &TargetName) {
     if (Traits && TI.FT.Module == BackendModule::DIS &&
         !Traits->HasDisassembler)
       continue;
-    Timer FnTimer;
+    // One span per function, named after its backend module so per-module
+    // time (Fig. 7) is a plain aggregation over the trace.
+    obs::Span FnSpan(std::string("gen.") + moduleName(TI.FT.Module),
+                     "stage3");
+    FnSpan.arg("function", TI.FT.InterfaceName);
+    FnSpan.arg("target", TargetName);
     GeneratedFunction Fn;
     Fn.InterfaceName = TI.FT.InterfaceName;
     Fn.Module = TI.FT.Module;
@@ -871,8 +898,15 @@ GeneratedBackend VegaSystem::generateBackend(const std::string &TargetName) {
       Fn.MultiTargetDerived = !SingleCovers;
     }
 
-    Fn.Seconds = FnTimer.seconds();
+    // The span is the single timing source: Seconds/ModuleSeconds carry the
+    // same measurement the trace records, so Fig. 7 and the exported trace
+    // cannot disagree.
+    Fn.Seconds = FnSpan.close();
     Backend.ModuleSeconds[Fn.Module] += Fn.Seconds;
+    auto &Metrics = obs::MetricsRegistry::instance();
+    Metrics.addCounter("gen.functions");
+    if (Fn.Emitted)
+      Metrics.addCounter("gen.functions_emitted");
     Backend.Functions.push_back(std::move(Fn));
   }
   return Backend;

@@ -76,6 +76,8 @@ struct GeneratedFunction {
   /// True when the emitted rows are not all supported by any single
   /// training target (Fig. 8's "derived from multiple targets").
   bool MultiTargetDerived = false;
+  /// Wall-clock generation time, derived from this function's obs span
+  /// (gen.<module>) so traces and Fig. 7 agree by construction.
   double Seconds = 0.0;
 };
 
@@ -83,7 +85,8 @@ struct GeneratedFunction {
 struct GeneratedBackend {
   std::string TargetName;
   std::vector<GeneratedFunction> Functions;
-  /// Wall-clock generation time per module (Fig. 7).
+  /// Wall-clock generation time per module (Fig. 7) — the sum of the
+  /// gen.<module> span durations recorded while generating.
   std::map<BackendModule, double> ModuleSeconds;
 
   const GeneratedFunction *find(const std::string &InterfaceName) const;

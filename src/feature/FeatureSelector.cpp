@@ -8,6 +8,8 @@
 #include "feature/FeatureSelector.h"
 
 #include "corpus/SynthFramework.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "support/StringUtils.h"
 
 #include <algorithm>
@@ -205,6 +207,8 @@ FeatureSelector::classifyFiller(const Token &Filler, const std::string &Target,
 }
 
 TemplateFeatures FeatureSelector::analyze(const FunctionTemplate &FT) const {
+  obs::Span S("stage1.analyze_features", "stage1");
+  S.arg("interface", FT.InterfaceName);
   TemplateFeatures Features;
   std::set<std::string> Locals = collectLocalNames(FT);
   std::set<std::string> SeenProps;
@@ -325,6 +329,7 @@ TemplateFeatures FeatureSelector::analyze(const FunctionTemplate &FT) const {
 std::vector<std::string>
 FeatureSelector::harvestValues(const std::string &Property,
                                const std::string &Target) const {
+  obs::MetricsRegistry::instance().addCounter("feature.harvest_calls");
   std::vector<std::string> Values;
   std::set<std::string> Seen;
   auto Add = [&](const std::string &V) {

@@ -7,8 +7,8 @@
 
 #include "forkflow/ForkFlow.h"
 
+#include "obs/Trace.h"
 #include "support/StringUtils.h"
-#include "support/Timer.h"
 
 #include <cctype>
 
@@ -76,7 +76,10 @@ GeneratedBackend vega::forkflowBackend(const BackendCorpus &Corpus,
     reportFatalError("unknown fork source '" + SourceTarget + "'");
 
   for (const auto &Fn : Source->Functions) {
-    Timer T;
+    obs::Span FnSpan(std::string("gen.") + moduleName(Fn->Module),
+                     "forkflow");
+    FnSpan.arg("function", Fn->InterfaceName);
+    FnSpan.arg("target", NewTarget);
     GeneratedFunction GF;
     GF.InterfaceName = Fn->InterfaceName;
     GF.Module = Fn->Module;
@@ -96,7 +99,7 @@ GeneratedBackend vega::forkflowBackend(const BackendCorpus &Corpus,
     } else {
       GF.AST = std::move(*AST);
     }
-    GF.Seconds = T.seconds();
+    GF.Seconds = FnSpan.close();
     Result.ModuleSeconds[GF.Module] += GF.Seconds;
     Result.Functions.push_back(std::move(GF));
   }

@@ -7,6 +7,8 @@
 
 #include "model/CodeBE.h"
 
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "support/RNG.h"
 
 #include <cassert>
@@ -274,6 +276,8 @@ void CodeBE::train(const std::vector<TrainPair> &Data,
     Order[I] = I;
 
   for (int Epoch = 0; Epoch < Config.Epochs; ++Epoch) {
+    obs::Span EpochSpan("stage2.epoch", "stage2");
+    EpochSpan.arg("epoch", std::to_string(Epoch));
     Shuffler.shuffle(Order);
     double LossSum = 0.0;
     size_t Count = 0;
@@ -303,14 +307,22 @@ void CodeBE::train(const std::vector<TrainPair> &Data,
       ++Count;
       if (++InBatch >= Config.BatchSize) {
         Optimizer.step();
+        obs::MetricsRegistry::instance().addCounter("train.batches");
         InBatch = 0;
       }
     }
-    if (InBatch > 0)
+    if (InBatch > 0) {
       Optimizer.step();
+      obs::MetricsRegistry::instance().addCounter("train.batches");
+    }
     CombDirty = true;
+    double MeanLoss = Count ? LossSum / static_cast<double>(Count) : 0.0;
+    auto &Metrics = obs::MetricsRegistry::instance();
+    Metrics.addCounter("train.epochs");
+    Metrics.addCounter("train.examples", Count);
+    Metrics.setGauge("train.last_loss", MeanLoss);
     if (OnEpoch)
-      OnEpoch(Epoch, Count ? LossSum / static_cast<double>(Count) : 0.0);
+      OnEpoch(Epoch, MeanLoss);
   }
   CombDirty = true;
 }
@@ -396,6 +408,11 @@ CodeBE::Decoded CodeBE::generate(const std::vector<int> &Src,
     Result.Probs.push_back(Prob);
     DstIn.push_back(Best);
   }
+  auto &Metrics = obs::MetricsRegistry::instance();
+  Metrics.addCounter("model.generate_calls");
+  Metrics.observe("model.tokens_decoded",
+                  static_cast<double>(Result.Tokens.size()), 0.0,
+                  static_cast<double>(Config.MaxDstLen + 1), 16);
   return Result;
 }
 

@@ -1,0 +1,213 @@
+//===- obs/Metrics.cpp - Named counters, gauges, histograms ------------------===//
+//
+// Part of the VEGA reproduction project.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Metrics.h"
+
+#include "obs/Trace.h"
+#include "support/TextTable.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+using namespace vega;
+using namespace vega::obs;
+
+namespace {
+
+std::string formatNum(double V) {
+  char Buf[40];
+  std::snprintf(Buf, sizeof(Buf), "%.6g", V);
+  return Buf;
+}
+
+} // namespace
+
+size_t Histogram::bucketFor(double Value) const {
+  if (Buckets.empty())
+    return 0;
+  if (Value < Lo)
+    return 0;
+  if (Value >= Hi)
+    return Buckets.size() - 1;
+  double Width = (Hi - Lo) / static_cast<double>(Buckets.size());
+  size_t Idx = static_cast<size_t>((Value - Lo) / Width);
+  return std::min(Idx, Buckets.size() - 1);
+}
+
+void Histogram::observe(double Value) {
+  if (Buckets.empty())
+    return;
+  if (Count == 0) {
+    MinSeen = MaxSeen = Value;
+  } else {
+    MinSeen = std::min(MinSeen, Value);
+    MaxSeen = std::max(MaxSeen, Value);
+  }
+  ++Buckets[bucketFor(Value)];
+  ++Count;
+  Sum += Value;
+}
+
+MetricsRegistry &MetricsRegistry::instance() {
+  static MetricsRegistry Registry;
+  return Registry;
+}
+
+void MetricsRegistry::clear() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Counters.clear();
+  Gauges.clear();
+  Histograms.clear();
+}
+
+void MetricsRegistry::addCounter(const std::string &Name, uint64_t Delta) {
+  if (!enabled())
+    return;
+  std::lock_guard<std::mutex> Lock(Mu);
+  Counters[Name] += Delta;
+}
+
+void MetricsRegistry::setGauge(const std::string &Name, double Value) {
+  if (!enabled())
+    return;
+  std::lock_guard<std::mutex> Lock(Mu);
+  Gauges[Name] = Value;
+}
+
+void MetricsRegistry::defineHistogram(const std::string &Name, double Lo,
+                                      double Hi, size_t BucketCount) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Histograms.find(Name);
+  if (It != Histograms.end())
+    return;
+  Histogram &H = Histograms[Name];
+  H.Lo = Lo;
+  H.Hi = Hi > Lo ? Hi : Lo + 1.0;
+  H.Buckets.assign(std::max<size_t>(1, BucketCount), 0);
+}
+
+void MetricsRegistry::observe(const std::string &Name, double Value) {
+  observe(Name, Value, 0.0, 1.0, 10);
+}
+
+void MetricsRegistry::observe(const std::string &Name, double Value, double Lo,
+                              double Hi, size_t BucketCount) {
+  if (!enabled())
+    return;
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Histograms.find(Name);
+  if (It == Histograms.end()) {
+    Histogram &H = Histograms[Name];
+    H.Lo = Lo;
+    H.Hi = Hi > Lo ? Hi : Lo + 1.0;
+    H.Buckets.assign(std::max<size_t>(1, BucketCount), 0);
+    It = Histograms.find(Name);
+  }
+  It->second.observe(Value);
+}
+
+uint64_t MetricsRegistry::counterValue(const std::string &Name) const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Counters.find(Name);
+  return It == Counters.end() ? 0 : It->second;
+}
+
+std::optional<double> MetricsRegistry::gaugeValue(const std::string &Name) const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Gauges.find(Name);
+  if (It == Gauges.end())
+    return std::nullopt;
+  return It->second;
+}
+
+std::optional<Histogram>
+MetricsRegistry::histogram(const std::string &Name) const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Histograms.find(Name);
+  if (It == Histograms.end())
+    return std::nullopt;
+  return It->second;
+}
+
+size_t MetricsRegistry::metricCount() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Counters.size() + Gauges.size() + Histograms.size();
+}
+
+std::string MetricsRegistry::exportJson() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  std::string Out = "{\n  \"counters\": {";
+  bool First = true;
+  for (const auto &[Name, Value] : Counters) {
+    Out += First ? "\n" : ",\n";
+    First = false;
+    Out += "    \"" + jsonEscape(Name) + "\": " + std::to_string(Value);
+  }
+  Out += "\n  },\n  \"gauges\": {";
+  First = true;
+  for (const auto &[Name, Value] : Gauges) {
+    Out += First ? "\n" : ",\n";
+    First = false;
+    Out += "    \"" + jsonEscape(Name) + "\": " + formatNum(Value);
+  }
+  Out += "\n  },\n  \"histograms\": {";
+  First = true;
+  for (const auto &[Name, H] : Histograms) {
+    Out += First ? "\n" : ",\n";
+    First = false;
+    Out += "    \"" + jsonEscape(Name) + "\": {\"lo\": " + formatNum(H.Lo) +
+           ", \"hi\": " + formatNum(H.Hi) +
+           ", \"count\": " + std::to_string(H.Count) +
+           ", \"sum\": " + formatNum(H.Sum) +
+           ", \"min\": " + formatNum(H.MinSeen) +
+           ", \"max\": " + formatNum(H.MaxSeen) + ", \"buckets\": [";
+    for (size_t I = 0; I < H.Buckets.size(); ++I) {
+      if (I)
+        Out += ", ";
+      Out += std::to_string(H.Buckets[I]);
+    }
+    Out += "]}";
+  }
+  Out += "\n  }\n}\n";
+  return Out;
+}
+
+bool MetricsRegistry::writeJson(const std::string &Path) const {
+  std::ofstream Out(Path);
+  if (!Out)
+    return false;
+  Out << exportJson();
+  return static_cast<bool>(Out);
+}
+
+std::string MetricsRegistry::textSummary() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  TextTable Table;
+  Table.setHeader({"Metric", "Kind", "Value", "Detail"});
+  for (const auto &[Name, Value] : Counters)
+    Table.addRow({Name, "counter", std::to_string(Value), ""});
+  for (const auto &[Name, Value] : Gauges)
+    Table.addRow({Name, "gauge", formatNum(Value), ""});
+  for (const auto &[Name, H] : Histograms) {
+    std::string Detail = "n=" + std::to_string(H.Count) +
+                         " mean=" + formatNum(H.mean()) +
+                         " min=" + formatNum(H.MinSeen) +
+                         " max=" + formatNum(H.MaxSeen);
+    std::string Sparkline;
+    uint64_t Peak = 0;
+    for (uint64_t B : H.Buckets)
+      Peak = std::max(Peak, B);
+    for (uint64_t B : H.Buckets) {
+      static const char *Levels[] = {" ", ".", ":", "-", "=", "#"};
+      size_t L = Peak ? (B * 5 + Peak - 1) / Peak : 0;
+      Sparkline += Levels[std::min<size_t>(L, 5)];
+    }
+    Table.addRow({Name, "histogram", "[" + Sparkline + "]", Detail});
+  }
+  return Table.render();
+}

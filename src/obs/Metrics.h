@@ -1,0 +1,104 @@
+//===- obs/Metrics.h - Named counters, gauges, histograms --------*- C++ -*-===//
+//
+// Part of the VEGA reproduction project.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A process-wide, thread-safe metrics registry: monotonically increasing
+/// counters, last-write-wins gauges, and fixed-bucket histograms (e.g. the
+/// per-statement confidence distribution and the tokens-decoded
+/// distribution). Like the TraceRecorder, it is disabled by default and a
+/// disabled mutation costs one atomic load.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VEGA_OBS_METRICS_H
+#define VEGA_OBS_METRICS_H
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace vega {
+namespace obs {
+
+/// A fixed-bucket histogram over [Lo, Hi). Out-of-range observations clamp
+/// into the first/last bucket so Count always equals the sum of Buckets.
+struct Histogram {
+  double Lo = 0.0, Hi = 1.0;
+  std::vector<uint64_t> Buckets;
+  uint64_t Count = 0;
+  double Sum = 0.0;
+  double MinSeen = 0.0, MaxSeen = 0.0;
+
+  /// Index of the bucket \p Value falls into (clamped to the edge buckets).
+  size_t bucketFor(double Value) const;
+
+  void observe(double Value);
+
+  double mean() const { return Count ? Sum / static_cast<double>(Count) : 0.0; }
+};
+
+class MetricsRegistry {
+public:
+  static MetricsRegistry &instance();
+
+  void setEnabled(bool On) { Enabled.store(On, std::memory_order_relaxed); }
+  bool enabled() const { return Enabled.load(std::memory_order_relaxed); }
+
+  /// Drops every metric (definitions included).
+  void clear();
+
+  void addCounter(const std::string &Name, uint64_t Delta = 1);
+  void setGauge(const std::string &Name, double Value);
+
+  /// Declares a histogram's shape. Safe to call repeatedly; the first call
+  /// wins. Works while disabled so shapes survive an enable toggle.
+  void defineHistogram(const std::string &Name, double Lo, double Hi,
+                       size_t BucketCount);
+
+  /// Records \p Value into histogram \p Name, defining it as 10 buckets over
+  /// [0, 1) when it does not exist yet.
+  void observe(const std::string &Name, double Value);
+
+  /// Records \p Value, defining the histogram with the given shape when it
+  /// does not exist yet (the usual call for non-unit-interval metrics).
+  void observe(const std::string &Name, double Value, double Lo, double Hi,
+               size_t BucketCount);
+
+  // ---- Read side (tests, exporters) ----
+  uint64_t counterValue(const std::string &Name) const;
+  std::optional<double> gaugeValue(const std::string &Name) const;
+  std::optional<Histogram> histogram(const std::string &Name) const;
+  /// Total number of distinct metrics (counters + gauges + histograms).
+  size_t metricCount() const;
+
+  /// All metrics as one JSON object, keyed by name within kind.
+  std::string exportJson() const;
+
+  /// Writes exportJson() to \p Path; false on I/O failure.
+  bool writeJson(const std::string &Path) const;
+
+  /// A human-readable summary (support/TextTable) for `vega-cli --stats`.
+  std::string textSummary() const;
+
+private:
+  MetricsRegistry() = default;
+
+  std::atomic<bool> Enabled{false};
+  mutable std::mutex Mu;
+  std::map<std::string, uint64_t> Counters;
+  std::map<std::string, double> Gauges;
+  std::map<std::string, Histogram> Histograms;
+};
+
+} // namespace obs
+} // namespace vega
+
+#endif // VEGA_OBS_METRICS_H

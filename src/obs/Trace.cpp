@@ -1,0 +1,189 @@
+//===- obs/Trace.cpp - Pipeline-wide tracing ---------------------------------===//
+//
+// Part of the VEGA reproduction project.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <thread>
+
+using namespace vega;
+using namespace vega::obs;
+
+namespace {
+
+/// Per-thread span nesting depth (only maintained while recording).
+thread_local int CurrentDepth = 0;
+
+uint64_t currentThreadId() {
+  thread_local uint64_t Id =
+      std::hash<std::thread::id>{}(std::this_thread::get_id());
+  return Id;
+}
+
+std::string formatUs(double Us) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%.3f", Us);
+  return Buf;
+}
+
+} // namespace
+
+std::string obs::jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+TraceRecorder &TraceRecorder::instance() {
+  static TraceRecorder Recorder;
+  return Recorder;
+}
+
+TraceRecorder::TraceRecorder() : Epoch(std::chrono::steady_clock::now()) {}
+
+double
+TraceRecorder::sinceEpochUs(std::chrono::steady_clock::time_point T) const {
+  return std::chrono::duration<double, std::micro>(T - Epoch).count();
+}
+
+void TraceRecorder::clear() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Events.clear();
+}
+
+size_t TraceRecorder::eventCount() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Events.size();
+}
+
+void TraceRecorder::record(TraceEvent E) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Events.push_back(std::move(E));
+}
+
+std::vector<TraceEvent> TraceRecorder::snapshot() const {
+  std::vector<TraceEvent> Copy;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Copy = Events;
+  }
+  std::sort(Copy.begin(), Copy.end(),
+            [](const TraceEvent &A, const TraceEvent &B) {
+              return A.StartUs < B.StartUs;
+            });
+  return Copy;
+}
+
+std::string TraceRecorder::exportChromeTrace() const {
+  std::vector<TraceEvent> Sorted = snapshot();
+  std::string Out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool First = true;
+  for (const TraceEvent &E : Sorted) {
+    if (!First)
+      Out += ",";
+    First = false;
+    Out += "\n{\"name\":\"" + jsonEscape(E.Name) + "\",\"cat\":\"" +
+           jsonEscape(E.Category) + "\",\"ph\":\"X\",\"ts\":" +
+           formatUs(E.StartUs) + ",\"dur\":" + formatUs(E.DurUs) +
+           ",\"pid\":1,\"tid\":" + std::to_string(E.ThreadId % 100000) +
+           ",\"args\":{";
+    bool FirstArg = true;
+    for (const auto &[K, V] : E.Args) {
+      if (!FirstArg)
+        Out += ",";
+      FirstArg = false;
+      Out += "\"" + jsonEscape(K) + "\":\"" + jsonEscape(V) + "\"";
+    }
+    if (!FirstArg)
+      Out += ",";
+    Out += "\"depth\":\"" + std::to_string(E.Depth) + "\"}}";
+  }
+  Out += "\n]}\n";
+  return Out;
+}
+
+bool TraceRecorder::writeChromeTrace(const std::string &Path) const {
+  std::ofstream Out(Path);
+  if (!Out)
+    return false;
+  Out << exportChromeTrace();
+  return static_cast<bool>(Out);
+}
+
+Span::Span(std::string Name, std::string Category)
+    : Name(std::move(Name)), Category(std::move(Category)),
+      Start(std::chrono::steady_clock::now()),
+      Recording(TraceRecorder::instance().enabled()) {
+  if (Recording)
+    Depth = CurrentDepth++;
+}
+
+Span::~Span() { close(); }
+
+void Span::arg(const std::string &Key, std::string Value) {
+  if (Recording && !Closed)
+    Args.emplace_back(Key, std::move(Value));
+}
+
+double Span::seconds() const {
+  if (Closed)
+    return ElapsedSec;
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       Start)
+      .count();
+}
+
+double Span::close() {
+  if (Closed)
+    return ElapsedSec;
+  auto End = std::chrono::steady_clock::now();
+  ElapsedSec = std::chrono::duration<double>(End - Start).count();
+  Closed = true;
+  if (Recording) {
+    --CurrentDepth;
+    TraceRecorder &Rec = TraceRecorder::instance();
+    TraceEvent E;
+    E.Name = std::move(Name);
+    E.Category = std::move(Category);
+    E.StartUs = Rec.sinceEpochUs(Start);
+    E.DurUs = ElapsedSec * 1e6;
+    E.ThreadId = currentThreadId();
+    E.Depth = Depth;
+    E.Args = std::move(Args);
+    Rec.record(std::move(E));
+  }
+  return ElapsedSec;
+}

@@ -1,0 +1,118 @@
+//===- obs/Trace.h - Pipeline-wide tracing -----------------------*- C++ -*-===//
+//
+// Part of the VEGA reproduction project.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A process-wide, thread-safe trace recorder with scoped RAII spans and
+/// Chrome-trace (chrome://tracing / Perfetto) JSON export. Disabled by
+/// default: a Span constructed while the recorder is off costs one
+/// steady-clock read and an atomic load, and records nothing.
+///
+/// The recorder is the single timing source for the pipeline: the Fig. 7
+/// fields (GeneratedFunction::Seconds, GeneratedBackend::ModuleSeconds) are
+/// derived from Span::close() so the bench numbers and the exported traces
+/// can never disagree.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VEGA_OBS_TRACE_H
+#define VEGA_OBS_TRACE_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace vega {
+namespace obs {
+
+/// One completed span ("X" phase event in the Chrome trace format).
+struct TraceEvent {
+  std::string Name;
+  std::string Category;
+  double StartUs = 0.0; ///< microseconds since the recorder epoch
+  double DurUs = 0.0;   ///< span duration in microseconds
+  uint64_t ThreadId = 0;
+  int Depth = 0; ///< nesting depth within its thread at record time
+  std::vector<std::pair<std::string, std::string>> Args;
+};
+
+/// The process-wide recorder. All mutation goes through Span.
+class TraceRecorder {
+public:
+  static TraceRecorder &instance();
+
+  void setEnabled(bool On) { Enabled.store(On, std::memory_order_relaxed); }
+  bool enabled() const { return Enabled.load(std::memory_order_relaxed); }
+
+  /// Drops every recorded event (the epoch is preserved).
+  void clear();
+
+  size_t eventCount() const;
+
+  /// A copy of the recorded events, ordered by start time.
+  std::vector<TraceEvent> snapshot() const;
+
+  /// The full trace as Chrome-trace JSON ({"traceEvents": [...]}).
+  std::string exportChromeTrace() const;
+
+  /// Writes exportChromeTrace() to \p Path; false on I/O failure.
+  bool writeChromeTrace(const std::string &Path) const;
+
+private:
+  friend class Span;
+  TraceRecorder();
+
+  double sinceEpochUs(std::chrono::steady_clock::time_point T) const;
+  void record(TraceEvent E);
+
+  std::atomic<bool> Enabled{false};
+  std::chrono::steady_clock::time_point Epoch;
+  mutable std::mutex Mu;
+  std::vector<TraceEvent> Events;
+};
+
+/// A scoped span. Construction samples the clock; destruction (or an
+/// explicit close()) records a TraceEvent when the recorder was enabled at
+/// construction time. Spans nest per thread via a thread-local depth.
+class Span {
+public:
+  explicit Span(std::string Name, std::string Category = "vega");
+  ~Span();
+  Span(const Span &) = delete;
+  Span &operator=(const Span &) = delete;
+
+  /// Attaches a key/value argument (dropped when not recording).
+  void arg(const std::string &Key, std::string Value);
+
+  /// Elapsed seconds since construction (valid before and after close()).
+  double seconds() const;
+
+  /// Ends the span now, records it, and returns the elapsed seconds — the
+  /// canonical duration for any bookkeeping derived from this span.
+  double close();
+
+private:
+  std::string Name, Category;
+  std::vector<std::pair<std::string, std::string>> Args;
+  std::chrono::steady_clock::time_point Start;
+  double ElapsedSec = 0.0;
+  int Depth = 0;
+  bool Recording = false;
+  bool Closed = false;
+};
+
+/// Escapes \p S for embedding in a JSON string literal (shared with the
+/// metrics exporter).
+std::string jsonEscape(const std::string &S);
+
+} // namespace obs
+} // namespace vega
+
+#endif // VEGA_OBS_TRACE_H

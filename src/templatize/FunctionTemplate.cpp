@@ -9,6 +9,8 @@
 
 #include "gumtree/LCS.h"
 #include "gumtree/Matcher.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 
 #include <algorithm>
 #include <cassert>
@@ -427,6 +429,12 @@ private:
 } // namespace
 
 FunctionTemplate vega::buildFunctionTemplate(const FunctionGroup &Group) {
+  obs::Span S("stage1.templatize", "stage1");
+  S.arg("interface", Group.InterfaceName);
+  S.arg("members", std::to_string(Group.Members.size()));
   TemplateBuilder Builder(Group);
-  return Builder.build();
+  FunctionTemplate FT = Builder.build();
+  obs::MetricsRegistry::instance().addCounter("templatize.rows",
+                                              FT.rows().size());
+  return FT;
 }

@@ -15,6 +15,8 @@
 #include "eval/Harness.h"
 #include "forkflow/ForkFlow.h"
 #include "minicc/Benchmarks.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "sim/Simulator.h"
 
 #include <gtest/gtest.h>
@@ -129,6 +131,62 @@ TEST(Integration, ConfidenceScoresAreBounded) {
         EXPECT_GE(S.Confidence, 0.5);
     }
   }
+}
+
+TEST(Integration, TraceCoversAllModulesAndAgreesWithFig7) {
+  auto &Rec = obs::TraceRecorder::instance();
+  auto &Metrics = obs::MetricsRegistry::instance();
+  Rec.clear();
+  Rec.setEnabled(true);
+  Metrics.clear();
+  Metrics.setEnabled(true);
+  GeneratedBackend GB = trainedSystem().generateBackend("RISCV");
+  Rec.setEnabled(false);
+  Metrics.setEnabled(false);
+
+  std::vector<obs::TraceEvent> Events = Rec.snapshot();
+  // One gen.<module> span per generated function, for all 7 modules.
+  std::map<std::string, size_t> SpanCount;
+  std::map<std::string, double> SpanSeconds;
+  for (const obs::TraceEvent &E : Events) {
+    if (E.Name.rfind("gen.", 0) == 0 && E.Name != "gen.row") {
+      ++SpanCount[E.Name];
+      SpanSeconds[E.Name] += E.DurUs / 1e6;
+    }
+  }
+  for (BackendModule Module : AllModules) {
+    std::string Name = std::string("gen.") + moduleName(Module);
+    EXPECT_GT(SpanCount[Name], 0u) << Name;
+    // Dedup check: Fig. 7's ModuleSeconds must equal the trace's per-module
+    // span totals — they are the same measurement by construction.
+    auto It = GB.ModuleSeconds.find(Module);
+    ASSERT_NE(It, GB.ModuleSeconds.end()) << Name;
+    EXPECT_NEAR(It->second, SpanSeconds[Name], 1e-9) << Name;
+  }
+  // The stage-3 umbrella span nests the per-function spans.
+  bool SawStage3 = false;
+  for (const obs::TraceEvent &E : Events)
+    if (E.Name == "stage3.generate_backend") {
+      SawStage3 = true;
+      EXPECT_EQ(E.Depth, 0);
+    }
+  EXPECT_TRUE(SawStage3);
+  // Per-row spans nest beneath the function spans.
+  bool SawRow = false;
+  for (const obs::TraceEvent &E : Events)
+    if (E.Name == "gen.row") {
+      SawRow = true;
+      EXPECT_GE(E.Depth, 2);
+    }
+  EXPECT_TRUE(SawRow);
+
+  // The metrics side: ≥5 distinct metrics including the confidence
+  // histogram, and the counters agree with the generated backend.
+  EXPECT_GE(Metrics.metricCount(), 5u);
+  std::optional<obs::Histogram> Conf = Metrics.histogram("gen.confidence");
+  ASSERT_TRUE(Conf.has_value());
+  EXPECT_GT(Conf->Count, 0u);
+  EXPECT_EQ(Metrics.counterValue("gen.functions"), GB.Functions.size());
 }
 
 TEST(Integration, WeightCacheRoundTrips) {

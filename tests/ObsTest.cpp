@@ -1,0 +1,397 @@
+//===- tests/ObsTest.cpp - tracing & metrics layer tests -----------------------===//
+//
+// Part of the VEGA reproduction project.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+///
+/// src/obs: span nesting and depth, histogram bucketing, the disabled
+/// fast path, thread-safety smoke tests, and a Chrome-trace JSON round-trip
+/// through a minimal JSON validity checker.
+///
+//===----------------------------------------------------------------------===//
+
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+using namespace vega;
+using namespace vega::obs;
+
+namespace {
+
+/// Minimal recursive-descent JSON validity checker (objects, arrays,
+/// strings, numbers, literals). Returns true iff \p Text is one valid JSON
+/// value with nothing trailing.
+class JsonChecker {
+public:
+  explicit JsonChecker(const std::string &Text) : S(Text) {}
+
+  bool valid() {
+    skipWs();
+    if (!value())
+      return false;
+    skipWs();
+    return I == S.size();
+  }
+
+private:
+  const std::string &S;
+  size_t I = 0;
+
+  void skipWs() {
+    while (I < S.size() && std::isspace(static_cast<unsigned char>(S[I])))
+      ++I;
+  }
+  bool consume(char C) {
+    if (I < S.size() && S[I] == C) {
+      ++I;
+      return true;
+    }
+    return false;
+  }
+  bool literal(const char *Lit) {
+    size_t N = std::strlen(Lit);
+    if (S.compare(I, N, Lit) != 0)
+      return false;
+    I += N;
+    return true;
+  }
+  bool string() {
+    if (!consume('"'))
+      return false;
+    while (I < S.size() && S[I] != '"') {
+      if (S[I] == '\\') {
+        ++I;
+        if (I >= S.size())
+          return false;
+        if (S[I] == 'u') {
+          for (int K = 0; K < 4; ++K)
+            if (++I >= S.size() ||
+                !std::isxdigit(static_cast<unsigned char>(S[I])))
+              return false;
+        }
+      }
+      ++I;
+    }
+    return consume('"');
+  }
+  bool number() {
+    size_t Begin = I;
+    if (I < S.size() && S[I] == '-')
+      ++I;
+    while (I < S.size() && std::isdigit(static_cast<unsigned char>(S[I])))
+      ++I;
+    if (I == Begin || (Begin + 1 == I && S[Begin] == '-'))
+      return false;
+    if (consume('.')) {
+      if (I >= S.size() || !std::isdigit(static_cast<unsigned char>(S[I])))
+        return false;
+      while (I < S.size() && std::isdigit(static_cast<unsigned char>(S[I])))
+        ++I;
+    }
+    if (I < S.size() && (S[I] == 'e' || S[I] == 'E')) {
+      ++I;
+      if (I < S.size() && (S[I] == '+' || S[I] == '-'))
+        ++I;
+      if (I >= S.size() || !std::isdigit(static_cast<unsigned char>(S[I])))
+        return false;
+      while (I < S.size() && std::isdigit(static_cast<unsigned char>(S[I])))
+        ++I;
+    }
+    return true;
+  }
+  bool value() {
+    skipWs();
+    if (I >= S.size())
+      return false;
+    switch (S[I]) {
+    case '{': {
+      ++I;
+      skipWs();
+      if (consume('}'))
+        return true;
+      do {
+        skipWs();
+        if (!string())
+          return false;
+        skipWs();
+        if (!consume(':') || !value())
+          return false;
+        skipWs();
+      } while (consume(','));
+      return consume('}');
+    }
+    case '[': {
+      ++I;
+      skipWs();
+      if (consume(']'))
+        return true;
+      do {
+        if (!value())
+          return false;
+        skipWs();
+      } while (consume(','));
+      return consume(']');
+    }
+    case '"':
+      return string();
+    case 't':
+      return literal("true");
+    case 'f':
+      return literal("false");
+    case 'n':
+      return literal("null");
+    default:
+      return number();
+    }
+  }
+};
+
+class ObsTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    TraceRecorder::instance().clear();
+    TraceRecorder::instance().setEnabled(true);
+    MetricsRegistry::instance().clear();
+    MetricsRegistry::instance().setEnabled(true);
+  }
+  void TearDown() override {
+    TraceRecorder::instance().setEnabled(false);
+    TraceRecorder::instance().clear();
+    MetricsRegistry::instance().setEnabled(false);
+    MetricsRegistry::instance().clear();
+  }
+};
+
+const TraceEvent *findEvent(const std::vector<TraceEvent> &Events,
+                            const std::string &Name) {
+  for (const TraceEvent &E : Events)
+    if (E.Name == Name)
+      return &E;
+  return nullptr;
+}
+
+} // namespace
+
+TEST_F(ObsTest, SpansNestAndRecordDepth) {
+  {
+    Span Outer("outer");
+    {
+      Span Mid("mid");
+      { Span Inner("inner"); }
+    }
+    { Span Sibling("sibling"); }
+  }
+  std::vector<TraceEvent> Events = TraceRecorder::instance().snapshot();
+  ASSERT_EQ(Events.size(), 4u);
+  const TraceEvent *Outer = findEvent(Events, "outer");
+  const TraceEvent *Mid = findEvent(Events, "mid");
+  const TraceEvent *Inner = findEvent(Events, "inner");
+  const TraceEvent *Sibling = findEvent(Events, "sibling");
+  ASSERT_TRUE(Outer && Mid && Inner && Sibling);
+  EXPECT_EQ(Outer->Depth, 0);
+  EXPECT_EQ(Mid->Depth, 1);
+  EXPECT_EQ(Inner->Depth, 2);
+  EXPECT_EQ(Sibling->Depth, 1);
+  // Containment: each child's window lies inside its parent's.
+  EXPECT_GE(Mid->StartUs, Outer->StartUs);
+  EXPECT_LE(Mid->StartUs + Mid->DurUs, Outer->StartUs + Outer->DurUs + 1.0);
+  EXPECT_GE(Inner->StartUs, Mid->StartUs);
+  EXPECT_LE(Inner->StartUs + Inner->DurUs, Mid->StartUs + Mid->DurUs + 1.0);
+}
+
+TEST_F(ObsTest, CloseReturnsTheRecordedDuration) {
+  Span S("timed");
+  double Sec = S.close();
+  EXPECT_GE(Sec, 0.0);
+  // close() is idempotent and stable.
+  EXPECT_EQ(S.close(), Sec);
+  std::vector<TraceEvent> Events = TraceRecorder::instance().snapshot();
+  ASSERT_EQ(Events.size(), 1u);
+  EXPECT_NEAR(Events[0].DurUs, Sec * 1e6, 1e-6);
+}
+
+TEST_F(ObsTest, DisabledSpansRecordNothing) {
+  TraceRecorder::instance().setEnabled(false);
+  {
+    Span S("invisible");
+    S.arg("key", "value");
+    EXPECT_GE(S.close(), 0.0); // timing still works for derived bookkeeping
+  }
+  EXPECT_EQ(TraceRecorder::instance().eventCount(), 0u);
+
+  MetricsRegistry::instance().setEnabled(false);
+  MetricsRegistry::instance().addCounter("nope");
+  MetricsRegistry::instance().setGauge("nope", 1.0);
+  MetricsRegistry::instance().observe("nope", 0.5);
+  EXPECT_EQ(MetricsRegistry::instance().counterValue("nope"), 0u);
+  EXPECT_FALSE(MetricsRegistry::instance().gaugeValue("nope").has_value());
+  EXPECT_FALSE(MetricsRegistry::instance().histogram("nope").has_value());
+}
+
+TEST_F(ObsTest, SpanArgsAppearInExport) {
+  {
+    Span S("generate", "stage3");
+    S.arg("target", "RISCV");
+  }
+  std::string Json = TraceRecorder::instance().exportChromeTrace();
+  EXPECT_NE(Json.find("\"generate\""), std::string::npos);
+  EXPECT_NE(Json.find("\"stage3\""), std::string::npos);
+  EXPECT_NE(Json.find("\"target\":\"RISCV\""), std::string::npos);
+}
+
+TEST_F(ObsTest, ChromeTraceJsonRoundTrip) {
+  {
+    Span A("outer \"quoted\" name");
+    A.arg("path", "a\\b\nnewline");
+    Span B("inner");
+  }
+  std::string Json = TraceRecorder::instance().exportChromeTrace();
+  EXPECT_TRUE(JsonChecker(Json).valid()) << Json;
+  // The Chrome trace envelope chrome://tracing and Perfetto expect.
+  EXPECT_NE(Json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(Json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(Json.find("\"ts\":"), std::string::npos);
+  EXPECT_NE(Json.find("\"dur\":"), std::string::npos);
+}
+
+TEST_F(ObsTest, CountersAndGauges) {
+  auto &M = MetricsRegistry::instance();
+  M.addCounter("hits");
+  M.addCounter("hits", 4);
+  EXPECT_EQ(M.counterValue("hits"), 5u);
+  EXPECT_EQ(M.counterValue("missing"), 0u);
+  M.setGauge("loss", 0.75);
+  M.setGauge("loss", 0.25);
+  ASSERT_TRUE(M.gaugeValue("loss").has_value());
+  EXPECT_DOUBLE_EQ(*M.gaugeValue("loss"), 0.25);
+  EXPECT_EQ(M.metricCount(), 2u);
+}
+
+TEST_F(ObsTest, HistogramBucketing) {
+  auto &M = MetricsRegistry::instance();
+  M.defineHistogram("conf", 0.0, 1.0, 10);
+  M.observe("conf", 0.0);   // bucket 0
+  M.observe("conf", 0.05);  // bucket 0
+  M.observe("conf", 0.55);  // bucket 5
+  M.observe("conf", 0.999); // bucket 9
+  M.observe("conf", 1.0);   // >= hi clamps into the last bucket
+  M.observe("conf", -3.0);  // < lo clamps into the first bucket
+  std::optional<Histogram> H = M.histogram("conf");
+  ASSERT_TRUE(H.has_value());
+  ASSERT_EQ(H->Buckets.size(), 10u);
+  EXPECT_EQ(H->Buckets[0], 3u);
+  EXPECT_EQ(H->Buckets[5], 1u);
+  EXPECT_EQ(H->Buckets[9], 2u);
+  EXPECT_EQ(H->Count, 6u);
+  EXPECT_DOUBLE_EQ(H->MinSeen, -3.0);
+  EXPECT_DOUBLE_EQ(H->MaxSeen, 1.0);
+  uint64_t Total = 0;
+  for (uint64_t B : H->Buckets)
+    Total += B;
+  EXPECT_EQ(Total, H->Count);
+}
+
+TEST_F(ObsTest, ObserveAutoDefinesWithGivenShape) {
+  auto &M = MetricsRegistry::instance();
+  M.observe("tokens", 30.0, 0.0, 60.0, 6);
+  M.observe("tokens", 59.0, 0.0, 60.0, 6); // shape from the first call wins
+  std::optional<Histogram> H = M.histogram("tokens");
+  ASSERT_TRUE(H.has_value());
+  ASSERT_EQ(H->Buckets.size(), 6u);
+  EXPECT_EQ(H->Buckets[3], 1u);
+  EXPECT_EQ(H->Buckets[5], 1u);
+  // The bare overload defaults to 10 buckets over [0, 1).
+  M.observe("unit", 0.31);
+  std::optional<Histogram> U = M.histogram("unit");
+  ASSERT_TRUE(U.has_value());
+  ASSERT_EQ(U->Buckets.size(), 10u);
+  EXPECT_EQ(U->Buckets[3], 1u);
+}
+
+TEST_F(ObsTest, MetricsJsonExportIsValid) {
+  auto &M = MetricsRegistry::instance();
+  M.addCounter("gen.statements", 12);
+  M.setGauge("train.last_loss", 0.125);
+  M.observe("gen.confidence", 0.7);
+  std::string Json = M.exportJson();
+  EXPECT_TRUE(JsonChecker(Json).valid()) << Json;
+  EXPECT_NE(Json.find("\"gen.statements\": 12"), std::string::npos);
+  EXPECT_NE(Json.find("\"train.last_loss\""), std::string::npos);
+  EXPECT_NE(Json.find("\"gen.confidence\""), std::string::npos);
+  // Empty registries still export valid JSON.
+  M.clear();
+  EXPECT_TRUE(JsonChecker(M.exportJson()).valid());
+}
+
+TEST_F(ObsTest, TextSummaryListsEveryMetric) {
+  auto &M = MetricsRegistry::instance();
+  M.addCounter("gen.functions", 3);
+  M.setGauge("stage1.vocab_size", 512);
+  M.observe("gen.confidence", 0.9);
+  std::string Text = M.textSummary();
+  EXPECT_NE(Text.find("gen.functions"), std::string::npos);
+  EXPECT_NE(Text.find("stage1.vocab_size"), std::string::npos);
+  EXPECT_NE(Text.find("gen.confidence"), std::string::npos);
+  EXPECT_NE(Text.find("histogram"), std::string::npos);
+}
+
+TEST_F(ObsTest, ThreadSafetySmoke) {
+  auto &M = MetricsRegistry::instance();
+  constexpr int Threads = 8;
+  constexpr int PerThread = 200;
+  std::vector<std::thread> Pool;
+  for (int T = 0; T < Threads; ++T)
+    Pool.emplace_back([&M, T] {
+      for (int I = 0; I < PerThread; ++I) {
+        Span S("worker");
+        S.arg("thread", std::to_string(T));
+        M.addCounter("work.items");
+        M.observe("work.values",
+                  static_cast<double>(I % 100) / 100.0);
+      }
+    });
+  for (std::thread &T : Pool)
+    T.join();
+  EXPECT_EQ(TraceRecorder::instance().eventCount(),
+            static_cast<size_t>(Threads * PerThread));
+  EXPECT_EQ(M.counterValue("work.items"),
+            static_cast<uint64_t>(Threads * PerThread));
+  std::optional<Histogram> H = M.histogram("work.values");
+  ASSERT_TRUE(H.has_value());
+  EXPECT_EQ(H->Count, static_cast<uint64_t>(Threads * PerThread));
+  // The concurrent trace still exports valid JSON.
+  EXPECT_TRUE(JsonChecker(TraceRecorder::instance().exportChromeTrace())
+                  .valid());
+}
+
+TEST_F(ObsTest, WriteFilesRoundTrip) {
+  {
+    Span S("file-span");
+  }
+  MetricsRegistry::instance().addCounter("file.counter");
+  std::string TracePath = ::testing::TempDir() + "obs_trace.json";
+  std::string MetricsPath = ::testing::TempDir() + "obs_metrics.json";
+  ASSERT_TRUE(TraceRecorder::instance().writeChromeTrace(TracePath));
+  ASSERT_TRUE(MetricsRegistry::instance().writeJson(MetricsPath));
+  auto Slurp = [](const std::string &Path) {
+    std::ifstream In(Path);
+    std::stringstream Buf;
+    Buf << In.rdbuf();
+    return Buf.str();
+  };
+  std::string Trace = Slurp(TracePath);
+  std::string Metrics = Slurp(MetricsPath);
+  EXPECT_TRUE(JsonChecker(Trace).valid());
+  EXPECT_TRUE(JsonChecker(Metrics).valid());
+  EXPECT_NE(Trace.find("file-span"), std::string::npos);
+  EXPECT_NE(Metrics.find("file.counter"), std::string::npos);
+}

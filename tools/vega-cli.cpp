@@ -17,11 +17,19 @@
 ///   vega-cli evaluate <target> [epochs]   generate + pass@1 report
 ///   vega-cli forkflow <target>            evaluate the MIPS fork baseline
 ///
+/// Observability flags (valid before any command):
+///
+///   --trace-out=<file>.json    record spans, write a Chrome/Perfetto trace
+///   --metrics-out=<file>.json  record counters/gauges/histograms as JSON
+///   --stats                    print a text metrics summary on exit
+///
 //===----------------------------------------------------------------------===//
 
 #include "eval/EffortModel.h"
 #include "eval/Harness.h"
 #include "forkflow/ForkFlow.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "support/TextTable.h"
 
 #include <cstdio>
@@ -35,7 +43,8 @@ namespace {
 int usage() {
   std::fprintf(
       stderr,
-      "usage: vega-cli <command> [args]\n"
+      "usage: vega-cli [--trace-out=<file>] [--metrics-out=<file>] [--stats]\n"
+      "                <command> [args]\n"
       "  targets | groups | template <iface> | features <iface>\n"
       "  golden <target> <iface> | harvest <prop> <target>\n"
       "  generate <target> [epochs] | evaluate <target> [epochs]\n"
@@ -232,29 +241,70 @@ int cmdForkflow(const std::string &Target) {
   return 0;
 }
 
-} // namespace
-
-int main(int argc, char **argv) {
-  if (argc < 2)
+int dispatch(const std::vector<std::string> &Args) {
+  if (Args.empty())
     return usage();
-  std::string Cmd = argv[1];
+  const std::string &Cmd = Args[0];
+  size_t N = Args.size();
   if (Cmd == "targets")
     return cmdTargets();
   if (Cmd == "groups")
     return cmdGroups();
-  if (Cmd == "template" && argc >= 3)
-    return cmdTemplate(argv[2]);
-  if (Cmd == "features" && argc >= 3)
-    return cmdFeatures(argv[2]);
-  if (Cmd == "golden" && argc >= 4)
-    return cmdGolden(argv[2], argv[3]);
-  if (Cmd == "harvest" && argc >= 4)
-    return cmdHarvest(argv[2], argv[3]);
-  if (Cmd == "generate" && argc >= 3)
-    return cmdGenerate(argv[2], argc >= 4 ? std::atoi(argv[3]) : 8);
-  if (Cmd == "evaluate" && argc >= 3)
-    return cmdEvaluate(argv[2], argc >= 4 ? std::atoi(argv[3]) : 8);
-  if (Cmd == "forkflow" && argc >= 3)
-    return cmdForkflow(argv[2]);
+  if (Cmd == "template" && N >= 2)
+    return cmdTemplate(Args[1]);
+  if (Cmd == "features" && N >= 2)
+    return cmdFeatures(Args[1]);
+  if (Cmd == "golden" && N >= 3)
+    return cmdGolden(Args[1], Args[2]);
+  if (Cmd == "harvest" && N >= 3)
+    return cmdHarvest(Args[1], Args[2]);
+  if (Cmd == "generate" && N >= 2)
+    return cmdGenerate(Args[1], N >= 3 ? std::atoi(Args[2].c_str()) : 8);
+  if (Cmd == "evaluate" && N >= 2)
+    return cmdEvaluate(Args[1], N >= 3 ? std::atoi(Args[2].c_str()) : 8);
+  if (Cmd == "forkflow" && N >= 2)
+    return cmdForkflow(Args[1]);
   return usage();
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string TraceOut, MetricsOut;
+  bool Stats = false;
+  std::vector<std::string> Args;
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg.rfind("--trace-out=", 0) == 0)
+      TraceOut = Arg.substr(12);
+    else if (Arg.rfind("--metrics-out=", 0) == 0)
+      MetricsOut = Arg.substr(14);
+    else if (Arg == "--stats")
+      Stats = true;
+    else
+      Args.push_back(std::move(Arg));
+  }
+
+  if (!TraceOut.empty())
+    obs::TraceRecorder::instance().setEnabled(true);
+  if (!MetricsOut.empty() || Stats)
+    obs::MetricsRegistry::instance().setEnabled(true);
+
+  int Rc = dispatch(Args);
+
+  if (!TraceOut.empty() &&
+      !obs::TraceRecorder::instance().writeChromeTrace(TraceOut)) {
+    std::fprintf(stderr, "error: cannot write trace to '%s'\n",
+                 TraceOut.c_str());
+    return Rc ? Rc : 1;
+  }
+  if (!MetricsOut.empty() &&
+      !obs::MetricsRegistry::instance().writeJson(MetricsOut)) {
+    std::fprintf(stderr, "error: cannot write metrics to '%s'\n",
+                 MetricsOut.c_str());
+    return Rc ? Rc : 1;
+  }
+  if (Stats)
+    std::printf("%s", obs::MetricsRegistry::instance().textSummary().c_str());
+  return Rc;
 }
