@@ -614,6 +614,11 @@ void VegaSystem::buildVocab() {
   for (const auto &[Token, Targets] : TokenTargets)
     if (Targets.size() >= 6)
       StructuralTokens[static_cast<size_t>(Vocabulary.idOf(Token))] = 1;
+
+  SpecialTokenIds.clear();
+  for (size_t Id = 0; Id < Vocabulary.size(); ++Id)
+    if (Vocab::isSpecialSpelling(Vocabulary.textOf(static_cast<int>(Id))))
+      SpecialTokenIds.push_back(static_cast<int>(Id));
 }
 
 TrainPair VegaSystem::toIds(const TextPair &Pair) const {
@@ -708,9 +713,8 @@ GeneratedStatement VegaSystem::generateRow(
       Allowed[static_cast<size_t>(Id)] = 1;
   // Specials never appear in statements ($SV placeholders are fine: absent
   // rows echo the template).
-  for (size_t Id = 0; Id < Vocabulary.size(); ++Id)
-    if (Vocab::isSpecialSpelling(Vocabulary.textOf(static_cast<int>(Id))))
-      Allowed[Id] = 0;
+  for (int Id : SpecialTokenIds)
+    Allowed[static_cast<size_t>(Id)] = 0;
 
   // Template-guided decode plan (§3.4: generation *customizes the function
   // template*): position 0 picks a confidence bucket, skeleton positions
@@ -761,7 +765,10 @@ GeneratedStatement VegaSystem::generateRow(
       Plan.Bias.push_back(std::move(StepBias));
     }
   }
-  CodeBE::Decoded Out = Model->generate(Ids.Src, &Allowed, &Plan);
+  // Stage 3 reads the decoded confidence bucket, never the per-token
+  // probabilities — skip their full-vocabulary softmax sweep per step.
+  CodeBE::Decoded Out =
+      Model->generate(Ids.Src, &Allowed, &Plan, /*WithProbs=*/false);
   if (Out.Tokens.empty())
     return Result;
 
@@ -787,6 +794,117 @@ GeneratedStatement VegaSystem::generateRow(
   return Result;
 }
 
+void VegaSystem::setJobs(int Jobs) {
+  Options.Jobs = Jobs;
+  Pool.reset();
+}
+
+GeneratedFunction VegaSystem::generateFunction(const TemplateInfo &TI,
+                                               const std::string &TargetName) {
+  // One span per function, named after its backend module so per-module
+  // time (Fig. 7) is a plain aggregation over the trace. Worker-lane spans
+  // carry their thread id (Perfetto shows one lane per worker).
+  obs::Span FnSpan(std::string("gen.") + moduleName(TI.FT.Module), "stage3");
+  FnSpan.arg("function", TI.FT.InterfaceName);
+  FnSpan.arg("target", TargetName);
+  if (int Lane = ThreadPool::currentLane(); Lane >= 0)
+    FnSpan.arg("worker", std::to_string(Lane));
+  GeneratedFunction Fn;
+  Fn.InterfaceName = TI.FT.InterfaceName;
+  Fn.Module = TI.FT.Module;
+
+  GeneratedStatement Def = generateRow(TI, *TI.FT.Definition, TargetName,
+                                       std::nullopt, std::string());
+  Fn.Confidence = Def.Confidence;
+  Fn.Statements.push_back(Def);
+  Fn.Emitted = Def.Emitted;
+
+  std::set<const TemplateRow *> EmittedRows;
+  if (Fn.Emitted) {
+    Fn.AST.Definition =
+        Statement(StmtKind::FunctionDef, Def.Tokens);
+    Fn.AST.Name = TI.FT.InterfaceName;
+    EmittedRows.insert(TI.FT.Definition.get());
+
+    // Recursive emission over the template tree.
+    std::function<void(const TemplateRow &, const std::string &,
+                       std::vector<std::unique_ptr<Statement>> &)>
+        Emit = [&](const TemplateRow &Row, const std::string &Ctx,
+                   std::vector<std::unique_ptr<Statement>> &Out) {
+          auto EmitChildren = [&](Statement &Into, const std::string &C) {
+            for (const auto &Child : Row.Children)
+              Emit(*Child, C, Into.Children);
+          };
+          if (Row.Repeatable) {
+            auto PIt = TI.PrimarySlot.find(&Row);
+            if (PIt == TI.PrimarySlot.end())
+              return;
+            const auto &Slots = TI.Features.RowSlots.at(Row.Index);
+            const std::string &Prop = Slots[PIt->second].Name;
+            if (Prop.empty())
+              return;
+            std::vector<std::string> Candidates =
+                Selector->harvestValues(Prop, TargetName);
+            if (static_cast<int>(Candidates.size()) >
+                Options.MaxCandidatesPerRow)
+              Candidates.resize(
+                  static_cast<size_t>(Options.MaxCandidatesPerRow));
+            for (const std::string &Candidate : Candidates) {
+              GeneratedStatement Stmt =
+                  generateRow(TI, Row, TargetName, Candidate, Ctx);
+              Fn.Statements.push_back(Stmt);
+              if (!Stmt.Emitted)
+                continue;
+              EmittedRows.insert(&Row);
+              auto Node = std::make_unique<Statement>(
+                  classifyStatement(Stmt.Tokens), Stmt.Tokens);
+              for (const auto &Child : Row.Children)
+                Emit(*Child, Candidate, Node->Children);
+              Out.push_back(std::move(Node));
+            }
+            return;
+          }
+          GeneratedStatement Stmt =
+              generateRow(TI, Row, TargetName, std::nullopt, Ctx);
+          Fn.Statements.push_back(Stmt);
+          if (!Stmt.Emitted)
+            return;
+          EmittedRows.insert(&Row);
+          auto Node = std::make_unique<Statement>(
+              classifyStatement(Stmt.Tokens), Stmt.Tokens);
+          EmitChildren(*Node, Ctx);
+          Out.push_back(std::move(Node));
+        };
+    for (const auto &Row : TI.FT.Body)
+      Emit(*Row, std::string(), Fn.AST.Body);
+  }
+
+  // Multi-target derivation: no single training target supports every
+  // emitted row.
+  if (Fn.Emitted) {
+    bool SingleCovers = false;
+    for (const std::string &Tgt : TI.FT.MemberTargets) {
+      bool All = true;
+      for (const TemplateRow *Row : EmittedRows)
+        if (!Row->PerTarget.count(Tgt)) {
+          All = false;
+          break;
+        }
+      if (All) {
+        SingleCovers = true;
+        break;
+      }
+    }
+    Fn.MultiTargetDerived = !SingleCovers;
+  }
+
+  // The span is the single timing source: Seconds/ModuleSeconds carry the
+  // same measurement the trace records, so Fig. 7 and the exported trace
+  // cannot disagree.
+  Fn.Seconds = FnSpan.close();
+  return Fn;
+}
+
 GeneratedBackend VegaSystem::generateBackend(const std::string &TargetName) {
   assert(Model && "trainModel() must run first");
   obs::Span StageSpan("stage3.generate_backend", "stage3");
@@ -798,112 +916,29 @@ GeneratedBackend VegaSystem::generateBackend(const std::string &TargetName) {
   // VEGA infers: xCORE's LLVM 3.0 port has no disassembler interface to
   // implement (§4.1.4), so its DIS templates are never instantiated.
   const TargetTraits *Traits = Corpus.targets().find(TargetName);
-
+  std::vector<const TemplateInfo *> Work;
   for (const TemplateInfo &TI : Templates) {
     if (Traits && TI.FT.Module == BackendModule::DIS &&
         !Traits->HasDisassembler)
       continue;
-    // One span per function, named after its backend module so per-module
-    // time (Fig. 7) is a plain aggregation over the trace.
-    obs::Span FnSpan(std::string("gen.") + moduleName(TI.FT.Module),
-                     "stage3");
-    FnSpan.arg("function", TI.FT.InterfaceName);
-    FnSpan.arg("target", TargetName);
-    GeneratedFunction Fn;
-    Fn.InterfaceName = TI.FT.InterfaceName;
-    Fn.Module = TI.FT.Module;
+    Work.push_back(&TI);
+  }
 
-    GeneratedStatement Def = generateRow(TI, *TI.FT.Definition, TargetName,
-                                         std::nullopt, std::string());
-    Fn.Confidence = Def.Confidence;
-    Fn.Statements.push_back(Def);
-    Fn.Emitted = Def.Emitted;
+  // Fan out one task per function across the worker pool. The model's
+  // shared inference cache is refreshed before the fan-out, every worker
+  // owns its decode scratch, and results are merged in template order —
+  // so the generated backend is byte-identical for any job count.
+  Model->prepareGenerate();
+  if (!Pool)
+    Pool = std::make_unique<ThreadPool>(Options.Jobs);
+  std::vector<GeneratedFunction> Results(Work.size());
+  Pool->parallelFor(Work.size(), [&](size_t I) {
+    Results[I] = generateFunction(*Work[I], TargetName);
+  });
 
-    std::set<const TemplateRow *> EmittedRows;
-    if (Fn.Emitted) {
-      Fn.AST.Definition =
-          Statement(StmtKind::FunctionDef, Def.Tokens);
-      Fn.AST.Name = TI.FT.InterfaceName;
-      EmittedRows.insert(TI.FT.Definition.get());
-
-      // Recursive emission over the template tree.
-      std::function<void(const TemplateRow &, const std::string &,
-                         std::vector<std::unique_ptr<Statement>> &)>
-          Emit = [&](const TemplateRow &Row, const std::string &Ctx,
-                     std::vector<std::unique_ptr<Statement>> &Out) {
-            auto EmitChildren = [&](Statement &Into, const std::string &C) {
-              for (const auto &Child : Row.Children)
-                Emit(*Child, C, Into.Children);
-            };
-            if (Row.Repeatable) {
-              auto PIt = TI.PrimarySlot.find(&Row);
-              if (PIt == TI.PrimarySlot.end())
-                return;
-              const auto &Slots = TI.Features.RowSlots.at(Row.Index);
-              const std::string &Prop = Slots[PIt->second].Name;
-              if (Prop.empty())
-                return;
-              std::vector<std::string> Candidates =
-                  Selector->harvestValues(Prop, TargetName);
-              if (static_cast<int>(Candidates.size()) >
-                  Options.MaxCandidatesPerRow)
-                Candidates.resize(
-                    static_cast<size_t>(Options.MaxCandidatesPerRow));
-              for (const std::string &Candidate : Candidates) {
-                GeneratedStatement Stmt =
-                    generateRow(TI, Row, TargetName, Candidate, Ctx);
-                Fn.Statements.push_back(Stmt);
-                if (!Stmt.Emitted)
-                  continue;
-                EmittedRows.insert(&Row);
-                auto Node = std::make_unique<Statement>(
-                    classifyStatement(Stmt.Tokens), Stmt.Tokens);
-                for (const auto &Child : Row.Children)
-                  Emit(*Child, Candidate, Node->Children);
-                Out.push_back(std::move(Node));
-              }
-              return;
-            }
-            GeneratedStatement Stmt =
-                generateRow(TI, Row, TargetName, std::nullopt, Ctx);
-            Fn.Statements.push_back(Stmt);
-            if (!Stmt.Emitted)
-              return;
-            EmittedRows.insert(&Row);
-            auto Node = std::make_unique<Statement>(
-                classifyStatement(Stmt.Tokens), Stmt.Tokens);
-            EmitChildren(*Node, Ctx);
-            Out.push_back(std::move(Node));
-          };
-      for (const auto &Row : TI.FT.Body)
-        Emit(*Row, std::string(), Fn.AST.Body);
-    }
-
-    // Multi-target derivation: no single training target supports every
-    // emitted row.
-    if (Fn.Emitted) {
-      bool SingleCovers = false;
-      for (const std::string &Tgt : TI.FT.MemberTargets) {
-        bool All = true;
-        for (const TemplateRow *Row : EmittedRows)
-          if (!Row->PerTarget.count(Tgt)) {
-            All = false;
-            break;
-          }
-        if (All) {
-          SingleCovers = true;
-          break;
-        }
-      }
-      Fn.MultiTargetDerived = !SingleCovers;
-    }
-
-    // The span is the single timing source: Seconds/ModuleSeconds carry the
-    // same measurement the trace records, so Fig. 7 and the exported trace
-    // cannot disagree.
-    Fn.Seconds = FnSpan.close();
+  auto &Metrics = obs::MetricsRegistry::instance();
+  for (GeneratedFunction &Fn : Results) {
     Backend.ModuleSeconds[Fn.Module] += Fn.Seconds;
-    auto &Metrics = obs::MetricsRegistry::instance();
     Metrics.addCounter("gen.functions");
     if (Fn.Emitted)
       Metrics.addCounter("gen.functions_emitted");

@@ -19,6 +19,7 @@
 
 #include "feature/FeatureSelector.h"
 #include "model/CodeBE.h"
+#include "support/ThreadPool.h"
 
 #include <memory>
 #include <optional>
@@ -54,6 +55,10 @@ struct VegaOptions {
   /// Feature ablations (DESIGN.md §5).
   bool UseTargetDependentValues = true;
   bool UseTargetIndependentBools = true;
+  /// Stage-3 generation lanes (vega-cli --jobs=N). <= 0 means auto:
+  /// VEGA_JOBS when set, else hardware_concurrency. Generated backends are
+  /// byte-identical for every job count.
+  int Jobs = 0;
 };
 
 /// One generated statement with its confidence score.
@@ -117,6 +122,10 @@ public:
   /// files. The target must exist in the corpus target database.
   GeneratedBackend generateBackend(const std::string &TargetName);
 
+  /// Overrides the Stage-3 job count after construction (tests/benches);
+  /// the worker pool is rebuilt on the next generateBackend().
+  void setJobs(int Jobs);
+
   // ---- Introspection (tests, benches, examples) ----
   const std::vector<TemplateInfo> &templates() const { return Templates; }
   const TemplateInfo *findTemplate(const std::string &InterfaceName) const;
@@ -163,6 +172,10 @@ private:
                                  const std::string &Target,
                                  const std::optional<std::string> &Assigned,
                                  const std::string &CtxValue);
+  /// Generates one function (the per-worker unit of Stage-3 parallelism).
+  /// Touches only read-only system state and thread-safe singletons.
+  GeneratedFunction generateFunction(const TemplateInfo &TI,
+                                     const std::string &TargetName);
 
   const BackendCorpus &Corpus;
   VegaOptions Options;
@@ -175,6 +188,12 @@ private:
   /// Tokens allowed unconditionally during constrained decoding (seen in
   /// the outputs of many distinct targets → target-independent).
   std::vector<uint8_t> StructuralTokens;
+  /// Ids of special-spelled vocab entries ([CLS], [EOS], CS buckets, ...),
+  /// precomputed so each generated row masks them without rescanning the
+  /// whole vocabulary.
+  std::vector<int> SpecialTokenIds;
+  /// Stage-3 worker pool, built lazily from Options.Jobs.
+  std::unique_ptr<ThreadPool> Pool;
 };
 
 } // namespace vega

@@ -330,15 +330,27 @@ std::vector<std::string>
 FeatureSelector::harvestValues(const std::string &Property,
                                const std::string &Target) const {
   obs::MetricsRegistry::instance().addCounter("feature.harvest_calls");
+  std::string Key = Property + '\0' + Target;
+  {
+    std::lock_guard<std::mutex> Lock(HarvestMu);
+    auto It = HarvestCache.find(Key);
+    if (It != HarvestCache.end())
+      return It->second;
+  }
   std::vector<std::string> Values;
   std::set<std::string> Seen;
   auto Add = [&](const std::string &V) {
     if (!V.empty() && Seen.insert(V).second)
       Values.push_back(V);
   };
+  auto Memoize = [&]() -> std::vector<std::string> {
+    std::lock_guard<std::mutex> Lock(HarvestMu);
+    return HarvestCache.emplace(std::move(Key), std::move(Values))
+        .first->second;
+  };
   const DescriptionIndex *Index = targetIndex(Target);
   if (!Index || Property.empty())
-    return Values;
+    return Memoize();
 
   // Enums named after the property, in the target's TGTDIRs.
   for (const DescEnum &E : Index->enums()) {
@@ -368,5 +380,5 @@ FeatureSelector::harvestValues(const std::string &Property,
   for (const DescAssignment &A : Index->assignments())
     if (A.Field == Property)
       Add(A.Value);
-  return Values;
+  return Memoize();
 }

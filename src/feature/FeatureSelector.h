@@ -21,6 +21,7 @@
 #include "tablegen/DescriptionReader.h"
 #include "templatize/FunctionTemplate.h"
 
+#include <mutex>
 #include <set>
 
 namespace vega {
@@ -69,7 +70,11 @@ public:
 
   /// TgtValSet: candidate values of \p Property for \p Target, harvested
   /// from the target's description files. Sentinel enum members
-  /// (Last*/Num*/FIRST*) are filtered.
+  /// (Last*/Num*/FIRST*) are filtered. Results are memoized — the
+  /// description indexes are immutable after construction, so a
+  /// (property, target) pair always harvests the same set; Stage-3
+  /// generation asks for the same few properties hundreds of times.
+  /// Thread-safe (generation workers share the selector).
   std::vector<std::string> harvestValues(const std::string &Property,
                                          const std::string &Target) const;
 
@@ -94,6 +99,9 @@ private:
   std::set<std::string> PropList;
   std::map<std::string, DescriptionIndex> TargetIndexes;
   std::vector<std::string> Targets;
+  /// harvestValues memo: "property\0target" → harvested set.
+  mutable std::mutex HarvestMu;
+  mutable std::map<std::string, std::vector<std::string>> HarvestCache;
 };
 
 } // namespace vega

@@ -29,60 +29,231 @@ TensorPtr vega::makeParam(int Rows, int Cols, float Scale, uint64_t Seed) {
 
 namespace {
 
+thread_local int NoGradDepth = 0;
+
 TensorPtr makeResult(int Rows, int Cols,
                      std::initializer_list<TensorPtr> Parents) {
+  // Under a NoGradGuard the result is a plain value: no parent links (so
+  // intermediates die with their last reference) and RequiresGrad=false
+  // (so the op skips allocating its backward closure).
+  if (NoGradDepth > 0)
+    return makeTensor(Rows, Cols, /*RequiresGrad=*/false);
   bool NeedsGrad = false;
   for (const TensorPtr &P : Parents)
     if (P->RequiresGrad || P->Backward)
       NeedsGrad = true;
+  // Grad buffers stay unallocated here; backward() materializes them for
+  // the tapes it actually walks, so inference never pays for them.
   TensorPtr Out = makeTensor(Rows, Cols, NeedsGrad);
-  Out->ensureGrad();
-  for (const TensorPtr &P : Parents) {
-    P->ensureGrad();
+  for (const TensorPtr &P : Parents)
     Out->Parents.push_back(P);
-  }
   return Out;
 }
 
 } // namespace
 
+NoGradGuard::NoGradGuard() { ++NoGradDepth; }
+NoGradGuard::~NoGradGuard() { --NoGradDepth; }
+bool NoGradGuard::active() { return NoGradDepth > 0; }
+
+void vega::detail::gemmAccum(const float *A, const float *B, float *C, int M,
+                             int K, int N) {
+  for (int I = 0; I < M; ++I) {
+    const float *ARow = A + static_cast<size_t>(I) * K;
+    float *CRow = C + static_cast<size_t>(I) * N;
+    int P = 0;
+    for (; P + 4 <= K; P += 4) {
+      float A0 = ARow[P], A1 = ARow[P + 1], A2 = ARow[P + 2],
+            A3 = ARow[P + 3];
+      if (A0 != 0.0f && A1 != 0.0f && A2 != 0.0f && A3 != 0.0f) {
+        const float *B0 = B + static_cast<size_t>(P) * N;
+        const float *B1 = B0 + N, *B2 = B1 + N, *B3 = B2 + N;
+        for (int J = 0; J < N; ++J) {
+          float Acc = CRow[J];
+          Acc += A0 * B0[J];
+          Acc += A1 * B1[J];
+          Acc += A2 * B2[J];
+          Acc += A3 * B3[J];
+          CRow[J] = Acc;
+        }
+      } else {
+        // Mixed zero/non-zero rank-4 block: keep the skip-aware scalar
+        // schedule so 0·x products are never formed (x may be inf/NaN).
+        for (int T = 0; T < 4; ++T) {
+          float AV = ARow[P + T];
+          if (AV == 0.0f)
+            continue;
+          const float *BRow = B + static_cast<size_t>(P + T) * N;
+          for (int J = 0; J < N; ++J)
+            CRow[J] += AV * BRow[J];
+        }
+      }
+    }
+    for (; P < K; ++P) {
+      float AV = ARow[P];
+      if (AV == 0.0f)
+        continue;
+      const float *BRow = B + static_cast<size_t>(P) * N;
+      for (int J = 0; J < N; ++J)
+        CRow[J] += AV * BRow[J];
+    }
+  }
+}
+
+void vega::detail::gemmNT(const float *A, const float *B, float *C, int M,
+                          int K, int N) {
+  constexpr int JT = 4;
+  int J = 0;
+  if (M >= 8 && N >= JT) {
+    // Packed panel path: interleave a 4-row B panel once and stream it for
+    // every row of A, turning four strided operand streams into one.
+    thread_local std::vector<float> Packed;
+    Packed.resize(static_cast<size_t>(JT) * K);
+    for (; J + JT <= N; J += JT) {
+      const float *B0 = B + static_cast<size_t>(J) * K;
+      const float *B1 = B0 + K, *B2 = B1 + K, *B3 = B2 + K;
+      for (int P = 0; P < K; ++P) {
+        Packed[static_cast<size_t>(P) * JT + 0] = B0[P];
+        Packed[static_cast<size_t>(P) * JT + 1] = B1[P];
+        Packed[static_cast<size_t>(P) * JT + 2] = B2[P];
+        Packed[static_cast<size_t>(P) * JT + 3] = B3[P];
+      }
+      for (int I = 0; I < M; ++I) {
+        const float *ARow = A + static_cast<size_t>(I) * K;
+        const float *Pk = Packed.data();
+        float C0 = 0.0f, C1 = 0.0f, C2 = 0.0f, C3 = 0.0f;
+        for (int P = 0; P < K; ++P) {
+          float AV = ARow[P];
+          C0 += AV * Pk[0];
+          C1 += AV * Pk[1];
+          C2 += AV * Pk[2];
+          C3 += AV * Pk[3];
+          Pk += JT;
+        }
+        float *CRow = C + static_cast<size_t>(I) * N;
+        CRow[J] = C0;
+        CRow[J + 1] = C1;
+        CRow[J + 2] = C2;
+        CRow[J + 3] = C3;
+      }
+    }
+  } else {
+    for (; J + JT <= N; J += JT) {
+      const float *B0 = B + static_cast<size_t>(J) * K;
+      const float *B1 = B0 + K, *B2 = B1 + K, *B3 = B2 + K;
+      for (int I = 0; I < M; ++I) {
+        const float *ARow = A + static_cast<size_t>(I) * K;
+        float C0 = 0.0f, C1 = 0.0f, C2 = 0.0f, C3 = 0.0f;
+        for (int P = 0; P < K; ++P) {
+          float AV = ARow[P];
+          C0 += AV * B0[P];
+          C1 += AV * B1[P];
+          C2 += AV * B2[P];
+          C3 += AV * B3[P];
+        }
+        float *CRow = C + static_cast<size_t>(I) * N;
+        CRow[J] = C0;
+        CRow[J + 1] = C1;
+        CRow[J + 2] = C2;
+        CRow[J + 3] = C3;
+      }
+    }
+  }
+  for (; J < N; ++J) {
+    const float *BRow = B + static_cast<size_t>(J) * K;
+    for (int I = 0; I < M; ++I) {
+      const float *ARow = A + static_cast<size_t>(I) * K;
+      float Acc = 0.0f;
+      for (int P = 0; P < K; ++P)
+        Acc += ARow[P] * BRow[P];
+      C[static_cast<size_t>(I) * N + J] = Acc;
+    }
+  }
+}
+
+void vega::detail::gemmNTAccum(const float *A, const float *B, float *C,
+                               int M, int K, int N) {
+  constexpr int JT = 4;
+  for (int I = 0; I < M; ++I) {
+    const float *ARow = A + static_cast<size_t>(I) * K;
+    float *CRow = C + static_cast<size_t>(I) * N;
+    int J = 0;
+    for (; J + JT <= N; J += JT) {
+      const float *B0 = B + static_cast<size_t>(J) * K;
+      const float *B1 = B0 + K, *B2 = B1 + K, *B3 = B2 + K;
+      float C0 = 0.0f, C1 = 0.0f, C2 = 0.0f, C3 = 0.0f;
+      for (int P = 0; P < K; ++P) {
+        float AV = ARow[P];
+        C0 += AV * B0[P];
+        C1 += AV * B1[P];
+        C2 += AV * B2[P];
+        C3 += AV * B3[P];
+      }
+      CRow[J] += C0;
+      CRow[J + 1] += C1;
+      CRow[J + 2] += C2;
+      CRow[J + 3] += C3;
+    }
+    for (; J < N; ++J) {
+      const float *BRow = B + static_cast<size_t>(J) * K;
+      float Acc = 0.0f;
+      for (int P = 0; P < K; ++P)
+        Acc += ARow[P] * BRow[P];
+      CRow[J] += Acc;
+    }
+  }
+}
+
+void vega::detail::gemmTNAccum(const float *A, const float *G, float *C,
+                               int M, int K, int N) {
+  for (int I = 0; I < M; ++I) {
+    const float *ARow = A + static_cast<size_t>(I) * K;
+    const float *GRow = G + static_cast<size_t>(I) * N;
+    int P = 0;
+    for (; P + 2 <= K; P += 2) {
+      float A0 = ARow[P], A1 = ARow[P + 1];
+      float *C0 = C + static_cast<size_t>(P) * N;
+      float *C1 = C0 + N;
+      if (A0 != 0.0f && A1 != 0.0f) {
+        for (int J = 0; J < N; ++J) {
+          C0[J] += A0 * GRow[J];
+          C1[J] += A1 * GRow[J];
+        }
+      } else {
+        if (A0 != 0.0f)
+          for (int J = 0; J < N; ++J)
+            C0[J] += A0 * GRow[J];
+        if (A1 != 0.0f)
+          for (int J = 0; J < N; ++J)
+            C1[J] += A1 * GRow[J];
+      }
+    }
+    for (; P < K; ++P) {
+      float AV = ARow[P];
+      if (AV == 0.0f)
+        continue;
+      float *CRow = C + static_cast<size_t>(P) * N;
+      for (int J = 0; J < N; ++J)
+        CRow[J] += AV * GRow[J];
+    }
+  }
+}
+
 TensorPtr vega::matmul(const TensorPtr &A, const TensorPtr &B) {
   assert(A->Cols == B->Rows && "matmul shape mismatch");
   TensorPtr Out = makeResult(A->Rows, B->Cols, {A, B});
   const int M = A->Rows, K = A->Cols, N = B->Cols;
-  for (int I = 0; I < M; ++I) {
-    for (int P = 0; P < K; ++P) {
-      float AV = A->Data[static_cast<size_t>(I) * K + P];
-      if (AV == 0.0f)
-        continue;
-      const float *BRow = &B->Data[static_cast<size_t>(P) * N];
-      float *ORow = &Out->Data[static_cast<size_t>(I) * N];
-      for (int J = 0; J < N; ++J)
-        ORow[J] += AV * BRow[J];
-    }
-  }
+  detail::gemmAccum(A->Data.data(), B->Data.data(), Out->Data.data(), M, K,
+                    N);
   Tensor *AP = A.get(), *BP = B.get(), *OP = Out.get();
-  Out->Backward = [AP, BP, OP, M, K, N] {
-    // dA = dO · Bᵀ ; dB = Aᵀ · dO
-    for (int I = 0; I < M; ++I) {
-      const float *GRow = &OP->Grad[static_cast<size_t>(I) * N];
-      for (int P = 0; P < K; ++P) {
-        const float *BRow = &BP->Data[static_cast<size_t>(P) * N];
-        float Acc = 0.0f;
-        for (int J = 0; J < N; ++J)
-          Acc += GRow[J] * BRow[J];
-        AP->Grad[static_cast<size_t>(I) * K + P] += Acc;
-      }
-      for (int P = 0; P < K; ++P) {
-        float AV = AP->Data[static_cast<size_t>(I) * K + P];
-        if (AV == 0.0f)
-          continue;
-        float *BGRow = &BP->Grad[static_cast<size_t>(P) * N];
-        for (int J = 0; J < N; ++J)
-          BGRow[J] += AV * GRow[J];
-      }
-    }
-  };
+  if (Out->RequiresGrad)
+    Out->Backward = [AP, BP, OP, M, K, N] {
+      // dA = dO · Bᵀ ; dB = Aᵀ · dO
+      detail::gemmNTAccum(OP->Grad.data(), BP->Data.data(), AP->Grad.data(), M,
+                          N, K);
+      detail::gemmTNAccum(AP->Data.data(), OP->Grad.data(), BP->Grad.data(), M,
+                          K, N);
+    };
   return Out;
 }
 
@@ -90,37 +261,17 @@ TensorPtr vega::matmulNT(const TensorPtr &A, const TensorPtr &B) {
   assert(A->Cols == B->Cols && "matmulNT shape mismatch");
   TensorPtr Out = makeResult(A->Rows, B->Rows, {A, B});
   const int M = A->Rows, K = A->Cols, N = B->Rows;
-  for (int I = 0; I < M; ++I) {
-    const float *ARow = &A->Data[static_cast<size_t>(I) * K];
-    float *ORow = &Out->Data[static_cast<size_t>(I) * N];
-    for (int J = 0; J < N; ++J) {
-      const float *BRow = &B->Data[static_cast<size_t>(J) * K];
-      float Acc = 0.0f;
-      for (int P = 0; P < K; ++P)
-        Acc += ARow[P] * BRow[P];
-      ORow[J] = Acc;
-    }
-  }
+  detail::gemmNT(A->Data.data(), B->Data.data(), Out->Data.data(), M, K, N);
   Tensor *AP = A.get(), *BP = B.get(), *OP = Out.get();
-  Out->Backward = [AP, BP, OP, M, K, N] {
-    // dA = dO · B ; dB = dOᵀ · A
-    for (int I = 0; I < M; ++I) {
-      const float *GRow = &OP->Grad[static_cast<size_t>(I) * N];
-      float *AGRow = &AP->Grad[static_cast<size_t>(I) * K];
-      const float *ARow = &AP->Data[static_cast<size_t>(I) * K];
-      for (int J = 0; J < N; ++J) {
-        float G = GRow[J];
-        if (G == 0.0f)
-          continue;
-        const float *BRow = &BP->Data[static_cast<size_t>(J) * K];
-        float *BGRow = &BP->Grad[static_cast<size_t>(J) * K];
-        for (int P = 0; P < K; ++P) {
-          AGRow[P] += G * BRow[P];
-          BGRow[P] += G * ARow[P];
-        }
-      }
-    }
-  };
+  if (Out->RequiresGrad)
+    Out->Backward = [AP, BP, OP, M, K, N] {
+      // dA = dO · B (dO's zero entries skipped, as the scalar loop did);
+      // dB = dOᵀ · A with the same skip.
+      detail::gemmAccum(OP->Grad.data(), BP->Data.data(), AP->Grad.data(), M,
+                        N, K);
+      detail::gemmTNAccum(OP->Grad.data(), AP->Data.data(), BP->Grad.data(), M,
+                          N, K);
+    };
   return Out;
 }
 
@@ -130,12 +281,13 @@ TensorPtr vega::add(const TensorPtr &A, const TensorPtr &B) {
   for (size_t I = 0; I < Out->Data.size(); ++I)
     Out->Data[I] = A->Data[I] + B->Data[I];
   Tensor *AP = A.get(), *BP = B.get(), *OP = Out.get();
-  Out->Backward = [AP, BP, OP] {
-    for (size_t I = 0; I < OP->Grad.size(); ++I) {
-      AP->Grad[I] += OP->Grad[I];
-      BP->Grad[I] += OP->Grad[I];
-    }
-  };
+  if (Out->RequiresGrad)
+    Out->Backward = [AP, BP, OP] {
+      for (size_t I = 0; I < OP->Grad.size(); ++I) {
+        AP->Grad[I] += OP->Grad[I];
+        BP->Grad[I] += OP->Grad[I];
+      }
+    };
   return Out;
 }
 
@@ -146,14 +298,15 @@ TensorPtr vega::addRow(const TensorPtr &A, const TensorPtr &B) {
     for (int J = 0; J < A->Cols; ++J)
       Out->at(I, J) = A->at(I, J) + B->Data[static_cast<size_t>(J)];
   Tensor *AP = A.get(), *BP = B.get(), *OP = Out.get();
-  Out->Backward = [AP, BP, OP] {
-    for (int I = 0; I < OP->Rows; ++I)
-      for (int J = 0; J < OP->Cols; ++J) {
-        float G = OP->gradAt(I, J);
-        AP->gradAt(I, J) += G;
-        BP->Grad[static_cast<size_t>(J)] += G;
-      }
-  };
+  if (Out->RequiresGrad)
+    Out->Backward = [AP, BP, OP] {
+      for (int I = 0; I < OP->Rows; ++I)
+        for (int J = 0; J < OP->Cols; ++J) {
+          float G = OP->gradAt(I, J);
+          AP->gradAt(I, J) += G;
+          BP->Grad[static_cast<size_t>(J)] += G;
+        }
+    };
   return Out;
 }
 
@@ -162,10 +315,11 @@ TensorPtr vega::scale(const TensorPtr &A, float Factor) {
   for (size_t I = 0; I < A->Data.size(); ++I)
     Out->Data[I] = A->Data[I] * Factor;
   Tensor *AP = A.get(), *OP = Out.get();
-  Out->Backward = [AP, OP, Factor] {
-    for (size_t I = 0; I < OP->Grad.size(); ++I)
-      AP->Grad[I] += OP->Grad[I] * Factor;
-  };
+  if (Out->RequiresGrad)
+    Out->Backward = [AP, OP, Factor] {
+      for (size_t I = 0; I < OP->Grad.size(); ++I)
+        AP->Grad[I] += OP->Grad[I] * Factor;
+    };
   return Out;
 }
 
@@ -176,14 +330,15 @@ TensorPtr vega::scaleByScalar(const TensorPtr &A, const TensorPtr &S) {
   for (size_t I = 0; I < A->Data.size(); ++I)
     Out->Data[I] = A->Data[I] * Factor;
   Tensor *AP = A.get(), *SP = S.get(), *OP = Out.get();
-  Out->Backward = [AP, SP, OP, Factor] {
-    float SGrad = 0.0f;
-    for (size_t I = 0; I < OP->Grad.size(); ++I) {
-      AP->Grad[I] += OP->Grad[I] * Factor;
-      SGrad += OP->Grad[I] * AP->Data[I];
-    }
-    SP->Grad[0] += SGrad;
-  };
+  if (Out->RequiresGrad)
+    Out->Backward = [AP, SP, OP, Factor] {
+      float SGrad = 0.0f;
+      for (size_t I = 0; I < OP->Grad.size(); ++I) {
+        AP->Grad[I] += OP->Grad[I] * Factor;
+        SGrad += OP->Grad[I] * AP->Data[I];
+      }
+      SP->Grad[0] += SGrad;
+    };
   return Out;
 }
 
@@ -192,11 +347,12 @@ TensorPtr vega::relu(const TensorPtr &A) {
   for (size_t I = 0; I < A->Data.size(); ++I)
     Out->Data[I] = A->Data[I] > 0.0f ? A->Data[I] : 0.0f;
   Tensor *AP = A.get(), *OP = Out.get();
-  Out->Backward = [AP, OP] {
-    for (size_t I = 0; I < OP->Grad.size(); ++I)
-      if (AP->Data[I] > 0.0f)
-        AP->Grad[I] += OP->Grad[I];
-  };
+  if (Out->RequiresGrad)
+    Out->Backward = [AP, OP] {
+      for (size_t I = 0; I < OP->Grad.size(); ++I)
+        if (AP->Data[I] > 0.0f)
+          AP->Grad[I] += OP->Grad[I];
+    };
   return Out;
 }
 
@@ -219,15 +375,16 @@ TensorPtr vega::softmaxRows(const TensorPtr &A, const Tensor *Mask) {
       Out->at(I, J) /= Sum;
   }
   Tensor *AP = A.get(), *OP = Out.get();
-  Out->Backward = [AP, OP] {
-    for (int I = 0; I < OP->Rows; ++I) {
-      float Dot = 0.0f;
-      for (int J = 0; J < OP->Cols; ++J)
-        Dot += OP->gradAt(I, J) * OP->at(I, J);
-      for (int J = 0; J < OP->Cols; ++J)
-        AP->gradAt(I, J) += OP->at(I, J) * (OP->gradAt(I, J) - Dot);
-    }
-  };
+  if (Out->RequiresGrad)
+    Out->Backward = [AP, OP] {
+      for (int I = 0; I < OP->Rows; ++I) {
+        float Dot = 0.0f;
+        for (int J = 0; J < OP->Cols; ++J)
+          Dot += OP->gradAt(I, J) * OP->at(I, J);
+        for (int J = 0; J < OP->Cols; ++J)
+          AP->gradAt(I, J) += OP->at(I, J) * (OP->gradAt(I, J) - Dot);
+      }
+    };
   return Out;
 }
 
@@ -258,28 +415,29 @@ TensorPtr vega::layerNorm(const TensorPtr &X, const TensorPtr &Gamma,
           Beta->Data[static_cast<size_t>(J)];
   }
   Tensor *XP = X.get(), *GP = Gamma.get(), *BP = Beta.get(), *OP = Out.get();
-  Out->Backward = [XP, GP, BP, OP, Mean, InvStd, C] {
-    for (int I = 0; I < XP->Rows; ++I) {
-      // xhat = (x - mu) * inv; dL/dxhat = dy * gamma.
-      float SumDxhat = 0.0f, SumDxhatXhat = 0.0f;
-      std::vector<float> Dxhat(static_cast<size_t>(C));
-      for (int J = 0; J < C; ++J) {
-        float Xhat = (XP->at(I, J) - Mean[I]) * InvStd[I];
-        float Dy = OP->gradAt(I, J);
-        GP->Grad[static_cast<size_t>(J)] += Dy * Xhat;
-        BP->Grad[static_cast<size_t>(J)] += Dy;
-        Dxhat[static_cast<size_t>(J)] = Dy * GP->Data[static_cast<size_t>(J)];
-        SumDxhat += Dxhat[static_cast<size_t>(J)];
-        SumDxhatXhat += Dxhat[static_cast<size_t>(J)] * Xhat;
+  if (Out->RequiresGrad)
+    Out->Backward = [XP, GP, BP, OP, Mean, InvStd, C] {
+      for (int I = 0; I < XP->Rows; ++I) {
+        // xhat = (x - mu) * inv; dL/dxhat = dy * gamma.
+        float SumDxhat = 0.0f, SumDxhatXhat = 0.0f;
+        std::vector<float> Dxhat(static_cast<size_t>(C));
+        for (int J = 0; J < C; ++J) {
+          float Xhat = (XP->at(I, J) - Mean[I]) * InvStd[I];
+          float Dy = OP->gradAt(I, J);
+          GP->Grad[static_cast<size_t>(J)] += Dy * Xhat;
+          BP->Grad[static_cast<size_t>(J)] += Dy;
+          Dxhat[static_cast<size_t>(J)] = Dy * GP->Data[static_cast<size_t>(J)];
+          SumDxhat += Dxhat[static_cast<size_t>(J)];
+          SumDxhatXhat += Dxhat[static_cast<size_t>(J)] * Xhat;
+        }
+        for (int J = 0; J < C; ++J) {
+          float Xhat = (XP->at(I, J) - Mean[I]) * InvStd[I];
+          XP->gradAt(I, J) += InvStd[I] / C *
+                              (C * Dxhat[static_cast<size_t>(J)] - SumDxhat -
+                               Xhat * SumDxhatXhat);
+        }
       }
-      for (int J = 0; J < C; ++J) {
-        float Xhat = (XP->at(I, J) - Mean[I]) * InvStd[I];
-        XP->gradAt(I, J) += InvStd[I] / C *
-                            (C * Dxhat[static_cast<size_t>(J)] - SumDxhat -
-                             Xhat * SumDxhatXhat);
-      }
-    }
-  };
+    };
   return Out;
 }
 
@@ -292,11 +450,12 @@ TensorPtr vega::gatherRows(const TensorPtr &E, const std::vector<int> &Ids) {
   }
   Tensor *EP = E.get(), *OP = Out.get();
   std::vector<int> IdsCopy = Ids;
-  Out->Backward = [EP, OP, IdsCopy] {
-    for (size_t I = 0; I < IdsCopy.size(); ++I)
-      for (int J = 0; J < OP->Cols; ++J)
-        EP->gradAt(IdsCopy[I], J) += OP->gradAt(static_cast<int>(I), J);
-  };
+  if (Out->RequiresGrad)
+    Out->Backward = [EP, OP, IdsCopy] {
+      for (size_t I = 0; I < IdsCopy.size(); ++I)
+        for (int J = 0; J < OP->Cols; ++J)
+          EP->gradAt(IdsCopy[I], J) += OP->gradAt(static_cast<int>(I), J);
+    };
   return Out;
 }
 
@@ -307,11 +466,12 @@ TensorPtr vega::sliceCols(const TensorPtr &A, int Start, int Count) {
     for (int J = 0; J < Count; ++J)
       Out->at(I, J) = A->at(I, Start + J);
   Tensor *AP = A.get(), *OP = Out.get();
-  Out->Backward = [AP, OP, Start, Count] {
-    for (int I = 0; I < OP->Rows; ++I)
-      for (int J = 0; J < Count; ++J)
-        AP->gradAt(I, Start + J) += OP->gradAt(I, J);
-  };
+  if (Out->RequiresGrad)
+    Out->Backward = [AP, OP, Start, Count] {
+      for (int I = 0; I < OP->Rows; ++I)
+        for (int J = 0; J < Count; ++J)
+          AP->gradAt(I, Start + J) += OP->gradAt(I, J);
+    };
   return Out;
 }
 
@@ -323,11 +483,8 @@ TensorPtr vega::concatCols(const std::vector<TensorPtr> &Parts) {
     Cols += P->Cols;
   }
   TensorPtr Out = makeTensor(Rows, Cols, true);
-  Out->ensureGrad();
-  for (const TensorPtr &P : Parts) {
-    P->ensureGrad();
+  for (const TensorPtr &P : Parts)
     Out->Parents.push_back(P);
-  }
   int Offset = 0;
   for (const TensorPtr &P : Parts) {
     for (int I = 0; I < Rows; ++I)
@@ -339,15 +496,16 @@ TensorPtr vega::concatCols(const std::vector<TensorPtr> &Parts) {
   std::vector<Tensor *> Raw;
   for (const TensorPtr &P : Parts)
     Raw.push_back(P.get());
-  Out->Backward = [OP, Raw] {
-    int Offset = 0;
-    for (Tensor *P : Raw) {
-      for (int I = 0; I < OP->Rows; ++I)
-        for (int J = 0; J < P->Cols; ++J)
-          P->gradAt(I, J) += OP->gradAt(I, Offset + J);
-      Offset += P->Cols;
-    }
-  };
+  if (Out->RequiresGrad)
+    Out->Backward = [OP, Raw] {
+      int Offset = 0;
+      for (Tensor *P : Raw) {
+        for (int I = 0; I < OP->Rows; ++I)
+          for (int J = 0; J < P->Cols; ++J)
+            P->gradAt(I, J) += OP->gradAt(I, Offset + J);
+        Offset += P->Cols;
+      }
+    };
   return Out;
 }
 
@@ -361,11 +519,12 @@ TensorPtr vega::copyScatter(const TensorPtr &A, const std::vector<int> &SrcIds,
       Out->at(T, SrcIds[J]) += A->at(T, static_cast<int>(J));
   Tensor *AP = A.get(), *OP = Out.get();
   std::vector<int> Ids = SrcIds;
-  Out->Backward = [AP, OP, Ids] {
-    for (int T = 0; T < AP->Rows; ++T)
-      for (size_t J = 0; J < Ids.size(); ++J)
-        AP->gradAt(T, static_cast<int>(J)) += OP->gradAt(T, Ids[J]);
-  };
+  if (Out->RequiresGrad)
+    Out->Backward = [AP, OP, Ids] {
+      for (int T = 0; T < AP->Rows; ++T)
+        for (size_t J = 0; J < Ids.size(); ++J)
+          AP->gradAt(T, static_cast<int>(J)) += OP->gradAt(T, Ids[J]);
+    };
   return Out;
 }
 
@@ -385,16 +544,17 @@ TensorPtr vega::sparseMix(const TensorPtr &E,
   // Lists outlive the tape in our usage (owned by the Vocab); copy anyway
   // for safety in tests.
   std::vector<std::vector<int>> ListsCopy = *ListsPtr;
-  Out->Backward = [EP, OP, ListsCopy] {
-    for (size_t I = 0; I < ListsCopy.size(); ++I) {
-      if (ListsCopy[I].empty())
-        continue;
-      float Inv = 1.0f / static_cast<float>(ListsCopy[I].size());
-      for (int P : ListsCopy[I])
-        for (int J = 0; J < OP->Cols; ++J)
-          EP->gradAt(P, J) += OP->gradAt(static_cast<int>(I), J) * Inv;
-    }
-  };
+  if (Out->RequiresGrad)
+    Out->Backward = [EP, OP, ListsCopy] {
+      for (size_t I = 0; I < ListsCopy.size(); ++I) {
+        if (ListsCopy[I].empty())
+          continue;
+        float Inv = 1.0f / static_cast<float>(ListsCopy[I].size());
+        for (int P : ListsCopy[I])
+          for (int J = 0; J < OP->Cols; ++J)
+            EP->gradAt(P, J) += OP->gradAt(static_cast<int>(I), J) * Inv;
+      }
+    };
   return Out;
 }
 
@@ -423,14 +583,15 @@ TensorPtr vega::crossEntropy(const TensorPtr &Logits,
   Out->Data[0] = Loss / static_cast<float>(Logits->Rows);
   Tensor *LP = Logits.get(), *OP = Out.get();
   std::vector<int> T = Targets;
-  Out->Backward = [LP, OP, Probs, T, V] {
-    float Scale = OP->Grad[0] / static_cast<float>(LP->Rows);
-    for (int I = 0; I < LP->Rows; ++I)
-      for (int J = 0; J < V; ++J) {
-        float P = Probs[static_cast<size_t>(I) * V + J];
-        LP->gradAt(I, J) += Scale * (P - (J == T[I] ? 1.0f : 0.0f));
-      }
-  };
+  if (Out->RequiresGrad)
+    Out->Backward = [LP, OP, Probs, T, V] {
+      float Scale = OP->Grad[0] / static_cast<float>(LP->Rows);
+      for (int I = 0; I < LP->Rows; ++I)
+        for (int J = 0; J < V; ++J) {
+          float P = Probs[static_cast<size_t>(I) * V + J];
+          LP->gradAt(I, J) += Scale * (P - (J == T[I] ? 1.0f : 0.0f));
+        }
+    };
   return Out;
 }
 
@@ -446,6 +607,10 @@ static void topoSort(Tensor *Node, std::vector<Tensor *> &Order) {
 void vega::backward(const TensorPtr &Root) {
   std::vector<Tensor *> Order;
   topoSort(Root.get(), Order);
+  // Gradients are lazy: materialize them only for the tape actually being
+  // walked. Existing buffers (mid-batch accumulation) are left untouched.
+  for (Tensor *Node : Order)
+    Node->ensureGrad();
   Root->ensureGrad();
   std::fill(Root->Grad.begin(), Root->Grad.end(), 0.0f);
   Root->Grad[0] = 1.0f;

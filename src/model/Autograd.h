@@ -30,12 +30,12 @@ using TensorPtr = std::shared_ptr<Tensor>;
 /// A dense R×C float matrix with an optional gradient and a backward hook.
 class Tensor {
 public:
+  /// Gradient storage is lazy: it materializes on the first backward()
+  /// touch (or an explicit ensureGrad()), so inference-only tapes never
+  /// allocate Grad buffers at all.
   Tensor(int Rows, int Cols, bool RequiresGrad)
       : Rows(Rows), Cols(Cols), RequiresGrad(RequiresGrad),
-        Data(static_cast<size_t>(Rows) * Cols, 0.0f) {
-    if (RequiresGrad)
-      Grad.assign(Data.size(), 0.0f);
-  }
+        Data(static_cast<size_t>(Rows) * Cols, 0.0f) {}
 
   int rows() const { return Rows; }
   int cols() const { return Cols; }
@@ -130,6 +130,51 @@ TensorPtr crossEntropy(const TensorPtr &Logits,
 
 /// Runs reverse-mode accumulation from \p Root (seeds dRoot = 1).
 void backward(const TensorPtr &Root);
+
+/// RAII scope that disables tape construction on the current thread: ops
+/// still compute identical values but record no parents and allocate no
+/// backward closures, so intermediates are freed as soon as they go out of
+/// scope. Inference entry points (CodeBE::generate) hold one of these;
+/// nestable; thread-local, so generation workers never affect training.
+class NoGradGuard {
+public:
+  NoGradGuard();
+  ~NoGradGuard();
+  NoGradGuard(const NoGradGuard &) = delete;
+  NoGradGuard &operator=(const NoGradGuard &) = delete;
+
+  /// True while any NoGradGuard is alive on this thread.
+  static bool active();
+};
+
+namespace detail {
+
+/// Register-blocked GEMM kernels behind matmul/matmulNT (forward and
+/// backward). Each kernel keeps every output element's accumulation chain
+/// in ascending inner-dimension order, so results are bit-identical to the
+/// naive triple loops — blocking only adds independent accumulator chains
+/// (ILP) and streams operands through cache in larger units. Exposed here
+/// so the microbenchmarks can measure them directly.
+
+/// C += A·B (A: M×K, B: K×N, C: M×N). Zero entries of A are skipped like
+/// the historical scalar kernel (attention rows are sparse after masking).
+void gemmAccum(const float *A, const float *B, float *C, int M, int K,
+               int N);
+
+/// C = A·Bᵀ (A: M×K, B: N×K, C: M×N), with a packed B-panel fast path
+/// when M is large enough to amortize the packing.
+void gemmNT(const float *A, const float *B, float *C, int M, int K, int N);
+
+/// C += A·Bᵀ — the dA = dO·B step of matmulNT/matmul backward.
+void gemmNTAccum(const float *A, const float *B, float *C, int M, int K,
+                 int N);
+
+/// C += Aᵀ·G (A: M×K, G: M×N, C: K×N) — the dB = Aᵀ·dO step of matmul
+/// backward, preserving the skip on zero A entries.
+void gemmTNAccum(const float *A, const float *G, float *C, int M, int K,
+                 int N);
+
+} // namespace detail
 
 /// Adam optimizer over a fixed parameter list.
 class AdamOptimizer {

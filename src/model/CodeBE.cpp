@@ -222,18 +222,46 @@ TensorPtr CodeBE::combinedEmbeddings() {
 }
 
 void CodeBE::refreshCombCache() {
+  std::lock_guard<std::mutex> Lock(CombMu);
+  if (!CombDirty.load(std::memory_order_acquire))
+    return; // another thread already rebuilt it
   TensorPtr Comb = combinedEmbeddings();
-  CombCache = makeTensor(Comb->Rows, Comb->Cols, false);
-  CombCache->Data = Comb->Data;
-  CombDirty = false;
+  TensorPtr Fresh = makeTensor(Comb->Rows, Comb->Cols, false);
+  Fresh->Data = Comb->Data;
+  CombCache = std::move(Fresh);
+  CombDirty.store(false, std::memory_order_release);
+}
+
+void CodeBE::prepareGenerate() {
+  if (CombDirty.load(std::memory_order_acquire))
+    refreshCombCache();
+}
+
+TensorPtr CodeBE::presenceFor(int Rows, const std::vector<int> &SrcIds) {
+  // Source-presence bias: a learned uniform boost for every distinct token
+  // that occurs in the input (pointer-network prior).
+  std::vector<int> UniqueSrc;
+  {
+    std::vector<uint8_t> Seen(Vocabulary.size(), 0);
+    for (int Id : SrcIds)
+      if (!Seen[static_cast<size_t>(Id)]) {
+        Seen[static_cast<size_t>(Id)] = 1;
+        UniqueSrc.push_back(Id);
+      }
+  }
+  TensorPtr Ones = makeTensor(Rows, static_cast<int>(UniqueSrc.size()),
+                              /*RequiresGrad=*/false);
+  for (float &V : Ones->Data)
+    V = 1.0f;
+  return copyScatter(Ones, UniqueSrc, static_cast<int>(Vocabulary.size()));
 }
 
 TensorPtr CodeBE::logitsFor(const TensorPtr &DecOut, const TensorPtr &Memory,
-                            const std::vector<int> &SrcIds,
-                            bool UseCombCache) {
+                            const std::vector<int> &SrcIds, bool UseCombCache,
+                            const TensorPtr &CachedPresence) {
   TensorPtr Comb;
   if (UseCombCache) {
-    if (CombDirty)
+    if (CombDirty.load(std::memory_order_acquire))
       refreshCombCache();
     Comb = CombCache;
   } else {
@@ -246,23 +274,24 @@ TensorPtr CodeBE::logitsFor(const TensorPtr &DecOut, const TensorPtr &Memory,
   TensorPtr CScores = scale(matmulNT(linear(DecOut, CopyProj), Memory), Scale);
   TensorPtr A = softmaxRows(CScores);
   TensorPtr Copy = copyScatter(A, SrcIds, static_cast<int>(Vocabulary.size()));
-  // Source-presence bias: a learned uniform boost for every distinct token
-  // that occurs in the input (pointer-network prior).
-  std::vector<int> UniqueSrc;
-  {
-    std::vector<uint8_t> Seen(Vocabulary.size(), 0);
-    for (int Id : SrcIds)
-      if (!Seen[static_cast<size_t>(Id)]) {
-        Seen[static_cast<size_t>(Id)] = 1;
-        UniqueSrc.push_back(Id);
-      }
-  }
-  TensorPtr Ones = makeTensor(DecOut->Rows, static_cast<int>(UniqueSrc.size()),
-                              /*RequiresGrad=*/false);
-  for (float &V : Ones->Data)
-    V = 1.0f;
+  // The presence tensor is a pure function of (Rows, SrcIds); incremental
+  // decoding hands in the one-row tensor it computed before the loop.
   TensorPtr Presence =
-      copyScatter(Ones, UniqueSrc, static_cast<int>(Vocabulary.size()));
+      CachedPresence && CachedPresence->Rows == DecOut->Rows
+          ? CachedPresence
+          : presenceFor(DecOut->Rows, SrcIds);
+  if (NoGradGuard::active()) {
+    // Inference fast path: the three vocabulary-wide tails fuse into one
+    // in-place sweep over Base (fresh from matmulNT, so mutation is safe
+    // with no tape). Each element performs the identical float operations
+    // in the identical order as the add/scaleByScalar chain below, so the
+    // logits are bit-for-bit the same.
+    float CG = CopyGate->Data[0], SB = SrcBias->Data[0];
+    for (size_t I = 0; I < Base->Data.size(); ++I)
+      Base->Data[I] =
+          (Base->Data[I] + Copy->Data[I] * CG) + Presence->Data[I] * SB;
+    return Base;
+  }
   return add(add(Base, scaleByScalar(Copy, CopyGate)),
              scaleByScalar(Presence, SrcBias));
 }
@@ -327,13 +356,112 @@ void CodeBE::train(const std::vector<TrainPair> &Data,
   CombDirty = true;
 }
 
+/// Incremental decode scratch. SelfK/SelfV hold the per-layer K/V rows of
+/// every already-decoded position (row-major Len×DModel); CrossK/CrossV
+/// hold the cross-attention projections of the encoder memory, computed
+/// once per generate() and pre-sliced per head. Each generate() call owns
+/// its state, so parallel decodes share only immutable weights.
+struct CodeBE::KVCacheState {
+  TensorPtr Memory;
+  std::vector<std::vector<TensorPtr>> CrossK, CrossV; ///< [layer][head]
+  std::vector<std::vector<float>> SelfK, SelfV;       ///< [layer], Len×D
+  int Len = 0;
+};
+
+TensorPtr CodeBE::decodeStep(KVCacheState &St, int TokenId) {
+  const int D = Config.DModel, H = Config.Heads, Dk = D / H;
+  const float AttnScale = 1.0f / std::sqrt(static_cast<float>(Dk));
+  // Single-row embedding — embed() with position index St.Len.
+  std::vector<int> Ids = {TokenId};
+  std::vector<std::vector<int>> Lists = {
+      Vocabulary.pieceLists()[static_cast<size_t>(TokenId)]};
+  TensorPtr Tok = add(gatherRows(Etok, Ids), sparseMix(Epiece, Lists));
+  int Pos = St.Len < EposDst->Rows ? St.Len : EposDst->Rows - 1;
+  TensorPtr X = add(Tok, gatherRows(EposDst, {Pos}));
+
+  const int Len = St.Len + 1;
+  for (size_t LI = 0; LI < Dec.size(); ++LI) {
+    DecLayerP &L = Dec[LI];
+    // Self-attention over the cached prefix plus this row. Restricting the
+    // keys to positions 0..Len-1 is bit-identical to the full causal-masked
+    // pass: masked scores sit at ~-1e9, so their exp() underflows to
+    // exactly 0.0f and they contribute nothing to max, sum, or the
+    // attention-weighted value rows.
+    TensorPtr Qr = linear(X, L.Self.Q);
+    TensorPtr Kr = linear(X, L.Self.K);
+    TensorPtr Vr = linear(X, L.Self.V);
+    std::vector<float> &KCache = St.SelfK[LI];
+    std::vector<float> &VCache = St.SelfV[LI];
+    KCache.insert(KCache.end(), Kr->Data.begin(), Kr->Data.end());
+    VCache.insert(VCache.end(), Vr->Data.begin(), Vr->Data.end());
+    TensorPtr KAll = makeTensor(Len, D);
+    KAll->Data = KCache;
+    TensorPtr VAll = makeTensor(Len, D);
+    VAll->Data = VCache;
+    std::vector<TensorPtr> Heads;
+    for (int HI = 0; HI < H; ++HI) {
+      TensorPtr Qh = sliceCols(Qr, HI * Dk, Dk);
+      TensorPtr Kh = sliceCols(KAll, HI * Dk, Dk);
+      TensorPtr Vh = sliceCols(VAll, HI * Dk, Dk);
+      TensorPtr Scores = scale(matmulNT(Qh, Kh), AttnScale);
+      TensorPtr A = softmaxRows(Scores);
+      Heads.push_back(matmul(A, Vh));
+    }
+    TensorPtr AO = linear(concatCols(Heads), L.Self.O);
+    TensorPtr Y = layerNorm(add(X, AO), L.N1.G, L.N1.B);
+    // Cross-attention against the precomputed memory projections.
+    TensorPtr Qc = linear(Y, L.Cross.Q);
+    std::vector<TensorPtr> CHeads;
+    for (int HI = 0; HI < H; ++HI) {
+      TensorPtr Qh = sliceCols(Qc, HI * Dk, Dk);
+      TensorPtr Scores = scale(matmulNT(Qh, St.CrossK[LI][HI]), AttnScale);
+      TensorPtr A = softmaxRows(Scores);
+      CHeads.push_back(matmul(A, St.CrossV[LI][HI]));
+    }
+    TensorPtr C = linear(concatCols(CHeads), L.Cross.O);
+    TensorPtr Z = layerNorm(add(Y, C), L.N2.G, L.N2.B);
+    TensorPtr F = linear(relu(linear(Z, L.F1)), L.F2);
+    X = layerNorm(add(Z, F), L.N3.G, L.N3.B);
+  }
+  ++St.Len;
+  return X;
+}
+
 CodeBE::Decoded CodeBE::generate(const std::vector<int> &Src,
                                  const std::vector<uint8_t> *Allowed,
-                                 const DecodePlan *Plan) {
+                                 const DecodePlan *Plan, bool WithProbs) {
+  // Inference never backpropagates: build no tape, so every intermediate
+  // tensor dies at the end of its statement instead of living until the
+  // decode finishes.
+  NoGradGuard Guard;
   std::vector<int> Input = Src;
   if (static_cast<int>(Input.size()) > Config.MaxSrcLen)
     Input.resize(static_cast<size_t>(Config.MaxSrcLen));
-  TensorPtr Memory = runEncoder(Input);
+  TensorPtr Memory;
+  {
+    obs::Span EncSpan("model.encode", "model");
+    Memory = runEncoder(Input);
+  }
+  obs::Span DecSpan("model.decode", "model");
+
+  const bool UseKV = Mode == DecodeMode::KVCache;
+  KVCacheState St;
+  if (UseKV) {
+    const int Dk = Config.DModel / Config.Heads;
+    St.Memory = Memory;
+    St.CrossK.resize(Dec.size());
+    St.CrossV.resize(Dec.size());
+    St.SelfK.resize(Dec.size());
+    St.SelfV.resize(Dec.size());
+    for (size_t LI = 0; LI < Dec.size(); ++LI) {
+      TensorPtr K = linear(Memory, Dec[LI].Cross.K);
+      TensorPtr V = linear(Memory, Dec[LI].Cross.V);
+      for (int HI = 0; HI < Config.Heads; ++HI) {
+        St.CrossK[LI].push_back(sliceCols(K, HI * Dk, Dk));
+        St.CrossV[LI].push_back(sliceCols(V, HI * Dk, Dk));
+      }
+    }
+  }
 
   auto IsAllowed = [&](int Id) {
     if (!Allowed)
@@ -346,6 +474,9 @@ CodeBE::Decoded CodeBE::generate(const std::vector<int> &Src,
 
   Decoded Result;
   std::vector<int> DstIn = {Vocabulary.e2dId()};
+  int PrevTok = Vocabulary.e2dId();
+  // One-row presence bias, constant across all incremental steps.
+  TensorPtr PresenceRow = UseKV ? presenceFor(1, Input) : nullptr;
   for (int Step = 0; Step < Config.MaxDstLen; ++Step) {
     // Positions past the plan end the statement.
     if (Plan && static_cast<size_t>(Step) >= Plan->Steps.size())
@@ -354,9 +485,17 @@ CodeBE::Decoded CodeBE::generate(const std::vector<int> &Src,
         Plan && !Plan->Steps[static_cast<size_t>(Step)].empty()
             ? &Plan->Steps[static_cast<size_t>(Step)]
             : nullptr;
-    TensorPtr DecOut = runDecoder(Memory, DstIn);
-    TensorPtr Logits =
-        logitsFor(DecOut, Memory, Input, /*UseCombCache=*/true);
+    TensorPtr Logits;
+    if (UseKV) {
+      // Incremental path: only the new row's decoder work and a 1×V logit
+      // row — O(prefix) per step instead of O(prefix²).
+      TensorPtr DecRow = decodeStep(St, PrevTok);
+      Logits = logitsFor(DecRow, Memory, Input, /*UseCombCache=*/true,
+                         PresenceRow);
+    } else {
+      TensorPtr DecOut = runDecoder(Memory, DstIn);
+      Logits = logitsFor(DecOut, Memory, Input, /*UseCombCache=*/true);
+    }
     // Greedy choice over the last row, restricted to the admissible set.
     int Last = Logits->Rows - 1;
     int Best = -1;
@@ -392,21 +531,38 @@ CodeBE::Decoded CodeBE::generate(const std::vector<int> &Src,
     }
     if (Best < 0)
       break;
-    // Softmax probability of the chosen token (over the full vocabulary,
-    // for numerical stability anchored at the global maximum).
-    float MaxAll = BestV;
-    for (int J = 0; J < Logits->Cols; ++J)
-      MaxAll = std::max(MaxAll, Logits->at(Last, J));
-    double Sum = 0.0;
-    for (int J = 0; J < Logits->Cols; ++J)
-      Sum += std::exp(static_cast<double>(Logits->at(Last, J) - MaxAll));
-    double Prob = std::exp(static_cast<double>(BestV - MaxAll)) / Sum;
+    // Softmax probability of the chosen token over the full vocabulary, in
+    // a single fused pass: an online softmax keeps a running maximum and a
+    // sum rescaled whenever the maximum moves, replacing the separate
+    // max-then-sum sweeps of the row. Seeding the maximum at BestV keeps
+    // the anchor at the global maximum even when a plan bias lifted the
+    // winner above every raw logit. Callers that ignore probabilities
+    // skip the sweep entirely (a vocabulary of exp() calls per step).
+    double Prob = 1.0;
+    if (WithProbs) {
+      const float *Row =
+          &Logits->Data[static_cast<size_t>(Last) * Logits->Cols];
+      float MaxAll = BestV;
+      double Sum = 0.0;
+      for (int J = 0; J < Logits->Cols; ++J) {
+        float V = Row[J];
+        if (V > MaxAll) {
+          Sum = Sum * std::exp(static_cast<double>(MaxAll - V)) + 1.0;
+          MaxAll = V;
+        } else {
+          Sum += std::exp(static_cast<double>(V - MaxAll));
+        }
+      }
+      Prob = std::exp(static_cast<double>(BestV - MaxAll)) / Sum;
+    }
 
     if (Best == Vocabulary.eosId())
       break;
     Result.Tokens.push_back(Best);
-    Result.Probs.push_back(Prob);
+    if (WithProbs)
+      Result.Probs.push_back(Prob);
     DstIn.push_back(Best);
+    PrevTok = Best;
   }
   auto &Metrics = obs::MetricsRegistry::instance();
   Metrics.addCounter("model.generate_calls");

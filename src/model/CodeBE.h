@@ -22,7 +22,9 @@
 #include "model/Autograd.h"
 #include "model/Vocab.h"
 
+#include <atomic>
 #include <functional>
+#include <mutex>
 #include <optional>
 
 namespace vega {
@@ -83,9 +85,31 @@ public:
     std::vector<std::map<int, float>> Bias;
   };
 
+  /// When \p WithProbs is false, the per-token probability pass (a full
+  /// softmax over the vocabulary at every step) is skipped and
+  /// Decoded::Probs comes back empty; token choice is unaffected. Stage 3
+  /// reads the confidence bucket, not the probabilities, so it decodes
+  /// with WithProbs=false.
   Decoded generate(const std::vector<int> &Src,
                    const std::vector<uint8_t> *Allowed = nullptr,
-                   const DecodePlan *Plan = nullptr);
+                   const DecodePlan *Plan = nullptr, bool WithProbs = true);
+
+  /// Decode strategy. KVCache (the default) caches per-layer self-attention
+  /// K/V rows and the cross-attention memory projections so each step does
+  /// O(prefix) work instead of re-running the decoder over the whole prefix
+  /// — bit-identical to FullRecompute because the causal mask zeroes future
+  /// positions exactly (exp(-1e9) underflows to 0.0f) and every kernel
+  /// keeps per-element accumulation order fixed. FullRecompute is kept as
+  /// the reference path for equivalence tests and benchmarks.
+  enum class DecodeMode { KVCache, FullRecompute };
+  void setDecodeMode(DecodeMode M) { Mode = M; }
+  DecodeMode decodeMode() const { return Mode; }
+
+  /// Readies the model for concurrent generate() calls: forces the shared
+  /// inference embedding cache fresh so worker threads never race to build
+  /// it. generate() is safe to call from many threads afterwards, provided
+  /// no train()/loadWeights() runs concurrently.
+  void prepareGenerate();
 
   /// Fraction of pairs whose greedy decode exactly matches Dst (the paper's
   /// Exact Match score, §4.1.2).
@@ -125,7 +149,14 @@ private:
     LNP N3;
   };
 
+  /// Per-call incremental decode scratch (one per generate() invocation,
+  /// so concurrent decodes never share mutable state).
+  struct KVCacheState;
+
   TensorPtr linear(const TensorPtr &X, const LinearP &P);
+  /// Feeds one token through the decoder using (and extending) the K/V
+  /// cache; returns the new 1×DModel decoder output row.
+  TensorPtr decodeStep(KVCacheState &St, int TokenId);
   TensorPtr attention(const TensorPtr &XQ, const TensorPtr &XKV,
                       const MHAP &P, const Tensor *Mask);
   TensorPtr encLayer(const TensorPtr &X, EncLayerP &L);
@@ -134,8 +165,13 @@ private:
   TensorPtr embed(const std::vector<int> &Ids, const TensorPtr &Pos);
   TensorPtr runEncoder(const std::vector<int> &Src);
   TensorPtr runDecoder(const TensorPtr &Memory, const std::vector<int> &DstIn);
+  /// One-row-per-step decoding recomputes the source-presence bias tensor
+  /// identically every step; presenceFor builds it once and logitsFor
+  /// accepts it pre-computed (\p CachedPresence, matched on row count).
+  TensorPtr presenceFor(int Rows, const std::vector<int> &SrcIds);
   TensorPtr logitsFor(const TensorPtr &DecOut, const TensorPtr &Memory,
-                      const std::vector<int> &SrcIds, bool UseCombCache);
+                      const std::vector<int> &SrcIds, bool UseCombCache,
+                      const TensorPtr &CachedPresence = nullptr);
   TensorPtr combinedEmbeddings();
   void refreshCombCache();
   std::vector<TensorPtr> parameters() const;
@@ -150,7 +186,9 @@ private:
   TensorPtr CopyGate;
   TensorPtr SrcBias; ///< learned boost for tokens present in the source
   TensorPtr CombCache; ///< no-grad combined embeddings for inference
-  bool CombDirty = true;
+  std::atomic<bool> CombDirty{true};
+  std::mutex CombMu; ///< serializes CombCache refresh across threads
+  DecodeMode Mode = DecodeMode::KVCache;
 };
 
 } // namespace vega

@@ -1,0 +1,118 @@
+//===- support/ThreadPool.cpp - Fixed-size worker pool ----------------------===//
+//
+// Part of the VEGA reproduction project.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+#include <cstdlib>
+
+using namespace vega;
+
+namespace {
+thread_local int CurrentLaneTL = -1;
+} // namespace
+
+unsigned ThreadPool::defaultJobs() {
+  if (const char *Env = std::getenv("VEGA_JOBS")) {
+    int N = std::atoi(Env);
+    if (N > 0)
+      return static_cast<unsigned>(N);
+  }
+  unsigned HW = std::thread::hardware_concurrency();
+  return HW > 0 ? HW : 1;
+}
+
+int ThreadPool::currentLane() { return CurrentLaneTL; }
+
+ThreadPool::ThreadPool(int Jobs)
+    : JobCount(Jobs > 0 ? static_cast<unsigned>(Jobs) : defaultJobs()) {
+  for (unsigned Lane = 1; Lane < JobCount; ++Lane)
+    Workers.emplace_back([this, Lane] { workerLoop(Lane); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> L(Mu);
+    Stop = true;
+  }
+  WorkCv.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+void ThreadPool::runBatch(Batch &B) {
+  for (;;) {
+    size_t I = B.Next.fetch_add(1, std::memory_order_relaxed);
+    if (I >= B.N)
+      break;
+    try {
+      (*B.Fn)(I);
+    } catch (...) {
+      std::lock_guard<std::mutex> L(B.Mu);
+      if (!B.Error)
+        B.Error = std::current_exception();
+    }
+    if (B.Done.fetch_add(1, std::memory_order_acq_rel) + 1 == B.N) {
+      std::lock_guard<std::mutex> L(B.Mu);
+      B.Finished = true;
+      B.DoneCv.notify_all();
+    }
+  }
+}
+
+void ThreadPool::workerLoop(unsigned Lane) {
+  CurrentLaneTL = static_cast<int>(Lane);
+  std::shared_ptr<Batch> Seen;
+  for (;;) {
+    std::shared_ptr<Batch> B;
+    {
+      std::unique_lock<std::mutex> L(Mu);
+      WorkCv.wait(L, [&] { return Stop || Current != Seen; });
+      if (Stop)
+        return;
+      Seen = Current;
+      B = Current;
+    }
+    if (B)
+      runBatch(*B);
+  }
+}
+
+void ThreadPool::parallelFor(size_t N,
+                             const std::function<void(size_t)> &Fn) {
+  if (N == 0)
+    return;
+  int PrevLane = CurrentLaneTL;
+  if (Workers.empty() || N == 1) {
+    // Serial fast path: jobs=1 (or a single item) runs inline with no
+    // synchronization, which is exactly the pre-pool code path.
+    CurrentLaneTL = 0;
+    try {
+      for (size_t I = 0; I < N; ++I)
+        Fn(I);
+    } catch (...) {
+      CurrentLaneTL = PrevLane;
+      throw;
+    }
+    CurrentLaneTL = PrevLane;
+    return;
+  }
+  auto B = std::make_shared<Batch>();
+  B->Fn = &Fn;
+  B->N = N;
+  {
+    std::lock_guard<std::mutex> L(Mu);
+    Current = B;
+  }
+  WorkCv.notify_all();
+  CurrentLaneTL = 0;
+  runBatch(*B);
+  CurrentLaneTL = PrevLane;
+  std::unique_lock<std::mutex> L(B->Mu);
+  B->DoneCv.wait(L, [&] { return B->Finished; });
+  if (B->Error)
+    std::rethrow_exception(B->Error);
+}

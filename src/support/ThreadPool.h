@@ -1,0 +1,110 @@
+//===- support/ThreadPool.h - Fixed-size worker pool -------------*- C++ -*-===//
+//
+// Part of the VEGA reproduction project.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fixed-size worker pool with a parallelFor / deterministic-reduce API.
+/// Stage 3 fans backend generation out per function across this pool; the
+/// merge step folds results in ascending index order so parallel runs are
+/// byte-identical to serial ones (see DESIGN.md "Performance engineering").
+///
+/// With one job the pool spawns no threads and parallelFor runs inline on
+/// the caller, so `--jobs=1` is exactly the serial code path.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VEGA_SUPPORT_THREADPOOL_H
+#define VEGA_SUPPORT_THREADPOOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace vega {
+
+class ThreadPool {
+public:
+  /// \p Jobs <= 0 selects defaultJobs(). The pool owns Jobs-1 worker
+  /// threads; the caller of parallelFor always participates as lane 0.
+  explicit ThreadPool(int Jobs = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Total lanes (worker threads + the participating caller).
+  unsigned jobs() const { return JobCount; }
+
+  /// The default job count: VEGA_JOBS when set, else hardware_concurrency.
+  static unsigned defaultJobs();
+
+  /// Lane index of the calling thread while it executes parallelFor work
+  /// (0 = caller, 1..jobs()-1 = pool workers); -1 outside the pool.
+  static int currentLane();
+
+  /// Runs Fn(0..N-1) across all lanes; items are claimed from a shared
+  /// atomic counter. Blocks until every item completed. The first exception
+  /// thrown by an item is rethrown on the caller after the batch drains.
+  /// Not reentrant: do not call parallelFor from inside an item.
+  void parallelFor(size_t N, const std::function<void(size_t)> &Fn);
+
+  /// Maps Fn over 0..N-1 in parallel and returns the results indexed by
+  /// item — the deterministic counterpart of a parallel loop with side
+  /// effects: merge order never depends on thread scheduling.
+  template <typename T>
+  std::vector<T> parallelMap(size_t N, const std::function<T(size_t)> &Fn) {
+    std::vector<T> Out(N);
+    parallelFor(N, [&](size_t I) { Out[I] = Fn(I); });
+    return Out;
+  }
+
+  /// Deterministic map-reduce: computes Map(i) in parallel, then folds the
+  /// partial results serially in ascending index order, so floating-point
+  /// and container accumulation match the serial loop bit for bit.
+  template <typename T, typename MapFn, typename ReduceFn>
+  T parallelReduce(size_t N, T Init, MapFn Map, ReduceFn Reduce) {
+    std::vector<T> Parts(N);
+    parallelFor(N, [&](size_t I) { Parts[I] = Map(I); });
+    T Acc = std::move(Init);
+    for (size_t I = 0; I < N; ++I)
+      Acc = Reduce(std::move(Acc), std::move(Parts[I]));
+    return Acc;
+  }
+
+private:
+  /// One parallelFor invocation. Heap-allocated and published via
+  /// shared_ptr so a worker that wakes up late holds a reference to the
+  /// batch it saw, never to a newer one's counters.
+  struct Batch {
+    const std::function<void(size_t)> *Fn = nullptr;
+    size_t N = 0;
+    std::atomic<size_t> Next{0};
+    std::atomic<size_t> Done{0};
+    std::mutex Mu;
+    std::condition_variable DoneCv;
+    bool Finished = false;
+    std::exception_ptr Error; ///< first failure; guarded by Mu
+  };
+
+  void workerLoop(unsigned Lane);
+  static void runBatch(Batch &B);
+
+  unsigned JobCount;
+  std::vector<std::thread> Workers;
+  std::mutex Mu;
+  std::condition_variable WorkCv;
+  std::shared_ptr<Batch> Current; ///< guarded by Mu
+  bool Stop = false;              ///< guarded by Mu
+};
+
+} // namespace vega
+
+#endif // VEGA_SUPPORT_THREADPOOL_H

@@ -171,12 +171,14 @@ TEST(Integration, TraceCoversAllModulesAndAgreesWithFig7) {
       EXPECT_EQ(E.Depth, 0);
     }
   EXPECT_TRUE(SawStage3);
-  // Per-row spans nest beneath the function spans.
+  // Per-row spans nest beneath the function spans. Span depth is
+  // per-thread, so on a worker lane the gen.<module> span sits at depth 0
+  // and the rows at depth 1; on the caller lane they sit one deeper.
   bool SawRow = false;
   for (const obs::TraceEvent &E : Events)
     if (E.Name == "gen.row") {
       SawRow = true;
-      EXPECT_GE(E.Depth, 2);
+      EXPECT_GE(E.Depth, 1);
     }
   EXPECT_TRUE(SawRow);
 

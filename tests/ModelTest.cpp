@@ -243,6 +243,67 @@ TEST(CodeBE, LearnsACopyTask) {
   EXPECT_GT(EM, 0.9);
 }
 
+TEST(CodeBE, KVCacheDecodeMatchesFullRecompute) {
+  // The incremental decoder must be bit-identical to re-running the full
+  // decoder every step: same tokens AND same chosen probabilities, compared
+  // with exact floating-point equality (no tolerance).
+  Vocab V;
+  std::vector<std::string> Words;
+  for (int I = 0; I < 12; ++I) {
+    Words.push_back("kv" + std::to_string(I));
+    V.addToken(Words.back());
+  }
+  CodeBEConfig C;
+  C.Epochs = 6;
+  C.MaxSrcLen = 8;
+  C.MaxDstLen = 6;
+  C.LearningRate = 2e-3f;
+  std::vector<TrainPair> Data;
+  RNG Rng(17);
+  for (int I = 0; I < 120; ++I) {
+    int A = static_cast<int>(Rng.nextBelow(12));
+    int B = static_cast<int>(Rng.nextBelow(12));
+    TrainPair P;
+    P.Src = {V.clsId(), V.idOf(Words[static_cast<size_t>(A)]),
+             V.idOf(Words[static_cast<size_t>(B)])};
+    P.Dst = {V.csId(20), V.idOf(Words[static_cast<size_t>(B)]),
+             V.idOf(Words[static_cast<size_t>(A)]), V.eosId()};
+    Data.push_back(P);
+  }
+  CodeBE Model(V, C);
+  Model.train(Data);
+
+  RNG Pick(23);
+  for (int Case = 0; Case < 20; ++Case) {
+    std::vector<int> Src = {
+        V.clsId(), V.idOf(Words[Pick.nextBelow(12)]),
+        V.idOf(Words[Pick.nextBelow(12)])};
+    Model.setDecodeMode(CodeBE::DecodeMode::FullRecompute);
+    CodeBE::Decoded Full = Model.generate(Src);
+    Model.setDecodeMode(CodeBE::DecodeMode::KVCache);
+    CodeBE::Decoded Inc = Model.generate(Src);
+    EXPECT_EQ(Full.Tokens, Inc.Tokens) << "case " << Case;
+    ASSERT_EQ(Full.Probs.size(), Inc.Probs.size()) << "case " << Case;
+    for (size_t I = 0; I < Full.Probs.size(); ++I)
+      EXPECT_EQ(Full.Probs[I], Inc.Probs[I])
+          << "case " << Case << " position " << I;
+  }
+
+  // Constrained decoding takes the same paths through both modes.
+  std::vector<uint8_t> Allowed(static_cast<size_t>(V.size()), 0);
+  for (int I = 0; I < 6; ++I)
+    Allowed[static_cast<size_t>(V.idOf(Words[static_cast<size_t>(I)]))] = 1;
+  std::vector<int> Src = {V.clsId(), V.idOf(Words[2]), V.idOf(Words[5])};
+  Model.setDecodeMode(CodeBE::DecodeMode::FullRecompute);
+  CodeBE::Decoded Full = Model.generate(Src, &Allowed);
+  Model.setDecodeMode(CodeBE::DecodeMode::KVCache);
+  CodeBE::Decoded Inc = Model.generate(Src, &Allowed);
+  EXPECT_EQ(Full.Tokens, Inc.Tokens);
+  ASSERT_EQ(Full.Probs.size(), Inc.Probs.size());
+  for (size_t I = 0; I < Full.Probs.size(); ++I)
+    EXPECT_EQ(Full.Probs[I], Inc.Probs[I]) << "position " << I;
+}
+
 TEST(CodeBE, ConstrainedDecodingRestrictsOutput) {
   Vocab V;
   int A = V.addToken("aaa"), B = V.addToken("bbb");

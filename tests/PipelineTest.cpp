@@ -177,3 +177,55 @@ TEST(Pipeline, FeatureAblationChangesInputs) {
   EXPECT_EQ(std::find(FV.begin(), FV.end(), "RISCVELFObjectWriter"),
             FV.end());
 }
+
+namespace {
+
+/// Canonical text form of a backend with the volatile timing fields zeroed
+/// out — everything else (tokens, confidences, emission decisions, order)
+/// must be byte-identical across job counts.
+std::string canon(const GeneratedBackend &GB) {
+  std::string Out = "TARGET " + GB.TargetName + "\n";
+  char Buf[64];
+  for (const GeneratedFunction &F : GB.Functions) {
+    std::snprintf(Buf, sizeof(Buf), "%.17g", F.Confidence);
+    Out += "FUNCTION " + F.InterfaceName + " " + moduleName(F.Module) + " " +
+           Buf + (F.Emitted ? " emitted" : " dropped") +
+           (F.MultiTargetDerived ? " multi\n" : "\n");
+    for (const GeneratedStatement &S : F.Statements) {
+      std::snprintf(Buf, sizeof(Buf), "%d %.17g %d", S.RowIndex, S.Confidence,
+                    S.Emitted ? 1 : 0);
+      Out += "  STMT " + std::string(Buf) + " [" + S.CandidateValue + "] " +
+             renderTokens(S.Tokens) + "\n";
+    }
+  }
+  return Out;
+}
+
+} // namespace
+
+TEST(Pipeline, GeneratedBackendIsIdenticalAcrossJobCounts) {
+  // The hard Stage-3 invariant: the worker pool only changes who computes
+  // each function, never what is computed — serial and 4-lane runs must
+  // produce byte-identical backends (timing fields aside).
+  VegaOptions Opts;
+  Opts.Model.Epochs = 1;
+  Opts.WeightCachePath = "pipeline_jobs_model.bin";
+  VegaSystem Sys(sharedCorpus(), Opts);
+  Sys.buildTemplates();
+  Sys.buildDataset();
+  Sys.trainModel();
+
+  Sys.setJobs(1);
+  GeneratedBackend Serial = Sys.generateBackend("RISCV");
+  Sys.setJobs(4);
+  GeneratedBackend Parallel = Sys.generateBackend("RISCV");
+
+  ASSERT_EQ(Serial.Functions.size(), Parallel.Functions.size());
+  EXPECT_EQ(canon(Serial), canon(Parallel));
+
+  // And the KV cache itself must not change the output either.
+  Sys.model()->setDecodeMode(CodeBE::DecodeMode::FullRecompute);
+  GeneratedBackend Reference = Sys.generateBackend("RISCV");
+  Sys.model()->setDecodeMode(CodeBE::DecodeMode::KVCache);
+  EXPECT_EQ(canon(Reference), canon(Serial));
+}

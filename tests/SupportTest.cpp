@@ -9,9 +9,14 @@
 #include "support/RNG.h"
 #include "support/StringUtils.h"
 #include "support/TextTable.h"
+#include "support/ThreadPool.h"
 #include "support/VirtualFileSystem.h"
 
 #include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
 
 using namespace vega;
 
@@ -192,4 +197,84 @@ TEST(Expected, SuccessAndError) {
   Expected<int> Err = makeError<int>("nope");
   EXPECT_FALSE(Err);
   EXPECT_EQ(Err.getError(), "nope");
+}
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+  ThreadPool Pool(4);
+  EXPECT_EQ(Pool.jobs(), 4u);
+  constexpr size_t N = 1000;
+  std::vector<std::atomic<int>> Hits(N);
+  Pool.parallelFor(N, [&](size_t I) { Hits[I].fetch_add(1); });
+  for (size_t I = 0; I < N; ++I)
+    EXPECT_EQ(Hits[I].load(), 1) << "index " << I;
+}
+
+TEST(ThreadPool, SerialFastPathWithOneJob) {
+  ThreadPool Pool(1);
+  EXPECT_EQ(Pool.jobs(), 1u);
+  std::vector<size_t> Order;
+  Pool.parallelFor(5, [&](size_t I) { Order.push_back(I); });
+  // jobs=1 runs inline on the caller in ascending order — the exact
+  // pre-pool serial code path.
+  ASSERT_EQ(Order.size(), 5u);
+  for (size_t I = 0; I < 5; ++I)
+    EXPECT_EQ(Order[I], I);
+}
+
+TEST(ThreadPool, LaneIdsStayInRange) {
+  ThreadPool Pool(3);
+  EXPECT_EQ(ThreadPool::currentLane(), -1);
+  std::atomic<bool> Bad{false};
+  Pool.parallelFor(64, [&](size_t) {
+    int Lane = ThreadPool::currentLane();
+    if (Lane < 0 || Lane >= 3)
+      Bad = true;
+  });
+  EXPECT_FALSE(Bad.load());
+  EXPECT_EQ(ThreadPool::currentLane(), -1);
+}
+
+TEST(ThreadPool, ReduceMatchesSerialFoldBitForBit) {
+  // parallelReduce folds partials in ascending index order, so the result
+  // must be bit-identical to the plain serial loop regardless of lanes.
+  auto Map = [](size_t I) {
+    return 1.0f / static_cast<float>(I + 1); // order-sensitive f32 terms
+  };
+  float Serial = 0.0f;
+  for (size_t I = 0; I < 512; ++I)
+    Serial += Map(I);
+  ThreadPool Pool(4);
+  float Parallel = Pool.parallelReduce<float>(
+      512, 0.0f, Map, [](float Acc, float V) { return Acc + V; });
+  EXPECT_EQ(Serial, Parallel);
+}
+
+TEST(ThreadPool, ParallelMapPreservesIndexing) {
+  ThreadPool Pool(2);
+  std::vector<int> Out =
+      Pool.parallelMap<int>(100, [](size_t I) { return static_cast<int>(I * I); });
+  ASSERT_EQ(Out.size(), 100u);
+  for (size_t I = 0; I < Out.size(); ++I)
+    EXPECT_EQ(Out[I], static_cast<int>(I * I));
+}
+
+TEST(ThreadPool, FirstExceptionPropagatesToCaller) {
+  ThreadPool Pool(4);
+  EXPECT_THROW(Pool.parallelFor(32,
+                                [&](size_t I) {
+                                  if (I == 7)
+                                    throw std::runtime_error("boom");
+                                }),
+               std::runtime_error);
+  // The pool stays usable after a failed batch.
+  std::atomic<int> Count{0};
+  Pool.parallelFor(8, [&](size_t) { Count.fetch_add(1); });
+  EXPECT_EQ(Count.load(), 8);
+}
+
+TEST(ThreadPool, DefaultJobsHonorsEnvOverride) {
+  setenv("VEGA_JOBS", "3", 1);
+  EXPECT_EQ(ThreadPool::defaultJobs(), 3u);
+  unsetenv("VEGA_JOBS");
+  EXPECT_GE(ThreadPool::defaultJobs(), 1u);
 }

@@ -17,8 +17,11 @@
 ///   vega-cli evaluate <target> [epochs]   generate + pass@1 report
 ///   vega-cli forkflow <target>            evaluate the MIPS fork baseline
 ///
-/// Observability flags (valid before any command):
+/// Flags (valid before any command):
 ///
+///   --jobs=<N>                 Stage-3 generation lanes (default: VEGA_JOBS
+///                              env var, else hardware concurrency); output
+///                              is byte-identical for every N
 ///   --trace-out=<file>.json    record spans, write a Chrome/Perfetto trace
 ///   --metrics-out=<file>.json  record counters/gauges/histograms as JSON
 ///   --stats                    print a text metrics summary on exit
@@ -43,8 +46,9 @@ namespace {
 int usage() {
   std::fprintf(
       stderr,
-      "usage: vega-cli [--trace-out=<file>] [--metrics-out=<file>] [--stats]\n"
-      "                <command> [args]\n"
+      "usage: vega-cli [--jobs=<N>] [--trace-out=<file>] "
+      "[--metrics-out=<file>]\n"
+      "                [--stats] <command> [args]\n"
       "  targets | groups | template <iface> | features <iface>\n"
       "  golden <target> <iface> | harvest <prop> <target>\n"
       "  generate <target> [epochs] | evaluate <target> [epochs]\n"
@@ -176,6 +180,9 @@ int cmdHarvest(const std::string &Prop, const std::string &Target) {
   return 0;
 }
 
+/// Stage-3 lane count from --jobs=N (0 = auto; see VegaOptions::Jobs).
+int JobsFlag = 0;
+
 VegaSystem &trainedSystem(int Epochs) {
   static VegaSystem *Sys = nullptr;
   if (!Sys) {
@@ -183,6 +190,7 @@ VegaSystem &trainedSystem(int Epochs) {
     Opts.Model.Epochs = Epochs;
     Opts.WeightCachePath = "vega_cli_model.bin";
     Opts.Verbose = true;
+    Opts.Jobs = JobsFlag;
     Sys = new VegaSystem(corpus(), Opts);
     Sys->buildTemplates();
     Sys->buildDataset();
@@ -275,7 +283,9 @@ int main(int argc, char **argv) {
   std::vector<std::string> Args;
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
-    if (Arg.rfind("--trace-out=", 0) == 0)
+    if (Arg.rfind("--jobs=", 0) == 0)
+      JobsFlag = std::atoi(Arg.c_str() + 7);
+    else if (Arg.rfind("--trace-out=", 0) == 0)
       TraceOut = Arg.substr(12);
     else if (Arg.rfind("--metrics-out=", 0) == 0)
       MetricsOut = Arg.substr(14);
