@@ -27,6 +27,7 @@
 #include "minicc/Benchmarks.h"
 #include "model/Autograd.h"
 #include "sim/Simulator.h"
+#include "support/ArgParse.h"
 #include "support/RNG.h"
 #include "templatize/FunctionTemplate.h"
 
@@ -366,14 +367,25 @@ int writeInferenceReport(const std::string &Path) {
 } // namespace
 
 int main(int argc, char **argv) {
-  std::string ReportPath;
-  std::vector<char *> Args;
-  for (int I = 0; I < argc; ++I) {
-    if (std::string(argv[I]).rfind("--inference-report=", 0) == 0)
-      ReportPath = std::string(argv[I]).substr(19);
-    else
-      Args.push_back(argv[I]);
+  vega::ArgParse Parser("microbench",
+                        "google-benchmark micro-suite for the VEGA kernels");
+  Parser.addOption("inference-report", "file.json",
+                   "also measure end-to-end decode latency and write a report");
+  Parser.setPassthroughUnknown(true); // --benchmark_* flags stay untouched
+  if (vega::Status St = Parser.parse(argc, argv); !St.isOk()) {
+    std::fprintf(stderr, "microbench: %s\n%s", St.toString().c_str(),
+                 Parser.usage().c_str());
+    return St.toExitCode();
   }
+  std::string ReportPath = Parser.get("inference-report");
+
+  std::vector<std::string> Stored;
+  Stored.push_back(argv[0]);
+  for (const std::string &A : Parser.passthroughArgs())
+    Stored.push_back(A);
+  std::vector<char *> Args;
+  for (std::string &A : Stored)
+    Args.push_back(A.data());
   int Argc = static_cast<int>(Args.size());
   benchmark::Initialize(&Argc, Args.data());
   if (benchmark::ReportUnrecognizedArguments(Argc, Args.data()))

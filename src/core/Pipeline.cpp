@@ -40,6 +40,29 @@ double GeneratedBackend::totalSeconds() const {
   return Total;
 }
 
+uint64_t VegaOptions::fingerprint() const {
+  uint64_t H = Model.fingerprint();
+  auto Mix = [&H](uint64_t V) {
+    H ^= V;
+    H *= 1099511628211ULL;
+  };
+  auto MixBits = [&Mix](double V) {
+    uint64_t Bits = 0;
+    std::memcpy(&Bits, &V, sizeof(Bits));
+    Mix(Bits);
+  };
+  Mix(static_cast<uint64_t>(Model.Epochs));
+  Mix(static_cast<uint64_t>(Model.BatchSize));
+  MixBits(static_cast<double>(Model.LearningRate));
+  Mix(static_cast<uint64_t>(Split));
+  MixBits(TrainFraction);
+  Mix(SplitSeed);
+  Mix(static_cast<uint64_t>(MaxCandidatesPerRow));
+  Mix(UseTargetDependentValues ? 1 : 2);
+  Mix(UseTargetIndependentBools ? 1 : 2);
+  return H;
+}
+
 namespace {
 
 /// Global ordering of updatable Boolean properties shared by every feature
@@ -118,8 +141,12 @@ struct VegaSystemState {
 
 static std::map<const VegaSystem *, vega::detail::VegaSystemState> &
 stateMap() {
-  static std::map<const VegaSystem *, vega::detail::VegaSystemState> Map;
-  return Map;
+  // Intentionally leaked: VegaSystem instances held in function-local statics
+  // (e.g. a CLI's cached session) may outlive an ordinary function-local map,
+  // and ~VegaSystem must be able to erase its entry at any point of shutdown.
+  static auto *Map =
+      new std::map<const VegaSystem *, vega::detail::VegaSystemState>();
+  return *Map;
 }
 
 VegaSystem::VegaSystem(const BackendCorpus &Corpus, VegaOptions Options)
@@ -139,6 +166,14 @@ VegaSystem::VegaSystem(const BackendCorpus &Corpus, VegaOptions Options)
 }
 
 VegaSystem::~VegaSystem() { stateMap().erase(this); }
+
+std::vector<std::string> VegaSystem::globalBoolNames() const {
+  return stateMap().at(this).GlobalBools;
+}
+
+void VegaSystem::setGlobalBoolNames(std::vector<std::string> Names) {
+  stateMap()[this].GlobalBools = std::move(Names);
+}
 
 const TemplateInfo *
 VegaSystem::findTemplate(const std::string &InterfaceName) const {
@@ -630,34 +665,38 @@ TrainPair VegaSystem::toIds(const TextPair &Pair) const {
   return Ids;
 }
 
-void VegaSystem::trainModel() {
-  obs::Span StageSpan("stage2.train_model", "stage2");
+VegaSystem::WeightCacheStatus
+VegaSystem::initModelFromCache(std::string *Detail) {
   Model = std::make_unique<CodeBE>(Vocabulary, Options.Model);
+  if (Options.WeightCachePath.empty())
+    return WeightCacheStatus::Disabled;
+  std::ifstream In(Options.WeightCachePath, std::ios::binary);
+  if (!In)
+    return WeightCacheStatus::Missing;
+  std::stringstream Buffer;
+  Buffer << In.rdbuf();
+  std::string Blob = Buffer.str();
+  auto Mismatch = [&](const char *Why) {
+    if (Detail)
+      *Detail = std::string(Why) + " ('" + Options.WeightCachePath + "')";
+    return WeightCacheStatus::Mismatch;
+  };
+  // Layout: u64 vocab length | vocab | weights.
+  if (Blob.size() <= sizeof(uint64_t))
+    return Mismatch("weight cache is truncated");
+  uint64_t VLen = 0;
+  std::memcpy(&VLen, Blob.data(), sizeof(VLen));
+  if (sizeof(VLen) + VLen > Blob.size())
+    return Mismatch("weight cache is truncated");
+  if (Blob.substr(sizeof(VLen), VLen) != Vocabulary.serialize())
+    return Mismatch("weight cache was built over a different vocabulary");
+  if (!Model->loadWeights(Blob.substr(sizeof(VLen) + VLen)))
+    return Mismatch("weight cache does not match the model architecture");
+  return WeightCacheStatus::Loaded;
+}
 
-  if (!Options.WeightCachePath.empty()) {
-    std::ifstream In(Options.WeightCachePath, std::ios::binary);
-    if (In) {
-      std::stringstream Buffer;
-      Buffer << In.rdbuf();
-      std::string Blob = Buffer.str();
-      // Layout: u64 vocab length | vocab | weights.
-      if (Blob.size() > sizeof(uint64_t)) {
-        uint64_t VLen = 0;
-        std::memcpy(&VLen, Blob.data(), sizeof(VLen));
-        if (sizeof(VLen) + VLen <= Blob.size()) {
-          std::string VocabBlob = Blob.substr(sizeof(VLen), VLen);
-          if (VocabBlob == Vocabulary.serialize() &&
-              Model->loadWeights(Blob.substr(sizeof(VLen) + VLen))) {
-            if (Options.Verbose)
-              std::fprintf(stderr, "vega: loaded cached CodeBE weights\n");
-            StageSpan.arg("weights", "cached");
-            return;
-          }
-        }
-      }
-    }
-  }
-
+void VegaSystem::fineTuneImpl() {
+  assert(Model && "initModelFromCache() must run first");
   std::vector<TrainPair> Data;
   Data.reserve(TrainTexts.size());
   for (const TextPair &P : TrainTexts)
@@ -676,6 +715,29 @@ void VegaSystem::trainModel() {
     std::string Weights = Model->saveWeights();
     Out.write(Weights.data(), static_cast<long>(Weights.size()));
   }
+}
+
+void VegaSystem::fineTune() {
+  obs::Span StageSpan("stage2.train_model", "stage2");
+  StageSpan.arg("weights", "trained");
+  fineTuneImpl();
+}
+
+void VegaSystem::trainModel() {
+  obs::Span StageSpan("stage2.train_model", "stage2");
+  std::string Detail;
+  WeightCacheStatus CacheStatus = initModelFromCache(&Detail);
+  if (CacheStatus == WeightCacheStatus::Loaded) {
+    if (Options.Verbose)
+      std::fprintf(stderr, "vega: loaded cached CodeBE weights\n");
+    StageSpan.arg("weights", "cached");
+    return;
+  }
+  if (CacheStatus == WeightCacheStatus::Mismatch && Options.Verbose)
+    std::fprintf(stderr, "vega: ignoring stale weight cache (%s)\n",
+                 Detail.c_str());
+  StageSpan.arg("weights", "trained");
+  fineTuneImpl();
 }
 
 double VegaSystem::verificationExactMatch(size_t MaxPairs) {
@@ -906,43 +968,76 @@ GeneratedFunction VegaSystem::generateFunction(const TemplateInfo &TI,
 }
 
 GeneratedBackend VegaSystem::generateBackend(const std::string &TargetName) {
-  assert(Model && "trainModel() must run first");
-  obs::Span StageSpan("stage3.generate_backend", "stage3");
-  StageSpan.arg("target", TargetName);
-  GeneratedBackend Backend;
-  Backend.TargetName = TargetName;
+  std::vector<GeneratedBackend> Backends = generateBackends({TargetName});
+  return std::move(Backends.front());
+}
 
-  // Module availability is a property of the base compiler, not something
-  // VEGA infers: xCORE's LLVM 3.0 port has no disassembler interface to
-  // implement (§4.1.4), so its DIS templates are never instantiated.
-  const TargetTraits *Traits = Corpus.targets().find(TargetName);
-  std::vector<const TemplateInfo *> Work;
-  for (const TemplateInfo &TI : Templates) {
-    if (Traits && TI.FT.Module == BackendModule::DIS &&
-        !Traits->HasDisassembler)
-      continue;
-    Work.push_back(&TI);
+std::vector<GeneratedBackend>
+VegaSystem::generateBackends(const std::vector<std::string> &TargetNames) {
+  assert(Model && "trainModel() must run first");
+  // One span per call: the historical "stage3.generate_backend" name (with
+  // its target arg) when generating a single backend — CI and the tests key
+  // on it — and "stage3.generate_batch" for a multi-target fan-out.
+  std::optional<obs::Span> StageSpan;
+  if (TargetNames.size() == 1) {
+    StageSpan.emplace("stage3.generate_backend", "stage3");
+    StageSpan->arg("target", TargetNames.front());
+  } else {
+    StageSpan.emplace("stage3.generate_batch", "stage3");
+    std::string Joined;
+    for (const std::string &T : TargetNames)
+      Joined += (Joined.empty() ? "" : ",") + T;
+    StageSpan->arg("targets", Joined);
+    StageSpan->arg("count", std::to_string(TargetNames.size()));
+  }
+
+  std::vector<GeneratedBackend> Backends(TargetNames.size());
+  for (size_t I = 0; I < TargetNames.size(); ++I)
+    Backends[I].TargetName = TargetNames[I];
+
+  // Target-major work list: every (target, function) pair is one task, so a
+  // batched request from vega-serve saturates the pool even when each
+  // individual backend has fewer functions than lanes. Module availability
+  // is a property of the base compiler, not something VEGA infers: xCORE's
+  // LLVM 3.0 port has no disassembler interface to implement (§4.1.4), so
+  // its DIS templates are never instantiated.
+  struct WorkItem {
+    size_t TargetIdx;
+    const TemplateInfo *TI;
+  };
+  std::vector<WorkItem> Work;
+  for (size_t TIdx = 0; TIdx < TargetNames.size(); ++TIdx) {
+    const TargetTraits *Traits = Corpus.targets().find(TargetNames[TIdx]);
+    for (const TemplateInfo &TI : Templates) {
+      if (Traits && TI.FT.Module == BackendModule::DIS &&
+          !Traits->HasDisassembler)
+        continue;
+      Work.push_back({TIdx, &TI});
+    }
   }
 
   // Fan out one task per function across the worker pool. The model's
   // shared inference cache is refreshed before the fan-out, every worker
-  // owns its decode scratch, and results are merged in template order —
-  // so the generated backend is byte-identical for any job count.
+  // owns its decode scratch, and results are merged in (target, template)
+  // order — so each backend is byte-identical to a standalone
+  // generateBackend() call for any job count or batch composition.
   Model->prepareGenerate();
   if (!Pool)
     Pool = std::make_unique<ThreadPool>(Options.Jobs);
   std::vector<GeneratedFunction> Results(Work.size());
   Pool->parallelFor(Work.size(), [&](size_t I) {
-    Results[I] = generateFunction(*Work[I], TargetName);
+    Results[I] = generateFunction(*Work[I].TI, TargetNames[Work[I].TargetIdx]);
   });
 
   auto &Metrics = obs::MetricsRegistry::instance();
-  for (GeneratedFunction &Fn : Results) {
+  for (size_t I = 0; I < Work.size(); ++I) {
+    GeneratedBackend &Backend = Backends[Work[I].TargetIdx];
+    GeneratedFunction &Fn = Results[I];
     Backend.ModuleSeconds[Fn.Module] += Fn.Seconds;
     Metrics.addCounter("gen.functions");
     if (Fn.Emitted)
       Metrics.addCounter("gen.functions_emitted");
     Backend.Functions.push_back(std::move(Fn));
   }
-  return Backend;
+  return Backends;
 }

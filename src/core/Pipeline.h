@@ -23,6 +23,7 @@
 
 #include <memory>
 #include <optional>
+#include <string>
 
 namespace vega {
 
@@ -59,6 +60,14 @@ struct VegaOptions {
   /// VEGA_JOBS when set, else hardware_concurrency. Generated backends are
   /// byte-identical for every job count.
   int Jobs = 0;
+
+  /// Stable hash of every option that shapes the trained session state
+  /// (model architecture + training schedule + dataset split + feature
+  /// ablations + candidate caps). Runtime knobs that cannot invalidate a
+  /// trained artifact — Jobs, Verbose, WeightCachePath, ConfidenceThreshold
+  /// — are deliberately excluded. Session checkpoints store this and refuse
+  /// to load under mismatched options.
+  uint64_t fingerprint() const;
 };
 
 /// One generated statement with its confidence score.
@@ -112,7 +121,30 @@ public:
   /// vocabulary. Requires buildTemplates().
   void buildDataset();
 
-  /// Stage 2: fine-tunes CodeBE (or loads cached weights).
+  /// Outcome of a weight-cache probe (see initModelFromCache()).
+  enum class WeightCacheStatus {
+    Disabled, ///< no WeightCachePath configured
+    Missing,  ///< cache file absent or unreadable
+    Loaded,   ///< cached vocabulary + weights restored
+    Mismatch, ///< cache exists but does not match the current state
+  };
+
+  /// Constructs a fresh CodeBE and attempts to restore cached weights from
+  /// Options.WeightCachePath. On Mismatch, \p Detail (when non-null)
+  /// receives a one-line reason. The model is left ready for fineTune()
+  /// whenever the result is not Loaded.
+  WeightCacheStatus initModelFromCache(std::string *Detail = nullptr);
+
+  /// Stage 2 proper: fine-tunes the (already constructed) model on the
+  /// built dataset and writes the weight cache. Requires
+  /// initModelFromCache() to have run.
+  void fineTune();
+
+  /// Stage 2: fine-tunes CodeBE (or loads cached weights). Convenience
+  /// wrapper over initModelFromCache() + fineTune() that keeps the
+  /// historical lenient behavior: a mismatched cache is ignored (with a
+  /// note when Verbose) and the model retrains. VegaSession::build is the
+  /// strict consumer — it surfaces Mismatch as a Status instead.
   void trainModel();
 
   /// Exact Match on the held-out verification pairs (§4.1.2).
@@ -121,6 +153,15 @@ public:
   /// Stage 3: generates a backend for \p TargetName from its description
   /// files. The target must exist in the corpus target database.
   GeneratedBackend generateBackend(const std::string &TargetName);
+
+  /// Batched Stage 3: generates backends for several targets in one fan-out
+  /// — every (target, function) pair becomes one task on the shared worker
+  /// pool, and results are merged back per target in template order, so
+  /// each returned backend is byte-identical to a standalone
+  /// generateBackend() call for that target at any job count. This is the
+  /// engine under the vega-serve request batcher.
+  std::vector<GeneratedBackend>
+  generateBackends(const std::vector<std::string> &TargetNames);
 
   /// Overrides the Stage-3 job count after construction (tests/benches);
   /// the worker pool is rebuilt on the next generateBackend().
@@ -135,6 +176,13 @@ public:
   size_t verifyPairCount() const { return VerifyTexts.size(); }
   size_t trainFunctionCount() const { return TrainFunctions; }
   size_t verifyFunctionCount() const { return VerifyFunctions; }
+  const VegaOptions &options() const { return Options; }
+
+  /// The fixed global ordering of updatable Boolean properties shared by
+  /// every feature vector (set by buildTemplates(), restored by a session
+  /// checkpoint load).
+  std::vector<std::string> globalBoolNames() const;
+  void setGlobalBoolNames(std::vector<std::string> Names);
 
   /// Eq. (1): the analytic confidence of row \p Row for \p Target.
   double analyticConfidence(const TemplateInfo &TI, const TemplateRow &Row,
@@ -158,6 +206,10 @@ public:
                                           const std::string &Target) const;
 
 private:
+  /// The session checkpoint reads/writes Templates, Vocabulary, Model,
+  /// StructuralTokens, and SpecialTokenIds directly (core/Checkpoint.cpp).
+  friend class SessionCheckpoint;
+
   struct TextPair {
     std::vector<std::string> Src, Dst;
     std::string Target; ///< which target produced this pair
@@ -165,6 +217,9 @@ private:
 
   void collectPairsForTarget(const TemplateInfo &TI, const std::string &Target,
                              bool Implements, std::vector<TextPair> &Out);
+  /// fineTune()/trainModel() body, span-free so both emit exactly one
+  /// "stage2.train_model" span.
+  void fineTuneImpl();
   void buildVocab();
   TrainPair toIds(const TextPair &Pair) const;
   GeneratedStatement generateRow(const TemplateInfo &TI,

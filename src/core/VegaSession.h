@@ -1,0 +1,94 @@
+//===- core/VegaSession.h - The session-level library API --------*- C++ -*-===//
+//
+// Part of the VEGA reproduction project.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The public face of the library: a VegaSession owns a trained VegaSystem
+/// and exposes the whole lifecycle behind Status-returning entry points —
+///
+///   build(corpus, opts)  Stage 1 + Stage 2 (strict: a mismatched weight
+///                        cache is an error, not a silent retrain)
+///   save(path)           write the .vega artifact (core/Checkpoint.h)
+///   load(path)           restore a generation-ready session without
+///                        re-touching Stage 1/2
+///   generate(target)     Stage 3 for one target
+///   generateMany(...)    batched Stage 3 (one pool fan-out, deterministic
+///                        per-target merges — the vega-serve engine)
+///
+/// Consumers map Status to their own error surface: vega-cli turns codes
+/// into process exit codes, vega-serve into JSON-RPC error objects.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VEGA_CORE_VEGASESSION_H
+#define VEGA_CORE_VEGASESSION_H
+
+#include "core/Pipeline.h"
+#include "support/Status.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace vega {
+
+/// A built-or-loaded VEGA session. Create via build() or load(); the
+/// returned session is immediately ready for generate().
+class VegaSession {
+public:
+  /// The process-wide standard corpus (BackendCorpus::build over
+  /// TargetDatabase::standard()), built on first use.
+  static const BackendCorpus &standardCorpus();
+
+  /// Runs Stage 1 + Stage 2 over \p Corpus. Unlike VegaSystem::trainModel(),
+  /// a weight cache that exists but does not match the current vocabulary or
+  /// architecture is a FailedPrecondition error — a session built from a
+  /// cache must be exactly the session that wrote it.
+  static StatusOr<std::unique_ptr<VegaSession>> build(const BackendCorpus &Corpus,
+                                                      VegaOptions Opts);
+  /// build() over the standard corpus.
+  static StatusOr<std::unique_ptr<VegaSession>> build(VegaOptions Opts);
+
+  /// Restores a session from a .vega artifact (strict: see Checkpoint.h).
+  static StatusOr<std::unique_ptr<VegaSession>>
+  load(const BackendCorpus &Corpus, const std::string &Path);
+  /// load() over the standard corpus.
+  static StatusOr<std::unique_ptr<VegaSession>> load(const std::string &Path);
+
+  /// Writes the .vega artifact for this session.
+  Status save(const std::string &Path) const;
+
+  /// Stage 3 for one target. NotFound for targets absent from the corpus.
+  StatusOr<GeneratedBackend> generate(const std::string &Target);
+
+  /// Batched Stage 3: all targets share one pool fan-out; each returned
+  /// backend is byte-identical to a standalone generate() call.
+  StatusOr<std::vector<GeneratedBackend>>
+  generateMany(const std::vector<std::string> &Targets);
+
+  /// Overrides the Stage-3 lane count (0 = auto).
+  void setJobs(int Jobs) { System->setJobs(Jobs); }
+
+  const BackendCorpus &corpus() const { return Corpus; }
+  VegaSystem &system() { return *System; }
+  const VegaSystem &system() const { return *System; }
+  /// True when this session came from load() rather than build().
+  bool loadedFromCheckpoint() const { return FromCheckpoint; }
+
+private:
+  VegaSession(const BackendCorpus &Corpus, std::unique_ptr<VegaSystem> System,
+              bool FromCheckpoint)
+      : Corpus(Corpus), System(std::move(System)),
+        FromCheckpoint(FromCheckpoint) {}
+
+  const BackendCorpus &Corpus;
+  std::unique_ptr<VegaSystem> System;
+  bool FromCheckpoint = false;
+};
+
+} // namespace vega
+
+#endif // VEGA_CORE_VEGASESSION_H

@@ -326,6 +326,26 @@ TemplateFeatures FeatureSelector::analyze(const FunctionTemplate &FT) const {
   return Features;
 }
 
+void FeatureSelector::seedHarvestCache(const std::string &Property,
+                                       const std::string &Target,
+                                       std::vector<std::string> Values) const {
+  std::string Key = Property + '\0' + Target;
+  std::lock_guard<std::mutex> Lock(HarvestMu);
+  HarvestCache[Key] = std::move(Values);
+}
+
+std::vector<FeatureSelector::HarvestEntry>
+FeatureSelector::harvestCacheSnapshot() const {
+  std::lock_guard<std::mutex> Lock(HarvestMu);
+  std::vector<HarvestEntry> Entries;
+  Entries.reserve(HarvestCache.size());
+  for (const auto &[Key, Values] : HarvestCache) {
+    size_t Sep = Key.find('\0');
+    Entries.push_back({Key.substr(0, Sep), Key.substr(Sep + 1), Values});
+  }
+  return Entries;
+}
+
 std::vector<std::string>
 FeatureSelector::harvestValues(const std::string &Property,
                                const std::string &Target) const {

@@ -78,6 +78,23 @@ public:
   std::vector<std::string> harvestValues(const std::string &Property,
                                          const std::string &Target) const;
 
+  /// Pre-populates the harvestValues memo for one (property, target) pair —
+  /// used when restoring a session checkpoint, so generation replays the
+  /// harvests recorded at build time instead of re-deriving them. A seeded
+  /// entry wins over lazy recomputation. Thread-safe.
+  void seedHarvestCache(const std::string &Property, const std::string &Target,
+                        std::vector<std::string> Values) const;
+
+  /// A copy of the harvestValues memo as (property, target, values) tuples —
+  /// what a session checkpoint records so a loaded session can
+  /// seedHarvestCache() them back. Thread-safe.
+  struct HarvestEntry {
+    std::string Property;
+    std::string Target;
+    std::vector<std::string> Values;
+  };
+  std::vector<HarvestEntry> harvestCacheSnapshot() const;
+
   /// The PropList (PropCandidateSet of LLVMDIRs): class names, enum names,
   /// and field/global names.
   const std::set<std::string> &propList() const { return PropList; }

@@ -1,0 +1,164 @@
+//===- serve/Protocol.cpp - JSON schemas and JSON-RPC framing ----------------===//
+//
+// Part of the VEGA reproduction project.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Protocol.h"
+
+#include "ast/Statement.h"
+
+using namespace vega;
+using namespace vega::serve;
+
+Json vega::serve::backendToJson(const GeneratedBackend &Backend) {
+  Json Doc = Json::object();
+  Doc.set("schema", "vega-backend-1");
+  Doc.set("target", Backend.TargetName);
+
+  Json Functions = Json::array();
+  for (const GeneratedFunction &Fn : Backend.Functions) {
+    Json F = Json::object();
+    F.set("interface", Fn.InterfaceName);
+    F.set("module", moduleName(Fn.Module));
+    F.set("confidence", Fn.Confidence);
+    F.set("emitted", Fn.Emitted);
+    F.set("multiTargetDerived", Fn.MultiTargetDerived);
+    if (Fn.Emitted)
+      F.set("source", Fn.AST.render());
+    else
+      F.set("source", Json());
+    Json Statements = Json::array();
+    for (const GeneratedStatement &St : Fn.Statements) {
+      Json S = Json::object();
+      S.set("row", St.RowIndex);
+      S.set("confidence", St.Confidence);
+      S.set("emitted", St.Emitted);
+      S.set("text", renderTokens(St.Tokens));
+      if (!St.CandidateValue.empty())
+        S.set("candidate", St.CandidateValue);
+      Statements.push(std::move(S));
+    }
+    F.set("statements", std::move(Statements));
+    Functions.push(std::move(F));
+  }
+  Doc.set("functions", std::move(Functions));
+  return Doc;
+}
+
+Json vega::serve::evalToJson(const BackendEval &Eval) {
+  Json Doc = Json::object();
+  Doc.set("schema", "vega-eval-1");
+  Doc.set("target", Eval.TargetName);
+
+  Json Functions = Json::array();
+  for (const FunctionEval &Fn : Eval.Functions) {
+    Json F = Json::object();
+    F.set("interface", Fn.InterfaceName);
+    F.set("module", moduleName(Fn.Module));
+    F.set("goldenExists", Fn.GoldenExists);
+    F.set("generated", Fn.Generated);
+    F.set("accurate", Fn.Accurate);
+    F.set("confidence", Fn.Confidence);
+    F.set("multiTargetDerived", Fn.MultiTargetDerived);
+    F.set("goldenStatements", static_cast<uint64_t>(Fn.GoldenStatements));
+    F.set("accurateStatements", static_cast<uint64_t>(Fn.AccurateStatements));
+    F.set("manualStatements", static_cast<uint64_t>(Fn.ManualStatements));
+    Json Errors = Json::array();
+    if (Fn.ErrV)
+      Errors.push("Err-V");
+    if (Fn.ErrCS)
+      Errors.push("Err-CS");
+    if (Fn.ErrDef)
+      Errors.push("Err-Def");
+    F.set("errors", std::move(Errors));
+    Functions.push(std::move(F));
+  }
+  Doc.set("functions", std::move(Functions));
+
+  Json Summary = Json::object();
+  Summary.set("functionAccuracy", Eval.functionAccuracy());
+  Summary.set("statementAccuracy", Eval.statementAccuracy());
+  Summary.set("errVRate", Eval.errVRate());
+  Summary.set("errCSRate", Eval.errCSRate());
+  Summary.set("errDefRate", Eval.errDefRate());
+  Doc.set("summary", std::move(Summary));
+  return Doc;
+}
+
+int vega::serve::rpcCodeFor(StatusCode Code) {
+  switch (Code) {
+  case StatusCode::Ok:
+    return 0;
+  case StatusCode::InvalidArgument:
+    return RpcInvalidParams;
+  case StatusCode::NotFound:
+    return RpcNotFound;
+  case StatusCode::FailedPrecondition:
+    return RpcFailedPrecondition;
+  case StatusCode::DataLoss:
+    return RpcDataLoss;
+  case StatusCode::Unavailable:
+    return RpcUnavailable;
+  case StatusCode::Unimplemented:
+    return RpcUnimplemented;
+  case StatusCode::Internal:
+    return RpcInternalError;
+  }
+  return RpcInternalError;
+}
+
+StatusOr<RpcRequest> vega::serve::parseRpcRequest(const std::string &Line) {
+  StatusOr<Json> Doc = Json::parse(Line);
+  if (!Doc.isOk())
+    return Status::invalidArgument("parse error: " + Doc.status().message());
+  if (!Doc->isObject())
+    return Status::invalidArgument("request must be a JSON object");
+  RpcRequest Request;
+  if (const Json *Id = Doc->get("id"))
+    Request.Id = *Id;
+  const Json *Method = Doc->get("method");
+  if (!Method || !Method->isString())
+    return Status::invalidArgument("request has no string 'method'");
+  Request.Method = Method->asString();
+  if (const Json *Params = Doc->get("params")) {
+    if (!Params->isObject())
+      return Status::invalidArgument("'params' must be an object");
+    Request.Params = *Params;
+  } else {
+    Request.Params = Json::object();
+  }
+  return Request;
+}
+
+Json vega::serve::makeRpcResult(const Json &Id, Json Result) {
+  Json Doc = Json::object();
+  Doc.set("jsonrpc", "2.0");
+  Doc.set("id", Id);
+  Doc.set("result", std::move(Result));
+  return Doc;
+}
+
+Json vega::serve::makeRpcError(const Json &Id, int Code,
+                               const std::string &Message,
+                               const std::string &StatusName) {
+  Json Error = Json::object();
+  Error.set("code", Code);
+  Error.set("message", Message);
+  if (!StatusName.empty()) {
+    Json Data = Json::object();
+    Data.set("status", StatusName);
+    Error.set("data", std::move(Data));
+  }
+  Json Doc = Json::object();
+  Doc.set("jsonrpc", "2.0");
+  Doc.set("id", Id);
+  Doc.set("error", std::move(Error));
+  return Doc;
+}
+
+Json vega::serve::makeRpcError(const Json &Id, const Status &St) {
+  return makeRpcError(Id, rpcCodeFor(St.code()), St.message(),
+                      statusCodeName(St.code()));
+}

@@ -1,0 +1,84 @@
+//===- serve/Protocol.h - JSON schemas and JSON-RPC framing ------*- C++ -*-===//
+//
+// Part of the VEGA reproduction project.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The wire vocabulary shared by `vega-cli --json` and the vega-serve
+/// daemon: one deterministic JSON rendering of a generated backend
+/// ("vega-backend-1") and of an evaluation report ("vega-eval-1"), plus the
+/// newline-delimited JSON-RPC 2.0 framing the daemon speaks. Keeping both
+/// consumers on these functions means a backend printed by the CLI is
+/// byte-identical to the same backend inside a daemon response.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VEGA_SERVE_PROTOCOL_H
+#define VEGA_SERVE_PROTOCOL_H
+
+#include "core/Pipeline.h"
+#include "eval/Harness.h"
+#include "support/Json.h"
+#include "support/Status.h"
+
+#include <string>
+
+namespace vega {
+namespace serve {
+
+/// Renders a generated backend as a "vega-backend-1" document. Fully
+/// deterministic: no wall-clock fields — timing travels through vega_obs
+/// (traces/metrics), never through result payloads, so identical backends
+/// serialize identically across runs, job counts, and batch compositions.
+Json backendToJson(const GeneratedBackend &Backend);
+
+/// Renders an evaluation report as a "vega-eval-1" document (deterministic,
+/// same reasoning).
+Json evalToJson(const BackendEval &Eval);
+
+/// JSON-RPC error codes. The spec-reserved codes are used verbatim;
+/// vega::Status codes map into the implementation-defined -320xx range.
+enum RpcErrorCode {
+  RpcParseError = -32700,
+  RpcInvalidRequest = -32600,
+  RpcMethodNotFound = -32601,
+  RpcInvalidParams = -32602,
+  RpcInternalError = -32603,
+  RpcNotFound = -32001,
+  RpcFailedPrecondition = -32002,
+  RpcDataLoss = -32003,
+  RpcUnavailable = -32004,
+  RpcUnimplemented = -32005,
+};
+
+/// The JSON-RPC code for a failed Status.
+int rpcCodeFor(StatusCode Code);
+
+/// One parsed request line.
+struct RpcRequest {
+  Json Id; ///< echoed verbatim (null when the client sent none)
+  std::string Method;
+  Json Params; ///< object; empty object when the client sent none
+};
+
+/// Parses one NDJSON line into a request. InvalidArgument on JSON syntax
+/// errors ("parse error"), non-object documents, or a missing/non-string
+/// "method".
+StatusOr<RpcRequest> parseRpcRequest(const std::string &Line);
+
+/// {"jsonrpc":"2.0","id":...,"result":...}
+Json makeRpcResult(const Json &Id, Json Result);
+
+/// {"jsonrpc":"2.0","id":...,"error":{"code":...,"message":...,"data":...}}
+Json makeRpcError(const Json &Id, int Code, const std::string &Message,
+                  const std::string &StatusName = "");
+
+/// makeRpcError from a failed Status (code via rpcCodeFor).
+Json makeRpcError(const Json &Id, const Status &St);
+
+} // namespace serve
+} // namespace vega
+
+#endif // VEGA_SERVE_PROTOCOL_H

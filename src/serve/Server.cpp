@@ -1,0 +1,373 @@
+//===- serve/Server.cpp - The vega-serve batching daemon ---------------------===//
+//
+// Part of the VEGA reproduction project.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Server.h"
+
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <set>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace vega;
+using namespace vega::serve;
+
+VegaServer::VegaServer(VegaSession &Session, ServerOptions Options)
+    : Session(Session), Options(Options) {
+  if (this->Options.MaxBatch < 1)
+    this->Options.MaxBatch = 1;
+  Worker = std::thread([this] { workerLoop(); });
+}
+
+VegaServer::~VegaServer() {
+  {
+    std::lock_guard<std::mutex> Lock(QueueMu);
+    Stopping = true;
+  }
+  QueueCv.notify_all();
+  Worker.join();
+}
+
+void VegaServer::shutdown() {
+  Shutdown.store(true, std::memory_order_relaxed);
+}
+
+std::future<std::string> VegaServer::submitLine(std::string Line) {
+  PendingRequest Request;
+  Request.Line = std::move(Line);
+  std::future<std::string> Future = Request.Promise.get_future();
+  {
+    std::lock_guard<std::mutex> Lock(QueueMu);
+    Queue.push_back(std::move(Request));
+  }
+  QueueCv.notify_one();
+  return Future;
+}
+
+std::string VegaServer::handleLine(const std::string &Line) {
+  return submitLine(Line).get();
+}
+
+std::vector<std::string>
+VegaServer::handleLines(const std::vector<std::string> &Lines) {
+  std::vector<std::string> Responses;
+  for (size_t Begin = 0; Begin < Lines.size();
+       Begin += static_cast<size_t>(Options.MaxBatch)) {
+    size_t End = std::min(Lines.size(),
+                          Begin + static_cast<size_t>(Options.MaxBatch));
+    std::vector<std::string> Chunk(Lines.begin() + static_cast<long>(Begin),
+                                   Lines.begin() + static_cast<long>(End));
+    std::vector<std::string> Out = processBatch(Chunk);
+    Responses.insert(Responses.end(), std::make_move_iterator(Out.begin()),
+                     std::make_move_iterator(Out.end()));
+  }
+  return Responses;
+}
+
+void VegaServer::workerLoop() {
+  while (true) {
+    std::vector<PendingRequest> Batch;
+    {
+      std::unique_lock<std::mutex> Lock(QueueMu);
+      QueueCv.wait(Lock, [this] { return Stopping || !Queue.empty(); });
+      if (Queue.empty())
+        return; // Stopping and fully drained.
+      size_t N = std::min(Queue.size(), static_cast<size_t>(Options.MaxBatch));
+      for (size_t I = 0; I < N; ++I) {
+        Batch.push_back(std::move(Queue.front()));
+        Queue.pop_front();
+      }
+    }
+    std::vector<std::string> Lines;
+    Lines.reserve(Batch.size());
+    for (const PendingRequest &Request : Batch)
+      Lines.push_back(Request.Line);
+    std::vector<std::string> Responses = processBatch(Lines);
+    for (size_t I = 0; I < Batch.size(); ++I)
+      Batch[I].Promise.set_value(std::move(Responses[I]));
+  }
+}
+
+Json VegaServer::handleInfo() const {
+  const BackendCorpus &Corpus = Session.corpus();
+  Json Targets = Json::array();
+  for (const TargetTraits &T : Corpus.targets().targets())
+    Targets.push(T.Name);
+  Json Training = Json::array();
+  for (const std::string &N : Corpus.trainingTargetNames())
+    Training.push(N);
+  Json Info = Json::object();
+  Info.set("schema", "vega-serve-1");
+  Info.set("targets", std::move(Targets));
+  Info.set("trainingTargets", std::move(Training));
+  Info.set("templates",
+           static_cast<uint64_t>(Session.system().templates().size()));
+  Info.set("fromCheckpoint", Session.loadedFromCheckpoint());
+  Info.set("maxBatch", Options.MaxBatch);
+  return Info;
+}
+
+std::vector<std::string>
+VegaServer::processBatch(const std::vector<std::string> &Lines) {
+  std::lock_guard<std::mutex> BatchLock(BatchMu);
+  auto &Metrics = obs::MetricsRegistry::instance();
+  obs::Span BatchSpan("serve.batch", "serve");
+  BatchSpan.arg("requests", std::to_string(Lines.size()));
+  Metrics.addCounter("serve.batches");
+  Metrics.observe("serve.batch_size", static_cast<double>(Lines.size()), 0.0,
+                  32.0, 32);
+
+  struct Slot {
+    StatusOr<RpcRequest> Request = Status::internal("unparsed");
+    bool WantsBackend = false; ///< generate or evaluate with a valid target
+    std::string Target;
+  };
+  std::vector<Slot> Slots;
+  Slots.reserve(Lines.size());
+
+  // Parse + validate every request, collecting the generation targets.
+  std::vector<std::string> Targets;
+  std::set<std::string> SeenTargets;
+  for (const std::string &Line : Lines) {
+    Slot S;
+    S.Request = parseRpcRequest(Line);
+    if (S.Request.isOk()) {
+      const RpcRequest &Request = *S.Request;
+      if (Request.Method == "generate" || Request.Method == "evaluate") {
+        std::string Target = Request.Params.getString("target");
+        if (!Target.empty() &&
+            Session.corpus().targets().find(Target) != nullptr) {
+          S.WantsBackend = true;
+          S.Target = Target;
+          if (SeenTargets.insert(Target).second)
+            Targets.push_back(Target);
+        }
+      }
+    }
+    Slots.push_back(std::move(S));
+  }
+
+  // One fan-out for every distinct target in the batch. The merge inside
+  // generateBackends() is deterministic, so each per-target backend is
+  // byte-identical to a single-request run.
+  std::map<std::string, GeneratedBackend> Backends;
+  Status BatchStatus = Status::ok();
+  if (!Targets.empty()) {
+    StatusOr<std::vector<GeneratedBackend>> Generated =
+        Session.generateMany(Targets);
+    if (Generated.isOk())
+      for (GeneratedBackend &Backend : *Generated) {
+        std::string Name = Backend.TargetName;
+        Backends.emplace(std::move(Name), std::move(Backend));
+      }
+    else
+      BatchStatus = Generated.status();
+  }
+
+  std::vector<std::string> Responses;
+  Responses.reserve(Lines.size());
+  for (Slot &S : Slots) {
+    obs::Span RequestSpan("serve.request", "serve");
+    Metrics.addCounter("serve.requests");
+    auto Fail = [&](Json Response) {
+      Metrics.addCounter("serve.errors");
+      return Response;
+    };
+
+    Json Response;
+    if (!S.Request.isOk()) {
+      const Status &St = S.Request.status();
+      int Code = St.message().rfind("parse error", 0) == 0 ? RpcParseError
+                                                           : RpcInvalidRequest;
+      RequestSpan.arg("method", "<invalid>");
+      Response = Fail(makeRpcError(Json(), Code, St.message()));
+    } else {
+      const RpcRequest &Request = *S.Request;
+      RequestSpan.arg("method", Request.Method);
+      if (!S.Target.empty())
+        RequestSpan.arg("target", S.Target);
+
+      if (Request.Method == "ping") {
+        Json Result = Json::object();
+        Result.set("ok", true);
+        Response = makeRpcResult(Request.Id, std::move(Result));
+      } else if (Request.Method == "info") {
+        Response = makeRpcResult(Request.Id, handleInfo());
+      } else if (Request.Method == "shutdown") {
+        shutdown();
+        Json Result = Json::object();
+        Result.set("ok", true);
+        Response = makeRpcResult(Request.Id, std::move(Result));
+      } else if (Request.Method == "generate" ||
+                 Request.Method == "evaluate") {
+        std::string Target = Request.Params.getString("target");
+        if (Target.empty()) {
+          Response = Fail(makeRpcError(
+              Request.Id, RpcInvalidParams,
+              "params require a string 'target'", "invalid-argument"));
+        } else if (!S.WantsBackend) {
+          Response = Fail(makeRpcError(
+              Request.Id, Status::notFound("unknown target '" + Target + "'")));
+        } else if (!BatchStatus.isOk()) {
+          Response = Fail(makeRpcError(Request.Id, BatchStatus));
+        } else {
+          const GeneratedBackend &Generated = Backends.at(Target);
+          if (Request.Method == "generate") {
+            Response = makeRpcResult(Request.Id, backendToJson(Generated));
+          } else {
+            const Backend *Golden = Session.corpus().backend(Target);
+            const TargetTraits *Traits =
+                Session.corpus().targets().find(Target);
+            if (!Golden || !Traits) {
+              Response = Fail(makeRpcError(
+                  Request.Id,
+                  Status::failedPrecondition("target '" + Target +
+                                             "' has no golden backend")));
+            } else {
+              BackendEval Eval = evaluateBackend(Generated, *Golden, *Traits);
+              Response = makeRpcResult(Request.Id, evalToJson(Eval));
+            }
+          }
+        }
+      } else {
+        Response = Fail(makeRpcError(Request.Id, RpcMethodNotFound,
+                                     "unknown method '" + Request.Method + "'",
+                                     "unimplemented"));
+      }
+    }
+    Responses.push_back(Response.dump());
+  }
+  return Responses;
+}
+
+Status VegaServer::serveStream(std::istream &In, std::ostream &Out) {
+  std::mutex Mu;
+  std::condition_variable Cv;
+  std::deque<std::future<std::string>> Pending;
+  bool Done = false;
+
+  // Responses go out in submission order; the writer drains futures so the
+  // reader can keep pipelining lines into the batcher.
+  std::thread Writer([&] {
+    while (true) {
+      std::future<std::string> Future;
+      {
+        std::unique_lock<std::mutex> Lock(Mu);
+        Cv.wait(Lock, [&] { return Done || !Pending.empty(); });
+        if (Pending.empty())
+          return;
+        Future = std::move(Pending.front());
+        Pending.pop_front();
+      }
+      Out << Future.get() << "\n" << std::flush;
+    }
+  });
+
+  std::string Line;
+  while (!shutdownRequested() && std::getline(In, Line)) {
+    if (Line.empty())
+      continue;
+    std::future<std::string> Future = submitLine(std::move(Line));
+    {
+      std::lock_guard<std::mutex> Lock(Mu);
+      Pending.push_back(std::move(Future));
+    }
+    Cv.notify_one();
+  }
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Done = true;
+  }
+  Cv.notify_one();
+  Writer.join();
+  return Status::ok();
+}
+
+Status VegaServer::serveSocket(const std::string &Path) {
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return Status::unavailable(std::string("cannot create socket: ") +
+                               std::strerror(errno));
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  if (Path.size() >= sizeof(Addr.sun_path)) {
+    ::close(Fd);
+    return Status::invalidArgument("socket path too long: '" + Path + "'");
+  }
+  std::strncpy(Addr.sun_path, Path.c_str(), sizeof(Addr.sun_path) - 1);
+  ::unlink(Path.c_str());
+  if (::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0) {
+    ::close(Fd);
+    return Status::unavailable("cannot bind '" + Path +
+                               "': " + std::strerror(errno));
+  }
+  if (::listen(Fd, 16) < 0) {
+    ::close(Fd);
+    return Status::unavailable("cannot listen on '" + Path +
+                               "': " + std::strerror(errno));
+  }
+
+  std::vector<std::thread> Connections;
+  while (!shutdownRequested()) {
+    // Poll with a timeout so a `shutdown` request processed on another
+    // connection breaks the accept loop promptly.
+    pollfd Poll{Fd, POLLIN, 0};
+    int Ready = ::poll(&Poll, 1, 200);
+    if (Ready < 0) {
+      if (errno == EINTR)
+        continue;
+      break;
+    }
+    if (Ready == 0)
+      continue;
+    int Client = ::accept(Fd, nullptr, nullptr);
+    if (Client < 0)
+      continue;
+    Connections.emplace_back([this, Client] {
+      std::string Buffer;
+      char Chunk[4096];
+      for (;;) {
+        ssize_t N = ::read(Client, Chunk, sizeof(Chunk));
+        if (N <= 0)
+          break;
+        Buffer.append(Chunk, static_cast<size_t>(N));
+        size_t Newline;
+        while ((Newline = Buffer.find('\n')) != std::string::npos) {
+          std::string Line = Buffer.substr(0, Newline);
+          Buffer.erase(0, Newline + 1);
+          if (Line.empty())
+            continue;
+          std::string Response = handleLine(Line) + "\n";
+          size_t Written = 0;
+          while (Written < Response.size()) {
+            ssize_t W = ::write(Client, Response.data() + Written,
+                                Response.size() - Written);
+            if (W <= 0)
+              break;
+            Written += static_cast<size_t>(W);
+          }
+        }
+      }
+      ::close(Client);
+    });
+  }
+  ::close(Fd);
+  for (std::thread &Connection : Connections)
+    Connection.join();
+  ::unlink(Path.c_str());
+  return Status::ok();
+}

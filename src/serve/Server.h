@@ -1,0 +1,120 @@
+//===- serve/Server.h - The vega-serve batching daemon -----------*- C++ -*-===//
+//
+// Part of the VEGA reproduction project.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A long-running generation daemon over one loaded VegaSession. Requests
+/// arrive as newline-delimited JSON-RPC 2.0 (over stdio or a local Unix
+/// socket), queue behind a single batching worker, and fan out across the
+/// session's ThreadPool: the worker drains up to MaxBatch pending requests,
+/// dedups their targets, runs one batched generateMany() (every
+/// (target, function) pair is one pool task), and answers each request from
+/// the per-target merge. Merges are deterministic, so a response is
+/// byte-identical whether its request ran alone or inside a batch.
+///
+/// Methods: ping, info, generate {target}, evaluate {target}, shutdown.
+/// Observability: every request opens a `serve.request` span and the worker
+/// a `serve.batch` span; counters/histograms go to the process
+/// MetricsRegistry (serve.requests, serve.errors, serve.batches,
+/// serve.batch_size) — export via --trace-out / --metrics-out as usual.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VEGA_SERVE_SERVER_H
+#define VEGA_SERVE_SERVER_H
+
+#include "core/VegaSession.h"
+#include "serve/Protocol.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace vega {
+namespace serve {
+
+struct ServerOptions {
+  /// Most pending requests merged into one generation fan-out.
+  int MaxBatch = 8;
+  bool Verbose = false;
+};
+
+/// The daemon. One instance serves one session; serveStream()/serveSocket()
+/// block until shutdown (the `shutdown` method or transport EOF).
+class VegaServer {
+public:
+  VegaServer(VegaSession &Session, ServerOptions Options);
+  ~VegaServer();
+
+  VegaServer(const VegaServer &) = delete;
+  VegaServer &operator=(const VegaServer &) = delete;
+
+  /// Enqueues one raw request line; the future resolves to the response
+  /// line once the batching worker reaches it. Thread-safe.
+  std::future<std::string> submitLine(std::string Line);
+
+  /// submitLine + wait. Thread-safe; concurrent callers may be answered
+  /// from one merged batch.
+  std::string handleLine(const std::string &Line);
+
+  /// Processes \p Lines as explicit batches of up to MaxBatch (bypassing
+  /// the queue) and returns the responses in order. Used by tests to force
+  /// a known batch composition.
+  std::vector<std::string> handleLines(const std::vector<std::string> &Lines);
+
+  /// NDJSON loop over a stream pair (the stdio transport). Returns after
+  /// EOF or a `shutdown` request; every submitted request is answered, in
+  /// submission order, before returning.
+  Status serveStream(std::istream &In, std::ostream &Out);
+
+  /// NDJSON loop over an AF_UNIX socket at \p Path (created fresh; an
+  /// existing file is replaced). One thread per connection; batching still
+  /// happens in the single worker, so concurrent connections batch
+  /// together. Returns after a `shutdown` request.
+  Status serveSocket(const std::string &Path);
+
+  /// True once a `shutdown` request was processed (or shutdown() called).
+  bool shutdownRequested() const {
+    return Shutdown.load(std::memory_order_relaxed);
+  }
+
+  /// Requests shutdown from outside a transport (tests, signal handlers).
+  void shutdown();
+
+private:
+  struct PendingRequest {
+    std::string Line;
+    std::promise<std::string> Promise;
+  };
+
+  void workerLoop();
+  /// Answers one batch of raw lines (the core of the daemon). Serialized
+  /// by BatchMu — the session's pool fan-out is not reentrant.
+  std::vector<std::string> processBatch(const std::vector<std::string> &Lines);
+  Json handleInfo() const;
+
+  VegaSession &Session;
+  ServerOptions Options;
+
+  std::mutex QueueMu;
+  std::condition_variable QueueCv;
+  std::deque<PendingRequest> Queue;
+  bool Stopping = false; ///< guarded by QueueMu; set by the destructor
+  std::atomic<bool> Shutdown{false};
+  std::mutex BatchMu;
+  std::thread Worker;
+};
+
+} // namespace serve
+} // namespace vega
+
+#endif // VEGA_SERVE_SERVER_H

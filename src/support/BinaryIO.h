@@ -1,0 +1,121 @@
+//===- support/BinaryIO.h - Bounds-checked binary (de)serialization -*- C++ -*-===//
+//
+// Part of the VEGA reproduction project.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Little helpers for length-prefixed binary formats (the `.vega` session
+/// artifact). BinaryWriter appends fixed-width little-endian scalars and
+/// length-prefixed strings to a buffer; BinaryReader is the bounds-checked
+/// inverse: every read reports truncation instead of reading past the end,
+/// and once a read fails the reader stays failed — callers check ok() once
+/// at the end of a section instead of after every field.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VEGA_SUPPORT_BINARYIO_H
+#define VEGA_SUPPORT_BINARYIO_H
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace vega {
+
+/// Appends scalars/strings to an owned byte buffer.
+class BinaryWriter {
+public:
+  void u8(uint8_t V) { raw(&V, sizeof(V)); }
+  void u32(uint32_t V) { raw(&V, sizeof(V)); }
+  void u64(uint64_t V) { raw(&V, sizeof(V)); }
+  void i32(int32_t V) { raw(&V, sizeof(V)); }
+  void f64(double V) { raw(&V, sizeof(V)); }
+
+  /// u64 length + bytes.
+  void str(std::string_view S) {
+    u64(S.size());
+    raw(S.data(), S.size());
+  }
+
+  /// Raw bytes, no length prefix.
+  void bytes(std::string_view S) { raw(S.data(), S.size()); }
+
+  const std::string &blob() const { return Buf; }
+  std::string takeBlob() { return std::move(Buf); }
+  size_t size() const { return Buf.size(); }
+
+private:
+  void raw(const void *Data, size_t N) {
+    Buf.append(static_cast<const char *>(Data), N);
+  }
+  std::string Buf;
+};
+
+/// Bounds-checked reads over a borrowed byte buffer.
+class BinaryReader {
+public:
+  explicit BinaryReader(std::string_view Blob) : Blob(Blob) {}
+
+  bool u8(uint8_t &V) { return raw(&V, sizeof(V)); }
+  bool u32(uint32_t &V) { return raw(&V, sizeof(V)); }
+  bool u64(uint64_t &V) { return raw(&V, sizeof(V)); }
+  bool i32(int32_t &V) { return raw(&V, sizeof(V)); }
+  bool f64(double &V) { return raw(&V, sizeof(V)); }
+
+  bool str(std::string &S) {
+    uint64_t N = 0;
+    if (!u64(N) || N > Blob.size() - Pos)
+      return fail();
+    S.assign(Blob.data() + Pos, N);
+    Pos += N;
+    return true;
+  }
+
+  bool bytes(std::string &S, size_t N) {
+    if (N > Blob.size() - Pos)
+      return fail();
+    S.assign(Blob.data() + Pos, N);
+    Pos += N;
+    return true;
+  }
+
+  bool ok() const { return !Failed; }
+  bool atEnd() const { return Pos == Blob.size(); }
+  size_t pos() const { return Pos; }
+  size_t remaining() const { return Blob.size() - Pos; }
+
+private:
+  bool raw(void *Dst, size_t N) {
+    if (Failed || N > Blob.size() - Pos)
+      return fail();
+    std::memcpy(Dst, Blob.data() + Pos, N);
+    Pos += N;
+    return true;
+  }
+  bool fail() {
+    Failed = true;
+    return false;
+  }
+
+  std::string_view Blob;
+  size_t Pos = 0;
+  bool Failed = false;
+};
+
+/// FNV-1a over a byte range — the per-section checksum of the `.vega`
+/// artifact (and the hash everywhere else in the project).
+inline uint64_t fnv1a(std::string_view Bytes) {
+  uint64_t H = 1469598103934665603ULL;
+  for (char C : Bytes) {
+    H ^= static_cast<unsigned char>(C);
+    H *= 1099511628211ULL;
+  }
+  return H;
+}
+
+} // namespace vega
+
+#endif // VEGA_SUPPORT_BINARYIO_H

@@ -1,0 +1,372 @@
+//===- support/Json.cpp - JSON values, writer, parser ------------------------===//
+//
+// Part of the VEGA reproduction project.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace vega;
+
+const Json *Json::get(const std::string &Key) const {
+  const Json *Found = nullptr;
+  for (const auto &[K, V] : Fields)
+    if (K == Key)
+      Found = &V; // last write wins
+  return Found;
+}
+
+std::string Json::getString(const std::string &Key,
+                            const std::string &Default) const {
+  const Json *V = get(Key);
+  return V && V->isString() ? V->asString() : Default;
+}
+
+double Json::getNumber(const std::string &Key, double Default) const {
+  const Json *V = get(Key);
+  return V && V->isNumber() ? V->asNumber() : Default;
+}
+
+std::string Json::quote(std::string_view S) {
+  std::string Out = "\"";
+  for (unsigned char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    case '\b':
+      Out += "\\b";
+      break;
+    case '\f':
+      Out += "\\f";
+      break;
+    default:
+      if (C < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += static_cast<char>(C);
+      }
+    }
+  }
+  Out += '"';
+  return Out;
+}
+
+namespace {
+
+/// Shortest round-trip-ish number rendering: integers print without a
+/// fractional part so ids and counts look like ids and counts.
+std::string numberText(double V) {
+  if (std::isfinite(V) && V == std::floor(V) && std::fabs(V) < 1e15) {
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "%.0f", V);
+    return Buf;
+  }
+  char Buf[40];
+  std::snprintf(Buf, sizeof(Buf), "%.17g", V);
+  return Buf;
+}
+
+} // namespace
+
+void Json::dumpTo(std::string &Out, int Indent, int Depth) const {
+  auto NewlineIndent = [&](int D) {
+    if (Indent < 0)
+      return;
+    Out += '\n';
+    Out.append(static_cast<size_t>(Indent * D), ' ');
+  };
+  switch (K) {
+  case Kind::Null:
+    Out += "null";
+    return;
+  case Kind::Bool:
+    Out += BoolV ? "true" : "false";
+    return;
+  case Kind::Number:
+    Out += numberText(NumV);
+    return;
+  case Kind::String:
+    Out += quote(StrV);
+    return;
+  case Kind::Array:
+    if (Items.empty()) {
+      Out += "[]";
+      return;
+    }
+    Out += '[';
+    for (size_t I = 0; I < Items.size(); ++I) {
+      if (I)
+        Out += ',';
+      NewlineIndent(Depth + 1);
+      Items[I].dumpTo(Out, Indent, Depth + 1);
+    }
+    NewlineIndent(Depth);
+    Out += ']';
+    return;
+  case Kind::Object:
+    if (Fields.empty()) {
+      Out += "{}";
+      return;
+    }
+    Out += '{';
+    for (size_t I = 0; I < Fields.size(); ++I) {
+      if (I)
+        Out += ',';
+      NewlineIndent(Depth + 1);
+      Out += quote(Fields[I].first);
+      Out += Indent < 0 ? ":" : ": ";
+      Fields[I].second.dumpTo(Out, Indent, Depth + 1);
+    }
+    NewlineIndent(Depth);
+    Out += '}';
+    return;
+  }
+}
+
+std::string Json::dump(int Indent) const {
+  std::string Out;
+  dumpTo(Out, Indent, 0);
+  return Out;
+}
+
+namespace {
+
+class Parser {
+public:
+  explicit Parser(std::string_view Text) : Text(Text) {}
+
+  StatusOr<Json> run() {
+    StatusOr<Json> V = value();
+    if (!V.isOk())
+      return V;
+    skipWs();
+    if (Pos != Text.size())
+      return err("trailing characters after JSON document");
+    return V;
+  }
+
+private:
+  Status err(const std::string &Msg) const {
+    return Status::invalidArgument(Msg + " at offset " + std::to_string(Pos));
+  }
+
+  void skipWs() {
+    while (Pos < Text.size() &&
+           (Text[Pos] == ' ' || Text[Pos] == '\t' || Text[Pos] == '\n' ||
+            Text[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool consume(char C) {
+    if (Pos < Text.size() && Text[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(std::string_view Word) {
+    if (Text.substr(Pos, Word.size()) == Word) {
+      Pos += Word.size();
+      return true;
+    }
+    return false;
+  }
+
+  StatusOr<Json> value() {
+    skipWs();
+    if (Pos >= Text.size())
+      return err("unexpected end of input");
+    char C = Text[Pos];
+    if (C == '{')
+      return object();
+    if (C == '[')
+      return array();
+    if (C == '"') {
+      StatusOr<std::string> S = string();
+      if (!S.isOk())
+        return S.status();
+      return Json(std::move(*S));
+    }
+    if (literal("true"))
+      return Json(true);
+    if (literal("false"))
+      return Json(false);
+    if (literal("null"))
+      return Json();
+    if (C == '-' || (C >= '0' && C <= '9'))
+      return number();
+    return err(std::string("unexpected character '") + C + "'");
+  }
+
+  StatusOr<Json> number() {
+    size_t Start = Pos;
+    if (consume('-')) {
+    }
+    while (Pos < Text.size() &&
+           (std::isdigit(static_cast<unsigned char>(Text[Pos])) ||
+            Text[Pos] == '.' || Text[Pos] == 'e' || Text[Pos] == 'E' ||
+            Text[Pos] == '+' || Text[Pos] == '-'))
+      ++Pos;
+    std::string Num(Text.substr(Start, Pos - Start));
+    char *End = nullptr;
+    double V = std::strtod(Num.c_str(), &End);
+    if (End != Num.c_str() + Num.size() || Num.empty())
+      return err("malformed number");
+    return Json(V);
+  }
+
+  StatusOr<std::string> string() {
+    if (!consume('"'))
+      return err("expected string");
+    std::string Out;
+    while (Pos < Text.size()) {
+      char C = Text[Pos++];
+      if (C == '"')
+        return Out;
+      if (static_cast<unsigned char>(C) < 0x20)
+        return err("unescaped control character in string");
+      if (C != '\\') {
+        Out += C;
+        continue;
+      }
+      if (Pos >= Text.size())
+        return err("unterminated escape");
+      char E = Text[Pos++];
+      switch (E) {
+      case '"':
+        Out += '"';
+        break;
+      case '\\':
+        Out += '\\';
+        break;
+      case '/':
+        Out += '/';
+        break;
+      case 'n':
+        Out += '\n';
+        break;
+      case 'r':
+        Out += '\r';
+        break;
+      case 't':
+        Out += '\t';
+        break;
+      case 'b':
+        Out += '\b';
+        break;
+      case 'f':
+        Out += '\f';
+        break;
+      case 'u': {
+        if (Pos + 4 > Text.size())
+          return err("truncated \\u escape");
+        unsigned Code = 0;
+        for (int I = 0; I < 4; ++I) {
+          char H = Text[Pos++];
+          Code <<= 4;
+          if (H >= '0' && H <= '9')
+            Code |= static_cast<unsigned>(H - '0');
+          else if (H >= 'a' && H <= 'f')
+            Code |= static_cast<unsigned>(H - 'a' + 10);
+          else if (H >= 'A' && H <= 'F')
+            Code |= static_cast<unsigned>(H - 'A' + 10);
+          else
+            return err("bad hex digit in \\u escape");
+        }
+        // UTF-8 encode (surrogate pairs are passed through as-is: the
+        // corpus is ASCII; this parser just needs to not corrupt them).
+        if (Code < 0x80) {
+          Out += static_cast<char>(Code);
+        } else if (Code < 0x800) {
+          Out += static_cast<char>(0xC0 | (Code >> 6));
+          Out += static_cast<char>(0x80 | (Code & 0x3F));
+        } else {
+          Out += static_cast<char>(0xE0 | (Code >> 12));
+          Out += static_cast<char>(0x80 | ((Code >> 6) & 0x3F));
+          Out += static_cast<char>(0x80 | (Code & 0x3F));
+        }
+        break;
+      }
+      default:
+        return err(std::string("unknown escape '\\") + E + "'");
+      }
+    }
+    return err("unterminated string");
+  }
+
+  StatusOr<Json> array() {
+    consume('[');
+    Json Out = Json::array();
+    skipWs();
+    if (consume(']'))
+      return Out;
+    while (true) {
+      StatusOr<Json> V = value();
+      if (!V.isOk())
+        return V;
+      Out.push(std::move(*V));
+      skipWs();
+      if (consume(']'))
+        return Out;
+      if (!consume(','))
+        return err("expected ',' or ']' in array");
+    }
+  }
+
+  StatusOr<Json> object() {
+    consume('{');
+    Json Out = Json::object();
+    skipWs();
+    if (consume('}'))
+      return Out;
+    while (true) {
+      skipWs();
+      StatusOr<std::string> Key = string();
+      if (!Key.isOk())
+        return Key.status();
+      skipWs();
+      if (!consume(':'))
+        return err("expected ':' after object key");
+      StatusOr<Json> V = value();
+      if (!V.isOk())
+        return V;
+      Out.set(std::move(*Key), std::move(*V));
+      skipWs();
+      if (consume('}'))
+        return Out;
+      if (!consume(','))
+        return err("expected ',' or '}' in object");
+    }
+  }
+
+  std::string_view Text;
+  size_t Pos = 0;
+};
+
+} // namespace
+
+StatusOr<Json> Json::parse(std::string_view Text) {
+  return Parser(Text).run();
+}

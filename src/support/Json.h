@@ -1,0 +1,119 @@
+//===- support/Json.h - JSON values, writer, parser --------------*- C++ -*-===//
+//
+// Part of the VEGA reproduction project.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small JSON document type with a strict recursive-descent parser and a
+/// deterministic writer. This is the single serialization surface shared by
+/// `vega-cli --json` and the `vega-serve` JSON-RPC daemon — one schema, two
+/// consumers (obs/ keeps its own streaming writers for trace/metrics export;
+/// those are write-only hot paths).
+///
+/// Objects preserve insertion order, so a document always serializes the
+/// same way — responses are diffable byte-for-byte across runs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VEGA_SUPPORT_JSON_H
+#define VEGA_SUPPORT_JSON_H
+
+#include "support/Status.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace vega {
+
+/// One JSON value (null / bool / number / string / array / object).
+class Json {
+public:
+  enum class Kind : uint8_t { Null, Bool, Number, String, Array, Object };
+
+  Json() : K(Kind::Null) {}
+  Json(bool V) : K(Kind::Bool), BoolV(V) {}
+  Json(double V) : K(Kind::Number), NumV(V) {}
+  Json(int V) : K(Kind::Number), NumV(V) {}
+  Json(int64_t V) : K(Kind::Number), NumV(static_cast<double>(V)) {}
+  Json(uint64_t V) : K(Kind::Number), NumV(static_cast<double>(V)) {}
+  Json(std::string V) : K(Kind::String), StrV(std::move(V)) {}
+  Json(const char *V) : K(Kind::String), StrV(V) {}
+
+  static Json array() {
+    Json J;
+    J.K = Kind::Array;
+    return J;
+  }
+  static Json object() {
+    Json J;
+    J.K = Kind::Object;
+    return J;
+  }
+
+  Kind kind() const { return K; }
+  bool isNull() const { return K == Kind::Null; }
+  bool isBool() const { return K == Kind::Bool; }
+  bool isNumber() const { return K == Kind::Number; }
+  bool isString() const { return K == Kind::String; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isObject() const { return K == Kind::Object; }
+
+  bool asBool() const { return BoolV; }
+  double asNumber() const { return NumV; }
+  const std::string &asString() const { return StrV; }
+
+  /// Array append.
+  void push(Json V) { Items.push_back(std::move(V)); }
+
+  /// Object field set (appends; last write wins on lookup).
+  void set(std::string Key, Json V) {
+    Fields.emplace_back(std::move(Key), std::move(V));
+  }
+
+  /// Object field lookup; nullptr when absent or not an object.
+  const Json *get(const std::string &Key) const;
+
+  /// Convenience typed lookups for request handling.
+  std::string getString(const std::string &Key,
+                        const std::string &Default = "") const;
+  double getNumber(const std::string &Key, double Default = 0.0) const;
+
+  /// Array / object size.
+  size_t size() const {
+    return K == Kind::Array ? Items.size() : Fields.size();
+  }
+  const Json &at(size_t I) const { return Items[I]; }
+  const std::vector<Json> &items() const { return Items; }
+  const std::vector<std::pair<std::string, Json>> &fields() const {
+    return Fields;
+  }
+
+  /// Serializes. Indent < 0 → compact single line (the NDJSON wire form);
+  /// Indent >= 0 → pretty-printed with that many spaces per level.
+  std::string dump(int Indent = -1) const;
+
+  /// Strict parse of a complete document (trailing garbage is an error).
+  static StatusOr<Json> parse(std::string_view Text);
+
+  /// Escapes \p S as a JSON string literal including the quotes.
+  static std::string quote(std::string_view S);
+
+private:
+  void dumpTo(std::string &Out, int Indent, int Depth) const;
+
+  Kind K;
+  bool BoolV = false;
+  double NumV = 0.0;
+  std::string StrV;
+  std::vector<Json> Items;
+  std::vector<std::pair<std::string, Json>> Fields;
+};
+
+} // namespace vega
+
+#endif // VEGA_SUPPORT_JSON_H

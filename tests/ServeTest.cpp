@@ -1,0 +1,182 @@
+//===- tests/ServeTest.cpp - vega-serve protocol + batching tests -------------===//
+//
+// Part of the VEGA reproduction project.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+///
+/// Exercises the JSON-RPC surface of serve::VegaServer against a shared
+/// one-epoch session: request validation and error codes, the batched
+/// generate path (responses must be byte-identical whether a request runs
+/// alone, inside a forced batch, or concurrently with others), and the
+/// stream transport.
+///
+//===----------------------------------------------------------------------===//
+
+#include "serve/Server.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+#include <thread>
+
+using namespace vega;
+using namespace vega::serve;
+
+namespace {
+
+VegaSession &session() {
+  static std::unique_ptr<VegaSession> S = [] {
+    VegaOptions Opts;
+    Opts.Model.Epochs = 1;
+    Opts.Verbose = false;
+    StatusOr<std::unique_ptr<VegaSession>> Built = VegaSession::build(Opts);
+    if (!Built.isOk()) {
+      std::fprintf(stderr, "session build failed: %s\n",
+                   Built.status().toString().c_str());
+      std::abort();
+    }
+    return std::move(*Built);
+  }();
+  return *S;
+}
+
+Json parsed(const std::string &Line) {
+  StatusOr<Json> Doc = Json::parse(Line);
+  EXPECT_TRUE(Doc.isOk()) << Line;
+  return Doc.isOk() ? *Doc : Json();
+}
+
+int errorCode(const Json &Response) {
+  const Json *Err = Response.get("error");
+  return Err ? static_cast<int>(Err->getNumber("code")) : 0;
+}
+
+} // namespace
+
+TEST(Serve, PingAndInfo) {
+  VegaServer Server(session(), ServerOptions());
+  Json Ping = parsed(Server.handleLine(R"({"id":1,"method":"ping"})"));
+  ASSERT_NE(Ping.get("result"), nullptr);
+  EXPECT_TRUE(Ping.get("result")->get("ok")->asBool());
+  EXPECT_EQ(Ping.getString("jsonrpc"), "2.0");
+  EXPECT_EQ(Ping.getNumber("id"), 1.0);
+
+  Json Info = parsed(Server.handleLine(R"({"id":"i","method":"info"})"));
+  const Json *Result = Info.get("result");
+  ASSERT_NE(Result, nullptr);
+  EXPECT_EQ(Result->getString("schema"), "vega-serve-1");
+  EXPECT_FALSE(Result->get("fromCheckpoint")->asBool());
+  EXPECT_GT(Result->get("targets")->size(), 20u);
+}
+
+TEST(Serve, MalformedRequestsGetRpcErrorCodes) {
+  VegaServer Server(session(), ServerOptions());
+  EXPECT_EQ(errorCode(parsed(Server.handleLine("this is not json"))), -32700);
+  EXPECT_EQ(errorCode(parsed(Server.handleLine("[1,2,3]"))), -32600);
+  EXPECT_EQ(errorCode(parsed(Server.handleLine(R"({"id":1})"))), -32600);
+  EXPECT_EQ(
+      errorCode(parsed(Server.handleLine(R"({"id":1,"method":"frob"})"))),
+      -32601);
+  EXPECT_EQ(errorCode(parsed(Server.handleLine(
+                R"({"id":1,"method":"generate","params":{}})"))),
+            -32602);
+  Json Unknown = parsed(Server.handleLine(
+      R"({"id":1,"method":"generate","params":{"target":"Z80"}})"));
+  EXPECT_EQ(errorCode(Unknown), -32001); // not-found
+  EXPECT_EQ(Unknown.get("error")->get("data")->getString("status"),
+            "not-found");
+}
+
+TEST(Serve, GenerateMatchesDirectProtocolDump) {
+  VegaServer Server(session(), ServerOptions());
+  Json Response = parsed(Server.handleLine(
+      R"({"id":7,"method":"generate","params":{"target":"RISCV"}})"));
+  ASSERT_NE(Response.get("result"), nullptr);
+  StatusOr<GeneratedBackend> Direct = session().generate("RISCV");
+  ASSERT_TRUE(Direct.isOk());
+  EXPECT_EQ(Response.get("result")->dump(),
+            serve::backendToJson(*Direct).dump());
+}
+
+TEST(Serve, ForcedBatchMatchesSingleRequestResponses) {
+  VegaServer Server(session(), ServerOptions());
+  std::vector<std::string> Lines = {
+      R"({"id":1,"method":"generate","params":{"target":"RISCV"}})",
+      R"({"id":2,"method":"generate","params":{"target":"RI5CY"}})",
+      R"({"id":3,"method":"generate","params":{"target":"RISCV"}})",
+      R"({"id":4,"method":"evaluate","params":{"target":"XCORE"}})",
+      R"({"id":5,"method":"ping"})",
+  };
+  std::vector<std::string> Batched = Server.handleLines(Lines);
+  ASSERT_EQ(Batched.size(), Lines.size());
+  for (size_t I = 0; I < Lines.size(); ++I)
+    EXPECT_EQ(Batched[I], Server.handleLine(Lines[I])) << "request " << I;
+  // Identical requests inside one batch share the deduped generation.
+  Json First = parsed(Batched[0]), Third = parsed(Batched[2]);
+  EXPECT_EQ(First.get("result")->dump(), Third.get("result")->dump());
+}
+
+TEST(Serve, ConcurrentSubmittersGetIndependentAnswers) {
+  VegaServer Server(session(), ServerOptions());
+  const std::vector<std::string> Targets = {"RISCV", "RI5CY", "XCORE",
+                                            "RISCV"};
+  std::vector<std::string> Got(Targets.size());
+  std::vector<std::thread> Threads;
+  for (size_t I = 0; I < Targets.size(); ++I)
+    Threads.emplace_back([&, I] {
+      Got[I] = Server.handleLine(
+          R"({"id":)" + std::to_string(I) +
+          R"(,"method":"generate","params":{"target":")" + Targets[I] +
+          R"("}})");
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  for (size_t I = 0; I < Targets.size(); ++I) {
+    Json Response = parsed(Got[I]);
+    EXPECT_EQ(Response.getNumber("id"), static_cast<double>(I));
+    ASSERT_NE(Response.get("result"), nullptr) << Got[I];
+    EXPECT_EQ(Response.get("result")->getString("target"), Targets[I]);
+  }
+  // Same target → byte-identical result regardless of batching.
+  Json A = parsed(Got[0]), B = parsed(Got[3]);
+  EXPECT_EQ(A.get("result")->dump(), B.get("result")->dump());
+}
+
+TEST(Serve, EvaluateReportsSchemaAndSummary) {
+  VegaServer Server(session(), ServerOptions());
+  Json Response = parsed(Server.handleLine(
+      R"({"id":1,"method":"evaluate","params":{"target":"RISCV"}})"));
+  const Json *Result = Response.get("result");
+  ASSERT_NE(Result, nullptr);
+  EXPECT_EQ(Result->getString("schema"), "vega-eval-1");
+  ASSERT_NE(Result->get("summary"), nullptr);
+  double FnAcc = Result->get("summary")->getNumber("functionAccuracy", -1);
+  EXPECT_GE(FnAcc, 0.0);
+  EXPECT_LE(FnAcc, 1.0);
+}
+
+TEST(Serve, StreamTransportAnswersInOrderAndStopsOnShutdown) {
+  VegaServer Server(session(), ServerOptions());
+  std::istringstream In(R"({"id":1,"method":"ping"})"
+                        "\n"
+                        R"({"id":2,"method":"generate","params":{"target":"RISCV"}})"
+                        "\n"
+                        R"({"id":3,"method":"shutdown"})"
+                        "\n");
+  std::ostringstream Out;
+  ASSERT_TRUE(Server.serveStream(In, Out).isOk());
+  EXPECT_TRUE(Server.shutdownRequested());
+
+  std::vector<Json> Responses;
+  std::istringstream Lines(Out.str());
+  std::string Line;
+  while (std::getline(Lines, Line))
+    Responses.push_back(parsed(Line));
+  ASSERT_EQ(Responses.size(), 3u); // every submitted request is answered
+  EXPECT_EQ(Responses[0].getNumber("id"), 1.0);
+  EXPECT_EQ(Responses[1].getNumber("id"), 2.0);
+  EXPECT_EQ(Responses[1].get("result")->getString("target"), "RISCV");
+  EXPECT_EQ(Responses[2].getNumber("id"), 3.0);
+}

@@ -5,8 +5,12 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "support/ArgParse.h"
+#include "support/BinaryIO.h"
 #include "support/Error.h"
+#include "support/Json.h"
 #include "support/RNG.h"
+#include "support/Status.h"
 #include "support/StringUtils.h"
 #include "support/TextTable.h"
 #include "support/ThreadPool.h"
@@ -277,4 +281,216 @@ TEST(ThreadPool, DefaultJobsHonorsEnvOverride) {
   EXPECT_EQ(ThreadPool::defaultJobs(), 3u);
   unsetenv("VEGA_JOBS");
   EXPECT_GE(ThreadPool::defaultJobs(), 1u);
+}
+
+// ---- Status / StatusOr ----------------------------------------------------
+
+TEST(Status, OkCarriesNoMessageAndExitCodeZero) {
+  Status St = Status::ok();
+  EXPECT_TRUE(St.isOk());
+  EXPECT_EQ(St.toString(), "ok");
+  EXPECT_EQ(St.toExitCode(), 0);
+}
+
+TEST(Status, CodesMapToDistinctExitCodes) {
+  EXPECT_EQ(Status::internal("x").toExitCode(), 1);
+  EXPECT_EQ(Status::invalidArgument("x").toExitCode(), 2);
+  EXPECT_EQ(Status::notFound("x").toExitCode(), 3);
+  EXPECT_EQ(Status::failedPrecondition("x").toExitCode(), 4);
+  EXPECT_EQ(Status::dataLoss("x").toExitCode(), 5);
+  EXPECT_EQ(Status::unavailable("x").toExitCode(), 6);
+  EXPECT_EQ(Status::unimplemented("x").toExitCode(), 7);
+}
+
+TEST(Status, ToStringPrefixesCodeName) {
+  EXPECT_EQ(Status::dataLoss("checksum mismatch").toString(),
+            "data-loss: checksum mismatch");
+  EXPECT_EQ(Status::notFound("unknown target 'Z80'").toString(),
+            "not-found: unknown target 'Z80'");
+}
+
+TEST(StatusOr, ValueAndErrorSides) {
+  StatusOr<int> Good = 42;
+  ASSERT_TRUE(Good.isOk());
+  EXPECT_EQ(*Good, 42);
+
+  StatusOr<int> Bad = Status::notFound("nope");
+  ASSERT_FALSE(Bad.isOk());
+  EXPECT_EQ(Bad.status().code(), StatusCode::NotFound);
+  EXPECT_EQ(Bad.status().message(), "nope");
+}
+
+TEST(StatusOr, MoveOnlyValues) {
+  StatusOr<std::unique_ptr<int>> P = std::make_unique<int>(7);
+  ASSERT_TRUE(P.isOk());
+  std::unique_ptr<int> Owned = std::move(*P);
+  EXPECT_EQ(*Owned, 7);
+}
+
+// ---- Json -----------------------------------------------------------------
+
+TEST(Json, DumpIsDeterministicAndInsertionOrdered) {
+  Json Doc = Json::object();
+  Doc.set("b", 1);
+  Doc.set("a", "two");
+  Json Arr = Json::array();
+  Arr.push(true);
+  Arr.push(Json());
+  Arr.push(1.5);
+  Doc.set("list", std::move(Arr));
+  EXPECT_EQ(Doc.dump(), "{\"b\":1,\"a\":\"two\",\"list\":[true,null,1.5]}");
+}
+
+TEST(Json, ParseRoundTripsCompactDump) {
+  const char *Text =
+      "{\"name\":\"RISCV\",\"n\":3,\"ok\":true,\"none\":null,"
+      "\"xs\":[1,2,3],\"nested\":{\"k\":\"v\"}}";
+  StatusOr<Json> Doc = Json::parse(Text);
+  ASSERT_TRUE(Doc.isOk());
+  EXPECT_EQ(Doc->dump(), Text);
+  EXPECT_EQ(Doc->getString("name"), "RISCV");
+  EXPECT_EQ(Doc->getNumber("n"), 3.0);
+  ASSERT_NE(Doc->get("xs"), nullptr);
+  EXPECT_EQ(Doc->get("xs")->size(), 3u);
+}
+
+TEST(Json, ParseRejectsMalformedDocuments) {
+  EXPECT_FALSE(Json::parse("").isOk());
+  EXPECT_FALSE(Json::parse("{").isOk());
+  EXPECT_FALSE(Json::parse("[1,]").isOk());
+  EXPECT_FALSE(Json::parse("{\"a\":1} trailing").isOk());
+  EXPECT_FALSE(Json::parse("nul").isOk());
+  EXPECT_EQ(Json::parse("{").status().code(), StatusCode::InvalidArgument);
+}
+
+TEST(Json, StringEscapesRoundTrip) {
+  Json Doc = Json::object();
+  Doc.set("s", "line\none\t\"quoted\" \\ end");
+  StatusOr<Json> Back = Json::parse(Doc.dump());
+  ASSERT_TRUE(Back.isOk());
+  EXPECT_EQ(Back->getString("s"), "line\none\t\"quoted\" \\ end");
+}
+
+// ---- BinaryIO -------------------------------------------------------------
+
+TEST(BinaryIO, WriterReaderRoundTrip) {
+  BinaryWriter W;
+  W.u8(7);
+  W.u32(0xDEADBEEFu);
+  W.u64(1ULL << 40);
+  W.i32(-12345);
+  W.f64(3.25);
+  W.str("hello");
+  BinaryReader R(W.blob());
+  uint8_t A = 0;
+  uint32_t B = 0;
+  uint64_t C = 0;
+  int32_t D = 0;
+  double E = 0;
+  std::string S;
+  EXPECT_TRUE(R.u8(A) && R.u32(B) && R.u64(C) && R.i32(D) && R.f64(E) &&
+              R.str(S));
+  EXPECT_EQ(A, 7u);
+  EXPECT_EQ(B, 0xDEADBEEFu);
+  EXPECT_EQ(C, 1ULL << 40);
+  EXPECT_EQ(D, -12345);
+  EXPECT_EQ(E, 3.25);
+  EXPECT_EQ(S, "hello");
+  EXPECT_TRUE(R.ok());
+  EXPECT_TRUE(R.atEnd());
+}
+
+TEST(BinaryIO, ReaderFailsStickyOnTruncation) {
+  BinaryWriter W;
+  W.u32(99);
+  BinaryReader R(W.blob());
+  uint64_t Big = 0;
+  EXPECT_FALSE(R.u64(Big)); // only 4 bytes available
+  EXPECT_FALSE(R.ok());
+  uint8_t Byte = 0;
+  EXPECT_FALSE(R.u8(Byte)); // stays failed even though a byte remains
+}
+
+TEST(BinaryIO, StringLengthBeyondBufferFails) {
+  BinaryWriter W;
+  W.u64(1000); // claims 1000 bytes follow
+  W.bytes("abc");
+  BinaryReader R(W.blob());
+  std::string S;
+  EXPECT_FALSE(R.str(S));
+  EXPECT_FALSE(R.ok());
+}
+
+TEST(BinaryIO, Fnv1aIsStableAndOrderSensitive) {
+  // The project-wide basis (also used by the corpus/model fingerprints);
+  // artifact checksums depend on these exact values staying put.
+  EXPECT_EQ(fnv1a(""), 1469598103934665603ULL);
+  EXPECT_EQ(fnv1a("a"), fnv1a("a"));
+  EXPECT_NE(fnv1a("abc"), fnv1a("acb"));
+  EXPECT_NE(fnv1a("abc"), fnv1a("ab"));
+}
+
+// ---- ArgParse -------------------------------------------------------------
+
+namespace {
+ArgParse cliParser() {
+  ArgParse P("tool", "test tool");
+  P.addOption("jobs", "N", "lanes");
+  P.addOption("session", "file", "artifact");
+  P.addFlag("json", "json output");
+  P.addCommand("generate", "<target> [epochs]", "emit", 1, 2);
+  P.addCommand("targets", "", "list", 0, 0);
+  return P;
+}
+} // namespace
+
+TEST(ArgParse, FlagsAnywhereAroundTheCommand) {
+  ArgParse P = cliParser();
+  ASSERT_TRUE(P.parse({"--jobs=4", "generate", "RISCV", "--json"}).isOk());
+  EXPECT_EQ(P.command(), "generate");
+  ASSERT_EQ(P.positionals().size(), 1u);
+  EXPECT_EQ(P.positionals()[0], "RISCV");
+  EXPECT_TRUE(P.has("json"));
+  EXPECT_EQ(P.getInt("jobs", 0), 4);
+}
+
+TEST(ArgParse, SeparateValueFormAndDefaults) {
+  ArgParse P = cliParser();
+  ASSERT_TRUE(P.parse({"generate", "RISCV", "8", "--session", "x.vega"}).isOk());
+  EXPECT_EQ(P.get("session"), "x.vega");
+  ASSERT_EQ(P.positionals().size(), 2u);
+  EXPECT_EQ(P.positionals()[1], "8");
+  EXPECT_FALSE(P.has("jobs"));
+  EXPECT_EQ(P.getInt("jobs", 9), 9);
+}
+
+TEST(ArgParse, ArityAndUnknownsAreInvalidArgument) {
+  EXPECT_EQ(cliParser().parse({"generate"}).code(),
+            StatusCode::InvalidArgument); // too few positionals
+  EXPECT_EQ(cliParser().parse({"generate", "a", "b", "c"}).code(),
+            StatusCode::InvalidArgument); // too many
+  EXPECT_EQ(cliParser().parse({"--nope", "targets"}).code(),
+            StatusCode::InvalidArgument); // unknown flag
+  EXPECT_EQ(cliParser().parse({"frobnicate"}).code(),
+            StatusCode::InvalidArgument); // unknown command
+}
+
+TEST(ArgParse, PassthroughCollectsUnknownFlags) {
+  ArgParse P("bench", "bench tool");
+  P.addOption("inference-report", "file", "report");
+  P.setPassthroughUnknown(true);
+  ASSERT_TRUE(P.parse({"--benchmark_filter=BM_Gemm", "--inference-report=r.json",
+                       "--benchmark_min_time=0.01"})
+                  .isOk());
+  EXPECT_EQ(P.get("inference-report"), "r.json");
+  ASSERT_EQ(P.passthroughArgs().size(), 2u);
+  EXPECT_EQ(P.passthroughArgs()[0], "--benchmark_filter=BM_Gemm");
+  EXPECT_EQ(P.passthroughArgs()[1], "--benchmark_min_time=0.01");
+}
+
+TEST(ArgParse, UsageListsFlagsAndCommands) {
+  std::string U = cliParser().usage();
+  EXPECT_NE(U.find("--jobs=<N>"), std::string::npos);
+  EXPECT_NE(U.find("generate <target> [epochs]"), std::string::npos);
+  EXPECT_NE(U.find("targets"), std::string::npos);
 }

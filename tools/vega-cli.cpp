@@ -13,54 +13,46 @@
 ///   vega-cli features <iface>             print Algorithm-1 properties
 ///   vega-cli golden <target> <iface>      print a golden implementation
 ///   vega-cli harvest <prop> <target>      print a TgtValSet
-///   vega-cli generate <target> [epochs]   train (cached) + emit a backend
+///   vega-cli build [epochs]               train and save a .vega session
+///   vega-cli inspect                      summarize a .vega session artifact
+///   vega-cli generate <target> [epochs]   emit a backend
 ///   vega-cli evaluate <target> [epochs]   generate + pass@1 report
 ///   vega-cli forkflow <target>            evaluate the MIPS fork baseline
 ///
-/// Flags (valid before any command):
-///
-///   --jobs=<N>                 Stage-3 generation lanes (default: VEGA_JOBS
-///                              env var, else hardware concurrency); output
-///                              is byte-identical for every N
-///   --trace-out=<file>.json    record spans, write a Chrome/Perfetto trace
-///   --metrics-out=<file>.json  record counters/gauges/histograms as JSON
-///   --stats                    print a text metrics summary on exit
+/// With --session=<file.vega>, generate/evaluate load the saved session and
+/// run Stage 3 directly — no template building, no training. Without it they
+/// build a session in-process (weights cached in vega_cli_model.bin).
+/// Failures map to exit codes via vega::Status (see README).
 ///
 //===----------------------------------------------------------------------===//
 
+#include "core/Checkpoint.h"
+#include "core/VegaSession.h"
 #include "eval/EffortModel.h"
 #include "eval/Harness.h"
 #include "forkflow/ForkFlow.h"
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
+#include "serve/Protocol.h"
+#include "support/ArgParse.h"
 #include "support/TextTable.h"
 
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 
 using namespace vega;
 
 namespace {
 
-int usage() {
-  std::fprintf(
-      stderr,
-      "usage: vega-cli [--jobs=<N>] [--trace-out=<file>] "
-      "[--metrics-out=<file>]\n"
-      "                [--stats] <command> [args]\n"
-      "  targets | groups | template <iface> | features <iface>\n"
-      "  golden <target> <iface> | harvest <prop> <target>\n"
-      "  generate <target> [epochs] | evaluate <target> [epochs]\n"
-      "  forkflow <target>\n");
-  return 2;
-}
+/// Global flag state shared by the command handlers.
+struct CliOptions {
+  int Jobs = 0;
+  bool JsonOut = false;
+  std::string SessionPath;
+};
+CliOptions Cli;
 
-const BackendCorpus &corpus() {
-  static BackendCorpus Corpus =
-      BackendCorpus::build(TargetDatabase::standard());
-  return Corpus;
-}
+const BackendCorpus &corpus() { return VegaSession::standardCorpus(); }
 
 FeatureSelector &selector() {
   static FeatureSelector *S = [] {
@@ -123,15 +115,18 @@ const FunctionGroup *groupNamed(const std::string &Name) {
   for (const FunctionGroup &G : Groups)
     if (G.InterfaceName == Name)
       return &G;
-  std::fprintf(stderr, "error: unknown interface function '%s'\n",
-               Name.c_str());
   return nullptr;
+}
+
+int fail(const Status &St) {
+  std::fprintf(stderr, "vega-cli: %s\n", St.toString().c_str());
+  return St.toExitCode();
 }
 
 int cmdTemplate(const std::string &Iface) {
   const FunctionGroup *G = groupNamed(Iface);
   if (!G)
-    return 1;
+    return fail(Status::notFound("unknown interface function '" + Iface + "'"));
   FunctionTemplate FT = buildFunctionTemplate(*G);
   std::printf("%s", FT.render().c_str());
   return 0;
@@ -140,7 +135,7 @@ int cmdTemplate(const std::string &Iface) {
 int cmdFeatures(const std::string &Iface) {
   const FunctionGroup *G = groupNamed(Iface);
   if (!G)
-    return 1;
+    return fail(Status::notFound("unknown interface function '" + Iface + "'"));
   FunctionTemplate FT = buildFunctionTemplate(*G);
   TemplateFeatures F = selector().analyze(FT);
   std::printf("target-independent properties:\n");
@@ -160,16 +155,11 @@ int cmdFeatures(const std::string &Iface) {
 
 int cmdGolden(const std::string &Target, const std::string &Iface) {
   const Backend *B = corpus().backend(Target);
-  if (!B) {
-    std::fprintf(stderr, "error: unknown target '%s'\n", Target.c_str());
-    return 1;
-  }
+  if (!B)
+    return fail(Status::notFound("unknown target '" + Target + "'"));
   const BackendFunction *F = B->find(Iface);
-  if (!F) {
-    std::fprintf(stderr, "error: %s does not implement %s\n", Target.c_str(),
-                 Iface.c_str());
-    return 1;
-  }
+  if (!F)
+    return fail(Status::notFound(Target + " does not implement " + Iface));
   std::printf("%s", F->AST.render().c_str());
   return 0;
 }
@@ -180,32 +170,112 @@ int cmdHarvest(const std::string &Prop, const std::string &Target) {
   return 0;
 }
 
-/// Stage-3 lane count from --jobs=N (0 = auto; see VegaOptions::Jobs).
-int JobsFlag = 0;
-
-VegaSystem &trainedSystem(int Epochs) {
-  static VegaSystem *Sys = nullptr;
-  if (!Sys) {
+/// The process-wide session: loaded from --session when given, otherwise
+/// built in-process with the historical vega_cli_model.bin weight cache.
+StatusOr<VegaSession *> session(int Epochs) {
+  static std::unique_ptr<VegaSession> S;
+  if (S)
+    return S.get();
+  if (!Cli.SessionPath.empty()) {
+    StatusOr<std::unique_ptr<VegaSession>> Loaded =
+        VegaSession::load(Cli.SessionPath);
+    if (!Loaded.isOk())
+      return Loaded.status();
+    S = std::move(*Loaded);
+  } else {
     VegaOptions Opts;
     Opts.Model.Epochs = Epochs;
     Opts.WeightCachePath = "vega_cli_model.bin";
     Opts.Verbose = true;
-    Opts.Jobs = JobsFlag;
-    Sys = new VegaSystem(corpus(), Opts);
-    Sys->buildTemplates();
-    Sys->buildDataset();
-    Sys->trainModel();
+    Opts.Jobs = Cli.Jobs;
+    StatusOr<std::unique_ptr<VegaSession>> Built = VegaSession::build(Opts);
+    if (!Built.isOk())
+      return Built.status();
+    S = std::move(*Built);
   }
-  return *Sys;
+  if (Cli.Jobs > 0)
+    S->setJobs(Cli.Jobs);
+  return S.get();
+}
+
+int cmdBuild(int Epochs) {
+  if (Cli.SessionPath.empty())
+    return fail(
+        Status::invalidArgument("build requires --session=<file.vega>"));
+  VegaOptions Opts;
+  Opts.Model.Epochs = Epochs;
+  Opts.Verbose = true;
+  Opts.Jobs = Cli.Jobs;
+  StatusOr<std::unique_ptr<VegaSession>> Built = VegaSession::build(Opts);
+  if (!Built.isOk())
+    return fail(Built.status());
+  if (Status St = (*Built)->save(Cli.SessionPath); !St.isOk())
+    return fail(St);
+  std::printf("session saved to %s\n", Cli.SessionPath.c_str());
+  return 0;
+}
+
+int cmdInspect() {
+  if (Cli.SessionPath.empty())
+    return fail(
+        Status::invalidArgument("inspect requires --session=<file.vega>"));
+  StatusOr<SessionCheckpoint::Info> Info =
+      SessionCheckpoint::inspect(Cli.SessionPath);
+  if (!Info.isOk())
+    return fail(Info.status());
+  if (Cli.JsonOut) {
+    Json Doc = Json::object();
+    Doc.set("schema", "vega-session-info-1");
+    Doc.set("version", static_cast<uint64_t>(Info->Version));
+    Doc.set("optionsFingerprint", std::to_string(Info->OptionsFingerprint));
+    Doc.set("corpusFingerprint", std::to_string(Info->CorpusFingerprint));
+    Doc.set("epochs", Info->Options.Model.Epochs);
+    Doc.set("templates", Info->TemplateCount);
+    Doc.set("vocab", Info->VocabSize);
+    Doc.set("trainPairs", Info->TrainPairs);
+    Doc.set("verifyPairs", Info->VerifyPairs);
+    Json Sections = Json::array();
+    for (const auto &[Tag, Bytes] : Info->Sections) {
+      Json S = Json::object();
+      S.set("tag", Tag);
+      S.set("bytes", Bytes);
+      Sections.push(std::move(S));
+    }
+    Doc.set("sections", std::move(Sections));
+    std::printf("%s\n", Doc.dump(2).c_str());
+    return 0;
+  }
+  std::printf("format version:  %u\n", Info->Version);
+  std::printf("options:         %d epochs, fingerprint %016llx\n",
+              Info->Options.Model.Epochs,
+              static_cast<unsigned long long>(Info->OptionsFingerprint));
+  std::printf("corpus:          fingerprint %016llx\n",
+              static_cast<unsigned long long>(Info->CorpusFingerprint));
+  std::printf("templates:       %llu\n",
+              static_cast<unsigned long long>(Info->TemplateCount));
+  std::printf("vocabulary:      %llu tokens\n",
+              static_cast<unsigned long long>(Info->VocabSize));
+  std::printf("dataset:         %llu train / %llu verify pairs\n",
+              static_cast<unsigned long long>(Info->TrainPairs),
+              static_cast<unsigned long long>(Info->VerifyPairs));
+  for (const auto &[Tag, Bytes] : Info->Sections)
+    std::printf("section %s:    %llu bytes\n", Tag.c_str(),
+                static_cast<unsigned long long>(Bytes));
+  return 0;
 }
 
 int cmdGenerate(const std::string &Target, int Epochs) {
-  if (!corpus().targets().find(Target)) {
-    std::fprintf(stderr, "error: unknown target '%s'\n", Target.c_str());
-    return 1;
+  StatusOr<VegaSession *> S = session(Epochs);
+  if (!S.isOk())
+    return fail(S.status());
+  StatusOr<GeneratedBackend> GB = (*S)->generate(Target);
+  if (!GB.isOk())
+    return fail(GB.status());
+  if (Cli.JsonOut) {
+    std::printf("%s\n", serve::backendToJson(*GB).dump(2).c_str());
+    return 0;
   }
-  GeneratedBackend GB = trainedSystem(Epochs).generateBackend(Target);
-  for (const GeneratedFunction &F : GB.Functions) {
+  for (const GeneratedFunction &F : GB->Functions) {
     if (!F.Emitted)
       continue;
     std::printf("// confidence %.2f [%s]\n%s\n", F.Confidence,
@@ -215,13 +285,18 @@ int cmdGenerate(const std::string &Target, int Epochs) {
 }
 
 int cmdEvaluate(const std::string &Target, int Epochs) {
-  if (!corpus().targets().find(Target)) {
-    std::fprintf(stderr, "error: unknown target '%s'\n", Target.c_str());
-    return 1;
-  }
-  GeneratedBackend GB = trainedSystem(Epochs).generateBackend(Target);
-  BackendEval Eval = evaluateBackend(GB, *corpus().backend(Target),
+  StatusOr<VegaSession *> S = session(Epochs);
+  if (!S.isOk())
+    return fail(S.status());
+  StatusOr<GeneratedBackend> GB = (*S)->generate(Target);
+  if (!GB.isOk())
+    return fail(GB.status());
+  BackendEval Eval = evaluateBackend(*GB, *corpus().backend(Target),
                                      *corpus().targets().find(Target));
+  if (Cli.JsonOut) {
+    std::printf("%s\n", serve::evalToJson(Eval).dump(2).c_str());
+    return 0;
+  }
   TextTable Table;
   Table.setHeader({"Function", "Module", "Confidence", "pass@1"});
   for (const FunctionEval &F : Eval.Functions)
@@ -238,6 +313,8 @@ int cmdEvaluate(const std::string &Target, int Epochs) {
 }
 
 int cmdForkflow(const std::string &Target) {
+  if (!corpus().targets().find(Target))
+    return fail(Status::notFound("unknown target '" + Target + "'"));
   GeneratedBackend FF = forkflowBackend(corpus(), "Mips", Target);
   BackendEval Eval = evaluateBackend(FF, *corpus().backend(Target),
                                      *corpus().targets().find(Target));
@@ -249,72 +326,101 @@ int cmdForkflow(const std::string &Target) {
   return 0;
 }
 
-int dispatch(const std::vector<std::string> &Args) {
-  if (Args.empty())
-    return usage();
-  const std::string &Cmd = Args[0];
-  size_t N = Args.size();
-  if (Cmd == "targets")
-    return cmdTargets();
-  if (Cmd == "groups")
-    return cmdGroups();
-  if (Cmd == "template" && N >= 2)
-    return cmdTemplate(Args[1]);
-  if (Cmd == "features" && N >= 2)
-    return cmdFeatures(Args[1]);
-  if (Cmd == "golden" && N >= 3)
-    return cmdGolden(Args[1], Args[2]);
-  if (Cmd == "harvest" && N >= 3)
-    return cmdHarvest(Args[1], Args[2]);
-  if (Cmd == "generate" && N >= 2)
-    return cmdGenerate(Args[1], N >= 3 ? std::atoi(Args[2].c_str()) : 8);
-  if (Cmd == "evaluate" && N >= 2)
-    return cmdEvaluate(Args[1], N >= 3 ? std::atoi(Args[2].c_str()) : 8);
-  if (Cmd == "forkflow" && N >= 2)
-    return cmdForkflow(Args[1]);
-  return usage();
+int epochsArg(const std::vector<std::string> &Args, size_t Index,
+              int Default) {
+  if (Index >= Args.size())
+    return Default;
+  return std::atoi(Args[Index].c_str());
 }
 
 } // namespace
 
 int main(int argc, char **argv) {
-  std::string TraceOut, MetricsOut;
-  bool Stats = false;
-  std::vector<std::string> Args;
-  for (int I = 1; I < argc; ++I) {
-    std::string Arg = argv[I];
-    if (Arg.rfind("--jobs=", 0) == 0)
-      JobsFlag = std::atoi(Arg.c_str() + 7);
-    else if (Arg.rfind("--trace-out=", 0) == 0)
-      TraceOut = Arg.substr(12);
-    else if (Arg.rfind("--metrics-out=", 0) == 0)
-      MetricsOut = Arg.substr(14);
-    else if (Arg == "--stats")
-      Stats = true;
-    else
-      Args.push_back(std::move(Arg));
+  ArgParse Args("vega-cli", "the VEGA reproduction command-line driver");
+  Args.addOption("jobs", "N",
+                 "Stage-3 generation lanes (default: VEGA_JOBS, else "
+                 "hardware concurrency); output is identical for every N");
+  Args.addOption("session", "file.vega",
+                 "load (generate/evaluate/inspect) or write (build) a "
+                 "session artifact");
+  Args.addFlag("json", "emit generate/evaluate/inspect results as JSON");
+  Args.addOption("trace-out", "file", "write a Chrome/Perfetto trace on exit");
+  Args.addOption("metrics-out", "file", "write metrics JSON on exit");
+  Args.addFlag("stats", "print a text metrics summary on exit");
+  Args.addCommand("targets", "", "list the corpus targets", 0, 0);
+  Args.addCommand("groups", "", "list function groups and sizes", 0, 0);
+  Args.addCommand("template", "<iface>", "print a function template", 1, 1);
+  Args.addCommand("features", "<iface>", "print Algorithm-1 properties", 1, 1);
+  Args.addCommand("golden", "<target> <iface>",
+                  "print a golden implementation", 2, 2);
+  Args.addCommand("harvest", "<prop> <target>", "print a TgtValSet", 2, 2);
+  Args.addCommand("build", "[epochs]",
+                  "train and save a session to --session", 0, 1);
+  Args.addCommand("inspect", "", "summarize the --session artifact", 0, 0);
+  Args.addCommand("generate", "<target> [epochs]", "emit a backend", 1, 2);
+  Args.addCommand("evaluate", "<target> [epochs]",
+                  "generate + pass@1 report", 1, 2);
+  Args.addCommand("forkflow", "<target>",
+                  "evaluate the MIPS fork baseline", 1, 1);
+
+  if (Status St = Args.parse(argc, argv); !St.isOk()) {
+    std::fprintf(stderr, "vega-cli: %s\n%s", St.toString().c_str(),
+                 Args.usage().c_str());
+    return St.toExitCode();
+  }
+  if (Args.command().empty()) {
+    std::fprintf(stderr, "%s", Args.usage().c_str());
+    return 2;
   }
 
-  if (!TraceOut.empty())
+  Cli.Jobs = Args.getInt("jobs", 0);
+  Cli.JsonOut = Args.has("json");
+  Cli.SessionPath = Args.get("session");
+
+  if (Args.has("trace-out"))
     obs::TraceRecorder::instance().setEnabled(true);
-  if (!MetricsOut.empty() || Stats)
+  if (Args.has("metrics-out") || Args.has("stats"))
     obs::MetricsRegistry::instance().setEnabled(true);
 
-  int Rc = dispatch(Args);
+  const std::string &Cmd = Args.command();
+  const std::vector<std::string> &Pos = Args.positionals();
+  int Rc = 2;
+  if (Cmd == "targets")
+    Rc = cmdTargets();
+  else if (Cmd == "groups")
+    Rc = cmdGroups();
+  else if (Cmd == "template")
+    Rc = cmdTemplate(Pos[0]);
+  else if (Cmd == "features")
+    Rc = cmdFeatures(Pos[0]);
+  else if (Cmd == "golden")
+    Rc = cmdGolden(Pos[0], Pos[1]);
+  else if (Cmd == "harvest")
+    Rc = cmdHarvest(Pos[0], Pos[1]);
+  else if (Cmd == "build")
+    Rc = cmdBuild(epochsArg(Pos, 0, 8));
+  else if (Cmd == "inspect")
+    Rc = cmdInspect();
+  else if (Cmd == "generate")
+    Rc = cmdGenerate(Pos[0], epochsArg(Pos, 1, 8));
+  else if (Cmd == "evaluate")
+    Rc = cmdEvaluate(Pos[0], epochsArg(Pos, 1, 8));
+  else if (Cmd == "forkflow")
+    Rc = cmdForkflow(Pos[0]);
 
-  if (!TraceOut.empty() &&
-      !obs::TraceRecorder::instance().writeChromeTrace(TraceOut)) {
-    std::fprintf(stderr, "error: cannot write trace to '%s'\n",
-                 TraceOut.c_str());
-    return Rc ? Rc : 1;
+  if (Args.has("trace-out") &&
+      !obs::TraceRecorder::instance().writeChromeTrace(Args.get("trace-out"))) {
+    std::fprintf(stderr, "vega-cli: error: cannot write trace to '%s'\n",
+                 Args.get("trace-out").c_str());
+    Rc = Rc ? Rc : 1;
   }
-  if (!MetricsOut.empty() &&
-      !obs::MetricsRegistry::instance().writeJson(MetricsOut)) {
-    std::fprintf(stderr, "error: cannot write metrics to '%s'\n",
-                 MetricsOut.c_str());
-    return Rc ? Rc : 1;
+  if (Args.has("metrics-out") &&
+      !obs::MetricsRegistry::instance().writeJson(Args.get("metrics-out"))) {
+    std::fprintf(stderr, "vega-cli: error: cannot write metrics to '%s'\n",
+                 Args.get("metrics-out").c_str());
+    Rc = Rc ? Rc : 1;
   }
-  if (Stats)
+  if (Args.has("stats"))
     std::printf("%s", obs::MetricsRegistry::instance().textSummary().c_str());
   return Rc;
 }

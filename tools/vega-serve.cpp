@@ -1,0 +1,100 @@
+//===- tools/vega-serve.cpp - The VEGA generation daemon ----------------------===//
+//
+// Part of the VEGA reproduction project.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+///
+/// Long-running batched generation daemon: loads one .vega session artifact
+/// and answers newline-delimited JSON-RPC 2.0 requests — over stdio by
+/// default, or an AF_UNIX socket with --socket. See README "Serving" for the
+/// wire protocol and request examples:
+///
+///   printf '%s\n' '{"id":1,"method":"generate","params":{"target":"RISCV"}}' \
+///     | vega-serve --session=warm.vega
+///
+//===----------------------------------------------------------------------===//
+
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
+#include "serve/Server.h"
+#include "support/ArgParse.h"
+
+#include <cstdio>
+#include <iostream>
+
+using namespace vega;
+
+int main(int argc, char **argv) {
+  ArgParse Args("vega-serve",
+                "batched JSON-RPC generation daemon over a .vega session");
+  Args.addOption("session", "file.vega", "session artifact to serve (required)");
+  Args.addOption("socket", "path",
+                 "listen on an AF_UNIX socket instead of stdio");
+  Args.addOption("jobs", "N", "Stage-3 generation lanes (default: auto)");
+  Args.addOption("max-batch", "N",
+                 "most pending requests merged per generation fan-out", "8");
+  Args.addOption("trace-out", "file", "write a Chrome/Perfetto trace on exit");
+  Args.addOption("metrics-out", "file", "write metrics JSON on exit");
+  Args.addFlag("stats", "print a text metrics summary on exit");
+  Args.addFlag("verbose", "log per-batch notes to stderr");
+
+  if (Status St = Args.parse(argc, argv); !St.isOk()) {
+    std::fprintf(stderr, "vega-serve: %s\n%s", St.toString().c_str(),
+                 Args.usage().c_str());
+    return St.toExitCode();
+  }
+  if (!Args.has("session")) {
+    Status St = Status::invalidArgument("--session=<file.vega> is required");
+    std::fprintf(stderr, "vega-serve: %s\n%s", St.toString().c_str(),
+                 Args.usage().c_str());
+    return St.toExitCode();
+  }
+
+  if (Args.has("trace-out"))
+    obs::TraceRecorder::instance().setEnabled(true);
+  if (Args.has("metrics-out") || Args.has("stats"))
+    obs::MetricsRegistry::instance().setEnabled(true);
+
+  StatusOr<std::unique_ptr<VegaSession>> Session =
+      VegaSession::load(Args.get("session"));
+  if (!Session.isOk()) {
+    std::fprintf(stderr, "vega-serve: %s\n",
+                 Session.status().toString().c_str());
+    return Session.status().toExitCode();
+  }
+  if (Args.has("jobs"))
+    (*Session)->setJobs(Args.getInt("jobs", 0));
+
+  serve::ServerOptions Options;
+  Options.MaxBatch = Args.getInt("max-batch", 8);
+  Options.Verbose = Args.has("verbose");
+  if (Options.Verbose)
+    std::fprintf(stderr, "vega-serve: session '%s' loaded, serving on %s\n",
+                 Args.get("session").c_str(),
+                 Args.has("socket") ? Args.get("socket").c_str() : "stdio");
+
+  serve::VegaServer Server(**Session, Options);
+  Status ServeStatus = Args.has("socket")
+                           ? Server.serveSocket(Args.get("socket"))
+                           : Server.serveStream(std::cin, std::cout);
+  if (!ServeStatus.isOk())
+    std::fprintf(stderr, "vega-serve: %s\n", ServeStatus.toString().c_str());
+
+  int Rc = ServeStatus.toExitCode();
+  if (Args.has("trace-out") &&
+      !obs::TraceRecorder::instance().writeChromeTrace(Args.get("trace-out"))) {
+    std::fprintf(stderr, "vega-serve: error: cannot write trace to '%s'\n",
+                 Args.get("trace-out").c_str());
+    Rc = Rc ? Rc : 1;
+  }
+  if (Args.has("metrics-out") &&
+      !obs::MetricsRegistry::instance().writeJson(Args.get("metrics-out"))) {
+    std::fprintf(stderr, "vega-serve: error: cannot write metrics to '%s'\n",
+                 Args.get("metrics-out").c_str());
+    Rc = Rc ? Rc : 1;
+  }
+  if (Args.has("stats"))
+    std::printf("%s", obs::MetricsRegistry::instance().textSummary().c_str());
+  return Rc;
+}
