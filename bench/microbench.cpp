@@ -15,6 +15,10 @@
 /// without the KV cache, generateBackend wall time at --jobs=1/4 against
 /// the serial full-recompute baseline) and writes the numbers as JSON.
 ///
+/// `microbench --training-report=<file>.json` measures fine-tuning
+/// throughput (Trainer examples/sec at --train-jobs=1/4 on a synthetic
+/// copy task) plus the jobs-determinism cross-check, as JSON.
+///
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
@@ -26,8 +30,10 @@
 #include "lexer/Lexer.h"
 #include "minicc/Benchmarks.h"
 #include "model/Autograd.h"
+#include "model/Trainer.h"
 #include "sim/Simulator.h"
 #include "support/ArgParse.h"
+#include "support/BinaryIO.h"
 #include "support/RNG.h"
 #include "templatize/FunctionTemplate.h"
 
@@ -228,6 +234,71 @@ void BM_DecodeKVCache(benchmark::State &State) {
 }
 BENCHMARK(BM_DecodeKVCache);
 
+// ---- Training throughput ------------------------------------------------
+
+/// A synthetic fine-tuning workload: a deterministically seeded copy-task
+/// corpus large enough to keep every lane busy. Each measurement trains a
+/// fresh same-seed model, so jobs=1 and jobs=4 runs are directly
+/// comparable (and, per the Trainer determinism contract, bit-identical).
+struct TrainFixture {
+  Vocab V;
+  CodeBEConfig C;
+  std::vector<TrainPair> Data;
+
+  TrainFixture() {
+    std::vector<std::string> Words;
+    for (int I = 0; I < 12; ++I) {
+      Words.push_back("w" + std::to_string(I));
+      V.addToken(Words.back());
+    }
+    C.Epochs = 1;
+    C.MaxSrcLen = 8;
+    C.MaxDstLen = 6;
+    RNG Rng(17);
+    for (int I = 0; I < 96; ++I) {
+      int A = static_cast<int>(Rng.nextBelow(12));
+      int B = static_cast<int>(Rng.nextBelow(12));
+      TrainPair P;
+      P.Src = {V.clsId(), V.idOf(Words[static_cast<size_t>(A)]),
+               V.idOf(Words[static_cast<size_t>(B)])};
+      P.Dst = {V.csId(20), V.idOf(Words[static_cast<size_t>(B)]),
+               V.idOf(Words[static_cast<size_t>(A)]), V.eosId()};
+      Data.push_back(P);
+    }
+  }
+
+  static TrainFixture &instance() {
+    static TrainFixture F;
+    return F;
+  }
+
+  /// One full train() at \p Jobs on a fresh model. Returns the engine's
+  /// own examples/sec figure; \p WeightsOut (when non-null) receives the
+  /// trained weights for the determinism cross-check.
+  double run(int Jobs, std::string *WeightsOut = nullptr) {
+    CodeBE Model(V, C);
+    model::TrainOptions Opts = model::TrainOptions::fromConfig(C);
+    Opts.Jobs = Jobs;
+    model::Trainer Engine(Model, Opts);
+    StatusOr<model::TrainResult> Result = Engine.run(Data);
+    if (!Result.isOk())
+      return 0.0;
+    if (WeightsOut)
+      *WeightsOut = Model.saveWeights();
+    return Result->ExamplesPerSec;
+  }
+};
+
+void BM_TrainEpoch(benchmark::State &State) {
+  TrainFixture &F = TrainFixture::instance();
+  const int Jobs = static_cast<int>(State.range(0));
+  for (auto _ : State)
+    benchmark::DoNotOptimize(F.run(Jobs));
+  State.SetItemsProcessed(State.iterations() *
+                          static_cast<int64_t>(F.Data.size()));
+}
+BENCHMARK(BM_TrainEpoch)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
 // ---- --inference-report=<file>.json -------------------------------------
 
 double secondsSince(std::chrono::steady_clock::time_point T0) {
@@ -364,6 +435,56 @@ int writeInferenceReport(const std::string &Path) {
   return 0;
 }
 
+// ---- --training-report=<file>.json --------------------------------------
+
+int writeTrainingReport(const std::string &Path) {
+  TrainFixture &F = TrainFixture::instance();
+
+  std::fprintf(stderr, "measuring train throughput...\n");
+  // Round-robin with per-configuration maxima, mirroring the inference
+  // report's minimum-of-interleaved-reps policy (a rate wants the max
+  // where a latency wants the min). The first rep also captures weights
+  // for the determinism cross-check.
+  std::string Weights1, Weights4;
+  double Jobs1Rate = 0.0, Jobs4Rate = 0.0;
+  for (int Rep = 0; Rep < 3; ++Rep) {
+    double R1 = F.run(1, Rep == 0 ? &Weights1 : nullptr);
+    double R4 = F.run(4, Rep == 0 ? &Weights4 : nullptr);
+    Jobs1Rate = std::max(Jobs1Rate, R1);
+    Jobs4Rate = std::max(Jobs4Rate, R4);
+  }
+  const bool WeightsIdentical =
+      !Weights1.empty() && Weights1 == Weights4 &&
+      fnv1a(Weights1) == fnv1a(Weights4);
+
+  char Buf[1024];
+  std::snprintf(Buf, sizeof(Buf),
+                "{\n"
+                "  \"schema\": \"vega-training-bench-1\",\n"
+                "  \"train\": {\n"
+                "    \"examples\": %zu,\n"
+                "    \"epochs\": %d,\n"
+                "    \"batch_size\": %d,\n"
+                "    \"jobs1_examples_per_sec\": %.2f,\n"
+                "    \"jobs4_examples_per_sec\": %.2f,\n"
+                "    \"speedup_jobs4_vs_jobs1\": %.3f,\n"
+                "    \"weights_identical_jobs1_vs_jobs4\": %s\n"
+                "  }\n"
+                "}\n",
+                F.Data.size(), F.C.Epochs, F.C.BatchSize, Jobs1Rate,
+                Jobs4Rate, Jobs4Rate / Jobs1Rate,
+                WeightsIdentical ? "true" : "false");
+
+  std::ofstream Out(Path);
+  if (!Out) {
+    std::fprintf(stderr, "error: cannot write '%s'\n", Path.c_str());
+    return 1;
+  }
+  Out << Buf;
+  std::fprintf(stderr, "wrote %s\n", Path.c_str());
+  return 0;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -371,6 +492,9 @@ int main(int argc, char **argv) {
                         "google-benchmark micro-suite for the VEGA kernels");
   Parser.addOption("inference-report", "file.json",
                    "also measure end-to-end decode latency and write a report");
+  Parser.addOption("training-report", "file.json",
+                   "also measure train() examples/sec at jobs 1/4 and write "
+                   "a report");
   Parser.setPassthroughUnknown(true); // --benchmark_* flags stay untouched
   if (vega::Status St = Parser.parse(argc, argv); !St.isOk()) {
     std::fprintf(stderr, "microbench: %s\n%s", St.toString().c_str(),
@@ -378,6 +502,7 @@ int main(int argc, char **argv) {
     return St.toExitCode();
   }
   std::string ReportPath = Parser.get("inference-report");
+  std::string TrainingReportPath = Parser.get("training-report");
 
   std::vector<std::string> Stored;
   Stored.push_back(argv[0]);
@@ -393,6 +518,9 @@ int main(int argc, char **argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   if (!ReportPath.empty())
-    return writeInferenceReport(ReportPath);
+    if (int Rc = writeInferenceReport(ReportPath))
+      return Rc;
+  if (!TrainingReportPath.empty())
+    return writeTrainingReport(TrainingReportPath);
   return 0;
 }

@@ -695,16 +695,28 @@ VegaSystem::initModelFromCache(std::string *Detail) {
   return WeightCacheStatus::Loaded;
 }
 
-void VegaSystem::fineTuneImpl() {
+model::TrainOptions VegaSystem::trainOptions() const {
+  model::TrainOptions T = model::TrainOptions::fromConfig(Options.Model);
+  T.Jobs = Options.TrainJobs > 0 ? Options.TrainJobs : Options.Jobs;
+  return T;
+}
+
+Status VegaSystem::fineTuneImpl() {
   assert(Model && "initModelFromCache() must run first");
   std::vector<TrainPair> Data;
   Data.reserve(TrainTexts.size());
   for (const TextPair &P : TrainTexts)
     Data.push_back(toIds(P));
-  Model->train(Data, [&](int Epoch, double Loss) {
+  model::TrainOptions TOpts = trainOptions();
+  TOpts.OnEpoch = [&](const model::EpochStats &Stats) {
     if (Options.Verbose)
-      std::fprintf(stderr, "vega: epoch %d mean loss %.4f\n", Epoch, Loss);
-  });
+      std::fprintf(stderr, "vega: epoch %d mean loss %.4f (%.1f examples/s)\n",
+                   Stats.Epoch, Stats.MeanLoss, Stats.ExamplesPerSec);
+  };
+  model::Trainer Engine(*Model, std::move(TOpts));
+  StatusOr<model::TrainResult> Result = Engine.run(Data);
+  if (!Result.isOk())
+    return Result.status();
 
   if (!Options.WeightCachePath.empty()) {
     std::ofstream Out(Options.WeightCachePath, std::ios::binary);
@@ -714,16 +726,20 @@ void VegaSystem::fineTuneImpl() {
     Out.write(VocabBlob.data(), static_cast<long>(VocabBlob.size()));
     std::string Weights = Model->saveWeights();
     Out.write(Weights.data(), static_cast<long>(Weights.size()));
+    if (!Out)
+      return Status::unavailable("cannot write weight cache '" +
+                                 Options.WeightCachePath + "'");
   }
+  return Status::ok();
 }
 
-void VegaSystem::fineTune() {
+Status VegaSystem::fineTune() {
   obs::Span StageSpan("stage2.train_model", "stage2");
   StageSpan.arg("weights", "trained");
-  fineTuneImpl();
+  return fineTuneImpl();
 }
 
-void VegaSystem::trainModel() {
+Status VegaSystem::trainModel() {
   obs::Span StageSpan("stage2.train_model", "stage2");
   std::string Detail;
   WeightCacheStatus CacheStatus = initModelFromCache(&Detail);
@@ -731,13 +747,13 @@ void VegaSystem::trainModel() {
     if (Options.Verbose)
       std::fprintf(stderr, "vega: loaded cached CodeBE weights\n");
     StageSpan.arg("weights", "cached");
-    return;
+    return Status::ok();
   }
   if (CacheStatus == WeightCacheStatus::Mismatch && Options.Verbose)
     std::fprintf(stderr, "vega: ignoring stale weight cache (%s)\n",
                  Detail.c_str());
   StageSpan.arg("weights", "trained");
-  fineTuneImpl();
+  return fineTuneImpl();
 }
 
 double VegaSystem::verificationExactMatch(size_t MaxPairs) {

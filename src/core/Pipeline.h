@@ -19,6 +19,8 @@
 
 #include "feature/FeatureSelector.h"
 #include "model/CodeBE.h"
+#include "model/Trainer.h"
+#include "support/Status.h"
 #include "support/ThreadPool.h"
 
 #include <memory>
@@ -60,6 +62,11 @@ struct VegaOptions {
   /// VEGA_JOBS when set, else hardware_concurrency. Generated backends are
   /// byte-identical for every job count.
   int Jobs = 0;
+  /// Stage-2 training lanes (vega-cli --train-jobs=N). <= 0 inherits Jobs
+  /// (and through it VEGA_JOBS / hardware concurrency). Trained weights
+  /// are bit-identical for every job count — like Jobs, this is a runtime
+  /// knob excluded from fingerprint().
+  int TrainJobs = 0;
 
   /// Stable hash of every option that shapes the trained session state
   /// (model architecture + training schedule + dataset split + feature
@@ -136,16 +143,23 @@ public:
   WeightCacheStatus initModelFromCache(std::string *Detail = nullptr);
 
   /// Stage 2 proper: fine-tunes the (already constructed) model on the
-  /// built dataset and writes the weight cache. Requires
-  /// initModelFromCache() to have run.
-  void fineTune();
+  /// built dataset via model::Trainer and writes the weight cache.
+  /// Requires initModelFromCache() to have run. InvalidArgument when the
+  /// derived TrainOptions fail validation; Unavailable when the weight
+  /// cache cannot be written.
+  Status fineTune();
 
   /// Stage 2: fine-tunes CodeBE (or loads cached weights). Convenience
   /// wrapper over initModelFromCache() + fineTune() that keeps the
   /// historical lenient behavior: a mismatched cache is ignored (with a
   /// note when Verbose) and the model retrains. VegaSession::build is the
   /// strict consumer — it surfaces Mismatch as a Status instead.
-  void trainModel();
+  Status trainModel();
+
+  /// The training schedule the next fineTune() will run: Options.Model's
+  /// epochs/batch/LR/seed with Jobs resolved as TrainJobs, falling back to
+  /// Jobs (exposed for the CLI and tests).
+  model::TrainOptions trainOptions() const;
 
   /// Exact Match on the held-out verification pairs (§4.1.2).
   double verificationExactMatch(size_t MaxPairs = 0);
@@ -219,7 +233,7 @@ private:
                              bool Implements, std::vector<TextPair> &Out);
   /// fineTune()/trainModel() body, span-free so both emit exactly one
   /// "stage2.train_model" span.
-  void fineTuneImpl();
+  Status fineTuneImpl();
   void buildVocab();
   TrainPair toIds(const TextPair &Pair) const;
   GeneratedStatement generateRow(const TemplateInfo &TI,

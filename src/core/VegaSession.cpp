@@ -41,7 +41,8 @@ VegaSession::build(const BackendCorpus &Corpus, VegaOptions Opts) {
     return Status::failedPrecondition(Detail);
   case VegaSystem::WeightCacheStatus::Disabled:
   case VegaSystem::WeightCacheStatus::Missing:
-    System->fineTune();
+    if (Status St = System->fineTune(); !St.isOk())
+      return St;
     break;
   }
   return std::unique_ptr<VegaSession>(

@@ -12,8 +12,58 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <unordered_set>
 
 using namespace vega;
+
+namespace {
+
+/// The sink receiving gradient writes for tracked tensors on this thread.
+thread_local GradSink *ActiveSink = nullptr;
+
+} // namespace
+
+float *Tensor::gradData() {
+  if (ActiveSink)
+    if (float *Buf = ActiveSink->bufferFor(this))
+      return Buf;
+  ensureGrad();
+  return Grad.data();
+}
+
+void GradSink::track(const std::vector<TensorPtr> &Tensors) {
+  Tracked.clear();
+  Index.clear();
+  Tracked.reserve(Tensors.size());
+  Index.reserve(Tensors.size());
+  Buffers.resize(Tensors.size());
+  for (size_t I = 0; I < Tensors.size(); ++I) {
+    const Tensor *T = Tensors[I].get();
+    Tracked.push_back(T);
+    Index.emplace(T, I);
+    // Reuse the allocation when the slot held an equal-sized buffer (the
+    // steady state across batches); zeroing happens in zero().
+    if (Buffers[I].size() != T->Data.size())
+      Buffers[I].assign(T->Data.size(), 0.0f);
+  }
+}
+
+void GradSink::zero() {
+  for (std::vector<float> &B : Buffers)
+    std::fill(B.begin(), B.end(), 0.0f);
+}
+
+float *GradSink::bufferFor(const Tensor *T) {
+  auto It = Index.find(T);
+  return It == Index.end() ? nullptr : Buffers[It->second].data();
+}
+
+GradSink::Scope::Scope(GradSink &S) : Prev(ActiveSink) { ActiveSink = &S; }
+GradSink::Scope::~Scope() { ActiveSink = Prev; }
+
+bool GradSink::activeFor(const Tensor *T) {
+  return ActiveSink && ActiveSink->bufferFor(T);
+}
 
 TensorPtr vega::makeTensor(int Rows, int Cols, bool RequiresGrad) {
   return std::make_shared<Tensor>(Rows, Cols, RequiresGrad);
@@ -249,10 +299,9 @@ TensorPtr vega::matmul(const TensorPtr &A, const TensorPtr &B) {
   if (Out->RequiresGrad)
     Out->Backward = [AP, BP, OP, M, K, N] {
       // dA = dO · Bᵀ ; dB = Aᵀ · dO
-      detail::gemmNTAccum(OP->Grad.data(), BP->Data.data(), AP->Grad.data(), M,
-                          N, K);
-      detail::gemmTNAccum(AP->Data.data(), OP->Grad.data(), BP->Grad.data(), M,
-                          K, N);
+      const float *OG = OP->gradData();
+      detail::gemmNTAccum(OG, BP->Data.data(), AP->gradData(), M, N, K);
+      detail::gemmTNAccum(AP->Data.data(), OG, BP->gradData(), M, K, N);
     };
   return Out;
 }
@@ -267,10 +316,9 @@ TensorPtr vega::matmulNT(const TensorPtr &A, const TensorPtr &B) {
     Out->Backward = [AP, BP, OP, M, K, N] {
       // dA = dO · B (dO's zero entries skipped, as the scalar loop did);
       // dB = dOᵀ · A with the same skip.
-      detail::gemmAccum(OP->Grad.data(), BP->Data.data(), AP->Grad.data(), M,
-                        N, K);
-      detail::gemmTNAccum(OP->Grad.data(), AP->Data.data(), BP->Grad.data(), M,
-                          N, K);
+      const float *OG = OP->gradData();
+      detail::gemmAccum(OG, BP->Data.data(), AP->gradData(), M, N, K);
+      detail::gemmTNAccum(OG, AP->Data.data(), BP->gradData(), M, N, K);
     };
   return Out;
 }
@@ -283,9 +331,11 @@ TensorPtr vega::add(const TensorPtr &A, const TensorPtr &B) {
   Tensor *AP = A.get(), *BP = B.get(), *OP = Out.get();
   if (Out->RequiresGrad)
     Out->Backward = [AP, BP, OP] {
-      for (size_t I = 0; I < OP->Grad.size(); ++I) {
-        AP->Grad[I] += OP->Grad[I];
-        BP->Grad[I] += OP->Grad[I];
+      const float *OG = OP->gradData();
+      float *AG = AP->gradData(), *BG = BP->gradData();
+      for (size_t I = 0; I < OP->Data.size(); ++I) {
+        AG[I] += OG[I];
+        BG[I] += OG[I];
       }
     };
   return Out;
@@ -300,11 +350,13 @@ TensorPtr vega::addRow(const TensorPtr &A, const TensorPtr &B) {
   Tensor *AP = A.get(), *BP = B.get(), *OP = Out.get();
   if (Out->RequiresGrad)
     Out->Backward = [AP, BP, OP] {
+      const float *OG = OP->gradData();
+      float *AG = AP->gradData(), *BG = BP->gradData();
       for (int I = 0; I < OP->Rows; ++I)
         for (int J = 0; J < OP->Cols; ++J) {
-          float G = OP->gradAt(I, J);
-          AP->gradAt(I, J) += G;
-          BP->Grad[static_cast<size_t>(J)] += G;
+          float G = OG[static_cast<size_t>(I) * OP->Cols + J];
+          AG[static_cast<size_t>(I) * OP->Cols + J] += G;
+          BG[static_cast<size_t>(J)] += G;
         }
     };
   return Out;
@@ -317,8 +369,10 @@ TensorPtr vega::scale(const TensorPtr &A, float Factor) {
   Tensor *AP = A.get(), *OP = Out.get();
   if (Out->RequiresGrad)
     Out->Backward = [AP, OP, Factor] {
-      for (size_t I = 0; I < OP->Grad.size(); ++I)
-        AP->Grad[I] += OP->Grad[I] * Factor;
+      const float *OG = OP->gradData();
+      float *AG = AP->gradData();
+      for (size_t I = 0; I < OP->Data.size(); ++I)
+        AG[I] += OG[I] * Factor;
     };
   return Out;
 }
@@ -332,12 +386,14 @@ TensorPtr vega::scaleByScalar(const TensorPtr &A, const TensorPtr &S) {
   Tensor *AP = A.get(), *SP = S.get(), *OP = Out.get();
   if (Out->RequiresGrad)
     Out->Backward = [AP, SP, OP, Factor] {
+      const float *OG = OP->gradData();
+      float *AG = AP->gradData();
       float SGrad = 0.0f;
-      for (size_t I = 0; I < OP->Grad.size(); ++I) {
-        AP->Grad[I] += OP->Grad[I] * Factor;
-        SGrad += OP->Grad[I] * AP->Data[I];
+      for (size_t I = 0; I < OP->Data.size(); ++I) {
+        AG[I] += OG[I] * Factor;
+        SGrad += OG[I] * AP->Data[I];
       }
-      SP->Grad[0] += SGrad;
+      SP->gradData()[0] += SGrad;
     };
   return Out;
 }
@@ -349,9 +405,11 @@ TensorPtr vega::relu(const TensorPtr &A) {
   Tensor *AP = A.get(), *OP = Out.get();
   if (Out->RequiresGrad)
     Out->Backward = [AP, OP] {
-      for (size_t I = 0; I < OP->Grad.size(); ++I)
+      const float *OG = OP->gradData();
+      float *AG = AP->gradData();
+      for (size_t I = 0; I < OP->Data.size(); ++I)
         if (AP->Data[I] > 0.0f)
-          AP->Grad[I] += OP->Grad[I];
+          AG[I] += OG[I];
     };
   return Out;
 }
@@ -377,12 +435,17 @@ TensorPtr vega::softmaxRows(const TensorPtr &A, const Tensor *Mask) {
   Tensor *AP = A.get(), *OP = Out.get();
   if (Out->RequiresGrad)
     Out->Backward = [AP, OP] {
+      const float *OG = OP->gradData();
+      float *AG = AP->gradData();
+      const int C = OP->Cols;
       for (int I = 0; I < OP->Rows; ++I) {
+        const float *OGRow = OG + static_cast<size_t>(I) * C;
+        float *AGRow = AG + static_cast<size_t>(I) * C;
         float Dot = 0.0f;
-        for (int J = 0; J < OP->Cols; ++J)
-          Dot += OP->gradAt(I, J) * OP->at(I, J);
-        for (int J = 0; J < OP->Cols; ++J)
-          AP->gradAt(I, J) += OP->at(I, J) * (OP->gradAt(I, J) - Dot);
+        for (int J = 0; J < C; ++J)
+          Dot += OGRow[J] * OP->at(I, J);
+        for (int J = 0; J < C; ++J)
+          AGRow[J] += OP->at(I, J) * (OGRow[J] - Dot);
       }
     };
   return Out;
@@ -417,24 +480,28 @@ TensorPtr vega::layerNorm(const TensorPtr &X, const TensorPtr &Gamma,
   Tensor *XP = X.get(), *GP = Gamma.get(), *BP = Beta.get(), *OP = Out.get();
   if (Out->RequiresGrad)
     Out->Backward = [XP, GP, BP, OP, Mean, InvStd, C] {
+      const float *OG = OP->gradData();
+      float *XG = XP->gradData(), *GG = GP->gradData(), *BG = BP->gradData();
       for (int I = 0; I < XP->Rows; ++I) {
         // xhat = (x - mu) * inv; dL/dxhat = dy * gamma.
+        const float *OGRow = OG + static_cast<size_t>(I) * C;
+        float *XGRow = XG + static_cast<size_t>(I) * C;
         float SumDxhat = 0.0f, SumDxhatXhat = 0.0f;
         std::vector<float> Dxhat(static_cast<size_t>(C));
         for (int J = 0; J < C; ++J) {
           float Xhat = (XP->at(I, J) - Mean[I]) * InvStd[I];
-          float Dy = OP->gradAt(I, J);
-          GP->Grad[static_cast<size_t>(J)] += Dy * Xhat;
-          BP->Grad[static_cast<size_t>(J)] += Dy;
+          float Dy = OGRow[J];
+          GG[static_cast<size_t>(J)] += Dy * Xhat;
+          BG[static_cast<size_t>(J)] += Dy;
           Dxhat[static_cast<size_t>(J)] = Dy * GP->Data[static_cast<size_t>(J)];
           SumDxhat += Dxhat[static_cast<size_t>(J)];
           SumDxhatXhat += Dxhat[static_cast<size_t>(J)] * Xhat;
         }
         for (int J = 0; J < C; ++J) {
           float Xhat = (XP->at(I, J) - Mean[I]) * InvStd[I];
-          XP->gradAt(I, J) += InvStd[I] / C *
-                              (C * Dxhat[static_cast<size_t>(J)] - SumDxhat -
-                               Xhat * SumDxhatXhat);
+          XGRow[J] += InvStd[I] / C *
+                      (C * Dxhat[static_cast<size_t>(J)] - SumDxhat -
+                       Xhat * SumDxhatXhat);
         }
       }
     };
@@ -452,9 +519,12 @@ TensorPtr vega::gatherRows(const TensorPtr &E, const std::vector<int> &Ids) {
   std::vector<int> IdsCopy = Ids;
   if (Out->RequiresGrad)
     Out->Backward = [EP, OP, IdsCopy] {
+      const float *OG = OP->gradData();
+      float *EG = EP->gradData();
+      const int C = OP->Cols;
       for (size_t I = 0; I < IdsCopy.size(); ++I)
-        for (int J = 0; J < OP->Cols; ++J)
-          EP->gradAt(IdsCopy[I], J) += OP->gradAt(static_cast<int>(I), J);
+        for (int J = 0; J < C; ++J)
+          EG[static_cast<size_t>(IdsCopy[I]) * C + J] += OG[I * C + J];
     };
   return Out;
 }
@@ -468,9 +538,12 @@ TensorPtr vega::sliceCols(const TensorPtr &A, int Start, int Count) {
   Tensor *AP = A.get(), *OP = Out.get();
   if (Out->RequiresGrad)
     Out->Backward = [AP, OP, Start, Count] {
+      const float *OG = OP->gradData();
+      float *AG = AP->gradData();
       for (int I = 0; I < OP->Rows; ++I)
         for (int J = 0; J < Count; ++J)
-          AP->gradAt(I, Start + J) += OP->gradAt(I, J);
+          AG[static_cast<size_t>(I) * AP->Cols + Start + J] +=
+              OG[static_cast<size_t>(I) * Count + J];
     };
   return Out;
 }
@@ -498,11 +571,14 @@ TensorPtr vega::concatCols(const std::vector<TensorPtr> &Parts) {
     Raw.push_back(P.get());
   if (Out->RequiresGrad)
     Out->Backward = [OP, Raw] {
+      const float *OG = OP->gradData();
       int Offset = 0;
       for (Tensor *P : Raw) {
+        float *PG = P->gradData();
         for (int I = 0; I < OP->Rows; ++I)
           for (int J = 0; J < P->Cols; ++J)
-            P->gradAt(I, J) += OP->gradAt(I, Offset + J);
+            PG[static_cast<size_t>(I) * P->Cols + J] +=
+                OG[static_cast<size_t>(I) * OP->Cols + Offset + J];
         Offset += P->Cols;
       }
     };
@@ -521,9 +597,12 @@ TensorPtr vega::copyScatter(const TensorPtr &A, const std::vector<int> &SrcIds,
   std::vector<int> Ids = SrcIds;
   if (Out->RequiresGrad)
     Out->Backward = [AP, OP, Ids] {
+      const float *OG = OP->gradData();
+      float *AG = AP->gradData();
       for (int T = 0; T < AP->Rows; ++T)
         for (size_t J = 0; J < Ids.size(); ++J)
-          AP->gradAt(T, static_cast<int>(J)) += OP->gradAt(T, Ids[J]);
+          AG[static_cast<size_t>(T) * AP->Cols + J] +=
+              OG[static_cast<size_t>(T) * OP->Cols + Ids[J]];
     };
   return Out;
 }
@@ -546,13 +625,16 @@ TensorPtr vega::sparseMix(const TensorPtr &E,
   std::vector<std::vector<int>> ListsCopy = *ListsPtr;
   if (Out->RequiresGrad)
     Out->Backward = [EP, OP, ListsCopy] {
+      const float *OG = OP->gradData();
+      float *EG = EP->gradData();
+      const int C = OP->Cols;
       for (size_t I = 0; I < ListsCopy.size(); ++I) {
         if (ListsCopy[I].empty())
           continue;
         float Inv = 1.0f / static_cast<float>(ListsCopy[I].size());
         for (int P : ListsCopy[I])
-          for (int J = 0; J < OP->Cols; ++J)
-            EP->gradAt(P, J) += OP->gradAt(static_cast<int>(I), J) * Inv;
+          for (int J = 0; J < C; ++J)
+            EG[static_cast<size_t>(P) * C + J] += OG[I * C + J] * Inv;
       }
     };
   return Out;
@@ -585,40 +667,46 @@ TensorPtr vega::crossEntropy(const TensorPtr &Logits,
   std::vector<int> T = Targets;
   if (Out->RequiresGrad)
     Out->Backward = [LP, OP, Probs, T, V] {
-      float Scale = OP->Grad[0] / static_cast<float>(LP->Rows);
+      float Scale = OP->gradData()[0] / static_cast<float>(LP->Rows);
+      float *LG = LP->gradData();
       for (int I = 0; I < LP->Rows; ++I)
         for (int J = 0; J < V; ++J) {
           float P = Probs[static_cast<size_t>(I) * V + J];
-          LP->gradAt(I, J) += Scale * (P - (J == T[I] ? 1.0f : 0.0f));
+          LG[static_cast<size_t>(I) * V + J] +=
+              Scale * (P - (J == T[I] ? 1.0f : 0.0f));
         }
     };
   return Out;
 }
 
-static void topoSort(Tensor *Node, std::vector<Tensor *> &Order) {
-  if (Node->Visited)
+static void topoSort(Tensor *Node, std::vector<Tensor *> &Order,
+                     std::unordered_set<const Tensor *> &Seen) {
+  if (!Seen.insert(Node).second)
     return;
-  Node->Visited = true;
   for (const TensorPtr &P : Node->Parents)
-    topoSort(P.get(), Order);
+    topoSort(P.get(), Order, Seen);
   Order.push_back(Node);
 }
 
 void vega::backward(const TensorPtr &Root) {
+  // The visited set lives on this stack frame (not in the tensors), so
+  // tapes that share nodes can be walked from several threads at once.
   std::vector<Tensor *> Order;
-  topoSort(Root.get(), Order);
+  std::unordered_set<const Tensor *> Seen;
+  topoSort(Root.get(), Order, Seen);
   // Gradients are lazy: materialize them only for the tape actually being
   // walked. Existing buffers (mid-batch accumulation) are left untouched.
+  // Tensors tracked by this thread's GradSink accumulate into the sink's
+  // buffers instead — never touch their shared Grad storage here.
   for (Tensor *Node : Order)
-    Node->ensureGrad();
-  Root->ensureGrad();
-  std::fill(Root->Grad.begin(), Root->Grad.end(), 0.0f);
-  Root->Grad[0] = 1.0f;
-  for (auto It = Order.rbegin(); It != Order.rend(); ++It) {
+    if (!GradSink::activeFor(Node))
+      Node->ensureGrad();
+  float *RootGrad = Root->gradData();
+  std::fill(RootGrad, RootGrad + Root->Data.size(), 0.0f);
+  RootGrad[0] = 1.0f;
+  for (auto It = Order.rbegin(); It != Order.rend(); ++It)
     if ((*It)->Backward)
       (*It)->Backward();
-    (*It)->Visited = false; // reset for the next tape
-  }
 }
 
 AdamOptimizer::AdamOptimizer(std::vector<TensorPtr> Params,

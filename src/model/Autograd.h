@@ -18,8 +18,10 @@
 #define VEGA_MODEL_AUTOGRAD_H
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 namespace vega {
@@ -49,6 +51,13 @@ public:
     return Grad[static_cast<size_t>(R) * Cols + C];
   }
 
+  /// Gradient destination for backward closures: when a GradSink is active
+  /// on this thread and tracks this tensor, its per-sink buffer; otherwise
+  /// the tensor's own (lazily materialized) Grad buffer. This is the hook
+  /// that lets several tapes sharing leaf tensors run backward()
+  /// concurrently without ever writing the same memory.
+  float *gradData();
+
   std::vector<float> Datav() const { return Data; }
 
   /// Ensures a gradient buffer exists (used when a no-grad tensor becomes
@@ -65,7 +74,60 @@ public:
   std::vector<float> Grad;
   std::vector<TensorPtr> Parents;
   std::function<void()> Backward;
-  bool Visited = false; ///< scratch for the topological sort
+};
+
+/// A private gradient accumulator for tensors shared between concurrently
+/// walked tapes (model parameters, batch-shared embedding subtrees).
+///
+/// Each training lane owns one sink per in-flight example. While a sink is
+/// active on a thread (via GradSink::Scope), every backward closure that
+/// would accumulate into a tracked tensor's Grad is redirected to the
+/// sink's own buffer for that tensor, so concurrent example tapes touch
+/// disjoint memory by construction. After the batch, the per-example
+/// buffers are folded into the real Grad buffers in ascending example
+/// order — a fixed-order reduction that makes the summed gradient
+/// bit-identical no matter how many threads ran the examples.
+class GradSink {
+public:
+  GradSink() = default;
+
+  /// (Re)binds the sink to an ordered tensor set. Buffer allocations are
+  /// reused across track() calls when the shapes at each index match (the
+  /// steady state: parameters plus same-shaped per-batch shared nodes).
+  void track(const std::vector<TensorPtr> &Tensors);
+
+  /// Zeroes every buffer for reuse on the next example.
+  void zero();
+
+  /// The sink's buffer for \p T, or nullptr when untracked.
+  float *bufferFor(const Tensor *T);
+
+  size_t trackedCount() const { return Tracked.size(); }
+  const Tensor *trackedAt(size_t I) const { return Tracked[I]; }
+  const std::vector<float> &bufferAt(size_t I) const { return Buffers[I]; }
+
+  /// RAII activation of a sink on the current thread. Nesting restores the
+  /// previous sink on destruction; sinks never leak across threads.
+  class Scope {
+  public:
+    explicit Scope(GradSink &S);
+    ~Scope();
+    Scope(const Scope &) = delete;
+    Scope &operator=(const Scope &) = delete;
+
+  private:
+    GradSink *Prev;
+  };
+
+  /// True when the active sink on this thread tracks \p T (used by
+  /// backward() to skip materializing Grad on shared tensors from worker
+  /// threads).
+  static bool activeFor(const Tensor *T);
+
+private:
+  std::vector<const Tensor *> Tracked;
+  std::unordered_map<const Tensor *, size_t> Index;
+  std::vector<std::vector<float>> Buffers;
 };
 
 /// Creates a tensor of zeros.
@@ -128,7 +190,10 @@ TensorPtr sparseMix(const TensorPtr &E,
 TensorPtr crossEntropy(const TensorPtr &Logits,
                        const std::vector<int> &Targets);
 
-/// Runs reverse-mode accumulation from \p Root (seeds dRoot = 1).
+/// Runs reverse-mode accumulation from \p Root (seeds dRoot = 1). The
+/// traversal keeps its visited set on the stack, so tapes that share leaf
+/// tensors (parameters under a GradSink) can run backward() from different
+/// threads at once.
 void backward(const TensorPtr &Root);
 
 /// RAII scope that disables tape construction on the current thread: ops

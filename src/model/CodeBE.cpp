@@ -7,6 +7,7 @@
 
 #include "model/CodeBE.h"
 
+#include "model/Trainer.h"
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
 #include "support/RNG.h"
@@ -258,9 +259,14 @@ TensorPtr CodeBE::presenceFor(int Rows, const std::vector<int> &SrcIds) {
 
 TensorPtr CodeBE::logitsFor(const TensorPtr &DecOut, const TensorPtr &Memory,
                             const std::vector<int> &SrcIds, bool UseCombCache,
-                            const TensorPtr &CachedPresence) {
+                            const TensorPtr &CachedPresence,
+                            const TensorPtr &CombOverride) {
   TensorPtr Comb;
-  if (UseCombCache) {
+  if (CombOverride) {
+    // Training batches share one combined-embeddings node across all
+    // example tapes (the Trainer builds it once per batch).
+    Comb = CombOverride;
+  } else if (UseCombCache) {
     if (CombDirty.load(std::memory_order_acquire))
       refreshCombCache();
     Comb = CombCache;
@@ -296,64 +302,39 @@ TensorPtr CodeBE::logitsFor(const TensorPtr &DecOut, const TensorPtr &Memory,
              scaleByScalar(Presence, SrcBias));
 }
 
+TensorPtr CodeBE::trainLoss(const TrainPair &Pair, const TensorPtr &Comb) {
+  std::vector<int> Src = Pair.Src;
+  if (static_cast<int>(Src.size()) > Config.MaxSrcLen)
+    Src.resize(static_cast<size_t>(Config.MaxSrcLen));
+  std::vector<int> Dst = Pair.Dst;
+  if (static_cast<int>(Dst.size()) > Config.MaxDstLen)
+    Dst.resize(static_cast<size_t>(Config.MaxDstLen));
+  if (Src.empty() || Dst.empty())
+    return nullptr;
+
+  std::vector<int> DstIn;
+  DstIn.push_back(Vocabulary.e2dId());
+  DstIn.insert(DstIn.end(), Dst.begin(), Dst.end() - 1);
+
+  TensorPtr Memory = runEncoder(Src);
+  TensorPtr DecOut = runDecoder(Memory, DstIn);
+  TensorPtr Logits = logitsFor(DecOut, Memory, Src, /*UseCombCache=*/false,
+                               /*CachedPresence=*/nullptr,
+                               /*CombOverride=*/Comb);
+  return crossEntropy(Logits, Dst);
+}
+
 void CodeBE::train(const std::vector<TrainPair> &Data,
                    const std::function<void(int, double)> &OnEpoch) {
-  AdamOptimizer Optimizer(parameters(), Config.LearningRate);
-  RNG Shuffler(Config.Seed ^ 0x5eedULL);
-  std::vector<size_t> Order(Data.size());
-  for (size_t I = 0; I < Order.size(); ++I)
-    Order[I] = I;
-
-  for (int Epoch = 0; Epoch < Config.Epochs; ++Epoch) {
-    obs::Span EpochSpan("stage2.epoch", "stage2");
-    EpochSpan.arg("epoch", std::to_string(Epoch));
-    Shuffler.shuffle(Order);
-    double LossSum = 0.0;
-    size_t Count = 0;
-    int InBatch = 0;
-    for (size_t Idx : Order) {
-      const TrainPair &Pair = Data[Idx];
-      std::vector<int> Src = Pair.Src;
-      if (static_cast<int>(Src.size()) > Config.MaxSrcLen)
-        Src.resize(static_cast<size_t>(Config.MaxSrcLen));
-      std::vector<int> Dst = Pair.Dst;
-      if (static_cast<int>(Dst.size()) > Config.MaxDstLen)
-        Dst.resize(static_cast<size_t>(Config.MaxDstLen));
-      if (Src.empty() || Dst.empty())
-        continue;
-
-      std::vector<int> DstIn;
-      DstIn.push_back(Vocabulary.e2dId());
-      DstIn.insert(DstIn.end(), Dst.begin(), Dst.end() - 1);
-
-      TensorPtr Memory = runEncoder(Src);
-      TensorPtr DecOut = runDecoder(Memory, DstIn);
-      TensorPtr Logits = logitsFor(DecOut, Memory, Src,
-                                   /*UseCombCache=*/false);
-      TensorPtr Loss = crossEntropy(Logits, Dst);
-      backward(Loss);
-      LossSum += Loss->Data[0];
-      ++Count;
-      if (++InBatch >= Config.BatchSize) {
-        Optimizer.step();
-        obs::MetricsRegistry::instance().addCounter("train.batches");
-        InBatch = 0;
-      }
-    }
-    if (InBatch > 0) {
-      Optimizer.step();
-      obs::MetricsRegistry::instance().addCounter("train.batches");
-    }
-    CombDirty = true;
-    double MeanLoss = Count ? LossSum / static_cast<double>(Count) : 0.0;
-    auto &Metrics = obs::MetricsRegistry::instance();
-    Metrics.addCounter("train.epochs");
-    Metrics.addCounter("train.examples", Count);
-    Metrics.setGauge("train.last_loss", MeanLoss);
-    if (OnEpoch)
-      OnEpoch(Epoch, MeanLoss);
-  }
-  CombDirty = true;
+  model::TrainOptions Opts = model::TrainOptions::fromConfig(Config);
+  if (OnEpoch)
+    Opts.OnEpoch = [&OnEpoch](const model::EpochStats &Stats) {
+      OnEpoch(Stats.Epoch, Stats.MeanLoss);
+    };
+  model::Trainer Engine(*this, std::move(Opts));
+  StatusOr<model::TrainResult> Result = Engine.run(Data);
+  assert(Result.isOk() && "config-derived TrainOptions must validate");
+  (void)Result;
 }
 
 /// Incremental decode scratch. SelfK/SelfV hold the per-layer K/V rows of

@@ -29,6 +29,10 @@
 
 namespace vega {
 
+namespace model {
+class Trainer;
+} // namespace model
+
 /// Hyperparameters (paper §4.1.2 scaled down; see DESIGN.md §2).
 struct CodeBEConfig {
   int DModel = 64;
@@ -60,6 +64,9 @@ public:
 
   /// Fine-tunes on \p Data (teacher forcing, Adam, cross-entropy — §4.1.2).
   /// \p OnEpoch, when set, receives (epoch, meanLoss) after each epoch.
+  /// Legacy convenience wrapper: builds model::TrainOptions from Config
+  /// (serial, jobs=1) and delegates to model::Trainer — use the Trainer
+  /// directly for explicit schedules, parallel training, and diagnostics.
   void train(const std::vector<TrainPair> &Data,
              const std::function<void(int, double)> &OnEpoch = nullptr);
 
@@ -171,7 +178,13 @@ private:
   TensorPtr presenceFor(int Rows, const std::vector<int> &SrcIds);
   TensorPtr logitsFor(const TensorPtr &DecOut, const TensorPtr &Memory,
                       const std::vector<int> &SrcIds, bool UseCombCache,
-                      const TensorPtr &CachedPresence = nullptr);
+                      const TensorPtr &CachedPresence = nullptr,
+                      const TensorPtr &CombOverride = nullptr);
+  /// Builds the full differentiable tape for one training pair — the
+  /// encoder/decoder/logits/loss slice the Trainer fans out per example.
+  /// \p Comb is the batch-shared combined-embeddings node; returns the 1×1
+  /// loss, or nullptr for untrainable (empty-sided) pairs.
+  TensorPtr trainLoss(const TrainPair &Pair, const TensorPtr &Comb);
   TensorPtr combinedEmbeddings();
   void refreshCombCache();
   std::vector<TensorPtr> parameters() const;
@@ -189,6 +202,10 @@ private:
   std::atomic<bool> CombDirty{true};
   std::mutex CombMu; ///< serializes CombCache refresh across threads
   DecodeMode Mode = DecodeMode::KVCache;
+
+  /// The data-parallel training engine drives trainLoss/parameters/
+  /// combinedEmbeddings directly.
+  friend class model::Trainer;
 };
 
 } // namespace vega

@@ -1,0 +1,107 @@
+//===- model/Trainer.h - Data-parallel fine-tuning engine --------*- C++ -*-===//
+//
+// Part of the VEGA reproduction project.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The public training surface for CodeBE (Stage 2 of the pipeline):
+/// TrainOptions — the full schedule as a first-class config (epochs, batch
+/// size, learning rate, seed, jobs, epoch callback) — and Trainer, a
+/// data-parallel engine that fans per-example forward/backward passes
+/// across a ThreadPool and folds the per-example gradients with a
+/// fixed-order deterministic reduction before each optimizer step.
+///
+/// Determinism contract: for a given model, data, and TrainOptions
+/// schedule, the resulting weights are bit-identical for every Jobs value.
+/// See DESIGN.md §11 for the tape ownership model and reduction order.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VEGA_MODEL_TRAINER_H
+#define VEGA_MODEL_TRAINER_H
+
+#include "model/CodeBE.h"
+#include "support/Status.h"
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace vega {
+namespace model {
+
+/// Per-epoch diagnostics delivered to TrainOptions::OnEpoch and summarized
+/// in TrainResult.
+struct EpochStats {
+  int Epoch = 0;
+  double MeanLoss = 0.0;
+  size_t Examples = 0; ///< trainable examples seen this epoch
+  double Seconds = 0.0;
+  double ExamplesPerSec = 0.0;
+};
+
+/// The training schedule. Everything the engine needs is here; CodeBEConfig
+/// keeps only the architecture (plus legacy schedule defaults mirrored by
+/// fromConfig()).
+struct TrainOptions {
+  int Epochs = 2;
+  int BatchSize = 8;
+  float LearningRate = 1e-3f;
+  /// Seeds the epoch shuffler (weight init is seeded at model
+  /// construction).
+  uint64_t Seed = 42;
+  /// Data-parallel lanes per minibatch. <= 0 selects ThreadPool's default
+  /// (VEGA_JOBS when set, else hardware concurrency); 1 runs fully inline.
+  /// Weights are bit-identical for every value — jobs trade wall-clock,
+  /// never results.
+  int Jobs = 1;
+  /// Invoked after every epoch (loss curve hooks, verbose progress).
+  std::function<void(const EpochStats &)> OnEpoch;
+
+  /// The legacy schedule that used to live in CodeBEConfig, as
+  /// TrainOptions (Jobs stays 1: the serial behavior CodeBE::train always
+  /// had).
+  static TrainOptions fromConfig(const CodeBEConfig &Config);
+
+  /// Ok, or InvalidArgument naming the first out-of-range field.
+  Status validate() const;
+};
+
+/// What a completed run did.
+struct TrainResult {
+  int EpochsRun = 0;
+  size_t ExamplesSeen = 0; ///< summed over epochs
+  double FinalMeanLoss = 0.0;
+  std::vector<double> EpochMeanLoss; ///< one entry per epoch
+  double Seconds = 0.0;
+  double ExamplesPerSec = 0.0;
+  int JobsUsed = 1;
+};
+
+/// Fine-tunes a CodeBE model on feature-vector → statement pairs
+/// (teacher forcing, Adam, cross-entropy — paper §4.1.2), one instance per
+/// run. Within each minibatch the per-example tapes are built and walked
+/// concurrently, each accumulating into a private GradSink; the sinks are
+/// then folded into the parameter gradients in ascending example order, so
+/// the single AdamOptimizer::step() consumes the same bits regardless of
+/// thread count.
+class Trainer {
+public:
+  Trainer(CodeBE &Model, TrainOptions Opts);
+
+  /// Runs the whole schedule. InvalidArgument when the options fail
+  /// validation; otherwise the run summary. Emits stage2.epoch /
+  /// stage2.batch spans and train.* metrics (see DESIGN.md §8).
+  StatusOr<TrainResult> run(const std::vector<TrainPair> &Data);
+
+private:
+  CodeBE &Model;
+  TrainOptions Opts;
+};
+
+} // namespace model
+} // namespace vega
+
+#endif // VEGA_MODEL_TRAINER_H

@@ -320,12 +320,12 @@ TEST_F(ObsTest, ObserveAutoDefinesWithGivenShape) {
 TEST_F(ObsTest, MetricsJsonExportIsValid) {
   auto &M = MetricsRegistry::instance();
   M.addCounter("gen.statements", 12);
-  M.setGauge("train.last_loss", 0.125);
+  M.setGauge("train.examples_per_sec", 0.125);
   M.observe("gen.confidence", 0.7);
   std::string Json = M.exportJson();
   EXPECT_TRUE(JsonChecker(Json).valid()) << Json;
   EXPECT_NE(Json.find("\"gen.statements\": 12"), std::string::npos);
-  EXPECT_NE(Json.find("\"train.last_loss\""), std::string::npos);
+  EXPECT_NE(Json.find("\"train.examples_per_sec\""), std::string::npos);
   EXPECT_NE(Json.find("\"gen.confidence\""), std::string::npos);
   // Empty registries still export valid JSON.
   M.clear();

@@ -14,6 +14,9 @@
 ///   vega-cli golden <target> <iface>      print a golden implementation
 ///   vega-cli harvest <prop> <target>      print a TgtValSet
 ///   vega-cli build [epochs]               train and save a .vega session
+///   vega-cli train                        train with an explicit schedule
+///                                         (--epochs/--batch-size/--lr/--seed/
+///                                         --train-jobs) and save a session
 ///   vega-cli inspect                      summarize a .vega session artifact
 ///   vega-cli generate <target> [epochs]   emit a backend
 ///   vega-cli evaluate <target> [epochs]   generate + pass@1 report
@@ -23,6 +26,10 @@
 /// run Stage 3 directly — no template building, no training. Without it they
 /// build a session in-process (weights cached in vega_cli_model.bin).
 /// Failures map to exit codes via vega::Status (see README).
+///
+/// Job-count precedence for Stage-2 training: --train-jobs beats --jobs
+/// beats VEGA_JOBS beats hardware concurrency. Every choice trains the
+/// same bits (README "Training").
 ///
 //===----------------------------------------------------------------------===//
 
@@ -47,6 +54,7 @@ namespace {
 /// Global flag state shared by the command handlers.
 struct CliOptions {
   int Jobs = 0;
+  int TrainJobs = 0;
   bool JsonOut = false;
   std::string SessionPath;
 };
@@ -188,6 +196,7 @@ StatusOr<VegaSession *> session(int Epochs) {
     Opts.WeightCachePath = "vega_cli_model.bin";
     Opts.Verbose = true;
     Opts.Jobs = Cli.Jobs;
+    Opts.TrainJobs = Cli.TrainJobs;
     StatusOr<std::unique_ptr<VegaSession>> Built = VegaSession::build(Opts);
     if (!Built.isOk())
       return Built.status();
@@ -198,6 +207,16 @@ StatusOr<VegaSession *> session(int Epochs) {
   return S.get();
 }
 
+int buildAndSave(const VegaOptions &Opts) {
+  StatusOr<std::unique_ptr<VegaSession>> Built = VegaSession::build(Opts);
+  if (!Built.isOk())
+    return fail(Built.status());
+  if (Status St = (*Built)->save(Cli.SessionPath); !St.isOk())
+    return fail(St);
+  std::printf("session saved to %s\n", Cli.SessionPath.c_str());
+  return 0;
+}
+
 int cmdBuild(int Epochs) {
   if (Cli.SessionPath.empty())
     return fail(
@@ -206,13 +225,29 @@ int cmdBuild(int Epochs) {
   Opts.Model.Epochs = Epochs;
   Opts.Verbose = true;
   Opts.Jobs = Cli.Jobs;
-  StatusOr<std::unique_ptr<VegaSession>> Built = VegaSession::build(Opts);
-  if (!Built.isOk())
-    return fail(Built.status());
-  if (Status St = (*Built)->save(Cli.SessionPath); !St.isOk())
-    return fail(St);
-  std::printf("session saved to %s\n", Cli.SessionPath.c_str());
-  return 0;
+  Opts.TrainJobs = Cli.TrainJobs;
+  return buildAndSave(Opts);
+}
+
+/// `train`: the explicit-schedule sibling of `build` — every TrainOptions
+/// field is a flag; defaults match what `build` has always done.
+int cmdTrain(int Epochs, int BatchSize, double LearningRate,
+             unsigned long long Seed) {
+  if (Cli.SessionPath.empty())
+    return fail(
+        Status::invalidArgument("train requires --session=<file.vega>"));
+  VegaOptions Opts;
+  Opts.Model.Epochs = Epochs;
+  Opts.Model.BatchSize = BatchSize;
+  Opts.Model.LearningRate = static_cast<float>(LearningRate);
+  Opts.Model.Seed = Seed;
+  Opts.Verbose = true;
+  Opts.Jobs = Cli.Jobs;
+  Opts.TrainJobs = Cli.TrainJobs;
+  // Out-of-range values flow into TrainOptions::validate() and come back
+  // as typed InvalidArgument diagnostics (exit code 2), not silent
+  // fall-through.
+  return buildAndSave(Opts);
 }
 
 int cmdInspect() {
@@ -340,6 +375,15 @@ int main(int argc, char **argv) {
   Args.addOption("jobs", "N",
                  "Stage-3 generation lanes (default: VEGA_JOBS, else "
                  "hardware concurrency); output is identical for every N");
+  Args.addOption("train-jobs", "N",
+                 "Stage-2 training lanes (default: --jobs, then VEGA_JOBS, "
+                 "then hardware concurrency); weights are identical for "
+                 "every N");
+  Args.addOption("epochs", "N", "train: epochs (default 8)");
+  Args.addOption("batch-size", "N", "train: minibatch size (default 8)");
+  Args.addOption("lr", "X", "train: Adam learning rate (default 1e-3)");
+  Args.addOption("seed", "N",
+                 "train: weight-init & shuffle seed (default 42)");
   Args.addOption("session", "file.vega",
                  "load (generate/evaluate/inspect) or write (build) a "
                  "session artifact");
@@ -356,6 +400,9 @@ int main(int argc, char **argv) {
   Args.addCommand("harvest", "<prop> <target>", "print a TgtValSet", 2, 2);
   Args.addCommand("build", "[epochs]",
                   "train and save a session to --session", 0, 1);
+  Args.addCommand("train", "",
+                  "train with an explicit schedule (--epochs/--batch-size/"
+                  "--lr/--seed/--train-jobs) and save to --session", 0, 0);
   Args.addCommand("inspect", "", "summarize the --session artifact", 0, 0);
   Args.addCommand("generate", "<target> [epochs]", "emit a backend", 1, 2);
   Args.addCommand("evaluate", "<target> [epochs]",
@@ -374,6 +421,7 @@ int main(int argc, char **argv) {
   }
 
   Cli.Jobs = Args.getInt("jobs", 0);
+  Cli.TrainJobs = Args.getInt("train-jobs", 0);
   Cli.JsonOut = Args.has("json");
   Cli.SessionPath = Args.get("session");
 
@@ -399,6 +447,16 @@ int main(int argc, char **argv) {
     Rc = cmdHarvest(Pos[0], Pos[1]);
   else if (Cmd == "build")
     Rc = cmdBuild(epochsArg(Pos, 0, 8));
+  else if (Cmd == "train") {
+    double LearningRate = 1e-3;
+    if (Args.has("lr"))
+      LearningRate = std::strtod(Args.get("lr").c_str(), nullptr);
+    unsigned long long Seed = 42;
+    if (Args.has("seed"))
+      Seed = std::strtoull(Args.get("seed").c_str(), nullptr, 10);
+    Rc = cmdTrain(Args.getInt("epochs", 8), Args.getInt("batch-size", 8),
+                  LearningRate, Seed);
+  }
   else if (Cmd == "inspect")
     Rc = cmdInspect();
   else if (Cmd == "generate")
