@@ -17,6 +17,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <functional>
@@ -166,6 +167,18 @@ VegaSystem::VegaSystem(const BackendCorpus &Corpus, VegaOptions Options)
 }
 
 VegaSystem::~VegaSystem() { stateMap().erase(this); }
+
+std::string VegaOptions::resolvedWeightCachePath() const {
+  if (WeightCachePath.empty() || WeightCachePath.front() == '/')
+    return WeightCachePath;
+  const char *Dir = std::getenv("VEGA_CACHE_DIR");
+  if (!Dir || !*Dir)
+    return WeightCachePath;
+  std::string Resolved(Dir);
+  if (Resolved.back() != '/')
+    Resolved += '/';
+  return Resolved + WeightCachePath;
+}
 
 std::vector<std::string> VegaSystem::globalBoolNames() const {
   return stateMap().at(this).GlobalBools;
@@ -668,9 +681,10 @@ TrainPair VegaSystem::toIds(const TextPair &Pair) const {
 VegaSystem::WeightCacheStatus
 VegaSystem::initModelFromCache(std::string *Detail) {
   Model = std::make_unique<CodeBE>(Vocabulary, Options.Model);
-  if (Options.WeightCachePath.empty())
+  std::string CachePath = Options.resolvedWeightCachePath();
+  if (CachePath.empty())
     return WeightCacheStatus::Disabled;
-  std::ifstream In(Options.WeightCachePath, std::ios::binary);
+  std::ifstream In(CachePath, std::ios::binary);
   if (!In)
     return WeightCacheStatus::Missing;
   std::stringstream Buffer;
@@ -678,7 +692,7 @@ VegaSystem::initModelFromCache(std::string *Detail) {
   std::string Blob = Buffer.str();
   auto Mismatch = [&](const char *Why) {
     if (Detail)
-      *Detail = std::string(Why) + " ('" + Options.WeightCachePath + "')";
+      *Detail = std::string(Why) + " ('" + CachePath + "')";
     return WeightCacheStatus::Mismatch;
   };
   // Layout: u64 vocab length | vocab | weights.
@@ -718,8 +732,9 @@ Status VegaSystem::fineTuneImpl() {
   if (!Result.isOk())
     return Result.status();
 
-  if (!Options.WeightCachePath.empty()) {
-    std::ofstream Out(Options.WeightCachePath, std::ios::binary);
+  if (std::string CachePath = Options.resolvedWeightCachePath();
+      !CachePath.empty()) {
+    std::ofstream Out(CachePath, std::ios::binary);
     std::string VocabBlob = Vocabulary.serialize();
     uint64_t VLen = VocabBlob.size();
     Out.write(reinterpret_cast<const char *>(&VLen), sizeof(VLen));
@@ -727,8 +742,8 @@ Status VegaSystem::fineTuneImpl() {
     std::string Weights = Model->saveWeights();
     Out.write(Weights.data(), static_cast<long>(Weights.size()));
     if (!Out)
-      return Status::unavailable("cannot write weight cache '" +
-                                 Options.WeightCachePath + "'");
+      return Status::unavailable("cannot write weight cache '" + CachePath +
+                                 "'");
   }
   return Status::ok();
 }
@@ -767,26 +782,22 @@ double VegaSystem::verificationExactMatch(size_t MaxPairs) {
   return Model->exactMatch(Data);
 }
 
-GeneratedStatement VegaSystem::generateRow(
-    const TemplateInfo &TI, const TemplateRow &Row, const std::string &Target,
-    const std::optional<std::string> &Assigned, const std::string &CtxValue) {
-  obs::Span RowSpan("gen.row", "stage3");
-  RowSpan.arg("row", std::to_string(Row.Index));
-  GeneratedStatement Result;
-  Result.RowIndex = Row.Index;
-  if (Assigned)
-    Result.CandidateValue = *Assigned;
-
+void VegaSystem::buildRowDecode(const TemplateInfo &TI, const TemplateRow &Row,
+                                const std::string &Target,
+                                const std::optional<std::string> &Assigned,
+                                const std::string &CtxValue,
+                                std::vector<int> &SrcIds,
+                                std::vector<uint8_t> &Allowed,
+                                CodeBE::DecodePlan &Plan) const {
   std::vector<std::string> Src =
       buildInputTokens(TI, Row, Target, Assigned, CtxValue);
-  TrainPair Ids;
   for (const std::string &T : Src)
-    Ids.Src.push_back(Vocabulary.idOf(T));
+    SrcIds.push_back(Vocabulary.idOf(T));
   // Constrained decoding: structural tokens plus anything present in the
   // input feature vector.
-  std::vector<uint8_t> Allowed = StructuralTokens;
+  Allowed = StructuralTokens;
   Allowed.resize(Vocabulary.size(), 0);
-  for (int Id : Ids.Src)
+  for (int Id : SrcIds)
     if (Id >= 0)
       Allowed[static_cast<size_t>(Id)] = 1;
   // Specials never appear in statements ($SV placeholders are fine: absent
@@ -798,7 +809,6 @@ GeneratedStatement VegaSystem::generateRow(
   // template*): position 0 picks a confidence bucket, skeleton positions
   // are pinned to the template, and each placeholder chooses among its
   // slot's candidate values.
-  CodeBE::DecodePlan Plan;
   Plan.Steps.emplace_back(); // CS position
   Plan.Bias.emplace_back();
   for (int B = 0; B < Vocab::NumCsBuckets; ++B)
@@ -843,33 +853,98 @@ GeneratedStatement VegaSystem::generateRow(
       Plan.Bias.push_back(std::move(StepBias));
     }
   }
-  // Stage 3 reads the decoded confidence bucket, never the per-token
-  // probabilities — skip their full-vocabulary softmax sweep per step.
-  CodeBE::Decoded Out =
-      Model->generate(Ids.Src, &Allowed, &Plan, /*WithProbs=*/false);
-  if (Out.Tokens.empty())
-    return Result;
+}
 
+void VegaSystem::finishStatement(GeneratedStatement &Result,
+                                 const std::vector<int> &Ids) const {
   size_t Start = 0;
-  if (Vocabulary.isCsToken(Out.Tokens[0])) {
-    Result.Confidence = Vocabulary.csValueOf(Out.Tokens[0]);
+  if (Vocabulary.isCsToken(Ids[0])) {
+    Result.Confidence = Vocabulary.csValueOf(Ids[0]);
     Start = 1;
   }
   std::string Text;
-  for (size_t I = Start; I < Out.Tokens.size(); ++I) {
+  for (size_t I = Start; I < Ids.size(); ++I) {
     if (!Text.empty())
       Text += ' ';
-    Text += Vocabulary.textOf(Out.Tokens[I]);
+    Text += Vocabulary.textOf(Ids[I]);
   }
   Result.Tokens = Lexer::tokenize(Text);
   Result.Emitted = Result.Confidence >= Options.ConfidenceThreshold &&
                    !Result.Tokens.empty();
+}
+
+const TemplateRow *VegaSystem::rowByIndex(const TemplateInfo &TI,
+                                          int RowIndex) const {
+  for (const TemplateRow *Row : TI.FT.rows())
+    if (Row->Index == RowIndex)
+      return Row;
+  return nullptr;
+}
+
+GeneratedStatement VegaSystem::generateRow(
+    const TemplateInfo &TI, const TemplateRow &Row, const std::string &Target,
+    const std::optional<std::string> &Assigned, const std::string &CtxValue) {
+  obs::Span RowSpan("gen.row", "stage3");
+  RowSpan.arg("row", std::to_string(Row.Index));
+  GeneratedStatement Result;
+  Result.RowIndex = Row.Index;
+  if (Assigned)
+    Result.CandidateValue = *Assigned;
+  Result.CtxValue = CtxValue;
+
+  std::vector<int> SrcIds;
+  std::vector<uint8_t> Allowed;
+  CodeBE::DecodePlan Plan;
+  buildRowDecode(TI, Row, Target, Assigned, CtxValue, SrcIds, Allowed, Plan);
+  // Stage 3 reads the decoded confidence bucket, never the per-token
+  // probabilities — skip their full-vocabulary softmax sweep per step.
+  CodeBE::Decoded Out =
+      Model->generate(SrcIds, &Allowed, &Plan, /*WithProbs=*/false);
+  if (Out.Tokens.empty())
+    return Result;
+
+  finishStatement(Result, Out.Tokens);
   auto &Metrics = obs::MetricsRegistry::instance();
   Metrics.observe("gen.confidence", Result.Confidence);
   Metrics.addCounter("gen.statements");
   if (Result.Emitted)
     Metrics.addCounter("gen.statements_emitted");
   return Result;
+}
+
+std::vector<GeneratedStatement>
+VegaSystem::beamCandidatesForSite(const TemplateInfo &TI,
+                                  const DecodeSite &Site,
+                                  const std::string &TargetName, int Width) {
+  std::vector<GeneratedStatement> Out;
+  const TemplateRow *Row = rowByIndex(TI, Site.RowIndex);
+  if (!Row)
+    return Out;
+  std::optional<std::string> Assigned;
+  if (!Site.CandidateValue.empty())
+    Assigned = Site.CandidateValue;
+
+  std::vector<int> SrcIds;
+  std::vector<uint8_t> Allowed;
+  CodeBE::DecodePlan Plan;
+  buildRowDecode(TI, *Row, TargetName, Assigned, Site.CtxValue, SrcIds,
+                 Allowed, Plan);
+  std::vector<CodeBE::BeamHypothesis> Hyps =
+      Model->decodeBeam(SrcIds, Width, &Allowed, &Plan);
+
+  std::set<std::string> Seen;
+  for (const CodeBE::BeamHypothesis &H : Hyps) {
+    GeneratedStatement GS;
+    GS.RowIndex = Site.RowIndex;
+    GS.CandidateValue = Site.CandidateValue;
+    GS.CtxValue = Site.CtxValue;
+    if (!H.Tokens.empty())
+      finishStatement(GS, H.Tokens);
+    if (!Seen.insert(renderTokens(GS.Tokens)).second)
+      continue;
+    Out.push_back(std::move(GS));
+  }
+  return Out;
 }
 
 void VegaSystem::setJobs(int Jobs) {
@@ -879,6 +954,12 @@ void VegaSystem::setJobs(int Jobs) {
 
 GeneratedFunction VegaSystem::generateFunction(const TemplateInfo &TI,
                                                const std::string &TargetName) {
+  return assembleFunction(TI, TargetName, nullptr);
+}
+
+GeneratedFunction VegaSystem::assembleFunction(const TemplateInfo &TI,
+                                               const std::string &TargetName,
+                                               const SiteChooser &Choose) {
   // One span per function, named after its backend module so per-module
   // time (Fig. 7) is a plain aggregation over the trace. Worker-lane spans
   // carry their thread id (Perfetto shows one lane per worker).
@@ -891,8 +972,30 @@ GeneratedFunction VegaSystem::generateFunction(const TemplateInfo &TI,
   Fn.InterfaceName = TI.FT.InterfaceName;
   Fn.Module = TI.FT.Module;
 
-  GeneratedStatement Def = generateRow(TI, *TI.FT.Definition, TargetName,
-                                       std::nullopt, std::string());
+  // Every decode site flows through here: the chooser (when set) can
+  // splice in a previously decoded or repaired statement; a nullopt answer
+  // falls back to a fresh model decode — identical to plain generation.
+  auto DecodeSiteStmt = [&](const TemplateRow &Row,
+                            const std::optional<std::string> &Assigned,
+                            const std::string &Ctx) -> GeneratedStatement {
+    if (Choose) {
+      DecodeSite Site;
+      Site.RowIndex = Row.Index;
+      if (Assigned)
+        Site.CandidateValue = *Assigned;
+      Site.CtxValue = Ctx;
+      if (std::optional<GeneratedStatement> Chosen = Choose(Site)) {
+        Chosen->RowIndex = Row.Index;
+        Chosen->CandidateValue = Site.CandidateValue;
+        Chosen->CtxValue = Ctx;
+        return *std::move(Chosen);
+      }
+    }
+    return generateRow(TI, Row, TargetName, Assigned, Ctx);
+  };
+
+  GeneratedStatement Def =
+      DecodeSiteStmt(*TI.FT.Definition, std::nullopt, std::string());
   Fn.Confidence = Def.Confidence;
   Fn.Statements.push_back(Def);
   Fn.Emitted = Def.Emitted;
@@ -928,8 +1031,7 @@ GeneratedFunction VegaSystem::generateFunction(const TemplateInfo &TI,
               Candidates.resize(
                   static_cast<size_t>(Options.MaxCandidatesPerRow));
             for (const std::string &Candidate : Candidates) {
-              GeneratedStatement Stmt =
-                  generateRow(TI, Row, TargetName, Candidate, Ctx);
+              GeneratedStatement Stmt = DecodeSiteStmt(Row, Candidate, Ctx);
               Fn.Statements.push_back(Stmt);
               if (!Stmt.Emitted)
                 continue;
@@ -942,8 +1044,7 @@ GeneratedFunction VegaSystem::generateFunction(const TemplateInfo &TI,
             }
             return;
           }
-          GeneratedStatement Stmt =
-              generateRow(TI, Row, TargetName, std::nullopt, Ctx);
+          GeneratedStatement Stmt = DecodeSiteStmt(Row, std::nullopt, Ctx);
           Fn.Statements.push_back(Stmt);
           if (!Stmt.Emitted)
             return;

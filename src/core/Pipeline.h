@@ -23,6 +23,7 @@
 #include "support/Status.h"
 #include "support/ThreadPool.h"
 
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -68,6 +69,13 @@ struct VegaOptions {
   /// knob excluded from fingerprint().
   int TrainJobs = 0;
 
+  /// The weight-cache path the system will actually touch: absolute paths
+  /// are used verbatim; relative paths resolve under $VEGA_CACHE_DIR when
+  /// that is set and non-empty, else under the current directory (the
+  /// historical behavior). Empty stays empty (caching disabled). README
+  /// "Weight caches" documents the precedence.
+  std::string resolvedWeightCachePath() const;
+
   /// Stable hash of every option that shapes the trained session state
   /// (model architecture + training schedule + dataset split + feature
   /// ablations + candidate caps). Runtime knobs that cannot invalidate a
@@ -84,6 +92,21 @@ struct GeneratedStatement {
   bool Emitted = false; ///< false when Confidence < threshold
   std::vector<Token> Tokens;
   std::string CandidateValue; ///< expansion value for repeatable rows
+  /// Enclosing candidate value at decode time (the Ctx of the feature
+  /// vector). Together with (RowIndex, CandidateValue) this identifies the
+  /// decode site exactly, so the repair engine can re-decode it.
+  std::string CtxValue;
+};
+
+/// Identity of one decode site inside a function's template walk: the
+/// template row, the repeatable-expansion candidate value (empty for
+/// non-repeatable rows), and the enclosing candidate context. The repair
+/// engine keys its per-site overrides on (RowIndex, CandidateValue);
+/// CtxValue reproduces the exact feature vector for re-decoding.
+struct DecodeSite {
+  int RowIndex = -1;
+  std::string CandidateValue;
+  std::string CtxValue;
 };
 
 /// One generated function.
@@ -181,6 +204,33 @@ public:
   /// the worker pool is rebuilt on the next generateBackend().
   void setJobs(int Jobs);
 
+  /// Per-site statement chooser for assembleFunction(): returns the
+  /// statement to splice in at \p Site (its Emitted flag is respected
+  /// verbatim — the repair engine force-emits oracle-gated candidates), or
+  /// std::nullopt to decode the site fresh with the model.
+  using SiteChooser =
+      std::function<std::optional<GeneratedStatement>(const DecodeSite &)>;
+
+  /// Assembles one function for \p TargetName by walking its template and
+  /// consulting \p Choose at every decode site. With a null chooser this is
+  /// exactly Stage-3 generation (generateBackend() is built on it); the
+  /// repair engine passes a chooser that overrides flagged sites with beam
+  /// candidates while untouched sites keep their previous statements.
+  /// Thread-safe after Model->prepareGenerate() like generateBackend().
+  GeneratedFunction assembleFunction(const TemplateInfo &TI,
+                                     const std::string &TargetName,
+                                     const SiteChooser &Choose = nullptr);
+
+  /// Beam-decodes one site: up to \p Width ranked candidate statements,
+  /// best first, deduplicated by statement text (candidates differing only
+  /// in their confidence bucket collapse to the best-ranked copy).
+  /// Candidate 0 always matches the greedy generateRow() choice; Emitted
+  /// follows the usual confidence threshold. Deterministic — no RNG, fixed
+  /// tie-break order (see CodeBE::decodeBeam).
+  std::vector<GeneratedStatement>
+  beamCandidatesForSite(const TemplateInfo &TI, const DecodeSite &Site,
+                        const std::string &TargetName, int Width);
+
   // ---- Introspection (tests, benches, examples) ----
   const std::vector<TemplateInfo> &templates() const { return Templates; }
   const TemplateInfo *findTemplate(const std::string &InterfaceName) const;
@@ -191,6 +241,7 @@ public:
   size_t trainFunctionCount() const { return TrainFunctions; }
   size_t verifyFunctionCount() const { return VerifyFunctions; }
   const VegaOptions &options() const { return Options; }
+  const BackendCorpus &corpus() const { return Corpus; }
 
   /// The fixed global ordering of updatable Boolean properties shared by
   /// every feature vector (set by buildTemplates(), restored by a session
@@ -236,6 +287,21 @@ private:
   Status fineTuneImpl();
   void buildVocab();
   TrainPair toIds(const TextPair &Pair) const;
+  /// Shared constrained-decode setup for one row — source ids, allowed
+  /// mask, and the template-guided plan — used by both the greedy and beam
+  /// paths so they see identical constraints.
+  void buildRowDecode(const TemplateInfo &TI, const TemplateRow &Row,
+                      const std::string &Target,
+                      const std::optional<std::string> &Assigned,
+                      const std::string &CtxValue, std::vector<int> &SrcIds,
+                      std::vector<uint8_t> &Allowed,
+                      CodeBE::DecodePlan &Plan) const;
+  /// Decoded-id postprocessing shared by greedy and beam paths: leading CS
+  /// bucket → Confidence, remaining ids → statement tokens, threshold →
+  /// Emitted.
+  void finishStatement(GeneratedStatement &Result,
+                       const std::vector<int> &Ids) const;
+  const TemplateRow *rowByIndex(const TemplateInfo &TI, int RowIndex) const;
   GeneratedStatement generateRow(const TemplateInfo &TI,
                                  const TemplateRow &Row,
                                  const std::string &Target,

@@ -12,9 +12,11 @@
 #include "obs/Trace.h"
 #include "support/RNG.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <cstring>
+#include <set>
 
 using namespace vega;
 
@@ -550,6 +552,180 @@ CodeBE::Decoded CodeBE::generate(const std::vector<int> &Src,
   Metrics.observe("model.tokens_decoded",
                   static_cast<double>(Result.Tokens.size()), 0.0,
                   static_cast<double>(Config.MaxDstLen + 1), 16);
+  return Result;
+}
+
+std::vector<CodeBE::BeamHypothesis>
+CodeBE::decodeBeam(const std::vector<int> &Src, int Width,
+                   const std::vector<uint8_t> *Allowed,
+                   const DecodePlan *Plan) {
+  NoGradGuard Guard;
+  if (Width < 1)
+    Width = 1;
+  obs::Span BeamSpan("beam.decode", "model");
+  BeamSpan.arg("width", std::to_string(Width));
+
+  std::vector<int> Input = Src;
+  if (static_cast<int>(Input.size()) > Config.MaxSrcLen)
+    Input.resize(static_cast<size_t>(Config.MaxSrcLen));
+  TensorPtr Memory;
+  {
+    obs::Span EncSpan("model.encode", "model");
+    Memory = runEncoder(Input);
+  }
+
+  // The shared decode scratch template: cross projections computed once and
+  // shared read-only by every hypothesis; self K/V rows are forked per
+  // hypothesis when the beam branches.
+  KVCacheState Proto;
+  {
+    const int Dk = Config.DModel / Config.Heads;
+    Proto.Memory = Memory;
+    Proto.CrossK.resize(Dec.size());
+    Proto.CrossV.resize(Dec.size());
+    Proto.SelfK.resize(Dec.size());
+    Proto.SelfV.resize(Dec.size());
+    for (size_t LI = 0; LI < Dec.size(); ++LI) {
+      TensorPtr K = linear(Memory, Dec[LI].Cross.K);
+      TensorPtr V = linear(Memory, Dec[LI].Cross.V);
+      for (int HI = 0; HI < Config.Heads; ++HI) {
+        Proto.CrossK[LI].push_back(sliceCols(K, HI * Dk, Dk));
+        Proto.CrossV[LI].push_back(sliceCols(V, HI * Dk, Dk));
+      }
+    }
+  }
+
+  auto IsAllowed = [&](int Id) {
+    if (!Allowed)
+      return true;
+    if (Id == Vocabulary.eosId() || Vocabulary.isCsToken(Id))
+      return true;
+    return static_cast<size_t>(Id) < Allowed->size() &&
+           (*Allowed)[static_cast<size_t>(Id)] != 0;
+  };
+
+  struct LiveBeam {
+    KVCacheState St;
+    std::vector<int> Tokens;
+    double Score = 0.0;
+    int PrevTok = 0;
+  };
+  std::vector<LiveBeam> Live;
+  Live.push_back({Proto, {}, 0.0, Vocabulary.e2dId()});
+  std::vector<BeamHypothesis> Finished;
+  auto Retire = [&](LiveBeam &B) {
+    Finished.push_back({std::move(B.Tokens), B.Score});
+  };
+
+  TensorPtr PresenceRow = presenceFor(1, Input);
+  for (int Step = 0; Step < Config.MaxDstLen && !Live.empty(); ++Step) {
+    // Positions past the plan end every surviving statement, exactly like
+    // the greedy loop.
+    if (Plan && static_cast<size_t>(Step) >= Plan->Steps.size())
+      break;
+    const std::vector<int> *StepSet =
+        Plan && !Plan->Steps[static_cast<size_t>(Step)].empty()
+            ? &Plan->Steps[static_cast<size_t>(Step)]
+            : nullptr;
+    const std::map<int, float> *Bias =
+        StepSet && Plan->Bias.size() > static_cast<size_t>(Step)
+            ? &Plan->Bias[static_cast<size_t>(Step)]
+            : nullptr;
+
+    struct Expansion {
+      size_t Parent;
+      int Token;
+      double Score;
+    };
+    std::vector<Expansion> Exps;
+    for (size_t BI = 0; BI < Live.size(); ++BI) {
+      LiveBeam &B = Live[BI];
+      TensorPtr DecRow = decodeStep(B.St, B.PrevTok);
+      TensorPtr Logits = logitsFor(DecRow, Memory, Input, /*UseCombCache=*/true,
+                                   PresenceRow);
+      int Last = Logits->Rows - 1;
+      const float *Row = &Logits->Data[static_cast<size_t>(Last) * Logits->Cols];
+      // Raw-row log-sum-exp: the same normalizer generate()'s confidence
+      // pass divides by, so log P(token) = biasedLogit - LSE. A plan bias
+      // can lift the winner above the raw maximum — that only shifts the
+      // score, never breaks the ranking.
+      float MaxRaw = -1e30f;
+      for (int J = 0; J < Logits->Cols; ++J)
+        if (Row[J] > MaxRaw)
+          MaxRaw = Row[J];
+      double Sum = 0.0;
+      for (int J = 0; J < Logits->Cols; ++J)
+        Sum += std::exp(static_cast<double>(Row[J] - MaxRaw));
+      double LSE = static_cast<double>(MaxRaw) + std::log(Sum);
+      if (StepSet) {
+        for (int J : *StepSet) {
+          if (J < 0 || J >= Logits->Cols)
+            continue;
+          float V = Row[J];
+          if (Bias) {
+            auto It = Bias->find(J);
+            if (It != Bias->end())
+              V += It->second;
+          }
+          Exps.push_back({BI, J, B.Score + static_cast<double>(V) - LSE});
+        }
+      } else {
+        for (int J = 0; J < Logits->Cols; ++J)
+          if (IsAllowed(J))
+            Exps.push_back({BI, J, B.Score + static_cast<double>(Row[J]) - LSE});
+      }
+    }
+    if (Exps.empty())
+      break; // no admissible continuation: surviving beams finish as-is
+
+    // Deterministic selection: stable sort keeps expansion order (parent
+    // rank, then admissible-set order) on exact score ties — the same
+    // first-wins rule as greedy argmax.
+    std::stable_sort(Exps.begin(), Exps.end(),
+                     [](const Expansion &A, const Expansion &B) {
+                       return A.Score > B.Score;
+                     });
+    std::vector<LiveBeam> Next;
+    for (const Expansion &E : Exps) {
+      if (static_cast<int>(Next.size()) >= Width)
+        break;
+      if (E.Token == Vocabulary.eosId()) {
+        // [EOS] retires the hypothesis; like greedy, the terminator itself
+        // is not part of the statement.
+        Finished.push_back({Live[E.Parent].Tokens, E.Score});
+        continue;
+      }
+      LiveBeam NB;
+      NB.St = Live[E.Parent].St;
+      NB.Tokens = Live[E.Parent].Tokens;
+      NB.Tokens.push_back(E.Token);
+      NB.Score = E.Score;
+      NB.PrevTok = E.Token;
+      Next.push_back(std::move(NB));
+    }
+    Live = std::move(Next);
+  }
+  for (LiveBeam &B : Live)
+    Retire(B);
+
+  std::stable_sort(Finished.begin(), Finished.end(),
+                   [](const BeamHypothesis &A, const BeamHypothesis &B) {
+                     return A.Score > B.Score;
+                   });
+  std::vector<BeamHypothesis> Result;
+  std::set<std::vector<int>> Seen;
+  for (BeamHypothesis &H : Finished) {
+    if (static_cast<int>(Result.size()) >= Width)
+      break;
+    if (!Seen.insert(H.Tokens).second)
+      continue;
+    Result.push_back(std::move(H));
+  }
+
+  auto &Metrics = obs::MetricsRegistry::instance();
+  Metrics.addCounter("beam.decode_calls");
+  Metrics.observe("beam.candidates", static_cast<double>(Result.size()), 0.0,
+                  static_cast<double>(Width + 1), 16);
   return Result;
 }
 

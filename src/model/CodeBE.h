@@ -101,6 +101,27 @@ public:
                    const std::vector<uint8_t> *Allowed = nullptr,
                    const DecodePlan *Plan = nullptr, bool WithProbs = true);
 
+  /// One ranked beam-search candidate.
+  struct BeamHypothesis {
+    std::vector<int> Tokens; ///< without the trailing [EOS]
+    /// Sum of per-token log-probabilities under the same normalizer
+    /// generate() uses for its confidence pass (plan biases included for
+    /// the chosen token, so beam ranking agrees with greedy choice).
+    double Score = 0.0;
+  };
+
+  /// Beam/top-k decoding for \p Src under the same constraints as
+  /// generate(): up to \p Width hypotheses ranked best-first. Always runs
+  /// on the KV-cache path (each hypothesis forks its own cache; the cross
+  /// projections are shared read-only). Deterministic at any thread count:
+  /// no RNG, and exact score ties resolve by expansion order (parent rank,
+  /// then admissible-set order), so Width=1 reproduces the greedy decode.
+  /// Duplicate token sequences are collapsed to their best-scoring copy.
+  std::vector<BeamHypothesis> decodeBeam(const std::vector<int> &Src,
+                                         int Width,
+                                         const std::vector<uint8_t> *Allowed = nullptr,
+                                         const DecodePlan *Plan = nullptr);
+
   /// Decode strategy. KVCache (the default) caches per-layer self-attention
   /// K/V rows and the cross-attention memory projections so each step does
   /// O(prefix) work instead of re-running the decoder over the whole prefix

@@ -1,0 +1,417 @@
+//===- repair/RepairEngine.cpp - Oracle-validated auto-repair ----------------===//
+//
+// Part of the VEGA reproduction project.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+
+#include "repair/RepairEngine.h"
+
+#include "ast/Statement.h"
+#include "eval/EffortModel.h"
+#include "eval/EvalSpecs.h"
+#include "interp/Interpreter.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+
+using namespace vega;
+using namespace vega::repair;
+
+Status RepairOptions::validate() const {
+  if (BeamWidth < 1 || BeamWidth > 64)
+    return Status::invalidArgument("beam width must be in [1, 64], got " +
+                                   std::to_string(BeamWidth));
+  if (MaxRounds < 1 || MaxRounds > 16)
+    return Status::invalidArgument("max rounds must be in [1, 16], got " +
+                                   std::to_string(MaxRounds));
+  if (CSThreshold < 0.0 || CSThreshold > 1.0)
+    return Status::invalidArgument("CS threshold must be in [0, 1], got " +
+                                   std::to_string(CSThreshold));
+  if (MaxSitesPerFunction < 1)
+    return Status::invalidArgument("site budget must be >= 1, got " +
+                                   std::to_string(MaxSitesPerFunction));
+  return Status::ok();
+}
+
+namespace {
+
+/// Behavioural-oracle score of one candidate function: cases considered
+/// (golden-error environments are skipped, mirroring
+/// functionPassesRegression), cases passed, and whether any candidate run
+/// errored. full() is exactly the pass@1 verdict; the pass fraction ranks
+/// partial improvements during hill-climbing.
+struct OracleScore {
+  size_t Passed = 0;
+  size_t Cases = 0;
+  bool CandidateError = false;
+
+  bool full() const { return !CandidateError && Passed == Cases; }
+  double fraction() const {
+    if (CandidateError)
+      return 0.0;
+    return Cases == 0 ? 1.0
+                      : static_cast<double>(Passed) /
+                            static_cast<double>(Cases);
+  }
+};
+
+OracleScore scoreAgainstGolden(const FunctionAST &Candidate,
+                               const FunctionAST &Golden,
+                               const std::string &InterfaceName,
+                               const TargetTraits &Traits) {
+  Interpreter Interp;
+  OracleScore Score;
+  for (const Environment &Env : buildTestEnvironments(InterfaceName, Traits)) {
+    ExecResult Expected = Interp.run(Golden, Env);
+    if (Expected.St == ExecResult::Status::Error)
+      continue; // spec gap: skipped on both sides, like the eval harness
+    ++Score.Cases;
+    ExecResult Actual = Interp.run(Candidate, Env);
+    if (Actual.St == ExecResult::Status::Error) {
+      Score.CandidateError = true;
+      continue;
+    }
+    if (Expected.equivalent(Actual))
+      ++Score.Passed;
+  }
+  return Score;
+}
+
+/// (RowIndex, CandidateValue, CtxValue) — the exact decode-site identity.
+/// CtxValue must participate: a child row under a repeatable parent decodes
+/// once per parent candidate, same RowIndex, different context.
+using SiteKey = std::tuple<int, std::string, std::string>;
+
+SiteKey keyOf(const GeneratedStatement &GS) {
+  return {GS.RowIndex, GS.CandidateValue, GS.CtxValue};
+}
+SiteKey keyOf(const DecodeSite &Site) {
+  return {Site.RowIndex, Site.CandidateValue, Site.CtxValue};
+}
+
+// GeneratedFunction owns its AST (unique_ptr statement tree), so the
+// repaired backend starts as an explicit deep copy of the input.
+GeneratedFunction cloneFunction(const GeneratedFunction &F) {
+  GeneratedFunction C;
+  C.InterfaceName = F.InterfaceName;
+  C.Module = F.Module;
+  C.Confidence = F.Confidence;
+  C.Emitted = F.Emitted;
+  C.AST = F.AST.clone();
+  C.Statements = F.Statements;
+  C.MultiTargetDerived = F.MultiTargetDerived;
+  C.Seconds = F.Seconds;
+  return C;
+}
+
+GeneratedBackend cloneBackend(const GeneratedBackend &B) {
+  GeneratedBackend C;
+  C.TargetName = B.TargetName;
+  C.ModuleSeconds = B.ModuleSeconds;
+  C.Functions.reserve(B.Functions.size());
+  for (const GeneratedFunction &F : B.Functions)
+    C.Functions.push_back(cloneFunction(F));
+  return C;
+}
+
+} // namespace
+
+struct RepairEngine::FunctionTask {
+  size_t FunctionIdx = 0; ///< index into Backend.Functions
+  const GeneratedFunction *Baseline = nullptr;
+  const TemplateInfo *TI = nullptr;
+  const BackendFunction *Golden = nullptr;
+};
+
+struct RepairEngine::FunctionResult {
+  FunctionRepair Outcome;
+  /// Set only when the repaired function fully passes the oracle.
+  std::optional<GeneratedFunction> Replacement;
+  std::vector<StatementRepair> Repairs;
+};
+
+RepairEngine::RepairEngine(VegaSystem &System, RepairOptions Options)
+    : System(System), Options(Options) {}
+
+RepairEngine::~RepairEngine() = default;
+
+RepairEngine::FunctionResult
+RepairEngine::repairFunction(const FunctionTask &Task,
+                             const TargetTraits &Traits,
+                             const std::string &TargetName) {
+  obs::Span FnSpan("repair.function", "repair");
+  FnSpan.arg("function", Task.Baseline->InterfaceName);
+  FnSpan.arg("target", TargetName);
+  if (int Lane = ThreadPool::currentLane(); Lane >= 0)
+    FnSpan.arg("worker", std::to_string(Lane));
+
+  FunctionResult R;
+  R.Outcome.InterfaceName = Task.Baseline->InterfaceName;
+  R.Outcome.Module = Task.Baseline->Module;
+  R.Outcome.BaselineEmitted = Task.Baseline->Emitted;
+
+  const TemplateInfo &TI = *Task.TI;
+  const FunctionAST &GoldenAST = Task.Golden->AST;
+  const std::string &Iface = Task.Baseline->InterfaceName;
+
+  // The per-site statement store. Seeded from the baseline decode so
+  // in-process backends re-assemble without touching the model; sites
+  // missing their keys (e.g. a backend restored from a disk snapshot that
+  // predates site recording) simply re-decode — deterministically, to the
+  // same statements.
+  std::map<SiteKey, GeneratedStatement> Chosen;
+  for (const GeneratedStatement &GS : Task.Baseline->Statements)
+    Chosen.emplace(keyOf(GS), GS);
+
+  auto Assemble = [&]() {
+    VegaSystem::SiteChooser Choose =
+        [&Chosen](const DecodeSite &Site) -> std::optional<GeneratedStatement> {
+      auto It = Chosen.find(keyOf(Site));
+      if (It != Chosen.end())
+        return It->second;
+      return std::nullopt;
+    };
+    GeneratedFunction Fn = System.assembleFunction(TI, TargetName, Choose);
+    // Absorb fresh decodes so every later trial re-assembles from the
+    // store alone (one model decode per site, ever).
+    for (const GeneratedStatement &GS : Fn.Statements)
+      Chosen.emplace(keyOf(GS), GS);
+    return Fn;
+  };
+  auto ScoreFn = [&](const GeneratedFunction &Fn) {
+    if (!Fn.Emitted) {
+      // An unemitted function implements nothing: it fails its oracle.
+      OracleScore S;
+      S.Cases = 1;
+      S.CandidateError = true;
+      return S;
+    }
+    return scoreAgainstGolden(Fn.AST, GoldenAST, Iface, Traits);
+  };
+
+  GeneratedFunction Current = Assemble();
+  OracleScore CurScore = ScoreFn(Current);
+  double BestFrac = CurScore.fraction();
+  const int DefIndex = TI.FT.Definition->Index;
+
+  std::map<SiteKey, std::vector<GeneratedStatement>> BeamCache;
+  std::vector<StatementRepair> Pending;
+
+  for (int Round = 1;
+       Round <= Options.MaxRounds && !(CurScore.full() && Current.Emitted);
+       ++Round) {
+    bool Improved = false;
+
+    // Confidence-guided triage (the automated Table-3 workflow): visit the
+    // current assembly's sites lowest-confidence first — a suppressed
+    // definition or statement naturally sorts to the front — capped by the
+    // per-function budget. Stable sort keeps template order within ties.
+    std::vector<DecodeSite> Sites;
+    for (const GeneratedStatement &GS : Current.Statements)
+      Sites.push_back({GS.RowIndex, GS.CandidateValue, GS.CtxValue});
+    std::stable_sort(Sites.begin(), Sites.end(),
+                     [&](const DecodeSite &A, const DecodeSite &B) {
+                       return Chosen.at(keyOf(A)).Confidence <
+                              Chosen.at(keyOf(B)).Confidence;
+                     });
+    if (Sites.size() > static_cast<size_t>(Options.MaxSitesPerFunction))
+      Sites.resize(static_cast<size_t>(Options.MaxSitesPerFunction));
+
+    for (const DecodeSite &Site : Sites) {
+      ++R.Outcome.SitesExamined;
+      SiteKey Key = keyOf(Site);
+      auto CacheIt = BeamCache.find(Key);
+      if (CacheIt == BeamCache.end())
+        CacheIt = BeamCache
+                      .emplace(Key, System.beamCandidatesForSite(
+                                        TI, Site, TargetName,
+                                        Options.BeamWidth))
+                      .first;
+
+      const GeneratedStatement Keep = Chosen.at(Key);
+      // Trial list: every beam candidate force-emitted (acceptance is
+      // oracle-gated, so the confidence threshold must not veto a correct
+      // low-confidence statement), plus one suppression probe — golden may
+      // simply lack this statement. Never suppress the definition: an
+      // unemitted function cannot pass.
+      std::vector<GeneratedStatement> Trials;
+      for (const GeneratedStatement &Cand : CacheIt->second) {
+        GeneratedStatement T = Cand;
+        T.Emitted = !T.Tokens.empty();
+        if (T.Tokens == Keep.Tokens && T.Emitted == Keep.Emitted)
+          continue;
+        Trials.push_back(std::move(T));
+      }
+      if (Site.RowIndex != DefIndex && Keep.Emitted) {
+        GeneratedStatement T = Keep;
+        T.Emitted = false;
+        Trials.push_back(std::move(T));
+      }
+
+      for (const GeneratedStatement &T : Trials) {
+        ++R.Outcome.CandidatesTried;
+        Chosen[Key] = T;
+        GeneratedFunction Trial = Assemble();
+        OracleScore S = ScoreFn(Trial);
+        double Frac = S.fraction();
+        // Strict-improvement hill climbing, first-wins within a site: beam
+        // rank breaks ties, keeping the search deterministic.
+        if (Frac > BestFrac) {
+          StatementRepair Rep;
+          Rep.InterfaceName = Iface;
+          Rep.Module = Task.Baseline->Module;
+          Rep.RowIndex = Site.RowIndex;
+          Rep.CandidateValue = Site.CandidateValue;
+          Rep.OldText = renderTokens(Keep.Tokens);
+          Rep.NewText = renderTokens(T.Tokens);
+          Rep.OldEmitted = Keep.Emitted;
+          Rep.NewEmitted = T.Emitted;
+          Rep.OldConfidence = Keep.Confidence;
+          Rep.NewConfidence = T.Confidence;
+          Rep.Round = Round;
+          Pending.push_back(std::move(Rep));
+          Current = std::move(Trial);
+          CurScore = S;
+          BestFrac = Frac;
+          Improved = true;
+          break;
+        }
+        Chosen[Key] = Keep;
+      }
+      if (CurScore.full() && Current.Emitted) {
+        R.Outcome.RepairedAtRound = Round;
+        break;
+      }
+    }
+    if (!Improved)
+      break; // fixed point: another round would retry the same trials
+  }
+
+  // Oracle-gated commit: the repaired function replaces the baseline only
+  // when it fully passes the behavioural oracle. Partial improvements
+  // guided the search but are discarded — the backend never regresses.
+  if (CurScore.full() && Current.Emitted) {
+    R.Outcome.RepairedPassed = true;
+    R.Outcome.StatementsReplaced = Pending.size();
+    R.Repairs = std::move(Pending);
+    R.Replacement = std::move(Current);
+  }
+  return R;
+}
+
+StatusOr<RepairReport> RepairEngine::repairBackend(
+    const GeneratedBackend &Backend) {
+  if (Status St = Options.validate(); !St.isOk())
+    return St;
+  const BackendCorpus &Corpus = System.corpus();
+  const TargetTraits *Traits = Corpus.targets().find(Backend.TargetName);
+  if (!Traits)
+    return Status::invalidArgument("unknown target '" + Backend.TargetName +
+                                   "'");
+  const vega::Backend *Golden = Corpus.backend(Backend.TargetName);
+  if (!Golden)
+    return Status::failedPrecondition("target '" + Backend.TargetName +
+                                      "' has no golden backend to serve as "
+                                      "the repair oracle");
+
+  obs::Span RepairSpan("repair.backend", "repair");
+  RepairSpan.arg("target", Backend.TargetName);
+  RepairSpan.arg("beam", std::to_string(Options.BeamWidth));
+  RepairSpan.arg("rounds", std::to_string(Options.MaxRounds));
+
+  RepairReport Report;
+  Report.TargetName = Backend.TargetName;
+  Report.Options = Options;
+  Report.BaselineEval = evaluateBackend(Backend, *Golden, *Traits);
+
+  // Flag = golden exists and greedy pass@1 failed (wrong or never
+  // emitted). Spurious functions (no golden) are skipped: the oracle has
+  // nothing to validate them against.
+  std::vector<FunctionTask> Tasks;
+  for (size_t I = 0; I < Backend.Functions.size(); ++I) {
+    const FunctionEval &FE = Report.BaselineEval.Functions[I];
+    if (!FE.GoldenExists || FE.Accurate)
+      continue;
+    FunctionTask Task;
+    Task.FunctionIdx = I;
+    Task.Baseline = &Backend.Functions[I];
+    Task.TI = System.findTemplate(FE.InterfaceName);
+    Task.Golden = Golden->find(FE.InterfaceName);
+    if (!Task.TI || !Task.Golden)
+      continue;
+    Tasks.push_back(Task);
+  }
+  Report.FunctionsFlagged = Tasks.size();
+
+  // Per-function fan-out with a deterministic index-ordered merge. Repairs
+  // are independent (each function owns its site store and beam cache), so
+  // the merged report is byte-identical at any lane count. The engine owns
+  // its pool — Stage-3 generation is not running, and ThreadPool fan-outs
+  // must not nest.
+  System.model()->prepareGenerate();
+  if (!Pool)
+    Pool = std::make_unique<ThreadPool>(Options.Jobs);
+  std::vector<FunctionResult> Results(Tasks.size());
+  Pool->parallelFor(Tasks.size(), [&](size_t I) {
+    Results[I] = repairFunction(Tasks[I], *Traits, Backend.TargetName);
+  });
+
+  Report.RepairedBackend = cloneBackend(Backend);
+  for (size_t I = 0; I < Tasks.size(); ++I) {
+    FunctionResult &R = Results[I];
+    if (R.Replacement) {
+      ++Report.FunctionsRepaired;
+      Report.StatementsAutoRepaired += R.Outcome.StatementsReplaced;
+      Report.RepairedBackend.Functions[Tasks[I].FunctionIdx] =
+          std::move(*R.Replacement);
+    }
+    Report.CandidatesTried += R.Outcome.CandidatesTried;
+    Report.Functions.push_back(std::move(R.Outcome));
+    for (StatementRepair &Rep : R.Repairs)
+      Report.Repairs.push_back(std::move(Rep));
+  }
+
+  // Per-round pass@k: every committed repair flips exactly one flagged
+  // function to accurate and the evaluated population is unchanged, so the
+  // round-r accuracy is the baseline count plus the repairs landed by then.
+  size_t Denom = 0, BaseAccurate = 0;
+  for (const FunctionEval &FE : Report.BaselineEval.Functions) {
+    if (!FE.GoldenExists && !FE.Generated)
+      continue;
+    ++Denom;
+    if (FE.Accurate)
+      ++BaseAccurate;
+  }
+  for (int Round = 1; Round <= Options.MaxRounds; ++Round) {
+    RoundStats Stats;
+    Stats.Round = Round;
+    for (const FunctionRepair &F : Report.Functions)
+      if (F.RepairedAtRound > 0 && F.RepairedAtRound <= Round)
+        ++Stats.FunctionsRepaired;
+    Stats.FunctionAccuracy =
+        Denom == 0 ? 0.0
+                   : static_cast<double>(BaseAccurate + Stats.FunctionsRepaired) /
+                         static_cast<double>(Denom);
+    Report.Rounds.push_back(Stats);
+  }
+
+  Report.RepairedEval =
+      evaluateBackend(Report.RepairedBackend, *Golden, *Traits);
+  Report.BaselineHoursA = totalRepairHours(Report.BaselineEval, developerA());
+  Report.RepairedHoursA = totalRepairHours(Report.RepairedEval, developerA());
+  Report.BaselineHoursB = totalRepairHours(Report.BaselineEval, developerB());
+  Report.RepairedHoursB = totalRepairHours(Report.RepairedEval, developerB());
+
+  auto &Metrics = obs::MetricsRegistry::instance();
+  Metrics.addCounter("repair.backends");
+  Metrics.addCounter("repair.functions_flagged", Report.FunctionsFlagged);
+  Metrics.addCounter("repair.functions_repaired", Report.FunctionsRepaired);
+  Metrics.addCounter("repair.statements_repaired",
+                     Report.StatementsAutoRepaired);
+  Metrics.addCounter("repair.candidates_tried", Report.CandidatesTried);
+  return Report;
+}

@@ -87,6 +87,95 @@ Json vega::serve::evalToJson(const BackendEval &Eval) {
   return Doc;
 }
 
+Json vega::serve::repairToJson(const repair::RepairReport &Report) {
+  Json Doc = Json::object();
+  Doc.set("schema", "vega-repair-1");
+  Doc.set("target", Report.TargetName);
+
+  Json Options = Json::object();
+  Options.set("beamWidth", Report.Options.BeamWidth);
+  Options.set("maxRounds", Report.Options.MaxRounds);
+  Options.set("csThreshold", Report.Options.CSThreshold);
+  Options.set("maxSitesPerFunction", Report.Options.MaxSitesPerFunction);
+  Doc.set("options", std::move(Options));
+
+  Json Summary = Json::object();
+  Summary.set("baselineFunctionAccuracy",
+              Report.BaselineEval.functionAccuracy());
+  Summary.set("repairedFunctionAccuracy",
+              Report.RepairedEval.functionAccuracy());
+  Summary.set("baselineStatementAccuracy",
+              Report.BaselineEval.statementAccuracy());
+  Summary.set("repairedStatementAccuracy",
+              Report.RepairedEval.statementAccuracy());
+  Summary.set("functionsFlagged",
+              static_cast<uint64_t>(Report.FunctionsFlagged));
+  Summary.set("functionsRepaired",
+              static_cast<uint64_t>(Report.FunctionsRepaired));
+  Summary.set("statementsAutoRepaired",
+              static_cast<uint64_t>(Report.StatementsAutoRepaired));
+  Summary.set("candidatesTried",
+              static_cast<uint64_t>(Report.CandidatesTried));
+  Json Hours = Json::object();
+  Json DevA = Json::object();
+  DevA.set("baseline", Report.BaselineHoursA);
+  DevA.set("repaired", Report.RepairedHoursA);
+  Hours.set("developerA", std::move(DevA));
+  Json DevB = Json::object();
+  DevB.set("baseline", Report.BaselineHoursB);
+  DevB.set("repaired", Report.RepairedHoursB);
+  Hours.set("developerB", std::move(DevB));
+  Summary.set("repairHours", std::move(Hours));
+  Doc.set("summary", std::move(Summary));
+
+  Json Rounds = Json::array();
+  for (const repair::RoundStats &R : Report.Rounds) {
+    Json Round = Json::object();
+    Round.set("round", R.Round);
+    Round.set("functionsRepaired", static_cast<uint64_t>(R.FunctionsRepaired));
+    Round.set("functionAccuracy", R.FunctionAccuracy);
+    Rounds.push(std::move(Round));
+  }
+  Doc.set("rounds", std::move(Rounds));
+
+  Json Functions = Json::array();
+  for (const repair::FunctionRepair &F : Report.Functions) {
+    Json Fn = Json::object();
+    Fn.set("interface", F.InterfaceName);
+    Fn.set("module", moduleName(F.Module));
+    Fn.set("baselineEmitted", F.BaselineEmitted);
+    Fn.set("repairedPassed", F.RepairedPassed);
+    Fn.set("repairedAtRound", F.RepairedAtRound);
+    Fn.set("sitesExamined", static_cast<uint64_t>(F.SitesExamined));
+    Fn.set("candidatesTried", static_cast<uint64_t>(F.CandidatesTried));
+    Fn.set("statementsReplaced", static_cast<uint64_t>(F.StatementsReplaced));
+    Functions.push(std::move(Fn));
+  }
+  Doc.set("functions", std::move(Functions));
+
+  Json Repairs = Json::array();
+  for (const repair::StatementRepair &R : Report.Repairs) {
+    Json Rep = Json::object();
+    Rep.set("interface", R.InterfaceName);
+    Rep.set("module", moduleName(R.Module));
+    Rep.set("row", R.RowIndex);
+    if (!R.CandidateValue.empty())
+      Rep.set("candidate", R.CandidateValue);
+    Rep.set("oldText", R.OldText);
+    Rep.set("newText", R.NewText);
+    Rep.set("oldEmitted", R.OldEmitted);
+    Rep.set("newEmitted", R.NewEmitted);
+    Rep.set("oldConfidence", R.OldConfidence);
+    Rep.set("newConfidence", R.NewConfidence);
+    Rep.set("round", R.Round);
+    Repairs.push(std::move(Rep));
+  }
+  Doc.set("repairs", std::move(Repairs));
+
+  Doc.set("backend", backendToJson(Report.RepairedBackend));
+  return Doc;
+}
+
 int vega::serve::rpcCodeFor(StatusCode Code) {
   switch (Code) {
   case StatusCode::Ok:

@@ -20,6 +20,7 @@
 
 #include "core/Pipeline.h"
 #include "eval/Harness.h"
+#include "repair/RepairEngine.h"
 #include "support/Json.h"
 #include "support/Status.h"
 
@@ -37,6 +38,14 @@ Json backendToJson(const GeneratedBackend &Backend);
 /// Renders an evaluation report as a "vega-eval-1" document (deterministic,
 /// same reasoning).
 Json evalToJson(const BackendEval &Eval);
+
+/// Renders a repair report as a "vega-repair-1" document: options echo,
+/// summary (baseline pass@1 vs per-round pass@k vs post-repair accuracy,
+/// repair-hour deltas for both developer profiles), per-round stats, the
+/// committed statement repairs, per-function outcomes, and the repaired
+/// backend as a nested "vega-backend-1". Deterministic and timing-free like
+/// the other schemas — byte-identical at any job count.
+Json repairToJson(const repair::RepairReport &Report);
 
 /// JSON-RPC error codes. The spec-reserved codes are used verbatim;
 /// vega::Status codes map into the implementation-defined -320xx range.

@@ -147,7 +147,8 @@ VegaServer::processBatch(const std::vector<std::string> &Lines) {
     S.Request = parseRpcRequest(Line);
     if (S.Request.isOk()) {
       const RpcRequest &Request = *S.Request;
-      if (Request.Method == "generate" || Request.Method == "evaluate") {
+      if (Request.Method == "generate" || Request.Method == "evaluate" ||
+          Request.Method == "repair") {
         std::string Target = Request.Params.getString("target");
         if (!Target.empty() &&
             Session.corpus().targets().find(Target) != nullptr) {
@@ -213,7 +214,7 @@ VegaServer::processBatch(const std::vector<std::string> &Lines) {
         Result.set("ok", true);
         Response = makeRpcResult(Request.Id, std::move(Result));
       } else if (Request.Method == "generate" ||
-                 Request.Method == "evaluate") {
+                 Request.Method == "evaluate" || Request.Method == "repair") {
         std::string Target = Request.Params.getString("target");
         if (Target.empty()) {
           Response = Fail(makeRpcError(
@@ -228,6 +229,24 @@ VegaServer::processBatch(const std::vector<std::string> &Lines) {
           const GeneratedBackend &Generated = Backends.at(Target);
           if (Request.Method == "generate") {
             Response = makeRpcResult(Request.Id, backendToJson(Generated));
+          } else if (Request.Method == "repair") {
+            // Repair shares the batch's generate fan-out and then runs the
+            // per-request engine; the report is deterministic, so batching
+            // does not change the payload.
+            repair::RepairOptions Opts;
+            Opts.BeamWidth = static_cast<int>(
+                Request.Params.getNumber("beamWidth", Opts.BeamWidth));
+            Opts.MaxRounds = static_cast<int>(
+                Request.Params.getNumber("maxRounds", Opts.MaxRounds));
+            Opts.CSThreshold =
+                Request.Params.getNumber("csThreshold", Opts.CSThreshold);
+            repair::RepairEngine Engine(Session.system(), Opts);
+            StatusOr<repair::RepairReport> Report =
+                Engine.repairBackend(Generated);
+            if (Report.isOk())
+              Response = makeRpcResult(Request.Id, repairToJson(*Report));
+            else
+              Response = Fail(makeRpcError(Request.Id, Report.status()));
           } else {
             const Backend *Golden = Session.corpus().backend(Target);
             const TargetTraits *Traits =

@@ -132,6 +132,31 @@ TEST(Harness, ModuleAggregatesSumToTotals) {
   EXPECT_EQ(Total, GB.Functions.size());
 }
 
+TEST(Harness, EmptyEvalReportsZeroNotNan) {
+  // Accuracy over an empty population must be 0.0, never a 0/0 NaN: an
+  // empty BackendEval flows into JSON summaries and effort totals, and a
+  // NaN would poison both.
+  BackendEval Empty;
+  EXPECT_DOUBLE_EQ(Empty.functionAccuracy(), 0.0);
+  EXPECT_DOUBLE_EQ(Empty.statementAccuracy(), 0.0);
+  EXPECT_DOUBLE_EQ(Empty.errVRate(), 0.0);
+  EXPECT_DOUBLE_EQ(Empty.errCSRate(), 0.0);
+  EXPECT_DOUBLE_EQ(Empty.errDefRate(), 0.0);
+  for (BackendModule M : AllModules)
+    EXPECT_DOUBLE_EQ(Empty.functionAccuracy(M), 0.0) << moduleName(M);
+  EXPECT_DOUBLE_EQ(totalRepairHours(Empty, developerA()), 0.0);
+
+  // Same for a population with no *generated* functions: the function with
+  // GoldenExists=false, Generated=false contributes to no denominator.
+  BackendEval Phantom;
+  FunctionEval FE;
+  FE.InterfaceName = "ghost";
+  FE.Module = BackendModule::SEL;
+  Phantom.Functions.push_back(FE);
+  EXPECT_DOUBLE_EQ(Phantom.functionAccuracy(), 0.0);
+  EXPECT_DOUBLE_EQ(Phantom.functionAccuracy(BackendModule::REG), 0.0);
+}
+
 TEST(EffortModel, CalibrationReproducesTable4Totals) {
   // Feeding the paper's Table 3 manual counts must reproduce Table 4 hours.
   BackendEval Eval;

@@ -308,6 +308,65 @@ TEST(CodeBE, KVCacheDecodeMatchesFullRecompute) {
     EXPECT_EQ(Full.Probs[I], Inc.Probs[I]) << "position " << I;
 }
 
+TEST(CodeBE, BeamWidthOneMatchesGreedyAndRanksDescend) {
+  // decodeBeam is the pass@k backbone of the repair engine: width 1 must
+  // reproduce the greedy decode exactly (same tie-break rule), repeated
+  // calls must be bit-identical (no RNG anywhere), and candidates must come
+  // back ranked by score.
+  Vocab V;
+  std::vector<std::string> Words;
+  for (int I = 0; I < 12; ++I) {
+    Words.push_back("bm" + std::to_string(I));
+    V.addToken(Words.back());
+  }
+  CodeBEConfig C;
+  C.Epochs = 6;
+  C.MaxSrcLen = 8;
+  C.MaxDstLen = 6;
+  C.LearningRate = 2e-3f;
+  std::vector<TrainPair> Data;
+  RNG Rng(29);
+  for (int I = 0; I < 120; ++I) {
+    int A = static_cast<int>(Rng.nextBelow(12));
+    int B = static_cast<int>(Rng.nextBelow(12));
+    TrainPair P;
+    P.Src = {V.clsId(), V.idOf(Words[static_cast<size_t>(A)]),
+             V.idOf(Words[static_cast<size_t>(B)])};
+    P.Dst = {V.csId(20), V.idOf(Words[static_cast<size_t>(B)]),
+             V.idOf(Words[static_cast<size_t>(A)]), V.eosId()};
+    Data.push_back(P);
+  }
+  CodeBE Model(V, C);
+  Model.train(Data);
+
+  RNG Pick(31);
+  for (int Case = 0; Case < 10; ++Case) {
+    std::vector<int> Src = {V.clsId(), V.idOf(Words[Pick.nextBelow(12)]),
+                            V.idOf(Words[Pick.nextBelow(12)])};
+    CodeBE::Decoded Greedy = Model.generate(Src);
+    std::vector<CodeBE::BeamHypothesis> One = Model.decodeBeam(Src, 1);
+    ASSERT_FALSE(One.empty()) << "case " << Case;
+    EXPECT_EQ(One[0].Tokens, Greedy.Tokens) << "case " << Case;
+
+    std::vector<CodeBE::BeamHypothesis> Four = Model.decodeBeam(Src, 4);
+    std::vector<CodeBE::BeamHypothesis> FourAgain = Model.decodeBeam(Src, 4);
+    ASSERT_EQ(Four.size(), FourAgain.size()) << "case " << Case;
+    EXPECT_LE(Four.size(), 4u);
+    for (size_t I = 0; I < Four.size(); ++I) {
+      EXPECT_EQ(Four[I].Tokens, FourAgain[I].Tokens) << "case " << Case;
+      EXPECT_EQ(Four[I].Score, FourAgain[I].Score) << "case " << Case;
+      if (I > 0)
+        EXPECT_LE(Four[I].Score, Four[I - 1].Score)
+            << "case " << Case << " rank " << I;
+    }
+    // Candidates are distinct statements, not duplicates.
+    for (size_t I = 0; I < Four.size(); ++I)
+      for (size_t J = I + 1; J < Four.size(); ++J)
+        EXPECT_NE(Four[I].Tokens, Four[J].Tokens)
+            << "case " << Case << " ranks " << I << "/" << J;
+  }
+}
+
 TEST(CodeBE, ConstrainedDecodingRestrictsOutput) {
   Vocab V;
   int A = V.addToken("aaa"), B = V.addToken("bbb");

@@ -9,6 +9,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 using namespace vega;
 
 namespace {
@@ -202,6 +204,37 @@ std::string canon(const GeneratedBackend &GB) {
 }
 
 } // namespace
+
+TEST(Pipeline, WeightCachePathHonorsCacheDirOverride) {
+  // README "Weight caches": an absolute WeightCachePath is used verbatim;
+  // a relative one resolves under $VEGA_CACHE_DIR when that is set and
+  // non-empty; an empty path disables caching regardless of the override.
+  VegaOptions Opts;
+
+  ::unsetenv("VEGA_CACHE_DIR");
+  Opts.WeightCachePath = "model.bin";
+  EXPECT_EQ(Opts.resolvedWeightCachePath(), "model.bin");
+  Opts.WeightCachePath = "/abs/model.bin";
+  EXPECT_EQ(Opts.resolvedWeightCachePath(), "/abs/model.bin");
+  Opts.WeightCachePath.clear();
+  EXPECT_EQ(Opts.resolvedWeightCachePath(), "");
+
+  ::setenv("VEGA_CACHE_DIR", "/tmp/vega-caches", 1);
+  Opts.WeightCachePath = "model.bin";
+  EXPECT_EQ(Opts.resolvedWeightCachePath(), "/tmp/vega-caches/model.bin");
+  Opts.WeightCachePath = "/abs/model.bin"; // absolute wins over the override
+  EXPECT_EQ(Opts.resolvedWeightCachePath(), "/abs/model.bin");
+  Opts.WeightCachePath.clear(); // empty still means "no cache"
+  EXPECT_EQ(Opts.resolvedWeightCachePath(), "");
+
+  ::setenv("VEGA_CACHE_DIR", "/tmp/vega-caches/", 1); // trailing slash ok
+  Opts.WeightCachePath = "model.bin";
+  EXPECT_EQ(Opts.resolvedWeightCachePath(), "/tmp/vega-caches/model.bin");
+
+  ::setenv("VEGA_CACHE_DIR", "", 1); // empty override = disabled
+  EXPECT_EQ(Opts.resolvedWeightCachePath(), "model.bin");
+  ::unsetenv("VEGA_CACHE_DIR");
+}
 
 TEST(Pipeline, GeneratedBackendIsIdenticalAcrossJobCounts) {
   // The hard Stage-3 invariant: the worker pool only changes who computes

@@ -1,0 +1,195 @@
+//===- tests/RepairTest.cpp - auto-repair engine tests -------------------------===//
+//
+// Part of the VEGA reproduction project.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+///
+/// Exercises repair::RepairEngine against a shared one-epoch session: the
+/// oracle-gated acceptance invariant (post-repair accuracy can never drop,
+/// and every committed repair re-validates against the golden regression
+/// suite), option validation, the report's internal consistency, and the
+/// determinism contract (the "vega-repair-1" rendering is byte-identical
+/// across repair job counts).
+///
+//===----------------------------------------------------------------------===//
+
+#include "repair/RepairEngine.h"
+
+#include "core/VegaSession.h"
+#include "serve/Protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+using namespace vega;
+
+namespace {
+
+VegaSession &session() {
+  static std::unique_ptr<VegaSession> S = [] {
+    VegaOptions Opts;
+    Opts.Model.Epochs = 1;
+    Opts.Verbose = false;
+    StatusOr<std::unique_ptr<VegaSession>> Built = VegaSession::build(Opts);
+    if (!Built.isOk()) {
+      std::fprintf(stderr, "session build failed: %s\n",
+                   Built.status().toString().c_str());
+      std::abort();
+    }
+    return std::move(*Built);
+  }();
+  return *S;
+}
+
+const GeneratedBackend &riscvBackend() {
+  static StatusOr<GeneratedBackend> GB = session().generate("RISCV");
+  if (!GB.isOk()) {
+    std::fprintf(stderr, "generate failed: %s\n",
+                 GB.status().toString().c_str());
+    std::abort();
+  }
+  return *GB;
+}
+
+} // namespace
+
+TEST(Repair, OptionValidation) {
+  repair::RepairOptions Opts;
+  EXPECT_TRUE(Opts.validate().isOk());
+  Opts.BeamWidth = 0;
+  EXPECT_EQ(Opts.validate().code(), StatusCode::InvalidArgument);
+  Opts = {};
+  Opts.MaxRounds = 0;
+  EXPECT_EQ(Opts.validate().code(), StatusCode::InvalidArgument);
+  Opts = {};
+  Opts.CSThreshold = 1.5;
+  EXPECT_EQ(Opts.validate().code(), StatusCode::InvalidArgument);
+  Opts = {};
+  Opts.MaxSitesPerFunction = 0;
+  EXPECT_EQ(Opts.validate().code(), StatusCode::InvalidArgument);
+
+  repair::RepairEngine Engine(session().system(), repair::RepairOptions{});
+  GeneratedBackend Bogus;
+  Bogus.TargetName = "NoSuchTarget";
+  StatusOr<repair::RepairReport> Report = Engine.repairBackend(Bogus);
+  EXPECT_EQ(Report.status().code(), StatusCode::InvalidArgument);
+}
+
+TEST(Repair, OracleGatedRepairNeverRegresses) {
+  repair::RepairOptions Opts;
+  Opts.BeamWidth = 4;
+  Opts.MaxRounds = 2;
+  repair::RepairEngine Engine(session().system(), Opts);
+  StatusOr<repair::RepairReport> Report = Engine.repairBackend(riscvBackend());
+  ASSERT_TRUE(Report.isOk()) << Report.status().toString();
+
+  double Before = Report->BaselineEval.functionAccuracy();
+  double After = Report->RepairedEval.functionAccuracy();
+  EXPECT_GE(After, Before);
+  EXPECT_LE(Report->FunctionsRepaired, Report->FunctionsFlagged);
+  EXPECT_EQ(Report->Functions.size(), Report->FunctionsFlagged);
+  ASSERT_EQ(Report->Rounds.size(), static_cast<size_t>(Opts.MaxRounds));
+  // Round accuracies are cumulative, start at/above baseline, and the
+  // final round matches the re-evaluated repaired backend exactly.
+  double Prev = Before;
+  for (const repair::RoundStats &R : Report->Rounds) {
+    EXPECT_GE(R.FunctionAccuracy, Prev);
+    Prev = R.FunctionAccuracy;
+  }
+  EXPECT_NEAR(Report->Rounds.back().FunctionAccuracy, After, 1e-12);
+
+  // Every committed repair re-validates behaviourally: the repaired
+  // function must pass the same golden regression suite the engine used.
+  const Backend *Golden = session().corpus().backend("RISCV");
+  const TargetTraits *Traits = session().corpus().targets().find("RISCV");
+  ASSERT_NE(Golden, nullptr);
+  ASSERT_NE(Traits, nullptr);
+  size_t Validated = 0;
+  for (const repair::FunctionRepair &F : Report->Functions) {
+    if (!F.RepairedPassed)
+      continue;
+    EXPECT_GT(F.RepairedAtRound, 0) << F.InterfaceName;
+    const GeneratedFunction *Repaired =
+        Report->RepairedBackend.find(F.InterfaceName);
+    const BackendFunction *Gold = Golden->find(F.InterfaceName);
+    ASSERT_NE(Repaired, nullptr) << F.InterfaceName;
+    ASSERT_NE(Gold, nullptr) << F.InterfaceName;
+    EXPECT_TRUE(Repaired->Emitted) << F.InterfaceName;
+    EXPECT_TRUE(functionPassesRegression(Repaired->AST, Gold->AST,
+                                         F.InterfaceName, *Traits))
+        << F.InterfaceName;
+    ++Validated;
+  }
+  EXPECT_EQ(Validated, Report->FunctionsRepaired);
+  // Untouched (unrepaired) functions are byte-identical to the baseline.
+  ASSERT_EQ(Report->RepairedBackend.Functions.size(),
+            riscvBackend().Functions.size());
+  for (size_t I = 0; I < riscvBackend().Functions.size(); ++I) {
+    const GeneratedFunction &Base = riscvBackend().Functions[I];
+    const GeneratedFunction &Rep = Report->RepairedBackend.Functions[I];
+    bool WasRepaired = false;
+    for (const repair::FunctionRepair &F : Report->Functions)
+      if (F.InterfaceName == Base.InterfaceName && F.RepairedPassed)
+        WasRepaired = true;
+    if (WasRepaired)
+      continue;
+    EXPECT_EQ(Base.Emitted, Rep.Emitted) << Base.InterfaceName;
+    if (Base.Emitted)
+      EXPECT_EQ(Base.AST.render(), Rep.AST.render()) << Base.InterfaceName;
+  }
+}
+
+TEST(Repair, ReportJsonByteIdenticalAcrossJobs) {
+  repair::RepairOptions Opts;
+  Opts.BeamWidth = 3;
+  Opts.MaxRounds = 1;
+  Opts.Jobs = 1;
+  repair::RepairEngine One(session().system(), Opts);
+  StatusOr<repair::RepairReport> A = One.repairBackend(riscvBackend());
+  ASSERT_TRUE(A.isOk()) << A.status().toString();
+  Opts.Jobs = 4;
+  repair::RepairEngine Four(session().system(), Opts);
+  StatusOr<repair::RepairReport> B = Four.repairBackend(riscvBackend());
+  ASSERT_TRUE(B.isOk()) << B.status().toString();
+  EXPECT_EQ(serve::repairToJson(*A).dump(2), serve::repairToJson(*B).dump(2));
+}
+
+TEST(Repair, BeamCandidatesForSiteAreRankedAndDeterministic) {
+  VegaSystem &System = session().system();
+  const GeneratedBackend &GB = riscvBackend();
+  // Pick the first emitted statement of the first emitted function.
+  const GeneratedFunction *Fn = nullptr;
+  for (const GeneratedFunction &F : GB.Functions)
+    if (F.Emitted && !F.Statements.empty()) {
+      Fn = &F;
+      break;
+    }
+  ASSERT_NE(Fn, nullptr);
+  const TemplateInfo *TI = System.findTemplate(Fn->InterfaceName);
+  ASSERT_NE(TI, nullptr);
+  const GeneratedStatement &St = Fn->Statements.front();
+  DecodeSite Site;
+  Site.RowIndex = St.RowIndex;
+  Site.CandidateValue = St.CandidateValue;
+  Site.CtxValue = St.CtxValue;
+
+  System.model()->prepareGenerate();
+  std::vector<GeneratedStatement> First =
+      System.beamCandidatesForSite(*TI, Site, "RISCV", 4);
+  std::vector<GeneratedStatement> Second =
+      System.beamCandidatesForSite(*TI, Site, "RISCV", 4);
+  ASSERT_FALSE(First.empty());
+  ASSERT_EQ(First.size(), Second.size());
+  for (size_t I = 0; I < First.size(); ++I) {
+    EXPECT_EQ(First[I].Tokens, Second[I].Tokens) << "rank " << I;
+    EXPECT_EQ(First[I].Confidence, Second[I].Confidence) << "rank " << I;
+    EXPECT_EQ(First[I].RowIndex, Site.RowIndex);
+  }
+  // Width 1 reproduces the greedy statement for this site.
+  std::vector<GeneratedStatement> Top =
+      System.beamCandidatesForSite(*TI, Site, "RISCV", 1);
+  ASSERT_EQ(Top.size(), 1u);
+  EXPECT_EQ(renderTokens(Top[0].Tokens), renderTokens(St.Tokens));
+}

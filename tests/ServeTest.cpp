@@ -157,6 +157,75 @@ TEST(Serve, EvaluateReportsSchemaAndSummary) {
   EXPECT_LE(FnAcc, 1.0);
 }
 
+TEST(Serve, ErrorTaxonomySerializesAllCombinationsInStableOrder) {
+  // The "vega-eval-1" errors array must list Err-V, Err-CS, Err-Def in
+  // that fixed order for every one of the eight flag combinations —
+  // downstream diffing (CI smoke, jobs-determinism checks) relies on the
+  // rendering being canonical.
+  for (int Mask = 0; Mask < 8; ++Mask) {
+    BackendEval Eval;
+    Eval.TargetName = "RISCV";
+    FunctionEval FE;
+    FE.InterfaceName = "combo" + std::to_string(Mask);
+    FE.GoldenExists = true;
+    FE.Generated = true;
+    FE.ErrV = (Mask & 1) != 0;
+    FE.ErrCS = (Mask & 2) != 0;
+    FE.ErrDef = (Mask & 4) != 0;
+    FE.Accurate = Mask == 0;
+    Eval.Functions.push_back(FE);
+
+    Json Doc = evalToJson(Eval);
+    ASSERT_EQ(Doc.get("functions")->size(), 1u) << "mask " << Mask;
+    const Json &Fn = Doc.get("functions")->at(0);
+    const Json *Errors = Fn.get("errors");
+    ASSERT_NE(Errors, nullptr) << "mask " << Mask;
+    std::vector<std::string> Expected;
+    if (FE.ErrV)
+      Expected.push_back("Err-V");
+    if (FE.ErrCS)
+      Expected.push_back("Err-CS");
+    if (FE.ErrDef)
+      Expected.push_back("Err-Def");
+    ASSERT_EQ(Errors->size(), Expected.size()) << "mask " << Mask;
+    for (size_t I = 0; I < Expected.size(); ++I)
+      EXPECT_EQ(Errors->at(I).asString(), Expected[I])
+          << "mask " << Mask << " index " << I;
+
+    // Round-trip: re-parsing the dump preserves the array byte-for-byte.
+    StatusOr<Json> Back = Json::parse(Doc.dump());
+    ASSERT_TRUE(Back.isOk()) << "mask " << Mask;
+    EXPECT_EQ(Back->dump(), Doc.dump()) << "mask " << Mask;
+  }
+}
+
+TEST(Serve, RepairMethodReportsSchemaAndNeverRegresses) {
+  VegaServer Server(session(), ServerOptions());
+  Json Response = parsed(Server.handleLine(
+      R"({"id":9,"method":"repair","params":{"target":"RISCV","beamWidth":2,"maxRounds":1}})"));
+  const Json *Result = Response.get("result");
+  ASSERT_NE(Result, nullptr) << Response.dump();
+  EXPECT_EQ(Result->getString("schema"), "vega-repair-1");
+  const Json *Options = Result->get("options");
+  ASSERT_NE(Options, nullptr);
+  EXPECT_EQ(Options->getNumber("beamWidth"), 2.0);
+  EXPECT_EQ(Options->getNumber("maxRounds"), 1.0);
+  const Json *Summary = Result->get("summary");
+  ASSERT_NE(Summary, nullptr);
+  double Before = Summary->getNumber("baselineFunctionAccuracy", -1);
+  double After = Summary->getNumber("repairedFunctionAccuracy", -1);
+  EXPECT_GE(Before, 0.0);
+  EXPECT_GE(After, Before);
+  ASSERT_NE(Result->get("backend"), nullptr);
+  EXPECT_EQ(Result->get("backend")->getString("schema"), "vega-backend-1");
+
+  // Unknown target surfaces the standard notFound error, same as
+  // generate/evaluate.
+  Json Bad = parsed(Server.handleLine(
+      R"({"id":10,"method":"repair","params":{"target":"Nope"}})"));
+  EXPECT_EQ(errorCode(Bad), -32001);
+}
+
 TEST(Serve, StreamTransportAnswersInOrderAndStopsOnShutdown) {
   VegaServer Server(session(), ServerOptions());
   std::istringstream In(R"({"id":1,"method":"ping"})"

@@ -20,6 +20,8 @@
 ///   vega-cli inspect                      summarize a .vega session artifact
 ///   vega-cli generate <target> [epochs]   emit a backend
 ///   vega-cli evaluate <target> [epochs]   generate + pass@1 report
+///   vega-cli repair <target> [epochs]     generate + beam-search auto-repair
+///                                         (--beam/--rounds; report per round)
 ///   vega-cli forkflow <target>            evaluate the MIPS fork baseline
 ///
 /// With --session=<file.vega>, generate/evaluate load the saved session and
@@ -39,6 +41,7 @@
 #include "eval/Harness.h"
 #include "forkflow/ForkFlow.h"
 #include "obs/Metrics.h"
+#include "repair/RepairEngine.h"
 #include "obs/Trace.h"
 #include "serve/Protocol.h"
 #include "support/ArgParse.h"
@@ -347,6 +350,62 @@ int cmdEvaluate(const std::string &Target, int Epochs) {
   return 0;
 }
 
+int cmdRepair(const std::string &Target, int Epochs, int BeamWidth,
+              int MaxRounds) {
+  StatusOr<VegaSession *> S = session(Epochs);
+  if (!S.isOk())
+    return fail(S.status());
+  StatusOr<GeneratedBackend> GB = (*S)->generate(Target);
+  if (!GB.isOk())
+    return fail(GB.status());
+  repair::RepairOptions Opts;
+  Opts.BeamWidth = BeamWidth;
+  Opts.MaxRounds = MaxRounds;
+  Opts.Jobs = Cli.Jobs;
+  repair::RepairEngine Engine((*S)->system(), Opts);
+  StatusOr<repair::RepairReport> Report = Engine.repairBackend(*GB);
+  if (!Report.isOk())
+    return fail(Report.status());
+  if (Cli.JsonOut) {
+    std::printf("%s\n", serve::repairToJson(*Report).dump(2).c_str());
+    return 0;
+  }
+  TextTable Table;
+  Table.setHeader({"Function", "Module", "Repaired", "Round", "Sites",
+                   "Tried", "Replaced"});
+  for (const repair::FunctionRepair &F : Report->Functions)
+    Table.addRow({F.InterfaceName, moduleName(F.Module),
+                  F.RepairedPassed ? "yes" : "no",
+                  F.RepairedAtRound > 0 ? std::to_string(F.RepairedAtRound)
+                                        : "-",
+                  std::to_string(F.SitesExamined),
+                  std::to_string(F.CandidatesTried),
+                  std::to_string(F.StatementsReplaced)});
+  std::printf("%s\n", Table.render().c_str());
+  std::printf("flagged %llu, repaired %llu (%llu statements, "
+              "%llu candidates tried)\n",
+              static_cast<unsigned long long>(Report->FunctionsFlagged),
+              static_cast<unsigned long long>(Report->FunctionsRepaired),
+              static_cast<unsigned long long>(Report->StatementsAutoRepaired),
+              static_cast<unsigned long long>(Report->CandidatesTried));
+  for (const repair::RoundStats &R : Report->Rounds)
+    std::printf("round %d: pass@k %s\n", R.Round,
+                TextTable::formatPercent(R.FunctionAccuracy).c_str());
+  std::printf(
+      "function accuracy: %s -> %s   statement accuracy: %s -> %s\n",
+      TextTable::formatPercent(Report->BaselineEval.functionAccuracy())
+          .c_str(),
+      TextTable::formatPercent(Report->RepairedEval.functionAccuracy())
+          .c_str(),
+      TextTable::formatPercent(Report->BaselineEval.statementAccuracy())
+          .c_str(),
+      TextTable::formatPercent(Report->RepairedEval.statementAccuracy())
+          .c_str());
+  std::printf("estimated repair hours (Developer A model): %.2f -> %.2f\n",
+              Report->BaselineHoursA, Report->RepairedHoursA);
+  return 0;
+}
+
 int cmdForkflow(const std::string &Target) {
   if (!corpus().targets().find(Target))
     return fail(Status::notFound("unknown target '" + Target + "'"));
@@ -387,7 +446,9 @@ int main(int argc, char **argv) {
   Args.addOption("session", "file.vega",
                  "load (generate/evaluate/inspect) or write (build) a "
                  "session artifact");
-  Args.addFlag("json", "emit generate/evaluate/inspect results as JSON");
+  Args.addFlag("json", "emit generate/evaluate/repair/inspect results as JSON");
+  Args.addOption("beam", "N", "repair: ranked candidates per site (default 4)");
+  Args.addOption("rounds", "N", "repair: fixed-point round cap (default 2)");
   Args.addOption("trace-out", "file", "write a Chrome/Perfetto trace on exit");
   Args.addOption("metrics-out", "file", "write metrics JSON on exit");
   Args.addFlag("stats", "print a text metrics summary on exit");
@@ -407,6 +468,8 @@ int main(int argc, char **argv) {
   Args.addCommand("generate", "<target> [epochs]", "emit a backend", 1, 2);
   Args.addCommand("evaluate", "<target> [epochs]",
                   "generate + pass@1 report", 1, 2);
+  Args.addCommand("repair", "<target> [epochs]",
+                  "generate + beam-search auto-repair report", 1, 2);
   Args.addCommand("forkflow", "<target>",
                   "evaluate the MIPS fork baseline", 1, 1);
 
@@ -463,6 +526,9 @@ int main(int argc, char **argv) {
     Rc = cmdGenerate(Pos[0], epochsArg(Pos, 1, 8));
   else if (Cmd == "evaluate")
     Rc = cmdEvaluate(Pos[0], epochsArg(Pos, 1, 8));
+  else if (Cmd == "repair")
+    Rc = cmdRepair(Pos[0], epochsArg(Pos, 1, 8), Args.getInt("beam", 4),
+                   Args.getInt("rounds", 2));
   else if (Cmd == "forkflow")
     Rc = cmdForkflow(Pos[0]);
 
