@@ -10,6 +10,7 @@
 #include "ast/Parser.h"
 #include "lexer/Lexer.h"
 #include "obs/Metrics.h"
+#include "obs/Request.h"
 #include "obs/Trace.h"
 #include "support/RNG.h"
 #include "support/StringUtils.h"
@@ -960,6 +961,11 @@ GeneratedFunction VegaSystem::generateFunction(const TemplateInfo &TI,
 GeneratedFunction VegaSystem::assembleFunction(const TemplateInfo &TI,
                                                const std::string &TargetName,
                                                const SiteChooser &Choose) {
+  // Inside a serve batch, attribute this function's spans to the request
+  // that asked for the target (first submitter under dedup). Outside a
+  // fan-out boundRequest is nullptr and the scope keeps the current
+  // context, so offline paths see no change.
+  obs::RequestScope ReqScope(obs::boundRequest(TargetName));
   // One span per function, named after its backend module so per-module
   // time (Fig. 7) is a plain aggregation over the trace. Worker-lane spans
   // carry their thread id (Perfetto shows one lane per worker).

@@ -182,7 +182,7 @@ StatusOr<TrainResult> Trainer::run(const std::vector<TrainPair> &Data) {
     Metrics.addCounter("train.examples", Count);
     // One histogram sample per epoch: exports keep the whole loss curve
     // instead of a last-write-wins gauge.
-    Metrics.observe("train.epoch_loss", MeanLoss, 0.0, 16.0, 32);
+    Metrics.observe("train.epoch_loss", MeanLoss); // shape declared centrally
     Metrics.setGauge("train.examples_per_sec", Rate);
     EpochSpan.arg("mean_loss", formatDouble(MeanLoss));
     EpochSpan.arg("examples_per_sec", formatDouble(Rate));

@@ -1,0 +1,91 @@
+//===- obs/Log.cpp - Structured NDJSON logging -------------------------------===//
+//
+// Part of the VEGA reproduction project.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Log.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+using namespace vega;
+using namespace vega::obs;
+
+const char *obs::logLevelName(LogLevel Level) {
+  switch (Level) {
+  case LogLevel::Debug:
+    return "debug";
+  case LogLevel::Info:
+    return "info";
+  case LogLevel::Warn:
+    return "warn";
+  case LogLevel::Error:
+    return "error";
+  case LogLevel::Off:
+    return "off";
+  }
+  return "off";
+}
+
+std::optional<LogLevel> Logger::parseLevel(const std::string &Name) {
+  if (Name == "debug")
+    return LogLevel::Debug;
+  if (Name == "info")
+    return LogLevel::Info;
+  if (Name == "warn" || Name == "warning")
+    return LogLevel::Warn;
+  if (Name == "error")
+    return LogLevel::Error;
+  if (Name == "off" || Name == "none")
+    return LogLevel::Off;
+  return std::nullopt;
+}
+
+Logger::Logger() : Level(static_cast<uint8_t>(LogLevel::Off)) {
+  if (const char *Env = std::getenv("VEGA_LOG"))
+    if (std::optional<LogLevel> L = parseLevel(Env))
+      Level.store(static_cast<uint8_t>(*L), std::memory_order_relaxed);
+}
+
+Logger &Logger::instance() {
+  static Logger L;
+  return L;
+}
+
+void Logger::setSink(std::ostream *NewSink) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Sink = NewSink;
+}
+
+void Logger::log(LogLevel L, const std::string &Event, const Json &Fields) {
+  if (!enabled(L))
+    return;
+  double Ts = std::chrono::duration<double>(
+                  std::chrono::system_clock::now().time_since_epoch())
+                  .count();
+  Json Line = Json::object();
+  // Millisecond timestamp resolution keeps the line stable under %.6g-style
+  // double formatting of large epoch values.
+  char TsBuf[40];
+  std::snprintf(TsBuf, sizeof(TsBuf), "%.3f", Ts);
+  Line.set("ts", Json(std::string(TsBuf)));
+  Line.set("level", logLevelName(L));
+  Line.set("event", Event);
+  if (Fields.isObject())
+    for (const auto &[Key, Value] : Fields.fields())
+      Line.set(Key, Value);
+
+  std::string Out = Line.dump();
+  Out += '\n';
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (Sink) {
+    (*Sink) << Out << std::flush;
+  } else {
+    std::fwrite(Out.data(), 1, Out.size(), stderr);
+    std::fflush(stderr);
+  }
+}

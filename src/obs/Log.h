@@ -1,0 +1,77 @@
+//===- obs/Log.h - Structured NDJSON logging ---------------------*- C++ -*-===//
+//
+// Part of the VEGA reproduction project.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A process-wide structured logger emitting one JSON object per line
+/// (NDJSON) to stderr — machine-parseable request completion lines, slow-
+/// request flight-recorder dumps, daemon lifecycle notes. Levels follow the
+/// usual severity ladder; the initial level comes from the VEGA_LOG
+/// environment variable (debug|info|warn|error|off) and tools override it
+/// with --log-level. Disabled (the default, Off) costs one atomic load per
+/// call site.
+///
+/// Log lines never carry payload data that feeds back into generation, so
+/// logging on/off cannot change any generated backend byte.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VEGA_OBS_LOG_H
+#define VEGA_OBS_LOG_H
+
+#include "support/Json.h"
+
+#include <atomic>
+#include <iosfwd>
+#include <mutex>
+#include <optional>
+#include <string>
+
+namespace vega {
+namespace obs {
+
+enum class LogLevel : uint8_t { Debug = 0, Info, Warn, Error, Off };
+
+/// The level's lowercase wire spelling ("debug", ..., "off").
+const char *logLevelName(LogLevel Level);
+
+class Logger {
+public:
+  /// The process logger. First use seeds the level from VEGA_LOG (default
+  /// Off).
+  static Logger &instance();
+
+  /// Parses a level name; nullopt on anything unrecognized.
+  static std::optional<LogLevel> parseLevel(const std::string &Name);
+
+  void setLevel(LogLevel Level) {
+    this->Level.store(static_cast<uint8_t>(Level), std::memory_order_relaxed);
+  }
+  LogLevel level() const {
+    return static_cast<LogLevel>(Level.load(std::memory_order_relaxed));
+  }
+  bool enabled(LogLevel L) const { return L >= level() && level() != LogLevel::Off; }
+
+  /// Emits one NDJSON line: {"ts":<unix seconds>,"level":...,"event":...}
+  /// merged with the fields of \p Fields (which must be an object or null).
+  /// A no-op below the current level.
+  void log(LogLevel L, const std::string &Event, const Json &Fields = Json());
+
+  /// Redirects output (tests). nullptr restores the default (stderr).
+  void setSink(std::ostream *NewSink);
+
+private:
+  Logger();
+
+  std::atomic<uint8_t> Level;
+  std::mutex Mu;
+  std::ostream *Sink = nullptr; ///< guarded by Mu; nullptr → stderr
+};
+
+} // namespace obs
+} // namespace vega
+
+#endif // VEGA_OBS_LOG_H

@@ -7,10 +7,18 @@
 ///
 /// \file
 /// A process-wide, thread-safe metrics registry: monotonically increasing
-/// counters, last-write-wins gauges, and fixed-bucket histograms (e.g. the
-/// per-statement confidence distribution and the tokens-decoded
-/// distribution). Like the TraceRecorder, it is disabled by default and a
-/// disabled mutation costs one atomic load.
+/// counters (optionally labeled, e.g. serve.requests{method,code}),
+/// last-write-wins gauges, and fixed-bucket histograms — linear (the
+/// per-statement confidence distribution) or log-bucketed (request
+/// latencies, where p50 and p99 live decades apart). Histograms are
+/// bounded-memory and mergeable, and answer quantile queries by
+/// interpolating inside the hit bucket. Like the TraceRecorder, the
+/// registry is disabled by default and a disabled mutation costs one atomic
+/// load.
+///
+/// Histogram *shapes* are declared centrally (declareHistogram at registry
+/// construction) so call sites can observe by name alone and two call sites
+/// can never race to define different bucket layouts for one metric.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -23,15 +31,23 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace vega {
 namespace obs {
 
-/// A fixed-bucket histogram over [Lo, Hi). Out-of-range observations clamp
-/// into the first/last bucket so Count always equals the sum of Buckets.
+/// One key=value metric label.
+using MetricLabel = std::pair<std::string, std::string>;
+
+/// A fixed-bucket histogram over [Lo, Hi). Buckets are uniform in value
+/// (linear) or uniform in log-space (LogScale, for quantities spanning
+/// decades). Out-of-range observations clamp into the first/last bucket so
+/// Count always equals the sum of Buckets; memory is bounded by the bucket
+/// vector alone.
 struct Histogram {
   double Lo = 0.0, Hi = 1.0;
+  bool LogScale = false;
   std::vector<uint64_t> Buckets;
   uint64_t Count = 0;
   double Sum = 0.0;
@@ -40,9 +56,27 @@ struct Histogram {
   /// Index of the bucket \p Value falls into (clamped to the edge buckets).
   size_t bucketFor(double Value) const;
 
+  /// The lower / upper value bound of bucket \p Idx (geometric bounds for
+  /// log-scale histograms).
+  double bucketLowerBound(size_t Idx) const;
+  double bucketUpperBound(size_t Idx) const;
+
   void observe(double Value);
 
   double mean() const { return Count ? Sum / static_cast<double>(Count) : 0.0; }
+
+  /// Estimated value at quantile \p Q in [0, 1]: walks the cumulative
+  /// bucket counts to the Q-th observation and interpolates linearly inside
+  /// the hit bucket, clamped to [MinSeen, MaxSeen]. 0 when empty.
+  double quantile(double Q) const;
+
+  /// True when \p Other has the same Lo/Hi/scale/bucket count.
+  bool sameShape(const Histogram &Other) const;
+
+  /// Adds \p Other's observations into this histogram. Shapes must match
+  /// (sameShape); returns false and changes nothing otherwise. Merging N
+  /// per-worker histograms is exact: counts and sums are plain additions.
+  bool merge(const Histogram &Other);
 };
 
 class MetricsRegistry {
@@ -52,23 +86,48 @@ public:
   void setEnabled(bool On) { Enabled.store(On, std::memory_order_relaxed); }
   bool enabled() const { return Enabled.load(std::memory_order_relaxed); }
 
-  /// Drops every metric (definitions included).
+  /// Drops every metric. Centrally declared histogram shapes survive, so a
+  /// post-clear observe() still lands in the declared bucket layout.
   void clear();
 
   void addCounter(const std::string &Name, uint64_t Delta = 1);
+
+  /// Labeled counter: one series per distinct label set, stored under the
+  /// canonical key Name{k1="v1",k2="v2"} with keys sorted — call sites can
+  /// list labels in any order and always hit the same series. The unlabeled
+  /// base counter is a separate series (callers bump it explicitly when
+  /// they want a total).
+  void addCounter(const std::string &Name,
+                  const std::vector<MetricLabel> &Labels, uint64_t Delta = 1);
+
+  /// The canonical storage key for a labeled series (label keys sorted,
+  /// values quote-escaped) — also the exact Prometheus series syntax.
+  static std::string labeledName(const std::string &Name,
+                                 const std::vector<MetricLabel> &Labels);
+
   void setGauge(const std::string &Name, double Value);
 
-  /// Declares a histogram's shape. Safe to call repeatedly; the first call
-  /// wins. Works while disabled so shapes survive an enable toggle.
-  void defineHistogram(const std::string &Name, double Lo, double Hi,
-                       size_t BucketCount);
+  /// Declares a histogram's bucket layout without creating the histogram;
+  /// the first observation materializes it. Declarations are first-wins,
+  /// work while disabled, and survive clear() — this is how the registry
+  /// constructor pins the layouts of the standard metrics so call sites
+  /// cannot diverge.
+  void declareHistogram(const std::string &Name, double Lo, double Hi,
+                        size_t BucketCount, bool LogScale = false);
 
-  /// Records \p Value into histogram \p Name, defining it as 10 buckets over
-  /// [0, 1) when it does not exist yet.
+  /// Declares a histogram's shape and materializes it immediately. Safe to
+  /// call repeatedly; the first call wins. Works while disabled so shapes
+  /// survive an enable toggle.
+  void defineHistogram(const std::string &Name, double Lo, double Hi,
+                       size_t BucketCount, bool LogScale = false);
+
+  /// Records \p Value into histogram \p Name. A histogram that does not
+  /// exist yet takes its declared shape, else 10 linear buckets over [0,1).
   void observe(const std::string &Name, double Value);
 
-  /// Records \p Value, defining the histogram with the given shape when it
-  /// does not exist yet (the usual call for non-unit-interval metrics).
+  /// Records \p Value, supplying a fallback shape for a histogram that is
+  /// neither materialized nor declared. A central declaration always wins
+  /// over the call-site shape.
   void observe(const std::string &Name, double Value, double Lo, double Hi,
                size_t BucketCount);
 
@@ -79,23 +138,45 @@ public:
   /// Total number of distinct metrics (counters + gauges + histograms).
   size_t metricCount() const;
 
-  /// All metrics as one JSON object, keyed by name within kind.
+  /// All metrics as one JSON object, keyed by name within kind. Histograms
+  /// include p50/p95/p99 alongside the raw buckets.
   std::string exportJson() const;
+
+  /// Prometheus text exposition (version 0.0.4): counters as
+  /// vega_<name>_total, gauges as vega_<name>, histograms as summaries with
+  /// quantile="0.5|0.95|0.99" labels plus _sum and _count. Metric names are
+  /// sanitized ([a-zA-Z0-9_]); label sets pass through verbatim.
+  std::string exportPrometheus() const;
 
   /// Writes exportJson() to \p Path; false on I/O failure.
   bool writeJson(const std::string &Path) const;
+
+  /// Writes exportPrometheus() to \p Path; false on I/O failure.
+  bool writePrometheus(const std::string &Path) const;
 
   /// A human-readable summary (support/TextTable) for `vega-cli --stats`.
   std::string textSummary() const;
 
 private:
-  MetricsRegistry() = default;
+  MetricsRegistry();
+
+  struct HistogramShape {
+    double Lo, Hi;
+    size_t BucketCount;
+    bool LogScale;
+  };
+
+  /// Materializes \p Name using its declared shape, else \p Fallback.
+  /// Caller holds Mu.
+  Histogram &materializeLocked(const std::string &Name,
+                               const HistogramShape &Fallback);
 
   std::atomic<bool> Enabled{false};
   mutable std::mutex Mu;
   std::map<std::string, uint64_t> Counters;
   std::map<std::string, double> Gauges;
   std::map<std::string, Histogram> Histograms;
+  std::map<std::string, HistogramShape> Declared; ///< survives clear()
 };
 
 } // namespace obs

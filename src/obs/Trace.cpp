@@ -7,9 +7,12 @@
 
 #include "obs/Trace.h"
 
+#include "obs/Request.h"
+
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
+#include <map>
 #include <thread>
 
 using namespace vega;
@@ -109,6 +112,11 @@ std::vector<TraceEvent> TraceRecorder::snapshot() const {
 
 std::string TraceRecorder::exportChromeTrace() const {
   std::vector<TraceEvent> Sorted = snapshot();
+  // Fold the full-width thread-id hashes to dense tids by first appearance
+  // in start order; a modulo fold could alias two threads onto one row.
+  std::map<uint64_t, uint64_t> TidByThread;
+  for (const TraceEvent &E : Sorted)
+    TidByThread.emplace(E.ThreadId, TidByThread.size());
   std::string Out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   bool First = true;
   for (const TraceEvent &E : Sorted) {
@@ -118,8 +126,8 @@ std::string TraceRecorder::exportChromeTrace() const {
     Out += "\n{\"name\":\"" + jsonEscape(E.Name) + "\",\"cat\":\"" +
            jsonEscape(E.Category) + "\",\"ph\":\"X\",\"ts\":" +
            formatUs(E.StartUs) + ",\"dur\":" + formatUs(E.DurUs) +
-           ",\"pid\":1,\"tid\":" + std::to_string(E.ThreadId % 100000) +
-           ",\"args\":{";
+           ",\"pid\":1,\"tid\":" +
+           std::to_string(TidByThread.at(E.ThreadId)) + ",\"args\":{";
     bool FirstArg = true;
     for (const auto &[K, V] : E.Args) {
       if (!FirstArg)
@@ -146,9 +154,14 @@ bool TraceRecorder::writeChromeTrace(const std::string &Path) const {
 Span::Span(std::string Name, std::string Category)
     : Name(std::move(Name)), Category(std::move(Category)),
       Start(std::chrono::steady_clock::now()),
+      Ctx(RequestContext::current()),
       Recording(TraceRecorder::instance().enabled()) {
-  if (Recording)
+  if (Recording) {
     Depth = CurrentDepth++;
+    TrackedDepth = true;
+    if (Ctx)
+      Args.emplace_back("req", std::to_string(Ctx->id()));
+  }
 }
 
 Span::~Span() { close(); }
@@ -172,8 +185,22 @@ double Span::close() {
   auto End = std::chrono::steady_clock::now();
   ElapsedSec = std::chrono::duration<double>(End - Start).count();
   Closed = true;
-  if (Recording) {
+  // Depth is balanced against TrackedDepth, not the recorder's *current*
+  // enabled state: a toggle mid-span must not leave CurrentDepth skewed.
+  if (TrackedDepth)
     --CurrentDepth;
+  // The flight-recorder ring captures the span whether or not the global
+  // recorder is on — slow-request dumps work without --trace-out.
+  if (Ctx) {
+    RequestContext::SpanRecord R;
+    R.Name = Name;
+    R.Category = Category;
+    R.StartUs = Ctx->sinceStartUs(Start);
+    R.DurUs = ElapsedSec * 1e6;
+    R.ThreadId = currentThreadId();
+    Ctx->recordSpan(std::move(R));
+  }
+  if (Recording) {
     TraceRecorder &Rec = TraceRecorder::instance();
     TraceEvent E;
     E.Name = std::move(Name);

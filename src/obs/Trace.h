@@ -32,6 +32,8 @@
 namespace vega {
 namespace obs {
 
+class RequestContext;
+
 /// One completed span ("X" phase event in the Chrome trace format).
 struct TraceEvent {
   std::string Name;
@@ -59,7 +61,9 @@ public:
   /// A copy of the recorded events, ordered by start time.
   std::vector<TraceEvent> snapshot() const;
 
-  /// The full trace as Chrome-trace JSON ({"traceEvents": [...]}).
+  /// The full trace as Chrome-trace JSON ({"traceEvents": [...]}). Raw
+  /// thread-id hashes are folded to small dense tids in order of first
+  /// appearance, so two threads can never collide onto one trace row.
   std::string exportChromeTrace() const;
 
   /// Writes exportChromeTrace() to \p Path; false on I/O failure.
@@ -80,7 +84,15 @@ private:
 
 /// A scoped span. Construction samples the clock; destruction (or an
 /// explicit close()) records a TraceEvent when the recorder was enabled at
-/// construction time. Spans nest per thread via a thread-local depth.
+/// construction time. Spans nest per thread via a thread-local depth; the
+/// depth counter is balanced against construction-time state (TrackedDepth)
+/// so toggling the recorder mid-span — in either direction — cannot skew
+/// the accounting for later spans.
+///
+/// A span constructed while a RequestContext is current is additionally
+/// attributed to that request: the recorded trace event carries a
+/// "req":<id> arg, and a SpanRecord lands in the request's flight-recorder
+/// ring even when the global recorder is disabled.
 class Span {
 public:
   explicit Span(std::string Name, std::string Category = "vega");
@@ -102,9 +114,11 @@ private:
   std::string Name, Category;
   std::vector<std::pair<std::string, std::string>> Args;
   std::chrono::steady_clock::time_point Start;
+  RequestContext *Ctx = nullptr; ///< the request current at construction
   double ElapsedSec = 0.0;
   int Depth = 0;
   bool Recording = false;
+  bool TrackedDepth = false; ///< this span incremented CurrentDepth
   bool Closed = false;
 };
 

@@ -7,6 +7,7 @@
 
 #include "serve/Server.h"
 
+#include "obs/Log.h"
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
 
@@ -27,9 +28,13 @@ using namespace vega;
 using namespace vega::serve;
 
 VegaServer::VegaServer(VegaSession &Session, ServerOptions Options)
-    : Session(Session), Options(Options) {
+    : Session(Session), Options(Options),
+      StartTime(std::chrono::steady_clock::now()) {
   if (this->Options.MaxBatch < 1)
     this->Options.MaxBatch = 1;
+  // A daemon always keeps its request metrics on — the `stats` method must
+  // answer without any exporter flag, and counter updates are cheap.
+  obs::MetricsRegistry::instance().setEnabled(true);
   Worker = std::thread([this] { workerLoop(); });
 }
 
@@ -49,7 +54,9 @@ void VegaServer::shutdown() {
 std::future<std::string> VegaServer::submitLine(std::string Line) {
   PendingRequest Request;
   Request.Line = std::move(Line);
+  Request.Ctx = std::make_shared<obs::RequestContext>();
   std::future<std::string> Future = Request.Promise.get_future();
+  InFlight.fetch_add(1, std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> Lock(QueueMu);
     Queue.push_back(std::move(Request));
@@ -93,12 +100,18 @@ void VegaServer::workerLoop() {
       }
     }
     std::vector<std::string> Lines;
+    std::vector<std::shared_ptr<obs::RequestContext>> Ctxs;
     Lines.reserve(Batch.size());
-    for (const PendingRequest &Request : Batch)
+    Ctxs.reserve(Batch.size());
+    for (const PendingRequest &Request : Batch) {
       Lines.push_back(Request.Line);
-    std::vector<std::string> Responses = processBatch(Lines);
-    for (size_t I = 0; I < Batch.size(); ++I)
+      Ctxs.push_back(Request.Ctx);
+    }
+    std::vector<std::string> Responses = processBatch(Lines, Ctxs);
+    for (size_t I = 0; I < Batch.size(); ++I) {
       Batch[I].Promise.set_value(std::move(Responses[I]));
+      InFlight.fetch_sub(1, std::memory_order_relaxed);
+    }
   }
 }
 
@@ -121,19 +134,76 @@ Json VegaServer::handleInfo() const {
   return Info;
 }
 
+Json VegaServer::handleStats() {
+  auto &Metrics = obs::MetricsRegistry::instance();
+  Json Stats = Json::object();
+  Stats.set("schema", "vega-stats-1");
+  Stats.set("uptimeSec",
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          StartTime)
+                .count());
+  Stats.set("inFlight", InFlight.load(std::memory_order_relaxed));
+  {
+    std::lock_guard<std::mutex> Lock(QueueMu);
+    Stats.set("queueDepth", static_cast<uint64_t>(Queue.size()));
+  }
+  Stats.set("requests", Metrics.counterValue("serve.requests"));
+  // Reuse the registry's JSON export as the snapshot — stats, the JSON
+  // exporter, and the Prometheus exposition all read the same store, so
+  // the three views can never disagree on a count.
+  StatusOr<Json> All = Json::parse(Metrics.exportJson());
+  if (All.isOk()) {
+    if (const Json *Counters = All->get("counters"))
+      Stats.set("counters", *Counters);
+    if (const Json *Gauges = All->get("gauges"))
+      Stats.set("gauges", *Gauges);
+    Json Quantiles = Json::object();
+    if (const Json *Histograms = All->get("histograms"))
+      for (const auto &[Name, H] : Histograms->fields()) {
+        Json Q = Json::object();
+        double Count = H.getNumber("count");
+        Q.set("count", Count);
+        Q.set("mean", Count > 0 ? H.getNumber("sum") / Count : 0.0);
+        Q.set("p50", H.getNumber("p50"));
+        Q.set("p95", H.getNumber("p95"));
+        Q.set("p99", H.getNumber("p99"));
+        Quantiles.set(Name, std::move(Q));
+      }
+    Stats.set("quantiles", std::move(Quantiles));
+  }
+  return Stats;
+}
+
 std::vector<std::string>
 VegaServer::processBatch(const std::vector<std::string> &Lines) {
+  return processBatch(
+      Lines, std::vector<std::shared_ptr<obs::RequestContext>>(Lines.size()));
+}
+
+std::vector<std::string> VegaServer::processBatch(
+    const std::vector<std::string> &Lines,
+    const std::vector<std::shared_ptr<obs::RequestContext>> &CtxsIn) {
   std::lock_guard<std::mutex> BatchLock(BatchMu);
   auto &Metrics = obs::MetricsRegistry::instance();
+  auto &Log = obs::Logger::instance();
   obs::Span BatchSpan("serve.batch", "serve");
   BatchSpan.arg("requests", std::to_string(Lines.size()));
   Metrics.addCounter("serve.batches");
-  Metrics.observe("serve.batch_size", static_cast<double>(Lines.size()), 0.0,
-                  32.0, 32);
+  Metrics.observe("serve.batch_size", static_cast<double>(Lines.size()));
+
+  // Every slot gets a context: the queue path created one at submission
+  // (so elapsed time covers queue wait); the direct handleLines path gets
+  // a fresh one here.
+  std::vector<std::shared_ptr<obs::RequestContext>> Ctxs = CtxsIn;
+  Ctxs.resize(Lines.size());
+  for (std::shared_ptr<obs::RequestContext> &Ctx : Ctxs)
+    if (!Ctx)
+      Ctx = std::make_shared<obs::RequestContext>();
 
   struct Slot {
     StatusOr<RpcRequest> Request = Status::internal("unparsed");
     bool WantsBackend = false; ///< generate or evaluate with a valid target
+    bool Expired = false;      ///< deadline already passed at parse time
     std::string Target;
   };
   std::vector<Slot> Slots;
@@ -142,13 +212,19 @@ VegaServer::processBatch(const std::vector<std::string> &Lines) {
   // Parse + validate every request, collecting the generation targets.
   std::vector<std::string> Targets;
   std::set<std::string> SeenTargets;
-  for (const std::string &Line : Lines) {
+  for (size_t I = 0; I < Lines.size(); ++I) {
+    obs::RequestContext &Ctx = *Ctxs[I];
+    Metrics.observe("serve.queue_ms", Ctx.elapsedMs());
     Slot S;
-    S.Request = parseRpcRequest(Line);
+    S.Request = parseRpcRequest(Lines[I]);
     if (S.Request.isOk()) {
       const RpcRequest &Request = *S.Request;
-      if (Request.Method == "generate" || Request.Method == "evaluate" ||
-          Request.Method == "repair") {
+      Ctx.setMethod(Request.Method);
+      Ctx.setDeadlineAfterMs(Request.Params.getNumber("deadlineMs", 0.0));
+      if (Ctx.expired()) {
+        S.Expired = true; // answered unavailable; never reaches the fan-out
+      } else if (Request.Method == "generate" ||
+                 Request.Method == "evaluate" || Request.Method == "repair") {
         std::string Target = Request.Params.getString("target");
         if (!Target.empty() &&
             Session.corpus().targets().find(Target) != nullptr) {
@@ -162,12 +238,21 @@ VegaServer::processBatch(const std::vector<std::string> &Lines) {
     Slots.push_back(std::move(S));
   }
 
+  // Attribute each target's generation spans to the first request that
+  // asked for it; the router hops pool lanes with the fan-out so every
+  // gen.* span lands in the right flight-recorder ring.
+  obs::RequestRouter Router;
+  for (size_t I = 0; I < Slots.size(); ++I)
+    if (Slots[I].WantsBackend)
+      Router.bind(Slots[I].Target, Ctxs[I].get());
+
   // One fan-out for every distinct target in the batch. The merge inside
   // generateBackends() is deterministic, so each per-target backend is
   // byte-identical to a single-request run.
   std::map<std::string, GeneratedBackend> Backends;
   Status BatchStatus = Status::ok();
   if (!Targets.empty()) {
+    obs::RouterScope RouteScope(&Router);
     StatusOr<std::vector<GeneratedBackend>> Generated =
         Session.generateMany(Targets);
     if (Generated.isOk())
@@ -181,7 +266,10 @@ VegaServer::processBatch(const std::vector<std::string> &Lines) {
 
   std::vector<std::string> Responses;
   Responses.reserve(Lines.size());
-  for (Slot &S : Slots) {
+  for (size_t SlotIdx = 0; SlotIdx < Slots.size(); ++SlotIdx) {
+    Slot &S = Slots[SlotIdx];
+    obs::RequestContext &Ctx = *Ctxs[SlotIdx];
+    obs::RequestScope ReqScope(&Ctx);
     obs::Span RequestSpan("serve.request", "serve");
     Metrics.addCounter("serve.requests");
     auto Fail = [&](Json Response) {
@@ -189,6 +277,7 @@ VegaServer::processBatch(const std::vector<std::string> &Lines) {
       return Response;
     };
 
+    std::string MethodLabel = "invalid";
     Json Response;
     if (!S.Request.isOk()) {
       const Status &St = S.Request.status();
@@ -198,16 +287,22 @@ VegaServer::processBatch(const std::vector<std::string> &Lines) {
       Response = Fail(makeRpcError(Json(), Code, St.message()));
     } else {
       const RpcRequest &Request = *S.Request;
+      MethodLabel = Request.Method;
       RequestSpan.arg("method", Request.Method);
       if (!S.Target.empty())
         RequestSpan.arg("target", S.Target);
 
-      if (Request.Method == "ping") {
+      if (S.Expired) {
+        Response = Fail(makeRpcError(Request.Id, RpcUnavailable,
+                                     "deadline exceeded", "unavailable"));
+      } else if (Request.Method == "ping") {
         Json Result = Json::object();
         Result.set("ok", true);
         Response = makeRpcResult(Request.Id, std::move(Result));
       } else if (Request.Method == "info") {
         Response = makeRpcResult(Request.Id, handleInfo());
+      } else if (Request.Method == "stats") {
+        Response = makeRpcResult(Request.Id, handleStats());
       } else if (Request.Method == "shutdown") {
         shutdown();
         Json Result = Json::object();
@@ -267,6 +362,49 @@ VegaServer::processBatch(const std::vector<std::string> &Lines) {
                                      "unknown method '" + Request.Method + "'",
                                      "unimplemented"));
       }
+    }
+
+    // Completion telemetry: one labeled counter series per (method, code),
+    // the latency histogram, an info-level NDJSON line, and — past the
+    // slow threshold — a warn-level dump of the request's span ring.
+    std::string CodeLabel = "ok";
+    if (const Json *Error = Response.get("error"))
+      CodeLabel = std::to_string(
+          static_cast<long long>(Error->getNumber("code")));
+    RequestSpan.arg("code", CodeLabel);
+    Metrics.addCounter("serve.requests",
+                       {{"method", MethodLabel}, {"code", CodeLabel}});
+    double Ms = Ctx.elapsedMs();
+    Metrics.observe("serve.request_ms", Ms);
+    if (Log.enabled(obs::LogLevel::Info)) {
+      Json Fields = Json::object();
+      Fields.set("req", Ctx.id());
+      Fields.set("method", MethodLabel);
+      if (!S.Target.empty())
+        Fields.set("target", S.Target);
+      Fields.set("code", CodeLabel);
+      Fields.set("ms", Ms);
+      Fields.set("batch", static_cast<uint64_t>(Lines.size()));
+      Log.log(obs::LogLevel::Info, "serve.request", Fields);
+    }
+    if (Options.SlowMs > 0.0 && Ms >= Options.SlowMs &&
+        Log.enabled(obs::LogLevel::Warn)) {
+      Json Fields = Json::object();
+      Fields.set("req", Ctx.id());
+      Fields.set("method", MethodLabel);
+      Fields.set("ms", Ms);
+      Fields.set("slowMs", Options.SlowMs);
+      Json SpanList = Json::array();
+      for (const obs::RequestContext::SpanRecord &R : Ctx.spans()) {
+        Json SpanJson = Json::object();
+        SpanJson.set("name", R.Name);
+        SpanJson.set("startUs", R.StartUs);
+        SpanJson.set("durUs", R.DurUs);
+        SpanList.push(std::move(SpanJson));
+      }
+      Fields.set("spans", std::move(SpanList));
+      Fields.set("spansDropped", Ctx.spansDropped());
+      Log.log(obs::LogLevel::Warn, "serve.slow", Fields);
     }
     Responses.push_back(Response.dump());
   }

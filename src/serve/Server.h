@@ -15,11 +15,22 @@
 /// the per-target merge. Merges are deterministic, so a response is
 /// byte-identical whether its request ran alone or inside a batch.
 ///
-/// Methods: ping, info, generate {target}, evaluate {target}, shutdown.
-/// Observability: every request opens a `serve.request` span and the worker
-/// a `serve.batch` span; counters/histograms go to the process
-/// MetricsRegistry (serve.requests, serve.errors, serve.batches,
-/// serve.batch_size) — export via --trace-out / --metrics-out as usual.
+/// Methods: ping, info, stats, generate {target}, evaluate {target},
+/// repair {target}, shutdown. Every data method accepts an optional
+/// `deadlineMs` (relative to submission); a request still queued past its
+/// deadline is answered with RpcUnavailable instead of doing work.
+///
+/// Observability: each submitted line gets a RequestContext (monotonic id,
+/// deadline, span flight-recorder ring) at submission time, so measured
+/// latency includes queue wait. The batch worker routes the context onto
+/// every generation span via RequestRouter — a `gen.*` span recorded while
+/// serving carries its originating request id. Counters/histograms go to
+/// the process MetricsRegistry (serve.requests — total and labeled by
+/// {method,code} — serve.errors, serve.batches, serve.batch_size,
+/// serve.queue_ms, serve.request_ms); the `stats` method returns a live
+/// snapshot, and --metrics-out exports JSON or Prometheus text on exit.
+/// Request completions are NDJSON-logged at info level; requests slower
+/// than SlowMs dump their span ring at warn level.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -27,13 +38,16 @@
 #define VEGA_SERVE_SERVER_H
 
 #include "core/VegaSession.h"
+#include "obs/Request.h"
 #include "serve/Protocol.h"
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <future>
 #include <iosfwd>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -45,6 +59,10 @@ namespace serve {
 struct ServerOptions {
   /// Most pending requests merged into one generation fan-out.
   int MaxBatch = 8;
+  /// Requests slower than this (milliseconds, queue wait included) dump
+  /// their flight-recorder span ring to the structured log at warn level.
+  /// 0 disables the slow-request dump.
+  double SlowMs = 0.0;
   bool Verbose = false;
 };
 
@@ -93,23 +111,36 @@ public:
 private:
   struct PendingRequest {
     std::string Line;
+    /// Created at submission; shared with the batch worker so elapsed time
+    /// covers queue wait, not just processing.
+    std::shared_ptr<obs::RequestContext> Ctx;
     std::promise<std::string> Promise;
   };
 
   void workerLoop();
   /// Answers one batch of raw lines (the core of the daemon). Serialized
-  /// by BatchMu — the session's pool fan-out is not reentrant.
+  /// by BatchMu — the session's pool fan-out is not reentrant. \p Ctxs is
+  /// index-parallel with \p Lines; null entries get a fresh context.
+  std::vector<std::string>
+  processBatch(const std::vector<std::string> &Lines,
+               const std::vector<std::shared_ptr<obs::RequestContext>> &Ctxs);
   std::vector<std::string> processBatch(const std::vector<std::string> &Lines);
   Json handleInfo() const;
+  /// The `stats` RPC payload: schema vega-stats-1 with uptime, in-flight /
+  /// queue depth, the serve counters, and per-histogram quantiles.
+  Json handleStats();
 
   VegaSession &Session;
   ServerOptions Options;
+  std::chrono::steady_clock::time_point StartTime;
 
   std::mutex QueueMu;
   std::condition_variable QueueCv;
   std::deque<PendingRequest> Queue;
   bool Stopping = false; ///< guarded by QueueMu; set by the destructor
   std::atomic<bool> Shutdown{false};
+  /// Requests submitted via submitLine and not yet answered.
+  std::atomic<uint64_t> InFlight{0};
   std::mutex BatchMu;
   std::thread Worker;
 };

@@ -12,8 +12,21 @@
 using namespace vega;
 
 namespace {
+
 thread_local int CurrentLaneTL = -1;
+
+/// The registered propagator. Function-local static so registration from
+/// another translation unit's static initializer is order-safe.
+ThreadPool::ContextPropagator &propagator() {
+  static ThreadPool::ContextPropagator P;
+  return P;
+}
+
 } // namespace
+
+void ThreadPool::setContextPropagator(ContextPropagator P) {
+  propagator() = std::move(P);
+}
 
 unsigned ThreadPool::defaultJobs() {
   if (const char *Env = std::getenv("VEGA_JOBS")) {
@@ -44,6 +57,13 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::runBatch(Batch &B) {
+  const ContextPropagator &P = propagator();
+  std::shared_ptr<void> Prior;
+  bool Installed = false;
+  if (B.Ambient && P.Install) {
+    Prior = P.Install(B.Ambient);
+    Installed = true;
+  }
   for (;;) {
     size_t I = B.Next.fetch_add(1, std::memory_order_relaxed);
     if (I >= B.N)
@@ -61,6 +81,8 @@ void ThreadPool::runBatch(Batch &B) {
       B.DoneCv.notify_all();
     }
   }
+  if (Installed && P.Restore)
+    P.Restore(Prior);
 }
 
 void ThreadPool::workerLoop(unsigned Lane) {
@@ -103,6 +125,8 @@ void ThreadPool::parallelFor(size_t N,
   auto B = std::make_shared<Batch>();
   B->Fn = &Fn;
   B->N = N;
+  if (const auto &Capture = propagator().Capture)
+    B->Ambient = Capture();
   {
     std::lock_guard<std::mutex> L(Mu);
     Current = B;

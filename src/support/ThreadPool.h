@@ -50,6 +50,24 @@ public:
   /// (0 = caller, 1..jobs()-1 = pool workers); -1 outside the pool.
   static int currentLane();
 
+  /// Hooks for carrying ambient thread-local state (e.g. the obs layer's
+  /// current request) from the parallelFor caller onto every lane that
+  /// works the batch. The pool treats the state as an opaque snapshot:
+  /// Capture runs on the caller (nullptr = nothing to carry), Install runs
+  /// on each lane before it claims items and returns the lane's prior
+  /// state, Restore reinstates that prior state after the lane drains.
+  struct ContextPropagator {
+    std::function<std::shared_ptr<void>()> Capture;
+    std::function<std::shared_ptr<void>(const std::shared_ptr<void> &)>
+        Install;
+    std::function<void(const std::shared_ptr<void> &)> Restore;
+  };
+
+  /// Registers the process-wide propagator. Intended to be called once at
+  /// static-init time by the layer that owns the thread-locals (vega_obs);
+  /// the support library itself stays ignorant of what is propagated.
+  static void setContextPropagator(ContextPropagator P);
+
   /// Runs Fn(0..N-1) across all lanes; items are claimed from a shared
   /// atomic counter. Blocks until every item completed. The first exception
   /// thrown by an item is rethrown on the caller after the batch drains.
@@ -92,6 +110,7 @@ private:
     std::condition_variable DoneCv;
     bool Finished = false;
     std::exception_ptr Error; ///< first failure; guarded by Mu
+    std::shared_ptr<void> Ambient; ///< caller's captured ambient context
   };
 
   void workerLoop(unsigned Lane);

@@ -12,13 +12,20 @@
 //===----------------------------------------------------------------------===//
 
 #include "obs/Metrics.h"
+#include "obs/Request.h"
 #include "obs/Trace.h"
+#include "support/Json.h"
+#include "support/ThreadPool.h"
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cctype>
+#include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <set>
 #include <sstream>
 #include <thread>
 
@@ -371,6 +378,347 @@ TEST_F(ObsTest, ThreadSafetySmoke) {
   // The concurrent trace still exports valid JSON.
   EXPECT_TRUE(JsonChecker(TraceRecorder::instance().exportChromeTrace())
                   .valid());
+}
+
+TEST_F(ObsTest, SpanDepthSurvivesDisableMidSpan) {
+  auto &R = TraceRecorder::instance();
+  {
+    Span Outer("outer");
+    R.setEnabled(false);
+    // Constructed while off: records nothing and must not hold a depth slot.
+    { Span Hidden("hidden"); }
+    R.setEnabled(true);
+    { Span Inner("inner"); }
+  }
+  { Span After("after"); }
+  std::vector<TraceEvent> Events = R.snapshot();
+  EXPECT_EQ(findEvent(Events, "hidden"), nullptr);
+  const TraceEvent *Outer = findEvent(Events, "outer");
+  const TraceEvent *Inner = findEvent(Events, "inner");
+  const TraceEvent *After = findEvent(Events, "after");
+  ASSERT_TRUE(Outer && Inner && After);
+  EXPECT_EQ(Outer->Depth, 0);
+  EXPECT_EQ(Inner->Depth, 1); // outer still holds its slot across the toggle
+  EXPECT_EQ(After->Depth, 0);
+}
+
+TEST_F(ObsTest, SpanDepthSurvivesEnableMidSpan) {
+  auto &R = TraceRecorder::instance();
+  R.setEnabled(false);
+  {
+    Span Untracked("untracked"); // never incremented the depth counter...
+    R.setEnabled(true);
+    { Span Inner("inner"); }
+  } // ...so closing it while enabled must not decrement either
+  { Span After("after"); }
+  std::vector<TraceEvent> Events = R.snapshot();
+  EXPECT_EQ(findEvent(Events, "untracked"), nullptr);
+  const TraceEvent *Inner = findEvent(Events, "inner");
+  const TraceEvent *After = findEvent(Events, "after");
+  ASSERT_TRUE(Inner && After);
+  EXPECT_EQ(Inner->Depth, 0);
+  EXPECT_EQ(After->Depth, 0);
+}
+
+TEST_F(ObsTest, TraceExportEscapesControlAndNonAscii) {
+  {
+    Span S("ctrl\x01name");
+    S.arg("path", "tab\there\x1f");
+    S.arg("utf8", "s\xC3\xA9quence"); // "séquence", raw UTF-8 bytes
+  }
+  std::string Trace = TraceRecorder::instance().exportChromeTrace();
+  EXPECT_TRUE(JsonChecker(Trace).valid()) << Trace;
+  EXPECT_NE(Trace.find("\\u0001"), std::string::npos);
+  EXPECT_NE(Trace.find("\\u001f"), std::string::npos);
+  EXPECT_NE(Trace.find("\\t"), std::string::npos);
+  // Multi-byte UTF-8 passes through unescaped (JSON strings are UTF-8).
+  EXPECT_NE(Trace.find("s\xC3\xA9quence"), std::string::npos);
+  // The strict parser (which rejects unescaped control characters) agrees.
+  EXPECT_TRUE(vega::Json::parse(Trace).isOk());
+}
+
+TEST_F(ObsTest, ExportedTidsAreDenseAndCollisionFree) {
+  constexpr int Threads = 6;
+  std::vector<std::thread> Pool;
+  for (int T = 0; T < Threads; ++T)
+    Pool.emplace_back([] { Span S("tid-span"); });
+  for (std::thread &T : Pool)
+    T.join();
+  std::set<uint64_t> RawIds;
+  for (const TraceEvent &E : TraceRecorder::instance().snapshot())
+    RawIds.insert(E.ThreadId);
+  std::string Trace = TraceRecorder::instance().exportChromeTrace();
+  std::set<long> Tids;
+  const std::string Key = "\"tid\":";
+  for (size_t Pos = Trace.find(Key); Pos != std::string::npos;
+       Pos = Trace.find(Key, Pos + Key.size()))
+    Tids.insert(std::atol(Trace.c_str() + Pos + Key.size()));
+  // One dense tid per distinct thread — no hash folding, no collisions —
+  // numbered 0..N-1 in order of first appearance.
+  ASSERT_EQ(Tids.size(), RawIds.size());
+  EXPECT_EQ(*Tids.begin(), 0);
+  EXPECT_EQ(*Tids.rbegin(), static_cast<long>(Tids.size()) - 1);
+}
+
+TEST_F(ObsTest, EmptyArgsEventParsesStrictly) {
+  { Span S("bare"); }
+  std::string Trace = TraceRecorder::instance().exportChromeTrace();
+  StatusOr<vega::Json> Parsed = vega::Json::parse(Trace);
+  ASSERT_TRUE(Parsed.isOk()) << Trace;
+  const vega::Json *Events = Parsed->get("traceEvents");
+  ASSERT_TRUE(Events && Events->isArray());
+  ASSERT_EQ(Events->size(), 1u);
+  EXPECT_EQ(Events->at(0).getString("name"), "bare");
+  const vega::Json *Args = Events->at(0).get("args");
+  ASSERT_TRUE(Args && Args->isObject());
+}
+
+TEST_F(ObsTest, HistogramQuantiles) {
+  Histogram H;
+  H.Lo = 0.0;
+  H.Hi = 100.0;
+  H.Buckets.assign(100, 0);
+  for (int I = 0; I < 100; ++I)
+    H.observe(static_cast<double>(I) + 0.5);
+  EXPECT_NEAR(H.quantile(0.50), 50.0, 1.5);
+  EXPECT_NEAR(H.quantile(0.95), 95.0, 1.5);
+  EXPECT_NEAR(H.quantile(0.99), 99.0, 1.5);
+  // Estimates clamp to the observed range and are monotone in Q.
+  EXPECT_GE(H.quantile(0.0), H.MinSeen);
+  EXPECT_LE(H.quantile(1.0), H.MaxSeen);
+  EXPECT_LE(H.quantile(0.5), H.quantile(0.95));
+  EXPECT_LE(H.quantile(0.95), H.quantile(0.99));
+
+  Histogram L;
+  L.Lo = 0.01;
+  L.Hi = 1e5;
+  L.LogScale = true;
+  L.Buckets.assign(64, 0);
+  for (double V : {1.0, 10.0, 100.0, 1000.0})
+    L.observe(V);
+  EXPECT_EQ(L.Count, 4u);
+  // Four observations a decade apart land in four distinct log buckets.
+  EXPECT_NE(L.bucketFor(1.0), L.bucketFor(10.0));
+  EXPECT_NE(L.bucketFor(10.0), L.bucketFor(100.0));
+  double P50 = L.quantile(0.5);
+  EXPECT_GE(P50, 1.0);
+  EXPECT_LE(P50, 1000.0);
+  EXPECT_LE(P50, L.quantile(0.99));
+
+  Histogram Empty;
+  Empty.Buckets.assign(4, 0);
+  EXPECT_DOUBLE_EQ(Empty.quantile(0.5), 0.0);
+}
+
+TEST_F(ObsTest, HistogramMergeRequiresSameShape) {
+  Histogram A, B;
+  A.Lo = B.Lo = 0.0;
+  A.Hi = B.Hi = 10.0;
+  A.Buckets.assign(10, 0);
+  B.Buckets.assign(10, 0);
+  A.observe(1.0);
+  A.observe(2.0);
+  B.observe(7.0);
+  ASSERT_TRUE(A.sameShape(B));
+  ASSERT_TRUE(A.merge(B));
+  EXPECT_EQ(A.Count, 3u);
+  EXPECT_DOUBLE_EQ(A.Sum, 10.0);
+  EXPECT_EQ(A.Buckets[7], 1u);
+  EXPECT_DOUBLE_EQ(A.MinSeen, 1.0);
+  EXPECT_DOUBLE_EQ(A.MaxSeen, 7.0);
+  Histogram C;
+  C.Lo = 0.0;
+  C.Hi = 5.0; // different range: refuse, change nothing
+  C.Buckets.assign(10, 0);
+  C.observe(3.0);
+  EXPECT_FALSE(A.sameShape(C));
+  EXPECT_FALSE(A.merge(C));
+  EXPECT_EQ(A.Count, 3u);
+  EXPECT_DOUBLE_EQ(A.Sum, 10.0);
+}
+
+TEST_F(ObsTest, LabeledCountersCanonicalizeKeyOrder) {
+  auto &M = MetricsRegistry::instance();
+  M.addCounter("serve.requests", {{"method", "generate"}, {"code", "ok"}});
+  // Reversed label order hits the same series.
+  M.addCounter("serve.requests", {{"code", "ok"}, {"method", "generate"}});
+  std::string Key = MetricsRegistry::labeledName(
+      "serve.requests", {{"method", "generate"}, {"code", "ok"}});
+  EXPECT_EQ(Key, "serve.requests{code=\"ok\",method=\"generate\"}");
+  EXPECT_EQ(M.counterValue(Key), 2u);
+  // The unlabeled base counter is a separate series.
+  EXPECT_EQ(M.counterValue("serve.requests"), 0u);
+  // Label values are quote-escaped in the canonical key.
+  EXPECT_EQ(MetricsRegistry::labeledName("n", {{"k", "a\"b"}}),
+            "n{k=\"a\\\"b\"}");
+}
+
+TEST_F(ObsTest, DeclaredShapesAreLazyAndSurviveClear) {
+  auto &M = MetricsRegistry::instance();
+  M.declareHistogram("lat.test_ms", 1.0, 1000.0, 16, /*LogScale=*/true);
+  // A declaration alone creates no metric (clear()+N adds still count N).
+  EXPECT_EQ(M.metricCount(), 0u);
+  EXPECT_FALSE(M.histogram("lat.test_ms").has_value());
+  // The call-site fallback shape loses to the central declaration.
+  M.observe("lat.test_ms", 50.0, 0.0, 1.0, 4);
+  std::optional<Histogram> H = M.histogram("lat.test_ms");
+  ASSERT_TRUE(H.has_value());
+  EXPECT_EQ(H->Buckets.size(), 16u);
+  EXPECT_TRUE(H->LogScale);
+  EXPECT_EQ(H->Count, 1u);
+  M.clear();
+  M.observe("lat.test_ms", 2.0); // declaration survives clear()
+  H = M.histogram("lat.test_ms");
+  ASSERT_TRUE(H.has_value());
+  EXPECT_EQ(H->Buckets.size(), 16u);
+  EXPECT_TRUE(H->LogScale);
+  // The standard serve shapes are pinned by the registry constructor.
+  M.observe("serve.request_ms", 12.0);
+  std::optional<Histogram> S = M.histogram("serve.request_ms");
+  ASSERT_TRUE(S.has_value());
+  EXPECT_TRUE(S->LogScale);
+  EXPECT_EQ(S->Buckets.size(), 64u);
+}
+
+TEST_F(ObsTest, PrometheusExposition) {
+  auto &M = MetricsRegistry::instance();
+  M.addCounter("serve.requests", 3);
+  M.addCounter("serve.requests", {{"method", "generate"}, {"code", "ok"}}, 2);
+  M.setGauge("train.loss", 0.5);
+  M.observe("gen.confidence", 0.25);
+  M.observe("gen.confidence", 0.75);
+  std::string Prom = M.exportPrometheus();
+  EXPECT_NE(Prom.find("# TYPE vega_serve_requests_total counter"),
+            std::string::npos);
+  EXPECT_NE(Prom.find("\nvega_serve_requests_total 3\n"), std::string::npos);
+  EXPECT_NE(Prom.find(
+                "vega_serve_requests_total{code=\"ok\",method=\"generate\"} 2"),
+            std::string::npos);
+  EXPECT_NE(Prom.find("# TYPE vega_train_loss gauge"), std::string::npos);
+  EXPECT_NE(Prom.find("vega_train_loss 0.5"), std::string::npos);
+  EXPECT_NE(Prom.find("# TYPE vega_gen_confidence summary"),
+            std::string::npos);
+  EXPECT_NE(Prom.find("vega_gen_confidence{quantile=\"0.5\"}"),
+            std::string::npos);
+  EXPECT_NE(Prom.find("vega_gen_confidence_sum 1\n"), std::string::npos);
+  EXPECT_NE(Prom.find("vega_gen_confidence_count 2\n"), std::string::npos);
+  // Labeled + unlabeled series share one family: exactly one TYPE line.
+  size_t First = Prom.find("# TYPE vega_serve_requests_total");
+  ASSERT_NE(First, std::string::npos);
+  EXPECT_EQ(Prom.find("# TYPE vega_serve_requests_total", First + 1),
+            std::string::npos);
+}
+
+TEST_F(ObsTest, SpansCarryRequestIdAndFeedFlightRecorder) {
+  RequestContext Ctx("generate");
+  {
+    RequestScope Scope(&Ctx);
+    Span S("gen.work");
+  }
+  std::vector<TraceEvent> Events = TraceRecorder::instance().snapshot();
+  const TraceEvent *E = findEvent(Events, "gen.work");
+  ASSERT_TRUE(E);
+  bool HasReq = false;
+  for (const auto &[K, V] : E->Args)
+    if (K == "req" && V == std::to_string(Ctx.id()))
+      HasReq = true;
+  EXPECT_TRUE(HasReq);
+  // The flight-recorder ring captures even with the global recorder off.
+  TraceRecorder::instance().setEnabled(false);
+  {
+    RequestScope Scope(&Ctx);
+    Span S("gen.hidden");
+  }
+  std::vector<RequestContext::SpanRecord> Spans = Ctx.spans();
+  ASSERT_EQ(Spans.size(), 2u);
+  EXPECT_EQ(Spans[0].Name, "gen.work");
+  EXPECT_EQ(Spans[1].Name, "gen.hidden");
+  EXPECT_GE(Spans[1].StartUs, 0.0);
+  EXPECT_EQ(Ctx.spansRecorded(), 2u);
+  EXPECT_EQ(Ctx.spansDropped(), 0u);
+  // Outside any scope, spans attribute to nothing.
+  { Span S("gen.orphan"); }
+  EXPECT_EQ(Ctx.spansRecorded(), 2u);
+}
+
+TEST_F(ObsTest, RequestRingEvictsOldest) {
+  RequestContext Ctx("m", /*RingCapacity=*/2);
+  RequestScope Scope(&Ctx);
+  { Span A("a"); }
+  { Span B("b"); }
+  { Span C("c"); }
+  std::vector<RequestContext::SpanRecord> Spans = Ctx.spans();
+  ASSERT_EQ(Spans.size(), 2u);
+  EXPECT_EQ(Spans[0].Name, "b"); // chronological, oldest evicted
+  EXPECT_EQ(Spans[1].Name, "c");
+  EXPECT_EQ(Ctx.spansRecorded(), 3u);
+  EXPECT_EQ(Ctx.spansDropped(), 1u);
+}
+
+TEST_F(ObsTest, RequestDeadlines) {
+  RequestContext Ctx;
+  EXPECT_FALSE(Ctx.hasDeadline());
+  EXPECT_FALSE(Ctx.expired());
+  Ctx.setDeadlineAfterMs(0.0); // non-positive leaves it deadline-free
+  EXPECT_FALSE(Ctx.hasDeadline());
+  Ctx.setDeadlineAfterMs(1e-6); // relative to creation: already past
+  EXPECT_TRUE(Ctx.hasDeadline());
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  EXPECT_TRUE(Ctx.expired());
+  RequestContext Roomy;
+  Roomy.setDeadlineAfterMs(60000.0);
+  EXPECT_TRUE(Roomy.hasDeadline());
+  EXPECT_FALSE(Roomy.expired());
+}
+
+TEST_F(ObsTest, RouterBindsFirstWinsAndRebinds) {
+  RequestContext A("one"), B("two");
+  RequestRouter Router;
+  Router.bind("RISCV", &A);
+  Router.bind("RISCV", &B); // dedup: the first submitter keeps the work
+  Router.bind("XCORE", &B);
+  EXPECT_EQ(Router.size(), 2u);
+  EXPECT_EQ(Router.lookup("RISCV"), &A);
+  EXPECT_EQ(Router.lookup("XCORE"), &B);
+  EXPECT_EQ(Router.lookup("missing"), nullptr);
+  EXPECT_EQ(boundRequest("RISCV"), nullptr); // no router installed yet
+  RouterScope Scope(&Router);
+  EXPECT_EQ(boundRequest("RISCV"), &A);
+  {
+    RequestScope Rebind(boundRequest("XCORE"));
+    EXPECT_EQ(RequestContext::current(), &B);
+    // A null rebind (unbound key) keeps the current context.
+    RequestScope Keep(boundRequest("missing"));
+    EXPECT_EQ(RequestContext::current(), &B);
+  }
+  EXPECT_EQ(RequestContext::current(), nullptr);
+}
+
+TEST_F(ObsTest, RequestContextHopsAcrossThreadPool) {
+  RequestContext Ctx("generate");
+  RequestRouter Router;
+  Router.bind("T", &Ctx);
+  ThreadPool Pool(4);
+  std::atomic<int> Attributed{0};
+  {
+    RequestScope Scope(&Ctx);
+    RouterScope RScope(&Router);
+    Pool.parallelFor(32, [&](size_t) {
+      if (RequestContext::current() == &Ctx && boundRequest("T") == &Ctx)
+        Attributed.fetch_add(1, std::memory_order_relaxed);
+      Span S("gen.lane");
+    });
+  }
+  // Every lane saw the caller's ambient request + router.
+  EXPECT_EQ(Attributed.load(), 32);
+  EXPECT_EQ(Ctx.spansRecorded(), 32u);
+  // Worker lanes restored their prior (empty) context after the batch.
+  std::atomic<int> Clean{0};
+  Pool.parallelFor(32, [&](size_t) {
+    if (RequestContext::current() == nullptr && !RequestRouter::current())
+      Clean.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(Clean.load(), 32);
 }
 
 TEST_F(ObsTest, WriteFilesRoundTrip) {

@@ -15,6 +15,9 @@
 
 #include "serve/Server.h"
 
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
+
 #include <gtest/gtest.h>
 
 #include <cstdio>
@@ -224,6 +227,87 @@ TEST(Serve, RepairMethodReportsSchemaAndNeverRegresses) {
   Json Bad = parsed(Server.handleLine(
       R"({"id":10,"method":"repair","params":{"target":"Nope"}})"));
   EXPECT_EQ(errorCode(Bad), -32001);
+}
+
+TEST(Serve, StatsRpcReportsLiveTelemetry) {
+  VegaServer Server(session(), ServerOptions());
+  obs::MetricsRegistry::instance().clear();
+  parsed(Server.handleLine(
+      R"({"id":1,"method":"generate","params":{"target":"RISCV"}})"));
+  Json Stats = parsed(Server.handleLine(R"({"id":2,"method":"stats"})"));
+  const Json *Result = Stats.get("result");
+  ASSERT_NE(Result, nullptr) << Stats.dump();
+  EXPECT_EQ(Result->getString("schema"), "vega-stats-1");
+  EXPECT_GE(Result->getNumber("uptimeSec"), 0.0);
+  // The stats request counts itself: one generate + this call.
+  EXPECT_EQ(Result->getNumber("requests"), 2.0);
+  EXPECT_EQ(Result->getNumber("inFlight"), 1.0); // this very request
+  EXPECT_EQ(Result->getNumber("queueDepth"), 0.0);
+  const Json *Counters = Result->get("counters");
+  ASSERT_NE(Counters, nullptr);
+  EXPECT_EQ(Counters->getNumber(
+                "serve.requests{code=\"ok\",method=\"generate\"}"),
+            1.0);
+  const Json *Quantiles = Result->get("quantiles");
+  ASSERT_NE(Quantiles, nullptr);
+  const Json *Latency = Quantiles->get("serve.request_ms");
+  ASSERT_NE(Latency, nullptr) << Stats.dump();
+  EXPECT_GE(Latency->getNumber("count"), 1.0);
+  EXPECT_GE(Latency->getNumber("p50"), 0.0);
+  EXPECT_GE(Latency->getNumber("p99"), Latency->getNumber("p50"));
+}
+
+TEST(Serve, DeadlineExceededAnswersUnavailable) {
+  VegaServer Server(session(), ServerOptions());
+  // The deadline is armed relative to request creation; a sub-microsecond
+  // budget is always blown by parse time and must never reach generation.
+  Json Late = parsed(Server.handleLine(
+      R"({"id":11,"method":"generate","params":{"target":"RISCV","deadlineMs":0.000001}})"));
+  EXPECT_EQ(errorCode(Late), -32004);
+  EXPECT_EQ(Late.get("error")->getString("message"), "deadline exceeded");
+  EXPECT_EQ(Late.get("error")->get("data")->getString("status"),
+            "unavailable");
+  // A roomy deadline changes nothing about a successful answer.
+  Json Ok = parsed(Server.handleLine(
+      R"({"id":12,"method":"generate","params":{"target":"RISCV","deadlineMs":600000}})"));
+  ASSERT_NE(Ok.get("result"), nullptr) << Ok.dump();
+  Json Plain = parsed(Server.handleLine(
+      R"({"id":12,"method":"generate","params":{"target":"RISCV"}})"));
+  EXPECT_EQ(Ok.get("result")->dump(), Plain.get("result")->dump());
+}
+
+TEST(Serve, EverySpanCarriesItsOriginatingRequestId) {
+  VegaServer Server(session(), ServerOptions());
+  auto &Recorder = obs::TraceRecorder::instance();
+  Recorder.clear();
+  Recorder.setEnabled(true);
+  Json Response = parsed(Server.handleLine(
+      R"({"id":31,"method":"generate","params":{"target":"RI5CY"}})"));
+  Recorder.setEnabled(false);
+  ASSERT_NE(Response.get("result"), nullptr) << Response.dump();
+  // The serve.request span knows the request; every gen.* span produced on
+  // its behalf — across the ThreadPool fan-out — carries the same id.
+  std::string RequestId;
+  std::vector<obs::TraceEvent> Events = Recorder.snapshot();
+  for (const obs::TraceEvent &E : Events)
+    if (E.Name == "serve.request")
+      for (const auto &[K, V] : E.Args)
+        if (K == "req")
+          RequestId = V;
+  ASSERT_FALSE(RequestId.empty());
+  size_t GenSpans = 0;
+  for (const obs::TraceEvent &E : Events) {
+    if (E.Name.rfind("gen.", 0) != 0)
+      continue;
+    ++GenSpans;
+    bool Attributed = false;
+    for (const auto &[K, V] : E.Args)
+      if (K == "req" && V == RequestId)
+        Attributed = true;
+    EXPECT_TRUE(Attributed) << E.Name << " missing req=" << RequestId;
+  }
+  EXPECT_GT(GenSpans, 0u);
+  Recorder.clear();
 }
 
 TEST(Serve, StreamTransportAnswersInOrderAndStopsOnShutdown) {

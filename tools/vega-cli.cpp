@@ -23,6 +23,7 @@
 ///   vega-cli repair <target> [epochs]     generate + beam-search auto-repair
 ///                                         (--beam/--rounds; report per round)
 ///   vega-cli forkflow <target>            evaluate the MIPS fork baseline
+///   vega-cli stats --socket=<path>        live stats of a running vega-serve
 ///
 /// With --session=<file.vega>, generate/evaluate load the saved session and
 /// run Stage 3 directly — no template building, no training. Without it they
@@ -40,6 +41,7 @@
 #include "eval/EffortModel.h"
 #include "eval/Harness.h"
 #include "forkflow/ForkFlow.h"
+#include "obs/Log.h"
 #include "obs/Metrics.h"
 #include "repair/RepairEngine.h"
 #include "obs/Trace.h"
@@ -47,8 +49,15 @@
 #include "support/ArgParse.h"
 #include "support/TextTable.h"
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <optional>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
 
 using namespace vega;
 
@@ -427,6 +436,89 @@ int epochsArg(const std::vector<std::string> &Args, size_t Index,
   return std::atoi(Args[Index].c_str());
 }
 
+/// One JSON-RPC round trip against a vega-serve AF_UNIX socket: sends
+/// \p Request (one line) and returns the daemon's one-line response.
+StatusOr<std::string> socketRoundTrip(const std::string &Path,
+                                      const std::string &Request) {
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return Status::unavailable(std::string("cannot create socket: ") +
+                               std::strerror(errno));
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  if (Path.size() >= sizeof(Addr.sun_path)) {
+    ::close(Fd);
+    return Status::invalidArgument("socket path too long: '" + Path + "'");
+  }
+  std::strncpy(Addr.sun_path, Path.c_str(), sizeof(Addr.sun_path) - 1);
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0) {
+    ::close(Fd);
+    return Status::unavailable("cannot connect to '" + Path +
+                               "': " + std::strerror(errno));
+  }
+  std::string Line = Request + "\n";
+  size_t Written = 0;
+  while (Written < Line.size()) {
+    ssize_t W = ::write(Fd, Line.data() + Written, Line.size() - Written);
+    if (W <= 0) {
+      ::close(Fd);
+      return Status::unavailable("write to '" + Path + "' failed");
+    }
+    Written += static_cast<size_t>(W);
+  }
+  std::string Buffer;
+  char Chunk[4096];
+  size_t Newline;
+  while ((Newline = Buffer.find('\n')) == std::string::npos) {
+    ssize_t N = ::read(Fd, Chunk, sizeof(Chunk));
+    if (N <= 0)
+      break;
+    Buffer.append(Chunk, static_cast<size_t>(N));
+  }
+  ::close(Fd);
+  if (Newline == std::string::npos)
+    return Status::unavailable("no response from '" + Path + "'");
+  return Buffer.substr(0, Newline);
+}
+
+int cmdStats(const std::string &SocketPath) {
+  if (SocketPath.empty())
+    return fail(Status::invalidArgument(
+        "stats needs --socket=<path> of a running vega-serve"));
+  StatusOr<std::string> Line = socketRoundTrip(
+      SocketPath, "{\"jsonrpc\":\"2.0\",\"id\":1,\"method\":\"stats\"}");
+  if (!Line.isOk())
+    return fail(Line.status());
+  StatusOr<Json> Response = Json::parse(*Line);
+  if (!Response.isOk())
+    return fail(Response.status());
+  const Json *Result = Response->get("result");
+  if (!Result) {
+    if (const Json *Error = Response->get("error"))
+      return fail(Status::unavailable("daemon error: " +
+                                      Error->getString("message")));
+    return fail(Status::internal("malformed stats response"));
+  }
+  if (Cli.JsonOut) {
+    std::printf("%s\n", Result->dump(2).c_str());
+    return 0;
+  }
+  std::printf("uptime %.1fs, %.0f in flight, %.0f queued, %.0f requests\n",
+              Result->getNumber("uptimeSec"), Result->getNumber("inFlight"),
+              Result->getNumber("queueDepth"), Result->getNumber("requests"));
+  TextTable Table;
+  Table.setHeader({"Metric", "Count", "Mean", "p50", "p95", "p99"});
+  if (const Json *Quantiles = Result->get("quantiles"))
+    for (const auto &[Name, Q] : Quantiles->fields())
+      Table.addRow({Name, TextTable::formatDouble(Q.getNumber("count")),
+                    TextTable::formatDouble(Q.getNumber("mean")),
+                    TextTable::formatDouble(Q.getNumber("p50")),
+                    TextTable::formatDouble(Q.getNumber("p95")),
+                    TextTable::formatDouble(Q.getNumber("p99"))});
+  std::printf("%s", Table.render().c_str());
+  return 0;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -451,6 +543,11 @@ int main(int argc, char **argv) {
   Args.addOption("rounds", "N", "repair: fixed-point round cap (default 2)");
   Args.addOption("trace-out", "file", "write a Chrome/Perfetto trace on exit");
   Args.addOption("metrics-out", "file", "write metrics JSON on exit");
+  Args.addOption("socket", "path",
+                 "stats: AF_UNIX socket of a running vega-serve");
+  Args.addOption("log-level", "level",
+                 "NDJSON log level on stderr: debug|info|warn|error|off "
+                 "(default: $VEGA_LOG or off)");
   Args.addFlag("stats", "print a text metrics summary on exit");
   Args.addCommand("targets", "", "list the corpus targets", 0, 0);
   Args.addCommand("groups", "", "list function groups and sizes", 0, 0);
@@ -472,6 +569,9 @@ int main(int argc, char **argv) {
                   "generate + beam-search auto-repair report", 1, 2);
   Args.addCommand("forkflow", "<target>",
                   "evaluate the MIPS fork baseline", 1, 1);
+  Args.addCommand("stats", "",
+                  "query a running vega-serve daemon's live stats "
+                  "(--socket; --json for the raw payload)", 0, 0);
 
   if (Status St = Args.parse(argc, argv); !St.isOk()) {
     std::fprintf(stderr, "vega-cli: %s\n%s", St.toString().c_str(),
@@ -492,6 +592,16 @@ int main(int argc, char **argv) {
     obs::TraceRecorder::instance().setEnabled(true);
   if (Args.has("metrics-out") || Args.has("stats"))
     obs::MetricsRegistry::instance().setEnabled(true);
+  if (Args.has("log-level")) {
+    std::optional<obs::LogLevel> Level =
+        obs::Logger::parseLevel(Args.get("log-level"));
+    if (!Level) {
+      std::fprintf(stderr, "vega-cli: unknown log level '%s'\n",
+                   Args.get("log-level").c_str());
+      return 2;
+    }
+    obs::Logger::instance().setLevel(*Level);
+  }
 
   const std::string &Cmd = Args.command();
   const std::vector<std::string> &Pos = Args.positionals();
@@ -531,6 +641,8 @@ int main(int argc, char **argv) {
                    Args.getInt("rounds", 2));
   else if (Cmd == "forkflow")
     Rc = cmdForkflow(Pos[0]);
+  else if (Cmd == "stats")
+    Rc = cmdStats(Args.get("socket"));
 
   if (Args.has("trace-out") &&
       !obs::TraceRecorder::instance().writeChromeTrace(Args.get("trace-out"))) {

@@ -15,13 +15,16 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "obs/Log.h"
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
 #include "serve/Server.h"
 #include "support/ArgParse.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
+#include <optional>
 
 using namespace vega;
 
@@ -35,7 +38,16 @@ int main(int argc, char **argv) {
   Args.addOption("max-batch", "N",
                  "most pending requests merged per generation fan-out", "8");
   Args.addOption("trace-out", "file", "write a Chrome/Perfetto trace on exit");
-  Args.addOption("metrics-out", "file", "write metrics JSON on exit");
+  Args.addOption("metrics-out", "file", "write metrics on exit");
+  Args.addOption("metrics-format", "json|prometheus",
+                 "metrics-out format (default: by extension, .prom = "
+                 "prometheus, else json)");
+  Args.addOption("log-level", "level",
+                 "NDJSON log level on stderr: debug|info|warn|error|off "
+                 "(default: $VEGA_LOG or off)");
+  Args.addOption("slow-ms", "ms",
+                 "warn-log the span flight recorder of requests slower than "
+                 "this many milliseconds (0 = off)", "0");
   Args.addFlag("stats", "print a text metrics summary on exit");
   Args.addFlag("verbose", "log per-batch notes to stderr");
 
@@ -55,6 +67,16 @@ int main(int argc, char **argv) {
     obs::TraceRecorder::instance().setEnabled(true);
   if (Args.has("metrics-out") || Args.has("stats"))
     obs::MetricsRegistry::instance().setEnabled(true);
+  if (Args.has("log-level")) {
+    std::optional<obs::LogLevel> Level =
+        obs::Logger::parseLevel(Args.get("log-level"));
+    if (!Level) {
+      std::fprintf(stderr, "vega-serve: unknown log level '%s'\n",
+                   Args.get("log-level").c_str());
+      return 2;
+    }
+    obs::Logger::instance().setLevel(*Level);
+  }
 
   StatusOr<std::unique_ptr<VegaSession>> Session =
       VegaSession::load(Args.get("session"));
@@ -68,6 +90,7 @@ int main(int argc, char **argv) {
 
   serve::ServerOptions Options;
   Options.MaxBatch = Args.getInt("max-batch", 8);
+  Options.SlowMs = std::atof(Args.get("slow-ms").c_str());
   Options.Verbose = Args.has("verbose");
   if (Options.Verbose)
     std::fprintf(stderr, "vega-serve: session '%s' loaded, serving on %s\n",
@@ -88,11 +111,21 @@ int main(int argc, char **argv) {
                  Args.get("trace-out").c_str());
     Rc = Rc ? Rc : 1;
   }
-  if (Args.has("metrics-out") &&
-      !obs::MetricsRegistry::instance().writeJson(Args.get("metrics-out"))) {
-    std::fprintf(stderr, "vega-serve: error: cannot write metrics to '%s'\n",
-                 Args.get("metrics-out").c_str());
-    Rc = Rc ? Rc : 1;
+  if (Args.has("metrics-out")) {
+    const std::string &Path = Args.get("metrics-out");
+    std::string Format = Args.get("metrics-format");
+    if (Format.empty())
+      Format = Path.size() >= 5 && Path.rfind(".prom") == Path.size() - 5
+                   ? "prometheus"
+                   : "json";
+    auto &Metrics = obs::MetricsRegistry::instance();
+    bool Written = Format == "prometheus" ? Metrics.writePrometheus(Path)
+                                          : Metrics.writeJson(Path);
+    if (!Written) {
+      std::fprintf(stderr, "vega-serve: error: cannot write metrics to '%s'\n",
+                   Path.c_str());
+      Rc = Rc ? Rc : 1;
+    }
   }
   if (Args.has("stats"))
     std::printf("%s", obs::MetricsRegistry::instance().textSummary().c_str());
