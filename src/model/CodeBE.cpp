@@ -37,6 +37,24 @@ uint64_t CodeBEConfig::fingerprint() const {
   return H;
 }
 
+const char *vega::precisionName(Precision P) {
+  switch (P) {
+  case Precision::FP32:
+    return "fp32";
+  case Precision::INT8:
+    return "int8";
+  }
+  return "fp32";
+}
+
+std::optional<Precision> vega::parsePrecision(std::string_view Name) {
+  if (Name == "fp32")
+    return Precision::FP32;
+  if (Name == "int8")
+    return Precision::INT8;
+  return std::nullopt;
+}
+
 CodeBE::CodeBE(Vocab Vocabulary, CodeBEConfig Config)
     : Vocabulary(std::move(Vocabulary)), Config(Config) {
   RNG Seeder(Config.Seed);
@@ -235,9 +253,33 @@ void CodeBE::refreshCombCache() {
   CombDirty.store(false, std::memory_order_release);
 }
 
+void CodeBE::refreshQCombCache() {
+  std::lock_guard<std::mutex> Lock(CombMu);
+  if (!QCombDirty.load(std::memory_order_acquire))
+    return; // another thread already rebuilt it
+  // Quantize from freshly built fp32 combined embeddings (the same values
+  // refreshCombCache snapshots), so the int8 route never depends on the
+  // fp32 cache having been refreshed first.
+  TensorPtr Comb = combinedEmbeddings();
+  QCombData.assign(Comb->Data.size(), 0);
+  QCombScale.assign(static_cast<size_t>(Comb->Rows), 0.0f);
+  detail::quantizeRowsQ8(Comb->Data.data(), Comb->Rows, Comb->Cols,
+                         QCombData.data(), QCombScale.data());
+  QCombDirty.store(false, std::memory_order_release);
+}
+
+void CodeBE::setPrecision(Precision P) {
+  if (Prec == P)
+    return;
+  Prec = P;
+  QCombDirty.store(true, std::memory_order_release);
+}
+
 void CodeBE::prepareGenerate() {
   if (CombDirty.load(std::memory_order_acquire))
     refreshCombCache();
+  if (Prec == Precision::INT8 && QCombDirty.load(std::memory_order_acquire))
+    refreshQCombCache();
 }
 
 TensorPtr CodeBE::presenceFor(int Rows, const std::vector<int> &SrcIds) {
@@ -263,19 +305,41 @@ TensorPtr CodeBE::logitsFor(const TensorPtr &DecOut, const TensorPtr &Memory,
                             const std::vector<int> &SrcIds, bool UseCombCache,
                             const TensorPtr &CachedPresence,
                             const TensorPtr &CombOverride) {
-  TensorPtr Comb;
-  if (CombOverride) {
-    // Training batches share one combined-embeddings node across all
-    // example tapes (the Trainer builds it once per batch).
-    Comb = CombOverride;
-  } else if (UseCombCache) {
-    if (CombDirty.load(std::memory_order_acquire))
-      refreshCombCache();
-    Comb = CombCache;
+  TensorPtr Base;
+  const bool UseQ8 = Prec == Precision::INT8 && !CombOverride &&
+                     NoGradGuard::active();
+  if (UseQ8) {
+    // Quantized route: the vocabulary-wide projection — the dominant GEMM
+    // of every decode step — runs as int8·int8→int32 against the cached
+    // quantized embedding matrix. Integer accumulation is exact, so this
+    // is bit-deterministic at any thread count; it is NOT bit-equal to
+    // the fp32 route (DESIGN.md §14). The copy head and presence tail
+    // below stay fp32.
+    if (QCombDirty.load(std::memory_order_acquire))
+      refreshQCombCache();
+    const int M = DecOut->Rows, K = DecOut->Cols;
+    const int V = static_cast<int>(QCombScale.size());
+    std::vector<int8_t> QA(static_cast<size_t>(M) * K);
+    std::vector<float> SA(static_cast<size_t>(M));
+    detail::quantizeRowsQ8(DecOut->Data.data(), M, K, QA.data(), SA.data());
+    Base = makeTensor(M, V);
+    detail::gemmNTQ8(QA.data(), SA.data(), QCombData.data(),
+                     QCombScale.data(), Base->Data.data(), M, K, V);
   } else {
-    Comb = combinedEmbeddings();
+    TensorPtr Comb;
+    if (CombOverride) {
+      // Training batches share one combined-embeddings node across all
+      // example tapes (the Trainer builds it once per batch).
+      Comb = CombOverride;
+    } else if (UseCombCache) {
+      if (CombDirty.load(std::memory_order_acquire))
+        refreshCombCache();
+      Comb = CombCache;
+    } else {
+      Comb = combinedEmbeddings();
+    }
+    Base = matmulNT(DecOut, Comb);
   }
-  TensorPtr Base = matmulNT(DecOut, Comb);
   // Pointer/copy head: attend the encoder memory and scatter the attention
   // mass onto the source token ids.
   float Scale = 1.0f / std::sqrt(static_cast<float>(Config.DModel));
@@ -339,16 +403,54 @@ void CodeBE::train(const std::vector<TrainPair> &Data,
   (void)Result;
 }
 
-/// Incremental decode scratch. SelfK/SelfV hold the per-layer K/V rows of
-/// every already-decoded position (row-major Len×DModel); CrossK/CrossV
-/// hold the cross-attention projections of the encoder memory, computed
-/// once per generate() and pre-sliced per head. Each generate() call owns
-/// its state, so parallel decodes share only immutable weights.
+/// An immutable, refcount-shared run of decoded self-attention K/V rows.
+/// Prefix nodes form a parent chain from the most recent run back to the
+/// root; assembled root-first they reproduce the chronological row order of
+/// a single flat cache. Nodes are only ever created by KVCacheState::seal()
+/// and never mutated afterwards, so any number of forked decodes (beam
+/// hypotheses, group members — possibly on different threads) can read a
+/// shared prefix concurrently while extending their own private tails.
+struct CodeBE::KVPrefix {
+  std::shared_ptr<const KVPrefix> Parent;
+  std::vector<std::vector<float>> K, V; ///< [layer], Rows×DModel
+  int Rows = 0;                         ///< rows in this node alone
+  int TotalRows = 0;                    ///< rows including the parent chain
+};
+
+/// Incremental decode scratch. SelfK/SelfV hold the per-layer K/V rows this
+/// decode appended past the shared Prefix (row-major, tail-rows×DModel);
+/// CrossK/CrossV hold the cross-attention projections of the encoder
+/// memory, computed once per generate() and pre-sliced per head (read-only,
+/// so forks share them by pointer). Copying a sealed state is the O(1)
+/// copy-on-write fork: the prefix chain and cross projections are shared,
+/// the tail starts empty.
 struct CodeBE::KVCacheState {
   TensorPtr Memory;
   std::vector<std::vector<TensorPtr>> CrossK, CrossV; ///< [layer][head]
-  std::vector<std::vector<float>> SelfK, SelfV;       ///< [layer], Len×D
-  int Len = 0;
+  std::shared_ptr<const KVPrefix> Prefix;             ///< sealed shared rows
+  std::vector<std::vector<float>> SelfK, SelfV;       ///< [layer] owned tail
+  int Len = 0; ///< total rows = prefix rows + tail rows
+
+  int prefixRows() const { return Prefix ? Prefix->TotalRows : 0; }
+
+  /// Freezes the owned tail into a new immutable prefix node (no-op on an
+  /// empty tail). Must run before a state is copied as a fork — afterwards
+  /// the copy and the original each extend a fresh private tail.
+  void seal() {
+    const int Tail = Len - prefixRows();
+    if (Tail == 0)
+      return;
+    auto Node = std::make_shared<KVPrefix>();
+    Node->Parent = std::move(Prefix);
+    Node->K = std::move(SelfK);
+    Node->V = std::move(SelfV);
+    Node->Rows = Tail;
+    Node->TotalRows = (Node->Parent ? Node->Parent->TotalRows : 0) + Tail;
+    const size_t Layers = Node->K.size();
+    SelfK.assign(Layers, {});
+    SelfV.assign(Layers, {});
+    Prefix = std::move(Node);
+  }
 };
 
 TensorPtr CodeBE::decodeStep(KVCacheState &St, int TokenId) {
@@ -361,6 +463,13 @@ TensorPtr CodeBE::decodeStep(KVCacheState &St, int TokenId) {
   TensorPtr Tok = add(gatherRows(Etok, Ids), sparseMix(Epiece, Lists));
   int Pos = St.Len < EposDst->Rows ? St.Len : EposDst->Rows - 1;
   TensorPtr X = add(Tok, gatherRows(EposDst, {Pos}));
+
+  // Shared-prefix chain, root-first (chronological row order). Computed
+  // once per step; the same chain serves every layer.
+  std::vector<const KVPrefix *> Chain;
+  for (const KVPrefix *N = St.Prefix.get(); N; N = N->Parent.get())
+    Chain.push_back(N);
+  std::reverse(Chain.begin(), Chain.end());
 
   const int Len = St.Len + 1;
   for (size_t LI = 0; LI < Dec.size(); ++LI) {
@@ -377,10 +486,25 @@ TensorPtr CodeBE::decodeStep(KVCacheState &St, int TokenId) {
     std::vector<float> &VCache = St.SelfV[LI];
     KCache.insert(KCache.end(), Kr->Data.begin(), Kr->Data.end());
     VCache.insert(VCache.end(), Vr->Data.begin(), Vr->Data.end());
+    // Assemble the full Len×D key/value matrices: shared prefix nodes
+    // root-first, then the owned tail — byte-for-byte the rows a single
+    // flat cache would hold.
     TensorPtr KAll = makeTensor(Len, D);
-    KAll->Data = KCache;
     TensorPtr VAll = makeTensor(Len, D);
-    VAll->Data = VCache;
+    {
+      float *KD = KAll->Data.data();
+      float *VD = VAll->Data.data();
+      size_t Off = 0;
+      for (const KVPrefix *Node : Chain) {
+        const std::vector<float> &NK = Node->K[LI];
+        const std::vector<float> &NV = Node->V[LI];
+        std::copy(NK.begin(), NK.end(), KD + Off);
+        std::copy(NV.begin(), NV.end(), VD + Off);
+        Off += NK.size();
+      }
+      std::copy(KCache.begin(), KCache.end(), KD + Off);
+      std::copy(VCache.begin(), VCache.end(), VD + Off);
+    }
     std::vector<TensorPtr> Heads;
     for (int HI = 0; HI < H; ++HI) {
       TensorPtr Qh = sliceCols(Qr, HI * Dk, Dk);
@@ -408,6 +532,130 @@ TensorPtr CodeBE::decodeStep(KVCacheState &St, int TokenId) {
   }
   ++St.Len;
   return X;
+}
+
+int CodeBE::chooseGreedy(const TensorPtr &Logits,
+                         const std::vector<uint8_t> *Allowed,
+                         const DecodePlan *Plan, int Step, bool WithProbs,
+                         double &Prob) const {
+  // Greedy choice over the last row, restricted to the admissible set.
+  const int Last = Logits->Rows - 1;
+  const std::vector<int> *StepSet =
+      Plan && !Plan->Steps[static_cast<size_t>(Step)].empty()
+          ? &Plan->Steps[static_cast<size_t>(Step)]
+          : nullptr;
+  int Best = -1;
+  float BestV = -1e30f;
+  if (StepSet) {
+    const std::map<int, float> *Bias =
+        Plan->Bias.size() > static_cast<size_t>(Step)
+            ? &Plan->Bias[static_cast<size_t>(Step)]
+            : nullptr;
+    for (int J : *StepSet) {
+      if (J < 0 || J >= Logits->Cols)
+        continue;
+      float Score = Logits->at(Last, J);
+      if (Bias) {
+        auto It = Bias->find(J);
+        if (It != Bias->end())
+          Score += It->second;
+      }
+      if (Score > BestV) {
+        BestV = Score;
+        Best = J;
+      }
+    }
+  } else {
+    auto IsAllowed = [&](int Id) {
+      if (!Allowed)
+        return true;
+      if (Id == Vocabulary.eosId() || Vocabulary.isCsToken(Id))
+        return true;
+      return static_cast<size_t>(Id) < Allowed->size() &&
+             (*Allowed)[static_cast<size_t>(Id)] != 0;
+    };
+    for (int J = 0; J < Logits->Cols; ++J) {
+      if (!IsAllowed(J))
+        continue;
+      if (Logits->at(Last, J) > BestV) {
+        BestV = Logits->at(Last, J);
+        Best = J;
+      }
+    }
+  }
+  if (Best < 0)
+    return -1;
+  // Softmax probability of the chosen token over the full vocabulary, in
+  // a single fused pass: an online softmax keeps a running maximum and a
+  // sum rescaled whenever the maximum moves, replacing the separate
+  // max-then-sum sweeps of the row. Seeding the maximum at BestV keeps
+  // the anchor at the global maximum even when a plan bias lifted the
+  // winner above every raw logit. Callers that ignore probabilities
+  // skip the sweep entirely (a vocabulary of exp() calls per step).
+  Prob = 1.0;
+  if (WithProbs) {
+    const float *Row = &Logits->Data[static_cast<size_t>(Last) * Logits->Cols];
+    float MaxAll = BestV;
+    double Sum = 0.0;
+    for (int J = 0; J < Logits->Cols; ++J) {
+      float V = Row[J];
+      if (V > MaxAll) {
+        Sum = Sum * std::exp(static_cast<double>(MaxAll - V)) + 1.0;
+        MaxAll = V;
+      } else {
+        Sum += std::exp(static_cast<double>(V - MaxAll));
+      }
+    }
+    Prob = std::exp(static_cast<double>(BestV - MaxAll)) / Sum;
+  }
+  return Best;
+}
+
+bool CodeBE::decodeGreedyKV(KVCacheState &St, const std::vector<int> &Input,
+                            const std::vector<uint8_t> *Allowed,
+                            const DecodePlan *Plan, bool WithProbs, int Begin,
+                            int End, const TensorPtr &PresenceRow,
+                            int &PrevTok, Decoded &Result) {
+  for (int Step = Begin; Step < End; ++Step) {
+    // Positions past the plan end the statement.
+    if (Plan && static_cast<size_t>(Step) >= Plan->Steps.size())
+      return true;
+    const std::vector<int> *StepSet =
+        Plan && !Plan->Steps[static_cast<size_t>(Step)].empty()
+            ? &Plan->Steps[static_cast<size_t>(Step)]
+            : nullptr;
+    // Pinned-step fast path: when the plan admits exactly one token and the
+    // caller skipped probabilities, the argmax over the singleton is forced
+    // and the vocabulary-wide logit projection — the dominant GEMM of the
+    // step — can be skipped outright. decodeStep still runs, so the KV
+    // cache holds exactly the rows the logits path would have produced, and
+    // the out-of-range and [EOS] break conditions mirror the argmax path:
+    // output is byte-identical with the fast path on or off.
+    if (PrefixShare && !WithProbs && StepSet && StepSet->size() == 1) {
+      const int J = (*StepSet)[0];
+      if (J < 0 || J >= static_cast<int>(Vocabulary.size()))
+        return true; // the argmax would find nothing admissible
+      decodeStep(St, PrevTok);
+      if (J == Vocabulary.eosId())
+        return true;
+      Result.Tokens.push_back(J);
+      PrevTok = J;
+      continue;
+    }
+    TensorPtr DecRow = decodeStep(St, PrevTok);
+    TensorPtr Logits =
+        logitsFor(DecRow, St.Memory, Input, /*UseCombCache=*/true,
+                  PresenceRow);
+    double Prob = 1.0;
+    int Best = chooseGreedy(Logits, Allowed, Plan, Step, WithProbs, Prob);
+    if (Best < 0 || Best == Vocabulary.eosId())
+      return true;
+    Result.Tokens.push_back(Best);
+    if (WithProbs)
+      Result.Probs.push_back(Prob);
+    PrevTok = Best;
+  }
+  return false;
 }
 
 CodeBE::Decoded CodeBE::generate(const std::vector<int> &Src,
@@ -446,106 +694,33 @@ CodeBE::Decoded CodeBE::generate(const std::vector<int> &Src,
     }
   }
 
-  auto IsAllowed = [&](int Id) {
-    if (!Allowed)
-      return true;
-    if (Id == Vocabulary.eosId() || Vocabulary.isCsToken(Id))
-      return true;
-    return static_cast<size_t>(Id) < Allowed->size() &&
-           (*Allowed)[static_cast<size_t>(Id)] != 0;
-  };
-
   Decoded Result;
-  std::vector<int> DstIn = {Vocabulary.e2dId()};
   int PrevTok = Vocabulary.e2dId();
-  // One-row presence bias, constant across all incremental steps.
-  TensorPtr PresenceRow = UseKV ? presenceFor(1, Input) : nullptr;
-  for (int Step = 0; Step < Config.MaxDstLen; ++Step) {
-    // Positions past the plan end the statement.
-    if (Plan && static_cast<size_t>(Step) >= Plan->Steps.size())
-      break;
-    const std::vector<int> *StepSet =
-        Plan && !Plan->Steps[static_cast<size_t>(Step)].empty()
-            ? &Plan->Steps[static_cast<size_t>(Step)]
-            : nullptr;
-    TensorPtr Logits;
-    if (UseKV) {
-      // Incremental path: only the new row's decoder work and a 1×V logit
-      // row — O(prefix) per step instead of O(prefix²).
-      TensorPtr DecRow = decodeStep(St, PrevTok);
-      Logits = logitsFor(DecRow, Memory, Input, /*UseCombCache=*/true,
-                         PresenceRow);
-    } else {
+  if (UseKV) {
+    // Incremental path: only the new row's decoder work and a 1×V logit
+    // row per step — O(prefix) instead of O(prefix²). The one-row presence
+    // bias is constant across all incremental steps.
+    TensorPtr PresenceRow = presenceFor(1, Input);
+    decodeGreedyKV(St, Input, Allowed, Plan, WithProbs, 0, Config.MaxDstLen,
+                   PresenceRow, PrevTok, Result);
+  } else {
+    std::vector<int> DstIn = {Vocabulary.e2dId()};
+    for (int Step = 0; Step < Config.MaxDstLen; ++Step) {
+      // Positions past the plan end the statement.
+      if (Plan && static_cast<size_t>(Step) >= Plan->Steps.size())
+        break;
       TensorPtr DecOut = runDecoder(Memory, DstIn);
-      Logits = logitsFor(DecOut, Memory, Input, /*UseCombCache=*/true);
+      TensorPtr Logits =
+          logitsFor(DecOut, Memory, Input, /*UseCombCache=*/true);
+      double Prob = 1.0;
+      int Best = chooseGreedy(Logits, Allowed, Plan, Step, WithProbs, Prob);
+      if (Best < 0 || Best == Vocabulary.eosId())
+        break;
+      Result.Tokens.push_back(Best);
+      if (WithProbs)
+        Result.Probs.push_back(Prob);
+      DstIn.push_back(Best);
     }
-    // Greedy choice over the last row, restricted to the admissible set.
-    int Last = Logits->Rows - 1;
-    int Best = -1;
-    float BestV = -1e30f;
-    if (StepSet) {
-      const std::map<int, float> *Bias =
-          Plan->Bias.size() > static_cast<size_t>(Step)
-              ? &Plan->Bias[static_cast<size_t>(Step)]
-              : nullptr;
-      for (int J : *StepSet) {
-        if (J < 0 || J >= Logits->Cols)
-          continue;
-        float Score = Logits->at(Last, J);
-        if (Bias) {
-          auto It = Bias->find(J);
-          if (It != Bias->end())
-            Score += It->second;
-        }
-        if (Score > BestV) {
-          BestV = Score;
-          Best = J;
-        }
-      }
-    } else {
-      for (int J = 0; J < Logits->Cols; ++J) {
-        if (!IsAllowed(J))
-          continue;
-        if (Logits->at(Last, J) > BestV) {
-          BestV = Logits->at(Last, J);
-          Best = J;
-        }
-      }
-    }
-    if (Best < 0)
-      break;
-    // Softmax probability of the chosen token over the full vocabulary, in
-    // a single fused pass: an online softmax keeps a running maximum and a
-    // sum rescaled whenever the maximum moves, replacing the separate
-    // max-then-sum sweeps of the row. Seeding the maximum at BestV keeps
-    // the anchor at the global maximum even when a plan bias lifted the
-    // winner above every raw logit. Callers that ignore probabilities
-    // skip the sweep entirely (a vocabulary of exp() calls per step).
-    double Prob = 1.0;
-    if (WithProbs) {
-      const float *Row =
-          &Logits->Data[static_cast<size_t>(Last) * Logits->Cols];
-      float MaxAll = BestV;
-      double Sum = 0.0;
-      for (int J = 0; J < Logits->Cols; ++J) {
-        float V = Row[J];
-        if (V > MaxAll) {
-          Sum = Sum * std::exp(static_cast<double>(MaxAll - V)) + 1.0;
-          MaxAll = V;
-        } else {
-          Sum += std::exp(static_cast<double>(V - MaxAll));
-        }
-      }
-      Prob = std::exp(static_cast<double>(BestV - MaxAll)) / Sum;
-    }
-
-    if (Best == Vocabulary.eosId())
-      break;
-    Result.Tokens.push_back(Best);
-    if (WithProbs)
-      Result.Probs.push_back(Prob);
-    DstIn.push_back(Best);
-    PrevTok = Best;
   }
   auto &Metrics = obs::MetricsRegistry::instance();
   Metrics.addCounter("model.generate_calls");
@@ -553,6 +728,133 @@ CodeBE::Decoded CodeBE::generate(const std::vector<int> &Src,
                   static_cast<double>(Result.Tokens.size()), 0.0,
                   static_cast<double>(Config.MaxDstLen + 1), 16);
   return Result;
+}
+
+std::vector<CodeBE::Decoded>
+CodeBE::generateGroup(const std::vector<GroupRequest> &Reqs, bool WithProbs) {
+  std::vector<Decoded> Out(Reqs.size());
+  if (Reqs.empty())
+    return Out;
+
+  // Sharing preconditions: KV decode without probabilities, the knob on,
+  // and a group that actually coincides — identical encoder input and
+  // identical admissible sets. Anything else falls back to per-request
+  // generate(), which is the semantic baseline sharing must reproduce.
+  bool Share = PrefixShare && Mode == DecodeMode::KVCache && !WithProbs &&
+               Reqs.size() > 1;
+  for (size_t I = 0; Share && I < Reqs.size(); ++I)
+    if (!Reqs[I].Src)
+      Share = false;
+  for (size_t I = 1; Share && I < Reqs.size(); ++I) {
+    if (*Reqs[I].Src != *Reqs[0].Src)
+      Share = false;
+    const std::vector<uint8_t> *A = Reqs[I].Allowed, *B = Reqs[0].Allowed;
+    if ((A == nullptr) != (B == nullptr) || (A && *A != *B))
+      Share = false;
+  }
+  if (!Share) {
+    for (size_t I = 0; I < Reqs.size(); ++I)
+      Out[I] = generate(Reqs[I].Src ? *Reqs[I].Src : std::vector<int>{},
+                        Reqs[I].Allowed, Reqs[I].Plan, WithProbs);
+    return Out;
+  }
+
+  // Longest common plan prefix: steps AND biases must agree position by
+  // position (a bias shifts the argmax, so it is part of step identity).
+  // A missing Bias entry and an empty map are the same thing.
+  size_t Shared = SIZE_MAX;
+  for (const GroupRequest &R : Reqs)
+    Shared = std::min(Shared, R.Plan ? R.Plan->Steps.size() : 0);
+  auto BiasAt = [](const DecodePlan *P, size_t Step) {
+    static const std::map<int, float> Empty;
+    return P->Bias.size() > Step ? &P->Bias[Step] : &Empty;
+  };
+  for (size_t S = 0; S < Shared; ++S)
+    for (size_t I = 1; I < Reqs.size(); ++I)
+      if (Reqs[I].Plan->Steps[S] != Reqs[0].Plan->Steps[S] ||
+          *BiasAt(Reqs[I].Plan, S) != *BiasAt(Reqs[0].Plan, S)) {
+        Shared = S;
+        break;
+      }
+
+  NoGradGuard Guard;
+  obs::Span GroupSpan("model.generate_group", "model");
+  GroupSpan.arg("group", std::to_string(Reqs.size()));
+  GroupSpan.arg("shared_steps", std::to_string(Shared));
+
+  std::vector<int> Input = *Reqs[0].Src;
+  if (static_cast<int>(Input.size()) > Config.MaxSrcLen)
+    Input.resize(static_cast<size_t>(Config.MaxSrcLen));
+  TensorPtr Memory;
+  {
+    obs::Span EncSpan("model.encode", "model");
+    Memory = runEncoder(Input);
+  }
+  obs::Span DecSpan("model.decode", "model");
+
+  // One decode scratch for the whole group: encoder memory and cross
+  // projections are computed once and shared read-only by every fork.
+  KVCacheState Proto;
+  {
+    const int Dk = Config.DModel / Config.Heads;
+    Proto.Memory = Memory;
+    Proto.CrossK.resize(Dec.size());
+    Proto.CrossV.resize(Dec.size());
+    Proto.SelfK.resize(Dec.size());
+    Proto.SelfV.resize(Dec.size());
+    for (size_t LI = 0; LI < Dec.size(); ++LI) {
+      TensorPtr K = linear(Memory, Dec[LI].Cross.K);
+      TensorPtr V = linear(Memory, Dec[LI].Cross.V);
+      for (int HI = 0; HI < Config.Heads; ++HI) {
+        Proto.CrossK[LI].push_back(sliceCols(K, HI * Dk, Dk));
+        Proto.CrossV[LI].push_back(sliceCols(V, HI * Dk, Dk));
+      }
+    }
+  }
+  TensorPtr PresenceRow = presenceFor(1, Input);
+
+  // Decode the common prefix once. Any request's plan stands in for the
+  // group over [0, Shared) — the steps are identical by construction.
+  Decoded PrefixOut;
+  int PrevTok = Vocabulary.e2dId();
+  bool Ended =
+      Shared > 0 && decodeGreedyKV(Proto, Input, Reqs[0].Allowed, Reqs[0].Plan,
+                                   /*WithProbs=*/false, 0,
+                                   static_cast<int>(Shared), PresenceRow,
+                                   PrevTok, PrefixOut);
+
+  auto &Metrics = obs::MetricsRegistry::instance();
+  Metrics.addCounter("gen.prefix.hits",
+                     static_cast<uint64_t>(Reqs.size() - 1));
+  for (size_t I = 1; I < Reqs.size(); ++I)
+    Metrics.observe("gen.prefix_reuse_tokens",
+                    static_cast<double>(Proto.Len)); // shape declared centrally
+
+  if (Ended) {
+    // The decode finished inside the shared prefix, so every member's own
+    // decode would have produced exactly these tokens.
+    for (size_t I = 0; I < Reqs.size(); ++I)
+      Out[I] = PrefixOut;
+  } else {
+    Proto.seal();
+    Metrics.addCounter("gen.prefix.forks", static_cast<uint64_t>(Reqs.size()));
+    for (size_t I = 0; I < Reqs.size(); ++I) {
+      KVCacheState St = Proto; // CoW fork: shared prefix, private tail
+      Decoded R = PrefixOut;
+      int PT = PrevTok;
+      decodeGreedyKV(St, Input, Reqs[I].Allowed, Reqs[I].Plan,
+                     /*WithProbs=*/false, static_cast<int>(Shared),
+                     Config.MaxDstLen, PresenceRow, PT, R);
+      Out[I] = std::move(R);
+    }
+  }
+  // Per-member accounting matches what the unshared fallback would emit.
+  Metrics.addCounter("model.generate_calls",
+                     static_cast<uint64_t>(Reqs.size()));
+  for (const Decoded &D : Out)
+    Metrics.observe("model.tokens_decoded", static_cast<double>(D.Tokens.size()),
+                    0.0, static_cast<double>(Config.MaxDstLen + 1), 16);
+  return Out;
 }
 
 std::vector<CodeBE::BeamHypothesis>
@@ -696,6 +998,10 @@ CodeBE::decodeBeam(const std::vector<int> &Src, int Width,
         continue;
       }
       LiveBeam NB;
+      // O(1) copy-on-write fork: freeze the parent's decoded rows into the
+      // shared prefix chain (idempotent when several children fork the same
+      // parent) instead of deep-copying Len×D floats per hypothesis.
+      Live[E.Parent].St.seal();
       NB.St = Live[E.Parent].St;
       NB.Tokens = Live[E.Parent].Tokens;
       NB.Tokens.push_back(E.Token);
@@ -779,5 +1085,6 @@ bool CodeBE::loadWeights(const std::string &Blob) {
       return false;
   }
   CombDirty = true;
+  QCombDirty = true;
   return Pos == Blob.size();
 }

@@ -26,12 +26,28 @@
 #include <functional>
 #include <mutex>
 #include <optional>
+#include <string_view>
 
 namespace vega {
 
 namespace model {
 class Trainer;
 } // namespace model
+
+/// Numeric precision of the inference-time vocabulary projection (the
+/// dominant GEMM of every decode step). FP32 is the training path and the
+/// default; INT8 quantizes the combined-embedding matrix per row (symmetric
+/// absmax scales) and accumulates in int32, so it is bit-deterministic at
+/// any thread count but NOT bit-equal to FP32 — see DESIGN.md §14 for the
+/// exact contract. Checkpoints always store fp32 weights regardless of the
+/// active precision.
+enum class Precision { FP32, INT8 };
+
+/// Canonical lowercase name ("fp32" / "int8").
+const char *precisionName(Precision P);
+
+/// Parses a canonical name; std::nullopt for anything else.
+std::optional<Precision> parsePrecision(std::string_view Name);
 
 /// Hyperparameters (paper §4.1.2 scaled down; see DESIGN.md §2).
 struct CodeBEConfig {
@@ -101,6 +117,27 @@ public:
                    const std::vector<uint8_t> *Allowed = nullptr,
                    const DecodePlan *Plan = nullptr, bool WithProbs = true);
 
+  /// One member of a group decode (pointers must outlive the call).
+  struct GroupRequest {
+    const std::vector<int> *Src = nullptr;
+    const std::vector<uint8_t> *Allowed = nullptr;
+    const DecodePlan *Plan = nullptr;
+  };
+
+  /// Decodes every request, sharing work across the group when it is safe:
+  /// requests with identical Src (and identical Allowed sets) run the
+  /// encoder and the cross-attention projections once, decode the longest
+  /// common prefix of their plans (steps AND biases must agree) once into a
+  /// shared KV prefix, and fork copy-on-write per request for the
+  /// divergent tail. Results are byte-identical to calling generate() per
+  /// request with the same WithProbs — sharing only skips recomputation,
+  /// never changes a choice. Falls back to per-request generate() whenever
+  /// sharing cannot apply (mixed Src, WithProbs, FullRecompute mode, or
+  /// prefix sharing disabled). Emits gen.prefix.hits / gen.prefix.forks
+  /// counters and the gen.prefix_reuse_tokens histogram when sharing fires.
+  std::vector<Decoded> generateGroup(const std::vector<GroupRequest> &Reqs,
+                                     bool WithProbs = false);
+
   /// One ranked beam-search candidate.
   struct BeamHypothesis {
     std::vector<int> Tokens; ///< without the trailing [EOS]
@@ -132,6 +169,20 @@ public:
   enum class DecodeMode { KVCache, FullRecompute };
   void setDecodeMode(DecodeMode M) { Mode = M; }
   DecodeMode decodeMode() const { return Mode; }
+
+  /// Selects the inference precision (see vega::Precision). Weights are
+  /// untouched — INT8 only swaps the vocabulary-projection GEMM for the
+  /// quantized route, so switching back to FP32 restores bit-exact fp32
+  /// behaviour. Not thread-safe against in-flight generate() calls.
+  void setPrecision(Precision P);
+  Precision precision() const { return Prec; }
+
+  /// Enables/disables the decode fast paths that reuse work across plan
+  /// positions and group members (pinned-step logit skip, group-level KV
+  /// prefix sharing). On (the default) and off produce byte-identical
+  /// output; off exists as the reference path for equivalence smokes.
+  void setPrefixSharing(bool On) { PrefixShare = On; }
+  bool prefixSharing() const { return PrefixShare; }
 
   /// Readies the model for concurrent generate() calls: forces the shared
   /// inference embedding cache fresh so worker threads never race to build
@@ -177,6 +228,9 @@ private:
     LNP N3;
   };
 
+  /// An immutable, refcount-shared run of decoded K/V rows (see
+  /// KVCacheState in CodeBE.cpp).
+  struct KVPrefix;
   /// Per-call incremental decode scratch (one per generate() invocation,
   /// so concurrent decodes never share mutable state).
   struct KVCacheState;
@@ -206,8 +260,28 @@ private:
   /// \p Comb is the batch-shared combined-embeddings node; returns the 1×1
   /// loss, or nullptr for untrainable (empty-sided) pairs.
   TensorPtr trainLoss(const TrainPair &Pair, const TensorPtr &Comb);
+  /// Greedy constrained argmax over the last row of \p Logits at plan step
+  /// \p Step (bias-adjusted), plus — when \p WithProbs — the fused
+  /// online-softmax probability of the winner. Returns -1 when nothing is
+  /// admissible.
+  int chooseGreedy(const TensorPtr &Logits, const std::vector<uint8_t> *Allowed,
+                   const DecodePlan *Plan, int Step, bool WithProbs,
+                   double &Prob) const;
+  /// Runs the KV-cache greedy loop over plan steps [Begin, End), extending
+  /// \p St and appending chosen tokens to \p Result. \p PrevTok carries the
+  /// last token fed to the decoder across calls. Returns true when the
+  /// decode ended inside the range (EOS, no admissible token, or plan
+  /// exhausted) — the caller must not continue it.
+  bool decodeGreedyKV(KVCacheState &St, const std::vector<int> &Input,
+                      const std::vector<uint8_t> *Allowed,
+                      const DecodePlan *Plan, bool WithProbs, int Begin,
+                      int End, const TensorPtr &PresenceRow, int &PrevTok,
+                      Decoded &Result);
   TensorPtr combinedEmbeddings();
   void refreshCombCache();
+  /// Rebuilds the int8 quantization of the combined embeddings (per-row
+  /// absmax scales over the same fp32 values refreshCombCache snapshots).
+  void refreshQCombCache();
   std::vector<TensorPtr> parameters() const;
   std::unique_ptr<Tensor> causalMask(int Len) const;
 
@@ -221,8 +295,16 @@ private:
   TensorPtr SrcBias; ///< learned boost for tokens present in the source
   TensorPtr CombCache; ///< no-grad combined embeddings for inference
   std::atomic<bool> CombDirty{true};
-  std::mutex CombMu; ///< serializes CombCache refresh across threads
+  /// Quantized mirror of CombCache for the INT8 route: per-row int8 codes
+  /// plus one fp32 scale per vocabulary row. Rebuilt lazily under CombMu
+  /// whenever the weights change (QCombDirty), like CombCache.
+  std::vector<int8_t> QCombData;
+  std::vector<float> QCombScale;
+  std::atomic<bool> QCombDirty{true};
+  std::mutex CombMu; ///< serializes CombCache/QComb refresh across threads
   DecodeMode Mode = DecodeMode::KVCache;
+  Precision Prec = Precision::FP32;
+  bool PrefixShare = true;
 
   /// The data-parallel training engine drives trainLoss/parameters/
   /// combinedEmbeddings directly.

@@ -174,6 +174,7 @@ StatusOr<TrainResult> Trainer::run(const std::vector<TrainPair> &Data) {
     }
     flushBatch();
     Model.CombDirty = true;
+    Model.QCombDirty = true;
 
     double MeanLoss = Count ? LossSum / static_cast<double>(Count) : 0.0;
     double Seconds = EpochSpan.seconds();
@@ -201,6 +202,7 @@ StatusOr<TrainResult> Trainer::run(const std::vector<TrainPair> &Data) {
     }
   }
   Model.CombDirty = true;
+  Model.QCombDirty = true;
 
   Result.EpochsRun = Opts.Epochs;
   Result.Seconds =

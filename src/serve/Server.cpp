@@ -131,6 +131,8 @@ Json VegaServer::handleInfo() const {
            static_cast<uint64_t>(Session.system().templates().size()));
   Info.set("fromCheckpoint", Session.loadedFromCheckpoint());
   Info.set("maxBatch", Options.MaxBatch);
+  Info.set("precision", precisionName(Session.precision()));
+  Info.set("prefixSharing", Session.prefixSharing());
   return Info;
 }
 

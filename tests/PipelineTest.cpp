@@ -262,3 +262,62 @@ TEST(Pipeline, GeneratedBackendIsIdenticalAcrossJobCounts) {
   Sys.model()->setDecodeMode(CodeBE::DecodeMode::KVCache);
   EXPECT_EQ(canon(Reference), canon(Serial));
 }
+
+namespace {
+
+/// A trained system for the precision / prefix-sharing invariants. Shares
+/// the weight cache with the jobs test above (same config), so whichever
+/// test runs first trains and the other loads.
+VegaSystem &trainedSystem() {
+  static VegaSystem *Sys = [] {
+    VegaOptions Opts;
+    Opts.Model.Epochs = 1;
+    Opts.WeightCachePath = "pipeline_jobs_model.bin";
+    auto *S = new VegaSystem(sharedCorpus(), Opts);
+    S->buildTemplates();
+    S->buildDataset();
+    S->trainModel();
+    return S;
+  }();
+  return *Sys;
+}
+
+} // namespace
+
+TEST(Pipeline, PrefixSharingKeepsBackendsByteIdentical) {
+  // Prefix sharing (group decode + the pinned-step logits skip) is pure
+  // recomputation avoidance: for every evaluation target the generated
+  // backend must be byte-identical with sharing on and off, and the
+  // shared path must stay schedule-invariant across job counts.
+  VegaSystem &Sys = trainedSystem();
+  for (const char *Target : {"RISCV", "RI5CY", "XCORE"}) {
+    Sys.setPrefixSharing(false);
+    GeneratedBackend Unshared = Sys.generateBackend(Target);
+    Sys.setPrefixSharing(true);
+    GeneratedBackend Shared = Sys.generateBackend(Target);
+    EXPECT_EQ(canon(Unshared), canon(Shared)) << "target " << Target;
+  }
+
+  Sys.setJobs(4);
+  GeneratedBackend Parallel = Sys.generateBackend("RISCV");
+  Sys.setJobs(1);
+  GeneratedBackend Serial = Sys.generateBackend("RISCV");
+  EXPECT_EQ(canon(Serial), canon(Parallel));
+}
+
+TEST(Pipeline, Int8GenerationIsByteDeterministicAcrossJobCounts) {
+  // int8 is a different numeric contract from fp32, but within the
+  // contract the determinism bar is the same: repeated runs and any job
+  // count must produce byte-identical backends.
+  VegaSystem &Sys = trainedSystem();
+  Sys.setPrecision(Precision::INT8);
+  Sys.setJobs(1);
+  GeneratedBackend A = Sys.generateBackend("RISCV");
+  GeneratedBackend B = Sys.generateBackend("RISCV");
+  EXPECT_EQ(canon(A), canon(B));
+  Sys.setJobs(4);
+  GeneratedBackend C = Sys.generateBackend("RISCV");
+  EXPECT_EQ(canon(A), canon(C));
+  Sys.setJobs(1);
+  Sys.setPrecision(Precision::FP32);
+}

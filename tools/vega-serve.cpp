@@ -35,6 +35,11 @@ int main(int argc, char **argv) {
   Args.addOption("socket", "path",
                  "listen on an AF_UNIX socket instead of stdio");
   Args.addOption("jobs", "N", "Stage-3 generation lanes (default: auto)");
+  Args.addOption("precision", "fp32|int8",
+                 "inference precision of the decode logit GEMM", "fp32");
+  Args.addOption("prefix-sharing", "on|off",
+                 "decode fast paths reusing shared KV prefixes (byte-"
+                 "identical either way)", "on");
   Args.addOption("max-batch", "N",
                  "most pending requests merged per generation fan-out", "8");
   Args.addOption("trace-out", "file", "write a Chrome/Perfetto trace on exit");
@@ -87,6 +92,27 @@ int main(int argc, char **argv) {
   }
   if (Args.has("jobs"))
     (*Session)->setJobs(Args.getInt("jobs", 0));
+  if (Args.has("precision")) {
+    std::optional<Precision> P = parsePrecision(Args.get("precision"));
+    if (!P) {
+      Status St = Status::invalidArgument("unknown --precision '" +
+                                          Args.get("precision") +
+                                          "' (expected fp32 or int8)");
+      std::fprintf(stderr, "vega-serve: %s\n", St.toString().c_str());
+      return St.toExitCode();
+    }
+    (*Session)->setPrecision(*P);
+  }
+  if (Args.has("prefix-sharing")) {
+    const std::string &V = Args.get("prefix-sharing");
+    if (V != "on" && V != "off") {
+      Status St = Status::invalidArgument("unknown --prefix-sharing '" + V +
+                                          "' (expected on or off)");
+      std::fprintf(stderr, "vega-serve: %s\n", St.toString().c_str());
+      return St.toExitCode();
+    }
+    (*Session)->setPrefixSharing(V == "on");
+  }
 
   serve::ServerOptions Options;
   Options.MaxBatch = Args.getInt("max-batch", 8);
