@@ -1180,53 +1180,97 @@ VegaSystem::generateBackends(const std::vector<std::string> &TargetNames) {
     StageSpan->arg("count", std::to_string(TargetNames.size()));
   }
 
-  std::vector<GeneratedBackend> Backends(TargetNames.size());
-  for (size_t I = 0; I < TargetNames.size(); ++I)
-    Backends[I].TargetName = TargetNames[I];
-
-  // Target-major work list: every (target, function) pair is one task, so a
-  // batched request from vega-serve saturates the pool even when each
-  // individual backend has fewer functions than lanes. Module availability
-  // is a property of the base compiler, not something VEGA infers: xCORE's
-  // LLVM 3.0 port has no disassembler interface to implement (§4.1.4), so
-  // its DIS templates are never instantiated.
-  struct WorkItem {
-    size_t TargetIdx;
-    const TemplateInfo *TI;
-  };
-  std::vector<WorkItem> Work;
-  for (size_t TIdx = 0; TIdx < TargetNames.size(); ++TIdx) {
-    const TargetTraits *Traits = Corpus.targets().find(TargetNames[TIdx]);
-    for (const TemplateInfo &TI : Templates) {
-      if (Traits && TI.FT.Module == BackendModule::DIS &&
-          !Traits->HasDisassembler)
-        continue;
-      Work.push_back({TIdx, &TI});
-    }
-  }
-
-  // Fan out one task per function across the worker pool. The model's
-  // shared inference cache is refreshed before the fan-out, every worker
-  // owns its decode scratch, and results are merged in (target, template)
-  // order — so each backend is byte-identical to a standalone
+  // The batch path is the handle API driven to completion in one shot: open
+  // a handle per target, claim every unit into one target-major work list
+  // (so a batched request from vega-serve saturates the pool even when each
+  // individual backend has fewer functions than lanes), run a single
+  // fan-out, and fold each handle. Merges happen per handle in template
+  // order, so each backend is byte-identical to a standalone
   // generateBackend() call for any job count or batch composition.
+  std::vector<GenerationHandle> Handles;
+  Handles.reserve(TargetNames.size());
+  for (const std::string &Target : TargetNames)
+    Handles.push_back(beginGenerate(Target));
+
+  std::vector<std::pair<GenerationHandle *, size_t>> Work;
+  for (GenerationHandle &H : Handles)
+    while (std::optional<size_t> U = H.claimUnit())
+      Work.push_back({&H, *U});
+  runGenerateUnits(Work);
+
+  std::vector<GeneratedBackend> Backends;
+  Backends.reserve(Handles.size());
+  for (GenerationHandle &H : Handles)
+    Backends.push_back(finishGenerate(std::move(H)));
+  return Backends;
+}
+
+VegaSystem::GenerationHandle
+VegaSystem::beginGenerate(const std::string &TargetName) {
+  assert(Model && "trainModel() must run first");
+  GenerationHandle H;
+  H.Target = TargetName;
+  // Module availability is a property of the base compiler, not something
+  // VEGA infers: xCORE's LLVM 3.0 port has no disassembler interface to
+  // implement (§4.1.4), so its DIS templates are never instantiated.
+  const TargetTraits *Traits = Corpus.targets().find(TargetName);
+  for (const TemplateInfo &TI : Templates) {
+    if (Traits && TI.FT.Module == BackendModule::DIS &&
+        !Traits->HasDisassembler)
+      continue;
+    H.Units.push_back(&TI);
+  }
+  H.Results.resize(H.Units.size());
+  // The shared inference cache refreshes before any fan-out, so worker
+  // threads never race to build it.
   Model->prepareGenerate();
+  return H;
+}
+
+void VegaSystem::runGenerateUnits(
+    const std::vector<std::pair<GenerationHandle *, size_t>> &Units) {
+  if (Units.empty())
+    return;
   if (!Pool)
     Pool = std::make_unique<ThreadPool>(Options.Jobs);
-  std::vector<GeneratedFunction> Results(Work.size());
-  Pool->parallelFor(Work.size(), [&](size_t I) {
-    Results[I] = generateFunction(*Work[I].TI, TargetNames[Work[I].TargetIdx]);
+  Pool->parallelFor(Units.size(), [&](size_t I) {
+    GenerationHandle &H = *Units[I].first;
+    const size_t U = Units[I].second;
+    H.Results[U] = generateFunction(*H.Units[U], H.Target);
   });
+  for (const auto &[H, U] : Units)
+    ++H->Executed;
+}
 
+bool VegaSystem::stepGenerate(GenerationHandle &H) {
+  std::optional<size_t> U = H.claimUnit();
+  if (!U)
+    return false;
+  H.Results[*U] = generateFunction(*H.Units[*U], H.Target);
+  ++H.Executed;
+  return true;
+}
+
+GeneratedBackend VegaSystem::finishGenerate(GenerationHandle H) {
+  while (stepGenerate(H)) {
+  }
+  assert(H.complete() && "claimed units must be executed before finish");
+  GeneratedBackend Backend;
+  Backend.TargetName = H.Target;
   auto &Metrics = obs::MetricsRegistry::instance();
-  for (size_t I = 0; I < Work.size(); ++I) {
-    GeneratedBackend &Backend = Backends[Work[I].TargetIdx];
-    GeneratedFunction &Fn = Results[I];
+  for (size_t U = 0; U < H.Units.size(); ++U) {
+    GeneratedFunction &Fn = H.Results[U];
     Backend.ModuleSeconds[Fn.Module] += Fn.Seconds;
     Metrics.addCounter("gen.functions");
     if (Fn.Emitted)
       Metrics.addCounter("gen.functions_emitted");
     Backend.Functions.push_back(std::move(Fn));
   }
-  return Backends;
+  return Backend;
+}
+
+unsigned VegaSystem::stage3Lanes() {
+  if (!Pool)
+    Pool = std::make_unique<ThreadPool>(Options.Jobs);
+  return Pool->jobs();
 }

@@ -27,6 +27,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 
 namespace vega {
 
@@ -212,6 +213,68 @@ public:
   /// engine under the vega-serve request batcher.
   std::vector<GeneratedBackend>
   generateBackends(const std::vector<std::string> &TargetNames);
+
+  /// An in-flight Stage-3 generation for one target: the applicable
+  /// function templates as independent decode units plus their per-unit
+  /// results. Obtained from beginGenerate(); advanced by stepGenerate() /
+  /// runGenerateUnits(); folded into a backend by finishGenerate(). Units
+  /// are independent (each decodes one function against read-only system
+  /// state), so units from any mix of handles can share one pool fan-out —
+  /// the per-request currency of the serve scheduler's continuous batching.
+  class GenerationHandle {
+  public:
+    GenerationHandle() = default;
+    const std::string &target() const { return Target; }
+    size_t unitCount() const { return Units.size(); }
+    size_t unitsExecuted() const { return Executed; }
+    /// Every unit executed — finishGenerate() will only merge.
+    bool complete() const { return Executed == Units.size(); }
+    /// Claims the next unclaimed unit index; nullopt when all are claimed.
+    /// Every claimed unit must reach runGenerateUnits()/the claimer before
+    /// finishGenerate().
+    std::optional<size_t> claimUnit() {
+      if (Cursor >= Units.size())
+        return std::nullopt;
+      return Cursor++;
+    }
+
+  private:
+    friend class VegaSystem;
+    std::string Target;
+    std::vector<const TemplateInfo *> Units;
+    std::vector<GeneratedFunction> Results; ///< index-parallel with Units
+    size_t Cursor = 0;                      ///< next unit to claim
+    size_t Executed = 0;                    ///< units run to completion
+  };
+
+  /// Opens a generation handle for \p TargetName: one unit per applicable
+  /// template (DIS templates are skipped for targets without a
+  /// disassembler, exactly like generateBackends), model prepared for
+  /// concurrent decode. Target validation is the caller's job, matching
+  /// generateBackend() (VegaSession::beginGenerate validates).
+  GenerationHandle beginGenerate(const std::string &TargetName);
+
+  /// Executes already-claimed (handle, unit) pairs as one fan-out over the
+  /// shared worker pool — the serve scheduler's "one pass per step". Any
+  /// mix of handles can ride one call; units are marked executed on return.
+  /// Not reentrant (one fan-out at a time, like generateBackends).
+  void
+  runGenerateUnits(const std::vector<std::pair<GenerationHandle *, size_t>> &Units);
+
+  /// Claims and runs the next unit inline on the caller; false when the
+  /// handle has no unclaimed units left.
+  bool stepGenerate(GenerationHandle &H);
+
+  /// Folds a handle into its backend: remaining unclaimed units run inline
+  /// first, then functions merge in template order with per-module seconds
+  /// and the gen.functions counters — byte-identical to the
+  /// generateBackends() merge, so finish on a fresh handle is exactly
+  /// generateBackend().
+  GeneratedBackend finishGenerate(GenerationHandle H);
+
+  /// Lane count of the Stage-3 worker pool (built on first use) — the
+  /// serve scheduler sizes its per-step unit batch to this.
+  unsigned stage3Lanes();
 
   /// Overrides the Stage-3 job count after construction (tests/benches);
   /// the worker pool is rebuilt on the next generateBackend().

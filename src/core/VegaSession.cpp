@@ -79,6 +79,13 @@ StatusOr<GeneratedBackend> VegaSession::generate(const std::string &Target) {
   return std::move(Backends->front());
 }
 
+StatusOr<VegaSession::GenerationHandle>
+VegaSession::beginGenerate(const std::string &Target) {
+  if (!Corpus.targets().find(Target))
+    return Status::notFound("unknown target '" + Target + "'");
+  return System->beginGenerate(Target);
+}
+
 StatusOr<std::vector<GeneratedBackend>>
 VegaSession::generateMany(const std::vector<std::string> &Targets) {
   if (Targets.empty())

@@ -64,8 +64,30 @@ public:
   /// Stage 3 for one target. NotFound for targets absent from the corpus.
   StatusOr<GeneratedBackend> generate(const std::string &Target);
 
+  /// A per-request generation in flight (see VegaSystem::GenerationHandle):
+  /// the target's function templates as independent decode units.
+  using GenerationHandle = VegaSystem::GenerationHandle;
+
+  /// Opens a generation handle for \p Target. NotFound for targets absent
+  /// from the corpus. Drive it with step() (serial) or hand it to the serve
+  /// scheduler, then fold it with finish(); finish() on a fresh handle is
+  /// exactly generate().
+  StatusOr<GenerationHandle> beginGenerate(const std::string &Target);
+
+  /// Runs the next pending unit of \p Handle inline; false when none left.
+  bool step(GenerationHandle &Handle) { return System->stepGenerate(Handle); }
+
+  /// Completes \p Handle (running any remaining units) and returns the
+  /// backend — byte-identical to generate() for the same target.
+  StatusOr<GeneratedBackend> finish(GenerationHandle Handle) {
+    return System->finishGenerate(std::move(Handle));
+  }
+
   /// Batched Stage 3: all targets share one pool fan-out; each returned
-  /// backend is byte-identical to a standalone generate() call.
+  /// backend is byte-identical to a standalone generate() call. A thin
+  /// validation wrapper over VegaSystem::generateBackends, which itself
+  /// drives the handle API — batch, serial-step, and scheduler paths are
+  /// one code path.
   StatusOr<std::vector<GeneratedBackend>>
   generateMany(const std::vector<std::string> &Targets);
 

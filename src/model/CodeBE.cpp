@@ -453,6 +453,36 @@ struct CodeBE::KVCacheState {
   }
 };
 
+/// Everything one in-flight decode owns: the truncated input, borrowed
+/// constraint pointers, the KV scratch, and the partial result. Step/Done
+/// carry the decode position across decodeStepMany() calls, so a stream can
+/// be stepped in any interleaving with any other streams.
+struct CodeBE::DecodeStream::Impl {
+  std::vector<int> Input; ///< Src truncated to MaxSrcLen
+  const std::vector<uint8_t> *Allowed = nullptr; ///< borrowed
+  const DecodePlan *Plan = nullptr;              ///< borrowed
+  bool WithProbs = false;
+  KVCacheState St;
+  TensorPtr PresenceRow;
+  Decoded Result;
+  int PrevTok = 0;
+  int Step = 0;
+  bool Done = false;
+};
+
+CodeBE::DecodeStream::DecodeStream() = default;
+CodeBE::DecodeStream::DecodeStream(DecodeStream &&Other) noexcept = default;
+CodeBE::DecodeStream &
+CodeBE::DecodeStream::operator=(DecodeStream &&Other) noexcept = default;
+CodeBE::DecodeStream::~DecodeStream() = default;
+
+bool CodeBE::DecodeStream::done() const { return !I || I->Done; }
+
+const CodeBE::Decoded &CodeBE::DecodeStream::partial() const {
+  assert(I && "partial() on a moved-from stream");
+  return I->Result;
+}
+
 TensorPtr CodeBE::decodeStep(KVCacheState &St, int TokenId) {
   const int D = Config.DModel, H = Config.Heads, Dk = D / H;
   const float AttnScale = 1.0f / std::sqrt(static_cast<float>(Dk));
@@ -658,52 +688,124 @@ bool CodeBE::decodeGreedyKV(KVCacheState &St, const std::vector<int> &Input,
   return false;
 }
 
-CodeBE::Decoded CodeBE::generate(const std::vector<int> &Src,
-                                 const std::vector<uint8_t> *Allowed,
-                                 const DecodePlan *Plan, bool WithProbs) {
+CodeBE::DecodeStream CodeBE::beginDecode(const std::vector<int> &Src,
+                                         const std::vector<uint8_t> *Allowed,
+                                         const DecodePlan *Plan,
+                                         bool WithProbs) {
   // Inference never backpropagates: build no tape, so every intermediate
   // tensor dies at the end of its statement instead of living until the
   // decode finishes.
   NoGradGuard Guard;
-  std::vector<int> Input = Src;
-  if (static_cast<int>(Input.size()) > Config.MaxSrcLen)
-    Input.resize(static_cast<size_t>(Config.MaxSrcLen));
-  TensorPtr Memory;
+  DecodeStream S;
+  S.I = std::make_unique<DecodeStream::Impl>();
+  DecodeStream::Impl &D = *S.I;
+  D.Input = Src;
+  if (static_cast<int>(D.Input.size()) > Config.MaxSrcLen)
+    D.Input.resize(static_cast<size_t>(Config.MaxSrcLen));
+  D.Allowed = Allowed;
+  D.Plan = Plan;
+  D.WithProbs = WithProbs;
   {
     obs::Span EncSpan("model.encode", "model");
-    Memory = runEncoder(Input);
+    D.St.Memory = runEncoder(D.Input);
   }
-  obs::Span DecSpan("model.decode", "model");
-
-  const bool UseKV = Mode == DecodeMode::KVCache;
-  KVCacheState St;
-  if (UseKV) {
-    const int Dk = Config.DModel / Config.Heads;
-    St.Memory = Memory;
-    St.CrossK.resize(Dec.size());
-    St.CrossV.resize(Dec.size());
-    St.SelfK.resize(Dec.size());
-    St.SelfV.resize(Dec.size());
-    for (size_t LI = 0; LI < Dec.size(); ++LI) {
-      TensorPtr K = linear(Memory, Dec[LI].Cross.K);
-      TensorPtr V = linear(Memory, Dec[LI].Cross.V);
-      for (int HI = 0; HI < Config.Heads; ++HI) {
-        St.CrossK[LI].push_back(sliceCols(K, HI * Dk, Dk));
-        St.CrossV[LI].push_back(sliceCols(V, HI * Dk, Dk));
-      }
+  const int Dk = Config.DModel / Config.Heads;
+  D.St.CrossK.resize(Dec.size());
+  D.St.CrossV.resize(Dec.size());
+  D.St.SelfK.resize(Dec.size());
+  D.St.SelfV.resize(Dec.size());
+  for (size_t LI = 0; LI < Dec.size(); ++LI) {
+    TensorPtr K = linear(D.St.Memory, Dec[LI].Cross.K);
+    TensorPtr V = linear(D.St.Memory, Dec[LI].Cross.V);
+    for (int HI = 0; HI < Config.Heads; ++HI) {
+      D.St.CrossK[LI].push_back(sliceCols(K, HI * Dk, Dk));
+      D.St.CrossV[LI].push_back(sliceCols(V, HI * Dk, Dk));
     }
   }
+  // The one-row presence bias is constant across all incremental steps.
+  D.PresenceRow = presenceFor(1, D.Input);
+  D.PrevTok = Vocabulary.e2dId();
+  return S;
+}
 
+CodeBE::DecodeStream
+CodeBE::forkDecode(const KVCacheState &Proto, const Decoded &PrefixOut,
+                   int PrevTok, int Step, const std::vector<int> &Input,
+                   const std::vector<uint8_t> *Allowed, const DecodePlan *Plan,
+                   const TensorPtr &PresenceRow) {
+  DecodeStream S;
+  S.I = std::make_unique<DecodeStream::Impl>();
+  DecodeStream::Impl &D = *S.I;
+  D.Input = Input;
+  D.Allowed = Allowed;
+  D.Plan = Plan;
+  D.St = Proto; // CoW fork: shared sealed prefix, private tail
+  D.PresenceRow = PresenceRow;
+  D.Result = PrefixOut;
+  D.PrevTok = PrevTok;
+  D.Step = Step;
+  return S;
+}
+
+size_t CodeBE::decodeStepMany(const std::vector<DecodeStream *> &Streams) {
+  NoGradGuard Guard;
+  size_t Live = 0;
+  for (DecodeStream *S : Streams) {
+    assert(S && S->I && "stepping a consumed or moved-from stream");
+    DecodeStream::Impl &D = *S->I;
+    if (D.Done)
+      continue;
+    if (D.Step >= Config.MaxDstLen) {
+      D.Done = true;
+      continue;
+    }
+    // One position of the KV-cached greedy loop — exactly the iteration
+    // body a whole-range decodeGreedyKV call would run at this step, with
+    // the state (cache, previous token, partial result) carried in the
+    // stream. A stream therefore produces the same bytes whether it is
+    // stepped alone or interleaved with any co-batch.
+    const bool Ended =
+        decodeGreedyKV(D.St, D.Input, D.Allowed, D.Plan, D.WithProbs, D.Step,
+                       D.Step + 1, D.PresenceRow, D.PrevTok, D.Result);
+    ++D.Step;
+    if (Ended || D.Step >= Config.MaxDstLen)
+      D.Done = true;
+    else
+      ++Live;
+  }
+  return Live;
+}
+
+CodeBE::Decoded CodeBE::finishDecode(DecodeStream S) {
+  assert(S.I && "finishing a consumed or moved-from stream");
+  std::vector<DecodeStream *> Solo = {&S};
+  while (decodeStepMany(Solo) > 0) {
+  }
+  return std::move(S.I->Result);
+}
+
+CodeBE::Decoded CodeBE::generate(const std::vector<int> &Src,
+                                 const std::vector<uint8_t> *Allowed,
+                                 const DecodePlan *Plan, bool WithProbs) {
+  NoGradGuard Guard;
   Decoded Result;
-  int PrevTok = Vocabulary.e2dId();
-  if (UseKV) {
-    // Incremental path: only the new row's decoder work and a 1×V logit
-    // row per step — O(prefix) instead of O(prefix²). The one-row presence
-    // bias is constant across all incremental steps.
-    TensorPtr PresenceRow = presenceFor(1, Input);
-    decodeGreedyKV(St, Input, Allowed, Plan, WithProbs, 0, Config.MaxDstLen,
-                   PresenceRow, PrevTok, Result);
+  if (Mode == DecodeMode::KVCache) {
+    // The solo decode is one stream run to completion — the same step-level
+    // path generateGroup() and the serve scheduler co-step many streams
+    // through, so solo and co-batched requests cannot diverge.
+    DecodeStream S = beginDecode(Src, Allowed, Plan, WithProbs);
+    obs::Span DecSpan("model.decode", "model");
+    Result = finishDecode(std::move(S));
   } else {
+    std::vector<int> Input = Src;
+    if (static_cast<int>(Input.size()) > Config.MaxSrcLen)
+      Input.resize(static_cast<size_t>(Config.MaxSrcLen));
+    TensorPtr Memory;
+    {
+      obs::Span EncSpan("model.encode", "model");
+      Memory = runEncoder(Input);
+    }
+    obs::Span DecSpan("model.decode", "model");
     std::vector<int> DstIn = {Vocabulary.e2dId()};
     for (int Step = 0; Step < Config.MaxDstLen; ++Step) {
       // Positions past the plan end the statement.
@@ -838,15 +940,24 @@ CodeBE::generateGroup(const std::vector<GroupRequest> &Reqs, bool WithProbs) {
   } else {
     Proto.seal();
     Metrics.addCounter("gen.prefix.forks", static_cast<uint64_t>(Reqs.size()));
-    for (size_t I = 0; I < Reqs.size(); ++I) {
-      KVCacheState St = Proto; // CoW fork: shared prefix, private tail
-      Decoded R = PrefixOut;
-      int PT = PrevTok;
-      decodeGreedyKV(St, Input, Reqs[I].Allowed, Reqs[I].Plan,
-                     /*WithProbs=*/false, static_cast<int>(Shared),
-                     Config.MaxDstLen, PresenceRow, PT, R);
-      Out[I] = std::move(R);
+    // Fork every member copy-on-write off the sealed prefix and advance the
+    // forks in lockstep — one KV-cached pass per member per step, retiring
+    // members at EOS. Members are independent streams, so co-stepping is
+    // byte-identical to running each tail to completion on its own.
+    std::vector<DecodeStream> Tails;
+    Tails.reserve(Reqs.size());
+    for (size_t I = 0; I < Reqs.size(); ++I)
+      Tails.push_back(forkDecode(Proto, PrefixOut, PrevTok,
+                                 static_cast<int>(Shared), Input,
+                                 Reqs[I].Allowed, Reqs[I].Plan, PresenceRow));
+    std::vector<DecodeStream *> CoBatch;
+    CoBatch.reserve(Tails.size());
+    for (DecodeStream &T : Tails)
+      CoBatch.push_back(&T);
+    while (decodeStepMany(CoBatch) > 0) {
     }
+    for (size_t I = 0; I < Reqs.size(); ++I)
+      Out[I] = finishDecode(std::move(Tails[I]));
   }
   // Per-member accounting matches what the unshared fallback would emit.
   Metrics.addCounter("model.generate_calls",

@@ -24,6 +24,7 @@
 
 #include <atomic>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string_view>
@@ -137,6 +138,61 @@ public:
   /// counters and the gen.prefix_reuse_tokens histogram when sharing fires.
   std::vector<Decoded> generateGroup(const std::vector<GroupRequest> &Reqs,
                                      bool WithProbs = false);
+
+  /// One in-flight KV-cached greedy decode, advanced one output position at
+  /// a time by decodeStepMany(). A stream owns its decode scratch (KV cache,
+  /// presence row, partial result), so any number of streams can be stepped
+  /// in any interleaving; the Allowed/Plan pointers passed to beginDecode()
+  /// are borrowed and must outlive the stream (the GroupRequest contract).
+  /// Move-only.
+  class DecodeStream {
+  public:
+    DecodeStream(DecodeStream &&Other) noexcept;
+    DecodeStream &operator=(DecodeStream &&Other) noexcept;
+    DecodeStream(const DecodeStream &) = delete;
+    DecodeStream &operator=(const DecodeStream &) = delete;
+    ~DecodeStream();
+
+    /// True once the decode ended (EOS, nothing admissible, plan exhausted,
+    /// or MaxDstLen reached). Stepping a done stream is a no-op.
+    bool done() const;
+
+    /// Tokens chosen so far (the final result once done()).
+    const Decoded &partial() const;
+
+  private:
+    friend class CodeBE;
+    DecodeStream();
+    struct Impl;
+    std::unique_ptr<Impl> I;
+  };
+
+  /// Starts a stream for \p Src: runs the encoder, builds the
+  /// cross-attention projections and the KV scratch, and leaves the stream
+  /// ready for its first step. Streams always decode on the KV-cache path
+  /// (like decodeBeam), regardless of the DecodeMode knob. This is the
+  /// step-level multi-request decode entry point: the serve scheduler and
+  /// generateGroup() co-step many streams through decodeStepMany(), and
+  /// generate() itself is one stream run to completion, so solo and
+  /// co-batched decodes are the same code path and byte-identical.
+  DecodeStream beginDecode(const std::vector<int> &Src,
+                           const std::vector<uint8_t> *Allowed = nullptr,
+                           const DecodePlan *Plan = nullptr,
+                           bool WithProbs = false);
+
+  /// Advances every live stream in \p Streams by exactly one output
+  /// position — one KV-cached decoder pass per stream — retiring streams
+  /// that end (EOS / plan exhausted / MaxDstLen). Done streams are skipped,
+  /// so callers can admit new streams and retire finished ones between
+  /// calls (continuous batching). Streams are independent: the result bytes
+  /// of each stream never depend on which other streams share a call.
+  /// Returns the number of streams still live after the step.
+  size_t decodeStepMany(const std::vector<DecodeStream *> &Streams);
+
+  /// Consumes the stream and returns its result, stepping it to completion
+  /// first if it is not done. Emits no metrics — callers account for whole
+  /// decodes (see generate()/generateGroup()).
+  Decoded finishDecode(DecodeStream S);
 
   /// One ranked beam-search candidate.
   struct BeamHypothesis {
@@ -277,6 +333,15 @@ private:
                       const DecodePlan *Plan, bool WithProbs, int Begin,
                       int End, const TensorPtr &PresenceRow, int &PrevTok,
                       Decoded &Result);
+  /// Forks a stream off a sealed group-decode prefix: shares \p Proto's
+  /// prefix chain and cross projections copy-on-write, seeds the partial
+  /// result/previous token/step so the fork continues where the shared
+  /// prefix stopped.
+  DecodeStream forkDecode(const KVCacheState &Proto, const Decoded &PrefixOut,
+                          int PrevTok, int Step, const std::vector<int> &Input,
+                          const std::vector<uint8_t> *Allowed,
+                          const DecodePlan *Plan,
+                          const TensorPtr &PresenceRow);
   TensorPtr combinedEmbeddings();
   void refreshCombCache();
   /// Rebuilds the int8 quantization of the combined embeddings (per-row

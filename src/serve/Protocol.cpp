@@ -176,28 +176,6 @@ Json vega::serve::repairToJson(const repair::RepairReport &Report) {
   return Doc;
 }
 
-int vega::serve::rpcCodeFor(StatusCode Code) {
-  switch (Code) {
-  case StatusCode::Ok:
-    return 0;
-  case StatusCode::InvalidArgument:
-    return RpcInvalidParams;
-  case StatusCode::NotFound:
-    return RpcNotFound;
-  case StatusCode::FailedPrecondition:
-    return RpcFailedPrecondition;
-  case StatusCode::DataLoss:
-    return RpcDataLoss;
-  case StatusCode::Unavailable:
-    return RpcUnavailable;
-  case StatusCode::Unimplemented:
-    return RpcUnimplemented;
-  case StatusCode::Internal:
-    return RpcInternalError;
-  }
-  return RpcInternalError;
-}
-
 StatusOr<RpcRequest> vega::serve::parseRpcRequest(const std::string &Line) {
   StatusOr<Json> Doc = Json::parse(Line);
   if (!Doc.isOk())
@@ -229,11 +207,11 @@ Json vega::serve::makeRpcResult(const Json &Id, Json Result) {
   return Doc;
 }
 
-Json vega::serve::makeRpcError(const Json &Id, int Code,
+Json vega::serve::makeRpcError(const Json &Id, ErrorCode Code,
                                const std::string &Message,
                                const std::string &StatusName) {
   Json Error = Json::object();
-  Error.set("code", Code);
+  Error.set("code", toJsonRpc(Code));
   Error.set("message", Message);
   if (!StatusName.empty()) {
     Json Data = Json::object();
@@ -248,6 +226,6 @@ Json vega::serve::makeRpcError(const Json &Id, int Code,
 }
 
 Json vega::serve::makeRpcError(const Json &Id, const Status &St) {
-  return makeRpcError(Id, rpcCodeFor(St.code()), St.message(),
+  return makeRpcError(Id, errorCodeFor(St.code()), St.message(),
                       statusCodeName(St.code()));
 }

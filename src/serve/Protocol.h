@@ -21,6 +21,7 @@
 #include "core/Pipeline.h"
 #include "eval/Harness.h"
 #include "repair/RepairEngine.h"
+#include "serve/Error.h"
 #include "support/Json.h"
 #include "support/Status.h"
 
@@ -47,24 +48,6 @@ Json evalToJson(const BackendEval &Eval);
 /// the other schemas — byte-identical at any job count.
 Json repairToJson(const repair::RepairReport &Report);
 
-/// JSON-RPC error codes. The spec-reserved codes are used verbatim;
-/// vega::Status codes map into the implementation-defined -320xx range.
-enum RpcErrorCode {
-  RpcParseError = -32700,
-  RpcInvalidRequest = -32600,
-  RpcMethodNotFound = -32601,
-  RpcInvalidParams = -32602,
-  RpcInternalError = -32603,
-  RpcNotFound = -32001,
-  RpcFailedPrecondition = -32002,
-  RpcDataLoss = -32003,
-  RpcUnavailable = -32004,
-  RpcUnimplemented = -32005,
-};
-
-/// The JSON-RPC code for a failed Status.
-int rpcCodeFor(StatusCode Code);
-
 /// One parsed request line.
 struct RpcRequest {
   Json Id; ///< echoed verbatim (null when the client sent none)
@@ -81,10 +64,12 @@ StatusOr<RpcRequest> parseRpcRequest(const std::string &Line);
 Json makeRpcResult(const Json &Id, Json Result);
 
 /// {"jsonrpc":"2.0","id":...,"error":{"code":...,"message":...,"data":...}}
-Json makeRpcError(const Json &Id, int Code, const std::string &Message,
+/// The wire number comes from serve::toJsonRpc (serve/Error.h) — the single
+/// code table shared by router and shard.
+Json makeRpcError(const Json &Id, ErrorCode Code, const std::string &Message,
                   const std::string &StatusName = "");
 
-/// makeRpcError from a failed Status (code via rpcCodeFor).
+/// makeRpcError from a failed Status (code via errorCodeFor).
 Json makeRpcError(const Json &Id, const Status &St);
 
 } // namespace serve

@@ -1,0 +1,278 @@
+//===- serve/Router.cpp - The fleet routing front-end -------------------------===//
+//
+// Part of the VEGA reproduction project.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Router.h"
+
+#include "obs/Log.h"
+#include "obs/Metrics.h"
+#include "serve/Transport.h"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <set>
+#include <utility>
+
+using namespace vega;
+using namespace vega::serve;
+
+LocalShard::LocalShard(std::string Id, std::unique_ptr<VegaSession> Session,
+                       ServerOptions Options)
+    : Id(std::move(Id)), Session(std::move(Session)) {
+  Server = std::make_unique<VegaServer>(*this->Session, Options);
+}
+
+LocalShard::~LocalShard() = default;
+
+StatusOr<std::string> LocalShard::call(const std::string &Line) {
+  return Server->handleLine(Line);
+}
+
+uint64_t LocalShard::queueDepth() const {
+  return Server->scheduler().stats().QueueDepth;
+}
+
+SocketShard::SocketShard(std::string Id, std::string Path)
+    : Id(std::move(Id)), Path(std::move(Path)) {}
+
+StatusOr<std::string> SocketShard::call(const std::string &Line) {
+  return callSocketLine(Path, Line);
+}
+
+VegaRouter::VegaRouter(std::vector<std::unique_ptr<ShardEndpoint>> Endpoints,
+                       RouterOptions Options)
+    : Options(Options), StartTime(std::chrono::steady_clock::now()) {
+  if (this->Options.ShardWindow < 0)
+    this->Options.ShardWindow = 0;
+  obs::MetricsRegistry::instance().setEnabled(true);
+  for (std::unique_ptr<ShardEndpoint> &E : Endpoints) {
+    auto State = std::make_unique<ShardState>();
+    State->Endpoint = std::move(E);
+    Shards.push_back(std::move(State));
+  }
+}
+
+VegaRouter::~VegaRouter() = default;
+
+Status VegaRouter::init() {
+  if (Shards.empty())
+    return Status::failedPrecondition("router needs at least one shard");
+  // Each shard reports its own target list; the fleet serves the union.
+  // A target served by several shards gets one owner, chosen round-robin
+  // over the union so identical shards split the corpus evenly.
+  std::vector<std::set<std::string>> PerShard(Shards.size());
+  std::set<std::string> Union;
+  const std::string InfoLine =
+      "{\"jsonrpc\":\"2.0\",\"id\":0,\"method\":\"info\"}";
+  for (size_t I = 0; I < Shards.size(); ++I) {
+    StatusOr<std::string> Response = Shards[I]->Endpoint->call(InfoLine);
+    if (!Response.isOk())
+      return Status::unavailable("shard '" + Shards[I]->Endpoint->id() +
+                                 "' is unreachable: " +
+                                 Response.status().message());
+    StatusOr<Json> Parsed = Json::parse(*Response);
+    const Json *Result = Parsed.isOk() ? Parsed->get("result") : nullptr;
+    const Json *Targets = Result ? Result->get("targets") : nullptr;
+    if (!Targets || !Targets->isArray() || Targets->size() == 0)
+      return Status::failedPrecondition("shard '" +
+                                        Shards[I]->Endpoint->id() +
+                                        "' reports no targets");
+    for (const Json &T : Targets->items())
+      if (T.isString()) {
+        PerShard[I].insert(T.asString());
+        Union.insert(T.asString());
+      }
+  }
+  ShardMap.clear();
+  for (auto &Shard : Shards)
+    Shard->Targets.clear();
+  size_t Next = 0;
+  for (const std::string &Target : Union) {
+    // Owner = next shard (round-robin) that actually serves the target.
+    size_t Owner = Shards.size();
+    for (size_t Probe = 0; Probe < Shards.size(); ++Probe) {
+      size_t Candidate = (Next + Probe) % Shards.size();
+      if (PerShard[Candidate].count(Target)) {
+        Owner = Candidate;
+        break;
+      }
+    }
+    if (Owner == Shards.size())
+      continue; // unreachable: Target came from some shard's list
+    ShardMap[Target] = Owner;
+    Shards[Owner]->Targets.push_back(Target);
+    Next = (Owner + 1) % Shards.size();
+  }
+  return Status::ok();
+}
+
+uint64_t VegaRouter::forwardCount(size_t Shard) const {
+  return Shards[Shard]->Forwarded.load(std::memory_order_relaxed);
+}
+
+std::string VegaRouter::forwardLine(ShardState &Shard, const std::string &Line,
+                                    const Json &Id) {
+  auto &Metrics = obs::MetricsRegistry::instance();
+  // Admission control at the edge: a saturated shard gets no new work; the
+  // caller sees the same typed Overloaded code a shard's own full queue
+  // produces.
+  if (Options.ShardWindow > 0) {
+    uint64_t InFlight = Shard.InFlight.fetch_add(1, std::memory_order_relaxed);
+    if (InFlight >= static_cast<uint64_t>(Options.ShardWindow)) {
+      Shard.InFlight.fetch_sub(1, std::memory_order_relaxed);
+      Metrics.addCounter("router.rejected");
+      return makeRpcError(
+                 Id, Status::resourceExhausted(
+                         "shard '" + Shard.Endpoint->id() + "' at capacity (" +
+                         std::to_string(InFlight) + " in flight)"))
+          .dump();
+    }
+  } else {
+    Shard.InFlight.fetch_add(1, std::memory_order_relaxed);
+  }
+  Shard.Forwarded.fetch_add(1, std::memory_order_relaxed);
+  Metrics.addCounter("router.forwarded",
+                     {{"shard", Shard.Endpoint->id()}});
+  StatusOr<std::string> Response = Shard.Endpoint->call(Line);
+  Shard.InFlight.fetch_sub(1, std::memory_order_relaxed);
+  if (!Response.isOk())
+    return makeRpcError(Id, Response.status()).dump();
+  // Relayed verbatim: the response through the router is byte-identical to
+  // the shard's own.
+  return std::move(Response.value());
+}
+
+std::string VegaRouter::handleLine(const std::string &Line) {
+  auto &Metrics = obs::MetricsRegistry::instance();
+  Metrics.addCounter("router.requests");
+  StatusOr<RpcRequest> Parsed = parseRpcRequest(Line);
+  if (!Parsed.isOk()) {
+    const Status &St = Parsed.status();
+    ErrorCode Code = St.message().rfind("parse error", 0) == 0
+                         ? ErrorCode::ParseError
+                         : ErrorCode::InvalidRequest;
+    return makeRpcError(Json(), Code, St.message()).dump();
+  }
+  const RpcRequest &Request = *Parsed;
+  const std::string &Method = Request.Method;
+
+  if (Method == "ping") {
+    Json Result = Json::object();
+    Result.set("ok", true);
+    return makeRpcResult(Request.Id, std::move(Result)).dump();
+  }
+  if (Method == "info")
+    return makeRpcResult(Request.Id, handleInfo()).dump();
+  if (Method == "stats")
+    return makeRpcResult(Request.Id, handleStats()).dump();
+  if (Method == "shutdown")
+    return handleShutdown(Request.Id, Line);
+  if (Method != "generate" && Method != "evaluate" && Method != "repair")
+    return makeRpcError(Request.Id, ErrorCode::MethodNotFound,
+                        "unknown method '" + Method + "'", "unimplemented")
+        .dump();
+
+  std::string Target = Request.Params.getString("target");
+  if (Target.empty())
+    return makeRpcError(Request.Id, ErrorCode::InvalidParams,
+                        "params require a string 'target'", "invalid-argument")
+        .dump();
+  auto Owner = ShardMap.find(Target);
+  if (Owner == ShardMap.end())
+    // Same bytes a shard produces for an unknown target — clients cannot
+    // tell whether routing or generation rejected them.
+    return makeRpcError(Request.Id,
+                        Status::notFound("unknown target '" + Target + "'"))
+        .dump();
+  return forwardLine(*Shards[Owner->second], Line, Request.Id);
+}
+
+Json VegaRouter::handleInfo() {
+  Json Targets = Json::array();
+  for (const auto &[Target, Owner] : ShardMap) {
+    (void)Owner;
+    Targets.push(Target);
+  }
+  Json ShardList = Json::array();
+  for (auto &Shard : Shards) {
+    Json Entry = Json::object();
+    Entry.set("id", Shard->Endpoint->id());
+    Json Owned = Json::array();
+    for (const std::string &T : Shard->Targets)
+      Owned.push(T);
+    Entry.set("targets", std::move(Owned));
+    Entry.set("inFlight", Shard->InFlight.load(std::memory_order_relaxed));
+    Entry.set("queueDepth", Shard->Endpoint->queueDepth());
+    ShardList.push(std::move(Entry));
+  }
+  Json Info = Json::object();
+  Info.set("schema", "vega-serve-2");
+  Info.set("router", true);
+  Info.set("targets", std::move(Targets));
+  Info.set("shardWindow", Options.ShardWindow);
+  Info.set("shards", std::move(ShardList));
+  return Info;
+}
+
+Json VegaRouter::handleStats() {
+  auto &Metrics = obs::MetricsRegistry::instance();
+  Json Stats = Json::object();
+  Stats.set("schema", "vega-stats-1");
+  Stats.set("uptimeSec",
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          StartTime)
+                .count());
+  Stats.set("requests", Metrics.counterValue("router.requests"));
+  Json ShardList = Json::array();
+  for (auto &Shard : Shards) {
+    Json Entry = Json::object();
+    Entry.set("id", Shard->Endpoint->id());
+    Entry.set("inFlight", Shard->InFlight.load(std::memory_order_relaxed));
+    Entry.set("forwarded", Shard->Forwarded.load(std::memory_order_relaxed));
+    Entry.set("queueDepth", Shard->Endpoint->queueDepth());
+    ShardList.push(std::move(Entry));
+  }
+  Stats.set("shards", std::move(ShardList));
+  return Stats;
+}
+
+std::string VegaRouter::handleShutdown(const Json &Id,
+                                       const std::string &Line) {
+  // Fan out first so every shard's scheduler stops accepting work, then
+  // stop the router's own transports.
+  for (auto &Shard : Shards) {
+    StatusOr<std::string> Response = Shard->Endpoint->call(Line);
+    if (!Response.isOk() &&
+        obs::Logger::instance().enabled(obs::LogLevel::Warn)) {
+      Json Fields = Json::object();
+      Fields.set("shard", Shard->Endpoint->id());
+      Fields.set("error", Response.status().message());
+      obs::Logger::instance().log(obs::LogLevel::Warn, "router.shutdown",
+                                  Fields);
+    }
+  }
+  Shutdown.store(true, std::memory_order_relaxed);
+  Json Result = Json::object();
+  Result.set("ok", true);
+  return makeRpcResult(Id, std::move(Result)).dump();
+}
+
+Status VegaRouter::serveStream(std::istream &In, std::ostream &Out) {
+  std::string Line;
+  while (!shutdownRequested() && std::getline(In, Line)) {
+    if (Line.empty())
+      continue;
+    Out << handleLine(Line) << "\n" << std::flush;
+  }
+  return Status::ok();
+}
+
+Status VegaRouter::serveSocket(const std::string &Path) {
+  return serveSocketLines(
+      Path, [this](const std::string &Line) { return handleLine(Line); },
+      [this] { return shutdownRequested(); });
+}

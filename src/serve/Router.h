@@ -1,0 +1,166 @@
+//===- serve/Router.h - The fleet routing front-end --------------*- C++ -*-===//
+//
+// Part of the VEGA reproduction project.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The routing front-end of the serving fleet: a VegaRouter fronts several
+/// shards — each a VegaServer with its own warm session, either in-process
+/// (LocalShard) or a separate daemon behind an AF_UNIX socket
+/// (SocketShard). At startup the router queries every shard's `info` and
+/// partitions the target space round-robin into a shard map keyed by
+/// target name; each generation request is forwarded VERBATIM to its
+/// owning shard's NDJSON loop and the shard's response line is relayed
+/// verbatim — byte-transparent, so a response through the router is
+/// byte-identical to one from the shard (and therefore to a solo run).
+///
+/// Admission control: the router tracks in-flight forwards per shard and
+/// rejects work for a saturated shard with the typed Overloaded code
+/// (-32005) without forwarding — backpressure surfaces at the edge instead
+/// of queueing without bound.
+///
+/// Protocol v2: the router answers `info` itself with schema vega-serve-2,
+/// which adds the shard map (`shards: [{id, targets, inFlight,
+/// queueDepth}]`) to the v1 fields. Shards keep answering vega-serve-1,
+/// and a shard serving without a router is byte-compatible with v1
+/// clients. `ping`/`stats` are also answered locally; `shutdown` fans out
+/// to every shard before stopping the router's own transports.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VEGA_SERVE_ROUTER_H
+#define VEGA_SERVE_ROUTER_H
+
+#include "serve/Server.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace vega {
+namespace serve {
+
+/// One shard as the router sees it: an opaque NDJSON line endpoint.
+class ShardEndpoint {
+public:
+  virtual ~ShardEndpoint() = default;
+  virtual const std::string &id() const = 0;
+  /// One round trip: request line in, response line out. Unavailable when
+  /// the shard cannot be reached.
+  virtual StatusOr<std::string> call(const std::string &Line) = 0;
+  /// The shard's admission-queue depth when observable from this process
+  /// (in-process shards); 0 for remote shards.
+  virtual uint64_t queueDepth() const { return 0; }
+};
+
+/// An in-process shard: owns its session and server. The multi-shard
+/// single-process deployment (`vega-serve --router --local-shards N`).
+class LocalShard : public ShardEndpoint {
+public:
+  LocalShard(std::string Id, std::unique_ptr<VegaSession> Session,
+             ServerOptions Options);
+  ~LocalShard() override;
+
+  const std::string &id() const override { return Id; }
+  StatusOr<std::string> call(const std::string &Line) override;
+  uint64_t queueDepth() const override;
+
+  VegaServer &server() { return *Server; }
+
+private:
+  std::string Id;
+  std::unique_ptr<VegaSession> Session;
+  std::unique_ptr<VegaServer> Server;
+};
+
+/// A shard daemon in another process, behind an AF_UNIX socket
+/// (`vega-serve --router --shard /path/sock`). Connect-per-call.
+class SocketShard : public ShardEndpoint {
+public:
+  SocketShard(std::string Id, std::string Path);
+
+  const std::string &id() const override { return Id; }
+  StatusOr<std::string> call(const std::string &Line) override;
+
+private:
+  std::string Id;
+  std::string Path;
+};
+
+struct RouterOptions {
+  /// Most concurrently forwarded calls per shard before the router answers
+  /// Overloaded (-32005) without forwarding. 0 means unbounded.
+  int ShardWindow = 16;
+  bool Verbose = false;
+};
+
+/// The front-end. Construct with the shard endpoints, then init() to build
+/// the shard map; handleLine()/serveStream()/serveSocket() mirror the
+/// VegaServer transport surface.
+class VegaRouter {
+public:
+  VegaRouter(std::vector<std::unique_ptr<ShardEndpoint>> Shards,
+             RouterOptions Options);
+  ~VegaRouter();
+
+  VegaRouter(const VegaRouter &) = delete;
+  VegaRouter &operator=(const VegaRouter &) = delete;
+
+  /// Queries every shard's `info` and partitions the union of their
+  /// targets round-robin into the shard map. Unavailable when a shard
+  /// cannot be reached, FailedPrecondition when a shard reports no
+  /// targets.
+  Status init();
+
+  /// Answers one raw request line (thread-safe; transports share it).
+  std::string handleLine(const std::string &Line);
+
+  /// NDJSON loop over a stream pair; returns after EOF or shutdown.
+  Status serveStream(std::istream &In, std::ostream &Out);
+  /// NDJSON loop over an AF_UNIX socket; returns after shutdown.
+  Status serveSocket(const std::string &Path);
+
+  bool shutdownRequested() const {
+    return Shutdown.load(std::memory_order_relaxed);
+  }
+
+  size_t shardCount() const { return Shards.size(); }
+  /// target -> owning shard index. Valid after init().
+  const std::map<std::string, size_t> &shardMap() const { return ShardMap; }
+  /// Lines forwarded to shard \p Shard since startup (test/telemetry hook).
+  uint64_t forwardCount(size_t Shard) const;
+
+private:
+  struct ShardState {
+    std::unique_ptr<ShardEndpoint> Endpoint;
+    std::vector<std::string> Targets; ///< owned targets, sorted
+    std::atomic<uint64_t> InFlight{0};
+    std::atomic<uint64_t> Forwarded{0};
+  };
+
+  /// Forwards \p Line to \p Shard under the in-flight window; the typed
+  /// Overloaded rejection and transport failures become local error
+  /// responses carrying \p Id.
+  std::string forwardLine(ShardState &Shard, const std::string &Line,
+                          const Json &Id);
+  Json handleInfo();
+  Json handleStats();
+  std::string handleShutdown(const Json &Id, const std::string &Line);
+
+  std::vector<std::unique_ptr<ShardState>> Shards;
+  RouterOptions Options;
+  std::map<std::string, size_t> ShardMap;
+  std::atomic<bool> Shutdown{false};
+  std::chrono::steady_clock::time_point StartTime;
+};
+
+} // namespace serve
+} // namespace vega
+
+#endif // VEGA_SERVE_ROUTER_H

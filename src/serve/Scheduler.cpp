@@ -1,0 +1,327 @@
+//===- serve/Scheduler.cpp - Continuous decode-step batching -----------------===//
+//
+// Part of the VEGA reproduction project.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Scheduler.h"
+
+#include "obs/Metrics.h"
+
+#include <algorithm>
+#include <utility>
+
+using namespace vega;
+using namespace vega::serve;
+
+Scheduler::Scheduler(VegaSession &Session, SchedulerOptions Options)
+    : Session(Session), Options(Options) {
+  if (this->Options.Window < 1)
+    this->Options.Window = 1;
+  if (this->Options.MaxQueue < 0)
+    this->Options.MaxQueue = 0;
+  LoopThread = std::thread([this] { loop(); });
+  CompletionThread = std::thread([this] { completionLoop(); });
+}
+
+Scheduler::~Scheduler() {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Stop = true;
+  }
+  Cv.notify_all();
+  LoopThread.join();
+  // The loop is gone; whatever it left behind gets a terminal answer. A
+  // waiter is never silently dropped — transports block on the callback.
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    for (PendingAdmission &P : Queue)
+      failWaiter(std::move(P.W), Status::unavailable("server shutting down"));
+    Queue.clear();
+    for (ActiveGeneration &G : Active)
+      for (Waiter &W : G.Waiters)
+        failWaiter(std::move(W), Status::unavailable("server shutting down"));
+    Active.clear();
+  }
+  {
+    std::lock_guard<std::mutex> Lock(CompMu);
+    CompStop = true;
+  }
+  CompCv.notify_all();
+  CompletionThread.join();
+}
+
+Status Scheduler::submit(const std::string &Target,
+                         std::shared_ptr<obs::RequestContext> Ctx,
+                         Completion Done) {
+  Waiter W{std::move(Ctx), std::move(Done)};
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    if (Stop)
+      return Status::unavailable("scheduler stopped");
+    // Attach-dedup: a target already decoding serves every new request for
+    // it from the same generation. Window-exempt — no new decode work.
+    for (ActiveGeneration &G : Active)
+      if (G.Target == Target) {
+        if (W.Ctx)
+          obs::MetricsRegistry::instance().observe("serve.queue_ms",
+                                                   W.Ctx->elapsedMs());
+        G.Waiters.push_back(std::move(W));
+        Attached.fetch_add(1, std::memory_order_relaxed);
+        obs::MetricsRegistry::instance().addCounter("serve.sched.attached");
+        return Status::ok();
+      }
+    if (Options.MaxQueue > 0 &&
+        Queue.size() >= static_cast<size_t>(Options.MaxQueue)) {
+      Rejected.fetch_add(1, std::memory_order_relaxed);
+      obs::MetricsRegistry::instance().addCounter("serve.sched.rejected");
+      return Status::resourceExhausted(
+          "admission queue full (" + std::to_string(Queue.size()) +
+          " waiting, window " + std::to_string(Options.Window) + ")");
+    }
+    Queue.push_back(PendingAdmission{Target, std::move(W)});
+    publishGauges();
+  }
+  Cv.notify_one();
+  return Status::ok();
+}
+
+SchedulerStats Scheduler::stats() const {
+  SchedulerStats S;
+  S.Steps = Steps.load(std::memory_order_relaxed);
+  S.Admitted = Admitted.load(std::memory_order_relaxed);
+  S.Attached = Attached.load(std::memory_order_relaxed);
+  S.Retired = Retired.load(std::memory_order_relaxed);
+  S.Rejected = Rejected.load(std::memory_order_relaxed);
+  S.Expired = Expired.load(std::memory_order_relaxed);
+  S.MaxCoActive = MaxCoActive.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> Lock(Mu);
+  S.Active = Active.size();
+  S.QueueDepth = Queue.size();
+  return S;
+}
+
+void Scheduler::pause() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Paused = true;
+}
+
+void Scheduler::resume() {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Paused = false;
+  }
+  Cv.notify_all();
+}
+
+void Scheduler::loop() {
+  while (true) {
+    {
+      std::unique_lock<std::mutex> Lock(Mu);
+      Cv.wait(Lock, [this] {
+        return Stop || (!Paused && (!Queue.empty() || !Active.empty()));
+      });
+      if (Stop)
+        return;
+      admitLocked();
+      if (Active.empty())
+        continue;
+    }
+    stepOnce();
+    retireCompleted();
+  }
+}
+
+void Scheduler::admitLocked() {
+  // Attach first: queued requests whose target started decoding since they
+  // were submitted join that generation (window-exempt).
+  for (auto It = Queue.begin(); It != Queue.end();) {
+    ActiveGeneration *Owner = nullptr;
+    for (ActiveGeneration &G : Active)
+      if (G.Target == It->Target) {
+        Owner = &G;
+        break;
+      }
+    if (!Owner) {
+      ++It;
+      continue;
+    }
+    if (It->W.Ctx)
+      obs::MetricsRegistry::instance().observe("serve.queue_ms",
+                                               It->W.Ctx->elapsedMs());
+    Owner->Waiters.push_back(std::move(It->W));
+    Attached.fetch_add(1, std::memory_order_relaxed);
+    obs::MetricsRegistry::instance().addCounter("serve.sched.attached");
+    It = Queue.erase(It);
+  }
+  // Then open new generations while the window has room. This is where
+  // mid-flight admission happens: the loop re-enters here between every
+  // step, so a request that arrived during a step joins the next one.
+  while (Active.size() < static_cast<size_t>(Options.Window) &&
+         !Queue.empty()) {
+    PendingAdmission P = std::move(Queue.front());
+    Queue.pop_front();
+    // A generation opened earlier in this very pass may now own the
+    // target (two queued requests for one target): attach, don't open a
+    // duplicate generation.
+    ActiveGeneration *Owner = nullptr;
+    for (ActiveGeneration &G : Active)
+      if (G.Target == P.Target) {
+        Owner = &G;
+        break;
+      }
+    if (Owner) {
+      if (P.W.Ctx)
+        obs::MetricsRegistry::instance().observe("serve.queue_ms",
+                                                 P.W.Ctx->elapsedMs());
+      Owner->Waiters.push_back(std::move(P.W));
+      Attached.fetch_add(1, std::memory_order_relaxed);
+      obs::MetricsRegistry::instance().addCounter("serve.sched.attached");
+      continue;
+    }
+    if (P.W.Ctx && P.W.Ctx->expired()) {
+      Expired.fetch_add(1, std::memory_order_relaxed);
+      failWaiter(std::move(P.W), Status::unavailable("deadline exceeded"));
+      continue;
+    }
+    if (P.W.Ctx)
+      obs::MetricsRegistry::instance().observe("serve.queue_ms",
+                                               P.W.Ctx->elapsedMs());
+    StatusOr<VegaSession::GenerationHandle> Handle =
+        Session.beginGenerate(P.Target);
+    if (!Handle.isOk()) {
+      failWaiter(std::move(P.W), Handle.status());
+      continue;
+    }
+    ActiveGeneration G;
+    G.Target = P.Target;
+    G.Handle = std::move(Handle.value());
+    G.Waiters.push_back(std::move(P.W));
+    Active.push_back(std::move(G));
+    Admitted.fetch_add(1, std::memory_order_relaxed);
+    obs::MetricsRegistry::instance().addCounter("serve.sched.admitted");
+    uint64_t Co = Active.size();
+    uint64_t Prev = MaxCoActive.load(std::memory_order_relaxed);
+    while (Prev < Co &&
+           !MaxCoActive.compare_exchange_weak(Prev, Co,
+                                              std::memory_order_relaxed)) {
+    }
+  }
+  publishGauges();
+}
+
+void Scheduler::stepOnce() {
+  // Claim up to one pool's worth of units, round-robin across the active
+  // set so every co-active request advances each step. With fewer active
+  // requests than lanes the extra claims revisit requests with units left
+  // (same-request units are independent), keeping the pool saturated.
+  size_t LaneTarget = std::max(
+      Active.size(), static_cast<size_t>(Session.system().stage3Lanes()));
+  std::vector<std::pair<VegaSession::GenerationHandle *, size_t>> Units;
+  Units.reserve(LaneTarget);
+  bool Claimed = true;
+  while (Units.size() < LaneTarget && Claimed) {
+    Claimed = false;
+    for (ActiveGeneration &G : Active) {
+      if (Units.size() >= LaneTarget)
+        break;
+      if (std::optional<size_t> U = G.Handle.claimUnit()) {
+        Units.emplace_back(&G.Handle, *U);
+        Claimed = true;
+      }
+    }
+  }
+  if (Units.empty())
+    return;
+
+  // Attribute each target's generation spans to the first request that
+  // asked for it; the router thread-local hops pool lanes with the fan-out
+  // so every gen.* span lands in the right flight-recorder ring.
+  obs::RequestRouter Router;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    for (ActiveGeneration &G : Active)
+      if (!G.Waiters.empty() && G.Waiters.front().Ctx)
+        Router.bind(G.Target, G.Waiters.front().Ctx.get());
+  }
+  auto &Metrics = obs::MetricsRegistry::instance();
+  Metrics.addCounter("serve.sched.steps");
+  Metrics.observe("serve.batch_size", static_cast<double>(Active.size()));
+  {
+    obs::RouterScope RouteScope(&Router);
+    std::lock_guard<std::mutex> EngineLock(EngineMu);
+    Session.system().runGenerateUnits(Units);
+  }
+  Steps.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Scheduler::retireCompleted() {
+  // Fold under Mu so submit() can never attach to a generation that is
+  // mid-retire; the fold itself is a cheap deterministic merge (every unit
+  // already executed), not decode work.
+  std::vector<CompletionItem> Done;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    for (auto It = Active.begin(); It != Active.end();) {
+      if (!It->Handle.complete()) {
+        ++It;
+        continue;
+      }
+      CompletionItem Item;
+      Item.Waiters = std::move(It->Waiters);
+      StatusOr<GeneratedBackend> Backend =
+          Session.finish(std::move(It->Handle));
+      if (Backend.isOk())
+        Item.Backend =
+            std::make_shared<GeneratedBackend>(std::move(Backend.value()));
+      else
+        Item.Error = Backend.status();
+      Done.push_back(std::move(Item));
+      It = Active.erase(It);
+      Retired.fetch_add(1, std::memory_order_relaxed);
+      obs::MetricsRegistry::instance().addCounter("serve.sched.retired");
+    }
+    publishGauges();
+  }
+  for (CompletionItem &Item : Done)
+    pushCompletion(std::move(Item));
+}
+
+void Scheduler::completionLoop() {
+  while (true) {
+    CompletionItem Item;
+    {
+      std::unique_lock<std::mutex> Lock(CompMu);
+      CompCv.wait(Lock, [this] { return CompStop || !Completions.empty(); });
+      if (Completions.empty())
+        return; // stopping and fully drained
+      Item = std::move(Completions.front());
+      Completions.pop_front();
+    }
+    for (Waiter &W : Item.Waiters)
+      if (W.Done)
+        W.Done(Item.Backend.get(), Item.Backend ? Status::ok() : Item.Error);
+  }
+}
+
+void Scheduler::failWaiter(Waiter W, Status St) {
+  CompletionItem Item;
+  Item.Waiters.push_back(std::move(W));
+  Item.Error = std::move(St);
+  pushCompletion(std::move(Item));
+}
+
+void Scheduler::pushCompletion(CompletionItem Item) {
+  {
+    std::lock_guard<std::mutex> Lock(CompMu);
+    Completions.push_back(std::move(Item));
+  }
+  CompCv.notify_one();
+}
+
+void Scheduler::publishGauges() {
+  auto &Metrics = obs::MetricsRegistry::instance();
+  Metrics.setGauge("serve.queue_depth", static_cast<double>(Queue.size()));
+  Metrics.setGauge("serve.active", static_cast<double>(Active.size()));
+}

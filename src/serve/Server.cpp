@@ -1,4 +1,4 @@
-//===- serve/Server.cpp - The vega-serve batching daemon ---------------------===//
+//===- serve/Server.cpp - The vega-serve shard daemon ------------------------===//
 //
 // Part of the VEGA reproduction project.
 // SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
@@ -10,19 +10,15 @@
 #include "obs/Log.h"
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
+#include "serve/Transport.h"
 
-#include <algorithm>
-#include <cerrno>
-#include <cstring>
+#include <condition_variable>
+#include <deque>
 #include <istream>
-#include <map>
+#include <mutex>
 #include <ostream>
-#include <set>
-
-#include <poll.h>
-#include <sys/socket.h>
-#include <sys/un.h>
-#include <unistd.h>
+#include <thread>
+#include <utility>
 
 using namespace vega;
 using namespace vega::serve;
@@ -30,38 +26,29 @@ using namespace vega::serve;
 VegaServer::VegaServer(VegaSession &Session, ServerOptions Options)
     : Session(Session), Options(Options),
       StartTime(std::chrono::steady_clock::now()) {
-  if (this->Options.MaxBatch < 1)
-    this->Options.MaxBatch = 1;
+  if (this->Options.Window < 1)
+    this->Options.Window = 1;
   // A daemon always keeps its request metrics on — the `stats` method must
   // answer without any exporter flag, and counter updates are cheap.
   obs::MetricsRegistry::instance().setEnabled(true);
-  Worker = std::thread([this] { workerLoop(); });
+  SchedulerOptions SchedOpts;
+  SchedOpts.Window = this->Options.Window;
+  SchedOpts.MaxQueue = this->Options.MaxQueue;
+  Sched = std::make_unique<Scheduler>(Session, SchedOpts);
 }
 
-VegaServer::~VegaServer() {
-  {
-    std::lock_guard<std::mutex> Lock(QueueMu);
-    Stopping = true;
-  }
-  QueueCv.notify_all();
-  Worker.join();
-}
+VegaServer::~VegaServer() = default;
 
 void VegaServer::shutdown() {
   Shutdown.store(true, std::memory_order_relaxed);
 }
 
 std::future<std::string> VegaServer::submitLine(std::string Line) {
-  PendingRequest Request;
-  Request.Line = std::move(Line);
-  Request.Ctx = std::make_shared<obs::RequestContext>();
-  std::future<std::string> Future = Request.Promise.get_future();
+  auto Ctx = std::make_shared<obs::RequestContext>();
+  auto Promise = std::make_shared<std::promise<std::string>>();
+  std::future<std::string> Future = Promise->get_future();
   InFlight.fetch_add(1, std::memory_order_relaxed);
-  {
-    std::lock_guard<std::mutex> Lock(QueueMu);
-    Queue.push_back(std::move(Request));
-  }
-  QueueCv.notify_one();
+  dispatch(std::move(Line), std::move(Ctx), std::move(Promise));
   return Future;
 }
 
@@ -71,47 +58,225 @@ std::string VegaServer::handleLine(const std::string &Line) {
 
 std::vector<std::string>
 VegaServer::handleLines(const std::vector<std::string> &Lines) {
+  std::vector<std::future<std::string>> Futures;
+  Futures.reserve(Lines.size());
+  for (const std::string &Line : Lines)
+    Futures.push_back(submitLine(Line));
   std::vector<std::string> Responses;
-  for (size_t Begin = 0; Begin < Lines.size();
-       Begin += static_cast<size_t>(Options.MaxBatch)) {
-    size_t End = std::min(Lines.size(),
-                          Begin + static_cast<size_t>(Options.MaxBatch));
-    std::vector<std::string> Chunk(Lines.begin() + static_cast<long>(Begin),
-                                   Lines.begin() + static_cast<long>(End));
-    std::vector<std::string> Out = processBatch(Chunk);
-    Responses.insert(Responses.end(), std::make_move_iterator(Out.begin()),
-                     std::make_move_iterator(Out.end()));
-  }
+  Responses.reserve(Futures.size());
+  for (std::future<std::string> &Future : Futures)
+    Responses.push_back(Future.get());
   return Responses;
 }
 
-void VegaServer::workerLoop() {
-  while (true) {
-    std::vector<PendingRequest> Batch;
-    {
-      std::unique_lock<std::mutex> Lock(QueueMu);
-      QueueCv.wait(Lock, [this] { return Stopping || !Queue.empty(); });
-      if (Queue.empty())
-        return; // Stopping and fully drained.
-      size_t N = std::min(Queue.size(), static_cast<size_t>(Options.MaxBatch));
-      for (size_t I = 0; I < N; ++I) {
-        Batch.push_back(std::move(Queue.front()));
-        Queue.pop_front();
-      }
+void VegaServer::resolve(
+    const std::shared_ptr<std::promise<std::string>> &Promise,
+    std::string Response) {
+  // Decrement before fulfilling: a waiter woken by the future must never
+  // observe its own request still counted in flight.
+  InFlight.fetch_sub(1, std::memory_order_relaxed);
+  Promise->set_value(std::move(Response));
+}
+
+std::string VegaServer::runRequest(obs::RequestContext &Ctx,
+                                   const std::string &MethodLabel,
+                                   const std::string &Target,
+                                   const std::function<Json()> &Build) {
+  auto &Metrics = obs::MetricsRegistry::instance();
+  auto &Log = obs::Logger::instance();
+  obs::RequestScope ReqScope(&Ctx);
+  obs::Span RequestSpan("serve.request", "serve");
+  RequestSpan.arg("method", MethodLabel == "invalid" ? "<invalid>"
+                                                     : MethodLabel);
+  if (!Target.empty())
+    RequestSpan.arg("target", Target);
+  // The total counter lands before the response is built, so a `stats`
+  // payload counts the request that asked for it.
+  Metrics.addCounter("serve.requests");
+  Json Response = Build();
+
+  // Completion telemetry: one labeled counter series per (method, code),
+  // the latency histogram, an info-level NDJSON line, and — past the slow
+  // threshold — a warn-level dump of the request's span ring.
+  std::string CodeLabel = "ok";
+  if (const Json *Error = Response.get("error")) {
+    Metrics.addCounter("serve.errors");
+    CodeLabel =
+        std::to_string(static_cast<long long>(Error->getNumber("code")));
+  }
+  RequestSpan.arg("code", CodeLabel);
+  Metrics.addCounter("serve.requests",
+                     {{"method", MethodLabel}, {"code", CodeLabel}});
+  double Ms = Ctx.elapsedMs();
+  Metrics.observe("serve.request_ms", Ms);
+  if (Log.enabled(obs::LogLevel::Info)) {
+    Json Fields = Json::object();
+    Fields.set("req", Ctx.id());
+    Fields.set("method", MethodLabel);
+    if (!Target.empty())
+      Fields.set("target", Target);
+    Fields.set("code", CodeLabel);
+    Fields.set("ms", Ms);
+    Log.log(obs::LogLevel::Info, "serve.request", Fields);
+  }
+  if (Options.SlowMs > 0.0 && Ms >= Options.SlowMs &&
+      Log.enabled(obs::LogLevel::Warn)) {
+    Json Fields = Json::object();
+    Fields.set("req", Ctx.id());
+    Fields.set("method", MethodLabel);
+    Fields.set("ms", Ms);
+    Fields.set("slowMs", Options.SlowMs);
+    Json SpanList = Json::array();
+    for (const obs::RequestContext::SpanRecord &R : Ctx.spans()) {
+      Json SpanJson = Json::object();
+      SpanJson.set("name", R.Name);
+      SpanJson.set("startUs", R.StartUs);
+      SpanJson.set("durUs", R.DurUs);
+      SpanList.push(std::move(SpanJson));
     }
-    std::vector<std::string> Lines;
-    std::vector<std::shared_ptr<obs::RequestContext>> Ctxs;
-    Lines.reserve(Batch.size());
-    Ctxs.reserve(Batch.size());
-    for (const PendingRequest &Request : Batch) {
-      Lines.push_back(Request.Line);
-      Ctxs.push_back(Request.Ctx);
-    }
-    std::vector<std::string> Responses = processBatch(Lines, Ctxs);
-    for (size_t I = 0; I < Batch.size(); ++I) {
-      Batch[I].Promise.set_value(std::move(Responses[I]));
-      InFlight.fetch_sub(1, std::memory_order_relaxed);
-    }
+    Fields.set("spans", std::move(SpanList));
+    Fields.set("spansDropped", Ctx.spansDropped());
+    Log.log(obs::LogLevel::Warn, "serve.slow", Fields);
+  }
+  return Response.dump();
+}
+
+void VegaServer::dispatch(std::string Line,
+                          std::shared_ptr<obs::RequestContext> Ctx,
+                          std::shared_ptr<std::promise<std::string>> Promise) {
+  auto &Metrics = obs::MetricsRegistry::instance();
+  StatusOr<RpcRequest> Parsed = parseRpcRequest(Line);
+  if (!Parsed.isOk()) {
+    Metrics.observe("serve.queue_ms", Ctx->elapsedMs());
+    const Status &St = Parsed.status();
+    ErrorCode Code = St.message().rfind("parse error", 0) == 0
+                         ? ErrorCode::ParseError
+                         : ErrorCode::InvalidRequest;
+    resolve(Promise, runRequest(*Ctx, "invalid", "", [&] {
+      return makeRpcError(Json(), Code, St.message());
+    }));
+    return;
+  }
+
+  RpcRequest &Request = *Parsed;
+  Ctx->setMethod(Request.Method);
+  Ctx->setDeadlineAfterMs(Request.Params.getNumber("deadlineMs", 0.0));
+  const std::string &Method = Request.Method;
+
+  // Everything answered on this thread experienced (essentially) no queue.
+  // Generation requests observe their real queue wait at admission instead.
+  auto Inline = [&](const std::string &Target, const std::function<Json()> &Build) {
+    Metrics.observe("serve.queue_ms", Ctx->elapsedMs());
+    resolve(Promise, runRequest(*Ctx, Method, Target, Build));
+  };
+
+  if (Ctx->expired()) {
+    Inline("", [&] {
+      return makeRpcError(Request.Id, ErrorCode::Unavailable,
+                          "deadline exceeded", "unavailable");
+    });
+    return;
+  }
+  if (Method == "ping") {
+    Inline("", [&] {
+      Json Result = Json::object();
+      Result.set("ok", true);
+      return makeRpcResult(Request.Id, std::move(Result));
+    });
+    return;
+  }
+  if (Method == "info") {
+    Inline("", [&] { return makeRpcResult(Request.Id, handleInfo()); });
+    return;
+  }
+  if (Method == "stats") {
+    Inline("", [&] { return makeRpcResult(Request.Id, handleStats()); });
+    return;
+  }
+  if (Method == "shutdown") {
+    shutdown();
+    Inline("", [&] {
+      Json Result = Json::object();
+      Result.set("ok", true);
+      return makeRpcResult(Request.Id, std::move(Result));
+    });
+    return;
+  }
+  if (Method != "generate" && Method != "evaluate" && Method != "repair") {
+    Inline("", [&] {
+      return makeRpcError(Request.Id, ErrorCode::MethodNotFound,
+                          "unknown method '" + Method + "'", "unimplemented");
+    });
+    return;
+  }
+
+  std::string Target = Request.Params.getString("target");
+  if (Target.empty()) {
+    Inline("", [&] {
+      return makeRpcError(Request.Id, ErrorCode::InvalidParams,
+                          "params require a string 'target'",
+                          "invalid-argument");
+    });
+    return;
+  }
+  if (Session.corpus().targets().find(Target) == nullptr) {
+    Inline(Target, [&] {
+      return makeRpcError(Request.Id,
+                          Status::notFound("unknown target '" + Target + "'"));
+    });
+    return;
+  }
+
+  // A validated generation request: hand it to the scheduler. The
+  // completion runs on the scheduler's completion worker once the target's
+  // generation retires — possibly shared with other attached requests, but
+  // each request still gets its own serve.request span, counters, and log
+  // line.
+  auto R = std::make_shared<RpcRequest>(std::move(Request));
+  Status Submitted = Sched->submit(
+      Target, Ctx,
+      [this, R, Ctx, Promise, Target](const GeneratedBackend *Gen,
+                                      const Status &St) {
+        resolve(Promise, runRequest(*Ctx, R->Method, Target, [&]() -> Json {
+          if (!St.isOk())
+            return makeRpcError(R->Id, St);
+          if (R->Method == "generate")
+            return makeRpcResult(R->Id, backendToJson(*Gen));
+          if (R->Method == "repair") {
+            // The repair engine re-enters the model, so it takes the
+            // scheduler's engine lock — serialized against decode steps.
+            // The report is deterministic, so co-batching does not change
+            // the payload.
+            repair::RepairOptions Opts;
+            Opts.BeamWidth = static_cast<int>(
+                R->Params.getNumber("beamWidth", Opts.BeamWidth));
+            Opts.MaxRounds = static_cast<int>(
+                R->Params.getNumber("maxRounds", Opts.MaxRounds));
+            Opts.CSThreshold =
+                R->Params.getNumber("csThreshold", Opts.CSThreshold);
+            repair::RepairEngine Engine(Session.system(), Opts);
+            StatusOr<repair::RepairReport> Report = [&] {
+              std::lock_guard<std::mutex> EngineLock(Sched->engineMutex());
+              return Engine.repairBackend(*Gen);
+            }();
+            if (!Report.isOk())
+              return makeRpcError(R->Id, Report.status());
+            return makeRpcResult(R->Id, repairToJson(*Report));
+          }
+          const Backend *Golden = Session.corpus().backend(Target);
+          const TargetTraits *Traits = Session.corpus().targets().find(Target);
+          if (!Golden || !Traits)
+            return makeRpcError(
+                R->Id, Status::failedPrecondition("target '" + Target +
+                                                  "' has no golden backend"));
+          BackendEval Eval = evaluateBackend(*Gen, *Golden, *Traits);
+          return makeRpcResult(R->Id, evalToJson(Eval));
+        }));
+      });
+  if (!Submitted.isOk()) {
+    // Typed backpressure (Overloaded, -32005) or shutdown — answered here;
+    // the scheduler never saw a waiter.
+    Inline(Target, [&] { return makeRpcError(R->Id, Submitted); });
   }
 }
 
@@ -130,7 +295,7 @@ Json VegaServer::handleInfo() const {
   Info.set("templates",
            static_cast<uint64_t>(Session.system().templates().size()));
   Info.set("fromCheckpoint", Session.loadedFromCheckpoint());
-  Info.set("maxBatch", Options.MaxBatch);
+  Info.set("maxBatch", Options.Window);
   Info.set("precision", precisionName(Session.precision()));
   Info.set("prefixSharing", Session.prefixSharing());
   return Info;
@@ -138,6 +303,7 @@ Json VegaServer::handleInfo() const {
 
 Json VegaServer::handleStats() {
   auto &Metrics = obs::MetricsRegistry::instance();
+  SchedulerStats Sch = Sched->stats();
   Json Stats = Json::object();
   Stats.set("schema", "vega-stats-1");
   Stats.set("uptimeSec",
@@ -145,11 +311,22 @@ Json VegaServer::handleStats() {
                                           StartTime)
                 .count());
   Stats.set("inFlight", InFlight.load(std::memory_order_relaxed));
-  {
-    std::lock_guard<std::mutex> Lock(QueueMu);
-    Stats.set("queueDepth", static_cast<uint64_t>(Queue.size()));
-  }
+  Stats.set("queueDepth", Sch.QueueDepth);
   Stats.set("requests", Metrics.counterValue("serve.requests"));
+  {
+    Json Scheduler = Json::object();
+    Scheduler.set("window", Options.Window);
+    Scheduler.set("maxQueue", Options.MaxQueue);
+    Scheduler.set("steps", Sch.Steps);
+    Scheduler.set("admitted", Sch.Admitted);
+    Scheduler.set("attached", Sch.Attached);
+    Scheduler.set("retired", Sch.Retired);
+    Scheduler.set("rejected", Sch.Rejected);
+    Scheduler.set("expired", Sch.Expired);
+    Scheduler.set("maxCoActive", Sch.MaxCoActive);
+    Scheduler.set("active", Sch.Active);
+    Stats.set("scheduler", std::move(Scheduler));
+  }
   // Reuse the registry's JSON export as the snapshot — stats, the JSON
   // exporter, and the Prometheus exposition all read the same store, so
   // the three views can never disagree on a count.
@@ -176,243 +353,6 @@ Json VegaServer::handleStats() {
   return Stats;
 }
 
-std::vector<std::string>
-VegaServer::processBatch(const std::vector<std::string> &Lines) {
-  return processBatch(
-      Lines, std::vector<std::shared_ptr<obs::RequestContext>>(Lines.size()));
-}
-
-std::vector<std::string> VegaServer::processBatch(
-    const std::vector<std::string> &Lines,
-    const std::vector<std::shared_ptr<obs::RequestContext>> &CtxsIn) {
-  std::lock_guard<std::mutex> BatchLock(BatchMu);
-  auto &Metrics = obs::MetricsRegistry::instance();
-  auto &Log = obs::Logger::instance();
-  obs::Span BatchSpan("serve.batch", "serve");
-  BatchSpan.arg("requests", std::to_string(Lines.size()));
-  Metrics.addCounter("serve.batches");
-  Metrics.observe("serve.batch_size", static_cast<double>(Lines.size()));
-
-  // Every slot gets a context: the queue path created one at submission
-  // (so elapsed time covers queue wait); the direct handleLines path gets
-  // a fresh one here.
-  std::vector<std::shared_ptr<obs::RequestContext>> Ctxs = CtxsIn;
-  Ctxs.resize(Lines.size());
-  for (std::shared_ptr<obs::RequestContext> &Ctx : Ctxs)
-    if (!Ctx)
-      Ctx = std::make_shared<obs::RequestContext>();
-
-  struct Slot {
-    StatusOr<RpcRequest> Request = Status::internal("unparsed");
-    bool WantsBackend = false; ///< generate or evaluate with a valid target
-    bool Expired = false;      ///< deadline already passed at parse time
-    std::string Target;
-  };
-  std::vector<Slot> Slots;
-  Slots.reserve(Lines.size());
-
-  // Parse + validate every request, collecting the generation targets.
-  std::vector<std::string> Targets;
-  std::set<std::string> SeenTargets;
-  for (size_t I = 0; I < Lines.size(); ++I) {
-    obs::RequestContext &Ctx = *Ctxs[I];
-    Metrics.observe("serve.queue_ms", Ctx.elapsedMs());
-    Slot S;
-    S.Request = parseRpcRequest(Lines[I]);
-    if (S.Request.isOk()) {
-      const RpcRequest &Request = *S.Request;
-      Ctx.setMethod(Request.Method);
-      Ctx.setDeadlineAfterMs(Request.Params.getNumber("deadlineMs", 0.0));
-      if (Ctx.expired()) {
-        S.Expired = true; // answered unavailable; never reaches the fan-out
-      } else if (Request.Method == "generate" ||
-                 Request.Method == "evaluate" || Request.Method == "repair") {
-        std::string Target = Request.Params.getString("target");
-        if (!Target.empty() &&
-            Session.corpus().targets().find(Target) != nullptr) {
-          S.WantsBackend = true;
-          S.Target = Target;
-          if (SeenTargets.insert(Target).second)
-            Targets.push_back(Target);
-        }
-      }
-    }
-    Slots.push_back(std::move(S));
-  }
-
-  // Attribute each target's generation spans to the first request that
-  // asked for it; the router hops pool lanes with the fan-out so every
-  // gen.* span lands in the right flight-recorder ring.
-  obs::RequestRouter Router;
-  for (size_t I = 0; I < Slots.size(); ++I)
-    if (Slots[I].WantsBackend)
-      Router.bind(Slots[I].Target, Ctxs[I].get());
-
-  // One fan-out for every distinct target in the batch. The merge inside
-  // generateBackends() is deterministic, so each per-target backend is
-  // byte-identical to a single-request run.
-  std::map<std::string, GeneratedBackend> Backends;
-  Status BatchStatus = Status::ok();
-  if (!Targets.empty()) {
-    obs::RouterScope RouteScope(&Router);
-    StatusOr<std::vector<GeneratedBackend>> Generated =
-        Session.generateMany(Targets);
-    if (Generated.isOk())
-      for (GeneratedBackend &Backend : *Generated) {
-        std::string Name = Backend.TargetName;
-        Backends.emplace(std::move(Name), std::move(Backend));
-      }
-    else
-      BatchStatus = Generated.status();
-  }
-
-  std::vector<std::string> Responses;
-  Responses.reserve(Lines.size());
-  for (size_t SlotIdx = 0; SlotIdx < Slots.size(); ++SlotIdx) {
-    Slot &S = Slots[SlotIdx];
-    obs::RequestContext &Ctx = *Ctxs[SlotIdx];
-    obs::RequestScope ReqScope(&Ctx);
-    obs::Span RequestSpan("serve.request", "serve");
-    Metrics.addCounter("serve.requests");
-    auto Fail = [&](Json Response) {
-      Metrics.addCounter("serve.errors");
-      return Response;
-    };
-
-    std::string MethodLabel = "invalid";
-    Json Response;
-    if (!S.Request.isOk()) {
-      const Status &St = S.Request.status();
-      int Code = St.message().rfind("parse error", 0) == 0 ? RpcParseError
-                                                           : RpcInvalidRequest;
-      RequestSpan.arg("method", "<invalid>");
-      Response = Fail(makeRpcError(Json(), Code, St.message()));
-    } else {
-      const RpcRequest &Request = *S.Request;
-      MethodLabel = Request.Method;
-      RequestSpan.arg("method", Request.Method);
-      if (!S.Target.empty())
-        RequestSpan.arg("target", S.Target);
-
-      if (S.Expired) {
-        Response = Fail(makeRpcError(Request.Id, RpcUnavailable,
-                                     "deadline exceeded", "unavailable"));
-      } else if (Request.Method == "ping") {
-        Json Result = Json::object();
-        Result.set("ok", true);
-        Response = makeRpcResult(Request.Id, std::move(Result));
-      } else if (Request.Method == "info") {
-        Response = makeRpcResult(Request.Id, handleInfo());
-      } else if (Request.Method == "stats") {
-        Response = makeRpcResult(Request.Id, handleStats());
-      } else if (Request.Method == "shutdown") {
-        shutdown();
-        Json Result = Json::object();
-        Result.set("ok", true);
-        Response = makeRpcResult(Request.Id, std::move(Result));
-      } else if (Request.Method == "generate" ||
-                 Request.Method == "evaluate" || Request.Method == "repair") {
-        std::string Target = Request.Params.getString("target");
-        if (Target.empty()) {
-          Response = Fail(makeRpcError(
-              Request.Id, RpcInvalidParams,
-              "params require a string 'target'", "invalid-argument"));
-        } else if (!S.WantsBackend) {
-          Response = Fail(makeRpcError(
-              Request.Id, Status::notFound("unknown target '" + Target + "'")));
-        } else if (!BatchStatus.isOk()) {
-          Response = Fail(makeRpcError(Request.Id, BatchStatus));
-        } else {
-          const GeneratedBackend &Generated = Backends.at(Target);
-          if (Request.Method == "generate") {
-            Response = makeRpcResult(Request.Id, backendToJson(Generated));
-          } else if (Request.Method == "repair") {
-            // Repair shares the batch's generate fan-out and then runs the
-            // per-request engine; the report is deterministic, so batching
-            // does not change the payload.
-            repair::RepairOptions Opts;
-            Opts.BeamWidth = static_cast<int>(
-                Request.Params.getNumber("beamWidth", Opts.BeamWidth));
-            Opts.MaxRounds = static_cast<int>(
-                Request.Params.getNumber("maxRounds", Opts.MaxRounds));
-            Opts.CSThreshold =
-                Request.Params.getNumber("csThreshold", Opts.CSThreshold);
-            repair::RepairEngine Engine(Session.system(), Opts);
-            StatusOr<repair::RepairReport> Report =
-                Engine.repairBackend(Generated);
-            if (Report.isOk())
-              Response = makeRpcResult(Request.Id, repairToJson(*Report));
-            else
-              Response = Fail(makeRpcError(Request.Id, Report.status()));
-          } else {
-            const Backend *Golden = Session.corpus().backend(Target);
-            const TargetTraits *Traits =
-                Session.corpus().targets().find(Target);
-            if (!Golden || !Traits) {
-              Response = Fail(makeRpcError(
-                  Request.Id,
-                  Status::failedPrecondition("target '" + Target +
-                                             "' has no golden backend")));
-            } else {
-              BackendEval Eval = evaluateBackend(Generated, *Golden, *Traits);
-              Response = makeRpcResult(Request.Id, evalToJson(Eval));
-            }
-          }
-        }
-      } else {
-        Response = Fail(makeRpcError(Request.Id, RpcMethodNotFound,
-                                     "unknown method '" + Request.Method + "'",
-                                     "unimplemented"));
-      }
-    }
-
-    // Completion telemetry: one labeled counter series per (method, code),
-    // the latency histogram, an info-level NDJSON line, and — past the
-    // slow threshold — a warn-level dump of the request's span ring.
-    std::string CodeLabel = "ok";
-    if (const Json *Error = Response.get("error"))
-      CodeLabel = std::to_string(
-          static_cast<long long>(Error->getNumber("code")));
-    RequestSpan.arg("code", CodeLabel);
-    Metrics.addCounter("serve.requests",
-                       {{"method", MethodLabel}, {"code", CodeLabel}});
-    double Ms = Ctx.elapsedMs();
-    Metrics.observe("serve.request_ms", Ms);
-    if (Log.enabled(obs::LogLevel::Info)) {
-      Json Fields = Json::object();
-      Fields.set("req", Ctx.id());
-      Fields.set("method", MethodLabel);
-      if (!S.Target.empty())
-        Fields.set("target", S.Target);
-      Fields.set("code", CodeLabel);
-      Fields.set("ms", Ms);
-      Fields.set("batch", static_cast<uint64_t>(Lines.size()));
-      Log.log(obs::LogLevel::Info, "serve.request", Fields);
-    }
-    if (Options.SlowMs > 0.0 && Ms >= Options.SlowMs &&
-        Log.enabled(obs::LogLevel::Warn)) {
-      Json Fields = Json::object();
-      Fields.set("req", Ctx.id());
-      Fields.set("method", MethodLabel);
-      Fields.set("ms", Ms);
-      Fields.set("slowMs", Options.SlowMs);
-      Json SpanList = Json::array();
-      for (const obs::RequestContext::SpanRecord &R : Ctx.spans()) {
-        Json SpanJson = Json::object();
-        SpanJson.set("name", R.Name);
-        SpanJson.set("startUs", R.StartUs);
-        SpanJson.set("durUs", R.DurUs);
-        SpanList.push(std::move(SpanJson));
-      }
-      Fields.set("spans", std::move(SpanList));
-      Fields.set("spansDropped", Ctx.spansDropped());
-      Log.log(obs::LogLevel::Warn, "serve.slow", Fields);
-    }
-    Responses.push_back(Response.dump());
-  }
-  return Responses;
-}
-
 Status VegaServer::serveStream(std::istream &In, std::ostream &Out) {
   std::mutex Mu;
   std::condition_variable Cv;
@@ -420,7 +360,7 @@ Status VegaServer::serveStream(std::istream &In, std::ostream &Out) {
   bool Done = false;
 
   // Responses go out in submission order; the writer drains futures so the
-  // reader can keep pipelining lines into the batcher.
+  // reader can keep pipelining lines into the scheduler.
   std::thread Writer([&] {
     while (true) {
       std::future<std::string> Future;
@@ -457,76 +397,7 @@ Status VegaServer::serveStream(std::istream &In, std::ostream &Out) {
 }
 
 Status VegaServer::serveSocket(const std::string &Path) {
-  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (Fd < 0)
-    return Status::unavailable(std::string("cannot create socket: ") +
-                               std::strerror(errno));
-  sockaddr_un Addr{};
-  Addr.sun_family = AF_UNIX;
-  if (Path.size() >= sizeof(Addr.sun_path)) {
-    ::close(Fd);
-    return Status::invalidArgument("socket path too long: '" + Path + "'");
-  }
-  std::strncpy(Addr.sun_path, Path.c_str(), sizeof(Addr.sun_path) - 1);
-  ::unlink(Path.c_str());
-  if (::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0) {
-    ::close(Fd);
-    return Status::unavailable("cannot bind '" + Path +
-                               "': " + std::strerror(errno));
-  }
-  if (::listen(Fd, 16) < 0) {
-    ::close(Fd);
-    return Status::unavailable("cannot listen on '" + Path +
-                               "': " + std::strerror(errno));
-  }
-
-  std::vector<std::thread> Connections;
-  while (!shutdownRequested()) {
-    // Poll with a timeout so a `shutdown` request processed on another
-    // connection breaks the accept loop promptly.
-    pollfd Poll{Fd, POLLIN, 0};
-    int Ready = ::poll(&Poll, 1, 200);
-    if (Ready < 0) {
-      if (errno == EINTR)
-        continue;
-      break;
-    }
-    if (Ready == 0)
-      continue;
-    int Client = ::accept(Fd, nullptr, nullptr);
-    if (Client < 0)
-      continue;
-    Connections.emplace_back([this, Client] {
-      std::string Buffer;
-      char Chunk[4096];
-      for (;;) {
-        ssize_t N = ::read(Client, Chunk, sizeof(Chunk));
-        if (N <= 0)
-          break;
-        Buffer.append(Chunk, static_cast<size_t>(N));
-        size_t Newline;
-        while ((Newline = Buffer.find('\n')) != std::string::npos) {
-          std::string Line = Buffer.substr(0, Newline);
-          Buffer.erase(0, Newline + 1);
-          if (Line.empty())
-            continue;
-          std::string Response = handleLine(Line) + "\n";
-          size_t Written = 0;
-          while (Written < Response.size()) {
-            ssize_t W = ::write(Client, Response.data() + Written,
-                                Response.size() - Written);
-            if (W <= 0)
-              break;
-            Written += static_cast<size_t>(W);
-          }
-        }
-      }
-      ::close(Client);
-    });
-  }
-  ::close(Fd);
-  for (std::thread &Connection : Connections)
-    Connection.join();
-  ::unlink(Path.c_str());
-  return Status::ok();
+  return serveSocketLines(
+      Path, [this](const std::string &Line) { return handleLine(Line); },
+      [this] { return shutdownRequested(); });
 }

@@ -1,4 +1,4 @@
-//===- serve/Server.h - The vega-serve batching daemon -----------*- C++ -*-===//
+//===- serve/Server.h - The vega-serve shard daemon --------------*- C++ -*-===//
 //
 // Part of the VEGA reproduction project.
 // SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
@@ -6,31 +6,35 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// A long-running generation daemon over one loaded VegaSession. Requests
+/// A long-running generation daemon over one loaded VegaSession — one shard
+/// of the serving fleet (VegaRouter fronts several of these). Requests
 /// arrive as newline-delimited JSON-RPC 2.0 (over stdio or a local Unix
-/// socket), queue behind a single batching worker, and fan out across the
-/// session's ThreadPool: the worker drains up to MaxBatch pending requests,
-/// dedups their targets, runs one batched generateMany() (every
-/// (target, function) pair is one pool task), and answers each request from
-/// the per-target merge. Merges are deterministic, so a response is
-/// byte-identical whether its request ran alone or inside a batch.
+/// socket) and flow into the continuous-batching Scheduler: concurrent
+/// requests are admitted mid-flight up to the admission window, interleave
+/// their decode steps in one pool fan-out per step, attach-dedup onto an
+/// in-flight generation of the same target, and retire independently as
+/// they finish. Merges are deterministic, so a response is byte-identical
+/// whether its request ran alone or co-batched with seven neighbours.
 ///
 /// Methods: ping, info, stats, generate {target}, evaluate {target},
 /// repair {target}, shutdown. Every data method accepts an optional
-/// `deadlineMs` (relative to submission); a request still queued past its
-/// deadline is answered with RpcUnavailable instead of doing work.
+/// `deadlineMs` (relative to submission); a request past its deadline is
+/// answered Unavailable instead of doing work. When the admission queue is
+/// full, submits are rejected with the typed Overloaded code (-32005) —
+/// the backpressure signal callers and the router react to.
 ///
 /// Observability: each submitted line gets a RequestContext (monotonic id,
 /// deadline, span flight-recorder ring) at submission time, so measured
-/// latency includes queue wait. The batch worker routes the context onto
+/// latency includes queue wait. The scheduler routes the context onto
 /// every generation span via RequestRouter — a `gen.*` span recorded while
 /// serving carries its originating request id. Counters/histograms go to
 /// the process MetricsRegistry (serve.requests — total and labeled by
-/// {method,code} — serve.errors, serve.batches, serve.batch_size,
-/// serve.queue_ms, serve.request_ms); the `stats` method returns a live
-/// snapshot, and --metrics-out exports JSON or Prometheus text on exit.
-/// Request completions are NDJSON-logged at info level; requests slower
-/// than SlowMs dump their span ring at warn level.
+/// {method,code} — serve.errors, serve.batch_size, serve.queue_ms,
+/// serve.request_ms, the serve.sched.* counters, and the
+/// serve.queue_depth / serve.active gauges); the `stats` method returns a
+/// live snapshot, and --metrics-out exports JSON or Prometheus text on
+/// exit. Request completions are NDJSON-logged at info level; requests
+/// slower than SlowMs dump their span ring at warn level.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -40,25 +44,29 @@
 #include "core/VegaSession.h"
 #include "obs/Request.h"
 #include "serve/Protocol.h"
+#include "serve/Scheduler.h"
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
-#include <deque>
+#include <cstdint>
+#include <functional>
 #include <future>
 #include <iosfwd>
 #include <memory>
-#include <mutex>
 #include <string>
-#include <thread>
 #include <vector>
 
 namespace vega {
 namespace serve {
 
 struct ServerOptions {
-  /// Most pending requests merged into one generation fan-out.
-  int MaxBatch = 8;
+  /// Most generations decoding concurrently (the scheduler's admission
+  /// window). Reported as `maxBatch` by `info` for vega-serve-1 wire
+  /// compatibility.
+  int Window = 8;
+  /// Most requests waiting for admission before new generation requests
+  /// are rejected with Overloaded (-32005). 0 means unbounded.
+  int MaxQueue = 64;
   /// Requests slower than this (milliseconds, queue wait included) dump
   /// their flight-recorder span ring to the structured log at warn level.
   /// 0 disables the slow-request dump.
@@ -66,8 +74,9 @@ struct ServerOptions {
   bool Verbose = false;
 };
 
-/// The daemon. One instance serves one session; serveStream()/serveSocket()
-/// block until shutdown (the `shutdown` method or transport EOF).
+/// The shard daemon. One instance serves one session; serveStream()/
+/// serveSocket() block until shutdown (the `shutdown` method or transport
+/// EOF).
 class VegaServer {
 public:
   VegaServer(VegaSession &Session, ServerOptions Options);
@@ -76,17 +85,18 @@ public:
   VegaServer(const VegaServer &) = delete;
   VegaServer &operator=(const VegaServer &) = delete;
 
-  /// Enqueues one raw request line; the future resolves to the response
-  /// line once the batching worker reaches it. Thread-safe.
+  /// Dispatches one raw request line. Protocol-only methods are answered
+  /// before this returns; generation methods resolve the future once the
+  /// scheduler retires their generation. Thread-safe.
   std::future<std::string> submitLine(std::string Line);
 
-  /// submitLine + wait. Thread-safe; concurrent callers may be answered
-  /// from one merged batch.
+  /// submitLine + wait. Thread-safe; concurrent callers co-batch in the
+  /// scheduler.
   std::string handleLine(const std::string &Line);
 
-  /// Processes \p Lines as explicit batches of up to MaxBatch (bypassing
-  /// the queue) and returns the responses in order. Used by tests to force
-  /// a known batch composition.
+  /// Submits \p Lines as one wave — their generations co-batch in the
+  /// scheduler — and returns the responses in submission order. Used by
+  /// tests to force a known co-batch composition.
   std::vector<std::string> handleLines(const std::vector<std::string> &Lines);
 
   /// NDJSON loop over a stream pair (the stdio transport). Returns after
@@ -95,9 +105,9 @@ public:
   Status serveStream(std::istream &In, std::ostream &Out);
 
   /// NDJSON loop over an AF_UNIX socket at \p Path (created fresh; an
-  /// existing file is replaced). One thread per connection; batching still
-  /// happens in the single worker, so concurrent connections batch
-  /// together. Returns after a `shutdown` request.
+  /// existing file is replaced). One thread per connection; concurrent
+  /// connections co-batch in the scheduler. Returns after a `shutdown`
+  /// request.
   Status serveSocket(const std::string &Path);
 
   /// True once a `shutdown` request was processed (or shutdown() called).
@@ -108,41 +118,44 @@ public:
   /// Requests shutdown from outside a transport (tests, signal handlers).
   void shutdown();
 
-private:
-  struct PendingRequest {
-    std::string Line;
-    /// Created at submission; shared with the batch worker so elapsed time
-    /// covers queue wait, not just processing.
-    std::shared_ptr<obs::RequestContext> Ctx;
-    std::promise<std::string> Promise;
-  };
+  /// The continuous-batching scheduler (pause/resume test hooks, stats).
+  Scheduler &scheduler() { return *Sched; }
+  const Scheduler &scheduler() const { return *Sched; }
 
-  void workerLoop();
-  /// Answers one batch of raw lines (the core of the daemon). Serialized
-  /// by BatchMu — the session's pool fan-out is not reentrant. \p Ctxs is
-  /// index-parallel with \p Lines; null entries get a fresh context.
-  std::vector<std::string>
-  processBatch(const std::vector<std::string> &Lines,
-               const std::vector<std::shared_ptr<obs::RequestContext>> &Ctxs);
-  std::vector<std::string> processBatch(const std::vector<std::string> &Lines);
+  /// Requests submitted and not yet answered (router/fleet accounting).
+  uint64_t inFlight() const { return InFlight.load(std::memory_order_relaxed); }
+
+private:
+  /// Parses \p Line and either answers it inline (protocol methods, parse
+  /// and validation errors) or hands it to the scheduler (generation
+  /// methods). Resolves \p Promise exactly once either way.
+  void dispatch(std::string Line, std::shared_ptr<obs::RequestContext> Ctx,
+                std::shared_ptr<std::promise<std::string>> Promise);
+  /// The shared request tail: serve.request span + counters + NDJSON log
+  /// around \p Build, under \p Ctx's RequestScope. Returns the serialized
+  /// response line.
+  std::string runRequest(obs::RequestContext &Ctx,
+                         const std::string &MethodLabel,
+                         const std::string &Target,
+                         const std::function<Json()> &Build);
+  /// Resolves \p Promise with \p Response and drops the in-flight count.
+  void resolve(const std::shared_ptr<std::promise<std::string>> &Promise,
+               std::string Response);
   Json handleInfo() const;
   /// The `stats` RPC payload: schema vega-stats-1 with uptime, in-flight /
-  /// queue depth, the serve counters, and per-histogram quantiles.
+  /// queue depth, the serve counters, per-histogram quantiles, and the
+  /// scheduler snapshot.
   Json handleStats();
 
   VegaSession &Session;
   ServerOptions Options;
   std::chrono::steady_clock::time_point StartTime;
-
-  std::mutex QueueMu;
-  std::condition_variable QueueCv;
-  std::deque<PendingRequest> Queue;
-  bool Stopping = false; ///< guarded by QueueMu; set by the destructor
   std::atomic<bool> Shutdown{false};
   /// Requests submitted via submitLine and not yet answered.
   std::atomic<uint64_t> InFlight{0};
-  std::mutex BatchMu;
-  std::thread Worker;
+  /// Declared last: its destructor fails pending waiters, whose callbacks
+  /// touch the members above.
+  std::unique_ptr<Scheduler> Sched;
 };
 
 } // namespace serve

@@ -1,0 +1,154 @@
+//===- serve/Transport.cpp - NDJSON transport helpers ------------------------===//
+//
+// Part of the VEGA reproduction project.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Transport.h"
+
+#include <cerrno>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace vega;
+using namespace vega::serve;
+
+namespace {
+
+/// Writes all of \p Data to \p Fd; false on a short or failed write.
+bool writeAll(int Fd, const std::string &Data) {
+  size_t Written = 0;
+  while (Written < Data.size()) {
+    ssize_t W = ::write(Fd, Data.data() + Written, Data.size() - Written);
+    if (W <= 0)
+      return false;
+    Written += static_cast<size_t>(W);
+  }
+  return true;
+}
+
+/// Fills \p Addr for \p Path; false when the path does not fit.
+bool fillAddr(sockaddr_un &Addr, const std::string &Path) {
+  Addr = sockaddr_un{};
+  Addr.sun_family = AF_UNIX;
+  if (Path.size() >= sizeof(Addr.sun_path))
+    return false;
+  std::strncpy(Addr.sun_path, Path.c_str(), sizeof(Addr.sun_path) - 1);
+  return true;
+}
+
+} // namespace
+
+Status vega::serve::serveSocketLines(
+    const std::string &Path,
+    const std::function<std::string(const std::string &)> &Handler,
+    const std::function<bool()> &ShutdownRequested) {
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return Status::unavailable(std::string("cannot create socket: ") +
+                               std::strerror(errno));
+  sockaddr_un Addr;
+  if (!fillAddr(Addr, Path)) {
+    ::close(Fd);
+    return Status::invalidArgument("socket path too long: '" + Path + "'");
+  }
+  ::unlink(Path.c_str());
+  if (::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0) {
+    ::close(Fd);
+    return Status::unavailable("cannot bind '" + Path +
+                               "': " + std::strerror(errno));
+  }
+  if (::listen(Fd, 16) < 0) {
+    ::close(Fd);
+    return Status::unavailable("cannot listen on '" + Path +
+                               "': " + std::strerror(errno));
+  }
+
+  std::vector<std::thread> Connections;
+  while (!ShutdownRequested()) {
+    // Poll with a timeout so a shutdown processed on another connection
+    // breaks the accept loop promptly.
+    pollfd Poll{Fd, POLLIN, 0};
+    int Ready = ::poll(&Poll, 1, 200);
+    if (Ready < 0) {
+      if (errno == EINTR)
+        continue;
+      break;
+    }
+    if (Ready == 0)
+      continue;
+    int Client = ::accept(Fd, nullptr, nullptr);
+    if (Client < 0)
+      continue;
+    Connections.emplace_back([&Handler, Client] {
+      std::string Buffer;
+      char Chunk[4096];
+      for (;;) {
+        ssize_t N = ::read(Client, Chunk, sizeof(Chunk));
+        if (N <= 0)
+          break;
+        Buffer.append(Chunk, static_cast<size_t>(N));
+        size_t Newline;
+        while ((Newline = Buffer.find('\n')) != std::string::npos) {
+          std::string Line = Buffer.substr(0, Newline);
+          Buffer.erase(0, Newline + 1);
+          if (Line.empty())
+            continue;
+          if (!writeAll(Client, Handler(Line) + "\n"))
+            break;
+        }
+      }
+      ::close(Client);
+    });
+  }
+  ::close(Fd);
+  for (std::thread &Connection : Connections)
+    Connection.join();
+  ::unlink(Path.c_str());
+  return Status::ok();
+}
+
+StatusOr<std::string> vega::serve::callSocketLine(const std::string &Path,
+                                                  const std::string &Line) {
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return Status::unavailable(std::string("cannot create socket: ") +
+                               std::strerror(errno));
+  sockaddr_un Addr;
+  if (!fillAddr(Addr, Path)) {
+    ::close(Fd);
+    return Status::invalidArgument("socket path too long: '" + Path + "'");
+  }
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0) {
+    ::close(Fd);
+    return Status::unavailable("cannot connect to '" + Path +
+                               "': " + std::strerror(errno));
+  }
+  if (!writeAll(Fd, Line + "\n")) {
+    ::close(Fd);
+    return Status::unavailable("short write to '" + Path + "'");
+  }
+  std::string Buffer;
+  char Chunk[4096];
+  for (;;) {
+    size_t Newline = Buffer.find('\n');
+    if (Newline != std::string::npos) {
+      ::close(Fd);
+      return Buffer.substr(0, Newline);
+    }
+    ssize_t N = ::read(Fd, Chunk, sizeof(Chunk));
+    if (N <= 0) {
+      ::close(Fd);
+      return Status::unavailable("connection to '" + Path +
+                                 "' closed before a response line");
+    }
+    Buffer.append(Chunk, static_cast<size_t>(N));
+  }
+}

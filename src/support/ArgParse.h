@@ -65,8 +65,14 @@ public:
   /// True when the flag/option was present on the command line.
   bool has(const std::string &Name) const;
 
-  /// Value of option \p Name (its default when absent).
+  /// Value of option \p Name (its default when absent). When the option was
+  /// given more than once, the last occurrence wins.
   const std::string &get(const std::string &Name) const;
+
+  /// Every occurrence of option \p Name, in command-line order (empty when
+  /// absent — the default does not count). Lets tools accept repeatable
+  /// options like `--shard=<socket> --shard=<socket>`.
+  const std::vector<std::string> &getAll(const std::string &Name) const;
 
   /// Integer value of option \p Name; \p Default when absent or non-numeric.
   int getInt(const std::string &Name, int Default) const;
@@ -111,6 +117,7 @@ private:
   std::vector<std::string> Positionals;
   std::vector<std::string> Passthrough;
   std::map<std::string, std::string> Values;
+  std::map<std::string, std::vector<std::string>> MultiValues;
 };
 
 } // namespace vega

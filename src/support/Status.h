@@ -39,6 +39,7 @@ enum class StatusCode : uint8_t {
   Unavailable,        ///< I/O failure (cannot open, write, bind, ...)
   Internal,           ///< invariant violation surfaced as a recoverable error
   Unimplemented,      ///< known but unsupported operation
+  ResourceExhausted,  ///< admission window / queue full — retry later
 };
 
 /// Short kebab-case name of a code ("invalid-argument", ...).
@@ -60,6 +61,8 @@ inline const char *statusCodeName(StatusCode Code) {
     return "internal";
   case StatusCode::Unimplemented:
     return "unimplemented";
+  case StatusCode::ResourceExhausted:
+    return "resource-exhausted";
   }
   return "unknown";
 }
@@ -97,6 +100,9 @@ public:
   static Status unimplemented(std::string Msg) {
     return Status(StatusCode::Unimplemented, std::move(Msg));
   }
+  static Status resourceExhausted(std::string Msg) {
+    return Status(StatusCode::ResourceExhausted, std::move(Msg));
+  }
 
   bool isOk() const { return Code == StatusCode::Ok; }
   StatusCode code() const { return Code; }
@@ -111,7 +117,8 @@ public:
 
   /// The CLI exit-code mapping (documented in README):
   /// 0 ok, 1 internal, 2 invalid-argument, 3 not-found,
-  /// 4 failed-precondition, 5 data-loss, 6 unavailable, 7 unimplemented.
+  /// 4 failed-precondition, 5 data-loss, 6 unavailable, 7 unimplemented,
+  /// 8 resource-exhausted.
   int toExitCode() const {
     switch (Code) {
     case StatusCode::Ok:
@@ -130,6 +137,8 @@ public:
       return 6;
     case StatusCode::Unimplemented:
       return 7;
+    case StatusCode::ResourceExhausted:
+      return 8;
     }
     return 1;
   }

@@ -13,6 +13,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "serve/Router.h"
 #include "serve/Server.h"
 
 #include "obs/Metrics.h"
@@ -21,6 +22,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <future>
 #include <sstream>
 #include <thread>
 
@@ -388,4 +390,137 @@ TEST(Serve, StatsExposesPrefixSharingTelemetry) {
   const Json *Reuse = Quantiles->get("gen.prefix_reuse_tokens");
   ASSERT_NE(Reuse, nullptr) << Stats.dump();
   EXPECT_GE(Reuse->getNumber("count"), 1.0);
+}
+
+TEST(Serve, CoBatchedEightWayMatchesSoloBytes) {
+  // Eight concurrent clients over three targets: every response must be
+  // byte-identical to the sequential (solo) answer for the same request
+  // line. Co-batching in the decode-step scheduler may only change timing.
+  VegaServer Server(session(), ServerOptions());
+  const std::vector<std::string> Targets = {"RISCV", "RI5CY", "XCORE"};
+  std::vector<std::string> Lines, Solo;
+  for (size_t I = 0; I < 8; ++I)
+    Lines.push_back(R"({"id":)" + std::to_string(I) +
+                    R"(,"method":"generate","params":{"target":")" +
+                    Targets[I % Targets.size()] + R"("}})");
+  for (const std::string &L : Lines)
+    Solo.push_back(Server.handleLine(L));
+
+  std::vector<std::string> Got(Lines.size());
+  std::vector<std::thread> Threads;
+  for (size_t I = 0; I < Lines.size(); ++I)
+    Threads.emplace_back([&, I] { Got[I] = Server.handleLine(Lines[I]); });
+  for (std::thread &T : Threads)
+    T.join();
+  for (size_t I = 0; I < Lines.size(); ++I)
+    EXPECT_EQ(Got[I], Solo[I]) << "request " << I;
+  SchedulerStats S = Server.scheduler().stats();
+  EXPECT_EQ(S.Admitted + S.Attached, 16u);
+  EXPECT_EQ(S.Retired, S.Admitted);
+  EXPECT_EQ(S.Active, 0u);
+  EXPECT_EQ(S.QueueDepth, 0u);
+}
+
+TEST(Serve, MidFlightAdmissionCoBatchesQueuedTargets) {
+  // pause() holds admission so two different targets are provably queued
+  // together; resume() must admit both into one co-active step window
+  // (MaxCoActive >= 2 — real mid-flight co-residency, not luck), and two
+  // queued requests for one target must share a single generation.
+  VegaServer Server(session(), ServerOptions());
+  Server.scheduler().pause();
+  std::future<std::string> F1 = Server.submitLine(
+      R"({"id":1,"method":"generate","params":{"target":"RISCV"}})");
+  std::future<std::string> F2 = Server.submitLine(
+      R"({"id":2,"method":"generate","params":{"target":"RI5CY"}})");
+  std::future<std::string> F3 = Server.submitLine(
+      R"({"id":3,"method":"generate","params":{"target":"RISCV"}})");
+  EXPECT_EQ(Server.scheduler().stats().QueueDepth, 3u);
+  EXPECT_EQ(Server.inFlight(), 3u);
+  Server.scheduler().resume();
+  Json R1 = parsed(F1.get()), R2 = parsed(F2.get()), R3 = parsed(F3.get());
+  ASSERT_NE(R1.get("result"), nullptr);
+  ASSERT_NE(R2.get("result"), nullptr);
+  ASSERT_NE(R3.get("result"), nullptr);
+  // Deduped same-target requests answer with the same backend bytes.
+  EXPECT_EQ(R1.get("result")->dump(), R3.get("result")->dump());
+  SchedulerStats S = Server.scheduler().stats();
+  EXPECT_EQ(S.Admitted, 2u);
+  EXPECT_EQ(S.Attached, 1u);
+  EXPECT_EQ(S.Retired, 2u);
+  EXPECT_GE(S.MaxCoActive, 2u);
+  EXPECT_EQ(Server.inFlight(), 0u);
+}
+
+TEST(Serve, BackpressureRejectsWithTypedOverloadedCode) {
+  // Window 1 + queue 1, paused: the first request holds the only queue
+  // slot, so the second must be rejected synchronously with the typed
+  // Overloaded code (-32005) — admission control, not an open-ended queue.
+  ServerOptions Options;
+  Options.Window = 1;
+  Options.MaxQueue = 1;
+  VegaServer Server(session(), Options);
+  Server.scheduler().pause();
+  std::future<std::string> Held = Server.submitLine(
+      R"({"id":1,"method":"generate","params":{"target":"RISCV"}})");
+  Json Rejected = parsed(Server.handleLine(
+      R"({"id":2,"method":"generate","params":{"target":"XCORE"}})"));
+  EXPECT_EQ(errorCode(Rejected), -32005);
+  EXPECT_EQ(Rejected.get("error")->get("data")->getString("status"),
+            "resource-exhausted");
+  EXPECT_EQ(Server.scheduler().stats().Rejected, 1u);
+  Server.scheduler().resume();
+  Json First = parsed(Held.get());
+  EXPECT_NE(First.get("result"), nullptr);
+}
+
+TEST(Serve, RouterForwardsVerbatimAcrossTwoShards) {
+  // Two in-process shards over the same artifact: the router's shard map
+  // must split the target space, forward generation verbatim to the owner,
+  // and relay bytes identical to a single-server answer. info speaks
+  // vega-serve-2 with the shard map; v1 fields stay present.
+  const std::string Path = "serve_test_router.vega";
+  ASSERT_TRUE(session().save(Path).isOk());
+  std::vector<std::unique_ptr<ShardEndpoint>> Endpoints;
+  for (int I = 0; I < 2; ++I) {
+    StatusOr<std::unique_ptr<VegaSession>> Loaded = VegaSession::load(Path);
+    ASSERT_TRUE(Loaded.isOk()) << Loaded.status().toString();
+    Endpoints.push_back(std::make_unique<LocalShard>(
+        "s" + std::to_string(I), std::move(Loaded.value()), ServerOptions()));
+  }
+  std::remove(Path.c_str());
+  VegaRouter Fleet(std::move(Endpoints), RouterOptions());
+  ASSERT_TRUE(Fleet.init().isOk());
+
+  Json Info = parsed(Fleet.handleLine(R"({"id":"i","method":"info"})"));
+  const Json *Result = Info.get("result");
+  ASSERT_NE(Result, nullptr);
+  EXPECT_EQ(Result->getString("schema"), "vega-serve-2");
+  EXPECT_TRUE(Result->get("router")->asBool());
+  ASSERT_NE(Result->get("shards"), nullptr);
+  ASSERT_EQ(Result->get("shards")->size(), 2u);
+  EXPECT_GT(Result->get("targets")->size(), 20u);
+
+  // Round-robin over identical shards: both sides of the map are owned.
+  ASSERT_EQ(Fleet.shardCount(), 2u);
+  std::vector<std::string> OwnedBy[2];
+  for (const auto &[Target, Owner] : Fleet.shardMap())
+    OwnedBy[Owner].push_back(Target);
+  ASSERT_FALSE(OwnedBy[0].empty());
+  ASSERT_FALSE(OwnedBy[1].empty());
+
+  VegaServer Single(session(), ServerOptions());
+  for (const std::string &Target : {OwnedBy[0].front(), OwnedBy[1].front()}) {
+    const std::string Line =
+        R"({"id":7,"method":"generate","params":{"target":")" + Target +
+        R"("}})";
+    EXPECT_EQ(Fleet.handleLine(Line), Single.handleLine(Line))
+        << "target " << Target;
+  }
+  EXPECT_GT(Fleet.forwardCount(0), 0u);
+  EXPECT_GT(Fleet.forwardCount(1), 0u);
+
+  // Routing rejections carry the same bytes a shard would produce.
+  const std::string Unknown =
+      R"({"id":9,"method":"generate","params":{"target":"Z80"}})";
+  EXPECT_EQ(Fleet.handleLine(Unknown), Single.handleLine(Unknown));
 }

@@ -263,3 +263,63 @@ TEST(SessionCheckpoint, ArtifactBytesIgnorePrecisionAndSharingKnobs) {
   EXPECT_EQ((*Loaded)->precision(), Precision::FP32);
   EXPECT_TRUE((*Loaded)->prefixSharing());
 }
+
+TEST(SessionCheckpoint, HandleApiStepLoopMatchesGenerate) {
+  // The redesigned Stage-3 entry point: beginGenerate/step/finish driven
+  // serially must produce exactly the bytes generate() produces, the step
+  // count must equal the unit count (one function template per unit), and
+  // two interleaved handles must not perturb each other — the scheduler's
+  // determinism contract at the session layer.
+  for (const std::string Target : {"RISCV", "RI5CY", "XCORE"}) {
+    StatusOr<GeneratedBackend> Solo = session().generate(Target);
+    ASSERT_TRUE(Solo.isOk()) << Target;
+
+    StatusOr<VegaSession::GenerationHandle> Handle =
+        session().beginGenerate(Target);
+    ASSERT_TRUE(Handle.isOk()) << Target;
+    EXPECT_EQ(Handle->target(), Target);
+    const size_t Units = Handle->unitCount();
+    ASSERT_GT(Units, 0u) << Target;
+    size_t Steps = 0;
+    while (session().step(*Handle))
+      ++Steps;
+    EXPECT_EQ(Steps, Units) << Target;
+    EXPECT_TRUE(Handle->complete()) << Target;
+    StatusOr<GeneratedBackend> Stepped =
+        session().finish(std::move(Handle.value()));
+    ASSERT_TRUE(Stepped.isOk()) << Target;
+    EXPECT_EQ(render(*Stepped), render(*Solo)) << Target;
+
+    // finish() on a fresh handle is exactly generate().
+    StatusOr<VegaSession::GenerationHandle> Fresh =
+        session().beginGenerate(Target);
+    ASSERT_TRUE(Fresh.isOk()) << Target;
+    StatusOr<GeneratedBackend> Folded =
+        session().finish(std::move(Fresh.value()));
+    ASSERT_TRUE(Folded.isOk()) << Target;
+    EXPECT_EQ(render(*Folded), render(*Solo)) << Target;
+  }
+
+  // Interleave two handles step by step; both must match their solo runs.
+  StatusOr<VegaSession::GenerationHandle> A = session().beginGenerate("RISCV");
+  StatusOr<VegaSession::GenerationHandle> B = session().beginGenerate("XCORE");
+  ASSERT_TRUE(A.isOk() && B.isOk());
+  bool MoreA = true, MoreB = true;
+  while (MoreA || MoreB) {
+    if (MoreA)
+      MoreA = session().step(*A);
+    if (MoreB)
+      MoreB = session().step(*B);
+  }
+  StatusOr<GeneratedBackend> OutA = session().finish(std::move(A.value()));
+  StatusOr<GeneratedBackend> OutB = session().finish(std::move(B.value()));
+  ASSERT_TRUE(OutA.isOk() && OutB.isOk());
+  StatusOr<GeneratedBackend> SoloA = session().generate("RISCV");
+  StatusOr<GeneratedBackend> SoloB = session().generate("XCORE");
+  ASSERT_TRUE(SoloA.isOk() && SoloB.isOk());
+  EXPECT_EQ(render(*OutA), render(*SoloA));
+  EXPECT_EQ(render(*OutB), render(*SoloB));
+
+  EXPECT_EQ(session().beginGenerate("Z80").status().code(),
+            StatusCode::NotFound);
+}
