@@ -27,9 +27,10 @@ int main() {
     const BackendEval &Eval = bench::evaluation(Target);
     TextTable Table;
     Table.setHeader({"Module", "Functions", "Accurate", "Accuracy",
-                     "CS~1.00", "CS<1.00", "MultiTarget"});
+                     "CS~1.00", "CS<1.00", "MultiTarget", "TxtOnly"});
     double ModuleAccSum = 0.0;
     int ModuleCount = 0;
+    size_t TxtOnlyTotal = 0;
     for (BackendModule Module : AllModules) {
       auto It = Eval.PerModule.find(Module);
       if (It == Eval.PerModule.end() || It->second.Functions == 0)
@@ -39,24 +40,33 @@ int main() {
                    static_cast<double>(S.Functions);
       ModuleAccSum += Acc;
       ++ModuleCount;
+      TxtOnlyTotal += S.TxtOnlyFunctions;
       Table.addRow({moduleName(Module), std::to_string(S.Functions),
                     std::to_string(S.AccurateFunctions),
                     TextTable::formatPercent(Acc),
                     std::to_string(S.AccurateHighConfidence),
                     std::to_string(S.AccurateFunctions -
                                    S.AccurateHighConfidence),
-                    std::to_string(S.MultiTarget)});
+                    std::to_string(S.MultiTarget),
+                    std::to_string(S.TxtOnlyFunctions)});
     }
     Table.addSeparator();
     Table.addRow({"ALL", "", "",
                   TextTable::formatPercent(Eval.functionAccuracy()), "", "",
-                  ""});
+                  "", std::to_string(TxtOnlyTotal)});
     std::printf("== Fig. 8: %s function accuracy (pass@1) ==\n%s",
                 Target.c_str(), Table.render().c_str());
-    std::printf("module-average accuracy: %s\n\n",
+    std::printf("module-average accuracy: %s\n",
                 TextTable::formatPercent(ModuleCount
                                              ? ModuleAccSum / ModuleCount
                                              : 0.0)
+                    .c_str());
+    // TxtOnly functions are textually off but behaviourally equal under the
+    // differential oracle, so the plain statement accounting over-penalizes
+    // them; the adjusted number counts their statements as accurate.
+    std::printf("statement accuracy: %s (adjusted for Txt-Only: %s)\n\n",
+                TextTable::formatPercent(Eval.statementAccuracy()).c_str(),
+                TextTable::formatPercent(Eval.adjustedStatementAccuracy())
                     .c_str());
   }
 

@@ -73,26 +73,69 @@ static double errRate(const BackendEval &Eval,
 double BackendEval::errVRate() const { return errRate(*this, &FunctionEval::ErrV); }
 double BackendEval::errCSRate() const { return errRate(*this, &FunctionEval::ErrCS); }
 double BackendEval::errDefRate() const { return errRate(*this, &FunctionEval::ErrDef); }
+double BackendEval::divValRate() const { return errRate(*this, &FunctionEval::DivVal); }
+double BackendEval::divTrapRate() const { return errRate(*this, &FunctionEval::DivTrap); }
+double BackendEval::divEffRate() const { return errRate(*this, &FunctionEval::DivEff); }
+double BackendEval::txtOnlyRate() const { return errRate(*this, &FunctionEval::TxtOnly); }
+
+double BackendEval::adjustedStatementAccuracy() const {
+  size_t Accurate = 0, Manual = 0;
+  for (const FunctionEval &F : Functions) {
+    Accurate += F.AccurateStatements;
+    if (F.TxtOnly)
+      Accurate += F.ManualStatements; // behaviourally validated: not manual
+    else
+      Manual += F.ManualStatements;
+  }
+  size_t Total = Accurate + Manual;
+  return Total == 0 ? 0.0
+                    : static_cast<double>(Accurate) /
+                          static_cast<double>(Total);
+}
+
+bool BackendEval::hasDifferential() const {
+  for (const FunctionEval &F : Functions)
+    if (F.DiffRan)
+      return true;
+  return false;
+}
+
+double BackendEval::differentialAccuracy() const {
+  size_t Total = 0, Accurate = 0;
+  for (const FunctionEval &F : Functions) {
+    if (!F.GoldenExists && !F.Generated)
+      continue;
+    ++Total;
+    if (F.DiffRan && F.DiffAccurate)
+      ++Accurate;
+  }
+  return Total == 0 ? 0.0
+                    : static_cast<double>(Accurate) /
+                          static_cast<double>(Total);
+}
+
+BackendEval::OracleAgreement BackendEval::agreement() const {
+  OracleAgreement A;
+  for (const FunctionEval &F : Functions) {
+    if (!F.DiffRan)
+      continue;
+    if (F.Accurate && F.DiffAccurate)
+      ++A.BothPass;
+    else if (!F.Accurate && !F.DiffAccurate)
+      ++A.BothFail;
+    else if (F.Accurate)
+      ++A.PrimaryOnlyPass;
+    else
+      ++A.DifferentialOnlyPass;
+  }
+  return A;
+}
 
 bool vega::functionPassesRegression(const FunctionAST &Candidate,
                                     const FunctionAST &Golden,
                                     const std::string &InterfaceName,
                                     const TargetTraits &Traits) {
-  Interpreter Interp;
-  for (const Environment &Env :
-       buildTestEnvironments(InterfaceName, Traits)) {
-    ExecResult Expected = Interp.run(Golden, Env);
-    ExecResult Actual = Interp.run(Candidate, Env);
-    // A golden run must never be rejected by the interpreter; a candidate
-    // whose run errors out fails the case outright.
-    if (Expected.St == ExecResult::Status::Error)
-      continue; // spec gap: skip the case rather than fail both sides
-    if (Actual.St == ExecResult::Status::Error)
-      return false;
-    if (!Expected.equivalent(Actual))
-      return false;
-  }
-  return true;
+  return eval::textOracle().passes(Candidate, Golden, InterfaceName, Traits);
 }
 
 std::pair<size_t, size_t>
@@ -157,8 +200,19 @@ bool sameSkeleton(const std::vector<Token> &A, const std::vector<Token> &B) {
 BackendEval vega::evaluateBackend(const GeneratedBackend &Generated,
                                   const Backend &Golden,
                                   const TargetTraits &Traits) {
+  return evaluateBackend(Generated, Golden, Traits, eval::textOracle());
+}
+
+BackendEval vega::evaluateBackend(const GeneratedBackend &Generated,
+                                  const Backend &Golden,
+                                  const TargetTraits &Traits,
+                                  const eval::Oracle &Primary,
+                                  const eval::Oracle *Differential) {
   BackendEval Eval;
   Eval.TargetName = Generated.TargetName;
+  Eval.OracleName = Primary.name();
+  if (Differential && Differential != &Primary)
+    Eval.OracleName += "+" + Differential->name();
 
   for (const GeneratedFunction &GF : Generated.Functions) {
     FunctionEval FE;
@@ -175,11 +229,28 @@ BackendEval vega::evaluateBackend(const GeneratedBackend &Generated,
       FE.GoldenStatements = GoldenFn->AST.size() - 1;
 
     if (FE.GoldenExists && FE.Generated) {
-      FE.Accurate = functionPassesRegression(GF.AST, GoldenFn->AST,
-                                             GF.InterfaceName, Traits);
+      eval::OracleVerdict Verdict =
+          Primary.score(GF.AST, GoldenFn->AST, GF.InterfaceName, Traits);
+      FE.Accurate = Verdict.full();
       auto [Acc, Manual] = statementAccounting(GF.AST, GoldenFn->AST);
       FE.AccurateStatements = Acc;
       FE.ManualStatements = Manual;
+
+      if (Differential) {
+        eval::OracleVerdict DV =
+            Differential == &Primary
+                ? Verdict
+                : Differential->score(GF.AST, GoldenFn->AST, GF.InterfaceName,
+                                      Traits);
+        FE.DiffRan = true;
+        FE.DiffAccurate = DV.full();
+        FE.DiffCases = DV.Cases;
+        FE.DiffPassed = DV.Passed;
+        FE.DivVal = DV.ValDivergences > 0;
+        FE.DivTrap = DV.TrapDivergences > 0 || DV.CandidateError;
+        FE.DivEff = DV.EffDivergences > 0;
+        FE.TxtOnly = DV.full() && FE.ManualStatements > 0;
+      }
     } else if (FE.GoldenExists) {
       // Function never emitted: every golden statement is manual effort.
       FE.ManualStatements = FE.GoldenStatements;
@@ -234,6 +305,8 @@ BackendEval vega::evaluateBackend(const GeneratedBackend &Generated,
       }
       MS.AccurateStatements += FE.AccurateStatements;
       MS.ManualStatements += FE.ManualStatements;
+      if (FE.TxtOnly)
+        ++MS.TxtOnlyFunctions;
     }
     Eval.Functions.push_back(std::move(FE));
   }

@@ -39,46 +39,10 @@ Status RepairOptions::validate() const {
 
 namespace {
 
-/// Behavioural-oracle score of one candidate function: cases considered
-/// (golden-error environments are skipped, mirroring
-/// functionPassesRegression), cases passed, and whether any candidate run
-/// errored. full() is exactly the pass@1 verdict; the pass fraction ranks
-/// partial improvements during hill-climbing.
-struct OracleScore {
-  size_t Passed = 0;
-  size_t Cases = 0;
-  bool CandidateError = false;
-
-  bool full() const { return !CandidateError && Passed == Cases; }
-  double fraction() const {
-    if (CandidateError)
-      return 0.0;
-    return Cases == 0 ? 1.0
-                      : static_cast<double>(Passed) /
-                            static_cast<double>(Cases);
-  }
-};
-
-OracleScore scoreAgainstGolden(const FunctionAST &Candidate,
-                               const FunctionAST &Golden,
-                               const std::string &InterfaceName,
-                               const TargetTraits &Traits) {
-  Interpreter Interp;
-  OracleScore Score;
-  for (const Environment &Env : buildTestEnvironments(InterfaceName, Traits)) {
-    ExecResult Expected = Interp.run(Golden, Env);
-    if (Expected.St == ExecResult::Status::Error)
-      continue; // spec gap: skipped on both sides, like the eval harness
-    ++Score.Cases;
-    ExecResult Actual = Interp.run(Candidate, Env);
-    if (Actual.St == ExecResult::Status::Error) {
-      Score.CandidateError = true;
-      continue;
-    }
-    if (Expected.equivalent(Actual))
-      ++Score.Passed;
-  }
-  return Score;
+/// The gating oracle a run actually uses: the configured one, or the
+/// historical text oracle when none was supplied.
+const eval::Oracle &gatingOracle(const RepairOptions &Options) {
+  return Options.OracleImpl ? *Options.OracleImpl : eval::textOracle();
 }
 
 /// (RowIndex, CandidateValue, CtxValue) — the exact decode-site identity.
@@ -182,19 +146,20 @@ RepairEngine::repairFunction(const FunctionTask &Task,
       Chosen.emplace(keyOf(GS), GS);
     return Fn;
   };
+  const eval::Oracle &Oracle = gatingOracle(Options);
   auto ScoreFn = [&](const GeneratedFunction &Fn) {
     if (!Fn.Emitted) {
       // An unemitted function implements nothing: it fails its oracle.
-      OracleScore S;
+      eval::OracleVerdict S;
       S.Cases = 1;
       S.CandidateError = true;
       return S;
     }
-    return scoreAgainstGolden(Fn.AST, GoldenAST, Iface, Traits);
+    return Oracle.score(Fn.AST, GoldenAST, Iface, Traits);
   };
 
   GeneratedFunction Current = Assemble();
-  OracleScore CurScore = ScoreFn(Current);
+  eval::OracleVerdict CurScore = ScoreFn(Current);
   double BestFrac = CurScore.fraction();
   const int DefIndex = TI.FT.Definition->Index;
 
@@ -256,7 +221,7 @@ RepairEngine::repairFunction(const FunctionTask &Task,
         ++R.Outcome.CandidatesTried;
         Chosen[Key] = T;
         GeneratedFunction Trial = Assemble();
-        OracleScore S = ScoreFn(Trial);
+        eval::OracleVerdict S = ScoreFn(Trial);
         double Frac = S.fraction();
         // Strict-improvement hill climbing, first-wins within a site: beam
         // rank breaks ties, keeping the search deterministic.
@@ -326,7 +291,9 @@ StatusOr<RepairReport> RepairEngine::repairBackend(
   RepairReport Report;
   Report.TargetName = Backend.TargetName;
   Report.Options = Options;
-  Report.BaselineEval = evaluateBackend(Backend, *Golden, *Traits);
+  Report.BaselineEval = evaluateBackend(Backend, *Golden, *Traits,
+                                        gatingOracle(Options),
+                                        Options.Classifier);
 
   // Flag = golden exists and greedy pass@1 failed (wrong or never
   // emitted). Spurious functions (no golden) are skipped: the oracle has
@@ -400,7 +367,8 @@ StatusOr<RepairReport> RepairEngine::repairBackend(
   }
 
   Report.RepairedEval =
-      evaluateBackend(Report.RepairedBackend, *Golden, *Traits);
+      evaluateBackend(Report.RepairedBackend, *Golden, *Traits,
+                      gatingOracle(Options), Options.Classifier);
   Report.BaselineHoursA = totalRepairHours(Report.BaselineEval, developerA());
   Report.RepairedHoursA = totalRepairHours(Report.RepairedEval, developerA());
   Report.BaselineHoursB = totalRepairHours(Report.BaselineEval, developerB());

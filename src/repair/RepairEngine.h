@@ -13,9 +13,13 @@
 /// automatically — flag functions failing the interpreter oracle, re-decode
 /// their lowest-confidence sites from beam candidates (CodeBE::decodeBeam),
 /// and accept a replacement only when the whole function passes the
-/// behavioural oracle (src/eval regression equivalence). Acceptance is
-/// oracle-gated, never confidence-gated, so post-repair accuracy can only
-/// improve on the greedy pass@1 baseline.
+/// behavioural oracle. The oracle itself is pluggable (eval/Oracle.h):
+/// RepairOptions::OracleImpl selects what gates flagging and acceptance
+/// (defaulting to the historical TextOracle regression equivalence), and
+/// an optional Classifier rides along on the report evaluations to census
+/// behavioural divergences. Acceptance is oracle-gated, never
+/// confidence-gated, so post-repair accuracy can only improve on the
+/// greedy pass@1 baseline.
 ///
 /// Determinism contract: beam decoding has no RNG and a fixed tie-break
 /// order, functions repair independently, sites are visited in ascending
@@ -58,6 +62,13 @@ struct RepairOptions {
   int Jobs = 0;
   /// Per-function cap on distinct sites examined per round.
   int MaxSitesPerFunction = 24;
+  /// Gating oracle: decides which functions are flagged and whether a
+  /// repaired function may commit. Null selects eval::textOracle(), the
+  /// historical behaviour. The pointee must outlive the engine.
+  const eval::Oracle *OracleImpl = nullptr;
+  /// Optional second oracle attached to the report's baseline/repaired
+  /// evaluations as a divergence classifier (never gates acceptance).
+  const eval::Oracle *Classifier = nullptr;
 
   /// InvalidArgument with a one-line reason when a field is out of range.
   Status validate() const;

@@ -49,8 +49,9 @@ Json vega::serve::backendToJson(const GeneratedBackend &Backend) {
 
 Json vega::serve::evalToJson(const BackendEval &Eval) {
   Json Doc = Json::object();
-  Doc.set("schema", "vega-eval-1");
+  Doc.set("schema", "vega-eval-2");
   Doc.set("target", Eval.TargetName);
+  Doc.set("oracle", Eval.OracleName);
 
   Json Functions = Json::array();
   for (const FunctionEval &Fn : Eval.Functions) {
@@ -72,7 +73,21 @@ Json vega::serve::evalToJson(const BackendEval &Eval) {
       Errors.push("Err-CS");
     if (Fn.ErrDef)
       Errors.push("Err-Def");
+    if (Fn.DivVal)
+      Errors.push("Div-Val");
+    if (Fn.DivTrap)
+      Errors.push("Div-Trap");
+    if (Fn.DivEff)
+      Errors.push("Div-Eff");
     F.set("errors", std::move(Errors));
+    F.set("txtOnly", Fn.TxtOnly);
+    if (Fn.DiffRan) {
+      Json Diff = Json::object();
+      Diff.set("accurate", Fn.DiffAccurate);
+      Diff.set("cases", static_cast<uint64_t>(Fn.DiffCases));
+      Diff.set("passed", static_cast<uint64_t>(Fn.DiffPassed));
+      F.set("differential", std::move(Diff));
+    }
     Functions.push(std::move(F));
   }
   Doc.set("functions", std::move(Functions));
@@ -83,6 +98,22 @@ Json vega::serve::evalToJson(const BackendEval &Eval) {
   Summary.set("errVRate", Eval.errVRate());
   Summary.set("errCSRate", Eval.errCSRate());
   Summary.set("errDefRate", Eval.errDefRate());
+  if (Eval.hasDifferential()) {
+    Summary.set("divValRate", Eval.divValRate());
+    Summary.set("divTrapRate", Eval.divTrapRate());
+    Summary.set("divEffRate", Eval.divEffRate());
+    Summary.set("txtOnlyRate", Eval.txtOnlyRate());
+    Summary.set("differentialAccuracy", Eval.differentialAccuracy());
+    Summary.set("adjustedStatementAccuracy", Eval.adjustedStatementAccuracy());
+    BackendEval::OracleAgreement A = Eval.agreement();
+    Json Agreement = Json::object();
+    Agreement.set("bothPass", static_cast<uint64_t>(A.BothPass));
+    Agreement.set("bothFail", static_cast<uint64_t>(A.BothFail));
+    Agreement.set("primaryOnlyPass", static_cast<uint64_t>(A.PrimaryOnlyPass));
+    Agreement.set("differentialOnlyPass",
+                  static_cast<uint64_t>(A.DifferentialOnlyPass));
+    Summary.set("oracleAgreement", std::move(Agreement));
+  }
   Doc.set("summary", std::move(Summary));
   return Doc;
 }
@@ -97,6 +128,9 @@ Json vega::serve::repairToJson(const repair::RepairReport &Report) {
   Options.set("maxRounds", Report.Options.MaxRounds);
   Options.set("csThreshold", Report.Options.CSThreshold);
   Options.set("maxSitesPerFunction", Report.Options.MaxSitesPerFunction);
+  Options.set("oracle", Report.Options.OracleImpl
+                            ? Report.Options.OracleImpl->name()
+                            : eval::textOracle().name());
   Doc.set("options", std::move(Options));
 
   Json Summary = Json::object();

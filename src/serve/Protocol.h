@@ -8,10 +8,17 @@
 /// \file
 /// The wire vocabulary shared by `vega-cli --json` and the vega-serve
 /// daemon: one deterministic JSON rendering of a generated backend
-/// ("vega-backend-1") and of an evaluation report ("vega-eval-1"), plus the
+/// ("vega-backend-1") and of an evaluation report ("vega-eval-2"), plus the
 /// newline-delimited JSON-RPC 2.0 framing the daemon speaks. Keeping both
 /// consumers on these functions means a backend printed by the CLI is
 /// byte-identical to the same backend inside a daemon response.
+///
+/// vega-eval-2 extends vega-eval-1 with the pluggable-oracle fields: a
+/// top-level "oracle" name, per-function Div-Val/Div-Trap/Div-Eff entries
+/// appended to "errors", a "txtOnly" flag, an optional per-function
+/// "differential" verdict object, and (when a differential oracle ran)
+/// summary divergence rates plus the text-vs-differential agreement
+/// report. All vega-eval-1 fields are unchanged.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -36,7 +43,7 @@ namespace serve {
 /// serialize identically across runs, job counts, and batch compositions.
 Json backendToJson(const GeneratedBackend &Backend);
 
-/// Renders an evaluation report as a "vega-eval-1" document (deterministic,
+/// Renders an evaluation report as a "vega-eval-2" document (deterministic,
 /// same reasoning).
 Json evalToJson(const BackendEval &Eval);
 

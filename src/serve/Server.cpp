@@ -226,6 +226,19 @@ void VegaServer::dispatch(std::string Line,
     });
     return;
   }
+  // Oracle selection (evaluate and repair): reject unknown names before the
+  // request ever reaches the scheduler.
+  std::string OracleParam = Request.Params.getString("oracle", "text");
+  std::optional<eval::OracleKind> Oracle = eval::parseOracleKind(OracleParam);
+  if (!Oracle) {
+    Inline(Target, [&] {
+      return makeRpcError(Request.Id, ErrorCode::InvalidParams,
+                          "unknown oracle '" + OracleParam +
+                              "' (expected text|differential|both)",
+                          "invalid-argument");
+    });
+    return;
+  }
 
   // A validated generation request: hand it to the scheduler. The
   // completion runs on the scheduler's completion worker once the target's
@@ -233,10 +246,11 @@ void VegaServer::dispatch(std::string Line,
   // each request still gets its own serve.request span, counters, and log
   // line.
   auto R = std::make_shared<RpcRequest>(std::move(Request));
+  eval::OracleKind Kind = *Oracle;
   Status Submitted = Sched->submit(
       Target, Ctx,
-      [this, R, Ctx, Promise, Target](const GeneratedBackend *Gen,
-                                      const Status &St) {
+      [this, R, Ctx, Promise, Target, Kind](const GeneratedBackend *Gen,
+                                            const Status &St) {
         resolve(Promise, runRequest(*Ctx, R->Method, Target, [&]() -> Json {
           if (!St.isOk())
             return makeRpcError(R->Id, St);
@@ -254,6 +268,17 @@ void VegaServer::dispatch(std::string Line,
                 R->Params.getNumber("maxRounds", Opts.MaxRounds));
             Opts.CSThreshold =
                 R->Params.getNumber("csThreshold", Opts.CSThreshold);
+            switch (Kind) {
+            case eval::OracleKind::Text:
+              break; // defaults: text gate, no classifier
+            case eval::OracleKind::Differential:
+              Opts.OracleImpl = &eval::differentialOracle();
+              Opts.Classifier = &eval::differentialOracle();
+              break;
+            case eval::OracleKind::Both:
+              Opts.Classifier = &eval::differentialOracle();
+              break;
+            }
             repair::RepairEngine Engine(Session.system(), Opts);
             StatusOr<repair::RepairReport> Report = [&] {
               std::lock_guard<std::mutex> EngineLock(Sched->engineMutex());
@@ -269,7 +294,15 @@ void VegaServer::dispatch(std::string Line,
             return makeRpcError(
                 R->Id, Status::failedPrecondition("target '" + Target +
                                                   "' has no golden backend"));
-          BackendEval Eval = evaluateBackend(*Gen, *Golden, *Traits);
+          const eval::Oracle &Primary = Kind == eval::OracleKind::Differential
+                                            ? static_cast<const eval::Oracle &>(
+                                                  eval::differentialOracle())
+                                            : eval::textOracle();
+          const eval::Oracle *Classifier =
+              Kind == eval::OracleKind::Text ? nullptr
+                                             : &eval::differentialOracle();
+          BackendEval Eval =
+              evaluateBackend(*Gen, *Golden, *Traits, Primary, Classifier);
           return makeRpcResult(R->Id, evalToJson(Eval));
         }));
       });

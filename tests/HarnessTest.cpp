@@ -7,6 +7,7 @@
 
 #include "eval/EffortModel.h"
 #include "eval/Harness.h"
+#include "lexer/Lexer.h"
 
 #include <gtest/gtest.h>
 
@@ -155,6 +156,72 @@ TEST(Harness, EmptyEvalReportsZeroNotNan) {
   Phantom.Functions.push_back(FE);
   EXPECT_DOUBLE_EQ(Phantom.functionAccuracy(), 0.0);
   EXPECT_DOUBLE_EQ(Phantom.functionAccuracy(BackendModule::REG), 0.0);
+}
+
+TEST(Harness, TxtOnlyFunctionIsUnPenalizedByAdjustedAccounting) {
+  GeneratedBackend GB = perfectBackend("RISCV");
+  // Rewrite one `return <int> ;` statement to the behaviourally identical
+  // `return <int> + 0 ;` — textually different, semantically the same.
+  std::string Mutated;
+  for (GeneratedFunction &GF : GB.Functions) {
+    if (!Mutated.empty())
+      break;
+    for (Statement *S : GF.AST.flattenMutable()) {
+      if (S->Tokens.size() == 3 && S->Tokens[0].Text == "return" &&
+          S->Tokens[1].Kind == TokenKind::IntLiteral) {
+        S->Tokens = Lexer::tokenize("return " + S->Tokens[1].Text + " + 0 ;");
+        Mutated = GF.InterfaceName;
+        break;
+      }
+    }
+  }
+  ASSERT_FALSE(Mutated.empty());
+
+  BackendEval Eval = evaluateBackend(GB, *sharedCorpus().backend("RISCV"),
+                                     *sharedCorpus().targets().find("RISCV"),
+                                     eval::textOracle(),
+                                     &eval::differentialOracle());
+  const FunctionEval *Fn = nullptr;
+  for (const FunctionEval &F : Eval.Functions)
+    if (F.InterfaceName == Mutated)
+      Fn = &F;
+  ASSERT_NE(Fn, nullptr);
+  // Behaviourally equal under both oracles, textually penalized.
+  EXPECT_TRUE(Fn->Accurate);
+  EXPECT_TRUE(Fn->DiffRan);
+  EXPECT_TRUE(Fn->DiffAccurate);
+  EXPECT_GT(Fn->ManualStatements, 0u);
+  EXPECT_TRUE(Fn->TxtOnly);
+  EXPECT_FALSE(Fn->DivVal);
+  EXPECT_FALSE(Fn->DivTrap);
+  EXPECT_FALSE(Fn->DivEff);
+
+  // The plain statement accounting charges the rewrite as manual effort;
+  // the adjusted number forgives Txt-Only functions.
+  EXPECT_LT(Eval.statementAccuracy(), 1.0);
+  EXPECT_DOUBLE_EQ(Eval.adjustedStatementAccuracy(), 1.0);
+  EXPECT_GT(Eval.txtOnlyRate(), 0.0);
+  size_t TxtOnlyTotal = 0;
+  for (const auto &[Module, Stats] : Eval.PerModule)
+    TxtOnlyTotal += Stats.TxtOnlyFunctions;
+  EXPECT_EQ(TxtOnlyTotal, 1u);
+  EXPECT_EQ(Eval.OracleName, "text+differential");
+}
+
+TEST(Harness, DifferentialFieldsStayEmptyWithoutClassifier) {
+  GeneratedBackend GB = perfectBackend("RISCV");
+  BackendEval Eval = evaluateBackend(GB, *sharedCorpus().backend("RISCV"),
+                                     *sharedCorpus().targets().find("RISCV"));
+  EXPECT_FALSE(Eval.hasDifferential());
+  EXPECT_EQ(Eval.OracleName, "text");
+  for (const FunctionEval &F : Eval.Functions) {
+    EXPECT_FALSE(F.DiffRan);
+    EXPECT_FALSE(F.TxtOnly);
+  }
+  EXPECT_DOUBLE_EQ(Eval.divValRate(), 0.0);
+  EXPECT_DOUBLE_EQ(Eval.txtOnlyRate(), 0.0);
+  EXPECT_DOUBLE_EQ(Eval.adjustedStatementAccuracy(),
+                   Eval.statementAccuracy());
 }
 
 TEST(EffortModel, CalibrationReproducesTable4Totals) {

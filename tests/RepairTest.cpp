@@ -17,6 +17,7 @@
 #include "repair/RepairEngine.h"
 
 #include "core/VegaSession.h"
+#include "eval/Oracle.h"
 #include "serve/Protocol.h"
 
 #include <gtest/gtest.h>
@@ -145,6 +146,54 @@ TEST(Repair, ReportJsonByteIdenticalAcrossJobs) {
   repair::RepairOptions Opts;
   Opts.BeamWidth = 3;
   Opts.MaxRounds = 1;
+  Opts.Jobs = 1;
+  repair::RepairEngine One(session().system(), Opts);
+  StatusOr<repair::RepairReport> A = One.repairBackend(riscvBackend());
+  ASSERT_TRUE(A.isOk()) << A.status().toString();
+  Opts.Jobs = 4;
+  repair::RepairEngine Four(session().system(), Opts);
+  StatusOr<repair::RepairReport> B = Four.repairBackend(riscvBackend());
+  ASSERT_TRUE(B.isOk()) << B.status().toString();
+  EXPECT_EQ(serve::repairToJson(*A).dump(2), serve::repairToJson(*B).dump(2));
+}
+
+TEST(Repair, LegacyEvaluateWrapperMatchesExplicitTextOracleBytes) {
+  // The 3-arg evaluateBackend is now a thin wrapper over the pluggable
+  // oracle API; its rendering must be byte-identical to spelling the text
+  // oracle out explicitly.
+  const Backend *Golden = session().corpus().backend("RISCV");
+  const TargetTraits *Traits = session().corpus().targets().find("RISCV");
+  ASSERT_NE(Golden, nullptr);
+  ASSERT_NE(Traits, nullptr);
+  BackendEval Legacy = evaluateBackend(riscvBackend(), *Golden, *Traits);
+  BackendEval Explicit = evaluateBackend(riscvBackend(), *Golden, *Traits,
+                                         eval::textOracle());
+  EXPECT_EQ(serve::evalToJson(Legacy).dump(2),
+            serve::evalToJson(Explicit).dump(2));
+  EXPECT_EQ(Legacy.OracleName, "text");
+}
+
+TEST(Repair, DifferentialOracleGatedRepairNeverRegresses) {
+  // Swapping the gating oracle for the randomized differential one must
+  // preserve the acceptance invariant: accuracy under that same oracle
+  // never drops, and the report advertises which oracle gated it.
+  repair::RepairOptions Opts;
+  Opts.BeamWidth = 2;
+  Opts.MaxRounds = 1;
+  Opts.OracleImpl = &eval::differentialOracle();
+  Opts.Classifier = &eval::differentialOracle();
+  repair::RepairEngine Engine(session().system(), Opts);
+  StatusOr<repair::RepairReport> Report = Engine.repairBackend(riscvBackend());
+  ASSERT_TRUE(Report.isOk()) << Report.status().toString();
+  EXPECT_GE(Report->RepairedEval.functionAccuracy(),
+            Report->BaselineEval.functionAccuracy());
+  EXPECT_EQ(Report->BaselineEval.OracleName, "differential");
+  EXPECT_TRUE(Report->BaselineEval.hasDifferential());
+  EXPECT_EQ(serve::repairToJson(*Report).get("options")->getString("oracle"),
+            "differential");
+
+  // Seeded input generation keeps the differential gate deterministic:
+  // the full report renders byte-identically across repair job counts.
   Opts.Jobs = 1;
   repair::RepairEngine One(session().system(), Opts);
   StatusOr<repair::RepairReport> A = One.repairBackend(riscvBackend());

@@ -155,19 +155,67 @@ TEST(Serve, EvaluateReportsSchemaAndSummary) {
       R"({"id":1,"method":"evaluate","params":{"target":"RISCV"}})"));
   const Json *Result = Response.get("result");
   ASSERT_NE(Result, nullptr);
-  EXPECT_EQ(Result->getString("schema"), "vega-eval-1");
-  ASSERT_NE(Result->get("summary"), nullptr);
-  double FnAcc = Result->get("summary")->getNumber("functionAccuracy", -1);
+  EXPECT_EQ(Result->getString("schema"), "vega-eval-2");
+  // The default oracle is the historical text oracle: no differential
+  // summary fields appear, so v1 consumers see the same shape plus the
+  // "oracle" tag and per-function "txtOnly" flags.
+  EXPECT_EQ(Result->getString("oracle"), "text");
+  const Json *Summary = Result->get("summary");
+  ASSERT_NE(Summary, nullptr);
+  double FnAcc = Summary->getNumber("functionAccuracy", -1);
   EXPECT_GE(FnAcc, 0.0);
   EXPECT_LE(FnAcc, 1.0);
+  EXPECT_EQ(Summary->get("differentialAccuracy"), nullptr);
+  EXPECT_EQ(Summary->get("oracleAgreement"), nullptr);
+}
+
+TEST(Serve, EvaluateWithBothOraclesReportsDifferentialSummary) {
+  VegaServer Server(session(), ServerOptions());
+  Json Response = parsed(Server.handleLine(
+      R"({"id":2,"method":"evaluate","params":{"target":"RISCV","oracle":"both"}})"));
+  const Json *Result = Response.get("result");
+  ASSERT_NE(Result, nullptr) << Response.dump();
+  EXPECT_EQ(Result->getString("schema"), "vega-eval-2");
+  EXPECT_EQ(Result->getString("oracle"), "text+differential");
+  const Json *Summary = Result->get("summary");
+  ASSERT_NE(Summary, nullptr);
+  EXPECT_GE(Summary->getNumber("differentialAccuracy", -1), 0.0);
+  EXPECT_GE(Summary->getNumber("adjustedStatementAccuracy", -1),
+            Summary->getNumber("statementAccuracy", -1));
+  const Json *Agreement = Summary->get("oracleAgreement");
+  ASSERT_NE(Agreement, nullptr);
+  EXPECT_GE(Agreement->getNumber("bothPass", -1), 0.0);
+  EXPECT_GE(Agreement->getNumber("primaryOnlyPass", -1), 0.0);
+  // Every scored function carries the differential sub-object.
+  const Json *Functions = Result->get("functions");
+  ASSERT_NE(Functions, nullptr);
+  ASSERT_GT(Functions->size(), 0u);
+  for (const Json &Fn : Functions->items()) {
+    ASSERT_NE(Fn.get("txtOnly"), nullptr);
+    // Scoring needs both sides: a generated function with no golden
+    // counterpart (or vice versa) never reaches either oracle.
+    if (!Fn.get("generated")->asBool() || !Fn.get("goldenExists")->asBool())
+      continue;
+    const Json *Diff = Fn.get("differential");
+    ASSERT_NE(Diff, nullptr) << Fn.dump();
+    EXPECT_GE(Diff->getNumber("cases", -1), 0.0);
+  }
+
+  // An unknown oracle is rejected up front with InvalidParams, before any
+  // generation work is scheduled.
+  Json Bad = parsed(Server.handleLine(
+      R"({"id":3,"method":"evaluate","params":{"target":"RISCV","oracle":"vibes"}})"));
+  EXPECT_EQ(errorCode(Bad), -32602);
+  EXPECT_EQ(Bad.get("error")->get("data")->getString("status"),
+            "invalid-argument");
 }
 
 TEST(Serve, ErrorTaxonomySerializesAllCombinationsInStableOrder) {
-  // The "vega-eval-1" errors array must list Err-V, Err-CS, Err-Def in
-  // that fixed order for every one of the eight flag combinations —
-  // downstream diffing (CI smoke, jobs-determinism checks) relies on the
-  // rendering being canonical.
-  for (int Mask = 0; Mask < 8; ++Mask) {
+  // The "vega-eval-2" errors array must list Err-V, Err-CS, Err-Def,
+  // Div-Val, Div-Trap, Div-Eff in that fixed order for every one of the
+  // 64 flag combinations — downstream diffing (CI smoke, jobs-determinism
+  // checks) relies on the rendering being canonical.
+  for (int Mask = 0; Mask < 64; ++Mask) {
     BackendEval Eval;
     Eval.TargetName = "RISCV";
     FunctionEval FE;
@@ -177,6 +225,14 @@ TEST(Serve, ErrorTaxonomySerializesAllCombinationsInStableOrder) {
     FE.ErrV = (Mask & 1) != 0;
     FE.ErrCS = (Mask & 2) != 0;
     FE.ErrDef = (Mask & 4) != 0;
+    FE.DivVal = (Mask & 8) != 0;
+    FE.DivTrap = (Mask & 16) != 0;
+    FE.DivEff = (Mask & 32) != 0;
+    // Divergence classes only arise when the differential oracle ran.
+    FE.DiffRan = (Mask & 56) != 0;
+    FE.DiffCases = FE.DiffRan ? 24 : 0;
+    FE.DiffPassed = 0;
+    FE.TxtOnly = Mask == 0;
     FE.Accurate = Mask == 0;
     Eval.Functions.push_back(FE);
 
@@ -192,10 +248,22 @@ TEST(Serve, ErrorTaxonomySerializesAllCombinationsInStableOrder) {
       Expected.push_back("Err-CS");
     if (FE.ErrDef)
       Expected.push_back("Err-Def");
+    if (FE.DivVal)
+      Expected.push_back("Div-Val");
+    if (FE.DivTrap)
+      Expected.push_back("Div-Trap");
+    if (FE.DivEff)
+      Expected.push_back("Div-Eff");
     ASSERT_EQ(Errors->size(), Expected.size()) << "mask " << Mask;
     for (size_t I = 0; I < Expected.size(); ++I)
       EXPECT_EQ(Errors->at(I).asString(), Expected[I])
           << "mask " << Mask << " index " << I;
+    // txtOnly always renders; the differential sub-object exactly when
+    // the differential oracle ran.
+    ASSERT_NE(Fn.get("txtOnly"), nullptr) << "mask " << Mask;
+    EXPECT_EQ(Fn.get("txtOnly")->asBool(), FE.TxtOnly) << "mask " << Mask;
+    EXPECT_EQ(Fn.get("differential") != nullptr, FE.DiffRan)
+        << "mask " << Mask;
 
     // Round-trip: re-parsing the dump preserves the array byte-for-byte.
     StatusOr<Json> Back = Json::parse(Doc.dump());
@@ -215,6 +283,7 @@ TEST(Serve, RepairMethodReportsSchemaAndNeverRegresses) {
   ASSERT_NE(Options, nullptr);
   EXPECT_EQ(Options->getNumber("beamWidth"), 2.0);
   EXPECT_EQ(Options->getNumber("maxRounds"), 1.0);
+  EXPECT_EQ(Options->getString("oracle"), "text");
   const Json *Summary = Result->get("summary");
   ASSERT_NE(Summary, nullptr);
   double Before = Summary->getNumber("baselineFunctionAccuracy", -1);

@@ -71,8 +71,20 @@ struct CliOptions {
   std::string SessionPath;
   Precision Prec = Precision::FP32;
   bool PrefixSharing = true;
+  eval::OracleKind Oracle = eval::OracleKind::Text;
 };
 CliOptions Cli;
+
+/// (primary, classifier) pair the current --oracle selection maps to.
+const eval::Oracle &primaryOracle() {
+  return Cli.Oracle == eval::OracleKind::Differential
+             ? static_cast<const eval::Oracle &>(eval::differentialOracle())
+             : eval::textOracle();
+}
+const eval::Oracle *classifierOracle() {
+  return Cli.Oracle == eval::OracleKind::Text ? nullptr
+                                              : &eval::differentialOracle();
+}
 
 const BackendCorpus &corpus() { return VegaSession::standardCorpus(); }
 
@@ -345,7 +357,8 @@ int cmdEvaluate(const std::string &Target, int Epochs) {
   if (!GB.isOk())
     return fail(GB.status());
   BackendEval Eval = evaluateBackend(*GB, *corpus().backend(Target),
-                                     *corpus().targets().find(Target));
+                                     *corpus().targets().find(Target),
+                                     primaryOracle(), classifierOracle());
   if (Cli.JsonOut) {
     std::printf("%s\n", serve::evalToJson(Eval).dump(2).c_str());
     return 0;
@@ -357,9 +370,30 @@ int cmdEvaluate(const std::string &Target, int Epochs) {
                   TextTable::formatDouble(F.Confidence, 2),
                   F.Accurate ? "pass" : (F.Generated ? "FAIL" : "missing")});
   std::printf("%s\n", Table.render().c_str());
+  std::printf("oracle: %s\n", Eval.OracleName.c_str());
   std::printf("function accuracy: %s   statement accuracy: %s\n",
               TextTable::formatPercent(Eval.functionAccuracy()).c_str(),
               TextTable::formatPercent(Eval.statementAccuracy()).c_str());
+  if (Eval.hasDifferential()) {
+    std::printf("differential accuracy: %s   adjusted statement accuracy: "
+                "%s\n",
+                TextTable::formatPercent(Eval.differentialAccuracy()).c_str(),
+                TextTable::formatPercent(Eval.adjustedStatementAccuracy())
+                    .c_str());
+    std::printf("divergences: Div-Val %s, Div-Trap %s, Div-Eff %s, "
+                "Txt-Only %s\n",
+                TextTable::formatPercent(Eval.divValRate()).c_str(),
+                TextTable::formatPercent(Eval.divTrapRate()).c_str(),
+                TextTable::formatPercent(Eval.divEffRate()).c_str(),
+                TextTable::formatPercent(Eval.txtOnlyRate()).c_str());
+    BackendEval::OracleAgreement A = Eval.agreement();
+    std::printf("oracle agreement: both-pass %llu, both-fail %llu, "
+                "primary-only %llu, differential-only %llu\n",
+                static_cast<unsigned long long>(A.BothPass),
+                static_cast<unsigned long long>(A.BothFail),
+                static_cast<unsigned long long>(A.PrimaryOnlyPass),
+                static_cast<unsigned long long>(A.DifferentialOnlyPass));
+  }
   std::printf("estimated repair hours (Developer A model): %.2f\n",
               totalRepairHours(Eval, developerA()));
   return 0;
@@ -377,6 +411,17 @@ int cmdRepair(const std::string &Target, int Epochs, int BeamWidth,
   Opts.BeamWidth = BeamWidth;
   Opts.MaxRounds = MaxRounds;
   Opts.Jobs = Cli.Jobs;
+  switch (Cli.Oracle) {
+  case eval::OracleKind::Text:
+    break; // defaults: text gate, no classifier
+  case eval::OracleKind::Differential:
+    Opts.OracleImpl = &eval::differentialOracle();
+    Opts.Classifier = &eval::differentialOracle();
+    break;
+  case eval::OracleKind::Both:
+    Opts.Classifier = &eval::differentialOracle();
+    break;
+  }
   repair::RepairEngine Engine((*S)->system(), Opts);
   StatusOr<repair::RepairReport> Report = Engine.repairBackend(*GB);
   if (!Report.isOk())
@@ -551,6 +596,11 @@ int main(int argc, char **argv) {
                  "decode fast paths reusing shared KV prefixes (default on; "
                  "byte-identical either way)");
   Args.addFlag("json", "emit generate/evaluate/repair/inspect results as JSON");
+  Args.addOption("oracle", "text|differential|both",
+                 "evaluate/repair: scoring oracle — text (curated regression "
+                 "environments, default), differential (seeded randomized "
+                 "side-by-side execution), or both (text verdicts with a "
+                 "differential divergence census)");
   Args.addOption("beam", "N", "repair: ranked candidates per site (default 4)");
   Args.addOption("rounds", "N", "repair: fixed-point round cap (default 2)");
   Args.addOption("trace-out", "file", "write a Chrome/Perfetto trace on exit");
@@ -613,6 +663,15 @@ int main(int argc, char **argv) {
       return fail(Status::invalidArgument("unknown --prefix-sharing '" + V +
                                           "' (expected on or off)"));
     Cli.PrefixSharing = V == "on";
+  }
+  if (Args.has("oracle")) {
+    std::optional<eval::OracleKind> Kind =
+        eval::parseOracleKind(Args.get("oracle"));
+    if (!Kind)
+      return fail(Status::invalidArgument(
+          "unknown --oracle '" + Args.get("oracle") +
+          "' (expected text, differential, or both)"));
+    Cli.Oracle = *Kind;
   }
 
   if (Args.has("trace-out"))
