@@ -9,6 +9,7 @@
 
 #include "support/BinaryIO.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <functional>
@@ -299,10 +300,17 @@ StatusOr<std::string> SessionCheckpoint::serialize(const VegaSystem &System) {
         Tmpl.str(S.IdentifiedSite);
       }
     }
-    // PrimarySlot keys are row pointers; persist them by stable row index.
-    Tmpl.u32(static_cast<uint32_t>(TI.PrimarySlot.size()));
-    for (const auto &[Row, Slot] : TI.PrimarySlot) {
-      Tmpl.i32(Row->Index);
+    // PrimarySlot keys are row pointers; persist them by stable row index,
+    // sorted — map order is pointer order, which varies between two systems
+    // in one process and would break checkpoint byte-identity.
+    std::vector<std::pair<int, uint64_t>> Primary;
+    Primary.reserve(TI.PrimarySlot.size());
+    for (const auto &[Row, Slot] : TI.PrimarySlot)
+      Primary.emplace_back(Row->Index, Slot);
+    std::sort(Primary.begin(), Primary.end());
+    Tmpl.u32(static_cast<uint32_t>(Primary.size()));
+    for (const auto &[Index, Slot] : Primary) {
+      Tmpl.i32(Index);
       Tmpl.u64(Slot);
     }
   }

@@ -757,6 +757,91 @@ Status VegaSystem::fineTune() {
   return fineTuneImpl();
 }
 
+namespace {
+
+/// Content fingerprint of one training pair: FNV-1a over the Src tokens, a
+/// side separator, then the Dst tokens, with a terminator after every token
+/// so concatenation ambiguities ("ab"+"c" vs "a"+"bc") cannot collide.
+uint64_t pairFingerprint(const std::vector<std::string> &Src,
+                         const std::vector<std::string> &Dst) {
+  uint64_t H = 1469598103934665603ULL;
+  auto Mix = [&H](const std::string &T) {
+    for (char C : T) {
+      H ^= static_cast<unsigned char>(C);
+      H *= 1099511628211ULL;
+    }
+    H ^= 0x1fu;
+    H *= 1099511628211ULL;
+  };
+  for (const std::string &T : Src)
+    Mix(T);
+  H ^= 0x2fu;
+  H *= 1099511628211ULL;
+  for (const std::string &T : Dst)
+    Mix(T);
+  return H;
+}
+
+} // namespace
+
+VegaSystem::AugmentResult
+VegaSystem::augmentTrainingPairs(const std::vector<AugmentedPair> &Pairs) {
+  AugmentResult Res;
+  if (!FingerprintsSeeded) {
+    for (const TextPair &P : TrainTexts)
+      PairFingerprints.insert(pairFingerprint(P.Src, P.Dst));
+    FingerprintsSeeded = true;
+  }
+  for (const AugmentedPair &P : Pairs) {
+    bool Usable = !P.Src.empty() && !P.Dst.empty();
+    for (const std::string &T : P.Src)
+      Usable = Usable && Vocabulary.contains(T);
+    for (const std::string &T : P.Dst)
+      Usable = Usable && Vocabulary.contains(T);
+    if (!Usable) {
+      ++Res.SkippedOov;
+      continue;
+    }
+    if (!PairFingerprints.insert(pairFingerprint(P.Src, P.Dst)).second) {
+      ++Res.Deduped;
+      continue;
+    }
+    if (TrainWeights.empty())
+      TrainWeights.assign(TrainTexts.size(), 1.0f);
+    TextPair T;
+    T.Src = P.Src;
+    T.Dst = P.Dst;
+    T.Target = P.Target;
+    TrainTexts.push_back(std::move(T));
+    TrainWeights.push_back(P.Weight);
+    ++Res.Added;
+  }
+  return Res;
+}
+
+StatusOr<model::TrainResult> VegaSystem::fineTuneRound(int Epochs,
+                                                       uint64_t Seed) {
+  assert(Model && "trainModel() must run first");
+  obs::Span StageSpan("stage2.finetune_round", "stage2");
+  StageSpan.arg("epochs", std::to_string(Epochs));
+  std::vector<TrainPair> Data;
+  Data.reserve(TrainTexts.size());
+  for (const TextPair &P : TrainTexts)
+    Data.push_back(toIds(P));
+  model::TrainOptions TOpts = trainOptions();
+  TOpts.Epochs = Epochs;
+  TOpts.Seed = Seed;
+  TOpts.ExampleWeights = TrainWeights;
+  TOpts.OnEpoch = [&](const model::EpochStats &Stats) {
+    if (Options.Verbose)
+      std::fprintf(stderr,
+                   "vega: round epoch %d mean loss %.4f (%.1f examples/s)\n",
+                   Stats.Epoch, Stats.MeanLoss, Stats.ExamplesPerSec);
+  };
+  model::Trainer Engine(*Model, std::move(TOpts));
+  return Engine.run(Data);
+}
+
 Status VegaSystem::trainModel() {
   obs::Span StageSpan("stage2.train_model", "stage2");
   std::string Detail;

@@ -26,6 +26,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
 #include <utility>
 
@@ -139,6 +140,18 @@ struct GeneratedFunction {
   double Seconds = 0.0;
 };
 
+/// One harvested training pair to append to the Stage-1 corpus (the
+/// flywheel's currency): token sequences in the same function-group
+/// representation collectPairsForTarget emits — Src a feature vector, Dst a
+/// CS-bucket token, statement tokens, and [EOS] — plus a per-example loss
+/// weight (1.0 for oracle-validated positives, fractional for hard
+/// negatives).
+struct AugmentedPair {
+  std::vector<std::string> Src, Dst;
+  std::string Target;
+  float Weight = 1.0f;
+};
+
 /// A full generated backend (Stage 3 output).
 struct GeneratedBackend {
   std::string TargetName;
@@ -197,6 +210,33 @@ public:
   /// epochs/batch/LR/seed with Jobs resolved as TrainJobs, falling back to
   /// Jobs (exposed for the CLI and tests).
   model::TrainOptions trainOptions() const;
+
+  /// Outcome of one augmentTrainingPairs() call.
+  struct AugmentResult {
+    size_t Added = 0;      ///< pairs appended to the training corpus
+    size_t Deduped = 0;    ///< dropped: content fingerprint already present
+    size_t SkippedOov = 0; ///< dropped: empty side or out-of-vocab token
+  };
+
+  /// Appends harvested pairs to the training corpus. Each pair is content-
+  /// fingerprinted over its Src and Dst tokens and dropped when the
+  /// fingerprint is already present (in the Stage-1 dataset or a previous
+  /// augmentation — replaying the same harvest log therefore reconstructs
+  /// the exact dedup state). Pairs with an empty side or a token outside
+  /// the frozen vocabulary are skipped: the model's embeddings are sized at
+  /// buildDataset() time and augmentation never regrows them. Weights ride
+  /// along for fineTuneRound(); the base corpus weighs 1.0. Requires
+  /// buildDataset().
+  AugmentResult augmentTrainingPairs(const std::vector<AugmentedPair> &Pairs);
+
+  /// One incremental fine-tuning round over the current (possibly
+  /// augmented) training corpus: the trainOptions() schedule with Epochs
+  /// and Seed overridden and the per-example augmentation weights attached.
+  /// Unlike fineTune() this never writes the weight cache — a flywheel
+  /// generation's weights belong to its own .vega checkpoint, not the
+  /// shared cache of the pristine Stage-2 model. Requires a constructed
+  /// model (initModelFromCache()/trainModel()).
+  StatusOr<model::TrainResult> fineTuneRound(int Epochs, uint64_t Seed);
 
   /// Exact Match on the held-out verification pairs (§4.1.2).
   double verificationExactMatch(size_t MaxPairs = 0);
@@ -411,6 +451,13 @@ private:
   std::vector<TemplateInfo> Templates;
   std::unique_ptr<FeatureSelector> Selector;
   std::vector<TextPair> TrainTexts, VerifyTexts;
+  /// Per-example weights parallel to TrainTexts: empty until the first
+  /// augmentation (every base pair weighs 1.0), then kept index-aligned.
+  std::vector<float> TrainWeights;
+  /// Content fingerprints of every training pair, seeded lazily from the
+  /// base corpus on the first augmentTrainingPairs() call.
+  std::set<uint64_t> PairFingerprints;
+  bool FingerprintsSeeded = false;
   size_t TrainFunctions = 0, VerifyFunctions = 0;
   Vocab Vocabulary;
   std::unique_ptr<CodeBE> Model;

@@ -42,6 +42,12 @@ Status TrainOptions::validate() const {
     return Status::invalidArgument(
         "TrainOptions.LearningRate must be a positive finite value, got " +
         std::to_string(LearningRate));
+  for (size_t I = 0; I < ExampleWeights.size(); ++I)
+    if (!std::isfinite(ExampleWeights[I]) || ExampleWeights[I] < 0.0f)
+      return Status::invalidArgument(
+          "TrainOptions.ExampleWeights[" + std::to_string(I) +
+          "] must be a finite non-negative value, got " +
+          std::to_string(ExampleWeights[I]));
   return Status::ok();
 }
 
@@ -78,6 +84,12 @@ std::string formatDouble(double V) {
 StatusOr<TrainResult> Trainer::run(const std::vector<TrainPair> &Data) {
   if (Status St = Opts.validate(); !St.isOk())
     return St;
+  if (!Opts.ExampleWeights.empty() &&
+      Opts.ExampleWeights.size() != Data.size())
+    return Status::invalidArgument(
+        "TrainOptions.ExampleWeights has " +
+        std::to_string(Opts.ExampleWeights.size()) + " entries for " +
+        std::to_string(Data.size()) + " examples");
 
   using Clock = std::chrono::steady_clock;
   const Clock::time_point RunStart = Clock::now();
@@ -105,7 +117,9 @@ StatusOr<TrainResult> Trainer::run(const std::vector<TrainPair> &Data) {
     double LossSum = 0.0;
     size_t Count = 0;
     size_t BatchIndex = 0;
-    std::vector<const TrainPair *> Batch;
+    // Each slot carries its example's loss weight alongside the pair, so
+    // weights ride through the epoch shuffle with their examples.
+    std::vector<std::pair<const TrainPair *, float>> Batch;
     Batch.reserve(B);
 
     auto flushBatch = [&] {
@@ -129,7 +143,7 @@ StatusOr<TrainResult> Trainer::run(const std::vector<TrainPair> &Data) {
       Pool.parallelFor(Batch.size(), [&](size_t I) {
         GradSink::Scope Active(Sinks[I]);
         Sinks[I].zero();
-        TensorPtr Loss = Model.trainLoss(*Batch[I], Comb);
+        TensorPtr Loss = Model.trainLoss(*Batch[I].first, Comb);
         if (!Loss) {
           // Unreachable for batched pairs (empty sides are filtered before
           // batching; truncation never empties a non-empty sequence), but
@@ -137,6 +151,12 @@ StatusOr<TrainResult> Trainer::run(const std::vector<TrainPair> &Data) {
           BatchLoss[I] = 0.0f;
           return;
         }
+        // Per-example weighting: scale the scalar loss before the backward
+        // pass so the whole gradient carries the weight. Weight 1.0 skips
+        // the node — the tape (and therefore the trained bits) is exactly
+        // the legacy one.
+        if (float W = Batch[I].second; W != 1.0f)
+          Loss = scale(Loss, W);
         backward(Loss);
         BatchLoss[I] = Loss->Data[0];
       });
@@ -168,7 +188,9 @@ StatusOr<TrainResult> Trainer::run(const std::vector<TrainPair> &Data) {
       // are untrainable and never consume a batch slot.
       if (Pair.Src.empty() || Pair.Dst.empty())
         continue;
-      Batch.push_back(&Pair);
+      float W =
+          Opts.ExampleWeights.empty() ? 1.0f : Opts.ExampleWeights[Idx];
+      Batch.emplace_back(&Pair, W);
       if (Batch.size() >= B)
         flushBatch();
     }

@@ -59,13 +59,23 @@ struct TrainOptions {
   int Jobs = 1;
   /// Invoked after every epoch (loss curve hooks, verbose progress).
   std::function<void(const EpochStats &)> OnEpoch;
+  /// Optional per-example loss weights, index-parallel with the data vector
+  /// handed to Trainer::run (weights follow examples through the epoch
+  /// shuffle). Empty means every example weighs 1.0 — the legacy behaviour,
+  /// bit-identical to a weightless run. Weight-1.0 lanes skip the scale
+  /// node entirely, so an all-1.0 vector also trains the legacy bits. The
+  /// flywheel uses fractional weights to down-weight harvested hard
+  /// negatives (DESIGN.md §17).
+  std::vector<float> ExampleWeights;
 
   /// The legacy schedule that used to live in CodeBEConfig, as
   /// TrainOptions (Jobs stays 1: the serial behavior CodeBE::train always
   /// had).
   static TrainOptions fromConfig(const CodeBEConfig &Config);
 
-  /// Ok, or InvalidArgument naming the first out-of-range field.
+  /// Ok, or InvalidArgument naming the first out-of-range field. The
+  /// ExampleWeights size check happens in Trainer::run (only there is the
+  /// data size known); values are checked here.
   Status validate() const;
 };
 

@@ -16,6 +16,7 @@
 
 #include <algorithm>
 #include <map>
+#include <set>
 #include <tuple>
 
 using namespace vega;
@@ -34,6 +35,10 @@ Status RepairOptions::validate() const {
   if (MaxSitesPerFunction < 1)
     return Status::invalidArgument("site budget must be >= 1, got " +
                                    std::to_string(MaxSitesPerFunction));
+  if (RejectedConfidenceFloor < 0.0 || RejectedConfidenceFloor > 1.0)
+    return Status::invalidArgument(
+        "rejected-confidence floor must be in [0, 1], got " +
+        std::to_string(RejectedConfidenceFloor));
   return Status::ok();
 }
 
@@ -96,6 +101,7 @@ struct RepairEngine::FunctionResult {
   /// Set only when the repaired function fully passes the oracle.
   std::optional<GeneratedFunction> Replacement;
   std::vector<StatementRepair> Repairs;
+  std::vector<RejectedCandidate> Rejected;
 };
 
 RepairEngine::RepairEngine(VegaSystem &System, RepairOptions Options)
@@ -165,6 +171,9 @@ RepairEngine::repairFunction(const FunctionTask &Task,
 
   std::map<SiteKey, std::vector<GeneratedStatement>> BeamCache;
   std::vector<StatementRepair> Pending;
+  // Rounds revisit sites with the same cached beam, so the same refuted
+  // candidate can be tried again; record each (site, text) once.
+  std::set<std::pair<SiteKey, std::string>> RejectedSeen;
 
   for (int Round = 1;
        Round <= Options.MaxRounds && !(CurScore.full() && Current.Emitted);
@@ -231,6 +240,7 @@ RepairEngine::repairFunction(const FunctionTask &Task,
           Rep.Module = Task.Baseline->Module;
           Rep.RowIndex = Site.RowIndex;
           Rep.CandidateValue = Site.CandidateValue;
+          Rep.CtxValue = Site.CtxValue;
           Rep.OldText = renderTokens(Keep.Tokens);
           Rep.NewText = renderTokens(T.Tokens);
           Rep.OldEmitted = Keep.Emitted;
@@ -244,6 +254,24 @@ RepairEngine::repairFunction(const FunctionTask &Task,
           BestFrac = Frac;
           Improved = true;
           break;
+        }
+        // The oracle refuted this candidate. Record it as a harvestable
+        // hard negative when the model was confident in it — suppression
+        // probes (unemitted trials) carry no statement to learn from and
+        // are skipped.
+        if (Options.CollectRejected && T.Emitted && !T.Tokens.empty() &&
+            T.Confidence >= Options.RejectedConfidenceFloor &&
+            RejectedSeen.emplace(Key, renderTokens(T.Tokens)).second) {
+          RejectedCandidate RC;
+          RC.InterfaceName = Iface;
+          RC.Module = Task.Baseline->Module;
+          RC.RowIndex = Site.RowIndex;
+          RC.CandidateValue = Site.CandidateValue;
+          RC.CtxValue = Site.CtxValue;
+          RC.Text = renderTokens(T.Tokens);
+          RC.Confidence = T.Confidence;
+          RC.Round = Round;
+          R.Rejected.push_back(std::move(RC));
         }
         Chosen[Key] = Keep;
       }
@@ -340,6 +368,8 @@ StatusOr<RepairReport> RepairEngine::repairBackend(
     Report.Functions.push_back(std::move(R.Outcome));
     for (StatementRepair &Rep : R.Repairs)
       Report.Repairs.push_back(std::move(Rep));
+    for (RejectedCandidate &RC : R.Rejected)
+      Report.Rejected.push_back(std::move(RC));
   }
 
   // Per-round pass@k: every committed repair flips exactly one flagged

@@ -69,6 +69,15 @@ struct RepairOptions {
   /// Optional second oracle attached to the report's baseline/repaired
   /// evaluations as a divergence classifier (never gates acceptance).
   const eval::Oracle *Classifier = nullptr;
+  /// Record beam candidates the hill climb tried and put back (see
+  /// RejectedCandidate). Off by default: collection costs memory and the
+  /// records exist purely for flywheel hard-negative harvesting; the
+  /// "vega-repair-1" JSON rendering never includes them either way.
+  bool CollectRejected = false;
+  /// Minimum model confidence for a rejected candidate to be recorded —
+  /// only candidates the model itself believed in make useful hard
+  /// negatives.
+  double RejectedConfidenceFloor = 0.5;
 
   /// InvalidArgument with a one-line reason when a field is out of range.
   Status validate() const;
@@ -80,13 +89,33 @@ struct StatementRepair {
   BackendModule Module = BackendModule::SEL;
   int RowIndex = -1;
   std::string CandidateValue; ///< repeatable-row expansion value
-  std::string OldText;        ///< previous statement text
-  std::string NewText;        ///< accepted replacement text
+  /// Enclosing candidate context at decode time. (RowIndex, CandidateValue,
+  /// CtxValue) is the exact decode-site identity, so a harvester can
+  /// rebuild the site's feature vector via VegaSystem::buildInputTokens.
+  std::string CtxValue;
+  std::string OldText; ///< previous statement text
+  std::string NewText; ///< accepted replacement text
   bool OldEmitted = false;
   bool NewEmitted = false;
   double OldConfidence = 0.0;
   double NewConfidence = 0.0;
   int Round = 0; ///< 1-based round in which the replacement landed
+};
+
+/// One beam candidate the hill climb tried and put back — the oracle
+/// refuted what the model proposed with confidence at or above
+/// RepairOptions::RejectedConfidenceFloor. Recorded (deduplicated per
+/// decode site and statement text) only when RepairOptions::CollectRejected
+/// is set; the flywheel harvests these as down-weighted hard negatives.
+struct RejectedCandidate {
+  std::string InterfaceName;
+  BackendModule Module = BackendModule::SEL;
+  int RowIndex = -1;
+  std::string CandidateValue;
+  std::string CtxValue;
+  std::string Text;        ///< the refuted statement text
+  double Confidence = 0.0; ///< the model's belief in it
+  int Round = 0;           ///< 1-based round in which it was tried
 };
 
 /// Per-function outcome (one entry per flagged function).
@@ -130,6 +159,9 @@ struct RepairReport {
 
   std::vector<FunctionRepair> Functions; ///< flagged functions, in order
   std::vector<StatementRepair> Repairs;  ///< committed repairs, in order
+  /// Refuted high-confidence candidates, in function-index order (empty
+  /// unless Options.CollectRejected).
+  std::vector<RejectedCandidate> Rejected;
 };
 
 /// The generate→validate→repair driver. Holds a reference to a trained

@@ -1,0 +1,122 @@
+//===- tests/EffortModelTest.cpp - developer-effort model tests ----------------===//
+//
+// Part of the VEGA reproduction project.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+///
+/// The Table-4 effort model in isolation: per-module hour estimates are
+/// manual statements × the profile rate, totals sum the modules, and the
+/// before/after hour delta the repair report derives from two evaluations
+/// behaves on the edges (empty eval, all statements accurate, all manual).
+///
+//===----------------------------------------------------------------------===//
+
+#include "eval/EffortModel.h"
+
+#include <gtest/gtest.h>
+
+using namespace vega;
+
+namespace {
+
+/// A minimal eval with one module carrying \p Manual manual statements.
+BackendEval evalWith(BackendModule Module, size_t Accurate, size_t Manual) {
+  BackendEval Eval;
+  Eval.TargetName = "RISCV";
+  BackendEval::ModuleStats Stats;
+  Stats.Functions = 1;
+  Stats.AccurateStatements = Accurate;
+  Stats.ManualStatements = Manual;
+  Eval.PerModule[Module] = Stats;
+  return Eval;
+}
+
+} // namespace
+
+TEST(EffortModel, ProfilesCarryAllModuleRates) {
+  for (const DeveloperProfile &P : {developerA(), developerB()}) {
+    EXPECT_FALSE(P.Name.empty());
+    for (BackendModule Module : AllModules) {
+      auto It = P.HoursPerStatement.find(Module);
+      ASSERT_NE(It, P.HoursPerStatement.end())
+          << P.Name << " lacks " << moduleName(Module);
+      EXPECT_GT(It->second, 0.0);
+      EXPECT_LT(It->second, 1.0); // all calibrated rates are < 1 h/stmt
+    }
+  }
+}
+
+TEST(EffortModel, EmptyEvalCostsNothing) {
+  BackendEval Empty;
+  EXPECT_TRUE(estimateRepairHours(Empty, developerA()).empty());
+  EXPECT_EQ(totalRepairHours(Empty, developerA()), 0.0);
+  EXPECT_EQ(totalRepairHours(Empty, developerB()), 0.0);
+}
+
+TEST(EffortModel, AllPassCostsNothing) {
+  // Every statement accurate → zero manual statements → zero hours, even
+  // though the module has entries.
+  BackendEval Eval = evalWith(BackendModule::SEL, 100, 0);
+  std::map<BackendModule, double> Hours =
+      estimateRepairHours(Eval, developerA());
+  ASSERT_EQ(Hours.size(), 1u);
+  EXPECT_EQ(Hours[BackendModule::SEL], 0.0);
+  EXPECT_EQ(totalRepairHours(Eval, developerA()), 0.0);
+}
+
+TEST(EffortModel, AllFailScalesLinearlyWithManualStatements) {
+  BackendEval One = evalWith(BackendModule::EMI, 0, 1);
+  BackendEval Ten = evalWith(BackendModule::EMI, 0, 10);
+  double RateA = developerA().HoursPerStatement[BackendModule::EMI];
+  EXPECT_DOUBLE_EQ(totalRepairHours(One, developerA()), RateA);
+  EXPECT_DOUBLE_EQ(totalRepairHours(Ten, developerA()),
+                   10.0 * RateA);
+  // Developer B repairs EMI slower than A (Table 4) — the model preserves
+  // the profile ordering.
+  EXPECT_GT(totalRepairHours(Ten, developerB()),
+            totalRepairHours(Ten, developerA()));
+}
+
+TEST(EffortModel, TotalsSumAcrossModules) {
+  BackendEval Eval = evalWith(BackendModule::SEL, 0, 7);
+  BackendEval::ModuleStats Asm;
+  Asm.Functions = 1;
+  Asm.ManualStatements = 3;
+  Eval.PerModule[BackendModule::ASS] = Asm;
+  DeveloperProfile P = developerA();
+  std::map<BackendModule, double> Hours = estimateRepairHours(Eval, P);
+  ASSERT_EQ(Hours.size(), 2u);
+  EXPECT_DOUBLE_EQ(totalRepairHours(Eval, P),
+                   Hours[BackendModule::SEL] + Hours[BackendModule::ASS]);
+  EXPECT_DOUBLE_EQ(Hours[BackendModule::SEL],
+                   7.0 * P.HoursPerStatement[BackendModule::SEL]);
+}
+
+TEST(EffortModel, MissingProfileRateFallsBackConservatively) {
+  DeveloperProfile Sparse;
+  Sparse.Name = "sparse";
+  BackendEval Eval = evalWith(BackendModule::SCH, 0, 4);
+  // No SCH rate in the profile: the model charges the 0.005 h/stmt
+  // fallback instead of dropping the module silently.
+  EXPECT_DOUBLE_EQ(totalRepairHours(Eval, Sparse), 4.0 * 0.005);
+}
+
+TEST(EffortModel, RepairHourDeltaTracksManualStatementReduction) {
+  // The repair report's before/after delta: hours(baseline) -
+  // hours(repaired) must equal the repaired statements × rate, and can
+  // never be negative when repair only removes manual statements.
+  DeveloperProfile P = developerB();
+  BackendEval Before = evalWith(BackendModule::SEL, 10, 25);
+  BackendEval After = evalWith(BackendModule::SEL, 31, 4);
+  double Delta =
+      totalRepairHours(Before, P) - totalRepairHours(After, P);
+  EXPECT_DOUBLE_EQ(Delta, (25.0 - 4.0) *
+                              P.HoursPerStatement[BackendModule::SEL]);
+  EXPECT_GT(Delta, 0.0);
+  // Equal manual counts → zero delta, regardless of accuracy movement.
+  EXPECT_DOUBLE_EQ(totalRepairHours(Before, P) -
+                       totalRepairHours(evalWith(BackendModule::SEL, 99, 25),
+                                        P),
+                   0.0);
+}

@@ -510,6 +510,79 @@ TEST(Trainer, JobsDoNotChangeTrainedWeights) {
   EXPECT_EQ(fnv1a(Weights1), fnv1a(Weights4));
 }
 
+TEST(Trainer, UnitExampleWeightsMatchUnweightedBytes) {
+  // ExampleWeights of all 1.0 must be a no-op: byte-identical trained
+  // weights versus the unweighted schedule, so the flywheel's weighted
+  // corpus degenerates cleanly when every pair carries the default weight.
+  Vocab V;
+  std::vector<std::string> Words;
+  for (int I = 0; I < 8; ++I) {
+    Words.push_back("w" + std::to_string(I));
+    V.addToken(Words.back());
+  }
+  CodeBEConfig C;
+  C.Epochs = 2;
+  C.MaxSrcLen = 8;
+  C.MaxDstLen = 6;
+  std::vector<TrainPair> Data;
+  RNG Rng(7);
+  for (int I = 0; I < 24; ++I) {
+    int A = static_cast<int>(Rng.nextBelow(8));
+    TrainPair P;
+    P.Src = {V.clsId(), V.idOf(Words[static_cast<size_t>(A)])};
+    P.Dst = {V.csId(20), V.idOf(Words[static_cast<size_t>(A)]), V.eosId()};
+    Data.push_back(P);
+  }
+
+  auto TrainWith = [&](std::vector<float> Weights) {
+    CodeBE Model(V, C);
+    model::TrainOptions Opts = model::TrainOptions::fromConfig(C);
+    Opts.ExampleWeights = std::move(Weights);
+    model::Trainer Engine(Model, Opts);
+    StatusOr<model::TrainResult> Result = Engine.run(Data);
+    EXPECT_TRUE(Result.isOk());
+    return Model.saveWeights();
+  };
+
+  std::string Plain = TrainWith({});
+  std::string Unit = TrainWith(std::vector<float>(Data.size(), 1.0f));
+  EXPECT_TRUE(Plain == Unit)
+      << "all-1.0 example weights changed the trained weights";
+
+  // Down-weighting must actually change the optimization trajectory.
+  std::vector<float> Skewed(Data.size(), 1.0f);
+  Skewed.front() = 0.25f;
+  EXPECT_FALSE(Plain == TrainWith(std::move(Skewed)));
+}
+
+TEST(Trainer, ExampleWeightsValidated) {
+  Vocab V;
+  V.addToken("x");
+  CodeBEConfig C;
+  CodeBE Model(V, C);
+  TrainPair P;
+  P.Src = {V.clsId(), V.idOf("x")};
+  P.Dst = {V.csId(20), V.idOf("x"), V.eosId()};
+  std::vector<TrainPair> Data(4, P);
+
+  auto CodeFor = [&](std::vector<float> Weights) {
+    model::TrainOptions Opts = model::TrainOptions::fromConfig(C);
+    Opts.ExampleWeights = std::move(Weights);
+    model::Trainer Engine(Model, Opts);
+    StatusOr<model::TrainResult> Result = Engine.run(Data);
+    EXPECT_FALSE(Result.isOk());
+    return Result.isOk() ? StatusCode::Ok : Result.status().code();
+  };
+
+  // Size mismatch is typed, not silently truncated or padded.
+  EXPECT_EQ(CodeFor(std::vector<float>(3, 1.0f)),
+            StatusCode::InvalidArgument);
+  // Negative and non-finite weights are rejected by validate().
+  EXPECT_EQ(CodeFor({1.0f, -0.5f, 1.0f, 1.0f}), StatusCode::InvalidArgument);
+  EXPECT_EQ(CodeFor({1.0f, std::nanf(""), 1.0f, 1.0f}),
+            StatusCode::InvalidArgument);
+}
+
 TEST(Trainer, InvalidOptionsSurfaceTypedStatus) {
   Vocab V;
   V.addToken("x");

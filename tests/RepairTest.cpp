@@ -205,6 +205,46 @@ TEST(Repair, DifferentialOracleGatedRepairNeverRegresses) {
   EXPECT_EQ(serve::repairToJson(*A).dump(2), serve::repairToJson(*B).dump(2));
 }
 
+TEST(Repair, RejectedCandidatesCollectedOnlyWhenAsked) {
+  // Off by default: the report never carries refuted candidates, and the
+  // "vega-repair-1" rendering is unaffected by the flag either way.
+  repair::RepairOptions Opts;
+  Opts.BeamWidth = 4;
+  Opts.MaxRounds = 2;
+  repair::RepairEngine Plain(session().system(), Opts);
+  StatusOr<repair::RepairReport> Off = Plain.repairBackend(riscvBackend());
+  ASSERT_TRUE(Off.isOk()) << Off.status().toString();
+  EXPECT_TRUE(Off->Rejected.empty());
+
+  Opts.CollectRejected = true;
+  Opts.RejectedConfidenceFloor = 0.0;
+  repair::RepairEngine Collecting(session().system(), Opts);
+  StatusOr<repair::RepairReport> On = Collecting.repairBackend(riscvBackend());
+  ASSERT_TRUE(On.isOk()) << On.status().toString();
+  EXPECT_EQ(serve::repairToJson(*Off).dump(2), serve::repairToJson(*On).dump(2));
+
+  // With the floor at 0 every refuted candidate is recorded; raising it
+  // can only shrink the set, and every survivor honours the floor.
+  Opts.RejectedConfidenceFloor = 0.5;
+  repair::RepairEngine Floored(session().system(), Opts);
+  StatusOr<repair::RepairReport> Half = Floored.repairBackend(riscvBackend());
+  ASSERT_TRUE(Half.isOk()) << Half.status().toString();
+  EXPECT_LE(Half->Rejected.size(), On->Rejected.size());
+  for (const repair::RejectedCandidate &RC : Half->Rejected) {
+    EXPECT_GE(RC.Confidence, 0.5) << RC.InterfaceName;
+    EXPECT_FALSE(RC.Text.empty()) << RC.InterfaceName;
+    EXPECT_FALSE(RC.InterfaceName.empty());
+    EXPECT_GE(RC.RowIndex, 0) << RC.InterfaceName;
+    EXPECT_GE(RC.Round, 1) << RC.InterfaceName;
+    EXPECT_LE(RC.Round, Opts.MaxRounds) << RC.InterfaceName;
+  }
+  // Validation: the floor is a probability.
+  Opts.RejectedConfidenceFloor = -0.1;
+  EXPECT_EQ(Opts.validate().code(), StatusCode::InvalidArgument);
+  Opts.RejectedConfidenceFloor = 1.5;
+  EXPECT_EQ(Opts.validate().code(), StatusCode::InvalidArgument);
+}
+
 TEST(Repair, BeamCandidatesForSiteAreRankedAndDeterministic) {
   VegaSystem &System = session().system();
   const GeneratedBackend &GB = riscvBackend();

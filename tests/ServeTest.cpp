@@ -328,6 +328,33 @@ TEST(Serve, StatsRpcReportsLiveTelemetry) {
   EXPECT_GE(Latency->getNumber("p99"), Latency->getNumber("p50"));
 }
 
+TEST(Serve, StatsTopLevelShapeIsFrozen) {
+  // The flywheel is deliberately NOT a serve method — self-training runs
+  // offline via vega-cli. Pin the exact "vega-stats-1" top-level key set
+  // so no subsystem grows serve-side telemetry surface unnoticed.
+  VegaServer Server(session(), ServerOptions());
+  Json Stats = parsed(Server.handleLine(R"({"id":9,"method":"stats"})"));
+  const Json *Result = Stats.get("result");
+  ASSERT_NE(Result, nullptr) << Stats.dump();
+  std::vector<std::string> Keys;
+  for (const auto &Field : Result->fields())
+    Keys.push_back(Field.first);
+  EXPECT_EQ(Keys, (std::vector<std::string>{
+                      "schema", "uptimeSec", "inFlight", "queueDepth",
+                      "requests", "scheduler", "counters", "gauges",
+                      "quantiles"}));
+  std::vector<std::string> Sched;
+  for (const auto &Field : Result->get("scheduler")->fields())
+    Sched.push_back(Field.first);
+  EXPECT_EQ(Sched, (std::vector<std::string>{
+                       "window", "maxQueue", "steps", "admitted", "attached",
+                       "retired", "rejected", "expired", "maxCoActive",
+                       "active"}));
+  // And no flywheel method leaked into the RPC surface.
+  Json Unknown = parsed(Server.handleLine(R"({"id":10,"method":"flywheel"})"));
+  EXPECT_EQ(errorCode(Unknown), -32601);
+}
+
 TEST(Serve, DeadlineExceededAnswersUnavailable) {
   VegaServer Server(session(), ServerOptions());
   // The deadline is armed relative to request creation; a sub-microsecond

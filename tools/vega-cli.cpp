@@ -22,6 +22,12 @@
 ///   vega-cli evaluate <target> [epochs]   generate + pass@1 report
 ///   vega-cli repair <target> [epochs]     generate + beam-search auto-repair
 ///                                         (--beam/--rounds; report per round)
+///   vega-cli flywheel <target>...         self-training repair flywheel:
+///                                         generate + repair + harvest +
+///                                         fine-tune generations
+///                                         (--generations/--ft-epochs/--beam/
+///                                         --rounds/--oracle/
+///                                         --harvest-negatives/--out-dir)
 ///   vega-cli forkflow <target>            evaluate the MIPS fork baseline
 ///   vega-cli stats --socket=<path>        live stats of a running vega-serve
 ///
@@ -40,6 +46,7 @@
 #include "core/VegaSession.h"
 #include "eval/EffortModel.h"
 #include "eval/Harness.h"
+#include "flywheel/Flywheel.h"
 #include "forkflow/ForkFlow.h"
 #include "obs/Log.h"
 #include "obs/Metrics.h"
@@ -466,6 +473,47 @@ int cmdRepair(const std::string &Target, int Epochs, int BeamWidth,
   return 0;
 }
 
+int cmdFlywheel(int Epochs, flywheel::FlywheelOptions FOpts) {
+  if (!Cli.SessionPath.empty())
+    return fail(Status::invalidArgument(
+        "flywheel fine-tunes over the full training corpus and must build "
+        "its session in-process; omit --session"));
+  StatusOr<VegaSession *> S = session(Epochs);
+  if (!S.isOk())
+    return fail(S.status());
+  FOpts.Oracle = Cli.Oracle;
+  FOpts.Jobs = Cli.Jobs;
+  // --train-jobs > --jobs > VEGA_JOBS precedence rides on the session's
+  // VegaOptions: fineTuneRound derives its lanes via trainOptions().
+  flywheel::FlywheelEngine Engine((*S)->system(), std::move(FOpts));
+  StatusOr<flywheel::FlywheelReport> Report = Engine.run();
+  if (!Report.isOk())
+    return fail(Report.status());
+  if (Cli.JsonOut) {
+    std::printf("%s\n", flywheel::reportToJson(*Report).dump(2).c_str());
+    return 0;
+  }
+  TextTable Table;
+  Table.setHeader({"Gen", "Pass@1", "Greedy", "Reliance", "Harvested",
+                   "Added", "Deduped", "Loss", "Accepted"});
+  for (const flywheel::GenerationStats &G : Report->Generations)
+    Table.addRow(
+        {std::to_string(G.Generation),
+         TextTable::formatPercent(G.Pass1),
+         TextTable::formatPercent(G.GreedyPass1),
+         TextTable::formatPercent(G.RepairReliance),
+         std::to_string(G.HarvestedPositives + G.HarvestedNegatives),
+         std::to_string(G.PairsAdded), std::to_string(G.PairsDeduped),
+         G.Generation == 0 ? "-" : TextTable::formatDouble(G.TrainMeanLoss),
+         G.Accepted ? "yes" : "no"});
+  std::printf("%s\n", Table.render().c_str());
+  std::printf("flywheel: %d generation(s) run, %d resumed, %llu pairs "
+              "added to the corpus\n",
+              Report->GenerationsRun, Report->GenerationsResumed,
+              static_cast<unsigned long long>(Report->TotalPairsAdded));
+  return 0;
+}
+
 int cmdForkflow(const std::string &Target) {
   if (!corpus().targets().find(Target))
     return fail(Status::notFound("unknown target '" + Target + "'"));
@@ -603,6 +651,16 @@ int main(int argc, char **argv) {
                  "differential divergence census)");
   Args.addOption("beam", "N", "repair: ranked candidates per site (default 4)");
   Args.addOption("rounds", "N", "repair: fixed-point round cap (default 2)");
+  Args.addOption("generations", "N",
+                 "flywheel: fine-tune generations to run (default 3)");
+  Args.addOption("ft-epochs", "N",
+                 "flywheel: epochs per fine-tuning round (default 2)");
+  Args.addOption("harvest-negatives", "on|off",
+                 "flywheel: harvest refuted high-confidence candidates as "
+                 "down-weighted hard negatives (default on)");
+  Args.addOption("out-dir", "dir",
+                 "flywheel: per-generation artifact directory (enables "
+                 "resume; omit for an in-memory run)");
   Args.addOption("trace-out", "file", "write a Chrome/Perfetto trace on exit");
   Args.addOption("metrics-out", "file", "write metrics JSON on exit");
   Args.addOption("socket", "path",
@@ -629,6 +687,11 @@ int main(int argc, char **argv) {
                   "generate + pass@1 report", 1, 2);
   Args.addCommand("repair", "<target> [epochs]",
                   "generate + beam-search auto-repair report", 1, 2);
+  Args.addCommand("flywheel", "<target>...",
+                  "self-training repair flywheel: generate + repair + "
+                  "harvest + fine-tune generations (--generations/"
+                  "--ft-epochs/--beam/--rounds/--oracle/"
+                  "--harvest-negatives/--out-dir)", 1, 8);
   Args.addCommand("forkflow", "<target>",
                   "evaluate the MIPS fork baseline", 1, 1);
   Args.addCommand("stats", "",
@@ -725,6 +788,26 @@ int main(int argc, char **argv) {
   else if (Cmd == "repair")
     Rc = cmdRepair(Pos[0], epochsArg(Pos, 1, 8), Args.getInt("beam", 4),
                    Args.getInt("rounds", 2));
+  else if (Cmd == "flywheel") {
+    flywheel::FlywheelOptions FOpts;
+    FOpts.Targets = Pos;
+    FOpts.Generations = Args.getInt("generations", 3);
+    FOpts.FineTuneEpochs = Args.getInt("ft-epochs", 2);
+    FOpts.BeamWidth = Args.getInt("beam", 4);
+    FOpts.MaxRounds = Args.getInt("rounds", 2);
+    FOpts.OutDir = Args.get("out-dir");
+    FOpts.Verbose = true;
+    if (Args.has("seed"))
+      FOpts.Seed = std::strtoull(Args.get("seed").c_str(), nullptr, 10);
+    if (Args.has("harvest-negatives")) {
+      const std::string &V = Args.get("harvest-negatives");
+      if (V != "on" && V != "off")
+        return fail(Status::invalidArgument(
+            "unknown --harvest-negatives '" + V + "' (expected on or off)"));
+      FOpts.HarvestNegatives = V == "on";
+    }
+    Rc = cmdFlywheel(Args.getInt("epochs", 8), std::move(FOpts));
+  }
   else if (Cmd == "forkflow")
     Rc = cmdForkflow(Pos[0]);
   else if (Cmd == "stats")
